@@ -1,0 +1,333 @@
+//! Deterministic counter automata and reachable-state analysis.
+
+/// A deterministic counter automaton: a finite set of memory states, an
+/// initial state, and one transition per state (the input alphabet is the
+/// single symbol "increment").
+///
+/// Since the input is unary, the run is a "rho" shape: a tail followed by
+/// a cycle. [`DeterministicCounter::analysis`] extracts that structure
+/// once, after which the state at any time — and the state *set* over any
+/// time interval — is O(cycle length) to compute, even for astronomically
+/// large times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicCounter {
+    init: u32,
+    /// `trans[s]` = state after an increment in state `s`.
+    trans: Vec<u32>,
+}
+
+/// The rho-structure of a deterministic unary automaton's run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunAnalysis {
+    /// States visited before entering the cycle: `path[t]` is the state
+    /// at time `t` (after `t` increments), for `t < path.len()`.
+    /// `path[0]` is the initial state.
+    pub tail: Vec<u32>,
+    /// The states of the cycle in traversal order; the state at time
+    /// `tail.len() + j` is `cycle[j % cycle.len()]`.
+    pub cycle: Vec<u32>,
+}
+
+/// A set of automaton states (bitset over at most a few thousand states).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSet {
+    bits: Vec<u64>,
+}
+
+impl StateSet {
+    /// Creates an empty set over `n` states.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts state `s`.
+    pub fn insert(&mut self, s: u32) {
+        self.bits[(s / 64) as usize] |= 1u64 << (s % 64);
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, s: u32) -> bool {
+        (self.bits[(s / 64) as usize] >> (s % 64)) & 1 == 1
+    }
+
+    /// True when the two sets share a state.
+    #[must_use]
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of member states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no state is a member.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+}
+
+impl DeterministicCounter {
+    /// Creates an automaton from an initial state and a transition table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty, any transition points outside the
+    /// state set, or the initial state is out of range.
+    #[must_use]
+    pub fn new(init: u32, trans: Vec<u32>) -> Self {
+        let n = trans.len() as u32;
+        assert!(n > 0, "automaton needs at least one state");
+        assert!(init < n, "initial state out of range");
+        assert!(
+            trans.iter().all(|&s| s < n),
+            "transition target out of range"
+        );
+        Self { init, trans }
+    }
+
+    /// Number of memory states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The initial state.
+    #[must_use]
+    pub fn init(&self) -> u32 {
+        self.init
+    }
+
+    /// The transition table.
+    #[must_use]
+    pub fn transitions(&self) -> &[u32] {
+        &self.trans
+    }
+
+    /// The state reached after exactly `t` increments, in O(min(t, n))
+    /// time via the rho-structure.
+    #[must_use]
+    pub fn state_at(&self, t: u64) -> u32 {
+        let a = self.analysis();
+        a.state_at(t)
+    }
+
+    /// Extracts the tail + cycle structure of the run (O(number of
+    /// states)).
+    #[must_use]
+    pub fn analysis(&self) -> RunAnalysis {
+        let n = self.trans.len();
+        let mut first_seen = vec![u32::MAX; n];
+        let mut order: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut s = self.init;
+        loop {
+            if first_seen[s as usize] != u32::MAX {
+                let cycle_start = first_seen[s as usize] as usize;
+                let cycle = order[cycle_start..].to_vec();
+                let tail = order[..cycle_start].to_vec();
+                return RunAnalysis { tail, cycle };
+            }
+            first_seen[s as usize] = order.len() as u32;
+            order.push(s);
+            s = self.trans[s as usize];
+        }
+    }
+
+    /// The set of states visited at times `lo..=hi` (inclusive; time 0 is
+    /// the initial state), computed in O(n) regardless of `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn states_in_window(&self, lo: u64, hi: u64) -> StateSet {
+        assert!(lo <= hi, "empty window");
+        let a = self.analysis();
+        let mut set = StateSet::new(self.num_states());
+        let tail_len = a.tail.len() as u64;
+        // Tail part of the window.
+        let t_end = hi.min(tail_len.saturating_sub(1));
+        if lo < tail_len {
+            for t in lo..=t_end {
+                set.insert(a.tail[t as usize]);
+            }
+        }
+        // Cycle part of the window.
+        if hi >= tail_len {
+            let c_lo = lo.max(tail_len) - tail_len;
+            let c_hi = hi - tail_len;
+            let clen = a.cycle.len() as u64;
+            if c_hi - c_lo + 1 >= clen {
+                for &s in &a.cycle {
+                    set.insert(s);
+                }
+            } else {
+                let mut j = c_lo % clen;
+                for _ in c_lo..=c_hi {
+                    set.insert(a.cycle[j as usize]);
+                    j = (j + 1) % clen;
+                }
+            }
+        }
+        set
+    }
+
+    /// The paper's distinguishing task: can *any* query function tell
+    /// "`N ∈ [1, T/2]`" from "`N ∈ [2T, 4T]`" looking only at the memory
+    /// state? Possible iff the two windows' state sets are disjoint.
+    #[must_use]
+    pub fn distinguishes(&self, t_param: u64) -> bool {
+        assert!(t_param >= 2, "need T >= 2");
+        let low = self.states_in_window(1, t_param / 2);
+        let high = self.states_in_window(2 * t_param, 4 * t_param);
+        !low.intersects(&high)
+    }
+
+    /// The saturating exact counter on `n` states: counts `0, 1, …, n−2`
+    /// and then sticks at `n−1`. The optimal deterministic
+    /// distinguisher — with `n = T/2 + 2` states it distinguishes
+    /// `[1, T/2]` from `[2T, 4T]`.
+    #[must_use]
+    pub fn saturating(n: usize) -> Self {
+        assert!(n >= 1);
+        let trans = (0..n as u32)
+            .map(|s| (s + 1).min(n as u32 - 1))
+            .collect();
+        Self::new(0, trans)
+    }
+}
+
+impl RunAnalysis {
+    /// The state at time `t`.
+    #[must_use]
+    pub fn state_at(&self, t: u64) -> u32 {
+        let tail_len = self.tail.len() as u64;
+        if t < tail_len {
+            self.tail[t as usize]
+        } else {
+            self.cycle[((t - tail_len) % self.cycle.len() as u64) as usize]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed_tables() {
+        let ok = DeterministicCounter::new(0, vec![1, 0]);
+        assert_eq!(ok.num_states(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_transition() {
+        let _ = DeterministicCounter::new(0, vec![2, 0]);
+    }
+
+    #[test]
+    fn pure_cycle_analysis() {
+        // 0 -> 1 -> 2 -> 0: no tail, cycle of length 3.
+        let d = DeterministicCounter::new(0, vec![1, 2, 0]);
+        let a = d.analysis();
+        assert!(a.tail.is_empty());
+        assert_eq!(a.cycle, vec![0, 1, 2]);
+        assert_eq!(d.state_at(0), 0);
+        assert_eq!(d.state_at(1), 1);
+        assert_eq!(d.state_at(3_000_000_000), 0);
+        assert_eq!(d.state_at(3_000_000_001), 1);
+    }
+
+    #[test]
+    fn tail_then_cycle_analysis() {
+        // 0 -> 1 -> 2 -> 3 -> 2 : tail [0, 1], cycle [2, 3].
+        let d = DeterministicCounter::new(0, vec![1, 2, 3, 2]);
+        let a = d.analysis();
+        assert_eq!(a.tail, vec![0, 1]);
+        assert_eq!(a.cycle, vec![2, 3]);
+        assert_eq!(d.state_at(1), 1);
+        assert_eq!(d.state_at(2), 2);
+        assert_eq!(d.state_at(5), 3); // 2,3,2,3... times 2,3,4,5
+        assert_eq!(d.state_at(1 << 40), 2);
+    }
+
+    #[test]
+    fn fixed_point_analysis() {
+        // Saturating immediately: 0 -> 0.
+        let d = DeterministicCounter::new(0, vec![0]);
+        let a = d.analysis();
+        assert!(a.tail.is_empty());
+        assert_eq!(a.cycle, vec![0]);
+        assert_eq!(d.state_at(123_456), 0);
+    }
+
+    #[test]
+    fn window_matches_brute_force() {
+        let d = DeterministicCounter::new(0, vec![1, 2, 3, 4, 2]);
+        for (lo, hi) in [(0u64, 0u64), (1, 4), (3, 12), (0, 20), (7, 7)] {
+            let fast = d.states_in_window(lo, hi);
+            let mut slow = StateSet::new(d.num_states());
+            for t in lo..=hi {
+                slow.insert(d.state_at(t));
+            }
+            assert_eq!(fast, slow, "window [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn window_far_beyond_tail_covers_cycle() {
+        let d = DeterministicCounter::new(0, vec![1, 2, 1]);
+        let set = d.states_in_window(1 << 50, (1 << 50) + 10);
+        assert!(set.contains(1) && set.contains(2));
+        assert!(!set.contains(0));
+    }
+
+    #[test]
+    fn saturating_counter_distinguishes() {
+        let t = 16u64;
+        // T/2 + 2 = 10 states: counts to 9 and sticks.
+        let d = DeterministicCounter::saturating((t / 2 + 2) as usize);
+        assert!(d.distinguishes(t));
+    }
+
+    #[test]
+    fn too_small_saturating_counter_fails() {
+        let t = 16u64;
+        // With only T/2 + 1 states the saturation point 8 is reached both
+        // at time T/2 = 8 and at all times >= 8 — windows intersect.
+        let d = DeterministicCounter::saturating((t / 2 + 1) as usize);
+        assert!(!d.distinguishes(t));
+    }
+
+    #[test]
+    fn cyclic_counter_cannot_distinguish() {
+        // A mod-5 counter revisits everything: windows intersect.
+        let d = DeterministicCounter::new(0, vec![1, 2, 3, 4, 0]);
+        assert!(!d.distinguishes(64));
+    }
+
+    #[test]
+    fn state_set_operations() {
+        let mut a = StateSet::new(130);
+        let mut b = StateSet::new(130);
+        a.insert(0);
+        a.insert(129);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        b.insert(129);
+        assert!(a.intersects(&b));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(StateSet::new(10).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # `ac-automaton` — the Section 3 lower bound, executable
+//!
+//! Nelson & Yu prove their space lower bound
+//! (`S ≥ Ω(min{log n, log log n + log 1/ε + log log 1/δ})`, Theorem 3.1)
+//! by a chain of constructive steps. Every step is an algorithm, so this
+//! crate implements them:
+//!
+//! 1. **Modeling** ([`DeterministicCounter`], [`RandomizedCounter`]): an
+//!    `S`-bit counter is an automaton over at most `2^S` memory states
+//!    whose transition on an increment may be randomized.
+//! 2. **Derandomization** ([`RandomizedCounter::derandomize`]): replace
+//!    every transition distribution by its highest-probability outcome
+//!    (lexicographically smallest on ties) — exactly the paper's `C_det`.
+//! 3. **Pumping** ([`pump::find_witness`]): for a deterministic automaton
+//!    with `2^S ≤ T/2` states, constructively find times
+//!    `N₁ < N₂ ≤ T/2` that collide on a state and a pumped time
+//!    `N₃ ∈ [2T, 4T]` reaching the same state — a concrete pair of counts
+//!    the automaton provably cannot distinguish.
+//! 4. **Exhaustive verification** ([`exhaustive`]): for small state
+//!    budgets, enumerate *every* deterministic automaton and verify none
+//!    distinguishes `[1, T/2]` from `[2T, 4T]`, and find the true minimal
+//!    number of states that can (it is `T/2 + 2`: a saturating counter).
+//! 5. **Application to the real algorithms** ([`adapter`]): wrap
+//!    `Morris(a)` and the Csűrös counter as randomized automata and watch
+//!    their derandomized versions freeze at a constant level, exactly as
+//!    the proof predicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+mod dfa;
+pub mod exhaustive;
+pub mod matrix;
+pub mod pump;
+mod randomized;
+
+pub use dfa::{DeterministicCounter, StateSet};
+pub use randomized::RandomizedCounter;

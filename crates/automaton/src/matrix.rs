@@ -1,0 +1,220 @@
+//! Exact distribution evolution for randomized counter automata.
+//!
+//! For a randomized automaton with transition matrix `P`, the state
+//! distribution after `n` increments is `π₀·Pⁿ` — computable exactly by
+//! repeated vector-matrix products (O(n·m²)) or matrix squaring
+//! (O(log n · m³)). This gives *exact* failure probabilities for capped
+//! real counters at any `N`, complementing the per-algorithm DP in
+//! `ac-core` and making the lower-bound experiments quantitative: the
+//! distinguishing advantage of a randomized counter can be computed, not
+//! just sampled.
+
+use crate::RandomizedCounter;
+
+/// The exact state distribution of `auto` after `n` increments.
+///
+/// Uses iterated vector-matrix products for `n ≤ 4·m` (cheaper and
+/// numerically gentler) and binary-exponentiation matrix powers
+/// otherwise.
+#[must_use]
+pub fn distribution_after(auto: &RandomizedCounter, n: u64) -> Vec<f64> {
+    let m = auto.num_states();
+    let mut pi: Vec<f64> = auto.init_distribution().to_vec();
+    if n <= 4 * m as u64 {
+        for _ in 0..n {
+            pi = step(auto, &pi);
+        }
+        return pi;
+    }
+    // Matrix power by squaring.
+    let mut base: Vec<Vec<f64>> = (0..m)
+        .map(|s| auto.transition_row(s as u32).to_vec())
+        .collect();
+    let mut exp = n;
+    loop {
+        if exp & 1 == 1 {
+            pi = vec_mat(&pi, &base);
+        }
+        exp >>= 1;
+        if exp == 0 {
+            break;
+        }
+        base = mat_mat(&base, &base);
+    }
+    pi
+}
+
+/// One exact transition step `π ← π·P`.
+#[must_use]
+pub fn step(auto: &RandomizedCounter, pi: &[f64]) -> Vec<f64> {
+    let m = auto.num_states();
+    assert_eq!(pi.len(), m, "distribution dimension mismatch");
+    let mut out = vec![0.0; m];
+    for (s, &mass) in pi.iter().enumerate() {
+        if mass == 0.0 {
+            continue;
+        }
+        for (s2, &p) in auto.transition_row(s as u32).iter().enumerate() {
+            if p > 0.0 {
+                out[s2] += mass * p;
+            }
+        }
+    }
+    out
+}
+
+fn vec_mat(v: &[f64], m: &[Vec<f64>]) -> Vec<f64> {
+    let n = v.len();
+    let mut out = vec![0.0; n];
+    for (i, &x) in v.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &p) in m[i].iter().enumerate() {
+            out[j] += x * p;
+        }
+    }
+    out
+}
+
+fn mat_mat(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// The best achievable probability of distinguishing `N = n_low` from
+/// `N = n_high` by any query function over the automaton's memory
+/// states: `(1 + total-variation distance)/2` (the optimal test accepts
+/// each state under its likelier hypothesis, both hypotheses equally
+/// likely a priori).
+///
+/// For the paper's Theorem 3.1 task this quantifies how well a
+/// *randomized* `S`-bit counter separates `[1, T/2]` from `[2T, 4T]` —
+/// and how the advantage dies as the state budget shrinks.
+#[must_use]
+pub fn distinguishing_advantage(auto: &RandomizedCounter, n_low: u64, n_high: u64) -> f64 {
+    let lo = distribution_after(auto, n_low);
+    let hi = distribution_after(auto, n_high);
+    let tv: f64 = lo
+        .iter()
+        .zip(hi.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+        / 2.0;
+    0.5 * (1.0 + tv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::morris_automaton;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    #[test]
+    fn distribution_is_stochastic() {
+        let auto = morris_automaton(0.5, 20);
+        for n in [0u64, 1, 7, 100, 10_000] {
+            let pi = distribution_after(&auto, n);
+            let total: f64 = pi.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n}: total={total}");
+            assert!(pi.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn matches_core_exact_dp() {
+        // The automaton matrix power must agree with
+        // ac_core::exact_level_distribution on uncapped ranges.
+        let (a, n) = (0.5, 30u64);
+        let auto = morris_automaton(a, 63);
+        let pi = distribution_after(&auto, n);
+        let dp = ac_core::exact_level_distribution(a, n);
+        for (j, &p) in dp.iter().enumerate() {
+            assert!(
+                (pi[j] - p).abs() < 1e-9,
+                "level {j}: matrix {} vs dp {p}",
+                pi[j]
+            );
+        }
+    }
+
+    #[test]
+    fn power_path_matches_iterated_path() {
+        // n chosen to force the matrix-squaring branch; compare against
+        // brute iteration.
+        let auto = morris_automaton(1.0, 10);
+        let n = 500u64; // > 4·11 so the power path runs
+        let by_power = distribution_after(&auto, n);
+        let mut pi: Vec<f64> = auto.init_distribution().to_vec();
+        for _ in 0..n {
+            pi = step(&auto, &pi);
+        }
+        for (a, b) in by_power.iter().zip(pi.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_simulation() {
+        let auto = morris_automaton(0.3, 15);
+        let n = 200u64;
+        let pi = distribution_after(&auto, n);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let trials = 40_000;
+        let mut counts = vec![0u32; auto.num_states()];
+        for _ in 0..trials {
+            counts[auto.simulate(n, &mut rng) as usize] += 1;
+        }
+        for (s, (&p, &obs)) in pi.iter().zip(counts.iter()).enumerate() {
+            let expected = p * f64::from(trials);
+            if expected >= 25.0 {
+                let sigma = (expected * (1.0 - p)).sqrt();
+                assert!(
+                    (f64::from(obs) - expected).abs() < 6.0 * sigma,
+                    "state {s}: {obs} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advantage_bounds_and_monotonicity() {
+        let auto = morris_automaton(1.0, 30);
+        // Identical inputs: advantage is exactly 1/2 (no information).
+        let same = distinguishing_advantage(&auto, 100, 100);
+        assert!((same - 0.5).abs() < 1e-12);
+        // Very different counts: advantage approaches 1.
+        let far = distinguishing_advantage(&auto, 8, 1 << 14);
+        assert!(far > 0.9, "far={far}");
+        // Closer counts: in between.
+        let near = distinguishing_advantage(&auto, 1 << 10, 1 << 11);
+        assert!(near > 0.5 && near < far, "near={near}, far={far}");
+    }
+
+    #[test]
+    fn fewer_states_means_less_advantage() {
+        // The lower-bound moral, exactly: capping the Morris counter at
+        // fewer levels caps its ability to separate T/2 from 3T.
+        let t = 1u64 << 10;
+        let rich = morris_automaton(1.0, 16);
+        let poor = morris_automaton(1.0, 4);
+        let rich_adv = distinguishing_advantage(&rich, t / 2, 3 * t);
+        let poor_adv = distinguishing_advantage(&poor, t / 2, 3 * t);
+        assert!(
+            rich_adv > poor_adv + 0.05,
+            "rich {rich_adv} vs poor {poor_adv}"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Randomized counter automata and the paper's derandomization step.
+
+use crate::DeterministicCounter;
+use ac_randkit::RandomSource;
+
+/// A randomized counter automaton: a distribution over initial states and,
+/// for each state, a distribution over successor states taken on each
+/// increment.
+///
+/// This is the abstract model of *any* `S`-bit randomized counter used in
+/// the Theorem 3.1 proof (with at most `2^S` states).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomizedCounter {
+    /// `init[s]` = probability of starting in state `s`.
+    init: Vec<f64>,
+    /// `trans[s][s']` = probability of moving `s → s'` on an increment.
+    trans: Vec<Vec<f64>>,
+}
+
+impl RandomizedCounter {
+    /// Creates the automaton from an initial distribution and a row-
+    /// stochastic transition matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all rows (and the initial distribution) are the same
+    /// length, non-negative, and sum to 1 within `1e-9`.
+    #[must_use]
+    pub fn new(init: Vec<f64>, trans: Vec<Vec<f64>>) -> Self {
+        let n = init.len();
+        assert!(n > 0, "automaton needs at least one state");
+        assert_eq!(trans.len(), n, "transition matrix must be square");
+        let check = |row: &[f64], what: &str| {
+            assert_eq!(row.len(), n, "{what} has wrong length");
+            assert!(
+                row.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)),
+                "{what} has probabilities outside [0,1]"
+            );
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{what} sums to {sum}, not 1");
+        };
+        check(&init, "initial distribution");
+        for (s, row) in trans.iter().enumerate() {
+            check(row, &format!("transition row {s}"));
+        }
+        Self { init, trans }
+    }
+
+    /// Number of memory states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.init.len()
+    }
+
+    /// The initial distribution.
+    #[must_use]
+    pub fn init_distribution(&self) -> &[f64] {
+        &self.init
+    }
+
+    /// The transition distribution out of state `s`.
+    #[must_use]
+    pub fn transition_row(&self, s: u32) -> &[f64] {
+        &self.trans[s as usize]
+    }
+
+    /// The paper's derandomization: "instead of updating the memory
+    /// according to this distribution, `C_det` always updates it to the
+    /// state with the highest probability in this distribution (in case
+    /// of tie, pick the lexicographically smallest)".
+    #[must_use]
+    pub fn derandomize(&self) -> DeterministicCounter {
+        let argmax = |row: &[f64]| -> u32 {
+            let mut best = 0usize;
+            for (i, &p) in row.iter().enumerate() {
+                // Strict > keeps the lexicographically smallest on ties.
+                if p > row[best] {
+                    best = i;
+                }
+            }
+            best as u32
+        };
+        let init = argmax(&self.init);
+        let trans = self.trans.iter().map(|row| argmax(row)).collect();
+        DeterministicCounter::new(init, trans)
+    }
+
+    /// The probability that a random execution follows exactly the
+    /// derandomized path for `n` increments — at least `p_max^(n+1)`
+    /// where every chosen step has probability ≥ `1/num_states`. Used to
+    /// reproduce the proof's error-amplification bound
+    /// `δ · (2^S)^{N+1}`.
+    #[must_use]
+    pub fn derandomized_path_probability(&self, n: u64) -> f64 {
+        let det = self.derandomize();
+        let mut logp = self.init[det.init() as usize].ln();
+        let mut s = det.init();
+        // The path is eventually periodic; accumulate in log space over
+        // min(n, states) distinct steps then multiply out the cycle.
+        let analysis = det.analysis();
+        let tail_len = analysis.tail.len() as u64;
+        let steps_listed = (tail_len + analysis.cycle.len() as u64).min(n);
+        let mut per_step: Vec<f64> = Vec::new();
+        for _ in 0..steps_listed {
+            let next = det.transitions()[s as usize];
+            per_step.push(self.trans[s as usize][next as usize].ln());
+            s = next;
+        }
+        if n <= steps_listed {
+            logp += per_step[..n as usize].iter().sum::<f64>();
+        } else {
+            logp += per_step.iter().sum::<f64>();
+            let cycle_logp: f64 = per_step[tail_len as usize..].iter().sum();
+            let extra = n - steps_listed;
+            let clen = analysis.cycle.len() as u64;
+            logp += cycle_logp * (extra / clen) as f64;
+            logp += per_step[tail_len as usize..(tail_len + extra % clen) as usize]
+                .iter()
+                .sum::<f64>();
+        }
+        logp.exp()
+    }
+
+    /// Samples the state after `n` increments.
+    pub fn simulate(&self, n: u64, rng: &mut dyn RandomSource) -> u32 {
+        let mut s = sample_row(&self.init, rng);
+        for _ in 0..n {
+            s = sample_row(&self.trans[s as usize], rng);
+        }
+        s
+    }
+}
+
+fn sample_row(row: &[f64], rng: &mut dyn RandomSource) -> u32 {
+    let mut u = rng.next_f64();
+    for (i, &p) in row.iter().enumerate() {
+        if u < p {
+            return i as u32;
+        }
+        u -= p;
+    }
+    // Numerical leftovers: return the last state with positive mass.
+    row.iter()
+        .rposition(|&p| p > 0.0)
+        .expect("row sums to 1, so some entry is positive") as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    fn biased_walk() -> RandomizedCounter {
+        // Three states; each step advances with probability 0.8, stays
+        // with 0.2; state 2 absorbs.
+        RandomizedCounter::new(
+            vec![1.0, 0.0, 0.0],
+            vec![
+                vec![0.2, 0.8, 0.0],
+                vec![0.0, 0.2, 0.8],
+                vec![0.0, 0.0, 1.0],
+            ],
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_non_stochastic_rows() {
+        let _ = RandomizedCounter::new(vec![1.0], vec![vec![0.5]]);
+    }
+
+    #[test]
+    fn derandomize_takes_argmax() {
+        let det = biased_walk().derandomize();
+        assert_eq!(det.init(), 0);
+        assert_eq!(det.transitions(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn derandomize_breaks_ties_lexicographically() {
+        let r = RandomizedCounter::new(
+            vec![0.5, 0.5],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+        );
+        let det = r.derandomize();
+        assert_eq!(det.init(), 0);
+        assert_eq!(det.transitions(), &[0, 0]);
+    }
+
+    #[test]
+    fn path_probability_matches_direct_product() {
+        let r = biased_walk();
+        // Derandomized path: 0 -> 1 -> 2 -> 2 -> ... with probabilities
+        // 1.0 (init), then 0.8, 0.8, 1.0, 1.0, ...
+        let p3 = r.derandomized_path_probability(3);
+        assert!((p3 - 0.8 * 0.8).abs() < 1e-12, "p3={p3}");
+        let p10 = r.derandomized_path_probability(10);
+        assert!((p10 - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_probability_decays_for_cyclic_choices() {
+        // Two states, 60/40 both ways: each step costs 0.6.
+        let r = RandomizedCounter::new(
+            vec![1.0, 0.0],
+            vec![vec![0.4, 0.6], vec![0.6, 0.4]],
+        );
+        let p = r.derandomized_path_probability(10);
+        assert!((p - 0.6f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_reaches_absorbing_state() {
+        let r = biased_walk();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut absorbed = 0;
+        for _ in 0..1_000 {
+            if r.simulate(50, &mut rng) == 2 {
+                absorbed += 1;
+            }
+        }
+        // After 50 steps the walk is essentially surely absorbed.
+        assert!(absorbed > 990, "absorbed={absorbed}");
+    }
+
+    #[test]
+    fn simulate_matches_single_step_distribution() {
+        let r = biased_walk();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 50_000;
+        let advanced = (0..n).filter(|_| r.simulate(1, &mut rng) == 1).count();
+        let freq = advanced as f64 / f64::from(n);
+        assert!((freq - 0.8).abs() < 0.01, "freq={freq}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the lower-bound machinery.
+
+use ac_automaton::pump::{find_witness, verify_witness};
+use ac_automaton::{DeterministicCounter, RandomizedCounter};
+use proptest::prelude::*;
+
+/// Strategy: a random deterministic automaton on 1..=24 states.
+fn automaton_strategy() -> impl Strategy<Value = DeterministicCounter> {
+    (1usize..=24).prop_flat_map(|n| {
+        (
+            0..n as u32,
+            prop::collection::vec(0..n as u32, n),
+        )
+            .prop_map(|(init, trans)| DeterministicCounter::new(init, trans))
+    })
+}
+
+proptest! {
+    /// The rho-analysis agrees with brute-force simulation at arbitrary
+    /// times.
+    #[test]
+    fn analysis_matches_simulation(dfa in automaton_strategy(), t in 0u64..2_000) {
+        // Brute force.
+        let mut s = dfa.init();
+        for _ in 0..t {
+            s = dfa.transitions()[s as usize];
+        }
+        prop_assert_eq!(dfa.state_at(t), s);
+    }
+
+    /// Window state-sets match brute-force enumeration.
+    #[test]
+    fn windows_match_brute_force(dfa in automaton_strategy(), lo in 0u64..500, span in 0u64..500) {
+        let fast = dfa.states_in_window(lo, lo + span);
+        let mut expect = ac_automaton::StateSet::new(dfa.num_states());
+        for t in lo..=lo + span {
+            expect.insert(dfa.state_at(t));
+        }
+        prop_assert_eq!(fast, expect);
+    }
+
+    /// Whenever the pigeonhole applies (fewer states than T/2), a pump
+    /// witness exists, verifies, and refutes distinguishing.
+    #[test]
+    fn pumping_is_sound_and_complete(dfa in automaton_strategy(), t_exp in 6u32..14) {
+        let t_param = 1u64 << t_exp;
+        if (dfa.num_states() as u64) < t_param / 2 {
+            let w = find_witness(&dfa, t_param);
+            prop_assert!(w.is_some(), "pigeonhole guarantees a witness");
+            let w = w.unwrap();
+            prop_assert!(verify_witness(&dfa, &w, t_param));
+            prop_assert!(!dfa.distinguishes(t_param));
+        }
+    }
+
+    /// Distinguishing and window intersection are complementary by
+    /// definition; re-verify through the public API on random automata.
+    #[test]
+    fn distinguish_consistency(dfa in automaton_strategy(), t_exp in 3u32..10) {
+        let t = 1u64 << t_exp;
+        let low = dfa.states_in_window(1, t / 2);
+        let high = dfa.states_in_window(2 * t, 4 * t);
+        prop_assert_eq!(dfa.distinguishes(t), !low.intersects(&high));
+    }
+
+    /// Derandomization picks a valid transition function: the chosen
+    /// successor always carries the row's maximal probability.
+    #[test]
+    fn derandomize_takes_argmax(rows in prop::collection::vec(prop::collection::vec(0.01f64..1.0, 4), 4)) {
+        // Normalize rows into distributions over 4 states.
+        let trans: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                row.iter().map(|&w| w / sum).collect()
+            })
+            .collect();
+        let init = vec![0.25; 4];
+        let auto = RandomizedCounter::new(init, trans.clone());
+        let det = auto.derandomize();
+        for (s, row) in trans.iter().enumerate() {
+            let chosen = det.transitions()[s] as usize;
+            let max = row.iter().cloned().fold(f64::MIN, f64::max);
+            prop_assert!(row[chosen] >= max - 1e-12);
+        }
+    }
+
+    /// The derandomized path probability is a real probability and no
+    /// smaller than (min transition prob)^(n+1) can force... sanity: in
+    /// (0, 1] and monotone nonincreasing in n.
+    #[test]
+    fn path_probability_sane(n1 in 0u64..50, n2 in 0u64..50) {
+        let auto = ac_automaton::adapter::morris_automaton(0.7, 16);
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        let p_lo = auto.derandomized_path_probability(lo);
+        let p_hi = auto.derandomized_path_probability(hi);
+        prop_assert!(p_lo > 0.0 && p_lo <= 1.0);
+        prop_assert!(p_hi <= p_lo + 1e-12, "longer paths are never likelier");
+    }
+}

@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks: per-increment and bulk throughput of every
+//! counter, plus query cost.
+//!
+//! These are the numbers behind the paper's practical motivation: an
+//! analytics system updating millions of counters cares about both bits
+//! *and* nanoseconds per increment.
+
+use ac_core::{
+    ApproxCounter, CsurosCounter, ExactCounter, MorrisCounter, MorrisPlus, NelsonYuCounter,
+    NyParams,
+};
+use ac_randkit::Xoshiro256PlusPlus;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_single_increment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("increment");
+    group.throughput(Throughput::Elements(1));
+
+    macro_rules! bench_counter {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+                let mut counter = $make;
+                // Pre-warm so the counter sits in its steady state (low
+                // advance probability) rather than the deterministic head.
+                counter.increment_by(1_000_000, &mut rng);
+                b.iter(|| {
+                    counter.increment(&mut rng);
+                    black_box(&counter);
+                });
+            });
+        };
+    }
+
+    bench_counter!("exact", ExactCounter::new());
+    bench_counter!("morris_classic", MorrisCounter::classic());
+    bench_counter!("morris_a1e-3", MorrisCounter::new(1e-3).unwrap());
+    bench_counter!("morris_plus", MorrisPlus::new(0.1, 10).unwrap());
+    bench_counter!("csuros_d8", CsurosCounter::new(8).unwrap());
+    bench_counter!(
+        "nelson_yu_eps0.1",
+        NelsonYuCounter::new(NyParams::new(0.1, 10).unwrap())
+    );
+    group.finish();
+}
+
+fn bench_bulk_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("increment_by_1e6");
+    group.throughput(Throughput::Elements(1_000_000));
+    group.sample_size(20);
+
+    macro_rules! bench_counter {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+                b.iter_batched(
+                    || $make,
+                    |mut counter| {
+                        counter.increment_by(1_000_000, &mut rng);
+                        black_box(counter.estimate())
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        };
+    }
+
+    bench_counter!("exact", ExactCounter::new());
+    bench_counter!("morris_classic", MorrisCounter::classic());
+    bench_counter!("morris_a1e-3", MorrisCounter::new(1e-3).unwrap());
+    bench_counter!("morris_plus", MorrisPlus::new(0.1, 10).unwrap());
+    bench_counter!("csuros_d8", CsurosCounter::new(8).unwrap());
+    bench_counter!(
+        "nelson_yu_eps0.1",
+        NelsonYuCounter::new(NyParams::new(0.1, 10).unwrap())
+    );
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate");
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+
+    let mut morris = MorrisCounter::new(1e-3).unwrap();
+    morris.increment_by(1_000_000, &mut rng);
+    group.bench_function("morris", |b| b.iter(|| black_box(morris.estimate())));
+
+    let mut ny = NelsonYuCounter::new(NyParams::new(0.1, 10).unwrap());
+    ny.increment_by(1_000_000, &mut rng);
+    group.bench_function("nelson_yu", |b| b.iter(|| black_box(ny.estimate())));
+
+    let mut cs = CsurosCounter::new(8).unwrap();
+    cs.increment_by(1_000_000, &mut rng);
+    group.bench_function("csuros", |b| b.iter(|| black_box(cs.estimate())));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_increment,
+    bench_bulk_fast_forward,
+    bench_query
+);
+criterion_main!(benches);

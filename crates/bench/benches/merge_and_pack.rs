@@ -1,0 +1,76 @@
+//! Criterion microbenchmarks for merging (Remark 2.4) and counter-array
+//! packing — the operations behind distributed deployments.
+
+use ac_core::{ApproxCounter, MorrisCounter, NelsonYuCounter, NyParams};
+use ac_randkit::Xoshiro256PlusPlus;
+use ac_streams::CounterArray;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(30);
+
+    let p = NyParams::new(0.2, 10).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let mut a = NelsonYuCounter::new(p);
+    a.increment_by(500_000, &mut rng);
+    let mut b2 = NelsonYuCounter::new(p);
+    b2.increment_by(300_000, &mut rng);
+
+    group.bench_function("nelson_yu_500k_300k", |bch| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        bch.iter_batched(
+            || a.clone(),
+            |mut merged| {
+                merged.merge_from(&b2, &mut rng).unwrap();
+                black_box(merged.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut m1 = MorrisCounter::new(0.01).unwrap();
+    m1.increment_by(500_000, &mut rng);
+    let mut m2 = MorrisCounter::new(0.01).unwrap();
+    m2.increment_by(300_000, &mut rng);
+    group.bench_function("morris_500k_300k", |bch| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        bch.iter_batched(
+            || m1.clone(),
+            |mut merged| {
+                merged.merge_from(&m2, &mut rng).unwrap();
+                black_box(merged.estimate())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(30);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+
+    let mut array = CounterArray::new(&MorrisCounter::new(0.05).unwrap(), 10_000);
+    for k in 0..10_000 {
+        array.increment_by(k, 1 + (k as u64 * 37) % 100_000, &mut rng);
+    }
+    group.bench_function("pack_10k_morris", |b| {
+        b.iter(|| black_box(array.pack().len()))
+    });
+
+    let packed = array.pack();
+    group.bench_function("unpack_10k_morris", |b| {
+        b.iter(|| {
+            let restored =
+                CounterArray::unpack(&MorrisCounter::new(0.05).unwrap(), 10_000, &packed);
+            black_box(restored.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_pack);
+criterion_main!(benches);

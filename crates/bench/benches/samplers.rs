@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for the `ac-randkit` substrate: generator
+//! and sampler throughput (the inner loop of every experiment).
+
+use ac_randkit::{
+    Bernoulli, BernoulliPow2, Binomial, Geometric, RandomSource, SplitMix64,
+    Xoshiro256PlusPlus, Zipf,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("xoshiro256pp_next_u64", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    group.bench_function("splitmix64_next_u64", |b| {
+        let mut rng = SplitMix64::new(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    group.bench_function("next_f64", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    group.bench_function("next_below_1000", |b| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        b.iter(|| black_box(rng.next_below(1_000)));
+    });
+    group.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distribution");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+
+    let bern = Bernoulli::new(0.3).unwrap();
+    group.bench_function("bernoulli", |b| b.iter(|| black_box(bern.sample(&mut rng))));
+
+    let pow2 = BernoulliPow2::new(10);
+    group.bench_function("bernoulli_pow2_t10", |b| {
+        b.iter(|| black_box(pow2.sample(&mut rng)))
+    });
+
+    let geo = Geometric::new(0.01).unwrap();
+    group.bench_function("geometric_p0.01", |b| {
+        b.iter(|| black_box(geo.sample(&mut rng)))
+    });
+
+    let binv = Binomial::new(100, 0.05).unwrap(); // BINV regime
+    group.bench_function("binomial_binv", |b| {
+        b.iter(|| black_box(binv.sample(&mut rng)))
+    });
+
+    let btpe = Binomial::new(1 << 20, 0.3).unwrap(); // BTPE regime
+    group.bench_function("binomial_btpe", |b| {
+        b.iter(|| black_box(btpe.sample(&mut rng)))
+    });
+
+    let zipf = Zipf::new(1_000_000, 1.0).unwrap();
+    group.bench_function("zipf_1e6_alias", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! **E3** — §1.1: the classic `Morris(1)` counter *cannot* achieve low
+//! failure probability — `P(X ∉ [log₂N − C, log₂N + C])` is a constant
+//! (Flajolet 1985, Proposition 3) — whereas `Morris(a = Θ(1/log N))`
+//! gets failure probability `1/poly(N)` "for free" (same `Θ(log log N)`
+//! space).
+
+use ac_bench::{header, section, sized, verdict};
+use ac_core::MorrisCounter;
+use ac_sim::report::{sig, Table};
+use ac_sim::{TrialRunner, Workload};
+
+fn main() {
+    header(
+        "E3",
+        "Morris(a=1) has constant failure probability ([Fla85] Prop. 3 via §1.1)",
+        "P(X outside [log2 N - C, log2 N + C]) is a constant for a = 1, not o(1); \
+         a = Theta(1/log N) fixes this at the same Theta(log log N) space",
+    );
+    let trials = sized(50_000, 2_000);
+
+    section("level concentration of Morris(1) across N");
+    let mut table = Table::new(vec![
+        "N",
+        "P(|X - log2 N| > 1)",
+        "P(|X - log2 N| > 2)",
+        "P(|X - log2 N| > 3)",
+    ]);
+    let mut p1_by_n = Vec::new();
+    for e in [12u32, 16, 20] {
+        let n = 1u64 << e;
+        let results = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE3_00 + u64::from(e))
+            .run(&MorrisCounter::classic());
+        let mut exceed = [0u32; 3];
+        for o in results.outcomes() {
+            // level = log2(estimate + 1) for a = 1.
+            let level = (o.estimate + 1.0).log2();
+            let dev = (level - f64::from(e)).abs();
+            for (c, slot) in exceed.iter_mut().enumerate() {
+                if dev > (c + 1) as f64 {
+                    *slot += 1;
+                }
+            }
+        }
+        let probs: Vec<f64> = exceed
+            .iter()
+            .map(|&x| f64::from(x) / trials as f64)
+            .collect();
+        p1_by_n.push(probs[0]);
+        table.row(vec![
+            format!("2^{e}"),
+            sig(probs[0], 3),
+            sig(probs[1], 3),
+            sig(probs[2], 3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    let spread = p1_by_n
+        .iter()
+        .fold(f64::MIN, |m, &x| m.max(x))
+        - p1_by_n.iter().fold(f64::MAX, |m, &x| m.min(x));
+    println!(
+        "\nP(dev > 1) across N: {:?} — flat in N (constant, not o(1))",
+        p1_by_n.iter().map(|&x| sig(x, 2)).collect::<Vec<_>>()
+    );
+
+    section("the fix: a = 1/log2(N) at the same space scale");
+    let e = 20u32;
+    let n = 1u64 << e;
+    let eps = 0.5;
+    let mut table = Table::new(vec![
+        "counter",
+        "P(|N'-N| > N/2)",
+        "peak bits (max)",
+    ]);
+    let mut rates = Vec::new();
+    for (label, a) in [("Morris(1)", 1.0), ("Morris(1/log2 N)", 1.0 / f64::from(e))] {
+        let results = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE3_AA)
+            .run(&MorrisCounter::new(a).unwrap());
+        let rate = results.failure_rate(eps);
+        rates.push(rate);
+        table.row(vec![
+            label.to_string(),
+            sig(rate, 3),
+            format!("{}", results.peak_bits_summary().max()),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    let ok = p1_by_n.iter().all(|&p| p > 0.05) // constant failure for a=1
+        && spread < 0.1 // flat in N
+        && rates[0] > 0.05 // a=1 fails the eps=1/2 task at a constant rate
+        && rates[1] < rates[0] / 20.0; // smaller base crushes the failure rate
+    verdict(
+        ok,
+        &format!(
+            "Morris(1) misses [log2 N +- 1] with constant probability ~{} at every N, \
+             and fails eps=0.5 at rate {}; Morris(1/log2 N) fails at rate {} in \
+             comparable space",
+            sig(p1_by_n[0], 2),
+            sig(rates[0], 2),
+            sig(rates[1], 2)
+        ),
+    );
+}

@@ -1,0 +1,147 @@
+//! **E6** — Theorem 3.1, executable: the space lower bound
+//! `Ω(min{log n, log log n + log 1/ε + log log 1/δ})`, traced through
+//! every constructive step of the proof.
+
+use ac_automaton::adapter::{csuros_automaton, morris_automaton, morris_freeze_level};
+use ac_automaton::exhaustive::{minimal_distinguishing_states, scan_all};
+use ac_automaton::pump::{find_witness, verify_witness};
+use ac_bench::{header, section, sized, verdict};
+use ac_core::{NelsonYuCounter, NyParams};
+use ac_sim::report::{sig, Table};
+use ac_sim::{TrialRunner, Workload};
+
+fn main() {
+    header(
+        "E6",
+        "the space lower bound, executable (Theorem 3.1)",
+        "any counter distinguishing [1, T/2] from [2T, 4T] needs Omega(log T) bits; \
+         derandomized counters freeze at a constant level; upper bound matches \
+         within a constant factor",
+    );
+
+    // ---- Step 1: exhaustive verification for small T. ----
+    section("exhaustive scan: minimal states to distinguish [1,T/2] from [2T,4T]");
+    let mut table = Table::new(vec![
+        "T",
+        "automata with m = T/2 states (all fail)",
+        "minimal distinguishing m",
+        "T/2 + 2",
+    ]);
+    let mut exhaustive_ok = true;
+    for &t in &[4u64, 8, 10, 12] {
+        let m_half = (t / 2) as usize;
+        let at_half = scan_all(m_half, t);
+        let minimal = minimal_distinguishing_states(t, (t / 2 + 3) as usize);
+        let expected = (t / 2 + 2) as usize;
+        exhaustive_ok &=
+            at_half.distinguishers == 0 && minimal == Some(expected);
+        table.row(vec![
+            format!("{t}"),
+            format!("{} examined, {} distinguish", at_half.examined, at_half.distinguishers),
+            format!("{minimal:?}"),
+            format!("{expected}"),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!("\n(the pigeonhole of the proof needs only 2^S <= sqrt(T); the scan shows the");
+    println!(" stronger truth: fewer than T/2 + 2 states NEVER suffice, and T/2 + 2 always do)");
+
+    // ---- Step 2: derandomization of the real algorithms. ----
+    section("derandomized real counters freeze (the proof's C_det)");
+    let mut table = Table::new(vec![
+        "automaton",
+        "freeze level (theory)",
+        "state after 2^40 steps",
+        "pump witness vs T = 2^10",
+    ]);
+    let mut derand_ok = true;
+    for (label, auto, theory) in [
+        (
+            "Morris(a=0.5), 64 levels",
+            morris_automaton(0.5, 64),
+            morris_freeze_level(0.5),
+        ),
+        (
+            "Morris(a=0.1), 128 levels",
+            morris_automaton(0.1, 128),
+            morris_freeze_level(0.1),
+        ),
+        ("Csuros(d=2), 64 registers", csuros_automaton(2, 64), 4),
+    ] {
+        let det = auto.derandomize();
+        let frozen = det.state_at(1 << 40);
+        let t_param = 1u64 << 10;
+        let witness = find_witness(&det, t_param);
+        let w_ok = witness.is_some_and(|w| verify_witness(&det, &w, t_param));
+        derand_ok &= w_ok && u64::from(frozen) <= theory;
+        table.row(vec![
+            label.to_string(),
+            format!("{theory}"),
+            format!("{frozen}"),
+            match witness {
+                Some(w) => format!("N1={} N2={} N3={} ok={w_ok}", w.n1, w.n2, w.n3),
+                None => "none".to_string(),
+            },
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    // ---- Step 3: the error-amplification accounting of the proof. ----
+    section("error amplification delta * (2^S)^(N+1)");
+    let auto = morris_automaton(1.0, 7); // 2^3 states
+    let n = 20u64;
+    let path_p = auto.derandomized_path_probability(n);
+    let amplification = 1.0 / path_p;
+    let proof_bound = 8f64.powi(n as i32 + 1);
+    println!(
+        "P(random execution follows the derandomized path for N = {n}) = {}\n\
+         -> conditional error multiplies by {} (proof's worst case (2^S)^(N+1) = {})",
+        sig(path_p, 3),
+        sig(amplification, 3),
+        sig(proof_bound, 3)
+    );
+    let amp_ok = amplification <= proof_bound;
+
+    // ---- Step 4: upper vs lower bound, constant factor. ----
+    section("measured upper bound vs the lower-bound form");
+    let trials = sized(100, 10);
+    let mut table = Table::new(vec![
+        "(n, eps, delta)",
+        "NY peak bits (max)",
+        "LB form: min{log n, loglog n + log 1/e + loglog 1/d}",
+        "ratio",
+    ]);
+    let mut ratios = Vec::new();
+    for &(e, eps, dlog) in &[(20u32, 0.2f64, 8u32), (26, 0.1, 16), (30, 0.05, 32)] {
+        let n = 1u64 << e;
+        let p = NyParams::new(eps, dlog).unwrap();
+        let r = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE6_04)
+            .run(&NelsonYuCounter::new(p));
+        let measured = r.peak_bits_summary().max();
+        let lb = f64::from(e)
+            .min(f64::from(e).log2() + (1.0 / eps).log2() + f64::from(dlog).log2());
+        let ratio = measured / lb;
+        ratios.push(ratio);
+        table.row(vec![
+            format!("(2^{e}, {eps}, 2^-{dlog})"),
+            sig(measured, 4),
+            sig(lb, 4),
+            sig(ratio, 3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    let ratio_ok = ratios.iter().all(|&r| r < 8.0);
+    println!("\n(Theorem 1.1: the upper bound matches the lower bound up to a constant factor;");
+    println!(" the measured constant includes our conservative X+Y+t accounting and C = 6)");
+
+    verdict(
+        exhaustive_ok && derand_ok && amp_ok && ratio_ok,
+        &format!(
+            "distinguishing needs exactly T/2+2 states (exhaustive), derandomized \
+             counters freeze and pump, amplification respects (2^S)^(N+1), and the \
+             NY counter sits within {}x of the lower-bound form",
+            sig(ratios.iter().fold(f64::MIN, |m, &x| m.max(x)), 2)
+        ),
+    );
+}

@@ -1,0 +1,199 @@
+//! **E9** — the paper's motivating deployment: "an analytics system may
+//! maintain many such counters (for example, the number of visits to
+//! each page on Wikipedia)".
+//!
+//! Two claims from §1 are reproduced side by side:
+//!
+//! 1. *"cutting the number of bits per counter by even a constant factor
+//!    could be of value"* — with large per-key counts, packed optimal
+//!    `Morris(a = ε²/(8 ln 1/δ))` registers undercut exact registers;
+//! 2. *"requiring log(1/δ) ≥ log M bits per counter may provide no
+//!    benefit over a naive log N bit counter"* — the classical Chebyshev
+//!    parameterization `a = 2ε²δ` with `δ ≪ 1/M` degenerates to exact
+//!    counting (its levels track `N` itself). This is why the paper's
+//!    `log log(1/δ)` matters for many-counter systems.
+//!
+//! Per-key counts are drawn as an exact multinomial via sequential
+//! binomial conditioning (BTPE sampler).
+
+use ac_bench::{header, section, sized, verdict};
+use ac_core::{ApproxCounter, MorrisCounter, NelsonYuCounter, NyParams};
+use ac_randkit::{Binomial, RandomSource, Xoshiro256PlusPlus, Zipf};
+use ac_sim::report::{sig, Table};
+use ac_streams::{CounterArray, PackState};
+
+/// Draws per-key counts `(n_1, …, n_M) ~ Multinomial(L; w)` exactly, by
+/// conditioning: `n_i ~ Binomial(L - n_1 - … - n_{i-1}, w_i / (w_i + … + w_M))`.
+fn multinomial_counts(zipf: &Zipf, total: u64, rng: &mut dyn RandomSource) -> Vec<u64> {
+    let m = zipf.n();
+    let mut counts = Vec::with_capacity(m as usize);
+    let mut remaining = total;
+    let mut tail_weight = zipf.harmonic();
+    for k in 1..=m {
+        let w = zipf.pmf(k) * zipf.harmonic(); // unnormalized weight k^-s
+        if remaining == 0 || tail_weight <= 0.0 {
+            counts.push(0);
+            continue;
+        }
+        let p = (w / tail_weight).clamp(0.0, 1.0);
+        let n_k = if k == m {
+            remaining
+        } else {
+            Binomial::new(remaining, p).expect("valid p").sample(rng)
+        };
+        counts.push(n_k);
+        remaining -= n_k;
+        tail_weight -= w;
+    }
+    counts
+}
+
+fn main() {
+    header(
+        "E9",
+        "many counters: the Wikipedia-page-views deployment (§1)",
+        "constant-factor per-counter savings are valuable at scale; but the \
+         classical log(1/delta) cost with delta << 1/M erases them — the \
+         log log(1/delta) bound is what makes per-counter guarantees affordable",
+    );
+    let m = sized(10_000, 500);
+    let visits_per_key = 1_000_000u64;
+    let l = m as u64 * visits_per_key;
+    println!("M = {m} keys, Zipf(s=1.0) popularity, L = {l} total visits\n");
+
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE9_01);
+    let zipf = Zipf::new(m as u64, 1.0).unwrap();
+    let counts = multinomial_counts(&zipf, l, &mut rng);
+    debug_assert_eq!(counts.iter().sum::<u64>(), l);
+
+    // Per-counter guarantee: delta << 1/M.
+    let dlog = usize::BITS - m.leading_zeros() + 5;
+    let eps = 0.1;
+    let a_opt = ac_core::morris_a(eps, dlog).unwrap();
+    let a_cheb = 2.0 * eps * eps * (-f64::from(dlog)).exp2();
+    println!(
+        "per-counter target: eps = {eps}, delta = 2^-{dlog} (1/M ≈ 2^-{});\n\
+         optimal a = eps^2/(8 ln 1/delta) = {}; classical Chebyshev a = 2 eps^2 delta = {}\n",
+        usize::BITS - m.leading_zeros(),
+        sig(a_opt, 3),
+        sig(a_cheb, 3)
+    );
+
+    // Simulate the optimal-Morris array; the Chebyshev row is computed
+    // analytically (its levels track N itself, so simulating it would
+    // cost O(L) — the degeneracy IS the point).
+    let mut morris_array = CounterArray::new(&MorrisCounter::new(a_opt).unwrap(), m);
+    let mut exact_raw = 0u64;
+    let mut exact_packed = 0u64;
+    let mut cheb_raw = 0u64;
+    let mut max_count = 0u64;
+    for (k, &c) in counts.iter().enumerate() {
+        morris_array.increment_by(k, c, &mut rng);
+        exact_raw += u64::from(ac_bitio::bit_len(c));
+        exact_packed += u64::from(ac_bitio::codes::delta_len(c + 1));
+        let cheb_level = (a_cheb * c as f64).ln_1p() / a_cheb.ln_1p();
+        cheb_raw += u64::from(ac_bitio::bit_len(cheb_level.round() as u64));
+        max_count = max_count.max(c);
+    }
+    let morris_raw: u64 = (0..m)
+        .map(|k| u64::from(ac_bitio::bit_len(morris_array.counter(k).level())))
+        .sum();
+    let morris_packed = morris_array.pack().len();
+
+    section("total storage across all M counters");
+    println!("(raw = register digit counts; packed = self-delimiting Elias-delta stream)\n");
+    let mut table = Table::new(vec![
+        "scheme",
+        "raw bits/counter",
+        "raw vs exact",
+        "packed bits/counter",
+        "packed vs exact",
+    ]);
+    let pct = |x: u64, base: u64| sig(100.0 * x as f64 / base as f64, 3);
+    table.row(vec![
+        "exact registers".to_string(),
+        sig(exact_raw as f64 / m as f64, 3),
+        "100%".to_string(),
+        sig(exact_packed as f64 / m as f64, 3),
+        "100%".to_string(),
+    ]);
+    table.row(vec![
+        "Chebyshev Morris(2e^2d), analytic levels".to_string(),
+        sig(cheb_raw as f64 / m as f64, 3),
+        format!("{}%", pct(cheb_raw, exact_raw)),
+        "-".to_string(),
+        "-".to_string(),
+    ]);
+    table.row(vec![
+        "optimal Morris(e^2/8ln(1/d))".to_string(),
+        sig(morris_raw as f64 / m as f64, 3),
+        format!("{}%", pct(morris_raw, exact_raw)),
+        sig(morris_packed as f64 / m as f64, 3),
+        format!("{}%", pct(morris_packed, exact_packed)),
+    ]);
+    print!("{}", table.to_markdown());
+
+    section("provisioned fixed-width registers (what an array would allocate)");
+    let exact_width = ac_bitio::bit_len(max_count);
+    let worst_level = (0..m)
+        .map(|k| morris_array.counter(k).level())
+        .max()
+        .unwrap_or(0);
+    let morris_width = ac_bitio::bit_len(worst_level);
+    println!(
+        "exact: {exact_width} bits/slot; optimal Morris: {morris_width} bits/slot \
+         ({}% of exact)",
+        sig(100.0 * f64::from(morris_width) / f64::from(exact_width), 3)
+    );
+
+    section("head-key accuracy (largest keys)");
+    let mut table = Table::new(vec!["key rank", "true count", "Morris estimate", "rel err"]);
+    let mut worst_rel: f64 = 0.0;
+    for k in [0usize, 1, 9, 99] {
+        if k >= m {
+            continue;
+        }
+        let t = counts[k] as f64;
+        let e = morris_array.estimate(k);
+        let rel = ((e - t) / t).abs();
+        worst_rel = worst_rel.max(rel);
+        table.row(vec![
+            format!("{}", k + 1),
+            sig(t, 5),
+            sig(e, 5),
+            sig(rel, 3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    section("one Nelson-Yu counter on the head key (constant-factor note)");
+    let ny_params = NyParams::new(0.25, dlog).unwrap();
+    let mut ny = NelsonYuCounter::new(ny_params);
+    ny.increment_by(counts[0], &mut rng);
+    println!(
+        "NY(eps=0.25, 2^-{dlog}) on n = {}: {} [{}], packed {} bits — the Y \
+         register's C/eps^3 constant dominates at this scale; Morris+ shares NY's \
+         asymptotics (Thm 1.2) with better constants, which is why the arrays above \
+         use Morris",
+        counts[0],
+        ac_core::ApproxCounter::estimate(&ny),
+        ac_bitio::StateBits::memory_audit(&ny).render(),
+        ny.packed_bits(),
+    );
+
+    let ok = morris_raw < (exact_raw * 92) / 100
+        && morris_packed < exact_packed
+        && cheb_raw >= (exact_raw * 95) / 100
+        && worst_rel < 4.0 * eps;
+    verdict(
+        ok,
+        &format!(
+            "optimal Morris registers take {}% of exact (packed: {}%) while \
+             Chebyshev's log(1/delta) parameterization stays at {}% (no benefit) \
+             — both §1 claims reproduced",
+            pct(morris_raw, exact_raw),
+            pct(morris_packed, exact_packed),
+            pct(cheb_raw, exact_raw)
+        ),
+    );
+}

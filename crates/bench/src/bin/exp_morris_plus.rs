@@ -1,0 +1,89 @@
+//! **E2** — Theorem 1.2: Morris+ with `a = ε²/(8 ln(1/δ))` achieves
+//! `P(|N̂ − N| > 2εN) ≤ 2δ` in `O(log log N + log 1/ε + log log 1/δ)`
+//! bits.
+//!
+//! Sweeps δ at fixed ε and measures the empirical failure rate (with a
+//! Wilson 95% interval) against the `2δ` budget, plus the space used.
+
+use ac_bench::{header, section, sized, verdict};
+use ac_core::{morris_a, MorrisPlus};
+use ac_sim::report::{sig, Table};
+use ac_sim::{TrialRunner, Workload};
+use ac_stats::wilson_interval;
+
+fn main() {
+    header(
+        "E2",
+        "Morris+ accuracy and space (Theorem 1.2)",
+        "P(|N'-N| > 2 eps N) <= 2 delta at O(log log N + log 1/eps + log log 1/delta) bits",
+    );
+    let eps = 0.1;
+    let n = 1_000_000u64;
+    let trials = sized(20_000, 500);
+    println!("eps = {eps}, N = {n}, trials per delta = {trials}\n");
+
+    section("failure rate vs delta");
+    let mut table = Table::new(vec![
+        "delta",
+        "a = eps^2/(8 ln 1/d)",
+        "cutoff N_a",
+        "failures",
+        "rate",
+        "wilson 95% hi",
+        "budget 2*delta",
+        "peak bits (max)",
+        "ok",
+    ]);
+    let mut all_ok = true;
+    for &dlog in &[3u32, 5, 7, 9, 12] {
+        let counter = MorrisPlus::new(eps, dlog).unwrap();
+        let a = morris_a(eps, dlog).unwrap();
+        let results = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE2_00 + u64::from(dlog))
+            .run(&counter);
+        let failures = results.failures(2.0 * eps);
+        let rate = results.failure_rate(2.0 * eps);
+        let (_, hi) = wilson_interval(failures, trials as u64, 0.95);
+        let budget = 2.0 * (-f64::from(dlog)).exp2();
+        let peak = results.peak_bits_summary().max();
+        // Accept when the observed failure *count* is consistent with the
+        // budget: at most budget·trials expected failures plus Poisson
+        // slack. (A pure Wilson-bound criterion is resolution-limited
+        // when budget·trials < 1.)
+        let expected_budget = budget * trials as f64;
+        let ok = (failures as f64) <= expected_budget.ceil() + 3.0;
+        all_ok &= ok;
+        table.row(vec![
+            format!("2^-{dlog}"),
+            sig(a, 3),
+            format!("{}", counter.cutoff()),
+            format!("{failures}"),
+            sig(rate, 3),
+            sig(hi, 3),
+            sig(budget, 3),
+            format!("{peak}"),
+            format!("{}", if ok { "yes" } else { "NO" }),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    section("exactness below the cutoff");
+    // Below N_a the answer is exact by construction; verify at a sample
+    // point.
+    let counter = MorrisPlus::new(eps, 7).unwrap();
+    let small_n = counter.cutoff() / 2;
+    let small = TrialRunner::new(Workload::fixed(small_n), sized(2_000, 100))
+        .with_seed(0xE2_FF)
+        .run(&counter);
+    let exact_ok = small.failure_rate(0.0) == 0.0;
+    println!(
+        "N = {small_n} (= N_a/2): all {} trials exact: {}",
+        small.len(),
+        exact_ok
+    );
+
+    verdict(
+        all_ok && exact_ok,
+        "Morris+ meets the Theorem 1.2 failure budget at every delta and is exact below N_a",
+    );
+}

@@ -1,0 +1,105 @@
+//! **E7** — §1.2 estimator moments: `Morris(a)` is unbiased with
+//! `Var = a·N(N−1)/2`; the Csűrös estimator is unbiased; the Nelson–Yu
+//! query concentrates on `N` (it is a quantized `T`, not an unbiased
+//! estimator — the paper's Eq. (1) is a concentration, not a moment,
+//! statement).
+
+use ac_bench::{header, section, sized, verdict};
+use ac_core::{CsurosCounter, MorrisCounter, NelsonYuCounter, NyParams};
+use ac_sim::report::{sig, Table};
+use ac_sim::{TrialRunner, Workload};
+use ac_stats::theory::{morris_estimator_variance, morris_section22_failure};
+
+fn main() {
+    header(
+        "E7",
+        "estimator moments vs closed forms (§1.2, §2.2)",
+        "E[a^-1((1+a)^X - 1)] = N and Var = a N(N-1)/2; \
+         section 2.2 tail bound 2 exp(-eps^2/(8a))",
+    );
+    let trials = sized(40_000, 1_000);
+
+    section("Morris(a): sample mean and variance vs theory");
+    let mut table = Table::new(vec![
+        "a", "N", "mean/N", "z(mean)", "var/theory", "theory Var",
+    ]);
+    let mut ok = true;
+    for &(a, n) in &[(1.0f64, 1_000u64), (0.25, 5_000), (0.01, 100_000)] {
+        let results = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE7_01)
+            .run(&MorrisCounter::new(a).unwrap());
+        let est: Vec<f64> = results.estimates();
+        let s = ac_stats::Summary::from_slice(&est);
+        let theory_var = morris_estimator_variance(a, n);
+        let z = (s.mean() - n as f64) / s.std_error();
+        let var_ratio = s.variance() / theory_var;
+        // The estimator (1+a)^X is heavy-tailed for large a, so the
+        // sample variance converges slowly: the acceptance band scales
+        // with the trial count.
+        let band = 0.10 + 40.0 / (trials as f64).sqrt();
+        ok &= z.abs() < 5.0 && (var_ratio - 1.0).abs() < band;
+        table.row(vec![
+            sig(a, 3),
+            format!("{n}"),
+            sig(s.mean() / n as f64, 5),
+            sig(z, 2),
+            sig(var_ratio, 3),
+            sig(theory_var, 3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    section("Csuros(d): unbiasedness");
+    let mut table = Table::new(vec!["d", "N", "mean/N", "z(mean)"]);
+    for &(d, n) in &[(4u32, 10_000u64), (8, 100_000)] {
+        let results = TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xE7_02)
+            .run(&CsurosCounter::new(d).unwrap());
+        let s = ac_stats::Summary::from_slice(&results.estimates());
+        let z = (s.mean() - n as f64) / s.std_error();
+        ok &= z.abs() < 5.0;
+        table.row(vec![
+            format!("{d}"),
+            format!("{n}"),
+            sig(s.mean() / n as f64, 5),
+            sig(z, 2),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    section("section 2.2 tail bound for Morris(a)");
+    // P(|N' - N| > 2 eps N) <= 2 exp(-eps^2/(8a)) for N >= 8/a.
+    let (a, n, eps) = (0.002, 200_000u64, 0.15);
+    let results = TrialRunner::new(Workload::fixed(n), sized(40_000, 1_000))
+        .with_seed(0xE7_03)
+        .run(&MorrisCounter::new(a).unwrap());
+    let measured = results.failure_rate(2.0 * eps);
+    let bound = morris_section22_failure(a, eps);
+    println!(
+        "a = {a}, N = {n}, eps = {eps}: measured P(|N'-N| > 2 eps N) = {} <= \
+         theory bound {}",
+        sig(measured, 3),
+        sig(bound, 3)
+    );
+    ok &= measured <= bound;
+
+    section("Nelson-Yu: concentration of the quantized query");
+    let p = NyParams::new(0.1, 10).unwrap();
+    let n = 1_000_000u64;
+    let results = TrialRunner::new(Workload::fixed(n), sized(4_000, 200))
+        .with_seed(0xE7_04)
+        .run(&NelsonYuCounter::new(p));
+    let s = results.rel_error_summary();
+    println!(
+        "eps = 0.1: mean relative error = {} (|.| <= ~eps expected: the query returns \
+         the epoch threshold T, biased by up to (1+eps) within an epoch), sd = {}",
+        sig(s.mean(), 3),
+        sig(s.stddev(), 3)
+    );
+    ok &= s.mean().abs() < 0.15 && s.stddev() < 0.15;
+
+    verdict(
+        ok,
+        "all moments match the paper's closed forms within statistical resolution",
+    );
+}

@@ -1,0 +1,80 @@
+//! # `ac-bench` — experiment regeneration and microbenchmarks
+//!
+//! One binary per experiment in `EXPERIMENTS.md` (run with
+//! `cargo run --release -p ac-bench --bin <name>`), plus Criterion
+//! microbenchmarks (`cargo bench -p ac-bench`).
+//!
+//! | Binary | Experiment |
+//! |--------|------------|
+//! | `fig1_error_cdf` | **Figure 1** — error CDFs at a 17-bit budget |
+//! | `exp_space_scaling` | E1 — Theorems 1.1/2.3 space scaling |
+//! | `exp_morris_plus` | E2 — Theorem 1.2 accuracy/space |
+//! | `exp_flajolet_a1` | E3 — `Morris(1)` constant failure probability |
+//! | `exp_appendix_a` | E4 — necessity of the Morris+ prefix (exact DP) |
+//! | `exp_merge_law` | E5 — Remark 2.4 mergeability |
+//! | `exp_lower_bound` | E6 — Theorem 3.1, executable |
+//! | `exp_unbiasedness` | E7 — estimator moments vs. closed forms |
+//! | `exp_avg_vs_base` | E8 — §1.1 averaging-vs-base ablation |
+//! | `exp_many_counters` | E9 — the "many counters" deployment |
+//! | `exp_ablations` | E10 — constant `C`, α rounding, promise constant |
+//! | `exp_space_tail` | E11 — Theorem 2.3's doubly-exponential tail |
+//!
+//! Every binary accepts `--quick` to run a reduced-size version (used by
+//! the integration tests) and prints a self-contained report: parameters,
+//! a markdown table, an ASCII chart where the paper has a figure, and a
+//! `paper vs. measured` verdict line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+
+/// True when `--quick` was passed (reduced trial counts for CI).
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Picks `full` or `quick` depending on [`quick_mode`].
+#[must_use]
+pub fn sized(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, title: &str, paper_claim: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    let _ = writeln!(out, "{id}: {title}");
+    let _ = writeln!(out, "{}", "=".repeat(78));
+    let _ = writeln!(out, "paper claim: {paper_claim}");
+    let _ = writeln!(out);
+}
+
+/// Prints a named section divider.
+pub fn section(name: &str) {
+    println!("\n--- {name} ---");
+}
+
+/// Prints the final verdict line in a stable, grep-able format.
+pub fn verdict(ok: bool, summary: &str) {
+    println!(
+        "\nVERDICT: {} — {summary}",
+        if ok { "REPRODUCED" } else { "MISMATCH" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_respects_mode() {
+        // Tests run without --quick, so full size is returned.
+        assert_eq!(sized(100, 5), 100);
+    }
+}

@@ -1,0 +1,449 @@
+//! A growable bit vector with sequential writer/reader views.
+
+/// A growable, bit-addressed vector backed by `u64` words.
+///
+/// Bits are addressed LSB-first within each word; multi-bit fields are
+/// written least-significant-bit first, so `write_bits(x, w)` followed by
+/// `read_bits(w)` round-trips any `w ≤ 64` bit value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    /// Total number of valid bits.
+    len: u64,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with capacity for `bits` bits.
+    #[must_use]
+    pub fn with_capacity(bits: u64) -> Self {
+        Self {
+            words: Vec::with_capacity(bits.div_ceil(64) as usize),
+            len: 0,
+        }
+    }
+
+    /// Number of bits stored.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no bits are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Heap bytes reserved by the backing storage (for capacity
+    /// accounting).
+    #[must_use]
+    pub fn backing_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        let word = (self.len / 64) as usize;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << off;
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` has bits set above `width`.
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width must be at most 64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        if width == 0 {
+            return;
+        }
+        let word = (self.len / 64) as usize;
+        let off = (self.len % 64) as u32;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        self.words[word] |= value << off;
+        let written = (64 - off).min(width);
+        if written < width {
+            // Spill the remaining high bits into a fresh word.
+            self.words.push(value >> written);
+        }
+        self.len += u64::from(width);
+    }
+
+    /// Reads the bit at position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
+        (self.words[(pos / 64) as usize] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Reads `width` bits starting at `pos`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range extends past the end.
+    #[must_use]
+    pub fn get_bits(&self, pos: u64, width: u32) -> u64 {
+        assert!(width <= 64, "width must be at most 64");
+        if width == 0 {
+            return 0;
+        }
+        assert!(
+            pos + u64::from(width) <= self.len,
+            "bit range out of bounds"
+        );
+        let word = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        let lo = self.words[word] >> off;
+        let taken = 64 - off;
+        let value = if taken >= width {
+            lo
+        } else {
+            lo | (self.words[word + 1] << taken)
+        };
+        if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Overwrites the bit at position `pos` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len()`.
+    #[inline]
+    pub fn overwrite_bit(&mut self, pos: u64, bit: bool) {
+        assert!(pos < self.len, "bit index {pos} out of range {}", self.len);
+        let word = (pos / 64) as usize;
+        let mask = 1u64 << (pos % 64);
+        if bit {
+            self.words[word] |= mask;
+        } else {
+            self.words[word] &= !mask;
+        }
+    }
+
+    /// Overwrites `width` bits starting at `pos` in place, LSB first —
+    /// the read-modify-write primitive for fixed-width register files.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`BitVec::push_bits`], or if
+    /// the range extends past the end.
+    pub fn overwrite_bits(&mut self, pos: u64, value: u64, width: u32) {
+        assert!(width <= 64, "width must be at most 64");
+        if width < 64 {
+            assert!(
+                value < (1u64 << width),
+                "value {value} does not fit in {width} bits"
+            );
+        }
+        if width == 0 {
+            return;
+        }
+        assert!(
+            pos + u64::from(width) <= self.len,
+            "bit range out of bounds"
+        );
+        let word = (pos / 64) as usize;
+        let off = (pos % 64) as u32;
+        let in_first = (64 - off).min(width);
+        let first_mask = if in_first == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << in_first) - 1) << off
+        };
+        self.words[word] = (self.words[word] & !first_mask) | ((value << off) & first_mask);
+        if in_first < width {
+            let rest = width - in_first;
+            let rest_mask = (1u64 << rest) - 1;
+            self.words[word + 1] =
+                (self.words[word + 1] & !rest_mask) | ((value >> in_first) & rest_mask);
+        }
+    }
+
+    /// Removes all bits, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+/// Sequential writer over a [`BitVec`] (append-only cursor).
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    vec: &'a mut BitVec,
+}
+
+impl<'a> BitWriter<'a> {
+    /// Creates a writer that appends to `vec`.
+    pub fn new(vec: &'a mut BitVec) -> Self {
+        Self { vec }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.vec.push(bit);
+    }
+
+    /// Appends the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`BitVec::push_bits`].
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        self.vec.push_bits(value, width);
+    }
+
+    /// Bit position of the cursor (== current vector length).
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.vec.len()
+    }
+}
+
+/// Sequential reader over a [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    vec: &'a BitVec,
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader starting at bit 0.
+    #[must_use]
+    pub fn new(vec: &'a BitVec) -> Self {
+        Self { vec, pos: 0 }
+    }
+
+    /// Creates a reader starting at bit `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > vec.len()`.
+    #[must_use]
+    pub fn at(vec: &'a BitVec, pos: u64) -> Self {
+        assert!(pos <= vec.len(), "reader position out of range");
+        Self { vec, pos }
+    }
+
+    /// Reads one bit, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics at end of data.
+    pub fn read_bit(&mut self) -> bool {
+        let b = self.vec.get(self.pos);
+        self.pos += 1;
+        b
+    }
+
+    /// Reads `width` bits, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `width` bits remain.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        let v = self.vec.get_bits(self.pos, width);
+        self.pos += u64::from(width);
+        v
+    }
+
+    /// Current cursor position in bits.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits remaining after the cursor.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.vec.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_single_bits() {
+        let mut v = BitVec::new();
+        for i in 0..200u64 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        for i in 0..200u64 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn push_bits_round_trip_across_word_boundaries() {
+        let mut v = BitVec::new();
+        // 13-bit fields misalign against 64-bit words quickly.
+        let values: Vec<u64> = (0..500).map(|i| (i * 2_654_435_761u64) % 8_192).collect();
+        for &x in &values {
+            v.push_bits(x, 13);
+        }
+        for (i, &x) in values.iter().enumerate() {
+            assert_eq!(v.get_bits(i as u64 * 13, 13), x, "field {i}");
+        }
+    }
+
+    #[test]
+    fn push_bits_full_word() {
+        let mut v = BitVec::new();
+        v.push(true); // misalign by one bit first
+        v.push_bits(u64::MAX, 64);
+        v.push_bits(0xDEAD_BEEF, 32);
+        assert!(v.get(0));
+        assert_eq!(v.get_bits(1, 64), u64::MAX);
+        assert_eq!(v.get_bits(65, 32), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn zero_width_is_a_noop() {
+        let mut v = BitVec::new();
+        v.push_bits(0, 0);
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.get_bits(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_bits_checks_fit() {
+        let mut v = BitVec::new();
+        v.push_bits(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::new();
+        let _ = v.get(0);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            w.write_bit(true);
+            w.write_bits(0b1011, 4);
+            w.write_bits(12_345, 17);
+            assert_eq!(w.position(), 22);
+        }
+        let mut r = BitReader::new(&v);
+        assert!(r.read_bit());
+        assert_eq!(r.read_bits(4), 0b1011);
+        assert_eq!(r.read_bits(17), 12_345);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_at_offset() {
+        let mut v = BitVec::new();
+        v.push_bits(0b101, 3);
+        v.push_bits(42, 8);
+        let mut r = BitReader::at(&v, 3);
+        assert_eq!(r.read_bits(8), 42);
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut v = BitVec::new();
+        v.push_bits(7, 3);
+        v.clear();
+        assert!(v.is_empty());
+        v.push_bits(0, 3);
+        assert_eq!(v.get_bits(0, 3), 0);
+    }
+
+    #[test]
+    fn overwrite_bit_in_place() {
+        let mut v = BitVec::new();
+        v.push_bits(0, 10);
+        v.overwrite_bit(3, true);
+        assert!(v.get(3));
+        v.overwrite_bit(3, false);
+        assert!(!v.get(3));
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn overwrite_bits_in_place_and_across_words() {
+        let mut v = BitVec::new();
+        // 10 fields of 13 bits: crosses several word boundaries.
+        for _ in 0..10 {
+            v.push_bits(0x1FFF, 13);
+        }
+        for i in 0..10u64 {
+            v.overwrite_bits(i * 13, (i * varied(i)) % 8_192, 13);
+        }
+        for i in 0..10u64 {
+            assert_eq!(v.get_bits(i * 13, 13), (i * varied(i)) % 8_192, "field {i}");
+        }
+        // Neighbors untouched by a single overwrite.
+        v.overwrite_bits(3 * 13, 0, 13);
+        assert_eq!(v.get_bits(2 * 13, 13), (2 * varied(2)) % 8_192);
+        assert_eq!(v.get_bits(4 * 13, 13), (4 * varied(4)) % 8_192);
+
+        fn varied(i: u64) -> u64 {
+            i.wrapping_mul(2_654_435_761).wrapping_add(17)
+        }
+    }
+
+    #[test]
+    fn overwrite_full_word_width() {
+        let mut v = BitVec::new();
+        v.push(true);
+        v.push_bits(0, 64);
+        v.overwrite_bits(1, u64::MAX, 64);
+        assert_eq!(v.get_bits(1, 64), u64::MAX);
+        assert!(v.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overwrite_bits_checks_range() {
+        let mut v = BitVec::new();
+        v.push_bits(0, 8);
+        v.overwrite_bits(4, 0, 8);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let v = BitVec::with_capacity(1_000);
+        assert!(v.backing_bytes() >= 1_000 / 8);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Self-delimiting integer codes: unary, Elias γ, Elias δ, Golomb–Rice.
+//!
+//! Approximate counter states are *variable width* — that is the entire
+//! point of the paper — so storing many of them densely requires
+//! self-delimiting encodings. `CounterArray::pack` (in `ac-streams`) uses
+//! Elias δ by default; the other codes are provided for the packing
+//! ablation in `EXPERIMENTS.md` (E9).
+//!
+//! All encoders operate on values `x ≥ 1`; use [`encode_gamma0`]-style
+//! wrappers (which shift by one) for zero-based values. Code lengths:
+//!
+//! | code | length for value `x` |
+//! |------|----------------------|
+//! | unary | `x` bits |
+//! | Elias γ | `2⌊log₂x⌋ + 1` bits |
+//! | Elias δ | `⌊log₂x⌋ + 2⌊log₂(⌊log₂x⌋+1)⌋ + 1` bits |
+//! | Rice(k) | `x/2ᵏ + 1 + k` bits |
+
+use crate::{bit_len, BitReader, BitWriter};
+
+/// Appends the unary code of `x ≥ 1`: `x-1` zeros followed by a one.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn encode_unary(w: &mut BitWriter<'_>, x: u64) {
+    assert!(x >= 1, "unary code requires x >= 1");
+    for _ in 0..(x - 1) {
+        w.write_bit(false);
+    }
+    w.write_bit(true);
+}
+
+/// Decodes a unary code.
+///
+/// # Panics
+///
+/// Panics if the reader runs out of bits before the terminating one.
+pub fn decode_unary(r: &mut BitReader<'_>) -> u64 {
+    let mut x = 1u64;
+    while !r.read_bit() {
+        x += 1;
+    }
+    x
+}
+
+/// Appends the Elias γ code of `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn encode_gamma(w: &mut BitWriter<'_>, x: u64) {
+    assert!(x >= 1, "Elias gamma requires x >= 1");
+    let n = bit_len(x); // number of binary digits of x
+    // n-1 zeros, then the n digits of x starting from the MSB (which is 1).
+    for _ in 0..(n - 1) {
+        w.write_bit(false);
+    }
+    // Write MSB-first so the leading 1 terminates the zero run.
+    for i in (0..n).rev() {
+        w.write_bit((x >> i) & 1 == 1);
+    }
+}
+
+/// Decodes an Elias γ code.
+///
+/// # Panics
+///
+/// Panics on truncated input.
+pub fn decode_gamma(r: &mut BitReader<'_>) -> u64 {
+    let mut zeros = 0u32;
+    while !r.read_bit() {
+        zeros += 1;
+        assert!(zeros < 64, "gamma code zero-run too long (corrupt input)");
+    }
+    // We consumed the leading 1; read the remaining `zeros` digits.
+    let mut x = 1u64;
+    for _ in 0..zeros {
+        x = (x << 1) | u64::from(r.read_bit());
+    }
+    x
+}
+
+/// Appends the Elias δ code of `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn encode_delta(w: &mut BitWriter<'_>, x: u64) {
+    assert!(x >= 1, "Elias delta requires x >= 1");
+    let n = bit_len(x);
+    // Gamma-code the digit count, then the digits of x minus its MSB.
+    encode_gamma(w, u64::from(n));
+    for i in (0..n - 1).rev() {
+        w.write_bit((x >> i) & 1 == 1);
+    }
+}
+
+/// Decodes an Elias δ code.
+///
+/// # Panics
+///
+/// Panics on truncated or corrupt input.
+pub fn decode_delta(r: &mut BitReader<'_>) -> u64 {
+    let n = decode_gamma(r);
+    assert!((1..=64).contains(&n), "delta digit count {n} corrupt");
+    let mut x = 1u64;
+    for _ in 0..(n - 1) {
+        x = (x << 1) | u64::from(r.read_bit());
+    }
+    x
+}
+
+/// Appends the Golomb–Rice code of `x ≥ 0` with parameter `k`
+/// (quotient in unary, remainder in `k` binary bits).
+///
+/// # Panics
+///
+/// Panics if `k > 63`.
+pub fn encode_rice(w: &mut BitWriter<'_>, x: u64, k: u32) {
+    assert!(k <= 63, "rice parameter must be at most 63");
+    let q = x >> k;
+    for _ in 0..q {
+        w.write_bit(false);
+    }
+    w.write_bit(true);
+    if k > 0 {
+        w.write_bits(x & ((1u64 << k) - 1), k);
+    }
+}
+
+/// Decodes a Golomb–Rice code with parameter `k`.
+///
+/// # Panics
+///
+/// Panics on truncated input or if `k > 63`.
+pub fn decode_rice(r: &mut BitReader<'_>, k: u32) -> u64 {
+    assert!(k <= 63, "rice parameter must be at most 63");
+    let mut q = 0u64;
+    while !r.read_bit() {
+        q += 1;
+    }
+    let rem = if k > 0 { r.read_bits(k) } else { 0 };
+    (q << k) | rem
+}
+
+/// Elias γ for zero-based values (encodes `x + 1`).
+pub fn encode_gamma0(w: &mut BitWriter<'_>, x: u64) {
+    assert!(x < u64::MAX, "gamma0 domain is 0..u64::MAX-1");
+    encode_gamma(w, x + 1);
+}
+
+/// Inverse of [`encode_gamma0`].
+pub fn decode_gamma0(r: &mut BitReader<'_>) -> u64 {
+    decode_gamma(r) - 1
+}
+
+/// Elias δ for zero-based values (encodes `x + 1`).
+pub fn encode_delta0(w: &mut BitWriter<'_>, x: u64) {
+    assert!(x < u64::MAX, "delta0 domain is 0..u64::MAX-1");
+    encode_delta(w, x + 1);
+}
+
+/// Inverse of [`encode_delta0`].
+pub fn decode_delta0(r: &mut BitReader<'_>) -> u64 {
+    decode_delta(r) - 1
+}
+
+/// Length in bits of the Elias γ code for `x ≥ 1`.
+#[must_use]
+pub fn gamma_len(x: u64) -> u32 {
+    assert!(x >= 1);
+    2 * bit_len(x) - 1
+}
+
+/// Length in bits of the Elias δ code for `x ≥ 1`.
+#[must_use]
+pub fn delta_len(x: u64) -> u32 {
+    assert!(x >= 1);
+    let n = bit_len(x);
+    (n - 1) + gamma_len(u64::from(n))
+}
+
+/// Length in bits of the Rice(`k`) code for `x ≥ 0`.
+#[must_use]
+pub fn rice_len(x: u64, k: u32) -> u64 {
+    (x >> k) + 1 + u64::from(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitVec;
+
+    fn round_trip<E, D>(values: &[u64], encode: E, decode: D)
+    where
+        E: Fn(&mut BitWriter<'_>, u64),
+        D: Fn(&mut BitReader<'_>) -> u64,
+    {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for &x in values {
+                encode(&mut w, x);
+            }
+        }
+        let mut r = BitReader::new(&v);
+        for &x in values {
+            assert_eq!(decode(&mut r), x);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn unary_round_trip() {
+        round_trip(&[1, 2, 3, 10, 1, 7], encode_unary, decode_unary);
+    }
+
+    #[test]
+    fn gamma_round_trip() {
+        let values: Vec<u64> = (1..=300)
+            .chain([1 << 20, (1 << 40) + 12_345, u64::MAX / 2])
+            .collect();
+        round_trip(&values, encode_gamma, decode_gamma);
+    }
+
+    #[test]
+    fn delta_round_trip() {
+        let values: Vec<u64> = (1..=300)
+            .chain([1 << 20, (1 << 40) + 999, u64::MAX])
+            .collect();
+        round_trip(&values, encode_delta, decode_delta);
+    }
+
+    #[test]
+    fn rice_round_trip_various_k() {
+        for k in [0u32, 1, 3, 8, 16] {
+            round_trip(
+                &[0, 1, 2, 5, 100, 1_000],
+                |w, x| encode_rice(w, x, k),
+                |r| decode_rice(r, k),
+            );
+        }
+    }
+
+    #[test]
+    fn zero_based_wrappers() {
+        round_trip(&[0, 1, 2, 42, 1 << 33], encode_gamma0, decode_gamma0);
+        round_trip(&[0, 1, 2, 42, 1 << 33], encode_delta0, decode_delta0);
+    }
+
+    #[test]
+    fn gamma_lengths_match_formula_and_encoding() {
+        for x in (1..200).chain([1 << 10, 1 << 30]) {
+            let mut v = BitVec::new();
+            encode_gamma(&mut BitWriter::new(&mut v), x);
+            assert_eq!(v.len(), u64::from(gamma_len(x)), "x={x}");
+        }
+    }
+
+    #[test]
+    fn delta_lengths_match_formula_and_encoding() {
+        for x in (1..200).chain([1 << 10, 1 << 30, u64::MAX]) {
+            let mut v = BitVec::new();
+            encode_delta(&mut BitWriter::new(&mut v), x);
+            assert_eq!(v.len(), u64::from(delta_len(x)), "x={x}");
+        }
+    }
+
+    #[test]
+    fn rice_lengths_match_formula() {
+        for &(x, k) in &[(0u64, 0u32), (5, 2), (100, 4), (1_000, 8)] {
+            let mut v = BitVec::new();
+            encode_rice(&mut BitWriter::new(&mut v), x, k);
+            assert_eq!(v.len(), rice_len(x, k), "x={x} k={k}");
+        }
+    }
+
+    #[test]
+    fn delta_beats_gamma_for_large_values() {
+        // δ is asymptotically shorter: check a representative large value.
+        let x = 1u64 << 40;
+        assert!(delta_len(x) < gamma_len(x));
+    }
+
+    #[test]
+    fn known_gamma_codewords() {
+        // γ(1) = "1", γ(2) = "010", γ(3) = "011" (MSB-first digits).
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_gamma(&mut w, 1);
+            encode_gamma(&mut w, 2);
+        }
+        // First bit: 1. Then 0,1,0 for the value 2.
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+        assert!(!v.get(3));
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x >= 1")]
+    fn gamma_rejects_zero() {
+        let mut v = BitVec::new();
+        encode_gamma(&mut BitWriter::new(&mut v), 0);
+    }
+}

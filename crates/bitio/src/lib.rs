@@ -1,0 +1,36 @@
+//! # `ac-bitio` — bit-level storage and memory accounting
+//!
+//! The object of study in Nelson & Yu (PODS 2022) is *the number of bits of
+//! program state* a counter needs. This crate makes that number measurable
+//! and real rather than purely analytical:
+//!
+//! * [`bit_len`], [`ceil_log2`] — width helpers with the exact conventions
+//!   used throughout the workspace (documented below).
+//! * [`StateBits`] — the trait every counter implements to report its exact
+//!   current state size; [`MemoryAudit`] gives a per-field breakdown.
+//! * [`BitVec`], [`BitWriter`], [`BitReader`] — actual bit-addressed
+//!   storage, so "a million 17-bit counters" can be stored in a million × 17
+//!   bits and read back.
+//! * [`codes`] — self-delimiting integer codes (unary, Elias γ, Elias δ,
+//!   Golomb–Rice) used to pack *variable-width* counter states, realizing
+//!   the paper's "many counters" motivation end to end.
+//!
+//! ## Width conventions
+//!
+//! For a value `x: u64` stored in a dedicated field, we charge
+//! `bit_len(x) = max(1, ⌊log₂x⌋ + 1)` bits — the number of binary digits,
+//! with the convention that even the value 0 occupies one bit (a register
+//! of width 0 cannot be observed). The paper's `S := ⌈log₂X⌉` differs by at
+//! most one bit; all comparisons in `EXPERIMENTS.md` use `bit_len`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+pub mod codes;
+mod meter;
+mod width;
+
+pub use bitvec::{BitReader, BitVec, BitWriter};
+pub use meter::{MemoryAudit, StateBits};
+pub use width::{bit_len, bit_len_u32, ceil_log2};

@@ -1,0 +1,122 @@
+//! The [`StateBits`] trait and per-field memory audits.
+
+/// Exact accounting of the bits of *program state* a data structure
+/// currently occupies.
+///
+/// This is the quantity Theorems 1.1, 1.2 and 2.3 of the paper bound: the
+/// memory needed to persist the structure between operations, **not** the
+/// transient working memory of an update (Remark 2.2 explicitly allows
+/// `O(log N)`-bit scratch registers during updates and queries).
+pub trait StateBits {
+    /// Number of bits of persistent state right now.
+    fn state_bits(&self) -> u64;
+
+    /// Per-field breakdown of [`StateBits::state_bits`].
+    ///
+    /// The default implementation reports a single unnamed field; types
+    /// with several registers should override it so that experiment
+    /// reports can show where the bits go.
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("state", self.state_bits());
+        audit
+    }
+}
+
+/// A per-field breakdown of a structure's persistent state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryAudit {
+    fields: Vec<(String, u64)>,
+}
+
+impl MemoryAudit {
+    /// Creates an empty audit.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bits` for a field named `name`; returns `self` for
+    /// chaining-style use in `memory_audit` implementations.
+    pub fn field(&mut self, name: impl Into<String>, bits: u64) -> &mut Self {
+        self.fields.push((name.into(), bits));
+        self
+    }
+
+    /// The recorded fields in insertion order.
+    #[must_use]
+    pub fn fields(&self) -> &[(String, u64)] {
+        &self.fields
+    }
+
+    /// Sum of all field sizes.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.fields.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Renders the audit as a compact single-line string, e.g.
+    /// `"X:5 + Y:11 + t:3 = 19 bits"`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, (name, bits)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" + ");
+            }
+            let _ = write!(out, "{name}:{bits}");
+        }
+        let _ = write!(out, " = {} bits", self.total_bits());
+        out
+    }
+}
+
+impl<T: StateBits + ?Sized> StateBits for &T {
+    fn state_bits(&self) -> u64 {
+        (**self).state_bits()
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        (**self).memory_audit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl StateBits for Fake {
+        fn state_bits(&self) -> u64 {
+            17
+        }
+    }
+
+    #[test]
+    fn default_audit_totals_state_bits() {
+        let f = Fake;
+        let a = f.memory_audit();
+        assert_eq!(a.total_bits(), 17);
+        assert_eq!(a.fields().len(), 1);
+    }
+
+    #[test]
+    fn audit_accumulates_and_renders() {
+        let mut a = MemoryAudit::new();
+        a.field("X", 5);
+        a.field("Y", 11);
+        a.field("t", 3);
+        assert_eq!(a.total_bits(), 19);
+        assert_eq!(a.render(), "X:5 + Y:11 + t:3 = 19 bits");
+    }
+
+    #[test]
+    fn blanket_ref_impl_works() {
+        fn total(x: &dyn StateBits) -> u64 {
+            x.state_bits()
+        }
+        assert_eq!(total(&Fake), 17);
+    }
+}

@@ -1,0 +1,83 @@
+//! Bit-width helpers.
+
+/// Number of binary digits needed to write `x`, charging one bit for zero:
+/// `bit_len(0) = 1`, `bit_len(1) = 1`, `bit_len(2) = 2`, `bit_len(255) = 8`.
+///
+/// This is the memory charge for a register currently holding `x`; see the
+/// crate docs for the convention discussion.
+#[inline]
+#[must_use]
+pub fn bit_len(x: u64) -> u32 {
+    (64 - x.leading_zeros()).max(1)
+}
+
+/// [`bit_len`] for `u32` operands.
+#[inline]
+#[must_use]
+pub fn bit_len_u32(x: u32) -> u32 {
+    (32 - x.leading_zeros()).max(1)
+}
+
+/// `⌈log₂(x)⌉` for `x ≥ 1`: the number of bits needed to *address* one of
+/// `x` distinct states. `ceil_log2(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `x == 0` (an empty state space cannot be addressed).
+#[inline]
+#[must_use]
+pub fn ceil_log2(x: u64) -> u32 {
+    assert!(x > 0, "ceil_log2 of zero");
+    64 - (x - 1).leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_small_values() {
+        assert_eq!(bit_len(0), 1);
+        assert_eq!(bit_len(1), 1);
+        assert_eq!(bit_len(2), 2);
+        assert_eq!(bit_len(3), 2);
+        assert_eq!(bit_len(4), 3);
+        assert_eq!(bit_len(255), 8);
+        assert_eq!(bit_len(256), 9);
+        assert_eq!(bit_len(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bit_len_u32_matches_u64_version() {
+        for x in [0u32, 1, 2, 3, 100, 65_535, u32::MAX] {
+            assert_eq!(bit_len_u32(x), bit_len(u64::from(x)));
+        }
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil_log2 of zero")]
+    fn ceil_log2_zero_panics() {
+        let _ = ceil_log2(0);
+    }
+
+    #[test]
+    fn bit_len_is_monotone() {
+        let mut prev = 0;
+        for x in 0..10_000u64 {
+            let b = bit_len(x);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+}

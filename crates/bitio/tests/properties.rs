@@ -1,0 +1,102 @@
+//! Property-based tests for bit-level storage and codes.
+
+use ac_bitio::codes::{
+    decode_delta, decode_gamma, decode_rice, decode_unary, delta_len, encode_delta,
+    encode_gamma, encode_rice, encode_unary, gamma_len, rice_len,
+};
+use ac_bitio::{bit_len, ceil_log2, BitReader, BitVec, BitWriter};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary (value, width) sequences round-trip through the bit
+    /// vector, regardless of word-boundary alignment.
+    #[test]
+    fn bitvec_round_trip(fields in prop::collection::vec((any::<u64>(), 1u32..=64), 1..50)) {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for &(value, width) in &fields {
+                let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+                w.write_bits(masked, width);
+            }
+        }
+        let mut r = BitReader::new(&v);
+        for &(value, width) in &fields {
+            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            prop_assert_eq!(r.read_bits(width), masked);
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Mixed streams of γ, δ, Rice and unary codes round-trip.
+    #[test]
+    fn codes_round_trip(values in prop::collection::vec(1u64..u64::MAX, 1..30), k in 0u32..20) {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for &x in &values {
+                encode_gamma(&mut w, x);
+                encode_delta(&mut w, x);
+                encode_rice(&mut w, x % 10_000, k); // keep unary part bounded
+                encode_unary(&mut w, x % 64 + 1);
+            }
+        }
+        let mut r = BitReader::new(&v);
+        for &x in &values {
+            prop_assert_eq!(decode_gamma(&mut r), x);
+            prop_assert_eq!(decode_delta(&mut r), x);
+            prop_assert_eq!(decode_rice(&mut r, k), x % 10_000);
+            prop_assert_eq!(decode_unary(&mut r), x % 64 + 1);
+        }
+    }
+
+    /// Code-length formulas match the bits actually written.
+    #[test]
+    fn code_lengths_exact(x in 1u64..u64::MAX, k in 0u32..20) {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_gamma(&mut w, x);
+        }
+        prop_assert_eq!(v.len(), u64::from(gamma_len(x)));
+
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_delta(&mut w, x);
+        }
+        prop_assert_eq!(v.len(), u64::from(delta_len(x)));
+
+        let small = x % 100_000;
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_rice(&mut w, small, k);
+        }
+        prop_assert_eq!(v.len(), rice_len(small, k));
+    }
+
+    /// bit_len is the usual binary digit count; ceil_log2 is its
+    /// addressing companion.
+    #[test]
+    fn width_identities(x in 1u64..u64::MAX / 2) {
+        prop_assert_eq!(bit_len(x), (x as f64).log2().floor() as u32 + 1);
+        prop_assert!(ceil_log2(x) <= bit_len(x));
+        // 2^(ceil_log2(x)) >= x.
+        if ceil_log2(x) < 64 {
+            prop_assert!(1u128 << ceil_log2(x) >= u128::from(x));
+        }
+    }
+
+    /// Random single-bit writes followed by reads agree.
+    #[test]
+    fn single_bits_round_trip(bits in prop::collection::vec(any::<bool>(), 1..500)) {
+        let mut v = BitVec::new();
+        for &b in &bits {
+            v.push(b);
+        }
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i as u64), b);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Averaging independent Morris counters — the §1.1 ablation.
+//!
+//! Flajolet suggested that to improve accuracy one can "either average
+//! independent counters or change base, and that the former has 'an effect
+//! similar to' the latter". The paper's §1.1 observes the two are *not*
+//! similar computationally: averaging `Θ(1/ε²)` copies multiplies the
+//! space by `1/ε²`, while changing base adds only `O(log(1/ε))` bits.
+//! [`AveragedMorris`] makes that comparison measurable (experiment E8).
+
+use crate::{ApproxCounter, CoreError, MorrisCounter};
+use ac_bitio::{MemoryAudit, StateBits};
+use ac_randkit::RandomSource;
+
+/// `k` independent `Morris(a)` counters whose estimates are averaged.
+///
+/// The averaged estimator remains unbiased; its variance is `1/k` of a
+/// single counter's `a·N(N−1)/2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AveragedMorris {
+    counters: Vec<MorrisCounter>,
+    peak: u64,
+}
+
+impl AveragedMorris {
+    /// Creates `k` independent `Morris(a)` counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBase`] for invalid `a`, or
+    /// [`CoreError::InvalidConstant`] when `k == 0`.
+    pub fn new(k: usize, a: f64) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidConstant { got: 0.0 });
+        }
+        let counters = vec![MorrisCounter::new(a)?; k];
+        let mut this = Self { counters, peak: 0 };
+        this.peak = this.state_bits();
+        Ok(this)
+    }
+
+    /// Number of copies `k`.
+    #[must_use]
+    pub fn copies(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// The shared base parameter `a`.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.counters[0].a()
+    }
+
+    /// The individual counters (for diagnostics).
+    #[must_use]
+    pub fn counters(&self) -> &[MorrisCounter] {
+        &self.counters
+    }
+}
+
+impl StateBits for AveragedMorris {
+    fn state_bits(&self) -> u64 {
+        self.counters.iter().map(StateBits::state_bits).sum()
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field(
+            format!("X[0..{}]", self.counters.len()),
+            self.state_bits(),
+        );
+        audit
+    }
+}
+
+impl ApproxCounter for AveragedMorris {
+    fn name(&self) -> &'static str {
+        "averaged-morris"
+    }
+
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        for c in &mut self.counters {
+            c.increment(rng);
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        for c in &mut self.counters {
+            c.increment_by(n, rng);
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        let sum: f64 = self.counters.iter().map(ApproxCounter::estimate).sum();
+        sum / self.counters.len() as f64
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.counters {
+            c.reset();
+        }
+        self.peak = self.state_bits();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+    use ac_stats::Summary;
+
+    #[test]
+    fn rejects_zero_copies() {
+        assert!(AveragedMorris::new(0, 1.0).is_err());
+        assert!(AveragedMorris::new(1, 0.0).is_err());
+    }
+
+    #[test]
+    fn averaging_reduces_variance_by_k() {
+        let (a, n) = (1.0, 2_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let k = 16;
+        let mut single = Summary::new();
+        let mut averaged = Summary::new();
+        for _ in 0..4_000 {
+            let mut c1 = MorrisCounter::new(a).unwrap();
+            c1.increment_by(n, &mut rng);
+            single.push(c1.estimate());
+
+            let mut ck = AveragedMorris::new(k, a).unwrap();
+            ck.increment_by(n, &mut rng);
+            averaged.push(ck.estimate());
+        }
+        let ratio = single.variance() / averaged.variance();
+        // Expect ≈ k; allow a wide statistical band.
+        assert!(
+            ratio > k as f64 * 0.6 && ratio < k as f64 * 1.6,
+            "variance ratio {ratio}, expected ≈ {k}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_mean_of_copies() {
+        let mut c = AveragedMorris::new(3, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        c.increment_by(100, &mut rng);
+        let mean: f64 =
+            c.counters().iter().map(ApproxCounter::estimate).sum::<f64>() / 3.0;
+        assert_eq!(c.estimate(), mean);
+    }
+
+    #[test]
+    fn space_grows_linearly_in_k() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut c4 = AveragedMorris::new(4, 1.0).unwrap();
+        let mut c8 = AveragedMorris::new(8, 1.0).unwrap();
+        c4.increment_by(1_000_000, &mut rng);
+        c8.increment_by(1_000_000, &mut rng);
+        // Per-copy levels concentrate near log2(N) ≈ 20 (5 bits each).
+        let per4 = c4.state_bits() as f64 / 4.0;
+        let per8 = c8.state_bits() as f64 / 8.0;
+        assert!((per4 - per8).abs() < 1.0, "per-copy bits {per4} vs {per8}");
+    }
+
+    #[test]
+    fn reset_clears_all_copies() {
+        let mut c = AveragedMorris::new(5, 0.5).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        c.increment_by(10_000, &mut rng);
+        c.reset();
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.state_bits(), 5);
+    }
+}

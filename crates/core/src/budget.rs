@@ -1,0 +1,297 @@
+//! Fixed-bit-budget planning — the Figure 1 parameterization.
+//!
+//! The paper's experiment runs both algorithms "parameterized to use only
+//! 17 bits of memory" on counts up to `10^6 − 1`. This module turns a
+//! `(bit budget, maximum count)` pair into concrete counters:
+//!
+//! * [`plan_morris`] — the smallest base `a` (best accuracy) whose level
+//!   register stays within the budget with a comfortable safety margin;
+//! * [`plan_csuros`] — the widest mantissa `d` that fits;
+//! * [`plan_nelson_yu`] — the smallest `ε` whose `(X, Y, t)` state fits.
+//!
+//! Planning margins are expressed in standard deviations of the relevant
+//! register; the defaults ([`DEFAULT_SLACK_SIGMAS`]) make overflow a
+//! `< 10⁻⁸` event per run. Counters are returned with hard register caps,
+//! so even a pathological run cannot exceed the budget — it saturates
+//! instead, exactly like a fixed-width hardware register.
+
+use crate::{CoreError, CsurosCounter, MorrisCounter, NelsonYuCounter, NyParams};
+
+/// Default planning margin, in standard deviations of the register being
+/// sized (6σ ⇒ overflow probability ≈ 10⁻⁹ per trial).
+pub const DEFAULT_SLACK_SIGMAS: f64 = 6.0;
+
+/// Plans a [`MorrisCounter`] that uses at most `bits` bits of state for
+/// counts up to `n_max`: the smallest (most accurate) base parameter `a`
+/// such that the level `X` stays below `2^bits` with `slack_sigmas`
+/// margin.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetInfeasible`] when even `a = 1` (the classic
+/// counter) cannot fit.
+pub fn plan_morris(bits: u32, n_max: u64, slack_sigmas: f64) -> Result<MorrisCounter, CoreError> {
+    if bits == 0 || bits >= 63 {
+        return Err(CoreError::BudgetInfeasible {
+            bits,
+            n_max,
+            reason: "budget must be in 1..=62 bits",
+        });
+    }
+    let cap = (1u64 << bits) - 1;
+    // Required head-room: expected level + slack·sd(level). The level's
+    // standard deviation is ≈ sqrt(1/(2a)) (the estimator's relative sd
+    // sqrt(a/2) divided by the log-slope ln(1+a) ≈ a).
+    let fits = |a: f64| -> bool {
+        let expected = MorrisCounter::expected_level(a, n_max);
+        let sd = (1.0 / (2.0 * a)).sqrt();
+        expected + slack_sigmas * sd <= cap as f64
+    };
+    if !fits(1.0) {
+        return Err(CoreError::BudgetInfeasible {
+            bits,
+            n_max,
+            reason: "even the classic base-2 counter exceeds the budget",
+        });
+    }
+    // fits(a) is monotone in a (larger a → smaller level and smaller
+    // spread). Binary search the smallest feasible a.
+    let (mut lo, mut hi) = (1e-15f64, 1.0f64);
+    for _ in 0..200 {
+        let mid = (lo * hi).sqrt(); // geometric bisection over 15 decades
+        if fits(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    MorrisCounter::with_cap(hi, cap)
+}
+
+/// Plans a [`CsurosCounter`] that uses at most `bits` bits of state for
+/// counts up to `n_max`: the widest mantissa `d` (best accuracy) whose
+/// register stays below `2^bits` with `slack_sigmas` margin.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetInfeasible`] when no mantissa width fits.
+pub fn plan_csuros(bits: u32, n_max: u64, slack_sigmas: f64) -> Result<CsurosCounter, CoreError> {
+    if bits == 0 || bits >= 63 {
+        return Err(CoreError::BudgetInfeasible {
+            bits,
+            n_max,
+            reason: "budget must be in 1..=62 bits",
+        });
+    }
+    let cap = (1u64 << bits) - 1;
+    // Register sd ≈ 2^{(d-1)/2} (estimator relative sd 2^{-(d+1)/2}
+    // times the register-per-relative-unit slope ≈ 2^d).
+    for d in (0..=bits.min(58)).rev() {
+        let expected = CsurosCounter::expected_register(d, n_max);
+        let sd = ((f64::from(d) - 1.0) / 2.0).exp2();
+        if expected + slack_sigmas * sd <= cap as f64 {
+            return CsurosCounter::with_cap(d, cap);
+        }
+    }
+    Err(CoreError::BudgetInfeasible {
+        bits,
+        n_max,
+        reason: "even a 0-bit mantissa exceeds the budget",
+    })
+}
+
+/// Plans a [`NelsonYuCounter`] that uses at most `bits` bits of state for
+/// counts up to `n_max` at failure exponent `delta_log2`: the smallest
+/// feasible `ε`.
+///
+/// The state estimate is analytical
+/// (`bit_len(X_final) + bit_len(max threshold + 1) + bit_len(t_final)`);
+/// the returned counter's `peak_state_bits` should be verified post-hoc by
+/// the caller's experiment, which `fig1_error_cdf` does.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BudgetInfeasible`] when even `ε` close to `1/2`
+/// does not fit.
+pub fn plan_nelson_yu(
+    bits: u32,
+    n_max: u64,
+    delta_log2: u32,
+) -> Result<NelsonYuCounter, CoreError> {
+    let fits = |eps: f64| -> Option<u64> {
+        let p = NyParams::new(eps, delta_log2).ok()?;
+        Some(ny_state_estimate(&p, n_max))
+    };
+    let budget = u64::from(bits);
+    if fits(0.49).map_or(true, |b| b > budget) {
+        return Err(CoreError::BudgetInfeasible {
+            bits,
+            n_max,
+            reason: "even eps = 0.49 exceeds the budget",
+        });
+    }
+    // Feasibility is monotone in ε: smaller ε means more bits. Geometric
+    // bisection for the smallest feasible ε.
+    let (mut lo, mut hi) = (1e-6f64, 0.49f64);
+    for _ in 0..120 {
+        let mid = (lo * hi).sqrt();
+        match fits(mid) {
+            Some(b) if b <= budget => hi = mid,
+            _ => lo = mid,
+        }
+    }
+    Ok(NelsonYuCounter::new(NyParams::new(hi, delta_log2)?))
+}
+
+/// Analytic estimate of the Nelson–Yu counter's worst-case state bits over
+/// a run of `n_max` increments: the per-level maximum of
+/// `bit_len(X) + bit_len(threshold(X) + 1) + bit_len(t(X))` across the
+/// schedule, with a few levels of head-room for the upward fluctuation of
+/// `X` (the level concentrates within `O(ε)` relative error, so +4 levels
+/// is generous).
+fn ny_state_estimate(p: &NyParams, n_max: u64) -> u64 {
+    let x_final = (((n_max.max(2)) as f64).ln() / p.eps().ln_1p()).ceil() as u64;
+    let x_final = x_final.max(p.x0() + 1) + 4;
+    let mut worst = 0u64;
+    let mut t = 0u32;
+    for level in p.x0()..=x_final {
+        t = t.max(p.alpha_exponent(level));
+        let y_max = p.threshold_for(level, t) + 1;
+        let bits = u64::from(ac_bitio::bit_len(level))
+            + u64::from(ac_bitio::bit_len(y_max))
+            + u64::from(ac_bitio::bit_len(u64::from(t)));
+        worst = worst.max(bits);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ApproxCounter;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    const FIG1_BITS: u32 = 17;
+    const FIG1_NMAX: u64 = 999_999;
+
+    #[test]
+    fn morris_plan_fits_and_fills_figure1_budget() {
+        let c = plan_morris(FIG1_BITS, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        // Expected level must be within budget but use most of it (at
+        // least half the register range, else the plan wasted accuracy).
+        let cap = (1u64 << FIG1_BITS) - 1;
+        let expected = MorrisCounter::expected_level(c.a(), FIG1_NMAX);
+        assert!(expected < cap as f64);
+        assert!(expected > cap as f64 / 8.0, "under-utilized: {expected}");
+        assert_eq!(c.cap(), Some(cap));
+    }
+
+    #[test]
+    fn morris_plan_respects_budget_in_simulation() {
+        let mut c = plan_morris(FIG1_BITS, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..20 {
+            c.reset();
+            c.increment_by(FIG1_NMAX, &mut rng);
+            assert!(c.peak_state_bits() <= u64::from(FIG1_BITS));
+            assert!(!c.saturated(), "plan must leave slack");
+        }
+    }
+
+    #[test]
+    fn morris_plan_accuracy_improves_with_budget() {
+        let small = plan_morris(12, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        let large = plan_morris(20, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        assert!(
+            large.a() < small.a(),
+            "more bits should buy a smaller (more accurate) base"
+        );
+    }
+
+    #[test]
+    fn morris_plan_infeasible_for_tiny_budget() {
+        // 2 bits cannot hold the classic counter's level ≈ log2(10^6) = 20.
+        assert!(matches!(
+            plan_morris(2, FIG1_NMAX, DEFAULT_SLACK_SIGMAS),
+            Err(CoreError::BudgetInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn csuros_plan_fits_figure1_budget() {
+        let c = plan_csuros(FIG1_BITS, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        assert!(c.mantissa_bits() >= 10, "d = {}", c.mantissa_bits());
+        let mut c = c;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..20 {
+            c.reset();
+            c.increment_by(FIG1_NMAX, &mut rng);
+            assert!(c.peak_state_bits() <= u64::from(FIG1_BITS));
+            assert!(!c.saturated());
+        }
+    }
+
+    #[test]
+    fn csuros_plan_uses_wider_mantissa_with_more_bits() {
+        let small = plan_csuros(12, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        let large = plan_csuros(20, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+        assert!(large.mantissa_bits() > small.mantissa_bits());
+    }
+
+    #[test]
+    fn ny_plan_fits_budget_empirically() {
+        let mut c = plan_nelson_yu(24, FIG1_NMAX, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..10 {
+            c.reset();
+            c.increment_by(FIG1_NMAX, &mut rng);
+            assert!(
+                c.peak_state_bits() <= 24,
+                "peak {} bits",
+                c.peak_state_bits()
+            );
+        }
+        // And the chosen ε should not be absurdly loose.
+        assert!(c.params().eps() < 0.49);
+    }
+
+    #[test]
+    fn ny_plan_infeasible_for_tiny_budget() {
+        assert!(matches!(
+            plan_nelson_yu(4, FIG1_NMAX, 10),
+            Err(CoreError::BudgetInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn planned_counters_have_comparable_error_scales() {
+        // The Figure 1 phenomenon: at an equal bit budget, Morris and the
+        // simplified-NY/Csűrös counter have error CDFs of the same scale.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 600;
+        let n = 750_000u64;
+        let mut errs = Vec::new();
+        for _ in 0..2 {
+            errs.push(Vec::with_capacity(trials));
+        }
+        for _ in 0..trials {
+            let mut m = plan_morris(FIG1_BITS, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+            m.increment_by(n, &mut rng);
+            errs[0].push(((m.estimate() - n as f64) / n as f64).abs());
+
+            let mut cs = plan_csuros(FIG1_BITS, FIG1_NMAX, DEFAULT_SLACK_SIGMAS).unwrap();
+            cs.increment_by(n, &mut rng);
+            errs[1].push(((cs.estimate() - n as f64) / n as f64).abs());
+        }
+        let med = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let m_med = med(&mut errs[0]);
+        let c_med = med(&mut errs[1]);
+        // Same order of magnitude (within 4x), both sub-2 %.
+        assert!(m_med < 0.02 && c_med < 0.02, "medians {m_med} {c_med}");
+        let ratio = (m_med / c_med).max(c_med / m_med);
+        assert!(ratio < 4.0, "scales differ: {m_med} vs {c_med}");
+    }
+}

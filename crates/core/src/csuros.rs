@@ -1,0 +1,509 @@
+//! The Csűrös floating-point counter — the "simplified version" of
+//! Algorithm 1 used in the paper's Figure 1 experiment.
+//!
+//! Section 4 of the paper compares the Morris Counter against "(a
+//! simplified version of) the algorithm of Subsection 2.1 (and this
+//! simplified algorithm is itself similar to the algorithm of [Csu10])".
+//! That simplification is exactly the floating-point counter of Csűrös
+//! (COCOON 2010): replace the `(1+ε)`-geometric epoch schedule with
+//! power-of-two epochs of fixed length `2^d`.
+
+use crate::{ApproxCounter, CoreError};
+use ac_bitio::{bit_len, MemoryAudit, StateBits};
+use ac_randkit::{BernoulliPow2, Geometric, RandomSource};
+
+/// The floating-point counter: a single register `x`, interpreted as an
+/// exponent `u = x >> d` and a `d`-bit mantissa `v = x & (2^d − 1)`;
+/// increments succeed with probability `2^{-u}` and the estimator is
+/// `N̂ = (2^d + v)·2^u − 2^d`, which is unbiased.
+///
+/// Structurally this is Algorithm 1 with `1 + ε = 2^{1/2^d}`-style
+/// resolution: each exponent-`u` epoch consists of `2^d` survivor steps at
+/// sampling rate `α = 2^{-u}`, and the deterministic initial epoch covers
+/// `N ≤ 2^d`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsurosCounter {
+    /// The combined exponent/mantissa register.
+    x: u64,
+    /// Mantissa width in bits.
+    d: u32,
+    /// Optional register cap (fixed-width hardware register model).
+    x_cap: Option<u64>,
+    /// Memory high-water mark (instrumentation, not state).
+    peak: u64,
+}
+
+impl CsurosCounter {
+    /// Creates the counter with a `d`-bit mantissa, unbounded register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstant`] if `d > 58` (the estimator
+    /// would overflow the `u64`/`f64` interplay long before that in
+    /// practice; 58 keeps `2^d + v` exactly representable).
+    pub fn new(d: u32) -> Result<Self, CoreError> {
+        if d > 58 {
+            return Err(CoreError::InvalidConstant { got: f64::from(d) });
+        }
+        let mut this = Self {
+            x: 0,
+            d,
+            x_cap: None,
+            peak: 0,
+        };
+        this.peak = this.state_bits();
+        Ok(this)
+    }
+
+    /// Creates the counter with a register saturating at `x_cap`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CsurosCounter::new`].
+    pub fn with_cap(d: u32, x_cap: u64) -> Result<Self, CoreError> {
+        let mut c = Self::new(d)?;
+        c.x_cap = Some(x_cap);
+        Ok(c)
+    }
+
+    /// The mantissa width `d`.
+    #[must_use]
+    pub fn mantissa_bits(&self) -> u32 {
+        self.d
+    }
+
+    /// The raw register value `x`.
+    #[must_use]
+    pub fn register(&self) -> u64 {
+        self.x
+    }
+
+    /// The current exponent `u = x >> d`.
+    #[must_use]
+    pub fn exponent(&self) -> u64 {
+        self.x >> self.d
+    }
+
+    /// The current mantissa `v = x & (2^d − 1)`.
+    #[must_use]
+    pub fn mantissa(&self) -> u64 {
+        self.x & ((1u64 << self.d) - 1)
+    }
+
+    /// The register cap, if any.
+    #[must_use]
+    pub fn cap(&self) -> Option<u64> {
+        self.x_cap
+    }
+
+    /// True when a capped register has saturated.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.x_cap.is_some_and(|cap| self.x >= cap)
+    }
+
+    /// The register value the counter concentrates around after `n`
+    /// increments (inverse of the unbiased estimator).
+    #[must_use]
+    pub fn expected_register(d: u32, n: u64) -> f64 {
+        let scale = (1u64 << d) as f64;
+        let q = n as f64 / scale + 1.0; // (N + 2^d)/2^d
+        let u = q.log2().floor().max(0.0);
+        let v = (q / u.exp2() - 1.0) * scale;
+        u * scale + v
+    }
+
+    /// Forces the register (testing/diagnostics; respects the cap).
+    pub fn set_register(&mut self, x: u64) {
+        self.x = match self.x_cap {
+            Some(cap) => x.min(cap),
+            None => x,
+        };
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    /// Merges another floating-point counter into this one, in the style
+    /// of Remark 2.4: the counter's exponent epochs use non-increasing
+    /// sampling rates `2^{-u}`, and the per-epoch survivor counts are
+    /// explicit in the register (`2^d` per completed exponent, the
+    /// mantissa for the current one), so the lower counter's survivors
+    /// can be re-subsampled into the higher one at rate
+    /// `2^{u_i − u_current}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MergeMismatch`] if mantissa widths or caps
+    /// differ.
+    pub fn merge_from(
+        &mut self,
+        other: &CsurosCounter,
+        rng: &mut dyn RandomSource,
+    ) -> Result<(), CoreError> {
+        if self.d != other.d {
+            return Err(CoreError::MergeMismatch { what: "mantissa width d" });
+        }
+        if self.x_cap != other.x_cap {
+            return Err(CoreError::MergeMismatch { what: "register cap" });
+        }
+        // Work on the higher register; replay the lower one's survivors.
+        let lo_x = if self.x >= other.x {
+            other.x
+        } else {
+            std::mem::replace(&mut self.x, other.x)
+        };
+        let (lo_u, lo_v) = (lo_x >> self.d, lo_x & ((1u64 << self.d) - 1));
+        for u_i in 0..=lo_u {
+            let mut remaining = if u_i == lo_u { lo_v } else { 1u64 << self.d };
+            while remaining > 0 && !self.saturated() {
+                let dt = self.exponent() - u_i; // rate 2^-dt, non-increasing
+                if dt == 0 {
+                    // Accept in bulk up to the next exponent boundary.
+                    let boundary = (self.exponent() + 1) << self.d;
+                    let take = remaining.min(boundary - self.x).min(
+                        self.x_cap
+                            .map_or(u64::MAX, |cap| cap.saturating_sub(self.x)),
+                    );
+                    if take == 0 {
+                        break;
+                    }
+                    self.x += take;
+                    remaining -= take;
+                } else {
+                    let p = (-(dt as f64)).exp2();
+                    match Geometric::new(p)
+                        .expect("2^-dt in (0,1]")
+                        .sample_within(remaining, rng)
+                    {
+                        Some(consumed) => {
+                            remaining -= consumed;
+                            self.x += 1;
+                        }
+                        None => remaining = 0,
+                    }
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+        Ok(())
+    }
+}
+
+impl StateBits for CsurosCounter {
+    fn state_bits(&self) -> u64 {
+        // The whole state is the single register x (d is a program
+        // constant).
+        u64::from(bit_len(self.x))
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("x", self.state_bits());
+        audit
+    }
+}
+
+impl ApproxCounter for CsurosCounter {
+    fn name(&self) -> &'static str {
+        "csuros-float"
+    }
+
+    #[inline]
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        if self.saturated() {
+            return;
+        }
+        let u = self.exponent();
+        // u ≤ 64 − d in any reachable configuration; the register caps
+        // far earlier in every experiment.
+        let coin = BernoulliPow2::new(u.min(u64::from(u32::MAX)) as u32);
+        if coin.sample(rng) {
+            self.x += 1;
+            self.peak = self.peak.max(self.state_bits());
+        }
+    }
+
+    /// Fast-forward: within the exponent-`u` stretch the survival rate is
+    /// constant `2^{-u}`, so survivors arrive after geometric waits; the
+    /// initial `u = 0` stretch is deterministic.
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        let mut budget = n;
+        while budget > 0 && !self.saturated() {
+            let u = self.exponent();
+            if u == 0 {
+                // Deterministic stretch up to the end of exponent 0.
+                let boundary = 1u64 << self.d;
+                let room = boundary - self.x;
+                let take = budget.min(room).min(
+                    self.x_cap
+                        .map_or(u64::MAX, |cap| cap.saturating_sub(self.x)),
+                );
+                if take == 0 {
+                    break;
+                }
+                self.x += take;
+                budget -= take;
+            } else {
+                let p = (-(u as f64)).exp2();
+                if p < f64::MIN_POSITIVE {
+                    break;
+                }
+                let geo = Geometric::new(p).expect("p in (0,1]");
+                match geo.sample_within(budget, rng) {
+                    Some(z) => {
+                        budget -= z;
+                        self.x += 1;
+                    }
+                    None => budget = 0,
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        let scale = (1u64 << self.d) as f64;
+        (scale + self.mantissa() as f64) * (self.exponent() as f64).exp2() - scale
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        self.x = 0;
+        self.peak = self.state_bits();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+    use ac_stats::Summary;
+
+    #[test]
+    fn rejects_oversized_mantissa() {
+        assert!(CsurosCounter::new(59).is_err());
+        assert!(CsurosCounter::new(58).is_ok());
+    }
+
+    #[test]
+    fn exact_until_mantissa_overflows() {
+        // With exponent 0 the counter is deterministic: N̂ = N for
+        // N ≤ 2^d.
+        let d = 6;
+        let mut c = CsurosCounter::new(d).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for i in 1..=(1u64 << d) {
+            c.increment(&mut rng);
+            assert_eq!(c.estimate(), i as f64, "exact while u = 0");
+        }
+        assert_eq!(c.exponent(), 1);
+        assert_eq!(c.mantissa(), 0);
+    }
+
+    #[test]
+    fn estimator_matches_closed_form() {
+        let mut c = CsurosCounter::new(4).unwrap();
+        // x = (u=2)<<4 | v=5 -> estimate = (16+5)*4 - 16 = 68.
+        c.set_register((2 << 4) | 5);
+        assert_eq!(c.estimate(), 68.0);
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        let d = 4;
+        let n = 1_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut s = Summary::new();
+        for _ in 0..30_000 {
+            let mut c = CsurosCounter::new(d).unwrap();
+            c.increment_by(n, &mut rng);
+            s.push(c.estimate());
+        }
+        let tol = 6.0 * s.std_error();
+        assert!(
+            (s.mean() - n as f64).abs() < tol,
+            "mean {} vs {n}, tol {tol}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn bigger_mantissa_means_smaller_variance() {
+        let n = 100_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut sds = Vec::new();
+        for d in [4u32, 8, 12] {
+            let mut s = Summary::new();
+            for _ in 0..2_000 {
+                let mut c = CsurosCounter::new(d).unwrap();
+                c.increment_by(n, &mut rng);
+                s.push(c.estimate());
+            }
+            sds.push(s.stddev());
+        }
+        assert!(sds[0] > sds[1] && sds[1] > sds[2], "sds={sds:?}");
+    }
+
+    #[test]
+    fn fast_forward_matches_step_distribution() {
+        let d = 5;
+        let n = 5_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 5_000;
+        let mut ff = Vec::with_capacity(trials);
+        let mut step = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut c = CsurosCounter::new(d).unwrap();
+            c.increment_by(n, &mut rng);
+            ff.push(c.register() as f64);
+
+            let mut c = CsurosCounter::new(d).unwrap();
+            for _ in 0..n {
+                c.increment(&mut rng);
+            }
+            step.push(c.register() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&ff, &step);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn expected_register_tracks_simulation() {
+        let d = 8;
+        let n = 200_000u64;
+        let expect = CsurosCounter::expected_register(d, n);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut s = Summary::new();
+        for _ in 0..1_000 {
+            let mut c = CsurosCounter::new(d).unwrap();
+            c.increment_by(n, &mut rng);
+            s.push(c.register() as f64);
+        }
+        let rel = (s.mean() - expect).abs() / expect;
+        assert!(rel < 0.05, "mean {} vs {expect}", s.mean());
+    }
+
+    #[test]
+    fn cap_saturates() {
+        let mut c = CsurosCounter::with_cap(3, 20).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        c.increment_by(1 << 20, &mut rng);
+        assert_eq!(c.register(), 20);
+        assert!(c.saturated());
+        c.increment(&mut rng);
+        assert_eq!(c.register(), 20);
+    }
+
+    #[test]
+    fn state_bits_is_register_width() {
+        let mut c = CsurosCounter::new(4).unwrap();
+        assert_eq!(c.state_bits(), 1);
+        c.set_register(255);
+        assert_eq!(c.state_bits(), 8);
+        assert_eq!(c.peak_state_bits(), 8);
+        c.reset();
+        assert_eq!(c.state_bits(), 1);
+    }
+
+    #[test]
+    fn merge_requires_same_parameters() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let mut a = CsurosCounter::new(4).unwrap();
+        let b = CsurosCounter::new(5).unwrap();
+        assert!(a.merge_from(&b, &mut rng).is_err());
+    }
+
+    #[test]
+    fn merge_in_exact_regime_is_exact_addition() {
+        // Both counters still at exponent 0: registers add exactly.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let d = 8;
+        let mut a = CsurosCounter::new(d).unwrap();
+        a.increment_by(100, &mut rng);
+        let mut b = CsurosCounter::new(d).unwrap();
+        b.increment_by(50, &mut rng);
+        a.merge_from(&b, &mut rng).unwrap();
+        assert_eq!(a.estimate(), 150.0);
+    }
+
+    #[test]
+    fn merge_mean_is_additive() {
+        let (n1, n2) = (30_000u64, 90_000u64);
+        let d = 6;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mut s = Summary::new();
+        for _ in 0..5_000 {
+            let mut a = CsurosCounter::new(d).unwrap();
+            a.increment_by(n1, &mut rng);
+            let mut b = CsurosCounter::new(d).unwrap();
+            b.increment_by(n2, &mut rng);
+            a.merge_from(&b, &mut rng).unwrap();
+            s.push(a.estimate());
+        }
+        let total = (n1 + n2) as f64;
+        let tol = 6.0 * s.std_error();
+        assert!(
+            (s.mean() - total).abs() < tol,
+            "merged mean {} vs {total} (tol {tol})",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_distribution() {
+        let (n1, n2) = (5_000u64, 12_000u64);
+        let d = 5;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let trials = 6_000;
+        let mut merged = Vec::with_capacity(trials);
+        let mut sequential = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut a = CsurosCounter::new(d).unwrap();
+            a.increment_by(n1, &mut rng);
+            let mut b = CsurosCounter::new(d).unwrap();
+            b.increment_by(n2, &mut rng);
+            a.merge_from(&b, &mut rng).unwrap();
+            merged.push(a.register() as f64);
+
+            let mut c = CsurosCounter::new(d).unwrap();
+            c.increment_by(n1 + n2, &mut rng);
+            sequential.push(c.register() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&merged, &sequential);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn merge_order_does_not_matter_in_distribution() {
+        let (n1, n2) = (2_000u64, 40_000u64);
+        let d = 5;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        let mut ab = Summary::new();
+        let mut ba = Summary::new();
+        for _ in 0..4_000 {
+            let mut a = CsurosCounter::new(d).unwrap();
+            a.increment_by(n1, &mut rng);
+            let mut b = CsurosCounter::new(d).unwrap();
+            b.increment_by(n2, &mut rng);
+            let mut m1 = a.clone();
+            m1.merge_from(&b, &mut rng).unwrap();
+            ab.push(m1.estimate());
+            let mut m2 = b;
+            m2.merge_from(&a, &mut rng).unwrap();
+            ba.push(m2.estimate());
+        }
+        let rel = (ab.mean() - ba.mean()).abs() / ab.mean();
+        assert!(rel < 0.03, "asymmetry {rel}");
+    }
+
+    #[test]
+    fn deterministic_stretch_respects_cap() {
+        // Cap inside the u = 0 stretch: bulk path must not overshoot.
+        let mut c = CsurosCounter::with_cap(6, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        c.increment_by(1_000, &mut rng);
+        assert_eq!(c.register(), 10);
+    }
+}

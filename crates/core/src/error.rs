@@ -1,0 +1,98 @@
+//! Error type for counter construction and planning.
+
+use std::fmt;
+
+/// Errors arising from invalid counter parameters or planning requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// `ε` must be a finite number in `(0, 1/2)` (theorem hypotheses).
+    InvalidEpsilon {
+        /// The rejected value.
+        got: f64,
+    },
+    /// `Δ` (with `δ = 2^-Δ`) must satisfy `Δ ≥ 1`, i.e. `δ ≤ 1/2`.
+    InvalidDeltaLog2 {
+        /// The rejected value.
+        got: u32,
+    },
+    /// The Morris base parameter `a` must be finite and positive.
+    InvalidBase {
+        /// The rejected value.
+        got: f64,
+    },
+    /// The universal constant `C` must be at least 1.
+    InvalidConstant {
+        /// The rejected value.
+        got: f64,
+    },
+    /// A fixed-bit-budget plan is infeasible (budget too small for the
+    /// requested maximum count).
+    BudgetInfeasible {
+        /// Requested budget in bits.
+        bits: u32,
+        /// Requested maximum count.
+        n_max: u64,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// Two counters with different parameter schedules cannot be merged.
+    MergeMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidEpsilon { got } => {
+                write!(f, "epsilon must be in (0, 1/2), got {got}")
+            }
+            CoreError::InvalidDeltaLog2 { got } => {
+                write!(f, "delta exponent must satisfy 1 <= Δ, got {got}")
+            }
+            CoreError::InvalidBase { got } => {
+                write!(f, "Morris base parameter must be finite and positive, got {got}")
+            }
+            CoreError::InvalidConstant { got } => {
+                write!(f, "universal constant C must be at least 1, got {got}")
+            }
+            CoreError::BudgetInfeasible { bits, n_max, reason } => {
+                write!(
+                    f,
+                    "no plan fits {bits} bits for counts up to {n_max}: {reason}"
+                )
+            }
+            CoreError::MergeMismatch { what } => {
+                write!(f, "counters have incompatible parameters: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let msgs = [
+            CoreError::InvalidEpsilon { got: 0.7 }.to_string(),
+            CoreError::InvalidDeltaLog2 { got: 0 }.to_string(),
+            CoreError::InvalidBase { got: -1.0 }.to_string(),
+            CoreError::InvalidConstant { got: 0.0 }.to_string(),
+            CoreError::BudgetInfeasible {
+                bits: 3,
+                n_max: 1 << 40,
+                reason: "budget smaller than loglog n",
+            }
+            .to_string(),
+            CoreError::MergeMismatch { what: "epsilon" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Ablation variant of Algorithm 1 with *unrounded* sampling rates.
+//!
+//! Remark 2.2 rounds `α` up to an inverse power of two so that (a) the
+//! `Bernoulli(α)` coin costs `t` fair flips and (b) the `Y`-rescale is a
+//! right shift. [`ExactAlphaNelsonYu`] is the literal Algorithm 1 with
+//! `α = min{1, C·ln(1/η)/(ε³T)}` kept as a real number — the reference
+//! against which the rounding's accuracy cost is measured (experiment
+//! E10). Its state accounting is idealized (a real machine cannot store
+//! `α` exactly); we charge `X` and `Y` only, plus a notional
+//! `bit_len(t)` with `t = ⌈log₂(1/α)⌉` for comparability.
+
+use crate::params::NyParams;
+use crate::{ApproxCounter, CoreError};
+use ac_bitio::{bit_len, MemoryAudit, StateBits};
+use ac_randkit::{Bernoulli, Geometric, RandomSource};
+
+/// Algorithm 1 with exact (f64) sampling rates — the no-rounding
+/// ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactAlphaNelsonYu {
+    params: NyParams,
+    x: u64,
+    y: u64,
+    alpha: f64,
+    threshold: u64,
+    peak: u64,
+}
+
+impl ExactAlphaNelsonYu {
+    /// Creates the counter (Init lines 3–4 with unrounded `α = 1`).
+    #[must_use]
+    pub fn new(params: NyParams) -> Self {
+        let x0 = params.x0();
+        let threshold = params.t_value(x0) as u64;
+        let mut this = Self {
+            params,
+            x: x0,
+            y: 0,
+            alpha: 1.0,
+            threshold,
+            peak: 0,
+        };
+        this.peak = this.state_bits();
+        this
+    }
+
+    /// The parameter schedule.
+    #[must_use]
+    pub fn params(&self) -> &NyParams {
+        &self.params
+    }
+
+    /// The current level `X`.
+    #[must_use]
+    pub fn level(&self) -> u64 {
+        self.x
+    }
+
+    /// The current sampling rate `α` (unrounded).
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The unrounded line-10 rate for level `x`, clamped monotone
+    /// non-increasing against `current`.
+    fn alpha_for(&self, x: u64, current: f64) -> f64 {
+        let raw = self.params.c() * self.params.ln_inv_eta(x)
+            / (self.params.eps().powi(3) * self.params.t_value(x));
+        raw.min(1.0).min(current)
+    }
+
+    /// Lines 8–12 with real-valued `α` and the literal
+    /// `Y ← ⌊Y·α_new/α_old⌋`.
+    fn advance_epoch(&mut self) {
+        self.x += 1;
+        let alpha_new = self.alpha_for(self.x, self.alpha);
+        self.y = ((self.y as f64) * (alpha_new / self.alpha)).floor() as u64;
+        self.alpha = alpha_new;
+        self.threshold = ((self.params.t_value(self.x) * self.alpha).floor() as u64).max(1);
+    }
+
+    fn settle(&mut self) {
+        while self.y > self.threshold {
+            self.advance_epoch();
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+}
+
+impl StateBits for ExactAlphaNelsonYu {
+    fn state_bits(&self) -> u64 {
+        // Notional t for comparability with the rounded implementation.
+        let t = if self.alpha >= 1.0 {
+            0
+        } else {
+            (1.0 / self.alpha).log2().ceil() as u64
+        };
+        u64::from(bit_len(self.x)) + u64::from(bit_len(self.y)) + u64::from(bit_len(t))
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("X", u64::from(bit_len(self.x)));
+        audit.field("Y", u64::from(bit_len(self.y)));
+        audit.field(
+            "t~",
+            self.state_bits() - u64::from(bit_len(self.x)) - u64::from(bit_len(self.y)),
+        );
+        audit
+    }
+}
+
+impl ApproxCounter for ExactAlphaNelsonYu {
+    fn name(&self) -> &'static str {
+        "nelson-yu-exact-alpha"
+    }
+
+    #[inline]
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        let survived = self.alpha >= 1.0
+            || Bernoulli::new(self.alpha)
+                .expect("alpha in (0,1]")
+                .sample(rng);
+        if survived {
+            self.y += 1;
+            self.settle();
+        }
+    }
+
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        let mut budget = n;
+        while budget > 0 {
+            if self.alpha >= 1.0 {
+                let need = self.threshold + 1 - self.y;
+                if budget < need {
+                    self.y += budget;
+                    budget = 0;
+                } else {
+                    budget -= need;
+                    self.y += need;
+                    self.settle();
+                }
+            } else {
+                match Geometric::new(self.alpha)
+                    .expect("alpha in (0,1)")
+                    .sample_within(budget, rng)
+                {
+                    Some(z) => {
+                        budget -= z;
+                        self.y += 1;
+                        self.settle();
+                    }
+                    None => budget = 0,
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.x == self.params.x0() {
+            self.y as f64
+        } else {
+            self.params.t_value(self.x)
+        }
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        *self = ExactAlphaNelsonYu::new(self.params);
+    }
+}
+
+/// Convenience constructor mirroring [`NyParams::new`].
+///
+/// # Errors
+///
+/// Propagates parameter validation.
+pub fn exact_alpha_counter(eps: f64, delta_log2: u32) -> Result<ExactAlphaNelsonYu, CoreError> {
+    Ok(ExactAlphaNelsonYu::new(NyParams::new(eps, delta_log2)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    #[test]
+    fn exact_epoch_counts_exactly() {
+        let c = exact_alpha_counter(0.2, 10).unwrap();
+        let mut c = c;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let t0 = c.threshold;
+        for i in 1..=t0 {
+            c.increment(&mut rng);
+            assert_eq!(c.estimate(), i as f64);
+        }
+    }
+
+    #[test]
+    fn alpha_is_monotone_nonincreasing() {
+        let mut c = exact_alpha_counter(0.25, 8).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut prev = c.alpha();
+        for _ in 0..200_000 {
+            c.increment(&mut rng);
+            assert!(c.alpha() <= prev + 1e-15);
+            prev = c.alpha();
+        }
+        assert!(prev < 1.0, "sampling should have kicked in");
+    }
+
+    #[test]
+    fn accuracy_matches_rounded_variant() {
+        // The rounded and exact-alpha implementations must agree in
+        // accuracy scale (that is the point of the ablation).
+        use crate::NelsonYuCounter;
+        let p = NyParams::new(0.2, 7).unwrap();
+        let n = 300_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let trials = 1_500;
+        let mut exact_err = 0.0;
+        let mut rounded_err = 0.0;
+        for _ in 0..trials {
+            let mut a = ExactAlphaNelsonYu::new(p);
+            a.increment_by(n, &mut rng);
+            exact_err += ((a.estimate() - n as f64) / n as f64).abs();
+            let mut b = NelsonYuCounter::new(p);
+            b.increment_by(n, &mut rng);
+            rounded_err += ((b.estimate() - n as f64) / n as f64).abs();
+        }
+        let (ea, eb) = (exact_err / trials as f64, rounded_err / trials as f64);
+        assert!(ea < 0.2 && eb < 0.2, "mean errors {ea} {eb}");
+        let ratio = (ea / eb).max(eb / ea);
+        assert!(ratio < 2.0, "rounding should not change the error scale: {ea} vs {eb}");
+    }
+
+    #[test]
+    fn space_matches_rounded_variant_within_two_bits() {
+        use crate::NelsonYuCounter;
+        let p = NyParams::new(0.15, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut a = ExactAlphaNelsonYu::new(p);
+        let mut b = NelsonYuCounter::new(p);
+        a.increment_by(5_000_000, &mut rng);
+        b.increment_by(5_000_000, &mut rng);
+        let diff = (a.peak_state_bits() as i64 - b.peak_state_bits() as i64).abs();
+        assert!(diff <= 2, "peaks {} vs {}", a.peak_state_bits(), b.peak_state_bits());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = exact_alpha_counter(0.3, 6).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        c.increment_by(100_000, &mut rng);
+        c.reset();
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.alpha(), 1.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! `Morris(a)` — the original 1978 approximate counter, parameterized by
+//! the base `1 + a` as in §1.2 of the paper.
+
+use crate::{ApproxCounter, CoreError};
+use ac_bitio::{bit_len, MemoryAudit, StateBits};
+use ac_randkit::{Bernoulli, Geometric, RandomSource};
+
+/// The Morris Counter `Morris(a)`: stores a level `X`, increments it with
+/// probability `(1+a)^{-X}`, and estimates `N̂ = a⁻¹((1+a)^X − 1)`.
+///
+/// * The estimator is unbiased with variance `a·N(N−1)/2` (§1.2); tests
+///   verify both.
+/// * `a = 1` is Morris' original base-2 counter
+///   ([`MorrisCounter::classic`]), which by \[Fla85\] *cannot* achieve
+///   success probability better than a constant (experiment E3).
+/// * With `a = ε²/(8 ln(1/δ))` and the Morris+ prefix tweak it achieves
+///   the optimal bound of Theorem 1.2 (see
+///   [`MorrisPlus`](crate::MorrisPlus)).
+///
+/// An optional level cap models a fixed-width hardware register (used by
+/// the Figure 1 "17 bits of memory" parameterization); when the cap is
+/// reached the counter saturates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorrisCounter {
+    /// The level `X`.
+    x: u64,
+    /// The base parameter `a > 0`.
+    a: f64,
+    /// Precomputed `ln(1+a)`.
+    ln1a: f64,
+    /// Saturation level (`None` = unbounded).
+    x_cap: Option<u64>,
+    /// Memory high-water mark (instrumentation, not state).
+    peak: u64,
+}
+
+impl MorrisCounter {
+    /// Creates `Morris(a)` with unbounded level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBase`] unless `a` is finite and
+    /// positive.
+    pub fn new(a: f64) -> Result<Self, CoreError> {
+        if !(a.is_finite() && a > 0.0) {
+            return Err(CoreError::InvalidBase { got: a });
+        }
+        Ok(Self {
+            x: 0,
+            a,
+            ln1a: a.ln_1p(),
+            x_cap: None,
+            peak: u64::from(bit_len(0)),
+        })
+    }
+
+    /// Creates `Morris(a)` whose level register saturates at `x_cap`
+    /// (a `bit_len(x_cap)`-bit register).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MorrisCounter::new`].
+    pub fn with_cap(a: f64, x_cap: u64) -> Result<Self, CoreError> {
+        let mut c = Self::new(a)?;
+        c.x_cap = Some(x_cap);
+        Ok(c)
+    }
+
+    /// Morris' original counter: base 2 (`a = 1`), increment probability
+    /// `2^{-X}`, estimator `2^X − 1`.
+    #[must_use]
+    pub fn classic() -> Self {
+        Self::new(1.0).expect("a = 1 is valid")
+    }
+
+    /// The base parameter `a`.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// The current level `X`.
+    #[must_use]
+    pub fn level(&self) -> u64 {
+        self.x
+    }
+
+    /// The saturation cap, if any.
+    #[must_use]
+    pub fn cap(&self) -> Option<u64> {
+        self.x_cap
+    }
+
+    /// True when a capped counter has hit its cap and stopped moving.
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        self.x_cap.is_some_and(|cap| self.x >= cap)
+    }
+
+    /// The probability that the *next* increment advances the level:
+    /// `(1+a)^{-X}` (0 when saturated).
+    #[must_use]
+    pub fn advance_probability(&self) -> f64 {
+        if self.saturated() {
+            0.0
+        } else {
+            (-(self.x as f64) * self.ln1a).exp()
+        }
+    }
+
+    /// The level the counter concentrates around after `n` increments:
+    /// `log_{1+a}(a·n + 1)` (from `E[(1+a)^X] = a·n + 1`).
+    #[must_use]
+    pub fn expected_level(a: f64, n: u64) -> f64 {
+        (a * n as f64).ln_1p() / a.ln_1p()
+    }
+
+    /// Directly sets the level `X` — the counter's entire state — for
+    /// deserialization (e.g. unpacking from a
+    /// [`BitVec`](ac_bitio::BitVec)-packed counter array) and
+    /// diagnostics. Respects the cap.
+    pub fn set_level(&mut self, x: u64) {
+        self.x = match self.x_cap {
+            Some(cap) => x.min(cap),
+            None => x,
+        };
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    /// Merges another Morris counter into this one (`[CY20, §2.1]`).
+    ///
+    /// After merging, the state of `self` is distributed as if it had
+    /// processed all increments seen by both counters. The procedure:
+    /// starting from the larger level `X = max(X₁, X₂)`, replay each level
+    /// `j = 1..=min(X₁, X₂)` of the other counter, incrementing `X` with
+    /// probability `(1+a)^{j-1-X}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MergeMismatch`] if the base parameters or caps
+    /// differ.
+    pub fn merge_from(
+        &mut self,
+        other: &MorrisCounter,
+        rng: &mut dyn RandomSource,
+    ) -> Result<(), CoreError> {
+        if self.a.to_bits() != other.a.to_bits() {
+            return Err(CoreError::MergeMismatch { what: "base parameter a" });
+        }
+        if self.x_cap != other.x_cap {
+            return Err(CoreError::MergeMismatch { what: "level cap" });
+        }
+        let (hi, lo) = (self.x.max(other.x), self.x.min(other.x));
+        self.x = hi;
+        for j in 1..=lo {
+            // Accept with probability (1+a)^(j-1-X): one level of the
+            // smaller counter "weighs" (1+a)^(j-1) increments relative to
+            // the current acceptance rate (1+a)^(-X).
+            let p = ((j as f64 - 1.0 - self.x as f64) * self.ln1a).exp();
+            debug_assert!(p <= 1.0 + 1e-12, "j-1 <= lo <= X must hold");
+            if Bernoulli::new(p.min(1.0))
+                .expect("probability in range")
+                .sample(rng)
+                && !self.saturated()
+            {
+                self.x += 1;
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+        Ok(())
+    }
+}
+
+/// The exact distribution of the `Morris(a)` level `X` after `n`
+/// increments, by forward dynamic programming over levels:
+/// `P[X' = j] = P[X = j]·(1 − p_j) + P[X = j−1]·p_{j−1}` with
+/// `p_j = (1+a)^{-j}`.
+///
+/// Returns `dist` with `dist[j] = P[X = j after n increments]`
+/// (`len = n + 1`). Exact up to f64 rounding — this is how experiment E4
+/// evaluates Appendix A's `≈ 10⁻⁹` failure probabilities, far below
+/// Monte Carlo reach. Cost is `O(n²)`; intended for `n ≤ ~10⁴`.
+///
+/// # Panics
+///
+/// Panics for invalid `a` or `n > 100_000` (quadratic cost guard).
+#[must_use]
+pub fn exact_level_distribution(a: f64, n: u64) -> Vec<f64> {
+    assert!(a.is_finite() && a > 0.0, "invalid base");
+    assert!(n <= 100_000, "quadratic DP guard");
+    let n = n as usize;
+    let ln1a = a.ln_1p();
+    // Advance probabilities p_j for j = 0..n.
+    let p: Vec<f64> = (0..=n).map(|j| (-(j as f64) * ln1a).exp()).collect();
+    let mut dist = vec![0.0f64; n + 1];
+    dist[0] = 1.0;
+    let mut hi = 0usize; // highest level with nonzero mass
+    for _ in 0..n {
+        // Walk downward so each step reads pre-update values.
+        let new_hi = (hi + 1).min(n);
+        for j in (0..=new_hi).rev() {
+            let stay = dist[j] * (1.0 - p[j]);
+            let come = if j > 0 { dist[j - 1] * p[j - 1] } else { 0.0 };
+            dist[j] = stay + come;
+        }
+        hi = new_hi;
+    }
+    dist
+}
+
+impl StateBits for MorrisCounter {
+    fn state_bits(&self) -> u64 {
+        // Only X is program state: `a` is a program constant (Remark 2.2
+        // storage model).
+        u64::from(bit_len(self.x))
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("X", self.state_bits());
+        audit
+    }
+}
+
+impl ApproxCounter for MorrisCounter {
+    fn name(&self) -> &'static str {
+        "morris"
+    }
+
+    #[inline]
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        if self.saturated() {
+            return;
+        }
+        let p = self.advance_probability();
+        if rng.next_f64() < p {
+            self.x += 1;
+            self.peak = self.peak.max(self.state_bits());
+        }
+    }
+
+    /// Fast-forward using the geometric decomposition of §2.2: the time
+    /// spent at level `i` is `Z_i ~ Geometric((1+a)^{-i})`, so `n`
+    /// increments cost `O(X_final)` geometric draws instead of `n` coin
+    /// flips.
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        let mut budget = n;
+        while budget > 0 && !self.saturated() {
+            let p = self.advance_probability();
+            if p < f64::MIN_POSITIVE {
+                break; // level so high that an advance is numerically impossible
+            }
+            let z = Geometric::new(p).expect("p in (0,1]").sample(rng);
+            if z > budget {
+                break; // no advance within the remaining increments
+            }
+            budget -= z;
+            self.x += 1;
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        // a⁻¹((1+a)^X − 1) = expm1(X·ln(1+a))/a, numerically stable for
+        // small a.
+        (self.x as f64 * self.ln1a).exp_m1() / self.a
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        self.x = 0;
+        self.peak = u64::from(bit_len(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+    use ac_stats::Summary;
+
+    #[test]
+    fn rejects_bad_base() {
+        assert!(MorrisCounter::new(0.0).is_err());
+        assert!(MorrisCounter::new(-1.0).is_err());
+        assert!(MorrisCounter::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn first_increment_is_deterministic() {
+        // At X = 0 the advance probability is (1+a)^0 = 1.
+        let mut c = MorrisCounter::classic();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        c.increment(&mut rng);
+        assert_eq!(c.level(), 1);
+        assert_eq!(c.estimate(), 1.0);
+    }
+
+    #[test]
+    fn estimate_formula_matches_closed_form() {
+        let mut c = MorrisCounter::classic();
+        c.set_level(10);
+        // a = 1: estimator = 2^X - 1.
+        assert_eq!(c.estimate(), 1023.0);
+
+        let mut c = MorrisCounter::new(0.5).unwrap();
+        c.set_level(4);
+        // (1.5^4 - 1)/0.5 = (5.0625 - 1)*2 = 8.125
+        assert!((c.estimate() - 8.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_is_unbiased() {
+        // E[estimate after n increments] = n (§1.2). Verified at n = 200,
+        // a = 0.3 over many trials.
+        let n = 200u64;
+        let a = 0.3;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut s = Summary::new();
+        for _ in 0..30_000 {
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n, &mut rng);
+            s.push(c.estimate());
+        }
+        let tolerance = 6.0 * s.std_error();
+        assert!(
+            (s.mean() - n as f64).abs() < tolerance,
+            "mean={} n={n} tol={tolerance}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn estimator_variance_matches_formula() {
+        // Var = a·n(n−1)/2 (§1.2).
+        let n = 100u64;
+        let a = 0.5;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut s = Summary::new();
+        for _ in 0..40_000 {
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n, &mut rng);
+            s.push(c.estimate());
+        }
+        let theory = ac_stats::theory::morris_estimator_variance(a, n);
+        let rel = (s.variance() - theory).abs() / theory;
+        assert!(rel < 0.05, "sample var {} vs theory {theory}", s.variance());
+    }
+
+    #[test]
+    fn fast_forward_matches_step_by_step_distribution() {
+        // Same seed gives different streams (different draw counts), so
+        // compare the *distributions* of the final level over many trials.
+        let n = 500u64;
+        let a = 1.0;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 20_000;
+        let mut ff = Vec::with_capacity(trials);
+        let mut step = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n, &mut rng);
+            ff.push(c.level() as f64);
+
+            let mut c = MorrisCounter::new(a).unwrap();
+            for _ in 0..n {
+                c.increment(&mut rng);
+            }
+            step.push(c.level() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&ff, &step);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn expected_level_is_where_the_counter_concentrates() {
+        let a = 0.1;
+        let n = 1_000_000u64;
+        let expect = MorrisCounter::expected_level(a, n);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut s = Summary::new();
+        for _ in 0..500 {
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n, &mut rng);
+            s.push(c.level() as f64);
+        }
+        // Levels concentrate within a few sqrt(1/a) of the expectation.
+        assert!(
+            (s.mean() - expect).abs() < 3.0,
+            "mean level {} vs {expect}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn cap_saturates() {
+        let mut c = MorrisCounter::with_cap(1.0, 3).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        c.increment_by(1_000_000, &mut rng);
+        assert_eq!(c.level(), 3);
+        assert!(c.saturated());
+        assert_eq!(c.advance_probability(), 0.0);
+        // Saturated counter ignores further increments.
+        c.increment(&mut rng);
+        assert_eq!(c.level(), 3);
+    }
+
+    #[test]
+    fn state_bits_is_bit_length_of_level() {
+        let mut c = MorrisCounter::classic();
+        c.set_level(0);
+        assert_eq!(c.state_bits(), 1);
+        c.set_level(255);
+        assert_eq!(c.state_bits(), 8);
+        assert_eq!(c.peak_state_bits(), 8);
+        c.reset();
+        assert_eq!(c.state_bits(), 1);
+        assert_eq!(c.peak_state_bits(), 1);
+    }
+
+    #[test]
+    fn merge_requires_same_parameters() {
+        let mut a = MorrisCounter::new(0.5).unwrap();
+        let b = MorrisCounter::new(0.25).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        assert!(matches!(
+            a.merge_from(&b, &mut rng),
+            Err(CoreError::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_mean_is_additive() {
+        // E[estimate of merged] should be N1 + N2.
+        let (n1, n2) = (300u64, 700u64);
+        let a = 0.4;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let mut s = Summary::new();
+        for _ in 0..20_000 {
+            let mut c1 = MorrisCounter::new(a).unwrap();
+            c1.increment_by(n1, &mut rng);
+            let mut c2 = MorrisCounter::new(a).unwrap();
+            c2.increment_by(n2, &mut rng);
+            c1.merge_from(&c2, &mut rng).unwrap();
+            s.push(c1.estimate());
+        }
+        let tol = 6.0 * s.std_error();
+        assert!(
+            (s.mean() - (n1 + n2) as f64).abs() < tol,
+            "mean={} tol={tol}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_distribution() {
+        // Remark 2.4-style KS check for the Morris merge [CY20 §2.1].
+        let (n1, n2) = (200u64, 300u64);
+        let a = 1.0;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let trials = 20_000;
+        let mut merged = Vec::with_capacity(trials);
+        let mut sequential = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut c1 = MorrisCounter::new(a).unwrap();
+            c1.increment_by(n1, &mut rng);
+            let mut c2 = MorrisCounter::new(a).unwrap();
+            c2.increment_by(n2, &mut rng);
+            c1.merge_from(&c2, &mut rng).unwrap();
+            merged.push(c1.level() as f64);
+
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n1 + n2, &mut rng);
+            sequential.push(c.level() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&merged, &sequential);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn exact_distribution_is_a_probability_vector() {
+        for &(a, n) in &[(1.0, 50u64), (0.1, 200), (0.003, 100)] {
+            let dist = exact_level_distribution(a, n);
+            assert_eq!(dist.len() as u64, n + 1);
+            let total: f64 = dist.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "a={a} n={n}: total={total}");
+            assert!(dist.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn exact_distribution_small_cases_by_hand() {
+        // n = 1: X = 1 with probability 1 (level 0 always advances).
+        let d = exact_level_distribution(1.0, 1);
+        assert!((d[1] - 1.0).abs() < 1e-15);
+        // n = 2, a = 1: second increment advances w.p. 1/2.
+        let d = exact_level_distribution(1.0, 2);
+        assert!((d[1] - 0.5).abs() < 1e-15);
+        assert!((d[2] - 0.5).abs() < 1e-15);
+        // n = 3, a = 1: P[X=3] = 1/2 · 1/4 = 1/8;
+        // P[X=1] = 1/2 · 1/2 = 1/4; P[X=2] = 1 − 1/4 − 1/8 = 5/8.
+        let d = exact_level_distribution(1.0, 3);
+        assert!((d[1] - 0.25).abs() < 1e-15);
+        assert!((d[2] - 0.625).abs() < 1e-15);
+        assert!((d[3] - 0.125).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exact_distribution_mean_matches_unbiasedness() {
+        // E[((1+a)^X - 1)/a] over the exact distribution must equal n.
+        let (a, n) = (0.25, 300u64);
+        let dist = exact_level_distribution(a, n);
+        let mean_est: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| p * ((j as f64) * a.ln_1p()).exp_m1() / a)
+            .sum();
+        assert!(
+            (mean_est - n as f64).abs() < 1e-6 * n as f64,
+            "mean {mean_est}"
+        );
+    }
+
+    #[test]
+    fn exact_distribution_matches_simulation() {
+        let (a, n) = (0.5, 40u64);
+        let dist = exact_level_distribution(a, n);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let trials = 40_000u32;
+        let mut counts = vec![0u32; (n + 1) as usize];
+        for _ in 0..trials {
+            let mut c = MorrisCounter::new(a).unwrap();
+            c.increment_by(n, &mut rng);
+            counts[c.level() as usize] += 1;
+        }
+        for (j, (&p, &obs)) in dist.iter().zip(counts.iter()).enumerate() {
+            let expected = p * f64::from(trials);
+            if expected >= 20.0 {
+                let sigma = (expected * (1.0 - p)).sqrt();
+                assert!(
+                    (f64::from(obs) - expected).abs() < 6.0 * sigma,
+                    "level {j}: {obs} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_increments_leave_estimate_zero() {
+        let c = MorrisCounter::classic();
+        assert_eq!(c.estimate(), 0.0);
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn tiny_base_handles_large_counts() {
+        let a = 1e-5;
+        let mut c = MorrisCounter::new(a).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let n = 10_000_000u64;
+        c.increment_by(n, &mut rng);
+        let rel = (c.estimate() - n as f64).abs() / n as f64;
+        // sd ≈ sqrt(a/2) ≈ 0.22 %; allow 6 sigma.
+        assert!(rel < 0.015, "relative error {rel}");
+    }
+}

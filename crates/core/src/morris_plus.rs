@@ -1,0 +1,354 @@
+//! "Morris+": `Morris(a)` with the deterministic-prefix tweak the paper
+//! proves both sufficient (Theorem 1.2) and necessary (Appendix A).
+
+use crate::params::{morris_a, morris_plus_cutoff};
+use crate::{ApproxCounter, CoreError, MorrisCounter};
+use ac_bitio::{bit_len, MemoryAudit, StateBits};
+use ac_randkit::RandomSource;
+
+/// Morris+ (§1, §2.2, Appendix A): run a deterministic counter saturating
+/// at `N_a + 1` *in parallel* with `Morris(a)`; answer queries from the
+/// deterministic counter while it is exact (`≤ N_a`) and from the Morris
+/// estimator afterwards.
+///
+/// With `a = ε²/(8 ln(1/δ))` and `N_a = ⌈8/a⌉` this achieves
+/// `P(|N̂ − N| > 2εN) ≤ 2δ` in
+/// `O(log log N + log(1/ε) + log log(1/δ))` bits (Theorem 1.2).
+/// Appendix A shows the prefix is *necessary*: vanilla `Morris(a)` fails
+/// with probability `≫ δ` at `N = Θ(ε^{4/3}/a)` (experiment E4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MorrisPlus {
+    /// Deterministic prefix counter; saturates at `cutoff + 1`.
+    prefix: u64,
+    /// `N_a`: largest count answered deterministically.
+    cutoff: u64,
+    /// The underlying `Morris(a)`.
+    morris: MorrisCounter,
+    peak: u64,
+}
+
+impl MorrisPlus {
+    /// Creates Morris+ for target accuracy `ε` and failure probability
+    /// `δ = 2^{-Δ}`, using the paper's `a = ε²/(8 ln(1/δ))` and
+    /// `N_a = ⌈8/a⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn new(eps: f64, delta_log2: u32) -> Result<Self, CoreError> {
+        Self::with_base(morris_a(eps, delta_log2)?)
+    }
+
+    /// Creates Morris+ directly from the base parameter `a`, with the
+    /// standard cutoff `N_a = ⌈8/a⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBase`] for invalid `a`.
+    pub fn with_base(a: f64) -> Result<Self, CoreError> {
+        let cutoff = morris_plus_cutoff(a);
+        Self::with_base_and_cutoff(a, cutoff)
+    }
+
+    /// Creates Morris+ with an explicit switchover point (used by the
+    /// Appendix A experiment, which studies *wrong* cutoffs like
+    /// `c·ε^{4/3}/a`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidBase`] for invalid `a`.
+    pub fn with_base_and_cutoff(a: f64, cutoff: u64) -> Result<Self, CoreError> {
+        let morris = MorrisCounter::new(a)?;
+        let mut this = Self {
+            prefix: 0,
+            cutoff,
+            morris,
+            peak: 0,
+        };
+        this.peak = this.state_bits();
+        Ok(this)
+    }
+
+    /// The base parameter `a`.
+    #[must_use]
+    pub fn a(&self) -> f64 {
+        self.morris.a()
+    }
+
+    /// The switchover point `N_a`.
+    #[must_use]
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+
+    /// True while queries are still answered exactly by the prefix
+    /// counter.
+    #[must_use]
+    pub fn in_exact_regime(&self) -> bool {
+        self.prefix <= self.cutoff
+    }
+
+    /// The inner Morris counter (for diagnostics).
+    #[must_use]
+    pub fn morris(&self) -> &MorrisCounter {
+        &self.morris
+    }
+
+    /// The deterministic prefix register's current value.
+    #[must_use]
+    pub fn prefix(&self) -> u64 {
+        self.prefix
+    }
+
+    /// Restores the two-register state `(prefix, level)` captured via
+    /// [`MorrisPlus::prefix`] and `morris().level()` (deserialization).
+    pub fn restore_parts(&mut self, prefix: u64, level: u64) {
+        self.prefix = prefix.min(self.cutoff + 1);
+        self.morris.set_level(level);
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    /// Merges another Morris+ counter into this one.
+    ///
+    /// The deterministic prefixes add exactly (saturating at `N_a + 1`,
+    /// which is correct because each prefix equals `min(N_i, N_a + 1)`
+    /// and the merged count is `N₁ + N₂`); the Morris parts merge by
+    /// `[CY20 §2.1]` via [`MorrisCounter::merge_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MergeMismatch`] if base parameters or
+    /// cutoffs differ.
+    pub fn merge_from(
+        &mut self,
+        other: &MorrisPlus,
+        rng: &mut dyn RandomSource,
+    ) -> Result<(), CoreError> {
+        if self.cutoff != other.cutoff {
+            return Err(CoreError::MergeMismatch { what: "Morris+ cutoff" });
+        }
+        self.morris.merge_from(&other.morris, rng)?;
+        self.prefix = self
+            .prefix
+            .saturating_add(other.prefix)
+            .min(self.cutoff + 1);
+        self.peak = self.peak.max(self.state_bits());
+        Ok(())
+    }
+}
+
+impl StateBits for MorrisPlus {
+    fn state_bits(&self) -> u64 {
+        // The prefix register and the Morris level are both live state.
+        u64::from(bit_len(self.prefix)) + self.morris.state_bits()
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("prefix", u64::from(bit_len(self.prefix)));
+        audit.field("X", self.morris.state_bits());
+        audit
+    }
+}
+
+impl ApproxCounter for MorrisPlus {
+    fn name(&self) -> &'static str {
+        "morris+"
+    }
+
+    #[inline]
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        // "we process the increment both by Morris(a) and by
+        // deterministically incrementing X′, unless its value is Na + 1"
+        // (Appendix A).
+        if self.prefix <= self.cutoff {
+            self.prefix += 1;
+        }
+        self.morris.increment(rng);
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        self.prefix = self.prefix.saturating_add(n).min(self.cutoff + 1);
+        self.morris.increment_by(n, rng);
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        if self.in_exact_regime() {
+            self.prefix as f64
+        } else {
+            self.morris.estimate()
+        }
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        self.prefix = 0;
+        self.morris.reset();
+        self.peak = self.state_bits();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+    use ac_stats::Summary;
+
+    #[test]
+    fn exact_below_cutoff() {
+        let mut c = MorrisPlus::with_base_and_cutoff(1.0, 100).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for i in 1..=100u64 {
+            c.increment(&mut rng);
+            assert_eq!(c.estimate(), i as f64, "must be exact up to N_a");
+        }
+        assert!(c.in_exact_regime());
+        c.increment(&mut rng);
+        assert!(!c.in_exact_regime());
+    }
+
+    #[test]
+    fn switches_to_morris_after_cutoff() {
+        let mut c = MorrisPlus::with_base(0.1).unwrap();
+        let cutoff = c.cutoff();
+        assert_eq!(cutoff, 80);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        c.increment_by(cutoff + 1, &mut rng);
+        assert!(!c.in_exact_regime());
+        // The estimate now comes from Morris; it should be within a few
+        // multiples of the true count (a = 0.1 => sd ~ 22 % at this N).
+        let rel = (c.estimate() - (cutoff + 1) as f64).abs() / (cutoff + 1) as f64;
+        assert!(rel < 1.5, "rel={rel}");
+    }
+
+    #[test]
+    fn default_cutoff_matches_paper() {
+        let eps = 0.1;
+        let delta_log2 = 10;
+        let c = MorrisPlus::new(eps, delta_log2).unwrap();
+        let a = morris_a(eps, delta_log2).unwrap();
+        assert_eq!(c.cutoff(), (8.0 / a).ceil() as u64);
+        assert!((c.a() - a).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bulk_and_step_prefix_agree() {
+        let mut a = MorrisPlus::with_base_and_cutoff(1.0, 50).unwrap();
+        let mut b = MorrisPlus::with_base_and_cutoff(1.0, 50).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        a.increment_by(200, &mut rng);
+        for _ in 0..200 {
+            b.increment(&mut rng);
+        }
+        assert_eq!(a.prefix, b.prefix);
+        assert_eq!(a.prefix, 51, "prefix saturates at N_a + 1");
+    }
+
+    #[test]
+    fn accuracy_at_target_parameters() {
+        // ε = 0.2, δ = 2^-6: failure rate P(|N̂-N| > 2εN) should be ≲ 2δ ≈ 3 %.
+        let (eps, dlog) = (0.2, 6u32);
+        let n = 500_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let trials = 2_000;
+        let mut failures = 0u32;
+        let mut s = Summary::new();
+        for _ in 0..trials {
+            let mut c = MorrisPlus::new(eps, dlog).unwrap();
+            c.increment_by(n, &mut rng);
+            let rel = (c.estimate() - n as f64).abs() / n as f64;
+            s.push(rel);
+            if rel > 2.0 * eps {
+                failures += 1;
+            }
+        }
+        let rate = f64::from(failures) / f64::from(trials);
+        assert!(rate <= 0.05, "failure rate {rate}");
+    }
+
+    #[test]
+    fn state_bits_counts_both_registers() {
+        let mut c = MorrisPlus::with_base_and_cutoff(1.0, 100).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        c.increment_by(101, &mut rng);
+        let audit = c.memory_audit();
+        assert_eq!(audit.fields().len(), 2);
+        assert_eq!(audit.total_bits(), c.state_bits());
+        // prefix = 101 needs 7 bits.
+        assert_eq!(audit.fields()[0].1, 7);
+    }
+
+    #[test]
+    fn merge_requires_matching_cutoffs() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut a = MorrisPlus::with_base_and_cutoff(0.5, 100).unwrap();
+        let b = MorrisPlus::with_base_and_cutoff(0.5, 200).unwrap();
+        assert!(a.merge_from(&b, &mut rng).is_err());
+        let c = MorrisPlus::with_base_and_cutoff(0.25, 100).unwrap();
+        assert!(a.merge_from(&c, &mut rng).is_err());
+    }
+
+    #[test]
+    fn merge_below_cutoff_is_exact_addition() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let mut a = MorrisPlus::with_base_and_cutoff(0.5, 1_000).unwrap();
+        a.increment_by(300, &mut rng);
+        let mut b = MorrisPlus::with_base_and_cutoff(0.5, 1_000).unwrap();
+        b.increment_by(450, &mut rng);
+        a.merge_from(&b, &mut rng).unwrap();
+        assert_eq!(a.estimate(), 750.0, "prefix regime merge is exact");
+        assert!(a.in_exact_regime());
+    }
+
+    #[test]
+    fn merge_crossing_cutoff_switches_to_morris() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut a = MorrisPlus::with_base_and_cutoff(0.1, 500).unwrap();
+        a.increment_by(400, &mut rng);
+        let mut b = MorrisPlus::with_base_and_cutoff(0.1, 500).unwrap();
+        b.increment_by(400, &mut rng);
+        a.merge_from(&b, &mut rng).unwrap();
+        assert!(!a.in_exact_regime(), "merged count 800 > cutoff 500");
+        // Estimate now comes from the merged Morris part: sane scale.
+        let rel = (a.estimate() - 800.0).abs() / 800.0;
+        assert!(rel < 2.0, "rel {rel}");
+    }
+
+    #[test]
+    fn merge_mean_is_additive_above_cutoff() {
+        let (n1, n2) = (20_000u64, 60_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mut s = Summary::new();
+        for _ in 0..5_000 {
+            let mut a = MorrisPlus::new(0.2, 6).unwrap();
+            a.increment_by(n1, &mut rng);
+            let mut b = MorrisPlus::new(0.2, 6).unwrap();
+            b.increment_by(n2, &mut rng);
+            a.merge_from(&b, &mut rng).unwrap();
+            s.push(a.estimate());
+        }
+        let total = (n1 + n2) as f64;
+        let tol = 6.0 * s.std_error();
+        assert!(
+            (s.mean() - total).abs() < tol,
+            "merged mean {} vs {total}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = MorrisPlus::with_base(0.5).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        c.increment_by(1_000, &mut rng);
+        c.reset();
+        assert_eq!(c.estimate(), 0.0);
+        assert!(c.in_exact_regime());
+        assert_eq!(c.state_bits(), 2); // prefix:1 + X:1
+    }
+}

@@ -1,0 +1,609 @@
+//! **Algorithm 1** of Nelson & Yu: the optimal approximate counter.
+//!
+//! The counter runs a sequence of promise decision problems: in the epoch
+//! at level `X`, it samples increments into an auxiliary counter `Y` at
+//! rate `α = 2^{-t}` and advances to the next epoch (incrementing `X`)
+//! when `Y` exceeds the threshold `⌊αT⌋` with `T = ⌈(1+ε)^X⌉`. Queries
+//! return `Y` during the initial exact epoch and `T` afterwards.
+//!
+//! Storage follows Remark 2.2 exactly: only `X`, `Y` and the sampling
+//! exponent `t` are program state; `T`, `η` and `α` are recomputed from
+//! `X` and the program constants `(ε, Δ, C)`; the `Bernoulli(2^{-t})` coin
+//! is realized by `t` fair coin flips
+//! ([`BernoulliPow2`](ac_randkit::BernoulliPow2)); `α` is rounded up to an
+//! inverse power of two so the `Y`-rescale on epoch change
+//! (`Y ← ⌊Y·α_new/α_old⌋`) is a right shift.
+
+use crate::params::NyParams;
+use crate::{ApproxCounter, CoreError};
+use ac_bitio::{bit_len, MemoryAudit, StateBits};
+use ac_randkit::{BernoulliPow2, Geometric, RandomSource};
+
+/// The Nelson–Yu counter (Algorithm 1), achieving
+/// `O(log log N + log(1/ε) + log log(1/δ))` bits with the
+/// doubly-exponential space tail of Theorem 2.3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelsonYuCounter {
+    params: NyParams,
+    /// The level `X` (starts at `X₀`).
+    x: u64,
+    /// The auxiliary sampled counter `Y`.
+    y: u64,
+    /// Sampling exponent: `α = 2^{-t}`. Monotone nondecreasing over the
+    /// counter's lifetime (required for mergeability, Remark 2.4).
+    t: u32,
+    /// Cached epoch threshold `⌊T(X)·2^{-t}⌋` (scratch, recomputed on
+    /// epoch change; not counted as state).
+    threshold: u64,
+    /// Memory high-water mark (instrumentation, not state).
+    peak: u64,
+}
+
+impl NelsonYuCounter {
+    /// Creates the counter for the given parameter schedule (Init lines
+    /// 3–4 of Algorithm 1).
+    #[must_use]
+    pub fn new(params: NyParams) -> Self {
+        let x0 = params.x0();
+        let threshold = params.threshold_for(x0, 0);
+        let mut this = Self {
+            params,
+            x: x0,
+            y: 0,
+            t: 0,
+            threshold,
+            peak: 0,
+        };
+        this.peak = this.state_bits();
+        this
+    }
+
+    /// The parameter schedule.
+    #[must_use]
+    pub fn params(&self) -> &NyParams {
+        &self.params
+    }
+
+    /// The current level `X`.
+    #[must_use]
+    pub fn level(&self) -> u64 {
+        self.x
+    }
+
+    /// The current auxiliary counter `Y`.
+    #[must_use]
+    pub fn y(&self) -> u64 {
+        self.y
+    }
+
+    /// The current sampling exponent `t` (`α = 2^{-t}`).
+    #[must_use]
+    pub fn sampling_exponent(&self) -> u32 {
+        self.t
+    }
+
+    /// The current sampling rate `α = 2^{-t}`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        (-f64::from(self.t)).exp2()
+    }
+
+    /// The current epoch index `k = X − X₀` (0 = the exact epoch).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.x - self.params.x0()
+    }
+
+    /// True while queries are answered exactly (`X = X₀`, `α = 1`).
+    #[must_use]
+    pub fn in_exact_epoch(&self) -> bool {
+        self.x == self.params.x0()
+    }
+
+    /// The epoch-advance threshold currently in force.
+    #[must_use]
+    pub fn current_threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// The full persistent state `(X, Y, t)` for serialization.
+    #[must_use]
+    pub fn state_parts(&self) -> (u64, u64, u32) {
+        (self.x, self.y, self.t)
+    }
+
+    /// Restores a state captured by [`NelsonYuCounter::state_parts`]
+    /// (deserialization, e.g. unpacking a packed counter array).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state violates the schedule invariants
+    /// (`x < X₀`, a sampling exponent below the schedule's, or `Y` above
+    /// the epoch threshold).
+    pub fn restore_parts(&mut self, x: u64, y: u64, t: u32) {
+        assert!(x >= self.params.x0(), "level below X0");
+        assert!(
+            t >= self.params.alpha_exponent(x),
+            "sampling exponent below schedule"
+        );
+        let threshold = self.params.threshold_for(x, t);
+        assert!(y <= threshold, "Y above epoch threshold");
+        self.x = x;
+        self.y = y;
+        self.t = t;
+        self.threshold = threshold;
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    /// Lines 8–12 of Algorithm 1: enter the next epoch and rescale `Y`.
+    fn advance_epoch(&mut self) {
+        self.x += 1;
+        // α rounded up to an inverse power of two (Remark 2.2), clamped
+        // monotone so the sampling rate never increases (Remark 2.4).
+        let t_new = self.params.alpha_exponent(self.x).max(self.t);
+        // Y ← ⌊Y · α_new/α_old⌋ is exactly a right shift.
+        self.y >>= t_new - self.t;
+        self.t = t_new;
+        self.threshold = self.params.threshold_for(self.x, self.t);
+    }
+
+    /// Restores the `Y ≤ threshold` invariant after a survivor landed.
+    #[inline]
+    fn settle(&mut self) {
+        while self.y > self.threshold {
+            self.advance_epoch();
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    /// Merges `other` into `self` (Remark 2.4: the counter is *fully
+    /// mergeable* — nothing is lost in `ε` or `δ`).
+    ///
+    /// The per-epoch survivor counts of the lower counter are
+    /// deterministic functions of the schedule (every epoch ends exactly
+    /// at `threshold + 1`), so they can be replayed into the higher
+    /// counter: a survivor accepted at rate `α_i` is re-accepted at the
+    /// current rate `α` with probability `α/α_i = 2^{-(t − t_i)}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MergeMismatch`] if the schedules differ.
+    pub fn merge_from(
+        &mut self,
+        other: &NelsonYuCounter,
+        rng: &mut dyn RandomSource,
+    ) -> Result<(), CoreError> {
+        if self.params != other.params {
+            return Err(CoreError::MergeMismatch { what: "NyParams schedule" });
+        }
+        // Identify the lower counter; its survivors get replayed into the
+        // higher one. On ties either order is valid.
+        let (lo_x, lo_y, lo_t) = if self.x >= other.x {
+            (other.x, other.y, other.t)
+        } else {
+            let prev = (self.x, self.y, self.t);
+            // Adopt the higher counter's state, then replay our own
+            // survivors into it.
+            self.x = other.x;
+            self.y = other.y;
+            self.t = other.t;
+            self.threshold = other.threshold;
+            prev
+        };
+
+        let x0 = self.params.x0();
+        // Replay full epochs x0..lo_x, then the partial current epoch.
+        for level in x0..=lo_x {
+            let (survivors, t_i) = if level == lo_x {
+                let (y_start, _) = self.params.epoch_y_span(level);
+                (lo_y.saturating_sub(y_start), lo_t)
+            } else {
+                let (y_start, y_end) = self.params.epoch_y_span(level);
+                (y_end - y_start, self.params.monotone_exponent(level))
+            };
+            // Each survivor is re-accepted with probability 2^-(t - t_i).
+            // Instead of one coin per survivor, jump from acceptance to
+            // acceptance with geometric waits — identical in distribution,
+            // cost proportional to acceptances. The exponent is
+            // re-derived after every epoch advance, since `self.t` may
+            // have grown.
+            let mut remaining = survivors;
+            while remaining > 0 {
+                debug_assert!(self.t >= t_i, "sampling rate must be non-increasing");
+                let dt = self.t - t_i;
+                if dt == 0 {
+                    // Probability 1: accept in bulk up to the next epoch
+                    // boundary.
+                    let room = self.threshold + 1 - self.y;
+                    let take = remaining.min(room);
+                    self.y += take;
+                    remaining -= take;
+                    if self.y > self.threshold {
+                        self.settle();
+                    }
+                } else {
+                    let p = (-f64::from(dt)).exp2();
+                    match Geometric::new(p)
+                        .expect("2^-dt in (0,1]")
+                        .sample_within(remaining, rng)
+                    {
+                        Some(consumed) => {
+                            remaining -= consumed;
+                            self.y += 1;
+                            self.settle();
+                        }
+                        None => remaining = 0,
+                    }
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+        Ok(())
+    }
+}
+
+impl StateBits for NelsonYuCounter {
+    fn state_bits(&self) -> u64 {
+        // Conservative accounting per the Theorem 2.3 proof:
+        // O(log X + log Y + log log(1/α)) — we charge the exact digit
+        // counts of X, Y and t. (t is in fact derivable from X, so this
+        // over-counts by bit_len(t); see params::alpha_exponent.)
+        u64::from(bit_len(self.x)) + u64::from(bit_len(self.y)) + u64::from(bit_len(u64::from(self.t)))
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        let mut audit = MemoryAudit::new();
+        audit.field("X", u64::from(bit_len(self.x)));
+        audit.field("Y", u64::from(bit_len(self.y)));
+        audit.field("t", u64::from(bit_len(u64::from(self.t))));
+        audit
+    }
+}
+
+impl ApproxCounter for NelsonYuCounter {
+    fn name(&self) -> &'static str {
+        "nelson-yu"
+    }
+
+    #[inline]
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        // Line 6: with probability α = 2^-t, Y ← Y + 1.
+        let survived = self.t == 0 || BernoulliPow2::new(self.t).sample(rng);
+        if survived {
+            self.y += 1;
+            self.settle();
+        }
+    }
+
+    /// Fast-forward: in the current epoch, survivors arrive after
+    /// geometric waiting times with parameter `2^{-t}` (and
+    /// deterministically when `t = 0`), so `n` increments cost one draw
+    /// per survivor instead of one per increment.
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        let mut budget = n;
+        while budget > 0 {
+            if self.t == 0 {
+                // Deterministic regime: every increment survives. Jump to
+                // the epoch boundary (or exhaust the budget).
+                let need = self.threshold + 1 - self.y;
+                if budget < need {
+                    self.y += budget;
+                    budget = 0;
+                } else {
+                    budget -= need;
+                    self.y += need;
+                    self.settle();
+                }
+            } else {
+                let p = (-f64::from(self.t)).exp2();
+                let geo = Geometric::new(p).expect("2^-t is in (0,1]");
+                match geo.sample_within(budget, rng) {
+                    Some(z) => {
+                        budget -= z;
+                        self.y += 1;
+                        self.settle();
+                    }
+                    None => budget = 0, // no survivor among the rest
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
+    fn estimate(&self) -> f64 {
+        // Query (lines 14–19): Y during the exact epoch, T afterwards.
+        if self.in_exact_epoch() {
+            self.y as f64
+        } else {
+            self.params.t_value(self.x)
+        }
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        self.peak
+    }
+
+    fn reset(&mut self) {
+        let fresh = NelsonYuCounter::new(self.params);
+        *self = fresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+    use ac_stats::Summary;
+
+    fn params(eps: f64, d: u32) -> NyParams {
+        NyParams::new(eps, d).unwrap()
+    }
+
+    #[test]
+    fn starts_in_exact_epoch() {
+        let c = NelsonYuCounter::new(params(0.2, 10));
+        assert!(c.in_exact_epoch());
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.alpha(), 1.0);
+        assert_eq!(c.estimate(), 0.0);
+    }
+
+    #[test]
+    fn exact_epoch_counts_exactly() {
+        let mut c = NelsonYuCounter::new(params(0.2, 10));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let t0 = c.current_threshold();
+        for i in 1..=t0 {
+            c.increment(&mut rng);
+            assert_eq!(c.estimate(), i as f64, "exact while in epoch 0");
+        }
+        assert!(c.in_exact_epoch());
+        // One more increment crosses into epoch 1.
+        c.increment(&mut rng);
+        assert!(!c.in_exact_epoch());
+        assert_eq!(c.epoch(), 1);
+    }
+
+    #[test]
+    fn epoch_boundary_estimate_is_continuous_within_eps() {
+        let eps = 0.2;
+        let mut c = NelsonYuCounter::new(params(eps, 10));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let t0 = c.current_threshold();
+        c.increment_by(t0 + 1, &mut rng);
+        let n = (t0 + 1) as f64;
+        let rel = (c.estimate() - n).abs() / n;
+        assert!(rel <= 2.0 * eps, "boundary jump {rel}");
+    }
+
+    #[test]
+    fn estimates_are_nondecreasing_in_increments() {
+        let mut c = NelsonYuCounter::new(params(0.3, 8));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut prev = 0.0;
+        for _ in 0..200_000 {
+            c.increment(&mut rng);
+            let e = c.estimate();
+            assert!(e >= prev, "estimate regressed: {prev} -> {e}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn y_respects_threshold_invariant() {
+        let mut c = NelsonYuCounter::new(params(0.25, 10));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for _ in 0..100_000 {
+            c.increment(&mut rng);
+            assert!(c.y() <= c.current_threshold());
+        }
+    }
+
+    #[test]
+    fn sampling_exponent_is_monotone() {
+        let mut c = NelsonYuCounter::new(params(0.15, 12));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut prev_t = 0;
+        for _ in 0..300_000 {
+            c.increment(&mut rng);
+            assert!(c.sampling_exponent() >= prev_t);
+            prev_t = c.sampling_exponent();
+        }
+        assert!(prev_t > 0, "sampling should have kicked in");
+    }
+
+    #[test]
+    fn accuracy_at_target_parameters() {
+        // ε = 0.2, δ = 2^-7: empirical failure rate of
+        // P(|N̂-N| > 2εN) should be well under a few percent.
+        let eps = 0.2;
+        let p = params(eps, 7);
+        let n = 300_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let trials = 2_000u32;
+        let mut failures = 0u32;
+        for _ in 0..trials {
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n, &mut rng);
+            let rel = (c.estimate() - n as f64).abs() / n as f64;
+            if rel > 2.0 * eps {
+                failures += 1;
+            }
+        }
+        let rate = f64::from(failures) / f64::from(trials);
+        assert!(rate < 0.03, "failure rate {rate}");
+    }
+
+    #[test]
+    fn estimates_concentrate_around_n() {
+        let p = params(0.1, 10);
+        let n = 1_000_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut s = Summary::new();
+        for _ in 0..500 {
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n, &mut rng);
+            s.push(c.estimate() / n as f64);
+        }
+        // Mean relative estimate within 10 % of 1, spread below ε-scale.
+        assert!((s.mean() - 1.0).abs() < 0.1, "mean ratio {}", s.mean());
+        assert!(s.stddev() < 0.1, "sd {}", s.stddev());
+    }
+
+    #[test]
+    fn fast_forward_matches_step_distribution() {
+        let p = params(0.3, 6);
+        let n = 20_000u64;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let trials = 4_000;
+        let mut ff = Vec::with_capacity(trials);
+        let mut step = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n, &mut rng);
+            ff.push(c.level() as f64);
+
+            let mut c = NelsonYuCounter::new(p);
+            for _ in 0..n {
+                c.increment(&mut rng);
+            }
+            step.push(c.level() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&ff, &step);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn space_stays_near_theorem_bound() {
+        // 10 million increments at ε=0.1, δ=2^-10: state should be tens
+        // of bits, nowhere near log2(N) ≈ 23 for the Y register alone...
+        // more precisely: X ≈ log_{1.1}(10^7) ≈ 169 (8 bits),
+        // Y ≤ threshold ≈ C·ln(1/η)/ε² ≈ tens of thousands (17 bits).
+        let p = params(0.1, 10);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut c = NelsonYuCounter::new(p);
+        c.increment_by(10_000_000, &mut rng);
+        assert!(
+            c.peak_state_bits() < 40,
+            "peak bits {} too large",
+            c.peak_state_bits()
+        );
+        let audit = c.memory_audit();
+        assert_eq!(audit.total_bits(), c.state_bits());
+        assert_eq!(audit.fields().len(), 3);
+    }
+
+    #[test]
+    fn merge_requires_same_schedule() {
+        let mut a = NelsonYuCounter::new(params(0.1, 10));
+        let b = NelsonYuCounter::new(params(0.2, 10));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        assert!(matches!(
+            a.merge_from(&b, &mut rng),
+            Err(CoreError::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_in_exact_epochs_is_exact_addition() {
+        let p = params(0.2, 8);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut a = NelsonYuCounter::new(p);
+        let mut b = NelsonYuCounter::new(p);
+        a.increment_by(100, &mut rng);
+        b.increment_by(50, &mut rng);
+        a.merge_from(&b, &mut rng).unwrap();
+        assert_eq!(a.estimate(), 150.0, "both in epoch 0: merge is exact");
+    }
+
+    #[test]
+    fn merge_mean_is_additive() {
+        let p = params(0.2, 8);
+        let (n1, n2) = (60_000u64, 140_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        let mut s = Summary::new();
+        for _ in 0..3_000 {
+            let mut c1 = NelsonYuCounter::new(p);
+            c1.increment_by(n1, &mut rng);
+            let mut c2 = NelsonYuCounter::new(p);
+            c2.increment_by(n2, &mut rng);
+            c1.merge_from(&c2, &mut rng).unwrap();
+            s.push(c1.estimate());
+        }
+        let total = (n1 + n2) as f64;
+        assert!(
+            (s.mean() - total).abs() / total < 0.05,
+            "merged mean {} vs {total}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn merge_matches_sequential_distribution() {
+        // The Remark 2.4 claim, checked on levels with a KS test.
+        let p = params(0.3, 6);
+        let (n1, n2) = (30_000u64, 50_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let trials = 4_000;
+        let mut merged = Vec::with_capacity(trials);
+        let mut sequential = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let mut c1 = NelsonYuCounter::new(p);
+            c1.increment_by(n1, &mut rng);
+            let mut c2 = NelsonYuCounter::new(p);
+            c2.increment_by(n2, &mut rng);
+            c1.merge_from(&c2, &mut rng).unwrap();
+            merged.push(c1.level() as f64);
+
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n1 + n2, &mut rng);
+            sequential.push(c.level() as f64);
+        }
+        let ks = ac_stats::ks::ks_two_sample(&merged, &sequential);
+        assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+    }
+
+    #[test]
+    fn merge_is_symmetric_in_distribution() {
+        // merge(a, b) and merge(b, a) must agree in distribution; check
+        // the means closely.
+        let p = params(0.25, 8);
+        let (n1, n2) = (10_000u64, 80_000u64);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(14);
+        let mut ab = Summary::new();
+        let mut ba = Summary::new();
+        for _ in 0..2_000 {
+            let mut c1 = NelsonYuCounter::new(p);
+            c1.increment_by(n1, &mut rng);
+            let mut c2 = NelsonYuCounter::new(p);
+            c2.increment_by(n2, &mut rng);
+            let mut m1 = c1.clone();
+            m1.merge_from(&c2, &mut rng).unwrap();
+            ab.push(m1.estimate());
+            let mut m2 = c2;
+            m2.merge_from(&c1, &mut rng).unwrap();
+            ba.push(m2.estimate());
+        }
+        let rel = (ab.mean() - ba.mean()).abs() / ab.mean();
+        assert!(rel < 0.03, "asymmetry {rel}");
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let p = params(0.2, 10);
+        let mut c = NelsonYuCounter::new(p);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(15);
+        c.increment_by(1_000_000, &mut rng);
+        c.reset();
+        assert_eq!(c, NelsonYuCounter::new(p));
+    }
+
+    #[test]
+    fn bulk_zero_is_a_noop() {
+        let p = params(0.2, 10);
+        let mut c = NelsonYuCounter::new(p);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(16);
+        c.increment_by(0, &mut rng);
+        assert_eq!(c, NelsonYuCounter::new(p));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the counter algorithms' invariants.
+
+use ac_core::{
+    budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
+    CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
+};
+use ac_randkit::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+fn eps_strategy() -> impl Strategy<Value = f64> {
+    0.01f64..0.49
+}
+
+proptest! {
+    /// The Morris estimator is the exact inverse of the level map for
+    /// any base: estimate(level(x)) == x.
+    #[test]
+    fn morris_estimate_inverts_level(a in 0.001f64..4.0, frac in 0.0f64..1.0) {
+        // Sample the level as a fraction of the f64-safe range
+        // x·ln(1+a) < 600, so no inputs are rejected.
+        let x = ((600.0 / a.ln_1p()) * frac) as u64;
+        let mut c = MorrisCounter::new(a).unwrap();
+        c.set_level(x);
+        let est = c.estimate();
+        // The analytic inverse of the estimator, computed in f64 (the
+        // estimate may exceed u64 range for large x·ln(1+a)).
+        let back = (a * est).ln_1p() / a.ln_1p();
+        prop_assert!((back - x as f64).abs() < 1e-6 * (x as f64).max(1.0), "x={x} back={back}");
+    }
+
+    /// Morris level never exceeds the increment count (each increment
+    /// advances at most one level).
+    #[test]
+    fn morris_level_bounded_by_n(seed in any::<u64>(), a in 0.01f64..4.0, n in 0u64..20_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut c = MorrisCounter::new(a).unwrap();
+        c.increment_by(n, &mut rng);
+        prop_assert!(c.level() <= n);
+    }
+
+    /// Morris+ is exact on the entire deterministic prefix for any
+    /// parameters.
+    #[test]
+    fn morris_plus_prefix_exact(seed in any::<u64>(), eps in eps_strategy(), dlog in 1u32..40) {
+        let a = morris_a(eps, dlog).unwrap();
+        let cutoff = morris_plus_cutoff(a);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut c = MorrisPlus::new(eps, dlog).unwrap();
+        let n = cutoff.min(10_000) / 2 + 1;
+        c.increment_by(n, &mut rng);
+        prop_assert_eq!(c.estimate(), n as f64);
+    }
+
+    /// The Nelson–Yu schedule is internally consistent for arbitrary
+    /// parameters: α is a rounded-up inverse power of two, thresholds are
+    /// positive, X₀ ≥ 1.
+    #[test]
+    fn ny_schedule_consistent(eps in eps_strategy(), dlog in 1u32..60) {
+        let p = NyParams::new(eps, dlog).unwrap();
+        prop_assert!(p.x0() >= 1);
+        let mut t_prev = 0;
+        for x in p.x0()..p.x0() + 200 {
+            let t = p.alpha_exponent(x).max(t_prev);
+            prop_assert!(p.threshold_for(x, t) >= 1);
+            if x > p.x0() {
+                let formula = p.c() * p.ln_inv_eta(x) / (eps.powi(3) * p.t_value(x));
+                if formula < 1.0 {
+                    let alpha = (-f64::from(p.alpha_exponent(x))).exp2();
+                    prop_assert!(alpha >= formula && alpha / 2.0 < formula);
+                }
+            }
+            t_prev = t;
+        }
+    }
+
+    /// NY counter invariants hold along arbitrary increment schedules:
+    /// Y ≤ threshold, t monotone, estimate monotone.
+    #[test]
+    fn ny_invariants(seed in any::<u64>(), eps in eps_strategy(), chunks in prop::collection::vec(0u64..30_000, 1..8)) {
+        let p = NyParams::new(eps, 8).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut c = NelsonYuCounter::new(p);
+        let mut prev_t = 0;
+        let mut prev_est = 0.0;
+        for &n in &chunks {
+            c.increment_by(n, &mut rng);
+            prop_assert!(c.y() <= c.current_threshold());
+            prop_assert!(c.sampling_exponent() >= prev_t);
+            prop_assert!(c.estimate() >= prev_est);
+            prev_t = c.sampling_exponent();
+            prev_est = c.estimate();
+        }
+    }
+
+    /// The Csűrös estimator is strictly increasing in the register, so
+    /// distinct states give distinct answers.
+    #[test]
+    fn csuros_estimator_strictly_monotone(d in 0u32..20, x in 0u64..100_000) {
+        // Keep 2^(x >> d) within f64 range.
+        prop_assume!((x >> d) < 900);
+        let mut a = CsurosCounter::new(d).unwrap();
+        let mut b = CsurosCounter::new(d).unwrap();
+        a.set_register(x);
+        b.set_register(x + 1);
+        prop_assert!(b.estimate() > a.estimate());
+    }
+
+    /// Budget plans never exceed their bit budget across a simulated run
+    /// (hard caps guarantee it even in the tails).
+    #[test]
+    fn plans_respect_budget(seed in any::<u64>(), bits in 8u32..24) {
+        let n_max = 999_999;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        if let Ok(mut m) = budget::plan_morris(bits, n_max, 6.0) {
+            m.increment_by(n_max, &mut rng);
+            prop_assert!(m.peak_state_bits() <= u64::from(bits));
+        }
+        if let Ok(mut c) = budget::plan_csuros(bits, n_max, 6.0) {
+            c.increment_by(n_max, &mut rng);
+            prop_assert!(c.peak_state_bits() <= u64::from(bits));
+        }
+    }
+
+    /// The exact DP is a probability vector with CDF-mean consistency for
+    /// arbitrary parameters (heavier version of the unit tests).
+    #[test]
+    fn exact_dp_consistent(a in 0.005f64..3.0, n in 0u64..250) {
+        let dist = exact_level_distribution(a, n);
+        prop_assert_eq!(dist.len() as u64, n + 1);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        // P[X = n] = (1+a)^{-n(n-1)/2}: positive whenever it does not
+        // underflow f64 (it legitimately underflows for large a·n²).
+        let log_p_top = -(((n * n.saturating_sub(1)) / 2) as f64) * a.ln_1p();
+        if n > 0 && log_p_top > -700.0 {
+            prop_assert!(dist[n as usize] > 0.0);
+        }
+    }
+
+    /// State bits equal the audit total for every counter type.
+    #[test]
+    fn audits_match_state_bits(seed in any::<u64>(), n in 0u64..50_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.2, 8).unwrap();
+        let counters: Vec<Box<dyn ApproxCounter>> = vec![
+            Box::new(MorrisCounter::classic()),
+            Box::new(MorrisPlus::new(0.2, 8).unwrap()),
+            Box::new(NelsonYuCounter::new(p)),
+            Box::new(CsurosCounter::new(5).unwrap()),
+        ];
+        for mut c in counters {
+            c.increment_by(n, &mut rng);
+            prop_assert_eq!(c.memory_audit().total_bits(), c.state_bits(), "{}", c.name());
+        }
+    }
+}

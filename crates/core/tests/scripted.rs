@@ -1,0 +1,159 @@
+//! Scripted-randomness tests: drive counters with exact, hand-written
+//! coin sequences to pin down their transition behavior bit by bit
+//! (failure injection for the probabilistic paths).
+
+use ac_core::{ApproxCounter, CsurosCounter, MorrisCounter, NelsonYuCounter, NyParams};
+use ac_randkit::{CountingSource, RandomSource, SequenceSource, SplitMix64};
+
+/// A source that yields `word` forever (for forcing all-heads /
+/// all-tails runs).
+struct ConstSource(u64);
+
+impl RandomSource for ConstSource {
+    fn next_u64(&mut self) -> u64 {
+        self.0
+    }
+}
+
+#[test]
+fn ny_exact_epoch_consumes_no_randomness() {
+    // Remark 2.2's storage model starts paying for coins only when
+    // sampling kicks in: while α = 1 (the exact epoch *and* the early
+    // epochs where the ε³ slack keeps the line-10 rate above 1), an
+    // increment must consume zero random words.
+    let p = NyParams::new(0.3, 4).unwrap();
+    let mut c = NelsonYuCounter::new(p);
+    let mut src = CountingSource::new(SplitMix64::new(1));
+    let mut guard = 0u64;
+    while c.sampling_exponent() == 0 {
+        c.increment(&mut src);
+        guard += 1;
+        assert!(guard < 10_000_000, "sampling must eventually start");
+    }
+    assert_eq!(
+        src.words_drawn(),
+        0,
+        "the α = 1 phase must be randomness-free"
+    );
+    // From now on each increment consumes exactly one word (t ≤ 64).
+    for _ in 0..100 {
+        c.increment(&mut src);
+    }
+    assert_eq!(
+        src.words_drawn(),
+        100,
+        "one word per increment once sampling is active (t <= 64)"
+    );
+}
+
+#[test]
+fn ny_survivor_and_nonsurvivor_coins_do_what_they_say() {
+    // Drive the counter into a t >= 1 epoch, then feed explicit coins:
+    // a word with low t bits zero is a survivor, anything else is not.
+    let p = NyParams::new(0.3, 4).unwrap();
+    let mut c = NelsonYuCounter::new(p);
+    // Cross into sampling: α = 1 holds for the exact epoch plus a few
+    // more (the ε³ slack), so drive until t >= 1.
+    let mut heads = ConstSource(0);
+    while c.sampling_exponent() == 0 {
+        c.increment(&mut heads);
+    }
+    let t = c.sampling_exponent();
+    assert!(t >= 1, "should be sampling now");
+
+    let y_before = c.y();
+    // Non-survivor: all bits set.
+    let mut tails = SequenceSource::new(vec![u64::MAX]);
+    c.increment(&mut tails);
+    assert_eq!(c.y(), y_before, "a tails coin must not advance Y");
+
+    // Survivor: all bits clear.
+    let mut heads = SequenceSource::new(vec![0]);
+    c.increment(&mut heads);
+    assert_eq!(c.y(), y_before + 1, "a heads coin must advance Y");
+}
+
+#[test]
+fn ny_forced_survivors_walk_the_whole_epoch_schedule() {
+    // With every coin a survivor, the counter must advance epochs along
+    // the exact deterministic schedule: each epoch at level x consumes
+    // exactly (y_end - y_start) survivors.
+    let p = NyParams::new(0.4, 3).unwrap();
+    let mut c = NelsonYuCounter::new(p);
+    let mut all_heads = ConstSource(0);
+    let mut increments = 0u64;
+    while c.epoch() < 5 {
+        c.increment(&mut all_heads);
+        increments += 1;
+        assert!(increments < 1_000_000, "schedule must advance");
+    }
+    // Under forced survivors, total increments equal the sum of epoch
+    // survivor spans — reconstruct from the schedule and compare.
+    let mut expected = 0u64;
+    for level in p.x0()..p.x0() + 5 {
+        let (y_start, y_end) = p.epoch_y_span(level);
+        expected += y_end - y_start;
+    }
+    // The walk stops the moment epoch 5 begins, which happens on the
+    // survivor that crosses the last threshold: totals match exactly.
+    assert_eq!(increments, expected);
+}
+
+#[test]
+fn morris_scripted_coins() {
+    // Morris(1) at level 3 advances iff next_f64() < 1/8. next_f64 is
+    // (word >> 11)·2^-53, so word = 0 forces an advance and word = MAX
+    // forces a stay.
+    let mut c = MorrisCounter::classic();
+    c.set_level(3);
+    let mut zero = SequenceSource::new(vec![0]);
+    c.increment(&mut zero);
+    assert_eq!(c.level(), 4);
+
+    let mut max = SequenceSource::new(vec![u64::MAX]);
+    c.increment(&mut max);
+    assert_eq!(c.level(), 4, "all-ones word must not advance level 4");
+}
+
+#[test]
+fn morris_all_heads_counts_exactly() {
+    // Forced survivors degrade Morris into an exact unary counter.
+    let mut c = MorrisCounter::new(0.5).unwrap();
+    let mut all_heads = ConstSource(0);
+    for i in 1..=200 {
+        c.increment(&mut all_heads);
+        assert_eq!(c.level(), i);
+    }
+}
+
+#[test]
+fn csuros_scripted_exponent_behavior() {
+    // Register at the end of exponent-1 stretch: survival needs the low
+    // bit of the word to be 0 (BernoulliPow2(1)).
+    let d = 3;
+    let mut c = CsurosCounter::new(d).unwrap();
+    c.set_register(1 << d); // exponent 1, mantissa 0
+    let mut tails = SequenceSource::new(vec![1]); // low bit set -> no
+    c.increment(&mut tails);
+    assert_eq!(c.register(), 1 << d);
+    let mut heads = SequenceSource::new(vec![0]);
+    c.increment(&mut heads);
+    assert_eq!(c.register(), (1 << d) + 1);
+}
+
+#[test]
+fn exhausted_script_panics_not_corrupts() {
+    // A scripted source that runs out panics (loudly), rather than
+    // silently recycling randomness — guard the guard.
+    let p = NyParams::new(0.3, 4).unwrap();
+    let mut c = NelsonYuCounter::new(p);
+    let mut heads = ConstSource(0);
+    while c.sampling_exponent() == 0 {
+        c.increment(&mut heads);
+    }
+    let mut empty = SequenceSource::new(vec![]);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        c.increment(&mut empty);
+    }));
+    assert!(result.is_err(), "exhausted script must panic");
+}

@@ -1,0 +1,207 @@
+//! Bernoulli coins, including the exact `2^-t` coin of Remark 2.2.
+
+use crate::{DistError, RandomSource};
+
+/// A Bernoulli coin with success probability `p`.
+///
+/// Sampling draws one `f64` and compares; this is the standard method and
+/// is exact up to the 53-bit resolution of [`RandomSource::next_f64`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a coin with success probability `p ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ProbabilityOutOfRange`] if `p` is not a finite
+    /// number in `[0, 1]`.
+    pub fn new(p: f64) -> Result<Self, DistError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(DistError::ProbabilityOutOfRange {
+                param: "p",
+                required: "[0, 1]",
+            });
+        }
+        Ok(Self { p })
+    }
+
+    /// The success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Flips the coin.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> bool {
+        // `next_f64` is in [0, 1): comparing with `<` gives probability
+        // exactly p at f64 resolution, and p == 0 can never succeed while
+        // p == 1 always does.
+        rng.next_f64() < self.p
+    }
+}
+
+/// A Bernoulli coin with success probability exactly `2^-t`.
+///
+/// This realizes the coin model of the paper's Remark 2.2: "we can generate
+/// a Bernoulli(α) random variable by flipping a fair coin `t` times and
+/// returning 1 iff all flips were heads". Implementation-wise we inspect
+/// `t` fresh fair bits per flip (batched 64 at a time), which is *exactly*
+/// equivalent in distribution and consumes `⌈t/64⌉` words.
+///
+/// `t = 0` is the always-true coin (probability `2^0 = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliPow2 {
+    t: u32,
+}
+
+impl BernoulliPow2 {
+    /// Creates the coin with success probability `2^-t`.
+    ///
+    /// Any `t` is permitted; for `t ≥ 64` several words are consumed per
+    /// flip. (The Nelson–Yu counter only ever needs
+    /// `t = O(log(ε³T)) ≤ 64` in practice, but the type does not assume
+    /// that.)
+    #[must_use]
+    pub fn new(t: u32) -> Self {
+        Self { t }
+    }
+
+    /// The exponent `t`; the success probability is `2^-t`.
+    #[must_use]
+    pub fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// The success probability `2^-t` as an `f64` (0 if `t > 1074`).
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        (-f64::from(self.t)).exp2()
+    }
+
+    /// Flips the coin: true with probability exactly `2^-t`.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> bool {
+        let mut remaining = self.t;
+        // Consume full 64-bit words of fair coins; every bit must be
+        // "heads" (0) for success.
+        while remaining >= 64 {
+            if rng.next_u64() != 0 {
+                return false;
+            }
+            remaining -= 64;
+        }
+        if remaining == 0 {
+            return true;
+        }
+        // Check the low `remaining` bits of one more word.
+        let mask = (1u64 << remaining) - 1;
+        rng.next_u64() & mask == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSource, SequenceSource, Xoshiro256PlusPlus};
+
+    #[test]
+    fn bernoulli_rejects_bad_p() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+        assert!(Bernoulli::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn bernoulli_extremes_are_deterministic() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let never = Bernoulli::new(0.0).unwrap();
+        let always = Bernoulli::new(1.0).unwrap();
+        for _ in 0..1_000 {
+            assert!(!never.sample(&mut rng));
+            assert!(always.sample(&mut rng));
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for &p in &[0.1, 0.5, 0.9] {
+            let coin = Bernoulli::new(p).unwrap();
+            let n = 200_000;
+            let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
+            let freq = hits as f64 / f64::from(n);
+            // 5 sigma tolerance: sigma = sqrt(p(1-p)/n) < 0.0012
+            assert!((freq - p).abs() < 0.006, "p={p}, freq={freq}");
+        }
+    }
+
+    #[test]
+    fn pow2_t0_always_true_consumes_nothing() {
+        let mut src = CountingSource::new(SequenceSource::new(vec![]));
+        let coin = BernoulliPow2::new(0);
+        assert!(coin.sample(&mut src));
+        assert_eq!(src.words_drawn(), 0);
+    }
+
+    #[test]
+    fn pow2_t1_is_fair() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let coin = BernoulliPow2::new(1);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
+        let freq = hits as f64 / f64::from(n);
+        assert!((freq - 0.5).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn pow2_small_t_frequency() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for t in [2u32, 4, 6] {
+            let coin = BernoulliPow2::new(t);
+            let p = coin.p();
+            let n = 400_000;
+            let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
+            let freq = hits as f64 / f64::from(n);
+            let sigma = (p * (1.0 - p) / f64::from(n)).sqrt();
+            assert!(
+                (freq - p).abs() < 6.0 * sigma,
+                "t={t}: p={p}, freq={freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow2_uses_scripted_bits_exactly() {
+        // t = 3 inspects the low 3 bits of one word.
+        let coin = BernoulliPow2::new(3);
+        let mut src = SequenceSource::new(vec![0b000, 0b100_000, 0b001]);
+        assert!(coin.sample(&mut src)); // low bits 000 -> heads^3
+        assert!(coin.sample(&mut src)); // low bits of 0b100000 are 000
+        assert!(!coin.sample(&mut src)); // low bits 001 -> a tail
+    }
+
+    #[test]
+    fn pow2_large_t_consumes_multiple_words() {
+        let coin = BernoulliPow2::new(130); // 64 + 64 + 2 bits
+        let mut src = CountingSource::new(SequenceSource::new(vec![0, 0, 0]));
+        assert!(coin.sample(&mut src));
+        assert_eq!(src.words_drawn(), 3);
+
+        // Early exit after first non-zero word.
+        let mut src = CountingSource::new(SequenceSource::new(vec![5]));
+        assert!(!coin.sample(&mut src));
+        assert_eq!(src.words_drawn(), 1);
+    }
+
+    #[test]
+    fn pow2_p_matches_exp2() {
+        assert_eq!(BernoulliPow2::new(0).p(), 1.0);
+        assert_eq!(BernoulliPow2::new(1).p(), 0.5);
+        assert_eq!(BernoulliPow2::new(10).p(), 1.0 / 1024.0);
+    }
+}

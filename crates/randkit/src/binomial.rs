@@ -1,0 +1,480 @@
+//! Binomial sampling: BINV inversion for small mean, BTPE for large.
+//!
+//! Used by the workload generators (splitting a stream of length `L` among
+//! `M` keys requires `Binomial(L, p)` draws with `L` up to `2^40`) and by
+//! epoch-skipping simulation. Direct summation of Bernoulli coins would be
+//! `O(n)`; these algorithms are `O(1)` expected for any `n`.
+//!
+//! References:
+//! * BINV: Devroye, *Non-Uniform Random Variate Generation*, ch. X.4.
+//! * BTPE: Kachitvichyanukul & Schmeiser, "Binomial random variate
+//!   generation", CACM 31(2), 1988.
+
+use crate::{DistError, RandomSource};
+
+/// Threshold on `n·min(p,1-p)` below which BINV inversion is used.
+const BINV_THRESHOLD: f64 = 10.0;
+
+/// Binomial distribution `Bin(n, p)`.
+///
+/// Construction precomputes the sampling plan, so a `Binomial` value can be
+/// reused cheaply; one-shot use is also fine (setup is a handful of
+/// floating-point operations).
+#[derive(Debug, Clone)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+    method: Method,
+}
+
+#[derive(Debug, Clone)]
+enum Method {
+    /// p == 0 or p == 1 or n == 0: the result is constant.
+    Constant(u64),
+    /// Inversion from the mode-0 side; `flipped` means we sampled
+    /// `Bin(n, 1-p)` and must return `n - x`.
+    Binv(Binv),
+    /// The BTPE rejection algorithm; same `flipped` convention.
+    Btpe(Btpe),
+}
+
+#[derive(Debug, Clone)]
+struct Binv {
+    n: u64,
+    /// `s = r/q` where `r = min(p, 1-p)`, `q = 1-r`.
+    s: f64,
+    /// `a = (n+1)·s`.
+    a: f64,
+    /// `q^n`, the probability of zero successes.
+    q_pow_n: f64,
+    flipped: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Btpe {
+    n: u64,
+    /// `r = min(p, 1-p)`.
+    r: f64,
+    q: f64,
+    /// `n·r·q`.
+    npq: f64,
+    /// mode-ish center `f_m = n·r + r` and `m = ⌊f_m⌋`.
+    f_m: f64,
+    m: i64,
+    p1: f64,
+    x_m: f64,
+    x_l: f64,
+    x_r: f64,
+    c: f64,
+    lambda_l: f64,
+    lambda_r: f64,
+    p2: f64,
+    p3: f64,
+    p4: f64,
+    flipped: bool,
+}
+
+impl Binomial {
+    /// Creates `Bin(n, p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ProbabilityOutOfRange`] unless `p` is a finite
+    /// number in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, DistError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(DistError::ProbabilityOutOfRange {
+                param: "p",
+                required: "[0, 1]",
+            });
+        }
+        let method = if n == 0 || p == 0.0 {
+            Method::Constant(0)
+        } else if p == 1.0 {
+            Method::Constant(n)
+        } else {
+            let flipped = p > 0.5;
+            let r = if flipped { 1.0 - p } else { p };
+            let q = 1.0 - r;
+            if (n as f64) * r < BINV_THRESHOLD {
+                Method::Binv(Binv {
+                    n,
+                    s: r / q,
+                    a: ((n + 1) as f64) * (r / q),
+                    // q^n = exp(n ln q); with n·r < 10 this cannot
+                    // underflow (n ln q ≥ -10/(1-r) ≥ -20 for r ≤ 1/2).
+                    q_pow_n: ((n as f64) * q.ln()).exp(),
+                    flipped,
+                })
+            } else {
+                Method::Btpe(Btpe::setup(n, r, flipped))
+            }
+        };
+        Ok(Self { n, p, method })
+    }
+
+    /// Number of trials `n`.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `n·p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// The variance `n·p·(1-p)`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draws the number of successes among `n` Bernoulli(`p`) trials.
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.method {
+            Method::Constant(k) => *k,
+            Method::Binv(b) => b.sample(rng),
+            Method::Btpe(b) => b.sample(rng),
+        }
+    }
+}
+
+impl Binv {
+    fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Inversion by sequential search from x = 0, restarting on the
+        // (astronomically rare) event that accumulated f64 error exhausts
+        // the pmf mass before reaching u.
+        loop {
+            let mut r = self.q_pow_n;
+            let mut u = rng.next_f64();
+            let mut x = 0u64;
+            let mut ok = true;
+            while u > r {
+                u -= r;
+                x += 1;
+                if x > self.n {
+                    // Numerical leakage past the support: resample.
+                    ok = false;
+                    break;
+                }
+                r *= self.a / (x as f64) - self.s;
+            }
+            if ok {
+                return if self.flipped { self.n - x } else { x };
+            }
+        }
+    }
+}
+
+impl Btpe {
+    fn setup(n: u64, r: f64, flipped: bool) -> Self {
+        let nf = n as f64;
+        let q = 1.0 - r;
+        let npq = nf * r * q;
+        let f_m = nf * r + r;
+        let m = f_m.floor() as i64;
+        // Half-width of the triangular hat region.
+        let p1 = (2.195 * npq.sqrt() - 4.6 * q).floor() + 0.5;
+        let x_m = m as f64 + 0.5;
+        let x_l = x_m - p1;
+        let x_r = x_m + p1;
+        let c = 0.134 + 20.5 / (15.3 + m as f64);
+        let lambda = |a: f64| a * (1.0 + 0.5 * a);
+        let lambda_l = lambda((f_m - x_l) / (f_m - x_l * r));
+        let lambda_r = lambda((x_r - f_m) / (x_r * q));
+        let p2 = p1 * (1.0 + 2.0 * c);
+        let p3 = p2 + c / lambda_l;
+        let p4 = p3 + c / lambda_r;
+        Self {
+            n,
+            r,
+            q,
+            npq,
+            f_m,
+            m,
+            p1,
+            x_m,
+            x_l,
+            x_r,
+            c,
+            lambda_l,
+            lambda_r,
+            p2,
+            p3,
+            p4,
+            flipped,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        let n = self.n as f64;
+        let s = self.r / self.q;
+        let a = (n + 1.0) * s;
+        // Stirling series correction used in the final acceptance test
+        // (step 5.3 of the BTPE paper).
+        fn stirling(x: f64) -> f64 {
+            let x2 = x * x;
+            (13860.0 - (462.0 - (132.0 - (99.0 - 140.0 / x2) / x2) / x2) / x2) / x / 166_320.0
+        }
+
+        let y: i64 = loop {
+            // Step 1: region selection.
+            let u = rng.next_f64() * self.p4;
+            let mut v = rng.next_f64_open();
+            let y: i64;
+            if u <= self.p1 {
+                // Triangular region: immediate acceptance.
+                break (self.x_m - self.p1 * v + u).floor() as i64;
+            } else if u <= self.p2 {
+                // Parallelogram region.
+                let x = self.x_l + (u - self.p1) / self.c;
+                v = v * self.c + 1.0 - (x - self.x_m).abs() / self.p1;
+                if v > 1.0 {
+                    continue;
+                }
+                y = x.floor() as i64;
+            } else if u <= self.p3 {
+                // Left exponential tail.
+                y = (self.x_l + v.ln() / self.lambda_l).floor() as i64;
+                if y < 0 {
+                    continue;
+                }
+                v *= (u - self.p2) * self.lambda_l;
+            } else {
+                // Right exponential tail.
+                y = (self.x_r - v.ln() / self.lambda_r).floor() as i64;
+                if y > self.n as i64 {
+                    continue;
+                }
+                v *= (u - self.p3) * self.lambda_r;
+            }
+
+            // Step 5.0: acceptance/rejection comparison of v against the
+            // (scaled) pmf at y.
+            let k = (y - self.m).unsigned_abs();
+            if k <= 20 || k as f64 >= self.npq / 2.0 - 1.0 {
+                // Step 5.1: evaluate f(y)/f(m) by recursion.
+                let mut f = 1.0;
+                if self.m < y {
+                    for i in (self.m + 1)..=y {
+                        f *= a / (i as f64) - s;
+                    }
+                } else if self.m > y {
+                    for i in (y + 1)..=self.m {
+                        f /= a / (i as f64) - s;
+                    }
+                }
+                if v <= f {
+                    break y;
+                }
+                continue;
+            }
+
+            // Step 5.2: squeeze around the Gaussian approximation.
+            let kf = k as f64;
+            let rho =
+                (kf / self.npq) * ((kf * (kf / 3.0 + 0.625) + 1.0 / 6.0) / self.npq + 0.5);
+            let t = -0.5 * kf * kf / self.npq;
+            let alpha = v.ln();
+            if alpha < t - rho {
+                break y;
+            }
+            if alpha > t + rho {
+                continue;
+            }
+
+            // Step 5.3: exact final comparison with Stirling corrections.
+            let x1 = (y + 1) as f64;
+            let f1 = (self.m + 1) as f64;
+            let z = (self.n as i64 + 1 - self.m) as f64;
+            let w = (self.n as i64 - y + 1) as f64;
+            let bound = self.x_m * (f1 / x1).ln()
+                + (n - self.m as f64 + 0.5) * (z / w).ln()
+                + ((y - self.m) as f64) * (w * self.r / (x1 * self.q)).ln()
+                + stirling(f1)
+                + stirling(z)
+                + stirling(x1)
+                + stirling(w);
+            if alpha <= bound {
+                break y;
+            }
+        };
+
+        debug_assert!(y >= 0 && y as u64 <= self.n);
+        let y = y.clamp(0, self.n as i64) as u64;
+        if self.flipped {
+            self.n - y
+        } else {
+            y
+        }
+    }
+
+    /// `f_m` is carried only for debugging/assertions.
+    #[allow(dead_code)]
+    fn mode_center(&self) -> f64 {
+        self.f_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn constants() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(17, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(17, 1.0).unwrap().sample(&mut rng), 17);
+    }
+
+    #[test]
+    fn support_is_respected() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for &(n, p) in &[(5u64, 0.3), (100, 0.5), (10_000, 0.001), (1 << 30, 1e-8)] {
+            let d = Binomial::new(n, p).unwrap();
+            for _ in 0..2_000 {
+                assert!(d.sample(&mut rng) <= n);
+            }
+        }
+    }
+
+    /// Moment check across the BINV/BTPE boundary and the flip logic.
+    #[test]
+    fn mean_and_variance_match_theory() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let cases: &[(u64, f64)] = &[
+            (20, 0.25),       // BINV
+            (1_000, 0.002),   // BINV, large n
+            (1_000, 0.5),     // BTPE
+            (1_000, 0.9),     // BTPE flipped
+            (1 << 20, 1e-4),  // BTPE, npq ≈ 105
+            (50, 0.4),        // BTPE boundary-ish
+        ];
+        for &(n, p) in cases {
+            let d = Binomial::new(n, p).unwrap();
+            let trials = 60_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..trials {
+                let x = d.sample(&mut rng) as f64;
+                sum += x;
+                sumsq += x * x;
+            }
+            let tf = f64::from(trials);
+            let mean = sum / tf;
+            let var = sumsq / tf - mean * mean;
+            let mean_sigma = (d.variance() / tf).sqrt();
+            assert!(
+                (mean - d.mean()).abs() < 6.0 * mean_sigma.max(1e-9),
+                "n={n} p={p}: mean {mean} vs {}",
+                d.mean()
+            );
+            // Variance of the sample variance ~ 2 var^2 / trials for
+            // near-Gaussian data; allow a wide band.
+            assert!(
+                (var - d.variance()).abs() < 0.1 * d.variance().max(1.0),
+                "n={n} p={p}: var {var} vs {}",
+                d.variance()
+            );
+        }
+    }
+
+    /// Chi-square goodness-of-fit against the exact pmf for a case in each
+    /// regime. This is the strongest correctness check for BTPE.
+    #[test]
+    fn chi_square_goodness_of_fit() {
+        fn exact_pmf(n: u64, p: f64, k: u64) -> f64 {
+            // log C(n,k) + k ln p + (n-k) ln q via lgamma-free product —
+            // n is small enough here to do it with a running product in
+            // log space.
+            let mut logp = 0.0f64;
+            for i in 0..k {
+                logp += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+            }
+            logp += k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+            logp.exp()
+        }
+
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for &(n, p) in &[(30u64, 0.2), (200, 0.3), (400, 0.5)] {
+            let d = Binomial::new(n, p).unwrap();
+            let trials = 100_000usize;
+            let mut counts = vec![0u64; (n + 1) as usize];
+            for _ in 0..trials {
+                counts[d.sample(&mut rng) as usize] += 1;
+            }
+            // Pool bins with expected count < 8 into tails.
+            let expected: Vec<f64> = (0..=n)
+                .map(|k| exact_pmf(n, p, k) * trials as f64)
+                .collect();
+            let mut chi2 = 0.0;
+            let mut dof: i64 = -1;
+            let mut pool_obs = 0.0;
+            let mut pool_exp = 0.0;
+            for k in 0..=n as usize {
+                pool_obs += counts[k] as f64;
+                pool_exp += expected[k];
+                if pool_exp >= 8.0 {
+                    chi2 += (pool_obs - pool_exp).powi(2) / pool_exp;
+                    dof += 1;
+                    pool_obs = 0.0;
+                    pool_exp = 0.0;
+                }
+            }
+            if pool_exp > 0.0 {
+                chi2 += (pool_obs - pool_exp).powi(2) / pool_exp;
+                dof += 1;
+            }
+            // For dof k, chi2 has mean k, sd sqrt(2k); accept within
+            // mean + 5 sd — loose enough to be deterministic with our
+            // fixed seed, tight enough to catch real pmf distortions.
+            let dof = dof.max(1) as f64;
+            assert!(
+                chi2 < dof + 5.0 * (2.0 * dof).sqrt(),
+                "n={n} p={p}: chi2={chi2:.1} dof={dof}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_symmetry() {
+        // Bin(n, p) and n - Bin(n, 1-p) must have identical distributions;
+        // spot-check the means closely.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let n = 500u64;
+        let a = Binomial::new(n, 0.7).unwrap();
+        let trials = 50_000;
+        let mean: f64 =
+            (0..trials).map(|_| a.sample(&mut rng) as f64).sum::<f64>() / f64::from(trials);
+        assert!((mean - 350.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn huge_n_tiny_p_is_fast_and_sane() {
+        // n = 2^40, p = 2^-30: mean 1024. Must not iterate O(n).
+        let d = Binomial::new(1 << 40, (0.5f64).powi(30)).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let trials = 20_000;
+        let mean: f64 =
+            (0..trials).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / f64::from(trials);
+        assert!((mean - 1024.0).abs() < 5.0, "mean={mean}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for distribution construction.
+
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// A probability parameter was outside its valid range.
+    ProbabilityOutOfRange {
+        /// Human-readable name of the offending parameter.
+        param: &'static str,
+        /// The range that was required, e.g. `"(0, 1]"`.
+        required: &'static str,
+    },
+    /// A count/size parameter was outside its valid range.
+    CountOutOfRange {
+        /// Human-readable name of the offending parameter.
+        param: &'static str,
+        /// The range that was required.
+        required: &'static str,
+    },
+    /// A shape parameter (e.g. a Zipf exponent) was not finite or not
+    /// positive.
+    InvalidShape {
+        /// Human-readable name of the offending parameter.
+        param: &'static str,
+    },
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::ProbabilityOutOfRange { param, required } => {
+                write!(f, "probability parameter `{param}` must lie in {required}")
+            }
+            DistError::CountOutOfRange { param, required } => {
+                write!(f, "count parameter `{param}` must lie in {required}")
+            }
+            DistError::InvalidShape { param } => {
+                write!(f, "shape parameter `{param}` must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DistError::ProbabilityOutOfRange {
+            param: "p",
+            required: "(0, 1]",
+        };
+        let s = e.to_string();
+        assert!(s.contains('p') && s.contains("(0, 1]"));
+    }
+}

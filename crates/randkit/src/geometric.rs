@@ -1,0 +1,189 @@
+//! Geometric distribution on `{1, 2, 3, …}` — the engine of counter
+//! fast-forwarding.
+//!
+//! Section 2.2 of the paper analyzes `Morris(a)` through the variables
+//! `Z_i` — the number of increments spent at level `X = i` before moving to
+//! `i + 1` — which are geometric with parameter `p_i = (1+a)^{-i}`.
+//! Simulating a Morris counter for `N` increments therefore reduces to
+//! drawing `X_final = O(log N / a)` geometric variates instead of `N`
+//! Bernoulli coins. [`Geometric`] provides exact inversion sampling for
+//! that purpose.
+
+use crate::{DistError, RandomSource};
+
+/// Geometric distribution: `P[G = l] = (1-p)^{l-1} · p` for `l ≥ 1`.
+///
+/// `G` models the number of Bernoulli(`p`) trials up to and including the
+/// first success. Sampling uses the inversion method
+/// `G = 1 + ⌊ln(U) / ln(1-p)⌋` with `U` uniform on `(0, 1]`, which is exact
+/// at f64 resolution and O(1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+    /// Precomputed `ln(1-p)` (negative); `None` when `p == 1`.
+    ln_q: Option<f64>,
+}
+
+impl Geometric {
+    /// Creates the distribution with success probability `p ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ProbabilityOutOfRange`] unless
+    /// `0 < p ≤ 1`.
+    pub fn new(p: f64) -> Result<Self, DistError> {
+        if !(p.is_finite() && p > 0.0 && p <= 1.0) {
+            return Err(DistError::ProbabilityOutOfRange {
+                param: "p",
+                required: "(0, 1]",
+            });
+        }
+        let ln_q = if p == 1.0 {
+            None
+        } else {
+            // ln(1 - p) computed stably even for tiny p.
+            Some((-p).ln_1p())
+        };
+        Ok(Self { p, ln_q })
+    }
+
+    /// The success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The mean `1/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// The variance `(1-p)/p²`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        (1.0 - self.p) / (self.p * self.p)
+    }
+
+    /// Draws the number of trials up to and including the first success.
+    ///
+    /// Saturates at `u64::MAX` (relevant only for astronomically small `p`
+    /// combined with an astronomically unlucky uniform draw).
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.ln_q {
+            None => 1, // p == 1: first trial always succeeds
+            Some(ln_q) => {
+                let u = rng.next_f64_open(); // (0, 1] keeps ln finite
+                let g = (u.ln() / ln_q).floor();
+                if g >= (u64::MAX - 1) as f64 {
+                    u64::MAX
+                } else {
+                    1 + g as u64
+                }
+            }
+        }
+    }
+
+    /// Draws a geometric variate, but reports only whether the first
+    /// success happens within `budget` trials and, if so, after how many.
+    ///
+    /// This is the primitive used by fast-forwarding: "given `budget`
+    /// remaining increments, does the counter level advance, and how many
+    /// increments did that consume?" Returns `Some(g)` with `g ≤ budget`
+    /// when the success occurs within the budget, `None` otherwise.
+    /// Exactly equivalent to comparing [`Geometric::sample`] with `budget`,
+    /// just more legible at call sites.
+    #[inline]
+    pub fn sample_within<R: RandomSource + ?Sized>(
+        &self,
+        budget: u64,
+        rng: &mut R,
+    ) -> Option<u64> {
+        let g = self.sample(rng);
+        (g <= budget).then_some(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(-0.5).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn p_one_always_one() {
+        let g = Geometric::new(1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn support_starts_at_one() {
+        let g = Geometric::new(0.9).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn sample_mean_matches_theory() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for &p in &[0.5, 0.1, 0.01] {
+            let g = Geometric::new(p).unwrap();
+            let n = 100_000u32;
+            let sum: f64 = (0..n).map(|_| g.sample(&mut rng) as f64).sum();
+            let mean = sum / f64::from(n);
+            let sigma = (g.variance() / f64::from(n)).sqrt();
+            assert!(
+                (mean - g.mean()).abs() < 6.0 * sigma,
+                "p={p}: mean={mean}, expected={}",
+                g.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn pmf_head_probabilities_match() {
+        // P[G = 1] should be p; estimate empirically.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let p = 0.3;
+        let g = Geometric::new(p).unwrap();
+        let n = 200_000;
+        let ones = (0..n).filter(|_| g.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / f64::from(n);
+        assert!((freq - p).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn tiny_p_gives_large_values_without_overflow() {
+        let g = Geometric::new(1e-12).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let x = g.sample(&mut rng);
+        assert!(x >= 1);
+        // Mean is 1e12; a draw should be in a plausibly wide band.
+        assert!(x < u64::MAX);
+    }
+
+    #[test]
+    fn sample_within_agrees_with_budget_comparison() {
+        let g = Geometric::new(0.05).unwrap();
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let direct = g.sample(&mut a);
+            let within = g.sample_within(20, &mut b);
+            assert_eq!(within, (direct <= 20).then_some(direct));
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! # `ac-randkit` — randomness substrate for approximate counting
+//!
+//! The counters studied in Nelson & Yu, *Optimal Bounds for Approximate
+//! Counting* (PODS 2022), consume streams of random bits. Remark 2.2 of the
+//! paper even accounts for the memory needed to *generate* a
+//! `Bernoulli(2^-t)` coin by flipping `t` fair coins and AND-ing them. This
+//! crate provides that randomness substrate from scratch:
+//!
+//! * [`RandomSource`] — the object-safe generator trait used across the
+//!   workspace (all algorithms are generic over it; experiments stay
+//!   bit-for-bit reproducible across platforms).
+//! * [`SplitMix64`] — seeding / stream-splitting generator.
+//! * [`Xoshiro256PlusPlus`] — the main generator.
+//! * Distributions:
+//!   [`Bernoulli`], [`BernoulliPow2`] (exact probability `2^-t`),
+//!   [`Geometric`] (counter fast-forwarding), [`Binomial`]
+//!   (BINV + BTPE, used for workload synthesis and epoch skipping), and
+//!   [`Zipf`] (heavy-tailed key popularity for the "many counters"
+//!   experiments).
+//!
+//! ## Why not the `rand` crate?
+//!
+//! Three reasons, documented in `DESIGN.md`:
+//! 1. the paper's space accounting requires an explicit `2^-t` coin model;
+//! 2. experiment seeds must be reproducible bit-for-bit and survive
+//!    dependency upgrades;
+//! 3. the library proper stays dependency-free (dev-dependencies still pull
+//!    `proptest` for property tests).
+//!
+//! ## Example
+//!
+//! ```
+//! use ac_randkit::{RandomSource, Xoshiro256PlusPlus, Bernoulli};
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+//! let coin = Bernoulli::new(0.25).unwrap();
+//! let heads = (0..10_000).filter(|_| coin.sample(&mut rng)).count();
+//! assert!((heads as f64 - 2_500.0).abs() < 250.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bernoulli;
+mod binomial;
+mod error;
+mod geometric;
+mod source;
+mod splitmix;
+mod uniform;
+mod xoshiro;
+mod zipf;
+
+pub use bernoulli::{Bernoulli, BernoulliPow2};
+pub use binomial::Binomial;
+pub use error::DistError;
+pub use geometric::Geometric;
+pub use source::{CountingSource, RandomSource, SequenceSource};
+pub use splitmix::SplitMix64;
+pub use uniform::{UniformF64, UniformU64};
+pub use xoshiro::Xoshiro256PlusPlus;
+pub use zipf::{AliasTable, Zipf};
+
+/// Derives a family of independent, deterministic per-trial seeds from a
+/// master seed.
+///
+/// Trial `i` of an experiment seeded with `master` uses
+/// `trial_seed(master, i)`. The derivation runs the SplitMix64 output
+/// function over `(master, index)` so that nearby indices yield unrelated
+/// streams.
+///
+/// ```
+/// use ac_randkit::trial_seed;
+/// assert_ne!(trial_seed(7, 0), trial_seed(7, 1));
+/// assert_eq!(trial_seed(7, 3), trial_seed(7, 3));
+/// ```
+#[must_use]
+pub fn trial_seed(master: u64, index: u64) -> u64 {
+    // Two rounds of the SplitMix64 finalizer over a mixed word; this is a
+    // bijective scramble of (master + f(index)) so distinct indices cannot
+    // collide for a fixed master.
+    let mut z = master ^ splitmix::mix64(index.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    z = splitmix::mix64(z);
+    splitmix::mix64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_distinct_for_small_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(trial_seed(123, i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn trial_seeds_differ_across_masters() {
+        assert_ne!(trial_seed(1, 0), trial_seed(2, 0));
+    }
+}

@@ -1,0 +1,270 @@
+//! The [`RandomSource`] trait and testing sources.
+
+/// A deterministic, seedable source of 64-bit random words.
+///
+/// Every algorithm in this workspace draws randomness through this trait so
+/// that experiments are reproducible and so tests can substitute scripted
+/// sources. The trait is object safe: counters hold `&mut dyn RandomSource`
+/// during an increment, which keeps the counter types themselves free of
+/// generic parameters (important for [`CounterArray`]-style collections).
+///
+/// [`CounterArray`]: https://docs.rs/ac-streams
+pub trait RandomSource {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // Take the high half: for xoshiro-family generators the upper bits
+        // have the best equidistribution properties.
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)` with 53 bits of
+    /// precision.
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        // 53 high bits scaled by 2^-53: the canonical open-interval trick.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly random `f64` in the *open* interval `(0, 1]`.
+    ///
+    /// Useful for inversion sampling where `ln(u)` must be finite.
+    #[inline]
+    fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a fair coin flip.
+    #[inline]
+    fn next_bool(&mut self) -> bool {
+        // Use the top bit (best-quality bit for + / ++ scramblers).
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Returns a uniformly random integer in `[0, bound)` without modulo
+    /// bias, using Lemire's multiply-shift rejection method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    #[inline]
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below: bound must be positive");
+        // Lemire 2019: multiply a random word by the bound and keep the high
+        // half; reject the small biased region of the low half.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            // threshold = 2^64 mod bound, computed without u128 division by
+            // the standard wrapping trick.
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly random integer in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    fn next_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "next_range_inclusive: empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for &mut T {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<T: RandomSource + ?Sized> RandomSource for Box<T> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A scripted source that replays a fixed sequence of words, then panics.
+///
+/// Intended for unit tests that need to force a specific random outcome
+/// (e.g. "the Bernoulli coin comes up heads exactly twice").
+#[derive(Debug, Clone)]
+pub struct SequenceSource {
+    words: Vec<u64>,
+    pos: usize,
+}
+
+impl SequenceSource {
+    /// Creates a source that yields `words` in order.
+    #[must_use]
+    pub fn new(words: Vec<u64>) -> Self {
+        Self { words, pos: 0 }
+    }
+
+    /// Number of words not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+}
+
+impl RandomSource for SequenceSource {
+    fn next_u64(&mut self) -> u64 {
+        let w = *self
+            .words
+            .get(self.pos)
+            .expect("SequenceSource exhausted: test consumed more randomness than scripted");
+        self.pos += 1;
+        w
+    }
+}
+
+/// A wrapper that counts how many 64-bit words the inner source produced.
+///
+/// Used by tests and experiments that audit randomness consumption (e.g.
+/// verifying that a `Bernoulli(2^-t)` coin consumes exactly one word).
+#[derive(Debug, Clone)]
+pub struct CountingSource<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: RandomSource> CountingSource<R> {
+    /// Wraps `inner`, starting the count at zero.
+    #[must_use]
+    pub fn new(inner: R) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Number of `next_u64` calls made so far.
+    #[must_use]
+    pub fn words_drawn(&self) -> u64 {
+        self.count
+    }
+
+    /// Consumes the wrapper, returning the inner source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RandomSource> RandomSource for CountingSource<R> {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.count += 1;
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_bound_one_is_always_zero() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..32 {
+            assert_eq!(rng.next_below(1), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let _ = rng.next_below(0);
+    }
+
+    #[test]
+    fn next_range_inclusive_covers_endpoints() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2_000 {
+            match rng.next_range_inclusive(5, 8) {
+                5 => saw_lo = true,
+                8 => saw_hi = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn next_range_full_domain_does_not_overflow() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let _ = rng.next_range_inclusive(0, u64::MAX);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_about_half() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean = {mean}");
+    }
+
+    #[test]
+    fn sequence_source_replays_and_counts() {
+        let mut s = CountingSource::new(SequenceSource::new(vec![1, 2, 3]));
+        assert_eq!(s.next_u64(), 1);
+        assert_eq!(s.next_u64(), 2);
+        assert_eq!(s.words_drawn(), 2);
+        assert_eq!(s.into_inner().remaining(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn sequence_source_panics_when_exhausted() {
+        let mut s = SequenceSource::new(vec![]);
+        let _ = s.next_u64();
+    }
+
+    #[test]
+    fn trait_object_usage_compiles() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let dynref: &mut dyn RandomSource = &mut rng;
+        let _ = dynref.next_below(10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Uniform integer and floating-point range distributions.
+
+use crate::{DistError, RandomSource};
+
+/// Uniform distribution over the inclusive integer range `[lo, hi]`.
+///
+/// Figure 1 of the paper draws `N ~ Uniform[500000, 999999]`; this type is
+/// the reusable form of that draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformU64 {
+    lo: u64,
+    hi: u64,
+}
+
+impl UniformU64 {
+    /// Creates the distribution over `[lo, hi]` (both inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::CountOutOfRange`] if `lo > hi`.
+    pub fn new(lo: u64, hi: u64) -> Result<Self, DistError> {
+        if lo > hi {
+            return Err(DistError::CountOutOfRange {
+                param: "lo..=hi",
+                required: "lo <= hi",
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower endpoint (inclusive).
+    #[must_use]
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+
+    /// Upper endpoint (inclusive).
+    #[must_use]
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Draws a value.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_range_inclusive(self.lo, self.hi)
+    }
+}
+
+/// Uniform distribution over the half-open real interval `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformF64 {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformF64 {
+    /// Creates the distribution over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidShape`] unless `lo < hi` and both are
+    /// finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(DistError::InvalidShape { param: "lo..hi" });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Draws a value.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn u64_rejects_empty() {
+        assert!(UniformU64::new(5, 4).is_err());
+        assert!(UniformU64::new(5, 5).is_ok());
+    }
+
+    #[test]
+    fn u64_point_range() {
+        let d = UniformU64::new(9, 9).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 9);
+        }
+    }
+
+    #[test]
+    fn u64_stays_in_range_and_mean_is_centered() {
+        let d = UniformU64::new(500_000, 999_999).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 100_000;
+        let mut sum = 0f64;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!((500_000..=999_999).contains(&x));
+            sum += x as f64;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 749_999.5).abs() < 2_000.0, "mean={mean}");
+    }
+
+    #[test]
+    fn f64_rejects_bad_ranges() {
+        assert!(UniformF64::new(1.0, 1.0).is_err());
+        assert!(UniformF64::new(2.0, 1.0).is_err());
+        assert!(UniformF64::new(f64::NEG_INFINITY, 0.0).is_err());
+    }
+
+    #[test]
+    fn f64_stays_in_range() {
+        let d = UniformF64::new(-2.0, 3.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

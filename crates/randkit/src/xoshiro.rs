@@ -1,0 +1,149 @@
+//! Xoshiro256++: the workspace's main pseudorandom generator.
+//!
+//! Reference: Blackman & Vigna, "Scrambled Linear Pseudorandom Number
+//! Generators", ACM TOMS 2021 (public-domain reference code at
+//! <https://prng.di.unimi.it/xoshiro256plusplus.c>).
+
+use crate::splitmix::SplitMix64;
+use crate::RandomSource;
+
+/// Xoshiro256++ pseudorandom generator: 256 bits of state, period
+/// `2^256 - 1`, excellent statistical quality, ~1 ns per output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator from a full 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zeros (the one forbidden state of the
+    /// underlying linear engine).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        Self { s }
+    }
+
+    /// Creates a generator by expanding a 64-bit seed through SplitMix64,
+    /// the seeding procedure recommended by the xoshiro authors.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [
+            sm.next_u64(),
+            sm.next_u64(),
+            sm.next_u64(),
+            sm.next_u64(),
+        ];
+        // SplitMix64 output is a bijection of a counter, so four successive
+        // outputs cannot all be zero.
+        Self { s }
+    }
+
+    /// Advances the generator `2^128` steps; useful for carving
+    /// non-overlapping subsequences out of one seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_4061_6EE3_8A36,
+            0x3982_0328_2431_9937,
+        ];
+        let mut acc = [0u64; 4];
+        for word in JUMP {
+            for bit in 0..64 {
+                if (word >> bit) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+impl RandomSource for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the canonical C implementation with state
+    /// `[1, 2, 3, 4]`.
+    #[test]
+    fn matches_reference_vector() {
+        let mut g = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for e in expected {
+            assert_eq!(g.next_u64(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn all_zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(99);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn jump_decorrelates_streams() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut b = a.clone();
+        b.jump();
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn bit_balance_is_reasonable() {
+        // Sanity check, not a PRNG test suite: over 64k words the fraction
+        // of set bits should be very close to 1/2.
+        let mut g = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut ones = 0u64;
+        let n = 65_536u64;
+        for _ in 0..n {
+            ones += u64::from(g.next_u64().count_ones());
+        }
+        let frac = ones as f64 / (n as f64 * 64.0);
+        assert!((frac - 0.5).abs() < 0.002, "bit fraction = {frac}");
+    }
+}

@@ -1,0 +1,270 @@
+//! Zipf-distributed key popularity, via an exact Walker/Vose alias table.
+//!
+//! The paper's motivating scenario — "an analytics system may maintain many
+//! such counters (for example, the number of visits to each page on
+//! Wikipedia)" — calls for heavy-tailed key frequencies. [`Zipf`] samples
+//! keys `1..=n` with `P[k] ∝ k^{-s}` exactly, in O(1) per draw after an
+//! O(n) setup, using the embedded [`AliasTable`].
+
+use crate::{DistError, RandomSource};
+
+/// Walker/Vose alias table: O(1) exact sampling from any finite discrete
+/// distribution given as non-negative weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the "home" symbol in each column.
+    prob: Vec<f64>,
+    /// The alternative symbol in each column.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table from `weights` (need not be normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::InvalidShape`] if `weights` is empty, contains
+    /// a negative or non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, DistError> {
+        let n = weights.len();
+        if n == 0 || n > u32::MAX as usize {
+            return Err(DistError::InvalidShape { param: "weights" });
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 || weights.iter().any(|&w| w.is_nan() || w < 0.0) {
+            return Err(DistError::InvalidShape { param: "weights" });
+        }
+
+        // Vose's algorithm: scale weights to mean 1, then repeatedly pair a
+        // column below 1 with one above 1.
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            alias[s as usize] = l;
+            // The large column donates (1 - prob[s]) of its mass.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is 1.0 up to rounding.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no symbols (never constructible; kept for
+    /// API symmetry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws a symbol index in `[0, len)`.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> usize {
+        let col = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[col] {
+            col
+        } else {
+            self.alias[col] as usize
+        }
+    }
+}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s ≥ 0`:
+/// `P[k] = k^{-s} / H_{n,s}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    table: AliasTable,
+    weights: Vec<f64>,
+    harmonic: f64,
+}
+
+impl Zipf {
+    /// Creates the distribution over `{1, …, n}` with exponent `s`.
+    ///
+    /// `s = 0` is the uniform distribution; `s = 1` is the classic Zipf
+    /// law. Setup is O(n): intended for `n` up to a few million.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::CountOutOfRange`] when `n == 0` and
+    /// [`DistError::InvalidShape`] when `s` is negative or non-finite.
+    pub fn new(n: u64, s: f64) -> Result<Self, DistError> {
+        if n == 0 || n > (u32::MAX as u64) {
+            return Err(DistError::CountOutOfRange {
+                param: "n",
+                required: "1..=u32::MAX",
+            });
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(DistError::InvalidShape { param: "s" });
+        }
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        let harmonic: f64 = weights.iter().sum();
+        let table = AliasTable::new(&weights)?;
+        Ok(Self {
+            n,
+            s,
+            table,
+            weights,
+            harmonic,
+        })
+    }
+
+    /// Universe size `n`.
+    #[must_use]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    #[must_use]
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Exact probability of key `k` (1-based); 0 outside `{1..=n}`.
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        self.weights[(k - 1) as usize] / self.harmonic
+    }
+
+    /// The generalized harmonic number `H_{n,s}` (the normalizing
+    /// constant).
+    #[must_use]
+    pub fn harmonic(&self) -> f64 {
+        self.harmonic
+    }
+
+    /// Draws a key in `{1, …, n}`.
+    #[inline]
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.table.sample(rng) as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn alias_rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn alias_single_symbol() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn alias_matches_weights_empirically() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = weights[i] / 10.0 * f64::from(n);
+            let sigma = (expected * (1.0 - weights[i] / 10.0)).sqrt();
+            assert!(
+                ((c as f64) - expected).abs() < 6.0 * sigma,
+                "symbol {i}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_zero_weight_symbol_never_drawn() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for _ in 0..50_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(1_000, 1.0).unwrap();
+        let total: f64 = (1..=1_000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(1_001), 0.0);
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_head_frequency_matches_pmf() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let n = 200_000;
+        let ones = (0..n).filter(|_| z.sample(&mut rng) == 1).count();
+        let freq = ones as f64 / f64::from(n);
+        let p1 = z.pmf(1);
+        assert!((freq - p1).abs() < 0.01, "freq={freq}, p1={p1}");
+    }
+
+    #[test]
+    fn zipf_samples_in_support() {
+        let z = Zipf::new(37, 1.2).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=37).contains(&k));
+        }
+    }
+}

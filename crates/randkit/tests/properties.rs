@@ -1,0 +1,127 @@
+//! Property-based tests for the randomness substrate.
+
+use ac_randkit::{
+    trial_seed, AliasTable, Bernoulli, BernoulliPow2, Binomial, Geometric, RandomSource,
+    SplitMix64, UniformU64, Xoshiro256PlusPlus, Zipf,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Lemire rejection never leaves the requested range.
+    #[test]
+    fn next_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Canonical floats live in [0, 1) and the open variant in (0, 1].
+    #[test]
+    fn float_ranges(seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..100 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f64_open();
+            prop_assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    /// Geometric samples are at least 1, and mean-bounded sanity holds
+    /// over a small batch.
+    #[test]
+    fn geometric_support(seed in any::<u64>(), p in 0.001f64..1.0) {
+        let g = Geometric::new(p).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(g.sample(&mut rng) >= 1);
+        }
+    }
+
+    /// Binomial samples stay within 0..=n across all regimes (BINV,
+    /// BTPE, flipped).
+    #[test]
+    fn binomial_support(seed in any::<u64>(), n in 0u64..1_000_000, p in 0.0f64..=1.0) {
+        let d = Binomial::new(n, p).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..20 {
+            prop_assert!(d.sample(&mut rng) <= n);
+        }
+    }
+
+    /// The 2^-t coin with t = 0 is constantly true; larger t only gets
+    /// rarer (monotone in a coupled sense: sampling with the same seed
+    /// and a larger t cannot flip false -> true given the nested-mask
+    /// construction).
+    #[test]
+    fn pow2_coin_monotone_in_t(seed in any::<u64>(), t in 0u32..63) {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let loose = BernoulliPow2::new(t).sample(&mut a);
+        let tight = BernoulliPow2::new(t + 1).sample(&mut b);
+        // Same word; tight requires one more zero bit.
+        prop_assert!(loose || !tight);
+    }
+
+    /// Bernoulli(0)/Bernoulli(1) are constant for any seed.
+    #[test]
+    fn bernoulli_extremes(seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        prop_assert!(!Bernoulli::new(0.0).unwrap().sample(&mut rng));
+        prop_assert!(Bernoulli::new(1.0).unwrap().sample(&mut rng));
+    }
+
+    /// Uniform ranges hit only their support.
+    #[test]
+    fn uniform_support(seed in any::<u64>(), lo in 0u64..1 << 40, span in 0u64..1 << 40) {
+        let d = UniformU64::new(lo, lo + span).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..20 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x <= lo + span);
+        }
+    }
+
+    /// Alias tables only emit indices with positive weight.
+    #[test]
+    fn alias_respects_zero_weights(seed in any::<u64>(), weights in prop::collection::vec(0.0f64..10.0, 1..40)) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..100 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "drew zero-weight symbol {i}");
+        }
+    }
+
+    /// Zipf pmf is normalized and monotone nonincreasing in the rank.
+    #[test]
+    fn zipf_pmf_shape(n in 1u64..500, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) >= z.pmf(k + 1) - 1e-15);
+        }
+    }
+
+    /// trial_seed is injective over contiguous index blocks.
+    #[test]
+    fn trial_seed_block_injective(master in any::<u64>(), start in 0u64..1 << 48) {
+        let mut seen = std::collections::HashSet::new();
+        for i in start..start + 100 {
+            prop_assert!(seen.insert(trial_seed(master, i)));
+        }
+    }
+
+    /// Generators are deterministic given their seed.
+    #[test]
+    fn generators_deterministic(seed in any::<u64>()) {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # `ac-sim` — the experiment harness
+//!
+//! Turns counters plus workloads into the numbers the paper reports:
+//!
+//! * [`Workload`] — how many increments a trial performs (Figure 1 uses
+//!   `Uniform[500000, 999999]`).
+//! * [`TrialRunner`] — runs `m` independent trials, in parallel across
+//!   threads, with bit-reproducible per-trial seeds derived from a master
+//!   seed via [`ac_randkit::trial_seed`]; collects estimates, relative
+//!   errors and memory high-water marks.
+//! * [`report`] — markdown/CSV tables for `EXPERIMENTS.md`.
+//! * [`plot`] — terminal ASCII charts, so every "figure" renders in CI
+//!   logs.
+//!
+//! ```
+//! use ac_core::{MorrisCounter};
+//! use ac_sim::{ExecutionMode, TrialRunner, Workload};
+//!
+//! let runner = TrialRunner::new(Workload::fixed(100_000), 200)
+//!     .with_seed(7)
+//!     .with_mode(ExecutionMode::FastForward);
+//! let results = runner.run(&MorrisCounter::classic());
+//! assert_eq!(results.len(), 200);
+//! // Base-2 Morris: typical relative error is large but finite.
+//! assert!(results.abs_rel_errors().iter().all(|e| e.is_finite()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod report;
+mod results;
+mod runner;
+mod workload;
+
+pub use results::{TrialOutcome, TrialResults};
+pub use runner::{ExecutionMode, TrialRunner};
+pub use workload::Workload;

@@ -1,0 +1,168 @@
+//! Terminal ASCII charts — every "figure" in this reproduction renders
+//! in plain text.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The points, in any order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Plot symbols assigned to series in order.
+const SYMBOLS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders series onto a `width × height` character grid with axis
+/// annotations and a legend. Returns a multi-line string.
+///
+/// # Panics
+///
+/// Panics if no series has any finite point, or dimensions are tiny.
+#[must_use]
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let finite: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    assert!(!finite.is_empty(), "nothing to plot");
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &finite {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    // Degenerate ranges widen symmetrically so the points land mid-chart.
+    if x_min == x_max {
+        x_min -= 0.5;
+        x_max += 0.5;
+    }
+    if y_min == y_max {
+        y_min -= 0.5;
+        y_max += 0.5;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let symbol = SYMBOLS[si % SYMBOLS.len()];
+        for &(x, y) in &s.points {
+            if !(x.is_finite() && y.is_finite()) {
+                continue;
+            }
+            let cx = ((x - x_min) / (x_max - x_min) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_min) / (y_max - y_min) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            // Later series overwrite earlier ones at collisions; that is
+            // visible in the legend ordering.
+            grid[row][col] = symbol;
+        }
+    }
+
+    let mut out = String::new();
+    let y_label_w = 10;
+    for (r, row) in grid.iter().enumerate() {
+        let y_val = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        let label = if r == 0 || r == height - 1 || r == height / 2 {
+            format!("{y_val:>9.3} ")
+        } else {
+            " ".repeat(y_label_w)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(y_label_w));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&" ".repeat(y_label_w + 1));
+    let x_lo = format!("{x_min:.3}");
+    let x_hi = format!("{x_max:.3}");
+    let pad = width.saturating_sub(x_lo.len() + x_hi.len());
+    out.push_str(&x_lo);
+    out.push_str(&" ".repeat(pad));
+    out.push_str(&x_hi);
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{}  {} {}\n",
+            " ".repeat(y_label_w),
+            SYMBOLS[si % SYMBOLS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let s = Series::new("line", (0..20).map(|i| (i as f64, i as f64)).collect());
+        let chart = ascii_chart(&[s], 40, 10);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("line"));
+        assert!(chart.contains("0.000"));
+        assert!(chart.contains("19.000"));
+    }
+
+    #[test]
+    fn renders_two_series_with_distinct_symbols() {
+        let a = Series::new("A", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("B", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let chart = ascii_chart(&[a, b], 30, 8);
+        assert!(chart.contains('*') && chart.contains('o'));
+        assert!(chart.contains("A") && chart.contains("B"));
+    }
+
+    #[test]
+    fn handles_constant_series() {
+        let s = Series::new("flat", vec![(0.0, 5.0), (10.0, 5.0)]);
+        let chart = ascii_chart(&[s], 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn skips_non_finite_points() {
+        let s = Series::new(
+            "gappy",
+            vec![(0.0, 1.0), (f64::NAN, 2.0), (2.0, f64::INFINITY), (3.0, 2.0)],
+        );
+        let chart = ascii_chart(&[s], 30, 6);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn rejects_all_nan() {
+        let s = Series::new("bad", vec![(f64::NAN, f64::NAN)]);
+        let _ = ascii_chart(&[s], 30, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn rejects_tiny_grid() {
+        let s = Series::new("x", vec![(0.0, 0.0)]);
+        let _ = ascii_chart(&[s], 5, 2);
+    }
+}

@@ -1,0 +1,155 @@
+//! Markdown and CSV table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-oriented table that renders to GitHub-flavored
+/// markdown or CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a GitHub-flavored markdown table with aligned columns.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (w, cell) in widths.iter().zip(cells) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{:-<width$}|", "", width = w + 2);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas or quotes
+    /// are double-quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let mut render = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        render(&self.headers);
+        for row in &self.rows {
+            render(row);
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` significant digits, trimming noise —
+/// the standard cell format in experiment reports.
+#[must_use]
+pub fn sig(x: f64, digits: usize) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let magnitude = x.abs().log10().floor() as i32;
+    let decimals = (digits as i32 - 1 - magnitude).max(0) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new(vec!["algo", "bits"]);
+        t.row(vec!["morris", "17"]);
+        t.row(vec!["nelson-yu", "17"]);
+        let md = t.to_markdown();
+        assert!(md.contains("| algo      | bits |"));
+        assert!(md.contains("|-----------|------|"));
+        assert!(md.contains("| morris    | 17   |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_renders_and_quotes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with,comma"]);
+        t.row(vec!["quote\"d", "x"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("plain,\"with,comma\""));
+        assert!(csv.contains("\"quote\"\"d\",x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn sig_formats_sensibly() {
+        assert_eq!(sig(0.0, 3), "0");
+        assert_eq!(sig(1234.6, 3), "1235"); // rounds at integer scale
+        assert_eq!(sig(0.02371, 3), "0.0237");
+        assert_eq!(sig(-0.5, 2), "-0.50");
+        assert_eq!(sig(f64::INFINITY, 3), "inf");
+    }
+}

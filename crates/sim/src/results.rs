@@ -1,0 +1,192 @@
+//! Trial outcomes and their aggregation.
+
+use ac_stats::{Ecdf, Summary};
+
+/// The outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// The true increment count of this trial.
+    pub n: u64,
+    /// The counter's estimate at the end of the trial.
+    pub estimate: f64,
+    /// State bits at the end of the trial.
+    pub final_bits: u64,
+    /// Memory high-water mark over the trial.
+    pub peak_bits: u64,
+}
+
+impl TrialOutcome {
+    /// Signed relative error `(N̂ − N)/N` (0 for `n = 0`).
+    #[must_use]
+    pub fn rel_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.estimate - self.n as f64) / self.n as f64
+        }
+    }
+
+    /// Absolute relative error `|N̂ − N|/N`.
+    #[must_use]
+    pub fn abs_rel_error(&self) -> f64 {
+        self.rel_error().abs()
+    }
+}
+
+/// The outcomes of a batch of independent trials.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrialResults {
+    outcomes: Vec<TrialOutcome>,
+}
+
+impl TrialResults {
+    /// Wraps a vector of outcomes.
+    #[must_use]
+    pub fn new(outcomes: Vec<TrialOutcome>) -> Self {
+        Self { outcomes }
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when no trials were run.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// The raw outcomes.
+    #[must_use]
+    pub fn outcomes(&self) -> &[TrialOutcome] {
+        &self.outcomes
+    }
+
+    /// Absolute relative errors, one per trial.
+    #[must_use]
+    pub fn abs_rel_errors(&self) -> Vec<f64> {
+        self.outcomes.iter().map(TrialOutcome::abs_rel_error).collect()
+    }
+
+    /// Signed relative errors, one per trial.
+    #[must_use]
+    pub fn rel_errors(&self) -> Vec<f64> {
+        self.outcomes.iter().map(TrialOutcome::rel_error).collect()
+    }
+
+    /// Estimates, one per trial.
+    #[must_use]
+    pub fn estimates(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.estimate).collect()
+    }
+
+    /// Peak state bits, one per trial.
+    #[must_use]
+    pub fn peak_bits(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|o| o.peak_bits as f64).collect()
+    }
+
+    /// Fraction of trials with `|N̂ − N| > ε·N` — the paper's failure
+    /// event, Eq. (1).
+    #[must_use]
+    pub fn failure_rate(&self, eps: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let failures = self
+            .outcomes
+            .iter()
+            .filter(|o| o.abs_rel_error() > eps)
+            .count();
+        failures as f64 / self.outcomes.len() as f64
+    }
+
+    /// Number of trials with `|N̂ − N| > ε·N`.
+    #[must_use]
+    pub fn failures(&self, eps: f64) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.abs_rel_error() > eps)
+            .count() as u64
+    }
+
+    /// ECDF of the absolute relative errors — the Figure 1 curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no trials were run.
+    #[must_use]
+    pub fn error_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.abs_rel_errors())
+    }
+
+    /// Summary of signed relative errors (bias check).
+    #[must_use]
+    pub fn rel_error_summary(&self) -> Summary {
+        Summary::from_slice(&self.rel_errors())
+    }
+
+    /// Summary of peak state bits (space-theorem check).
+    #[must_use]
+    pub fn peak_bits_summary(&self) -> Summary {
+        Summary::from_slice(&self.peak_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(n: u64, estimate: f64) -> TrialOutcome {
+        TrialOutcome {
+            n,
+            estimate,
+            final_bits: 5,
+            peak_bits: 6,
+        }
+    }
+
+    #[test]
+    fn rel_error_signs() {
+        assert_eq!(outcome(100, 110.0).rel_error(), 0.10);
+        assert_eq!(outcome(100, 90.0).rel_error(), -0.10);
+        assert_eq!(outcome(0, 0.0).rel_error(), 0.0);
+        assert_eq!(outcome(100, 90.0).abs_rel_error(), 0.10);
+    }
+
+    #[test]
+    fn failure_rate_counts_exceedances() {
+        let r = TrialResults::new(vec![
+            outcome(100, 100.0),
+            outcome(100, 120.0),
+            outcome(100, 95.0),
+            outcome(100, 70.0),
+        ]);
+        assert_eq!(r.failure_rate(0.10), 0.5); // 120 and 70 fail
+        assert_eq!(r.failures(0.10), 2);
+        assert_eq!(r.failure_rate(0.5), 0.0);
+        assert!(TrialResults::default().failure_rate(0.1) == 0.0);
+    }
+
+    #[test]
+    fn ecdf_max_is_worst_error() {
+        let r = TrialResults::new(vec![
+            outcome(100, 101.0),
+            outcome(100, 99.0),
+            outcome(100, 102.37),
+        ]);
+        let e = r.error_ecdf();
+        assert!((e.max() - 0.0237).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summaries_aggregate() {
+        let r = TrialResults::new(vec![outcome(100, 110.0), outcome(100, 90.0)]);
+        let s = r.rel_error_summary();
+        assert!((s.mean() - 0.0).abs() < 1e-12, "unbiased sample");
+        let p = r.peak_bits_summary();
+        assert_eq!(p.mean(), 6.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Trial workloads: how many increments a trial performs.
+
+use ac_randkit::{RandomSource, UniformU64};
+
+/// The per-trial increment count distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Every trial performs exactly `n` increments.
+    Fixed(
+        /// The increment count.
+        u64,
+    ),
+    /// Each trial draws `N` uniformly from `[lo, hi]` (inclusive) — the
+    /// Figure 1 workload is `Uniform(500000, 999999)`.
+    Uniform {
+        /// Smallest count (inclusive).
+        lo: u64,
+        /// Largest count (inclusive).
+        hi: u64,
+    },
+}
+
+impl Workload {
+    /// Every trial performs exactly `n` increments.
+    #[must_use]
+    pub fn fixed(n: u64) -> Self {
+        Workload::Fixed(n)
+    }
+
+    /// Per-trial `N ~ Uniform[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn uniform(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty workload range");
+        Workload::Uniform { lo, hi }
+    }
+
+    /// The Figure 1 workload: "pick a uniformly random integer
+    /// `N ∈ [500000, 999999]` (thus a 20-bit number)".
+    #[must_use]
+    pub fn figure1() -> Self {
+        Workload::Uniform {
+            lo: 500_000,
+            hi: 999_999,
+        }
+    }
+
+    /// Draws this trial's increment count.
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            Workload::Fixed(n) => n,
+            Workload::Uniform { lo, hi } => UniformU64::new(lo, hi)
+                .expect("validated at construction")
+                .sample(rng),
+        }
+    }
+
+    /// The largest count this workload can produce (for planners).
+    #[must_use]
+    pub fn max_n(&self) -> u64 {
+        match *self {
+            Workload::Fixed(n) => n,
+            Workload::Uniform { hi, .. } => hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    #[test]
+    fn fixed_always_returns_n() {
+        let w = Workload::fixed(42);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(w.sample(&mut rng), 42);
+        }
+        assert_eq!(w.max_n(), 42);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let w = Workload::uniform(10, 20);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let n = w.sample(&mut rng);
+            assert!((10..=20).contains(&n));
+        }
+        assert_eq!(w.max_n(), 20);
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let w = Workload::figure1();
+        assert_eq!(w.max_n(), 999_999);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let n = w.sample(&mut rng);
+        assert!((500_000..=999_999).contains(&n));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload range")]
+    fn rejects_inverted_range() {
+        let _ = Workload::uniform(5, 4);
+    }
+}

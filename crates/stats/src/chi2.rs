@@ -1,0 +1,121 @@
+//! Chi-square goodness-of-fit testing.
+
+use crate::dist::normal_cdf;
+
+/// Result of a chi-square goodness-of-fit computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom actually used (after bin pooling).
+    pub dof: usize,
+    /// Approximate p-value (Wilson–Hilferty cube-root normal
+    /// approximation; accurate to a few per mille for `dof ≥ 3`).
+    pub p_value: f64,
+}
+
+/// Chi-square goodness of fit of observed counts against expected counts.
+///
+/// Bins are pooled greedily (left to right) until each pooled bin has
+/// expected mass at least `min_expected` (a common choice is 5–10), which
+/// keeps the chi-square approximation valid in the tails.
+///
+/// # Panics
+///
+/// Panics if lengths differ, if the inputs are empty, or if every pooled
+/// bin fails to reach `min_expected`.
+#[must_use]
+pub fn chi2_gof(observed: &[f64], expected: &[f64], min_expected: f64) -> Chi2Result {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    assert!(!observed.is_empty(), "empty chi-square input");
+
+    let mut statistic = 0.0;
+    let mut bins_used = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected.iter()) {
+        pooled_obs += o;
+        pooled_exp += e;
+        if pooled_exp >= min_expected {
+            statistic += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+            bins_used += 1;
+            pooled_obs = 0.0;
+            pooled_exp = 0.0;
+        }
+    }
+    if pooled_exp > 0.0 && bins_used > 0 {
+        // Fold the remainder into the last pooled bin's contribution by
+        // treating it as one more (possibly small) bin.
+        statistic += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+        bins_used += 1;
+    }
+    assert!(bins_used >= 2, "all mass pooled into a single bin");
+    let dof = bins_used - 1;
+    Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    }
+}
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom, via the Wilson–Hilferty transformation.
+#[must_use]
+pub fn chi2_sf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "dof must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let k = dof as f64;
+    // (X/k)^(1/3) is approximately normal with mean 1 - 2/(9k) and
+    // variance 2/(9k).
+    let z = ((x / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
+    1.0 - normal_cdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // Chi-square critical values: P(X_5 > 11.07) = 0.05,
+        // P(X_10 > 18.31) = 0.05.
+        assert!((chi2_sf(11.07, 5) - 0.05).abs() < 0.005);
+        assert!((chi2_sf(18.31, 10) - 0.05).abs() < 0.004);
+        assert!(chi2_sf(0.0, 3) == 1.0);
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_statistic() {
+        let obs = [10.0, 20.0, 30.0, 40.0];
+        let r = chi2_gof(&obs, &obs, 5.0);
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn gross_misfit_is_detected() {
+        let obs = [100.0, 0.0, 0.0, 0.0];
+        let exp = [25.0, 25.0, 25.0, 25.0];
+        let r = chi2_gof(&obs, &exp, 5.0);
+        assert!(r.statistic > 100.0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn pooling_respects_min_expected() {
+        // Ten bins of expected 1.0 pool into (at least) pairs of >= 2.
+        let obs = vec![1.0; 10];
+        let exp = vec![1.0; 10];
+        let r = chi2_gof(&obs, &exp, 2.0);
+        assert!(r.dof <= 5);
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = chi2_gof(&[1.0], &[1.0, 2.0], 5.0);
+    }
+}

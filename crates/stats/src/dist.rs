@@ -1,0 +1,182 @@
+//! Reference distributions: standard normal and Kolmogorov.
+
+/// Standard normal CDF `Φ(x)`.
+///
+/// Uses the complementary error function below; absolute error is under
+/// `1.2e-7` across the real line, ample for every test in this workspace.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function `erfc(x)`, via the rational Chebyshev
+/// approximation of Numerical Recipes §6.2 (absolute error `< 1.2e-7`).
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` via the Acklam/Beasley-Springer-Moro
+/// style rational approximation refined with one Halley step.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal quantile needs p in (0,1)");
+    // Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement against the high-accuracy CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2k²λ²}` — the asymptotic p-value of a
+/// scaled KS statistic.
+#[must_use]
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_known_values() {
+        // The erfc approximation carries ~1.2e-7 absolute error.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((normal_cdf(1.0) - 0.841_344_746).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.158_655_254).abs() < 1e-6);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        // Exact by construction for x != 0; at x = 0 both branches return
+        // the same approximate value, so allow the approximation error.
+        for &x in &[0.0, 0.3, 1.0, 2.5] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 3e-7, "x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-7, "p={p}, x={x}");
+        }
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!(normal_quantile(0.5).abs() < 1e-6);
+        assert!((normal_quantile(0.975) - 1.959_964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959_964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_endpoints() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_values() {
+        // Classical table values: Q(1.36) ≈ 0.049, Q(1.63) ≈ 0.010.
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.002);
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.001);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn kolmogorov_sf_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 1..50 {
+            let q = kolmogorov_sf(i as f64 * 0.1);
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+    }
+}

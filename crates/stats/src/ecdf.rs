@@ -1,0 +1,182 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figure 1 of the paper plots, for each algorithm, "a dot at `(x, y)`
+//! meaning that in `x%` of the trial runs the relative error was `y%` or
+//! less" — i.e. the inverse of the empirical CDF of relative errors.
+//! [`Ecdf`] provides both directions.
+
+/// An empirical CDF over a fixed sample.
+///
+/// Construction sorts the sample once; evaluation and quantiles are then
+/// O(log n).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF of an empty sample");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked above"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of samples `≤ x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.rank(x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples `≤ x`.
+    #[must_use]
+    pub fn rank(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&s| s <= x)
+    }
+
+    /// The `q`-quantile for `q ∈ [0, 1]`, using the inverse-CDF
+    /// (type-1) definition: the smallest sample value `v` with
+    /// `F(v) ≥ q`. `quantile(0)` is the minimum, `quantile(1)` the
+    /// maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// The sorted sample (ascending).
+    #[must_use]
+    pub fn sorted_samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Minimum of the sample.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum of the sample — e.g. "the worst relative error seen in
+    /// 5,000 runs", the number the paper quotes as 2.37 %.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Samples the curve `(x%, quantile(x%))` at `points` evenly spaced
+    /// percentiles — exactly the series plotted in Figure 1.
+    #[must_use]
+    pub fn percentile_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two curve points");
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (100.0 * q, self.quantile(q))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_sample_panics() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn eval_step_function() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_with_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(5.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.21), 20.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+        assert_eq!(e.min(), 10.0);
+        assert_eq!(e.max(), 50.0);
+    }
+
+    #[test]
+    fn quantile_and_eval_are_pseudo_inverses() {
+        let xs: Vec<f64> = (0..997).map(|i| ((i * 7919) % 1000) as f64).collect();
+        let e = Ecdf::new(xs);
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let v = e.quantile(q);
+            assert!(e.eval(v) >= q, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_curve_is_monotone_and_spans_range() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 1.37).sin().abs()).collect();
+        let e = Ecdf::new(xs);
+        let curve = e.percentile_curve(101);
+        assert_eq!(curve.len(), 101);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[100].0, 100.0);
+        assert_eq!(curve[100].1, e.max());
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "curve must be nondecreasing");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.sorted_samples(), &[1.0, 2.0, 3.0]);
+    }
+}

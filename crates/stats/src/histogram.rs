@@ -1,0 +1,150 @@
+//! Fixed-width histograms.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus explicit
+/// underflow/overflow counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi`, both finite, and `bins ≥ 1`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        assert!(bins >= 1, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(low, high)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len());
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including under/overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Index of the fullest bin (first one on ties); `None` if all in-range
+    /// bins are empty.
+    #[must_use]
+    pub fn mode_bin(&self) -> Option<usize> {
+        let (idx, &max) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))?;
+        (max > 0).then_some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert_eq!(h.bins(), &[1; 10]);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn edges_and_boundaries() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.0); // bin 0 (left edge inclusive)
+        h.push(0.25); // bin 1
+        h.push(0.999); // bin 3
+        h.push(1.0); // overflow (right edge exclusive)
+        h.push(-0.001); // underflow
+        assert_eq!(h.bins(), &[1, 1, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.bin_edges(1), (0.25, 0.5));
+    }
+
+    #[test]
+    fn mode_bin_reports_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        for _ in 0..5 {
+            h.push(1.5);
+        }
+        h.push(0.5);
+        assert_eq!(h.mode_bin(), Some(1));
+    }
+
+    #[test]
+    fn mode_bin_none_when_empty_in_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(5.0);
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Confidence intervals for proportions.
+
+use crate::dist::normal_quantile;
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Given `successes` out of `trials` and a confidence level (e.g. `0.95`),
+/// returns `(lo, hi)` bounds on the true success probability. Unlike the
+/// normal ("Wald") interval it behaves sensibly when the observed count is
+/// 0 or `trials` — exactly the regime of failure-probability estimation
+/// where observed failures are rare or absent.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `successes > trials`, or `confidence` is not
+/// in `(0, 1)`.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "more successes than trials");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let z = normal_quantile(0.5 + confidence / 2.0);
+    let n = trials as f64;
+    let phat = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (phat + z2 / (2.0 * n)) / denom;
+    let half = z * (phat * (1.0 - phat) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(30, 100, 0.95);
+        assert!(lo < 0.3 && 0.3 < hi);
+    }
+
+    #[test]
+    fn zero_successes_has_zero_lower_bound() {
+        let (lo, hi) = wilson_interval(0, 1_000, 0.95);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.01, "hi={hi}");
+    }
+
+    #[test]
+    fn all_successes_has_one_upper_bound() {
+        let (lo, hi) = wilson_interval(1_000, 1_000, 0.95);
+        assert_eq!(hi, 1.0);
+        assert!(lo > 0.99);
+    }
+
+    #[test]
+    fn known_value_against_r() {
+        // R: binom.confint(5, 50, method="wilson") -> [0.0432, 0.2147]
+        let (lo, hi) = wilson_interval(5, 50, 0.95);
+        assert!((lo - 0.0432).abs() < 0.002, "lo={lo}");
+        assert!((hi - 0.2147).abs() < 0.002, "hi={hi}");
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let (lo95, hi95) = wilson_interval(10, 100, 0.95);
+        let (lo99, hi99) = wilson_interval(10, 100, 0.99);
+        assert!(lo99 < lo95 && hi99 > hi95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn rejects_zero_trials() {
+        let _ = wilson_interval(0, 0, 0.95);
+    }
+}

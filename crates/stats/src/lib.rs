@@ -1,0 +1,35 @@
+//! # `ac-stats` — statistics toolkit for the Nelson–Yu reproduction
+//!
+//! Every experiment in this workspace turns a pile of trial outcomes into
+//! a claim: "the empirical CDFs are nearly identical" (Figure 1), "the
+//! failure probability is below δ" (Theorems 1.2, 2.1), "the merged
+//! counter has the same distribution as the sequential one" (Remark 2.4).
+//! This crate supplies the machinery for those claims:
+//!
+//! * [`Summary`] — streaming (Welford) mean/variance/min/max.
+//! * [`Ecdf`] — empirical CDFs and quantiles (the object plotted in
+//!   Figure 1).
+//! * [`Histogram`] — fixed-width binning for distribution sketches.
+//! * [`wilson_interval`] — confidence intervals on failure probabilities.
+//! * [`ks`] — two-sample Kolmogorov–Smirnov test (merge-law validation).
+//! * [`chi2`] — chi-square goodness of fit.
+//! * [`dist`] — normal CDF/quantile and the Kolmogorov distribution.
+//! * [`theory`] — generic tail-bound calculators (Chebyshev, multiplicative
+//!   Chernoff) quoted by the paper's proofs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod dist;
+mod ecdf;
+mod histogram;
+mod intervals;
+pub mod ks;
+mod summary;
+pub mod theory;
+
+pub use ecdf::Ecdf;
+pub use histogram::Histogram;
+pub use intervals::wilson_interval;
+pub use summary::Summary;

@@ -1,0 +1,149 @@
+//! Closed-form tail bounds and estimator moments quoted by the paper.
+//!
+//! These calculators appear in experiment headers ("theory says ≤ δ") and
+//! in tests that compare measured moments with the paper's formulas.
+
+/// Mean of the `Morris(a)` estimator after `n` increments: exactly `n`
+/// (the estimator `a⁻¹((1+a)^X − 1)` is unbiased; §1.2 of the paper).
+#[must_use]
+pub fn morris_estimator_mean(n: u64) -> f64 {
+    n as f64
+}
+
+/// Variance of the `Morris(a)` estimator after `n` increments:
+/// `a·n·(n−1)/2` (§1.2 of the paper).
+#[must_use]
+pub fn morris_estimator_variance(a: f64, n: u64) -> f64 {
+    let nf = n as f64;
+    a * nf * (nf - 1.0) / 2.0
+}
+
+/// Chebyshev bound on the failure probability
+/// `P(|N̂ − N| > εN) ≤ Var/(εN)²` for the `Morris(a)` estimator.
+///
+/// With `a = 2ε²δ` this is exactly the paper's "setting `a = 2ε²δ`, one
+/// obtains the guarantee Eq. (1)" step.
+#[must_use]
+pub fn morris_chebyshev_failure(a: f64, eps: f64, n: u64) -> f64 {
+    if n < 2 {
+        return 0.0; // estimator is exact for N ∈ {0, 1}
+    }
+    let nf = n as f64;
+    (morris_estimator_variance(a, n) / (eps * nf).powi(2)).min(1.0)
+}
+
+/// Multiplicative Chernoff bound:
+/// `P(X ≥ (1+d)μ) ≤ exp(−d²μ/(2+d))` for a sum of independent 0/1
+/// variables with mean `μ` and `d > 0`.
+#[must_use]
+pub fn chernoff_upper(mu: f64, d: f64) -> f64 {
+    assert!(d > 0.0 && mu >= 0.0);
+    (-d * d * mu / (2.0 + d)).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff bound for the lower tail:
+/// `P(X ≤ (1−d)μ) ≤ exp(−d²μ/2)` for `0 < d < 1`.
+#[must_use]
+pub fn chernoff_lower(mu: f64, d: f64) -> f64 {
+    assert!(d > 0.0 && d < 1.0 && mu >= 0.0);
+    (-d * d * mu / 2.0).exp().min(1.0)
+}
+
+/// The Morris(a) tail bound proven in §2.2 of the paper: for any
+/// `k > 1/a`, prefix sums of the geometric `Z_i` deviate by a relative
+/// `ε` with probability at most `2·exp(−ε²/(8a))`; consequently the
+/// estimator is a `(1 ± 2ε)` approximation with probability at least
+/// `1 − 2·exp(−ε²/(8a))`.
+#[must_use]
+pub fn morris_section22_failure(a: f64, eps: f64) -> f64 {
+    (2.0 * (-eps * eps / (8.0 * a)).exp()).min(1.0)
+}
+
+/// The paper's prescription `a = ε²/(8 ln(1/δ))` (§2.2) to make
+/// [`morris_section22_failure`] equal `2δ`.
+#[must_use]
+pub fn morris_a_for(eps: f64, delta: f64) -> f64 {
+    assert!(eps > 0.0 && delta > 0.0 && delta < 1.0);
+    eps * eps / (8.0 * (1.0 / delta).ln())
+}
+
+/// Theorem 1.2's space form for Morris+: `log log N + log 1/ε +
+/// log log 1/δ` (base-2 logs, no constant factor). Used as the x-axis
+/// scale in the space-scaling experiments.
+#[must_use]
+pub fn optimal_space_form(n: u64, eps: f64, delta: f64) -> f64 {
+    assert!(n >= 2);
+    let loglog_n = ((n as f64).log2()).log2().max(0.0);
+    loglog_n + (1.0 / eps).log2().max(0.0) + ((1.0 / delta).log2()).log2().max(0.0)
+}
+
+/// The classical (pre-Nelson–Yu) space form `log log N + log 1/ε +
+/// log 1/δ`, for comparison curves.
+#[must_use]
+pub fn classical_space_form(n: u64, eps: f64, delta: f64) -> f64 {
+    assert!(n >= 2);
+    let loglog_n = ((n as f64).log2()).log2().max(0.0);
+    loglog_n + (1.0 / eps).log2().max(0.0) + (1.0 / delta).log2().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morris_variance_special_cases() {
+        // a -> deterministic counter (a=0) has zero variance.
+        assert_eq!(morris_estimator_variance(0.0, 100), 0.0);
+        // Base-2 Morris (a=1): Var = N(N-1)/2.
+        assert_eq!(morris_estimator_variance(1.0, 10), 45.0);
+        // n = 1 has zero variance (first increment is deterministic).
+        assert_eq!(morris_estimator_variance(1.0, 1), 0.0);
+    }
+
+    #[test]
+    fn chebyshev_matches_paper_parameterization() {
+        // a = 2ε²δ gives failure ≤ δ·(1 - 1/N) ≤ δ.
+        let (eps, delta) = (0.1, 0.05);
+        let a = 2.0 * eps * eps * delta;
+        let bound = morris_chebyshev_failure(a, eps, 1_000_000);
+        assert!(bound <= delta);
+        assert!(bound > 0.9 * delta);
+    }
+
+    #[test]
+    fn chernoff_bounds_shrink_with_mu() {
+        assert!(chernoff_upper(100.0, 0.5) < chernoff_upper(10.0, 0.5));
+        assert!(chernoff_lower(100.0, 0.5) < chernoff_lower(10.0, 0.5));
+        assert!(chernoff_upper(50.0, 0.5) < 1.0);
+    }
+
+    #[test]
+    fn section22_failure_matches_a_for() {
+        let (eps, delta) = (0.05, 1e-4);
+        let a = morris_a_for(eps, delta);
+        let fail = morris_section22_failure(a, eps);
+        assert!((fail - 2.0 * delta).abs() < 1e-12, "fail={fail}");
+    }
+
+    #[test]
+    fn space_forms_ordering() {
+        // The optimal form is never larger than the classical form.
+        for &(n, eps, delta) in &[
+            (1u64 << 20, 0.1, 1e-3),
+            (1 << 30, 0.01, 1e-9),
+            (1 << 10, 0.5, 0.4),
+        ] {
+            assert!(optimal_space_form(n, eps, delta) <= classical_space_form(n, eps, delta));
+        }
+    }
+
+    #[test]
+    fn space_form_growth_in_delta_is_doubly_log() {
+        // Halving δ twice should move the optimal form by ~log2(2)=1 in
+        // the loglog term only when crossing powers of two of log(1/δ).
+        let base = optimal_space_form(1 << 20, 0.1, 1e-3);
+        let deeper = optimal_space_form(1 << 20, 0.1, 1e-6);
+        // log2 log2 10^3 ≈ 3.32 -> log2 log2 10^6 ≈ 4.32: one bit.
+        assert!((deeper - base - 1.0).abs() < 0.05, "Δ={}", deeper - base);
+    }
+}

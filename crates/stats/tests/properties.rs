@@ -1,0 +1,76 @@
+//! Property-based tests for the statistics toolkit.
+
+use ac_stats::chi2::chi2_sf;
+use ac_stats::dist::{kolmogorov_sf, normal_cdf, normal_quantile};
+use ac_stats::ks::ks_two_sample;
+use ac_stats::{wilson_interval, Ecdf, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford merging equals one-pass accumulation for arbitrary splits.
+    #[test]
+    fn summary_merge_associative(xs in prop::collection::vec(-1e6f64..1e6, 2..200), split in 0usize..200) {
+        let split = split % xs.len();
+        let whole = Summary::from_slice(&xs);
+        let mut left = Summary::from_slice(&xs[..split]);
+        left.merge(&Summary::from_slice(&xs[split..]));
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-5 * whole.variance().max(1.0));
+    }
+
+    /// ECDF evaluation is a nondecreasing step function from 0 to 1, and
+    /// quantile is its pseudo-inverse.
+    #[test]
+    fn ecdf_is_a_cdf(xs in prop::collection::vec(-1e9f64..1e9, 1..300)) {
+        let e = Ecdf::new(xs.clone());
+        prop_assert_eq!(e.eval(f64::NEG_INFINITY.max(e.min() - 1.0)), 0.0);
+        prop_assert_eq!(e.eval(e.max()), 1.0);
+        let probes = [0.1, 0.25, 0.5, 0.9, 1.0];
+        let mut prev = 0.0;
+        for &q in &probes {
+            let v = e.quantile(q);
+            prop_assert!(e.eval(v) >= q - 1e-12);
+            prop_assert!(v >= prev || q == probes[0]);
+            prev = v;
+        }
+    }
+
+    /// The KS statistic is symmetric, in [0, 1], and zero for identical
+    /// samples.
+    #[test]
+    fn ks_basic_properties(a in prop::collection::vec(-1e3f64..1e3, 2..100),
+                           b in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let ab = ks_two_sample(&a, &b);
+        let ba = ks_two_sample(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab.statistic));
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        let aa = ks_two_sample(&a, &a);
+        prop_assert_eq!(aa.statistic, 0.0);
+    }
+
+    /// Wilson intervals contain the point estimate and are ordered.
+    #[test]
+    fn wilson_contains_estimate(successes in 0u64..1_000, extra in 0u64..1_000) {
+        let trials = successes + extra + 1;
+        let (lo, hi) = wilson_interval(successes, trials, 0.95);
+        let p_hat = successes as f64 / trials as f64;
+        prop_assert!(lo <= p_hat + 1e-12 && p_hat <= hi + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    /// Normal quantile inverts the CDF across the domain.
+    #[test]
+    fn normal_round_trip(p in 0.0005f64..0.9995) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6);
+    }
+
+    /// Survival functions are monotone nonincreasing.
+    #[test]
+    fn survival_functions_monotone(x in 0.0f64..10.0, dx in 0.0f64..5.0, dof in 1usize..50) {
+        prop_assert!(kolmogorov_sf(x + dx) <= kolmogorov_sf(x) + 1e-12);
+        prop_assert!(chi2_sf(x + dx, dof) <= chi2_sf(x, dof) + 1e-9);
+    }
+}

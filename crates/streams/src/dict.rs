@@ -1,0 +1,152 @@
+//! Hash-keyed approximate counters for open key universes.
+
+use ac_bitio::StateBits;
+use ac_core::ApproxCounter;
+use ac_randkit::RandomSource;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dictionary mapping keys to approximate counters, creating counters
+/// on first touch.
+///
+/// This is the "number of visits to each page on Wikipedia" deployment
+/// when the page set is not known in advance. The hash table's own
+/// pointer overhead is *not* part of the paper's storage model (which
+/// counts per-counter register bits); [`ApproxCountingDict::counter_state_bits`]
+/// reports the register total, and
+/// [`ApproxCountingDict::len`] lets callers add whatever per-key overhead
+/// their favorite dictionary costs.
+#[derive(Debug, Clone)]
+pub struct ApproxCountingDict<K, C> {
+    template: C,
+    counters: HashMap<K, C>,
+}
+
+impl<K: Eq + Hash, C: ApproxCounter + Clone> ApproxCountingDict<K, C> {
+    /// Creates an empty dictionary whose counters clone `template`
+    /// (freshly reset).
+    pub fn new(template: &C) -> Self {
+        let mut fresh = template.clone();
+        fresh.reset();
+        Self {
+            template: fresh,
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct keys seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no key has been seen.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Increments the counter for `key`, creating it on first touch.
+    pub fn increment(&mut self, key: K, rng: &mut dyn RandomSource) {
+        self.counters
+            .entry(key)
+            .or_insert_with(|| self.template.clone())
+            .increment(rng);
+    }
+
+    /// Bulk-increments the counter for `key` by `n`.
+    pub fn increment_by(&mut self, key: K, n: u64, rng: &mut dyn RandomSource) {
+        self.counters
+            .entry(key)
+            .or_insert_with(|| self.template.clone())
+            .increment_by(n, rng);
+    }
+
+    /// The estimate for `key` (0 for unseen keys).
+    pub fn estimate<Q>(&self, key: &Q) -> f64
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.counters.get(key).map_or(0.0, ApproxCounter::estimate)
+    }
+
+    /// Iterates over `(key, estimate)` pairs in arbitrary order.
+    pub fn estimates(&self) -> impl Iterator<Item = (&K, f64)> {
+        self.counters.iter().map(|(k, c)| (k, c.estimate()))
+    }
+
+    /// The `k` keys with the largest estimates, descending (ties broken
+    /// arbitrarily).
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(&K, f64)> {
+        let mut all: Vec<(&K, f64)> = self.estimates().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are not NaN"));
+        all.truncate(k);
+        all
+    }
+
+    /// Total register bits across all counters (the paper's storage
+    /// model; excludes hash-table overhead — see type docs).
+    #[must_use]
+    pub fn counter_state_bits(&self) -> u64 {
+        self.counters.values().map(StateBits::state_bits).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{MorrisPlus, NelsonYuCounter, NyParams};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    #[test]
+    fn unseen_keys_estimate_zero() {
+        let dict: ApproxCountingDict<String, MorrisPlus> =
+            ApproxCountingDict::new(&MorrisPlus::with_base(0.5).unwrap());
+        assert_eq!(dict.estimate("nope"), 0.0);
+        assert!(dict.is_empty());
+    }
+
+    #[test]
+    fn counts_keys_independently() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let p = NyParams::new(0.2, 10).unwrap();
+        let mut dict = ApproxCountingDict::new(&NelsonYuCounter::new(p));
+        dict.increment_by("alpha", 50_000, &mut rng);
+        dict.increment_by("beta", 1_000, &mut rng);
+        dict.increment("gamma", &mut rng);
+        assert_eq!(dict.len(), 3);
+        let a = dict.estimate("alpha");
+        let b = dict.estimate("beta");
+        assert!((a - 50_000.0).abs() / 50_000.0 < 0.5, "a={a}");
+        assert!((b - 1_000.0).abs() / 1_000.0 < 0.5, "b={b}");
+        assert_eq!(dict.estimate("gamma"), 1.0, "single increment is exact");
+    }
+
+    #[test]
+    fn top_k_orders_by_estimate() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let p = NyParams::new(0.1, 10).unwrap();
+        let mut dict = ApproxCountingDict::new(&NelsonYuCounter::new(p));
+        dict.increment_by("big", 500_000, &mut rng);
+        dict.increment_by("mid", 5_000, &mut rng);
+        dict.increment_by("small", 50, &mut rng);
+        let top = dict.top_k(2);
+        assert_eq!(*top[0].0, "big");
+        assert_eq!(*top[1].0, "mid");
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn state_bits_grow_with_keys() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut dict = ApproxCountingDict::new(&MorrisPlus::with_base(1.0).unwrap());
+        dict.increment_by(0u32, 1_000, &mut rng);
+        let one_key_bits = dict.counter_state_bits();
+        for k in 1..100u32 {
+            dict.increment_by(k, 1_000, &mut rng);
+        }
+        assert!(dict.counter_state_bits() > one_key_bits * 50);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `ac-streams` — streaming applications of approximate counting
+//!
+//! The paper motivates approximate counting through the systems that
+//! consume it: "an analytics system may maintain many such counters (for
+//! example, the number of visits to each page on Wikipedia)", and the
+//! streaming algorithms that use a counter as a subroutine — frequency
+//! moments \[AMS99, GS09\], approximate reservoir sampling \[GS09\], and
+//! heavy hitters \[BDW19\]. This crate builds those consumers on top of
+//! `ac-core`:
+//!
+//! * [`CounterArray`] — a fixed universe of `M` approximate counters with
+//!   bulk memory accounting and bit-exact packing into an Elias-δ coded
+//!   [`BitVec`](ac_bitio::BitVec). This is the `δ ≪ 1/M` regime where the
+//!   paper's `log log(1/δ)` (vs. the classical `log(1/δ)`) matters.
+//! * [`ApproxCountingDict`] — hash-keyed counters for open universes.
+//! * [`AmsMomentEstimator`] — AMS frequency-moment estimation (`F_k`)
+//!   with Morris counters maintaining the suffix counts, the \[GS09\]
+//!   construction.
+//! * [`ApproxReservoir`] — reservoir sampling driven by an approximate
+//!   stream-length counter \[GS09\].
+//! * [`SpaceSaving`] — heavy hitters, generic over the counter type
+//!   ([`ExactCounter`](ac_core::ExactCounter) recovers the classical
+//!   algorithm; Morris counters give the \[BDW19\]-flavored small-space
+//!   variant).
+//! * [`CountMinSketch`] — per-key frequencies over implicit key sets,
+//!   with approximate-counter cells shrinking every cell from
+//!   `O(log n)` to `O(log log n)` bits.
+//! * [`RegisterFile`] — `M` single-register counters stored in exactly
+//!   `M × B` bits of real bit-addressed memory, with read-modify-write
+//!   increments (the hardware-shaped deployment).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod countmin;
+mod dict;
+mod moments;
+mod pack;
+mod registers;
+mod reservoir;
+mod spacesaving;
+
+pub use array::CounterArray;
+pub use countmin::CountMinSketch;
+pub use dict::ApproxCountingDict;
+pub use moments::{exact_frequency_moment, AmsMomentEstimator};
+pub use pack::PackState;
+pub use registers::{RegisterCounter, RegisterFile};
+pub use reservoir::ApproxReservoir;
+pub use spacesaving::{HeavyHitter, SpaceSaving};

@@ -1,0 +1,226 @@
+//! Frequency-moment estimation with approximate counters ([AMS99] +
+//! [GS09]).
+//!
+//! The AMS estimator for `F_k = Σ_i f_i^k` tracks, for a uniformly random
+//! stream position `J`, the number `r` of occurrences of the item `a_J`
+//! in the suffix starting at `J`; then `n·(r^k − (r−1)^k)` is unbiased.
+//! Gronemeier & Sauerhoff observed the suffix counter `r` can itself be a
+//! *Morris* counter, shrinking the per-copy space from `O(log n)` to
+//! `O(log log n)` at a small accuracy cost — the paper cites exactly this
+//! use ("applying approximate counting for computing the frequency
+//! moments of long data streams").
+
+use ac_core::{ApproxCounter, CoreError, MorrisCounter};
+use ac_randkit::RandomSource;
+
+/// One AMS tracker: a sampled item and its (approximate) suffix count.
+#[derive(Debug, Clone)]
+struct AmsCopy {
+    /// The tracked item, if any has been sampled yet.
+    item: Option<u64>,
+    /// Approximate count of tracked-item occurrences since sampling.
+    suffix: MorrisCounter,
+}
+
+/// AMS frequency-moment estimator over a `u64` item universe, with
+/// `copies` independent trackers averaged and suffix counts maintained by
+/// `Morris(a)`.
+#[derive(Debug, Clone)]
+pub struct AmsMomentEstimator {
+    k: u32,
+    copies: Vec<AmsCopy>,
+    /// Exact stream length (the harness supplies items one by one; the
+    /// length is the trivially known loop counter, not counted as
+    /// algorithm state in [GS09] either).
+    n: u64,
+}
+
+impl AmsMomentEstimator {
+    /// Creates an estimator for the `k`-th moment (`k ≥ 2`) using
+    /// `copies` independent AMS trackers whose suffix counters are
+    /// `Morris(a)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConstant`] for `k < 2` or
+    /// `copies == 0`, and propagates invalid `a`.
+    pub fn new(k: u32, copies: usize, a: f64) -> Result<Self, CoreError> {
+        if k < 2 {
+            return Err(CoreError::InvalidConstant { got: f64::from(k) });
+        }
+        if copies == 0 {
+            return Err(CoreError::InvalidConstant { got: 0.0 });
+        }
+        let suffix = MorrisCounter::new(a)?;
+        Ok(Self {
+            k,
+            copies: vec![
+                AmsCopy {
+                    item: None,
+                    suffix,
+                };
+                copies
+            ],
+            n: 0,
+        })
+    }
+
+    /// The moment order `k`.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of averaged copies.
+    #[must_use]
+    pub fn copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Items processed so far.
+    #[must_use]
+    pub fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    /// Processes one stream item.
+    pub fn push(&mut self, item: u64, rng: &mut dyn RandomSource) {
+        self.n += 1;
+        for copy in &mut self.copies {
+            // Reservoir-style position sampling: replace the tracked item
+            // with probability 1/n.
+            let replace = copy.item.is_none() || rng.next_below(self.n) == 0;
+            if replace {
+                copy.item = Some(item);
+                copy.suffix.reset();
+                copy.suffix.increment(rng);
+            } else if copy.item == Some(item) {
+                copy.suffix.increment(rng);
+            }
+        }
+    }
+
+    /// The averaged estimate of `F_k`; 0 on an empty stream.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let k = i32::try_from(self.k).expect("k is small");
+        let per_copy: f64 = self
+            .copies
+            .iter()
+            .map(|c| {
+                let r = c.suffix.estimate().max(1.0);
+                (self.n as f64) * (r.powi(k) - (r - 1.0).powi(k))
+            })
+            .sum();
+        per_copy / self.copies.len() as f64
+    }
+
+    /// Total register bits across all suffix counters (excludes the
+    /// tracked item identifiers, which any algorithm must store).
+    #[must_use]
+    pub fn suffix_counter_bits(&self) -> u64 {
+        self.copies
+            .iter()
+            .map(|c| ac_bitio::StateBits::state_bits(&c.suffix))
+            .sum()
+    }
+}
+
+/// Exact `F_k` of a materialized stream (test/experiment baseline).
+#[must_use]
+pub fn exact_frequency_moment(items: &[u64], k: u32) -> f64 {
+    use std::collections::HashMap;
+    let mut freq: HashMap<u64, u64> = HashMap::new();
+    for &x in items {
+        *freq.entry(x).or_insert(0) += 1;
+    }
+    freq.values()
+        .map(|&f| (f as f64).powi(i32::try_from(k).expect("k small")))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_randkit::{Xoshiro256PlusPlus, Zipf};
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(AmsMomentEstimator::new(1, 10, 0.5).is_err());
+        assert!(AmsMomentEstimator::new(2, 0, 0.5).is_err());
+        assert!(AmsMomentEstimator::new(2, 10, -1.0).is_err());
+    }
+
+    #[test]
+    fn exact_moment_reference() {
+        // Stream: [1,1,1,2,2,3] -> F2 = 9 + 4 + 1 = 14.
+        assert_eq!(exact_frequency_moment(&[1, 1, 1, 2, 2, 3], 2), 14.0);
+        assert_eq!(exact_frequency_moment(&[], 2), 0.0);
+        // F3 = 27 + 8 + 1 = 36.
+        assert_eq!(exact_frequency_moment(&[1, 1, 1, 2, 2, 3], 3), 36.0);
+    }
+
+    #[test]
+    fn empty_stream_estimates_zero() {
+        let e = AmsMomentEstimator::new(2, 4, 0.1).unwrap();
+        assert_eq!(e.estimate(), 0.0);
+    }
+
+    #[test]
+    fn f2_estimate_is_in_the_right_ballpark() {
+        // Zipf(1.1) stream over 50 items: heavy skew so F2 is dominated
+        // by the head and the estimator converges reasonably fast.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let zipf = Zipf::new(50, 1.1).unwrap();
+        let stream: Vec<u64> = (0..30_000).map(|_| zipf.sample(&mut rng)).collect();
+        let exact = exact_frequency_moment(&stream, 2);
+
+        // Average several estimator runs to damp the (high) AMS variance.
+        let mut total = 0.0;
+        let runs = 30;
+        for seed in 0..runs {
+            let mut est = AmsMomentEstimator::new(2, 64, 0.01).unwrap();
+            let mut r = Xoshiro256PlusPlus::seed_from_u64(100 + seed);
+            for &x in &stream {
+                est.push(x, &mut r);
+            }
+            total += est.estimate();
+        }
+        let mean = total / f64::from(runs as u32);
+        let ratio = mean / exact;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "mean {mean} vs exact {exact} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn suffix_counters_use_sublogarithmic_space() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut est = AmsMomentEstimator::new(2, 16, 0.05).unwrap();
+        // Constant stream: suffix counts grow to the stream length.
+        for _ in 0..100_000u64 {
+            est.push(7, &mut rng);
+        }
+        // Exact suffix counters would need 16 × 17 = 272 bits; Morris
+        // levels are ≈ ln(0.05·1e5)/0.0488 ≈ 175 → 8 bits each.
+        assert!(
+            est.suffix_counter_bits() <= 16 * 10,
+            "bits = {}",
+            est.suffix_counter_bits()
+        );
+    }
+
+    #[test]
+    fn stream_length_is_tracked() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut est = AmsMomentEstimator::new(3, 2, 1.0).unwrap();
+        for i in 0..500 {
+            est.push(i % 7, &mut rng);
+        }
+        assert_eq!(est.stream_len(), 500);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bit-exact counter state serialization.
+
+use ac_bitio::codes::{decode_delta0, decode_gamma0, encode_delta0, encode_gamma0};
+use ac_bitio::{BitReader, BitWriter};
+use ac_core::{CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter};
+
+/// Serialize/deserialize a counter's persistent state with
+/// self-delimiting codes, so that arrays of counters can be stored in
+/// (close to) their information-theoretic size.
+///
+/// `pack_state`/`unpack_state` must round-trip exactly; property tests in
+/// [`crate::CounterArray`] verify this for every implementor.
+pub trait PackState {
+    /// Appends the counter's state to the writer.
+    fn pack_state(&self, w: &mut BitWriter<'_>);
+
+    /// Restores the counter's state from the reader.
+    ///
+    /// The counter must have been constructed with the same parameters
+    /// (base `a`, mantissa width, schedule, …) as the one that packed the
+    /// state — parameters are program constants and are not serialized.
+    fn unpack_state(&mut self, r: &mut BitReader<'_>);
+
+    /// The exact number of bits `pack_state` will write.
+    fn packed_bits(&self) -> u64;
+}
+
+impl PackState for MorrisCounter {
+    fn pack_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.level());
+    }
+
+    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
+        self.set_level(decode_delta0(r));
+    }
+
+    fn packed_bits(&self) -> u64 {
+        u64::from(ac_bitio::codes::delta_len(self.level() + 1))
+    }
+}
+
+impl PackState for CsurosCounter {
+    fn pack_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.register());
+    }
+
+    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
+        self.set_register(decode_delta0(r));
+    }
+
+    fn packed_bits(&self) -> u64 {
+        u64::from(ac_bitio::codes::delta_len(self.register() + 1))
+    }
+}
+
+impl PackState for MorrisPlus {
+    fn pack_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.prefix());
+        encode_delta0(w, self.morris().level());
+    }
+
+    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
+        let prefix = decode_delta0(r);
+        let level = decode_delta0(r);
+        self.restore_parts(prefix, level);
+    }
+
+    fn packed_bits(&self) -> u64 {
+        u64::from(ac_bitio::codes::delta_len(self.prefix() + 1))
+            + u64::from(ac_bitio::codes::delta_len(self.morris().level() + 1))
+    }
+}
+
+impl PackState for NelsonYuCounter {
+    fn pack_state(&self, w: &mut BitWriter<'_>) {
+        let (x, y, t) = self.state_parts();
+        // X is stored relative to X0 (the absolute level is implied by
+        // the schedule); t is tiny, γ-coded; Y δ-coded.
+        encode_delta0(w, x - self.params().x0());
+        encode_delta0(w, y);
+        encode_gamma0(w, u64::from(t));
+    }
+
+    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
+        let dx = decode_delta0(r);
+        let y = decode_delta0(r);
+        let t = decode_gamma0(r);
+        self.restore_parts(
+            self.params().x0() + dx,
+            y,
+            u32::try_from(t).expect("sampling exponent fits u32"),
+        );
+    }
+
+    fn packed_bits(&self) -> u64 {
+        let (x, y, t) = self.state_parts();
+        u64::from(ac_bitio::codes::delta_len(x - self.params().x0() + 1))
+            + u64::from(ac_bitio::codes::delta_len(y + 1))
+            + u64::from(ac_bitio::codes::gamma_len(u64::from(t) + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_bitio::BitVec;
+    use ac_core::{ApproxCounter, NyParams};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    fn round_trip<C: PackState + ApproxCounter + Clone + PartialEq + std::fmt::Debug>(
+        original: &C,
+        mut blank: C,
+    ) {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            original.pack_state(&mut w);
+        }
+        assert_eq!(v.len(), original.packed_bits(), "length accounting");
+        let mut r = BitReader::new(&v);
+        blank.unpack_state(&mut r);
+        assert_eq!(r.remaining(), 0, "all bits consumed");
+        assert_eq!(original.estimate(), blank.estimate());
+    }
+
+    #[test]
+    fn morris_round_trips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut c = MorrisCounter::new(0.25).unwrap();
+        c.increment_by(100_000, &mut rng);
+        round_trip(&c, MorrisCounter::new(0.25).unwrap());
+    }
+
+    #[test]
+    fn csuros_round_trips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut c = CsurosCounter::new(8).unwrap();
+        c.increment_by(123_456, &mut rng);
+        round_trip(&c, CsurosCounter::new(8).unwrap());
+    }
+
+    #[test]
+    fn morris_plus_round_trips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for n in [0u64, 50, 5_000, 300_000] {
+            let mut c = MorrisPlus::new(0.2, 8).unwrap();
+            c.increment_by(n, &mut rng);
+            round_trip(&c, MorrisPlus::new(0.2, 8).unwrap());
+        }
+    }
+
+    #[test]
+    fn nelson_yu_round_trips() {
+        let p = NyParams::new(0.2, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for n in [0u64, 5, 1_000, 500_000] {
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n, &mut rng);
+            round_trip(&c, NelsonYuCounter::new(p));
+        }
+    }
+
+    #[test]
+    fn fresh_counters_pack_to_a_few_bits() {
+        let c = MorrisCounter::classic();
+        assert!(c.packed_bits() <= 2, "zero level packs tiny");
+    }
+}

@@ -1,0 +1,249 @@
+//! A fixed-width register file: `M` counters in exactly `M × B` bits of
+//! real, bit-addressed memory.
+//!
+//! [`CounterArray`](crate::CounterArray) holds counter structs on the
+//! heap; this module is the hardware-shaped deployment the paper's
+//! motivation describes — a provisioned table of `B`-bit slots where
+//! every increment reads a register, runs the counter's transition, and
+//! writes the register back. Works for any single-register counter
+//! (Morris and Csűrös; the Nelson–Yu counter has three fields and packs
+//! via [`PackState`](crate::PackState) instead).
+
+use ac_bitio::{BitVec, StateBits};
+use ac_core::{ApproxCounter, CsurosCounter, MorrisCounter};
+use ac_randkit::RandomSource;
+
+/// A counter whose entire persistent state is one unsigned register.
+///
+/// Implementors guarantee that `set_register_value(register_value())`
+/// round-trips the whole state (parameters are program constants).
+pub trait RegisterCounter: ApproxCounter {
+    /// The current register value.
+    fn register_value(&self) -> u64;
+
+    /// Overwrites the register.
+    fn set_register_value(&mut self, value: u64);
+}
+
+impl RegisterCounter for MorrisCounter {
+    fn register_value(&self) -> u64 {
+        self.level()
+    }
+
+    fn set_register_value(&mut self, value: u64) {
+        self.set_level(value);
+    }
+}
+
+impl RegisterCounter for CsurosCounter {
+    fn register_value(&self) -> u64 {
+        self.register()
+    }
+
+    fn set_register_value(&mut self, value: u64) {
+        self.set_register(value);
+    }
+}
+
+/// `M` approximate counters stored in a packed bit vector of `B`-bit
+/// slots — total memory exactly `M × B` bits (plus one scratch counter).
+///
+/// Increments are read-modify-write: the addressed slot is loaded into
+/// the scratch counter, one transition runs, and the register is stored
+/// back. Values are clamped to the slot width (callers should plan the
+/// width with [`ac_core::budget`], which also supplies hard caps, so
+/// clamping never fires in practice).
+#[derive(Debug, Clone)]
+pub struct RegisterFile<C> {
+    slots: BitVec,
+    width: u32,
+    len: usize,
+    scratch: C,
+}
+
+impl<C: RegisterCounter + Clone> RegisterFile<C> {
+    /// Creates `m` zeroed `width`-bit slots driven by clones of
+    /// `template` (freshly reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `width` is 0 or > 63.
+    pub fn new(template: &C, m: usize, width: u32) -> Self {
+        assert!(m > 0, "register file needs at least one slot");
+        assert!((1..=63).contains(&width), "slot width must be 1..=63");
+        let mut scratch = template.clone();
+        scratch.reset();
+        let mut slots = BitVec::with_capacity(m as u64 * u64::from(width));
+        for _ in 0..m {
+            slots.push_bits(0, width);
+        }
+        Self {
+            slots,
+            width,
+            len: m,
+            scratch,
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when there are no slots (never: construction forbids it).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Total storage: exactly `len × width` bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.slots.len()
+    }
+
+    fn read_slot(&self, key: usize) -> u64 {
+        assert!(key < self.len, "slot {key} out of range {}", self.len);
+        self.slots
+            .get_bits(key as u64 * u64::from(self.width), self.width)
+    }
+
+    fn write_slot(&mut self, key: usize, value: u64) {
+        let clamped = value.min((1u64 << self.width) - 1);
+        let pos = key as u64 * u64::from(self.width);
+        self.slots.overwrite_bits(pos, clamped, self.width);
+    }
+
+    /// Increments the counter in slot `key`.
+    pub fn increment(&mut self, key: usize, rng: &mut dyn RandomSource) {
+        let reg = self.read_slot(key);
+        self.scratch.reset();
+        self.scratch.set_register_value(reg);
+        self.scratch.increment(rng);
+        self.write_slot(key, self.scratch.register_value());
+    }
+
+    /// Bulk-increments slot `key` by `n` (fast-forward).
+    pub fn increment_by(&mut self, key: usize, n: u64, rng: &mut dyn RandomSource) {
+        let reg = self.read_slot(key);
+        self.scratch.reset();
+        self.scratch.set_register_value(reg);
+        self.scratch.increment_by(n, rng);
+        self.write_slot(key, self.scratch.register_value());
+    }
+
+    /// The estimate for slot `key`.
+    #[must_use]
+    pub fn estimate(&mut self, key: usize) -> f64 {
+        let reg = self.read_slot(key);
+        self.scratch.reset();
+        self.scratch.set_register_value(reg);
+        self.scratch.estimate()
+    }
+
+    /// Occupied (non-zero) slots — a cheap fill diagnostic.
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        (0..self.len).filter(|&k| self.read_slot(k) != 0).count()
+    }
+}
+
+impl<C> StateBits for RegisterFile<C> {
+    fn state_bits(&self) -> u64 {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::budget::{plan_morris, DEFAULT_SLACK_SIGMAS};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_empty() {
+        let _ = RegisterFile::new(&MorrisCounter::classic(), 0, 8);
+    }
+
+    #[test]
+    fn total_bits_is_exactly_m_times_b() {
+        let f = RegisterFile::new(&MorrisCounter::classic(), 1_000, 17);
+        assert_eq!(f.total_bits(), 17_000);
+        assert_eq!(f.state_bits(), 17_000);
+        assert_eq!(f.len(), 1_000);
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut f = RegisterFile::new(&MorrisCounter::classic(), 8, 10);
+        f.increment_by(3, 1 << 12, &mut rng);
+        assert_eq!(f.estimate(0), 0.0);
+        assert!(f.estimate(3) > 100.0);
+        assert_eq!(f.occupied(), 1);
+    }
+
+    #[test]
+    fn matches_unpacked_counter_distribution() {
+        // A register-file slot must behave exactly like a standalone
+        // counter: same estimates in distribution. Compare means.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let template = MorrisCounter::new(0.1).unwrap();
+        let n = 50_000u64;
+        let trials = 2_000;
+        let mut packed_sum = 0.0;
+        let mut plain_sum = 0.0;
+        for _ in 0..trials {
+            let mut f = RegisterFile::new(&template, 1, 20);
+            f.increment_by(0, n, &mut rng);
+            packed_sum += f.estimate(0);
+            let mut c = template.clone();
+            c.increment_by(n, &mut rng);
+            plain_sum += c.estimate();
+        }
+        let (a, b) = (packed_sum / trials as f64, plain_sum / trials as f64);
+        assert!((a - b).abs() / b < 0.05, "packed {a} vs plain {b}");
+    }
+
+    #[test]
+    fn planned_width_never_clamps() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let planned = plan_morris(14, 100_000, DEFAULT_SLACK_SIGMAS).unwrap();
+        let mut f = RegisterFile::new(&planned, 16, 14);
+        for k in 0..16 {
+            f.increment_by(k, 100_000, &mut rng);
+            let est = f.estimate(k);
+            let rel = (est - 100_000.0).abs() / 100_000.0;
+            assert!(rel < 0.2, "slot {k}: estimate {est}");
+        }
+    }
+
+    #[test]
+    fn csuros_slots_work_too() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let template = CsurosCounter::new(6).unwrap();
+        let mut f = RegisterFile::new(&template, 4, 16);
+        f.increment_by(2, 10_000, &mut rng);
+        let rel = (f.estimate(2) - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.5, "rel {rel}");
+    }
+
+    #[test]
+    fn step_increments_accumulate() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut f = RegisterFile::new(&MorrisCounter::classic(), 2, 8);
+        for _ in 0..100 {
+            f.increment(1, &mut rng);
+        }
+        assert!(f.estimate(1) > 10.0);
+        assert_eq!(f.estimate(0), 0.0);
+    }
+}

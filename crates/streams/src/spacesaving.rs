@@ -1,0 +1,248 @@
+//! SpaceSaving heavy hitters, generic over the counter type ([BDW19]
+//! flavor).
+//!
+//! The paper cites "ℓ₁ heavy hitters in insertion-only streams" as an
+//! application of approximate counting. [`SpaceSaving`] is the classical
+//! Metwally–Agrawal–El Abbadi algorithm with its per-slot counters
+//! abstracted: [`ExactCounter`](ac_core::ExactCounter) recovers the
+//! textbook algorithm, Morris-family counters give the small-space
+//! variant where each slot stores `O(log log n)` bits instead of
+//! `O(log n)`.
+
+use ac_core::ApproxCounter;
+use ac_randkit::RandomSource;
+
+/// A reported heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter {
+    /// The item.
+    pub item: u64,
+    /// Its estimated count (an overestimate by at most the minimum slot
+    /// value, as in classical SpaceSaving).
+    pub estimate: f64,
+}
+
+/// SpaceSaving with `k` slots over a `u64` item universe.
+///
+/// Guarantee (with exact counters): any item with true frequency
+/// `> n/k` is present, and every estimate overshoots by at most `n/k`.
+/// With `(1±ε)`-approximate counters both statements degrade by a
+/// `(1±ε)` factor.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<C> {
+    /// Monitored items and their counters; kept unsorted (k is small).
+    slots: Vec<(u64, C)>,
+    capacity: usize,
+    template: C,
+    /// Exact stream length (diagnostics only).
+    items_seen: u64,
+}
+
+impl<C: ApproxCounter + Clone> SpaceSaving<C> {
+    /// Creates a summary with `capacity` slots; per-slot counters clone
+    /// `template` (freshly reset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, template: &C) -> Self {
+        assert!(capacity > 0, "need at least one slot");
+        let mut fresh = template.clone();
+        fresh.reset();
+        Self {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            template: fresh,
+            items_seen: 0,
+        }
+    }
+
+    /// Processes one stream item.
+    pub fn offer(&mut self, item: u64, rng: &mut dyn RandomSource) {
+        self.items_seen += 1;
+        if let Some((_, c)) = self.slots.iter_mut().find(|(i, _)| *i == item) {
+            c.increment(rng);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            let mut c = self.template.clone();
+            c.increment(rng);
+            self.slots.push((item, c));
+            return;
+        }
+        // Evict the slot with the smallest estimate; the newcomer
+        // *inherits* its counter (the SpaceSaving "min + 1" step) and
+        // then counts its own occurrence.
+        let (min_idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by(|(_, (_, a)), (_, (_, b))| {
+                a.estimate()
+                    .partial_cmp(&b.estimate())
+                    .expect("estimates are not NaN")
+            })
+            .expect("slots non-empty at capacity");
+        self.slots[min_idx].0 = item;
+        self.slots[min_idx].1.increment(rng);
+    }
+
+    /// Current heavy-hitter report, sorted by descending estimate.
+    #[must_use]
+    pub fn report(&self) -> Vec<HeavyHitter> {
+        let mut out: Vec<HeavyHitter> = self
+            .slots
+            .iter()
+            .map(|(item, c)| HeavyHitter {
+                item: *item,
+                estimate: c.estimate(),
+            })
+            .collect();
+        out.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).expect("no NaN"));
+        out
+    }
+
+    /// The estimate for `item` if it is currently monitored.
+    #[must_use]
+    pub fn estimate(&self, item: u64) -> Option<f64> {
+        self.slots
+            .iter()
+            .find(|(i, _)| *i == item)
+            .map(|(_, c)| c.estimate())
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact number of items offered (diagnostics).
+    #[must_use]
+    pub fn items_seen(&self) -> u64 {
+        self.items_seen
+    }
+
+    /// Total register bits across slot counters (excludes item ids,
+    /// which every heavy-hitter algorithm must store).
+    #[must_use]
+    pub fn counter_state_bits(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|(_, c)| ac_bitio::StateBits::state_bits(c))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{ExactCounter, MorrisPlus};
+    use ac_randkit::{Xoshiro256PlusPlus, Zipf};
+
+    fn zipf_stream(n: usize, universe: u64, s: f64, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let z = Zipf::new(universe, s).unwrap();
+        (0..n).map(|_| z.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exact_spacesaving_finds_the_head() {
+        let stream = zipf_stream(100_000, 1_000, 1.3, 1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut ss = SpaceSaving::new(32, &ExactCounter::new());
+        for &x in &stream {
+            ss.offer(x, &mut rng);
+        }
+        let report = ss.report();
+        // Zipf(1.3) head: items 1..=3 dominate; they must be reported on
+        // top in order.
+        assert_eq!(report[0].item, 1);
+        assert!(report.iter().take(5).any(|h| h.item == 2));
+        assert!(report.iter().take(5).any(|h| h.item == 3));
+    }
+
+    #[test]
+    fn exact_spacesaving_overestimate_bound() {
+        // Classical guarantee: estimate − true ≤ n/k.
+        let stream = zipf_stream(50_000, 500, 1.2, 3);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let k = 64;
+        let mut ss = SpaceSaving::new(k, &ExactCounter::new());
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            ss.offer(x, &mut rng);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = stream.len() as f64 / k as f64;
+        for h in ss.report() {
+            let t = *truth.get(&h.item).unwrap_or(&0) as f64;
+            assert!(
+                h.estimate - t <= bound + 1e-9,
+                "item {}: est {} true {t} bound {bound}",
+                h.item,
+                h.estimate
+            );
+            assert!(h.estimate >= t, "SpaceSaving never underestimates");
+        }
+    }
+
+    #[test]
+    fn morris_spacesaving_finds_the_head_in_less_space() {
+        let stream = zipf_stream(200_000, 2_000, 1.3, 5);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let k = 32;
+
+        let mut exact = SpaceSaving::new(k, &ExactCounter::new());
+        let mut approx = SpaceSaving::new(k, &MorrisPlus::new(0.1, 8).unwrap());
+        for &x in &stream {
+            exact.offer(x, &mut rng);
+            approx.offer(x, &mut rng);
+        }
+        // Same top item.
+        assert_eq!(exact.report()[0].item, 1);
+        assert_eq!(approx.report()[0].item, 1);
+        // The head estimate is within ~(1±3ε) of the exact one.
+        let e = exact.report()[0].estimate;
+        let a = approx.report()[0].estimate;
+        assert!((a - e).abs() / e < 0.3, "exact {e} vs approx {a}");
+    }
+
+    #[test]
+    fn estimate_lookup_only_for_monitored_items() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut ss = SpaceSaving::new(2, &ExactCounter::new());
+        ss.offer(10, &mut rng);
+        ss.offer(10, &mut rng);
+        ss.offer(20, &mut rng);
+        assert_eq!(ss.estimate(10), Some(2.0));
+        assert_eq!(ss.estimate(20), Some(1.0));
+        assert_eq!(ss.estimate(99), None);
+        // Evicting 20 (the min) for 30: inherits count 1, then +1 = 2.
+        ss.offer(30, &mut rng);
+        assert_eq!(ss.estimate(30), Some(2.0));
+        assert_eq!(ss.estimate(20), None);
+    }
+
+    #[test]
+    fn counter_bits_shrink_with_morris() {
+        // Per-slot Morris(0.3) levels reach ≈ ln(1 + 0.3·f)/ln(1.3)
+        // ≈ 35 (6 bits) where exact slots need ≈ 15 bits.
+        let stream = zipf_stream(500_000, 100, 0.8, 8);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let k = 16;
+        let mut exact = SpaceSaving::new(k, &ExactCounter::new());
+        let mut approx =
+            SpaceSaving::new(k, &ac_core::MorrisCounter::new(0.3).unwrap());
+        for &x in &stream {
+            exact.offer(x, &mut rng);
+            approx.offer(x, &mut rng);
+        }
+        assert!(
+            approx.counter_state_bits() < exact.counter_state_bits() / 2,
+            "morris {} vs exact {}",
+            approx.counter_state_bits(),
+            exact.counter_state_bits()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the streaming applications.
+
+use ac_bitio::{BitReader, BitVec, BitWriter};
+use ac_core::{ApproxCounter, CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams};
+use ac_randkit::Xoshiro256PlusPlus;
+use ac_streams::{CountMinSketch, CounterArray, PackState, RegisterFile, SpaceSaving};
+use proptest::prelude::*;
+
+proptest! {
+    /// Counter arrays pack/unpack to identical estimates for arbitrary
+    /// fill patterns.
+    #[test]
+    fn array_pack_round_trips(seed in any::<u64>(), loads in prop::collection::vec(0u64..100_000, 1..24)) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let template = MorrisCounter::new(0.1).unwrap();
+        let mut array = CounterArray::new(&template, loads.len());
+        for (k, &n) in loads.iter().enumerate() {
+            array.increment_by(k, n, &mut rng);
+        }
+        let packed = array.pack();
+        let restored = CounterArray::unpack(&template, loads.len(), &packed);
+        for k in 0..loads.len() {
+            prop_assert_eq!(array.estimate(k), restored.estimate(k));
+        }
+    }
+
+    /// Every PackState implementor's length accounting is exact, for
+    /// arbitrary state.
+    #[test]
+    fn packed_bits_accounting_exact(seed in any::<u64>(), n in 0u64..200_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.25, 8).unwrap();
+        let counters: Vec<Box<dyn PackStateDyn>> = vec![
+            Box::new(with_n(MorrisCounter::new(0.2).unwrap(), n, &mut rng)),
+            Box::new(with_n(CsurosCounter::new(7).unwrap(), n, &mut rng)),
+            Box::new(with_n(MorrisPlus::new(0.2, 8).unwrap(), n, &mut rng)),
+            Box::new(with_n(NelsonYuCounter::new(p), n, &mut rng)),
+        ];
+        for c in counters {
+            let mut bits = BitVec::new();
+            c.pack_dyn(&mut BitWriter::new(&mut bits));
+            prop_assert_eq!(bits.len(), c.bits_dyn());
+        }
+    }
+
+    /// The register file is value-faithful: writing any in-range register
+    /// and reading it back via estimate matches the standalone counter.
+    #[test]
+    fn register_file_slots_faithful(keys in prop::collection::vec(0usize..16, 1..50), seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let template = MorrisCounter::classic();
+        let mut file = RegisterFile::new(&template, 16, 12);
+        let mut mirror: Vec<u64> = vec![0; 16];
+        // Apply the same increment sequence to packed slots and to a
+        // mirrored level array (classic Morris: level ≤ increments, so
+        // 12-bit slots cannot clamp at these sizes).
+        for &k in &keys {
+            file.increment(k, &mut rng);
+            mirror[k] += 1;
+        }
+        for (k, &hits) in mirror.iter().enumerate() {
+            // Level can never exceed the number of increments that hit
+            // the slot.
+            let est = file.estimate(k);
+            let bound = (2f64.powi(hits as i32) - 1.0).max(0.0);
+            prop_assert!(est <= bound, "slot {k}: est {est} > bound {bound}");
+        }
+    }
+
+    /// Count-Min with exact cells never underestimates, regardless of
+    /// stream composition.
+    #[test]
+    fn countmin_never_underestimates(stream in prop::collection::vec(0u64..50, 1..400), seed in any::<u64>()) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let mut cm = CountMinSketch::new(32, 3, seed, &ac_core::ExactCounter::new());
+        let mut truth = std::collections::HashMap::<u64, u64>::new();
+        for &x in &stream {
+            cm.offer(x, &mut rng);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&k, &t) in &truth {
+            prop_assert!(cm.estimate(k) >= t as f64);
+        }
+    }
+
+    /// SpaceSaving with exact counters keeps its classical overestimate
+    /// bound n/k for any stream.
+    #[test]
+    fn spacesaving_bound_holds(stream in prop::collection::vec(0u64..100, 1..500), slots in 2usize..20) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+        let mut ss = SpaceSaving::new(slots, &ac_core::ExactCounter::new());
+        let mut truth = std::collections::HashMap::<u64, u64>::new();
+        for &x in &stream {
+            ss.offer(x, &mut rng);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        let bound = stream.len() as f64 / slots as f64;
+        for h in ss.report() {
+            let t = *truth.get(&h.item).unwrap_or(&0) as f64;
+            prop_assert!(h.estimate >= t, "never underestimates");
+            prop_assert!(h.estimate - t <= bound + 1e-9, "overestimate bound");
+        }
+    }
+}
+
+/// Object-safe shim over PackState for the heterogeneous test.
+trait PackStateDyn {
+    fn pack_dyn(&self, w: &mut BitWriter<'_>);
+    fn bits_dyn(&self) -> u64;
+}
+
+impl<T: PackState> PackStateDyn for T {
+    fn pack_dyn(&self, w: &mut BitWriter<'_>) {
+        self.pack_state(w);
+    }
+
+    fn bits_dyn(&self) -> u64 {
+        self.packed_bits()
+    }
+}
+
+fn with_n<C: ApproxCounter>(mut c: C, n: u64, rng: &mut Xoshiro256PlusPlus) -> C {
+    c.increment_by(n, rng);
+    c
+}
+
+#[test]
+fn register_file_reader_shim_compiles() {
+    // Non-proptest smoke covering BitReader import usage.
+    let mut v = BitVec::new();
+    v.push_bits(5, 4);
+    let mut r = BitReader::new(&v);
+    assert_eq!(r.read_bits(4), 5);
+}

@@ -1,0 +1,68 @@
+//! Quickstart: count a million events in a handful of bits.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use approx_counting::prelude::*;
+
+fn main() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2022);
+    let n = 1_000_000u64;
+
+    println!("counting N = {n} increments with every algorithm in the paper:\n");
+    println!(
+        "{:<34} {:>14} {:>9} {:>28}",
+        "counter", "estimate", "rel err", "state (bits)"
+    );
+
+    // The naive exact counter: the log2(N)-bit baseline.
+    let mut exact = ExactCounter::new();
+    exact.increment_by(n, &mut rng);
+    report("exact", &exact, n);
+
+    // Morris' original 1978 counter (base 2).
+    let mut classic = MorrisCounter::classic();
+    classic.increment_by(n, &mut rng);
+    report("Morris(1) [Mor78]", &classic, n);
+
+    // Morris with a smaller base: more accuracy for a few more bits.
+    let mut fine = MorrisCounter::new(0.01).unwrap();
+    fine.increment_by(n, &mut rng);
+    report("Morris(0.01)", &fine, n);
+
+    // Morris+ at target (eps, delta) — Theorem 1.2's optimal counter.
+    let mut plus = MorrisPlus::new(0.05, 10).unwrap();
+    plus.increment_by(n, &mut rng);
+    report("Morris+ (eps=0.05, d=2^-10)", &plus, n);
+
+    // The paper's new Algorithm 1.
+    let params = NyParams::new(0.05, 10).unwrap();
+    let mut ny = NelsonYuCounter::new(params);
+    ny.increment_by(n, &mut rng);
+    report("Nelson-Yu Alg.1 (eps=0.05, 2^-10)", &ny, n);
+
+    // The Csuros floating-point counter (the "simplified Alg.1" of Fig.1).
+    let mut cs = CsurosCounter::new(10).unwrap();
+    cs.increment_by(n, &mut rng);
+    report("Csuros float (d=10) [Csu10]", &cs, n);
+
+    println!(
+        "\nevery approximate counter above stores *exponentially* fewer bits than\n\
+         the {}-bit exact register — that tradeoff, and its optimal form, is the\n\
+         subject of the paper.",
+        exact.state_bits()
+    );
+}
+
+fn report<C: ApproxCounter>(name: &str, counter: &C, n: u64) {
+    let est = counter.estimate();
+    let rel = (est - n as f64).abs() / n as f64;
+    println!(
+        "{:<34} {:>14.1} {:>8.2}% {:>28}",
+        name,
+        est,
+        100.0 * rel,
+        counter.memory_audit().render(),
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end integration tests: full pipelines across every crate in
+//! the workspace (plan → simulate → analyze → report).
+
+use approx_counting::core::budget::{plan_csuros, plan_morris, DEFAULT_SLACK_SIGMAS};
+use approx_counting::prelude::*;
+use approx_counting::sim::plot::{ascii_chart, Series};
+use approx_counting::sim::report::Table;
+use approx_counting::stats::ks::ks_two_sample;
+
+#[test]
+fn figure1_pipeline_micro() {
+    // The complete Figure 1 pipeline at a miniature scale: plan to a bit
+    // budget, run a uniform workload, build ECDFs, render the chart.
+    let bits = 17;
+    let workload = Workload::figure1();
+    let morris = plan_morris(bits, workload.max_n(), DEFAULT_SLACK_SIGMAS).unwrap();
+    let csuros = plan_csuros(bits, workload.max_n(), DEFAULT_SLACK_SIGMAS).unwrap();
+
+    let runner = TrialRunner::new(workload, 200).with_seed(11);
+    let m = runner.run(&morris);
+    let c = runner.run(&csuros);
+
+    // Both fit the budget and have single-digit-percent errors.
+    assert!(m.peak_bits_summary().max() <= f64::from(bits));
+    assert!(c.peak_bits_summary().max() <= f64::from(bits));
+    assert!(m.error_ecdf().max() < 0.05);
+    assert!(c.error_ecdf().max() < 0.05);
+
+    // The rendering pipeline produces plausible artifacts.
+    let chart = ascii_chart(
+        &[
+            Series::new("morris", m.error_ecdf().percentile_curve(50)),
+            Series::new("csuros", c.error_ecdf().percentile_curve(50)),
+        ],
+        48,
+        12,
+    );
+    assert!(chart.contains('*') && chart.contains('o'));
+
+    let mut table = Table::new(vec!["algo", "max err"]);
+    table.row(vec!["morris".into(), format!("{:.4}", m.error_ecdf().max())]);
+    table.row(vec!["csuros".into(), format!("{:.4}", c.error_ecdf().max())]);
+    assert_eq!(table.to_markdown().lines().count(), 4);
+}
+
+#[test]
+fn sharded_counting_with_merge_and_pack() {
+    // Count on shards, merge, pack the merged counter into a bit vector,
+    // unpack, and verify the estimate survives the round trip.
+    use approx_counting::bitio::{BitReader, BitVec, BitWriter};
+    use approx_counting::streams::PackState;
+
+    let params = NyParams::new(0.15, 10).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(21);
+    let mut shards: Vec<NelsonYuCounter> = Vec::new();
+    let loads = [40_000u64, 90_000, 10, 250_000];
+    for &load in &loads {
+        let mut c = NelsonYuCounter::new(params);
+        c.increment_by(load, &mut rng);
+        shards.push(c);
+    }
+    let mut global = shards.remove(0);
+    for s in &shards {
+        global.merge_from(s, &mut rng).unwrap();
+    }
+    let total: u64 = loads.iter().sum();
+    let rel = (global.estimate() - total as f64).abs() / total as f64;
+    assert!(rel < 0.6, "merged rel err {rel}");
+
+    let mut bits = BitVec::new();
+    global.pack_state(&mut BitWriter::new(&mut bits));
+    let mut restored = NelsonYuCounter::new(params);
+    restored.unpack_state(&mut BitReader::new(&bits));
+    assert_eq!(restored.estimate(), global.estimate());
+}
+
+#[test]
+fn lower_bound_applies_to_planned_counters() {
+    // Wire the automaton machinery to a counter the budget planner
+    // produced: its derandomization must freeze and admit a pumping
+    // witness — the Theorem 3.1 pipeline end to end.
+    use approx_counting::automaton::adapter::morris_automaton;
+    use approx_counting::automaton::pump;
+
+    let planned = plan_morris(10, 1 << 16, DEFAULT_SLACK_SIGMAS).unwrap();
+    let cap = u32::try_from(planned.cap().unwrap().min(1 << 12)).unwrap();
+    let auto = morris_automaton(planned.a(), cap);
+    let det = auto.derandomize();
+
+    let t = 1u64 << 9;
+    let witness = pump::find_witness(&det, t).expect("derandomized counter collides");
+    assert!(pump::verify_witness(&det, &witness, t));
+    assert!(!det.distinguishes(t));
+}
+
+#[test]
+fn fast_forward_and_step_agree_across_the_stack() {
+    // Run the same workload in both execution modes through the runner
+    // and compare the error distributions with a KS test.
+    let params = NyParams::new(0.3, 6).unwrap();
+    let counter = NelsonYuCounter::new(params);
+    let ff = TrialRunner::new(Workload::fixed(20_000), 600)
+        .with_seed(31)
+        .with_mode(ExecutionMode::FastForward)
+        .run(&counter);
+    let step = TrialRunner::new(Workload::fixed(20_000), 600)
+        .with_seed(32)
+        .with_mode(ExecutionMode::StepByStep)
+        .run(&counter);
+    let ks = ks_two_sample(&ff.estimates(), &step.estimates());
+    assert!(ks.p_value > 0.001, "KS p = {}", ks.p_value);
+}
+
+#[test]
+fn streaming_applications_compose() {
+    // Dictionary + heavy hitters + reservoir on one stream, all fed by
+    // the same Zipf source, all built on the same counter types.
+    use approx_counting::randkit::Zipf;
+    use approx_counting::streams::ApproxReservoir;
+
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(41);
+    let zipf = Zipf::new(500, 1.3).unwrap();
+    let template = MorrisPlus::new(0.2, 8).unwrap();
+
+    let mut dict: ApproxCountingDict<u64, MorrisPlus> = ApproxCountingDict::new(&template);
+    let mut hh = SpaceSaving::new(16, &template);
+    let mut reservoir = ApproxReservoir::new(10, template.clone());
+
+    for _ in 0..60_000 {
+        let item = zipf.sample(&mut rng);
+        dict.increment(item, &mut rng);
+        hh.offer(item, &mut rng);
+        reservoir.offer(item, &mut rng);
+    }
+
+    // The dictionary and the heavy-hitter summary agree on the top item.
+    let dict_top = dict.top_k(1)[0];
+    let hh_top = &hh.report()[0];
+    assert_eq!(*dict_top.0, 1);
+    assert_eq!(hh_top.item, 1);
+    // The reservoir is full and drawn from the stream's support.
+    assert_eq!(reservoir.sample().len(), 10);
+    assert!(reservoir.sample().iter().all(|&x| (1..=500).contains(&x)));
+}
+
+#[test]
+fn exact_dp_matches_harness_distribution() {
+    // Cross-validate core::exact_level_distribution against the sim
+    // harness: empirical level frequencies from the runner must match
+    // the DP probabilities.
+    let (a, n) = (0.4, 60u64);
+    let dist = exact_level_distribution(a, n);
+    let results = TrialRunner::new(Workload::fixed(n), 20_000)
+        .with_seed(51)
+        .run(&MorrisCounter::new(a).unwrap());
+    // Recover levels from estimates: estimate = ((1+a)^X - 1)/a.
+    let mut counts = vec![0u32; (n + 1) as usize];
+    for o in results.outcomes() {
+        let level = ((o.estimate * a + 1.0).ln() / a.ln_1p()).round() as usize;
+        counts[level.min(n as usize)] += 1;
+    }
+    for (j, (&p, &obs)) in dist.iter().zip(counts.iter()).enumerate() {
+        let expected = p * 20_000.0;
+        if expected >= 25.0 {
+            let sigma = (expected * (1.0 - p)).sqrt();
+            assert!(
+                (f64::from(obs) - expected).abs() < 6.0 * sigma,
+                "level {j}: {obs} vs {expected:.1}"
+            );
+        }
+    }
+}

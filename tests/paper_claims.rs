@@ -1,0 +1,179 @@
+//! One integration test per headline claim of the paper, at reduced
+//! scale. The full-size versions are the `ac-bench` experiment binaries;
+//! these tests keep every claim continuously verified by `cargo test`.
+
+use approx_counting::core::budget::{plan_csuros, plan_morris, DEFAULT_SLACK_SIGMAS};
+use approx_counting::prelude::*;
+use approx_counting::stats::wilson_interval;
+
+/// Theorem 1.1 / 2.3: Algorithm 1's memory is doubly-logarithmic in `N`
+/// and in `1/δ`.
+#[test]
+fn claim_theorem_1_1_space_scaling() {
+    let trials = 60;
+    let peak = |eps: f64, dlog: u32, n: u64| -> f64 {
+        let p = NyParams::new(eps, dlog).unwrap();
+        TrialRunner::new(Workload::fixed(n), trials)
+            .with_seed(0xC1)
+            .run(&NelsonYuCounter::new(p))
+            .peak_bits_summary()
+            .max()
+    };
+    // 1024x more increments: a few more bits, not ten.
+    let small_n = peak(0.2, 8, 1 << 14);
+    let large_n = peak(0.2, 8, 1 << 24);
+    assert!(large_n - small_n <= 8.0, "{small_n} -> {large_n}");
+    // 2^56 times smaller delta: a few more bits, not ~56.
+    let small_d = peak(0.2, 8, 1 << 20);
+    let large_d = peak(0.2, 64, 1 << 20);
+    assert!(large_d - small_d <= 6.0, "{small_d} -> {large_d}");
+}
+
+/// Theorem 1.2: Morris+ meets `P(|N̂−N| > 2εN) ≤ 2δ`.
+#[test]
+fn claim_theorem_1_2_morris_plus_accuracy() {
+    let (eps, dlog) = (0.2, 5u32);
+    let trials = 3_000u64;
+    let results = TrialRunner::new(Workload::fixed(400_000), trials as usize)
+        .with_seed(0xC2)
+        .run(&MorrisPlus::new(eps, dlog).unwrap());
+    let failures = results.failures(2.0 * eps);
+    let (lo, _) = wilson_interval(failures, trials, 0.95);
+    let budget = 2.0 * (0.5f64).powi(dlog as i32);
+    assert!(
+        lo <= budget,
+        "failure rate {} not consistent with 2δ = {budget}",
+        results.failure_rate(2.0 * eps)
+    );
+}
+
+/// §1.1 / [Fla85]: `Morris(1)` cannot have low failure probability.
+#[test]
+fn claim_morris_base2_constant_failure() {
+    let results = TrialRunner::new(Workload::fixed(1 << 16), 4_000)
+        .with_seed(0xC3)
+        .run(&MorrisCounter::classic());
+    // At eps = 0.5, the classic counter fails a constant fraction of the
+    // time — nowhere near any poly(1/N) rate.
+    let rate = results.failure_rate(0.5);
+    assert!(rate > 0.2, "rate {rate}");
+}
+
+/// Appendix A: vanilla `Morris(a)` violates the δ-guarantee at small `N`
+/// (evaluated exactly — the probabilities are below Monte Carlo reach).
+#[test]
+fn claim_appendix_a_tweak_necessary() {
+    let eps = 0.125;
+    let dlog = 30u32;
+    let delta = (0.5f64).powi(dlog as i32);
+    let a = morris_a(eps, dlog).unwrap();
+    // P(N̂ < (1-eps)·2) after 2 increments = P(X stays at 1) = 1 - (1+a)^-1.
+    let dist = exact_level_distribution(a, 2);
+    let p_fail = dist[1];
+    assert!(
+        p_fail > 1_000.0 * delta,
+        "p_fail {p_fail} should dwarf delta {delta}"
+    );
+    // Morris+ is exact there (2 < N_a), so its failure probability is 0.
+    assert!(morris_plus_cutoff(a) > 2);
+}
+
+/// Remark 2.4: merging preserves the distribution (mean-level check; the
+/// full KS validation runs in ac-core and exp_merge_law).
+#[test]
+fn claim_remark_2_4_mergeable() {
+    let p = NyParams::new(0.25, 8).unwrap();
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xC4);
+    let (n1, n2) = (15_000u64, 45_000u64);
+    let trials = 1_500;
+    let mut merged_mean = 0.0;
+    let mut seq_mean = 0.0;
+    for _ in 0..trials {
+        let mut c1 = NelsonYuCounter::new(p);
+        c1.increment_by(n1, &mut rng);
+        let mut c2 = NelsonYuCounter::new(p);
+        c2.increment_by(n2, &mut rng);
+        c1.merge_from(&c2, &mut rng).unwrap();
+        merged_mean += c1.estimate();
+
+        let mut c = NelsonYuCounter::new(p);
+        c.increment_by(n1 + n2, &mut rng);
+        seq_mean += c.estimate();
+    }
+    merged_mean /= f64::from(trials);
+    seq_mean /= f64::from(trials);
+    let rel = (merged_mean - seq_mean).abs() / seq_mean;
+    assert!(rel < 0.05, "merged {merged_mean} vs sequential {seq_mean}");
+}
+
+/// Theorem 3.1: no small automaton distinguishes `[1, T/2]` from
+/// `[2T, 4T]`; the minimal distinguisher has exactly `T/2 + 2` states.
+#[test]
+fn claim_theorem_3_1_lower_bound() {
+    use approx_counting::automaton::exhaustive;
+    let t = 8u64;
+    assert_eq!(exhaustive::scan_all(4, t).distinguishers, 0);
+    assert_eq!(
+        exhaustive::minimal_distinguishing_states(t, 7),
+        Some((t / 2 + 2) as usize)
+    );
+}
+
+/// §4 / Figure 1: at an equal 17-bit budget the Morris counter and the
+/// simplified Algorithm 1 behave nearly identically.
+#[test]
+fn claim_figure_1_near_identical_cdfs() {
+    let bits = 17;
+    let w = Workload::figure1();
+    let runner = TrialRunner::new(w, 400).with_seed(0xC5);
+    let m = runner.run(&plan_morris(bits, w.max_n(), DEFAULT_SLACK_SIGMAS).unwrap());
+    let c = runner.run(&plan_csuros(bits, w.max_n(), DEFAULT_SLACK_SIGMAS).unwrap());
+    let (m90, c90) = (m.error_ecdf().quantile(0.9), c.error_ecdf().quantile(0.9));
+    let ratio = (m90 / c90).max(c90 / m90);
+    assert!(ratio < 3.0, "p90 errors {m90} vs {c90}");
+    assert!(m.error_ecdf().max() < 0.05 && c.error_ecdf().max() < 0.05);
+}
+
+/// §1.2: the promise decision problem is solvable in
+/// `O(log 1/ε + log log 1/η)` bits with failure `η`.
+#[test]
+fn claim_promise_problem() {
+    use approx_counting::core::{PromiseAnswer, PromiseDecider, PROMISE_DEFAULT_C};
+    let t_param = 200_000u64;
+    let eps = 0.25;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xC7);
+    let mut wrong = 0u32;
+    let trials = 400u32;
+    for _ in 0..trials {
+        let mut d = PromiseDecider::new(t_param, eps, 6, PROMISE_DEFAULT_C).unwrap();
+        d.increment_by((t_param as f64 * (1.0 - eps / 10.0)) as u64, &mut rng);
+        if d.answer() != PromiseAnswer::Below {
+            wrong += 1;
+        }
+        // Memory independent of T: C·ln(1/η)/ε² ≈ 300·4.16/0.0625 ≈ 2e4
+        // → ≤ 16 bits even though T is 200k.
+        assert!(d.peak_state_bits() <= 16);
+    }
+    assert!(wrong <= 12, "boundary failures {wrong}/{trials}");
+}
+
+/// §1.2: the Morris estimator is unbiased with variance `a·N(N−1)/2`.
+#[test]
+fn claim_estimator_moments() {
+    use approx_counting::stats::theory::morris_estimator_variance;
+    let (a, n) = (0.5, 2_000u64);
+    let results = TrialRunner::new(Workload::fixed(n), 20_000)
+        .with_seed(0xC6)
+        .run(&MorrisCounter::new(a).unwrap());
+    let s = results.rel_error_summary();
+    // Mean relative error ~ 0 within 6 standard errors.
+    assert!(s.mean().abs() < 6.0 * s.std_error(), "bias {}", s.mean());
+    // Variance of the estimate within 15 % of the closed form.
+    let est_summary = approx_counting::stats::Summary::from_slice(&results.estimates());
+    let theory = morris_estimator_variance(a, n);
+    assert!(
+        (est_summary.variance() / theory - 1.0).abs() < 0.15,
+        "var ratio {}",
+        est_summary.variance() / theory
+    );
+}

@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests (proptest): invariants that must
+//! hold for *arbitrary* parameters, seeds and interleavings.
+
+use approx_counting::bitio::{BitReader, BitVec, BitWriter};
+use approx_counting::prelude::*;
+use approx_counting::streams::PackState;
+use proptest::prelude::*;
+
+proptest! {
+    /// Estimates never decrease as more increments arrive, for every
+    /// algorithm and any seed.
+    #[test]
+    fn estimates_are_monotone(seed in any::<u64>(), chunks in prop::collection::vec(0u64..5_000, 1..12)) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.3, 6).unwrap();
+        let mut counters: Vec<Box<dyn ApproxCounter>> = vec![
+            Box::new(ExactCounter::new()),
+            Box::new(MorrisCounter::classic()),
+            Box::new(MorrisPlus::new(0.2, 6).unwrap()),
+            Box::new(NelsonYuCounter::new(p)),
+            Box::new(CsurosCounter::new(6).unwrap()),
+        ];
+        for c in &mut counters {
+            let mut prev = c.estimate();
+            for &chunk in &chunks {
+                c.increment_by(chunk, &mut rng);
+                let now = c.estimate();
+                prop_assert!(now >= prev, "{}: {prev} -> {now}", c.name());
+                prev = now;
+            }
+        }
+    }
+
+    /// Peak state bits dominate final state bits, and both are positive.
+    #[test]
+    fn peak_bits_dominate(seed in any::<u64>(), n in 0u64..200_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.25, 8).unwrap();
+        let mut c = NelsonYuCounter::new(p);
+        c.increment_by(n, &mut rng);
+        prop_assert!(c.peak_state_bits() >= c.state_bits());
+        prop_assert!(c.state_bits() >= 3, "X+Y+t is at least three 1-bit fields");
+    }
+
+    /// Splitting a stream across two counters and merging equals (in
+    /// expectation-ish terms per trial: we check the invariant that the
+    /// merged level is at least the max input level) a single counter.
+    #[test]
+    fn merge_never_loses_levels(seed in any::<u64>(), n1 in 0u64..80_000, n2 in 0u64..80_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.3, 6).unwrap();
+        let mut c1 = NelsonYuCounter::new(p);
+        c1.increment_by(n1, &mut rng);
+        let mut c2 = NelsonYuCounter::new(p);
+        c2.increment_by(n2, &mut rng);
+        let max_level = c1.level().max(c2.level());
+        c1.merge_from(&c2, &mut rng).unwrap();
+        prop_assert!(c1.level() >= max_level);
+        // And the sampling exponent stayed monotone.
+        prop_assert!(c1.sampling_exponent() >= c2.sampling_exponent().min(c1.sampling_exponent()));
+    }
+
+    /// Pack/unpack round-trips arbitrary counter states through the
+    /// bit-exact serializer.
+    #[test]
+    fn pack_round_trips(seed in any::<u64>(), n in 0u64..500_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let p = NyParams::new(0.2, 10).unwrap();
+        let mut original = NelsonYuCounter::new(p);
+        original.increment_by(n, &mut rng);
+
+        let mut bits = BitVec::new();
+        original.pack_state(&mut BitWriter::new(&mut bits));
+        prop_assert_eq!(bits.len(), original.packed_bits());
+
+        let mut restored = NelsonYuCounter::new(p);
+        restored.unpack_state(&mut BitReader::new(&bits));
+        prop_assert_eq!(restored.estimate().to_bits(), original.estimate().to_bits());
+        prop_assert_eq!(restored.state_parts(), original.state_parts());
+    }
+
+    /// The trial runner is deterministic in (seed, trial index) no matter
+    /// how many threads execute it.
+    #[test]
+    fn runner_reproducibility(seed in any::<u64>(), trials in 1usize..40) {
+        let counter = MorrisCounter::classic();
+        let a = TrialRunner::new(Workload::fixed(5_000), trials)
+            .with_seed(seed)
+            .with_threads(1)
+            .run(&counter);
+        let b = TrialRunner::new(Workload::fixed(5_000), trials)
+            .with_seed(seed)
+            .with_threads(7)
+            .run(&counter);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Workload sampling stays in range for arbitrary bounds.
+    #[test]
+    fn workload_in_range(seed in any::<u64>(), lo in 0u64..1_000_000, span in 0u64..1_000_000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let w = Workload::uniform(lo, lo + span);
+        let n = w.sample(&mut rng);
+        prop_assert!(n >= lo && n <= lo + span);
+    }
+
+    /// Exact DP distributions are probability vectors whose estimator
+    /// mean equals N (unbiasedness), for arbitrary small parameters.
+    #[test]
+    fn exact_dp_unbiased(a in 0.01f64..2.0, n in 1u64..150) {
+        let dist = exact_level_distribution(a, n);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mean: f64 = dist
+            .iter()
+            .enumerate()
+            .map(|(j, &p)| p * ((j as f64) * a.ln_1p()).exp_m1() / a)
+            .sum();
+        prop_assert!((mean - n as f64).abs() < 1e-6 * (n as f64).max(1.0), "mean {mean} vs {n}");
+    }
+}
