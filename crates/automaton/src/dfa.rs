@@ -199,9 +199,7 @@ impl DeterministicCounter {
     #[must_use]
     pub fn saturating(n: usize) -> Self {
         assert!(n >= 1);
-        let trans = (0..n as u32)
-            .map(|s| (s + 1).min(n as u32 - 1))
-            .collect();
+        let trans = (0..n as u32).map(|s| (s + 1).min(n as u32 - 1)).collect();
         Self::new(0, trans)
     }
 }

@@ -113,11 +113,13 @@ mod tests {
         for seed in 0..200u64 {
             let n = 2 + (seed % 9) as usize; // 2..=10 states
             let trans: Vec<u32> = (0..n)
-                .map(|i| ((seed.wrapping_mul(2_654_435_761).wrapping_add(i as u64 * 97)) % n as u64) as u32)
+                .map(|i| {
+                    ((seed.wrapping_mul(2_654_435_761).wrapping_add(i as u64 * 97)) % n as u64)
+                        as u32
+                })
                 .collect();
             let dfa = DeterministicCounter::new(0, trans);
-            let w = find_witness(&dfa, t)
-                .unwrap_or_else(|| panic!("no witness for seed {seed}"));
+            let w = find_witness(&dfa, t).unwrap_or_else(|| panic!("no witness for seed {seed}"));
             assert!(verify_witness(&dfa, &w, t), "seed {seed}: {w:?}");
         }
     }

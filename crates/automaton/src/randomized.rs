@@ -178,10 +178,7 @@ mod tests {
 
     #[test]
     fn derandomize_breaks_ties_lexicographically() {
-        let r = RandomizedCounter::new(
-            vec![0.5, 0.5],
-            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
-        );
+        let r = RandomizedCounter::new(vec![0.5, 0.5], vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
         let det = r.derandomize();
         assert_eq!(det.init(), 0);
         assert_eq!(det.transitions(), &[0, 0]);
@@ -201,10 +198,7 @@ mod tests {
     #[test]
     fn path_probability_decays_for_cyclic_choices() {
         // Two states, 60/40 both ways: each step costs 0.6.
-        let r = RandomizedCounter::new(
-            vec![1.0, 0.0],
-            vec![vec![0.4, 0.6], vec![0.6, 0.4]],
-        );
+        let r = RandomizedCounter::new(vec![1.0, 0.0], vec![vec![0.4, 0.6], vec![0.6, 0.4]]);
         let p = r.derandomized_path_probability(10);
         assert!((p - 0.6f64.powi(10)).abs() < 1e-12);
     }

@@ -7,10 +7,7 @@ use proptest::prelude::*;
 /// Strategy: a random deterministic automaton on 1..=24 states.
 fn automaton_strategy() -> impl Strategy<Value = DeterministicCounter> {
     (1usize..=24).prop_flat_map(|n| {
-        (
-            0..n as u32,
-            prop::collection::vec(0..n as u32, n),
-        )
+        (0..n as u32, prop::collection::vec(0..n as u32, n))
             .prop_map(|(init, trans)| DeterministicCounter::new(init, trans))
     })
 }

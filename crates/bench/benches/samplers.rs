@@ -2,8 +2,8 @@
 //! and sampler throughput (the inner loop of every experiment).
 
 use ac_randkit::{
-    Bernoulli, BernoulliPow2, Binomial, Geometric, RandomSource, SplitMix64,
-    Xoshiro256PlusPlus, Zipf,
+    Bernoulli, BernoulliPow2, Binomial, Geometric, RandomSource, SplitMix64, Xoshiro256PlusPlus,
+    Zipf,
 };
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;

@@ -14,8 +14,7 @@
 
 use ac_bench::{header, section, sized, verdict};
 use ac_core::{
-    ExactAlphaNelsonYu, NelsonYuCounter, NyParams, PromiseAnswer,
-    PromiseDecider, PROMISE_DEFAULT_C,
+    ExactAlphaNelsonYu, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider, PROMISE_DEFAULT_C,
 };
 use ac_randkit::{trial_seed, Xoshiro256PlusPlus};
 use ac_sim::report::{sig, Table};
@@ -80,7 +79,10 @@ fn main() {
         .with_seed(0xE102)
         .run(&ExactAlphaNelsonYu::new(p));
     let mut table = Table::new(vec![
-        "variant", "mean |rel err|", "p99 |rel err|", "peak bits (max)",
+        "variant",
+        "mean |rel err|",
+        "p99 |rel err|",
+        "peak bits (max)",
     ]);
     for (name, r) in [("rounded 2^-t", &rounded), ("exact alpha", &exact)] {
         let e = r.error_ecdf();
@@ -116,8 +118,7 @@ fn main() {
     for &c in &[6.0, 75.0, PROMISE_DEFAULT_C] {
         let mut wrong = 0u32;
         for i in 0..p_trials {
-            let mut rng =
-                Xoshiro256PlusPlus::seed_from_u64(trial_seed(0xE103, u64::from(i)));
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(trial_seed(0xE103, u64::from(i)));
             let mut d = PromiseDecider::new(t_param, eps, 7, c).unwrap();
             d.increment_by(below_n, &mut rng);
             if d.answer() != PromiseAnswer::Below {
@@ -126,11 +127,7 @@ fn main() {
         }
         let rate = f64::from(wrong) / f64::from(p_trials);
         promise_rates.push(rate);
-        table.row(vec![
-            sig(c, 3),
-            sig(rate, 3),
-            sig((0.5f64).powi(7), 3),
-        ]);
+        table.row(vec![sig(c, 3), sig(rate, 3), sig((0.5f64).powi(7), 3)]);
     }
     print!("{}", table.to_markdown());
     let promise_ok = promise_rates[0] > promise_rates[2] * 5.0

@@ -60,7 +60,9 @@ fn main() {
         // Nelson-Yu reference at the same eps.
         let ny = TrialRunner::new(Workload::fixed(n), trials.min(500))
             .with_seed(0xE8_03)
-            .run(&NelsonYuCounter::new(NyParams::new(eps.min(0.49), 7).unwrap()));
+            .run(&NelsonYuCounter::new(
+                NyParams::new(eps.min(0.49), 7).unwrap(),
+            ));
         let ny_bits = ny.peak_bits_summary().max();
 
         // Both should hit the target sd within a factor ~1.5.

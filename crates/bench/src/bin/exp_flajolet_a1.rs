@@ -55,9 +55,7 @@ fn main() {
         ]);
     }
     print!("{}", table.to_markdown());
-    let spread = p1_by_n
-        .iter()
-        .fold(f64::MIN, |m, &x| m.max(x))
+    let spread = p1_by_n.iter().fold(f64::MIN, |m, &x| m.max(x))
         - p1_by_n.iter().fold(f64::MAX, |m, &x| m.min(x));
     println!(
         "\nP(dev > 1) across N: {:?} — flat in N (constant, not o(1))",
@@ -68,11 +66,7 @@ fn main() {
     let e = 20u32;
     let n = 1u64 << e;
     let eps = 0.5;
-    let mut table = Table::new(vec![
-        "counter",
-        "P(|N'-N| > N/2)",
-        "peak bits (max)",
-    ]);
+    let mut table = Table::new(vec!["counter", "P(|N'-N| > N/2)", "peak bits (max)"]);
     let mut rates = Vec::new();
     for (label, a) in [("Morris(1)", 1.0), ("Morris(1/log2 N)", 1.0 / f64::from(e))] {
         let results = TrialRunner::new(Workload::fixed(n), trials)

@@ -33,11 +33,13 @@ fn main() {
         let at_half = scan_all(m_half, t);
         let minimal = minimal_distinguishing_states(t, (t / 2 + 3) as usize);
         let expected = (t / 2 + 2) as usize;
-        exhaustive_ok &=
-            at_half.distinguishers == 0 && minimal == Some(expected);
+        exhaustive_ok &= at_half.distinguishers == 0 && minimal == Some(expected);
         table.row(vec![
             format!("{t}"),
-            format!("{} examined, {} distinguish", at_half.examined, at_half.distinguishers),
+            format!(
+                "{} examined, {} distinguish",
+                at_half.examined, at_half.distinguishers
+            ),
             format!("{minimal:?}"),
             format!("{expected}"),
         ]);
@@ -119,8 +121,8 @@ fn main() {
             .with_seed(0xE6_04)
             .run(&NelsonYuCounter::new(p));
         let measured = r.peak_bits_summary().max();
-        let lb = f64::from(e)
-            .min(f64::from(e).log2() + (1.0 / eps).log2() + f64::from(dlog).log2());
+        let lb =
+            f64::from(e).min(f64::from(e).log2() + (1.0 / eps).log2() + f64::from(dlog).log2());
         let ratio = measured / lb;
         ratios.push(ratio);
         table.row(vec![

@@ -25,14 +25,20 @@ fn main() {
     section("Nelson-Yu merge vs sequential (KS tests on the level X)");
     let p = NyParams::new(0.25, 8).unwrap();
     let mut table = Table::new(vec![
-        "N1", "N2", "KS D", "KS p", "mean merged", "mean sequential", "ok",
+        "N1",
+        "N2",
+        "KS D",
+        "KS p",
+        "mean merged",
+        "mean sequential",
+        "ok",
     ]);
     let mut all_ok = true;
     for (case, &(n1, n2)) in [
-        (1_000u64, 1_000u64),     // both likely in/near the exact epoch
-        (30_000, 50_000),         // both sampled
-        (500, 200_000),           // asymmetric
-        (200_000, 500),           // asymmetric, reversed
+        (1_000u64, 1_000u64), // both likely in/near the exact epoch
+        (30_000, 50_000),     // both sampled
+        (500, 200_000),       // asymmetric
+        (200_000, 500),       // asymmetric, reversed
     ]
     .iter()
     .enumerate()
@@ -42,10 +48,8 @@ fn main() {
         let mut merged_mean = Summary::new();
         let mut seq_mean = Summary::new();
         for i in 0..trials {
-            let mut rng = Xoshiro256PlusPlus::seed_from_u64(trial_seed(
-                0xE5_00 + case as u64,
-                i as u64,
-            ));
+            let mut rng =
+                Xoshiro256PlusPlus::seed_from_u64(trial_seed(0xE5_00 + case as u64, i as u64));
             let mut c1 = NelsonYuCounter::new(p);
             c1.increment_by(n1, &mut rng);
             let mut c2 = NelsonYuCounter::new(p);
@@ -84,10 +88,8 @@ fn main() {
         let mut merged_levels = Vec::with_capacity(trials);
         let mut seq_levels = Vec::with_capacity(trials);
         for i in 0..trials {
-            let mut rng = Xoshiro256PlusPlus::seed_from_u64(trial_seed(
-                0xE5_80 + case as u64,
-                i as u64,
-            ));
+            let mut rng =
+                Xoshiro256PlusPlus::seed_from_u64(trial_seed(0xE5_80 + case as u64, i as u64));
             let mut c1 = MorrisCounter::new(a).unwrap();
             c1.increment_by(n1, &mut rng);
             let mut c2 = MorrisCounter::new(a).unwrap();

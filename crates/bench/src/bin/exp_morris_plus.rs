@@ -5,13 +5,15 @@
 //! Sweeps δ at fixed ε and measures the empirical failure rate (with a
 //! Wilson 95% interval) against the `2δ` budget, plus the space used.
 
-use ac_bench::{header, section, sized, verdict};
+use ac_bench::json::JsonObject;
+use ac_bench::{header, section, sized, verdict, write_json_report};
 use ac_core::{morris_a, MorrisPlus};
 use ac_sim::report::{sig, Table};
 use ac_sim::{TrialRunner, Workload};
 use ac_stats::wilson_interval;
 
 fn main() {
+    let t_start = std::time::Instant::now();
     header(
         "E2",
         "Morris+ accuracy and space (Theorem 1.2)",
@@ -35,6 +37,7 @@ fn main() {
         "ok",
     ]);
     let mut all_ok = true;
+    let mut json_rows = Vec::new();
     for &dlog in &[3u32, 5, 7, 9, 12] {
         let counter = MorrisPlus::new(eps, dlog).unwrap();
         let a = morris_a(eps, dlog).unwrap();
@@ -64,6 +67,18 @@ fn main() {
             format!("{peak}"),
             format!("{}", if ok { "yes" } else { "NO" }),
         ]);
+        json_rows.push(
+            JsonObject::new()
+                .int("delta_log2", u64::from(dlog))
+                .num("a", a)
+                .int("cutoff", counter.cutoff())
+                .int("failures", failures)
+                .num("failure_rate", rate)
+                .num("wilson_hi", hi)
+                .num("budget", budget)
+                .num("peak_bits_max", peak)
+                .bool("ok", ok),
+        );
     }
     print!("{}", table.to_markdown());
 
@@ -85,5 +100,19 @@ fn main() {
     verdict(
         all_ok && exact_ok,
         "Morris+ meets the Theorem 1.2 failure budget at every delta and is exact below N_a",
+    );
+
+    write_json_report(
+        &JsonObject::new()
+            .str("experiment", "E2")
+            .str("bin", "exp_morris_plus")
+            .str("claim", "Theorem 1.2: P(|N'-N| > 2 eps N) <= 2 delta")
+            .num("eps", eps)
+            .int("n", n)
+            .int("trials_per_delta", trials as u64)
+            .bool("exact_below_cutoff", exact_ok)
+            .bool("reproduced", all_ok && exact_ok)
+            .num("wall_seconds", t_start.elapsed().as_secs_f64())
+            .rows("deltas", json_rows),
     );
 }

@@ -41,7 +41,12 @@ fn main() {
     section("N sweep (eps = 0.2, delta = 2^-10)");
     let p = NyParams::new(0.2, 10).unwrap();
     let mut table = Table::new(vec![
-        "N", "log2 N", "log2 log2 N", "NY mean bits", "NY max bits", "exact bits",
+        "N",
+        "log2 N",
+        "log2 log2 N",
+        "NY mean bits",
+        "NY max bits",
+        "exact bits",
     ]);
     let mut ny_pts = Vec::new();
     let mut exact_pts = Vec::new();
@@ -95,10 +100,12 @@ fn main() {
     print!("{}", table.to_markdown());
     // Theory: ~3 log2(1/eps) slope (the eps^3 in alpha). Measure the
     // average slope across the sweep.
-    let eps_slope = (eps_pts.last().unwrap().1 - eps_pts[0].1)
-        / (eps_pts.last().unwrap().0 - eps_pts[0].0);
-    println!("\nmeasured slope: {} bits per log2(1/eps) (theory: ~3, from alpha ∝ eps^3)",
-        sig(eps_slope, 3));
+    let eps_slope =
+        (eps_pts.last().unwrap().1 - eps_pts[0].1) / (eps_pts.last().unwrap().0 - eps_pts[0].0);
+    println!(
+        "\nmeasured slope: {} bits per log2(1/eps) (theory: ~3, from alpha ∝ eps^3)",
+        sig(eps_slope, 3)
+    );
 
     // ---- Sweep 3: delta at fixed N = 2^20, eps = 0.2. ----
     section("delta sweep (N = 2^20, eps = 0.2): the headline comparison");
@@ -116,12 +123,7 @@ fn main() {
     for &dlog in &[4u32, 8, 16, 32, 64, 128] {
         let p = NyParams::new(0.2, dlog).unwrap();
         let (_, ny_max) = peak_bits(&NelsonYuCounter::new(p), n, trials, 0xE1_03);
-        let (_, mp_max) = peak_bits(
-            &MorrisPlus::new(0.2, dlog).unwrap(),
-            n,
-            trials,
-            0xE1_04,
-        );
+        let (_, mp_max) = peak_bits(&MorrisPlus::new(0.2, dlog).unwrap(), n, trials, 0xE1_04);
         // Classical Chebyshev parameterization a = 2 eps^2 delta.
         let a_cheb = 2.0 * 0.2f64 * 0.2 * (-f64::from(dlog)).exp2();
         let (_, ch_max) = peak_bits(
@@ -161,15 +163,12 @@ fn main() {
     // Verdict: NY growth over the delta sweep must be tiny compared to
     // the Chebyshev counter's growth (before its exact-counter cap).
     let ny_dgrow = ny_d.last().unwrap().1 - ny_d[0].1;
-    let ch_dgrow = ch_d.iter().map(|p| p.1).fold(f64::MIN, f64::max)
-        - ch_d[0].1;
+    let ch_dgrow = ch_d.iter().map(|p| p.1).fold(f64::MIN, f64::max) - ch_d[0].1;
     // Over 2^10..2^30 the exact counter grows by 20 bits; NY must grow by
     // far less (the measured ~9 bits includes the η = δ/X² schedule's
     // log log N term times C and the power-of-two α rounding). In the δ
     // sweep, NY growth must be a fraction of the classical counter's.
-    let ok = ny_growth <= 20.0 / 1.8
-        && ny_dgrow <= 4.0
-        && ch_dgrow >= 2.0 * ny_dgrow.max(1.0);
+    let ok = ny_growth <= 20.0 / 1.8 && ny_dgrow <= 4.0 && ch_dgrow >= 2.0 * ny_dgrow.max(1.0);
     verdict(
         ok,
         &format!(

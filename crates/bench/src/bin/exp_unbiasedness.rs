@@ -21,7 +21,12 @@ fn main() {
 
     section("Morris(a): sample mean and variance vs theory");
     let mut table = Table::new(vec![
-        "a", "N", "mean/N", "z(mean)", "var/theory", "theory Var",
+        "a",
+        "N",
+        "mean/N",
+        "z(mean)",
+        "var/theory",
+        "theory Var",
     ]);
     let mut ok = true;
     for &(a, n) in &[(1.0f64, 1_000u64), (0.25, 5_000), (0.01, 100_000)] {

@@ -12,7 +12,7 @@ use ac_core::budget::{plan_csuros, plan_morris, plan_nelson_yu, DEFAULT_SLACK_SI
 use ac_core::ApproxCounter;
 use ac_sim::plot::{ascii_chart, Series};
 use ac_sim::report::{sig, Table};
-use ac_sim::{TrialRunner, TrialResults, Workload};
+use ac_sim::{TrialResults, TrialRunner, Workload};
 use ac_stats::ks::ks_two_sample;
 
 const BITS: u32 = 17;
@@ -67,7 +67,13 @@ fn main() {
 
     section("error percentiles (% relative error)");
     let mut table = Table::new(vec![
-        "algorithm", "p50", "p90", "p99", "p99.9", "max", "peak bits (max)",
+        "algorithm",
+        "p50",
+        "p90",
+        "p99",
+        "p99.9",
+        "max",
+        "peak bits (max)",
     ]);
     for (label, results) in &curves {
         let ecdf = results.error_ecdf();
@@ -100,10 +106,7 @@ fn main() {
     print!("{}", ascii_chart(&series, 64, 20));
 
     section("similarity of the two paper curves");
-    let ks = ks_two_sample(
-        &curves[0].1.abs_rel_errors(),
-        &curves[1].1.abs_rel_errors(),
-    );
+    let ks = ks_two_sample(&curves[0].1.abs_rel_errors(), &curves[1].1.abs_rel_errors());
     println!(
         "two-sample KS: D = {:.4}, p = {:.4} (large D / tiny p would mean the \
          curves differ)",

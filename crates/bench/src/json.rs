@@ -1,0 +1,163 @@
+//! Minimal JSON emission for experiment reports.
+//!
+//! Experiment binaries accept `--json <path>` and write a
+//! machine-readable summary next to their human-readable stdout report.
+//! CI uploads these files (`BENCH_*.json`) as artifacts, so the
+//! perf/accuracy trajectory of every experiment is queryable across
+//! commits. The writer is dependency-free and preserves insertion order.
+
+use std::fmt::Write as _;
+
+/// An ordered JSON object under construction.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn encode_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{v:?}` round-trips f64 and always includes a decimal point or
+        // exponent, so the value re-parses as a float.
+        format!("{v:?}")
+    } else {
+        // JSON has no NaN/Infinity.
+        "null".to_string()
+    }
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// Adds a float field (`null` when not finite).
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), encode_f64(value)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a nested object field.
+    #[must_use]
+    pub fn obj(mut self, key: &str, value: JsonObject) -> Self {
+        self.fields.push((key.to_string(), value.encode()));
+        self
+    }
+
+    /// Adds an array-of-objects field.
+    #[must_use]
+    pub fn rows(mut self, key: &str, values: Vec<JsonObject>) -> Self {
+        let body: Vec<String> = values.into_iter().map(|v| v.encode()).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", body.join(","))));
+        self
+    }
+
+    /// Adds an array-of-floats field.
+    #[must_use]
+    pub fn nums(mut self, key: &str, values: &[f64]) -> Self {
+        let body: Vec<String> = values.iter().map(|&v| encode_f64(v)).collect();
+        self.fields
+            .push((key.to_string(), format!("[{}]", body.join(","))));
+        self
+    }
+
+    /// Serializes the object.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_scalars_in_order() {
+        let obj = JsonObject::new()
+            .str("name", "E2")
+            .int("trials", 500)
+            .num("rate", 0.25)
+            .bool("ok", true);
+        assert_eq!(
+            obj.encode(),
+            r#"{"name":"E2","trials":500,"rate":0.25,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let obj = JsonObject::new().str("msg", "a\"b\\c\nd\te");
+        assert_eq!(obj.encode(), "{\"msg\":\"a\\\"b\\\\c\\nd\\te\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let obj = JsonObject::new()
+            .num("nan", f64::NAN)
+            .num("inf", f64::INFINITY);
+        assert_eq!(obj.encode(), r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn nests_rows_and_arrays() {
+        let obj = JsonObject::new()
+            .rows("rows", vec![JsonObject::new().int("x", 1)])
+            .nums("xs", &[1.0, 0.5]);
+        assert_eq!(obj.encode(), r#"{"rows":[{"x":1}],"xs":[1.0,0.5]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_textually() {
+        let obj = JsonObject::new().num("v", 1e-7).num("w", 3.0);
+        assert_eq!(obj.encode(), r#"{"v":1e-7,"w":3.0}"#);
+    }
+}

@@ -27,6 +27,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::io::Write as _;
 
 /// True when `--quick` was passed (reduced trial counts for CI).
@@ -58,6 +60,48 @@ pub fn header(id: &str, title: &str, paper_claim: &str) {
 /// Prints a named section divider.
 pub fn section(name: &str) {
     println!("\n--- {name} ---");
+}
+
+/// Path passed via `--json <path>`, if any.
+///
+/// Experiment binaries that support machine-readable output write a
+/// [`json::JsonObject`] report here (see [`write_json_report`]).
+#[must_use]
+pub fn json_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if let Some(path) = a.strip_prefix("--json=") {
+            return Some(std::path::PathBuf::from(path));
+        }
+        if a == "--json" {
+            // Loud beats silent: a missing value (or a flag mistaken for
+            // one) would otherwise drop the CI artifact without a trace.
+            let value = args
+                .next()
+                .unwrap_or_else(|| panic!("--json requires a path argument"));
+            assert!(
+                !value.starts_with("--"),
+                "--json requires a path argument, got flag '{value}'"
+            );
+            return Some(std::path::PathBuf::from(value));
+        }
+    }
+    None
+}
+
+/// Writes `report` to the `--json` path when one was given.
+///
+/// Creates parent directories as needed; panics on I/O failure so CI
+/// cannot silently drop an artifact.
+pub fn write_json_report(report: &json::JsonObject) {
+    let Some(path) = json_path() else { return };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create --json parent directory");
+        }
+    }
+    std::fs::write(&path, report.encode() + "\n").expect("write --json report");
+    println!("\njson report -> {}", path.display());
 }
 
 /// Prints the final verdict line in a stable, grep-able format.

@@ -52,7 +52,7 @@ pub fn decode_unary(r: &mut BitReader<'_>) -> u64 {
 pub fn encode_gamma(w: &mut BitWriter<'_>, x: u64) {
     assert!(x >= 1, "Elias gamma requires x >= 1");
     let n = bit_len(x); // number of binary digits of x
-    // n-1 zeros, then the n digits of x starting from the MSB (which is 1).
+                        // n-1 zeros, then the n digits of x starting from the MSB (which is 1).
     for _ in 0..(n - 1) {
         w.write_bit(false);
     }

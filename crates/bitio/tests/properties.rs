@@ -1,8 +1,8 @@
 //! Property-based tests for bit-level storage and codes.
 
 use ac_bitio::codes::{
-    decode_delta, decode_gamma, decode_rice, decode_unary, delta_len, encode_delta,
-    encode_gamma, encode_rice, encode_unary, gamma_len, rice_len,
+    decode_delta, decode_gamma, decode_rice, decode_unary, delta_len, encode_delta, encode_gamma,
+    encode_rice, encode_unary, gamma_len, rice_len,
 };
 use ac_bitio::{bit_len, ceil_log2, BitReader, BitVec, BitWriter};
 use proptest::prelude::*;

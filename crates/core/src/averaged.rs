@@ -64,10 +64,7 @@ impl StateBits for AveragedMorris {
 
     fn memory_audit(&self) -> MemoryAudit {
         let mut audit = MemoryAudit::new();
-        audit.field(
-            format!("X[0..{}]", self.counters.len()),
-            self.state_bits(),
-        );
+        audit.field(format!("X[0..{}]", self.counters.len()), self.state_bits());
         audit
     }
 }
@@ -149,8 +146,12 @@ mod tests {
         let mut c = AveragedMorris::new(3, 1.0).unwrap();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
         c.increment_by(100, &mut rng);
-        let mean: f64 =
-            c.counters().iter().map(ApproxCounter::estimate).sum::<f64>() / 3.0;
+        let mean: f64 = c
+            .counters()
+            .iter()
+            .map(ApproxCounter::estimate)
+            .sum::<f64>()
+            / 3.0;
         assert_eq!(c.estimate(), mean);
     }
 

@@ -123,7 +123,7 @@ pub fn plan_nelson_yu(
         Some(ny_state_estimate(&p, n_max))
     };
     let budget = u64::from(bits);
-    if fits(0.49).map_or(true, |b| b > budget) {
+    if fits(0.49).is_none_or(|b| b > budget) {
         return Err(CoreError::BudgetInfeasible {
             bits,
             n_max,

@@ -140,10 +140,14 @@ impl CsurosCounter {
         rng: &mut dyn RandomSource,
     ) -> Result<(), CoreError> {
         if self.d != other.d {
-            return Err(CoreError::MergeMismatch { what: "mantissa width d" });
+            return Err(CoreError::MergeMismatch {
+                what: "mantissa width d",
+            });
         }
         if self.x_cap != other.x_cap {
-            return Err(CoreError::MergeMismatch { what: "register cap" });
+            return Err(CoreError::MergeMismatch {
+                what: "register cap",
+            });
         }
         // Work on the higher register; replay the lower one's survivors.
         let lo_x = if self.x >= other.x {

@@ -52,12 +52,19 @@ impl fmt::Display for CoreError {
                 write!(f, "delta exponent must satisfy 1 <= Δ, got {got}")
             }
             CoreError::InvalidBase { got } => {
-                write!(f, "Morris base parameter must be finite and positive, got {got}")
+                write!(
+                    f,
+                    "Morris base parameter must be finite and positive, got {got}"
+                )
             }
             CoreError::InvalidConstant { got } => {
                 write!(f, "universal constant C must be at least 1, got {got}")
             }
-            CoreError::BudgetInfeasible { bits, n_max, reason } => {
+            CoreError::BudgetInfeasible {
+                bits,
+                n_max,
+                reason,
+            } => {
                 write!(
                     f,
                     "no plan fits {bits} bits for counts up to {n_max}: {reason}"

@@ -236,7 +236,10 @@ mod tests {
         let (ea, eb) = (exact_err / trials as f64, rounded_err / trials as f64);
         assert!(ea < 0.2 && eb < 0.2, "mean errors {ea} {eb}");
         let ratio = (ea / eb).max(eb / ea);
-        assert!(ratio < 2.0, "rounding should not change the error scale: {ea} vs {eb}");
+        assert!(
+            ratio < 2.0,
+            "rounding should not change the error scale: {ea} vs {eb}"
+        );
     }
 
     #[test]
@@ -249,7 +252,12 @@ mod tests {
         a.increment_by(5_000_000, &mut rng);
         b.increment_by(5_000_000, &mut rng);
         let diff = (a.peak_state_bits() as i64 - b.peak_state_bits() as i64).abs();
-        assert!(diff <= 2, "peaks {} vs {}", a.peak_state_bits(), b.peak_state_bits());
+        assert!(
+            diff <= 2,
+            "peaks {} vs {}",
+            a.peak_state_bits(),
+            b.peak_state_bits()
+        );
     }
 
     #[test]

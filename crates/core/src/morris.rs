@@ -145,7 +145,9 @@ impl MorrisCounter {
         rng: &mut dyn RandomSource,
     ) -> Result<(), CoreError> {
         if self.a.to_bits() != other.a.to_bits() {
-            return Err(CoreError::MergeMismatch { what: "base parameter a" });
+            return Err(CoreError::MergeMismatch {
+                what: "base parameter a",
+            });
         }
         if self.x_cap != other.x_cap {
             return Err(CoreError::MergeMismatch { what: "level cap" });

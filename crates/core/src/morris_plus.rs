@@ -125,7 +125,9 @@ impl MorrisPlus {
         rng: &mut dyn RandomSource,
     ) -> Result<(), CoreError> {
         if self.cutoff != other.cutoff {
-            return Err(CoreError::MergeMismatch { what: "Morris+ cutoff" });
+            return Err(CoreError::MergeMismatch {
+                what: "Morris+ cutoff",
+            });
         }
         self.morris.merge_from(&other.morris, rng)?;
         self.prefix = self

@@ -174,7 +174,9 @@ impl NelsonYuCounter {
         rng: &mut dyn RandomSource,
     ) -> Result<(), CoreError> {
         if self.params != other.params {
-            return Err(CoreError::MergeMismatch { what: "NyParams schedule" });
+            return Err(CoreError::MergeMismatch {
+                what: "NyParams schedule",
+            });
         }
         // Identify the lower counter; its survivors get replayed into the
         // higher one. On ties either order is valid.
@@ -248,7 +250,9 @@ impl StateBits for NelsonYuCounter {
         // O(log X + log Y + log log(1/α)) — we charge the exact digit
         // counts of X, Y and t. (t is in fact derivable from X, so this
         // over-counts by bit_len(t); see params::alpha_exponent.)
-        u64::from(bit_len(self.x)) + u64::from(bit_len(self.y)) + u64::from(bit_len(u64::from(self.t)))
+        u64::from(bit_len(self.x))
+            + u64::from(bit_len(self.y))
+            + u64::from(bit_len(u64::from(self.t)))
     }
 
     fn memory_audit(&self) -> MemoryAudit {

@@ -236,16 +236,13 @@ mod tests {
         let mut wrong_below = 0;
         let mut wrong_above = 0;
         for i in 0..trials {
-            let mut rng =
-                Xoshiro256PlusPlus::seed_from_u64(trial_seed(77, u64::from(i)));
-            let mut d =
-                PromiseDecider::new(t_param, eps, eta_log2, PROMISE_DEFAULT_C).unwrap();
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(trial_seed(77, u64::from(i)));
+            let mut d = PromiseDecider::new(t_param, eps, eta_log2, PROMISE_DEFAULT_C).unwrap();
             d.increment_by(below_n, &mut rng);
             if d.answer() != PromiseAnswer::Below {
                 wrong_below += 1;
             }
-            let mut d =
-                PromiseDecider::new(t_param, eps, eta_log2, PROMISE_DEFAULT_C).unwrap();
+            let mut d = PromiseDecider::new(t_param, eps, eta_log2, PROMISE_DEFAULT_C).unwrap();
             d.increment_by(above_n, &mut rng);
             if d.answer() != PromiseAnswer::Above {
                 wrong_above += 1;
@@ -269,8 +266,7 @@ mod tests {
         // of T. Check the register stays small even for huge T.
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         for &t_param in &[1u64 << 24, 1 << 32, 1 << 40] {
-            let mut d =
-                PromiseDecider::new(t_param, 0.1, 20, PROMISE_DEFAULT_C).unwrap();
+            let mut d = PromiseDecider::new(t_param, 0.1, 20, PROMISE_DEFAULT_C).unwrap();
             d.increment_by(2 * t_param, &mut rng);
             // threshold = C ln(1/η)/ε² ≈ 300·13.9/0.01 ≈ 416k → 19 bits,
             // independent of T (which spans 2^24..2^40 here).

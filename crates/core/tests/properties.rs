@@ -1,8 +1,8 @@
 //! Property-based tests on the counter algorithms' invariants.
 
 use ac_core::{
-    budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
-    CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
+    budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter, CsurosCounter,
+    MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
 };
 use ac_randkit::Xoshiro256PlusPlus;
 use proptest::prelude::*;

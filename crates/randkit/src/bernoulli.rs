@@ -168,10 +168,7 @@ mod tests {
             let hits = (0..n).filter(|_| coin.sample(&mut rng)).count();
             let freq = hits as f64 / f64::from(n);
             let sigma = (p * (1.0 - p) / f64::from(n)).sqrt();
-            assert!(
-                (freq - p).abs() < 6.0 * sigma,
-                "t={t}: p={p}, freq={freq}"
-            );
+            assert!((freq - p).abs() < 6.0 * sigma, "t={t}: p={p}, freq={freq}");
         }
     }
 

@@ -281,8 +281,7 @@ impl Btpe {
 
             // Step 5.2: squeeze around the Gaussian approximation.
             let kf = k as f64;
-            let rho =
-                (kf / self.npq) * ((kf * (kf / 3.0 + 0.625) + 1.0 / 6.0) / self.npq + 0.5);
+            let rho = (kf / self.npq) * ((kf * (kf / 3.0 + 0.625) + 1.0 / 6.0) / self.npq + 0.5);
             let t = -0.5 * kf * kf / self.npq;
             let alpha = v.ln();
             if alpha < t - rho {
@@ -361,12 +360,12 @@ mod tests {
     fn mean_and_variance_match_theory() {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
         let cases: &[(u64, f64)] = &[
-            (20, 0.25),       // BINV
-            (1_000, 0.002),   // BINV, large n
-            (1_000, 0.5),     // BTPE
-            (1_000, 0.9),     // BTPE flipped
-            (1 << 20, 1e-4),  // BTPE, npq ≈ 105
-            (50, 0.4),        // BTPE boundary-ish
+            (20, 0.25),      // BINV
+            (1_000, 0.002),  // BINV, large n
+            (1_000, 0.5),    // BTPE
+            (1_000, 0.9),    // BTPE flipped
+            (1 << 20, 1e-4), // BTPE, npq ≈ 105
+            (50, 0.4),       // BTPE boundary-ish
         ];
         for &(n, p) in cases {
             let d = Binomial::new(n, p).unwrap();

@@ -95,11 +95,7 @@ impl Geometric {
     /// Exactly equivalent to comparing [`Geometric::sample`] with `budget`,
     /// just more legible at call sites.
     #[inline]
-    pub fn sample_within<R: RandomSource + ?Sized>(
-        &self,
-        budget: u64,
-        rng: &mut R,
-    ) -> Option<u64> {
+    pub fn sample_within<R: RandomSource + ?Sized>(&self, budget: u64, rng: &mut R) -> Option<u64> {
         let g = self.sample(rng);
         (g <= budget).then_some(g)
     }

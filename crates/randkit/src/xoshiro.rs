@@ -32,12 +32,7 @@ impl Xoshiro256PlusPlus {
     #[must_use]
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        let s = [
-            sm.next_u64(),
-            sm.next_u64(),
-            sm.next_u64(),
-            sm.next_u64(),
-        ];
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
         // SplitMix64 output is a bijection of a counter, so four successive
         // outputs cannot all be zero.
         Self { s }
@@ -71,10 +66,7 @@ impl RandomSource for Xoshiro256PlusPlus {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -146,7 +146,12 @@ mod tests {
     fn skips_non_finite_points() {
         let s = Series::new(
             "gappy",
-            vec![(0.0, 1.0), (f64::NAN, 2.0), (2.0, f64::INFINITY), (3.0, 2.0)],
+            vec![
+                (0.0, 1.0),
+                (f64::NAN, 2.0),
+                (2.0, f64::INFINITY),
+                (3.0, 2.0),
+            ],
         );
         let chart = ascii_chart(&[s], 30, 6);
         assert!(chart.contains('*'));

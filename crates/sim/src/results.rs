@@ -67,7 +67,10 @@ impl TrialResults {
     /// Absolute relative errors, one per trial.
     #[must_use]
     pub fn abs_rel_errors(&self) -> Vec<f64> {
-        self.outcomes.iter().map(TrialOutcome::abs_rel_error).collect()
+        self.outcomes
+            .iter()
+            .map(TrialOutcome::abs_rel_error)
+            .collect()
     }
 
     /// Signed relative errors, one per trial.

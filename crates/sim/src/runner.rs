@@ -129,8 +129,7 @@ impl TrialRunner {
     where
         C: ApproxCounter + Clone,
     {
-        let mut rng =
-            Xoshiro256PlusPlus::seed_from_u64(trial_seed(self.master_seed, trial_index));
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(trial_seed(self.master_seed, trial_index));
         let mut counter = template.clone();
         counter.reset();
         let n = self.workload.sample(&mut rng);
@@ -149,7 +148,6 @@ impl TrialRunner {
             peak_bits: counter.peak_state_bits(),
         }
     }
-
 }
 
 #[cfg(test)]

@@ -197,8 +197,7 @@ mod tests {
             array.increment_by(k, (k as u64 + 1) * 37, &mut rng);
         }
         let packed = array.pack();
-        let restored =
-            CounterArray::unpack(&MorrisCounter::new(0.125).unwrap(), m, &packed);
+        let restored = CounterArray::unpack(&MorrisCounter::new(0.125).unwrap(), m, &packed);
         for k in 0..m {
             assert_eq!(array.estimate(k), restored.estimate(k), "key {k}");
         }

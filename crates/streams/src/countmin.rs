@@ -107,10 +107,7 @@ impl<C: ApproxCounter + Clone> CountMinSketch<C> {
     /// cells shrink.
     #[must_use]
     pub fn cell_state_bits(&self) -> u64 {
-        self.cells
-            .iter()
-            .map(ac_bitio::StateBits::state_bits)
-            .sum()
+        self.cells.iter().map(ac_bitio::StateBits::state_bits).sum()
     }
 }
 
@@ -179,8 +176,7 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
         let (w, r) = (64, 3);
         let mut exact = CountMinSketch::new(w, r, 13, &ExactCounter::new());
-        let mut approx =
-            CountMinSketch::new(w, r, 13, &MorrisCounter::new(0.02).unwrap());
+        let mut approx = CountMinSketch::new(w, r, 13, &MorrisCounter::new(0.02).unwrap());
         let zipf = Zipf::new(200, 1.2).unwrap();
         for _ in 0..100_000 {
             let k = zipf.sample(&mut rng);
@@ -191,10 +187,7 @@ mod tests {
         for k in 1..=5u64 {
             let e = exact.estimate(k);
             let a = approx.estimate(k);
-            assert!(
-                (a - e).abs() / e < 0.3,
-                "key {k}: exact {e} vs approx {a}"
-            );
+            assert!((a - e).abs() / e < 0.3, "key {k}: exact {e} vs approx {a}");
         }
         // And the approximate cells are cheaper.
         assert!(

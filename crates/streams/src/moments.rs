@@ -54,13 +54,7 @@ impl AmsMomentEstimator {
         let suffix = MorrisCounter::new(a)?;
         Ok(Self {
             k,
-            copies: vec![
-                AmsCopy {
-                    item: None,
-                    suffix,
-                };
-                copies
-            ],
+            copies: vec![AmsCopy { item: None, suffix }; copies],
             n: 0,
         })
     }

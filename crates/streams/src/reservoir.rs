@@ -98,8 +98,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive capacity")]
     fn rejects_zero_capacity() {
-        let _: ApproxReservoir<u64, ExactCounter> =
-            ApproxReservoir::new(0, ExactCounter::new());
+        let _: ApproxReservoir<u64, ExactCounter> = ApproxReservoir::new(0, ExactCounter::new());
     }
 
     #[test]
@@ -183,7 +182,11 @@ mod tests {
             r.offer(i, &mut rng);
         }
         assert_eq!(r.items_seen(), 1_000_000);
-        assert!(r.length_counter_bits() < 10, "bits={}", r.length_counter_bits());
+        assert!(
+            r.length_counter_bits() < 10,
+            "bits={}",
+            r.length_counter_bits()
+        );
         let rel = (r.estimated_length() - 1.0e6).abs() / 1.0e6;
         // sd ≈ sqrt(a/2) ≈ 22 %; allow a wide band.
         assert!(rel < 0.9, "length rel err {rel}");

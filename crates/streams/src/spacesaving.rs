@@ -232,8 +232,7 @@ mod tests {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
         let k = 16;
         let mut exact = SpaceSaving::new(k, &ExactCounter::new());
-        let mut approx =
-            SpaceSaving::new(k, &ac_core::MorrisCounter::new(0.3).unwrap());
+        let mut approx = SpaceSaving::new(k, &ac_core::MorrisCounter::new(0.3).unwrap());
         for &x in &stream {
             exact.offer(x, &mut rng);
             approx.offer(x, &mut rng);

@@ -44,7 +44,10 @@ fn main() {
     let rel = (est - total as f64).abs() / total as f64;
     println!("\ncoordinator after merging all 10 counters:");
     println!("  true total : {total}");
-    println!("  estimate   : {est:.0}  (relative error {:.2}%)", 100.0 * rel);
+    println!(
+        "  estimate   : {est:.0}  (relative error {:.2}%)",
+        100.0 * rel
+    );
     println!("  state      : {} bits", global.state_bits());
     println!(
         "\nRemark 2.4: the merged counter follows the same distribution as one\n\

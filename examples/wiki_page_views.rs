@@ -7,7 +7,6 @@
 //! cargo run --release --example wiki_page_views
 //! ```
 
-
 use approx_counting::prelude::*;
 use approx_counting::randkit::Zipf;
 
@@ -36,12 +35,25 @@ fn main() {
     }
 
     println!("top pages (true vs estimated views):");
-    println!("{:<10} {:>12} {:>12} {:>9}", "page", "true", "estimate", "rel err");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "page", "true", "estimate", "rel err"
+    );
     for page in [0usize, 1, 2, 10, 100, 1_000] {
         let t = truth[page];
         let e = array.estimate(page);
-        let rel = if t > 0 { (e - t as f64).abs() / t as f64 } else { 0.0 };
-        println!("{:<10} {:>12} {:>12.0} {:>8.2}%", page + 1, t, e, 100.0 * rel);
+        let rel = if t > 0 {
+            (e - t as f64).abs() / t as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<10} {:>12} {:>12.0} {:>8.2}%",
+            page + 1,
+            t,
+            e,
+            100.0 * rel
+        );
     }
 
     // Storage accounting. A production table provisions every slot wide
@@ -52,24 +64,48 @@ fn main() {
     let worst_level = MorrisCounter::expected_level(a, views).ceil() as u64 * 2;
     let morris_slot = approx_counting::bitio::bit_len(worst_level);
     println!("\nprovisioned fixed-width slots (any page could receive all views):");
-    println!("  exact : {exact_slot} bits/slot -> {} bits total", u64::from(exact_slot) * pages as u64);
-    println!("  morris: {morris_slot} bits/slot -> {} bits total", u64::from(morris_slot) * pages as u64);
+    println!(
+        "  exact : {exact_slot} bits/slot -> {} bits total",
+        u64::from(exact_slot) * pages as u64
+    );
+    println!(
+        "  morris: {morris_slot} bits/slot -> {} bits total",
+        u64::from(morris_slot) * pages as u64
+    );
 
     // Measured storage for the *current* state (Zipf tails are tiny, so
     // small pages cost the same either way — the win concentrates on the
     // busy pages and on provisioning).
-    let exact_bits: u64 = truth.iter().map(|&c| u64::from(approx_counting::bitio::bit_len(c))).sum();
+    let exact_bits: u64 = truth
+        .iter()
+        .map(|&c| u64::from(approx_counting::bitio::bit_len(c)))
+        .sum();
     let approx_bits = array.total_state_bits();
     let packed = array.pack();
     println!("\nmeasured register bits for the current counts:");
-    println!("  exact registers : {:>9} bits ({:.1}/counter)", exact_bits, exact_bits as f64 / pages as f64);
-    println!("  morris registers: {:>9} bits ({:.1}/counter)", approx_bits, approx_bits as f64 / pages as f64);
-    println!("  packed (Elias-d): {:>9} bits ({:.1}/counter)", packed.len(), packed.len() as f64 / pages as f64);
+    println!(
+        "  exact registers : {:>9} bits ({:.1}/counter)",
+        exact_bits,
+        exact_bits as f64 / pages as f64
+    );
+    println!(
+        "  morris registers: {:>9} bits ({:.1}/counter)",
+        approx_bits,
+        approx_bits as f64 / pages as f64
+    );
+    println!(
+        "  packed (Elias-d): {:>9} bits ({:.1}/counter)",
+        packed.len(),
+        packed.len() as f64 / pages as f64
+    );
 
     // Round-trip through the packed representation: nothing is lost.
     let restored = CounterArray::unpack(&MorrisCounter::new(a).unwrap(), pages, &packed);
     assert!((0..pages).all(|k| restored.estimate(k) == array.estimate(k)));
-    println!("\npacked bit-stream round-trips exactly ({} bits total).", packed.len());
+    println!(
+        "\npacked bit-stream round-trips exactly ({} bits total).",
+        packed.len()
+    );
 
     // How much total error did approximation introduce on busy pages?
     let mut worst: f64 = 0.0;
@@ -80,5 +116,8 @@ fn main() {
             worst = worst.max((array.estimate(k) - t as f64).abs() / t as f64);
         }
     }
-    println!("worst relative error over the {busy} pages with >= 1000 views: {:.2}%", 100.0 * worst);
+    println!(
+        "worst relative error over the {busy} pages with >= 1000 views: {:.2}%",
+        100.0 * worst
+    );
 }

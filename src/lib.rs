@@ -38,9 +38,9 @@
 //! assert!(counter.state_bits() < 40, "bits: {}", counter.state_bits());
 //! ```
 //!
-//! See `README.md` for the architecture overview, `DESIGN.md` for the
-//! system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
-//! record of every figure and claim.
+//! See `README.md` for the architecture overview, build instructions,
+//! and the experiment/CI workflow (each `ac-bench` binary reproduces one
+//! figure or claim and prints a `VERDICT:` line).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -58,8 +58,8 @@ pub mod prelude {
     pub use ac_bitio::StateBits;
     pub use ac_core::{
         budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
-        AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter,
-        MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
+        AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter, MorrisCounter,
+        MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
     };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};

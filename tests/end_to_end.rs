@@ -38,8 +38,14 @@ fn figure1_pipeline_micro() {
     assert!(chart.contains('*') && chart.contains('o'));
 
     let mut table = Table::new(vec!["algo", "max err"]);
-    table.row(vec!["morris".into(), format!("{:.4}", m.error_ecdf().max())]);
-    table.row(vec!["csuros".into(), format!("{:.4}", c.error_ecdf().max())]);
+    table.row(vec![
+        "morris".into(),
+        format!("{:.4}", m.error_ecdf().max()),
+    ]);
+    table.row(vec![
+        "csuros".into(),
+        format!("{:.4}", c.error_ecdf().max()),
+    ]);
     assert_eq!(table.to_markdown().lines().count(), 4);
 }
 

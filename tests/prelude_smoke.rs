@@ -1,0 +1,178 @@
+//! Workspace smoke test: every `approx_counting::prelude` export is
+//! constructed and exercised through the facade, so a broken re-export
+//! (or a prelude item whose API drifted) fails this suite rather than
+//! shipping.
+//!
+//! Each test touches one corner of the prelude; together they cover
+//! every name it exports.
+
+use approx_counting::prelude::*;
+
+#[test]
+fn core_counters_count() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+    let n = 100_000u64;
+
+    let mut exact = ExactCounter::new();
+    exact.increment_by(n, &mut rng);
+    assert_eq!(exact.estimate(), n as f64);
+
+    let mut morris = MorrisCounter::classic();
+    morris.increment_by(n, &mut rng);
+    assert!(morris.estimate() > 0.0);
+    assert!(morris.state_bits() > 0);
+
+    let mut plus = MorrisPlus::new(0.1, 10).unwrap();
+    plus.increment_by(n, &mut rng);
+    assert!((plus.estimate() - n as f64).abs() < 0.5 * n as f64);
+
+    let mut ny = NelsonYuCounter::new(NyParams::new(0.1, 10).unwrap());
+    ny.increment_by(n, &mut rng);
+    assert!((ny.estimate() - n as f64).abs() < 0.5 * n as f64);
+
+    let mut cs = CsurosCounter::new(6).unwrap();
+    cs.increment_by(n, &mut rng);
+    assert!((cs.estimate() - n as f64).abs() < 0.5 * n as f64);
+
+    let mut avg = AveragedMorris::new(8, 1.0).unwrap();
+    avg.increment_by(n, &mut rng);
+    assert!(avg.estimate() > 0.0);
+
+    let mut ea = ExactAlphaNelsonYu::new(NyParams::new(0.2, 8).unwrap());
+    ea.increment_by(10_000, &mut rng);
+    assert!(ea.estimate() > 0.0);
+}
+
+#[test]
+fn approx_counter_trait_objects_and_audits() {
+    // The prelude's `ApproxCounter` supports dynamic dispatch, and every
+    // counter's audit agrees with its `StateBits` implementation.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+    let counters: Vec<Box<dyn ApproxCounter>> = vec![
+        Box::new(ExactCounter::new()),
+        Box::new(MorrisCounter::classic()),
+        Box::new(MorrisPlus::new(0.2, 8).unwrap()),
+        Box::new(NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap())),
+        Box::new(CsurosCounter::new(4).unwrap()),
+    ];
+    for mut c in counters {
+        c.increment_by(5_000, &mut rng);
+        assert!(!c.name().is_empty());
+        assert_eq!(
+            c.memory_audit().total_bits(),
+            c.state_bits(),
+            "{}",
+            c.name()
+        );
+    }
+}
+
+#[test]
+fn core_free_functions_and_errors() {
+    let a = morris_a(0.1, 10).unwrap();
+    assert!(a > 0.0);
+    assert!(morris_plus_cutoff(a) > 0);
+
+    let dist = exact_level_distribution(1.0, 10);
+    assert_eq!(dist.len(), 11);
+    assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    // CoreError is exported and returned for bad parameters.
+    let err: CoreError = MorrisPlus::new(2.0, 10).unwrap_err();
+    assert!(!err.to_string().is_empty());
+
+    // Budget planners fit a counter into a bit budget.
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+    let mut planned = budget::plan_morris(16, 999_999, 6.0).unwrap();
+    planned.increment_by(999_999, &mut rng);
+    assert!(planned.peak_state_bits() <= 16);
+}
+
+#[test]
+fn promise_decider_decides() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+    let t = 100_000u64;
+    let mut low = PromiseDecider::new(t, 0.3, 6, 300.0).unwrap();
+    low.increment_by(t / 2, &mut rng);
+    assert_eq!(low.answer(), PromiseAnswer::Below);
+
+    let mut high = PromiseDecider::new(t, 0.3, 6, 300.0).unwrap();
+    high.increment_by(2 * t, &mut rng);
+    assert_eq!(high.answer(), PromiseAnswer::Above);
+}
+
+#[test]
+fn randkit_sources_are_deterministic() {
+    // Both generators implement the `RandomSource` trait object surface.
+    let mut a: Box<dyn RandomSource> = Box::new(Xoshiro256PlusPlus::seed_from_u64(7));
+    let mut b: Box<dyn RandomSource> = Box::new(SplitMix64::seed_from_u64(7));
+    let xa = a.next_u64();
+    let xb = b.next_u64();
+    assert_eq!(Xoshiro256PlusPlus::seed_from_u64(7).next_u64(), xa);
+    assert_eq!(SplitMix64::seed_from_u64(7).next_u64(), xb);
+
+    // trial_seed decorrelates trial indices.
+    assert_ne!(trial_seed(0, 0), trial_seed(0, 1));
+}
+
+#[test]
+fn state_bits_is_usable_as_a_bound() {
+    fn bits<T: StateBits>(x: &T) -> u64 {
+        x.state_bits()
+    }
+    let c = MorrisCounter::classic();
+    assert_eq!(bits(&c), c.state_bits());
+    assert!(c.peak_state_bits() >= c.state_bits());
+}
+
+#[test]
+fn sim_runner_runs_both_modes_and_workloads() {
+    let counter = MorrisCounter::new(0.5).unwrap();
+    for mode in [ExecutionMode::FastForward, ExecutionMode::StepByStep] {
+        let results = TrialRunner::new(Workload::uniform(500, 999), 32)
+            .with_seed(9)
+            .with_mode(mode)
+            .run(&counter);
+        assert_eq!(results.len(), 32);
+        assert!(results.abs_rel_errors().iter().all(|e| e.is_finite()));
+    }
+    // Fixed workloads and reproducibility across runs.
+    let r1 = TrialRunner::new(Workload::fixed(10_000), 16)
+        .with_seed(11)
+        .run(&counter);
+    let r2 = TrialRunner::new(Workload::fixed(10_000), 16)
+        .with_seed(11)
+        .run(&counter);
+    assert_eq!(r1.estimates(), r2.estimates());
+}
+
+#[test]
+fn streams_consumers_consume() {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+    let template = MorrisCounter::new(0.25).unwrap();
+
+    let mut array = CounterArray::new(&template, 8);
+    for key in 0..8 {
+        array.increment_by(key, 1_000, &mut rng);
+    }
+    assert!(array.total_estimate() > 0.0);
+    assert!(array.total_state_bits() > 0);
+
+    let mut dict: ApproxCountingDict<&str, _> = ApproxCountingDict::new(&template);
+    dict.increment_by("wiki/Main_Page", 500, &mut rng);
+    dict.increment("wiki/Main_Page", &mut rng);
+    assert!(dict.estimate("wiki/Main_Page") > 0.0);
+    assert_eq!(dict.len(), 1);
+
+    let mut cms = CountMinSketch::new(64, 3, 42, &template);
+    cms.offer_many(123, 2_000, &mut rng);
+    assert!(cms.estimate(123) > 0.0);
+
+    let mut ss = SpaceSaving::new(4, &template);
+    for item in [1u64, 1, 1, 2, 2, 3, 4, 5, 1, 1] {
+        ss.offer(item, &mut rng);
+    }
+    let report = ss.report();
+    assert!(!report.is_empty());
+    assert_eq!(ss.items_seen(), 10);
+}

@@ -1,0 +1,285 @@
+//! Vendored, offline subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds with no network access, so the real crates.io
+//! release cannot be fetched. This stub keeps the same bench-authoring
+//! API (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `Bencher::iter` / `iter_batched`, throughput annotations) but replaces
+//! the statistical machinery with a simple calibrated timing loop: each
+//! benchmark is warmed up, then measured for a fixed wall-clock window,
+//! and the mean time per iteration is printed as
+//! `group/name ... <mean> ns/iter (<throughput>)`.
+//!
+//! Under `cargo test` (which runs `harness = false` bench targets with
+//! `--test`) every benchmark executes exactly one iteration, so benches
+//! stay compile- and run-checked without burning CI time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input: batches of many iterations.
+    SmallInput,
+    /// Large routine input: smaller batches.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    measure_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            measure_window: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test`); returns `self` for
+    /// drop-in compatibility with the real API.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        let window = self.measure_window;
+        run_one(id, None, test_mode, window, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/size settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's sampling is time-boxed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.measure_window = window.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Benchmarks one function in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.test_mode,
+            self.criterion.measure_window,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    window: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { 0 },
+        window,
+        total: Duration::ZERO,
+        executed: 0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (test mode)");
+        return;
+    }
+    let mean_ns = if b.executed == 0 {
+        f64::NAN
+    } else {
+        b.total.as_secs_f64() * 1e9 / b.executed as f64
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns.is_finite() && mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns * 1e-9);
+            println!("{label}: {mean_ns:.1} ns/iter ({rate:.3e} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) if mean_ns.is_finite() && mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns * 1e-9) / (1 << 20) as f64;
+            println!("{label}: {mean_ns:.1} ns/iter ({rate:.1} MiB/s)");
+        }
+        _ => println!("{label}: {mean_ns:.1} ns/iter"),
+    }
+}
+
+/// Passed to each benchmark closure; runs the timing loops.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Nonzero forces exactly that many iterations (test mode).
+    iters: u64,
+    window: Duration,
+    total: Duration,
+    executed: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.iters > 0 {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), self.iters);
+            return;
+        }
+        // Calibrate: find an iteration count that fills ~1/8 window.
+        let mut n = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= self.window / 8 || n >= 1 << 30 {
+                self.record(took, n);
+                break;
+            }
+            n *= 2;
+        }
+        // Measure until the window is spent.
+        let deadline = Instant::now() + self.window;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            self.record(start.elapsed(), n);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let reps = if self.iters > 0 {
+            self.iters
+        } else {
+            // Time-boxed: run batches until the window is spent, at least
+            // three reps so the mean is not a single sample.
+            let deadline = Instant::now() + self.window;
+            let mut reps = 0u64;
+            while reps < 3 || Instant::now() < deadline {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.record(start.elapsed(), 1);
+                reps += 1;
+                if reps >= 10_000 {
+                    break;
+                }
+            }
+            return;
+        };
+        for _ in 0..reps {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record(start.elapsed(), 1);
+        }
+    }
+
+    fn record(&mut self, took: Duration, iters: u64) {
+        self.total += took;
+        self.executed += iters;
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

@@ -1,0 +1,119 @@
+//! Vendored, offline subset of the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! This workspace builds with no network access, so the real crates.io
+//! release cannot be fetched. This stub reimplements exactly the surface
+//! the workspace's property tests use, with the same names and semantics:
+//!
+//! * the [`proptest!`] macro (doc comments + `#[test]` + `pat in strategy`
+//!   argument lists),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies over the primitive numeric types,
+//!   [`arbitrary::any`], tuple strategies, [`collection::vec`], and
+//!   [`strategy::Just`].
+//!
+//! Unlike the real proptest there is **no shrinking** and no persisted
+//! failure file: a failing case panics with the generated inputs'
+//! formatted message and the case's seed. Case count defaults to 64 and
+//! can be raised with `PROPTEST_CASES=n`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude`: everything the test files import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests.
+///
+/// Each item is an ordinary test function whose arguments are drawn from
+/// strategies: `fn name(x in 0u64..100, v in prop::collection::vec(...))`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), __pt_rng);
+                    )*
+                    {
+                        $body
+                    }
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Like `assert!`, but reports the failing case through the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports the failing case through the runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{l:?}`\n right: `{r:?}`"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{l:?}`\n right: `{r:?}`\n{}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports the failing case through the runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  left: `{l:?}`\n right: `{r:?}`"
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case without counting it as a run.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}

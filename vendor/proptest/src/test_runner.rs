@@ -1,0 +1,113 @@
+//! The case loop: deterministic seeding, rejection bookkeeping, failure
+//! reporting. No shrinking — the failing seed is printed instead.
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's assumptions did not hold; it is not counted.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (vacuous) case.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic 64-bit generator (SplitMix64) driving all strategies.
+///
+/// Self-contained so the stub has no dependencies (the workspace's own
+/// `ac-randkit` dev-depends on this crate).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % bound
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `body` against `cases()` generated inputs.
+///
+/// The per-case seed is derived from the test name and the case index, so
+/// failures are reproducible and independent of test ordering.
+pub fn run<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let target = cases();
+    let max_rejects = target.saturating_mul(16).max(1024);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while accepted < target {
+        let seed = base ^ case.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let mut rng = TestRng::new(seed);
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected}); \
+                     last assumption: {why}"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {case} (seed {seed:#018x}):\n{msg}");
+            }
+        }
+        case += 1;
+    }
+}
