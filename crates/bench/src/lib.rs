@@ -18,6 +18,7 @@
 //! | `exp_many_counters` | E9 — the "many counters" deployment |
 //! | `exp_ablations` | E10 — constant `C`, α rounding, promise constant |
 //! | `exp_space_tail` | E11 — Theorem 2.3's doubly-exponential tail |
+//! | `exp_engine_throughput` | E12 — batched fast-forward speedups + the sharded `ac-engine` workload |
 //!
 //! Every binary accepts `--quick` to run a reduced-size version (used by
 //! the integration tests) and prints a self-contained report: parameters,

@@ -1,5 +1,6 @@
-//! The [`ApproxCounter`] trait.
+//! The [`ApproxCounter`] and [`Mergeable`] traits.
 
+use crate::CoreError;
 use ac_bitio::StateBits;
 use ac_randkit::RandomSource;
 
@@ -29,8 +30,20 @@ pub trait ApproxCounter: StateBits {
     /// Processes `n` increments, with a state distribution identical to
     /// calling [`ApproxCounter::increment`] `n` times.
     ///
-    /// Implementations override this with transition-count-proportional
-    /// fast-forwarding; the default loops.
+    /// Every counter family in this crate overrides the looping default
+    /// with a transition-count-proportional fast-forward — the batched
+    /// path is the intended default for heavy workloads:
+    ///
+    /// * `Morris(a)` / Morris+ — one geometric draw per level reached
+    ///   (the §2.2 `Z_i` decomposition);
+    /// * Nelson–Yu — one `Binomial(n, α)` subsampling draw, plus one
+    ///   re-thinning draw per epoch crossed;
+    /// * Csűrös — one `Binomial(n, 2^{-u})` draw, plus one halving draw
+    ///   per exponent crossed.
+    ///
+    /// Cost is `O(state transitions + epochs crossed)` — never `O(n)` —
+    /// and cross-family property tests pin the resulting state
+    /// distribution to the step-by-step one (chi²/KS over a seed grid).
     fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
         for _ in 0..n {
             self.increment(rng);
@@ -47,6 +60,25 @@ pub trait ApproxCounter: StateBits {
 
     /// Returns the counter to its freshly initialized state.
     fn reset(&mut self);
+}
+
+/// Counters whose states can be combined: after
+/// [`Mergeable::merge_from`], `self` is distributed as if it had processed
+/// the increment streams of *both* counters.
+///
+/// This is the paper's Remark 2.4 ("fully mergeable") for the Nelson–Yu
+/// counter, `[CY20 §2.1]` for the Morris family, and exact addition for
+/// [`ExactCounter`](crate::ExactCounter) — the law that lets sharded
+/// deployments (e.g. `ac-engine`) aggregate per-shard counters into a
+/// global one without touching the raw stream.
+pub trait Mergeable: Sized {
+    /// Merges `other` into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MergeMismatch`] when the two counters'
+    /// parameter schedules are incompatible.
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError>;
 }
 
 #[cfg(test)]

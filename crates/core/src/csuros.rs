@@ -10,7 +10,15 @@
 
 use crate::{ApproxCounter, CoreError};
 use ac_bitio::{bit_len, MemoryAudit, StateBits};
-use ac_randkit::{BernoulliPow2, Geometric, RandomSource};
+use ac_randkit::{BernoulliPow2, RandomSource};
+
+/// Largest permitted mantissa width. Two constraints meet here: the
+/// estimator needs `2^d + v` exactly representable in an `f64` (`d ≤ 52`
+/// would suffice for the mantissa alone; 58 keeps the full `(2^d + v)·2^u`
+/// product exact in every experiment's range), and every mask/boundary
+/// shift `1u64 << d` must be well-defined (`d < 64` — for `d ≥ 64` the
+/// shift would panic in debug builds and silently wrap in release).
+const MAX_MANTISSA_BITS: u32 = 58;
 
 /// The floating-point counter: a single register `x`, interpreted as an
 /// exponent `u = x >> d` and a `d`-bit mantissa `v = x & (2^d − 1)`;
@@ -38,11 +46,13 @@ impl CsurosCounter {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidConstant`] if `d > 58` (the estimator
-    /// would overflow the `u64`/`f64` interplay long before that in
-    /// practice; 58 keeps `2^d + v` exactly representable).
+    /// Returns [`CoreError::InvalidConstant`] if
+    /// `d > `[`MAX_MANTISSA_BITS`]` = 58`. The bound both keeps the
+    /// estimator exact in `f64` and guarantees every internal
+    /// `1u64 << d` mask/boundary computation is well-defined (`d ≥ 64`
+    /// would panic in debug builds and wrap in release).
     pub fn new(d: u32) -> Result<Self, CoreError> {
-        if d > 58 {
+        if d > MAX_MANTISSA_BITS {
             return Err(CoreError::InvalidConstant { got: f64::from(d) });
         }
         let mut this = Self {
@@ -84,10 +94,18 @@ impl CsurosCounter {
         self.x >> self.d
     }
 
+    /// The mantissa mask `2^d − 1`. Construction guarantees
+    /// `d ≤ `[`MAX_MANTISSA_BITS`], so the shift cannot overflow.
+    #[inline]
+    fn mantissa_mask(&self) -> u64 {
+        debug_assert!(self.d <= MAX_MANTISSA_BITS);
+        (1u64 << self.d) - 1
+    }
+
     /// The current mantissa `v = x & (2^d − 1)`.
     #[must_use]
     pub fn mantissa(&self) -> u64 {
-        self.x & ((1u64 << self.d) - 1)
+        self.x & self.mantissa_mask()
     }
 
     /// The register cap, if any.
@@ -155,40 +173,59 @@ impl CsurosCounter {
         } else {
             std::mem::replace(&mut self.x, other.x)
         };
-        let (lo_u, lo_v) = (lo_x >> self.d, lo_x & ((1u64 << self.d) - 1));
+        let (lo_u, lo_v) = (lo_x >> self.d, lo_x & self.mantissa_mask());
         for u_i in 0..=lo_u {
-            let mut remaining = if u_i == lo_u { lo_v } else { 1u64 << self.d };
-            while remaining > 0 && !self.saturated() {
-                let dt = self.exponent() - u_i; // rate 2^-dt, non-increasing
-                if dt == 0 {
-                    // Accept in bulk up to the next exponent boundary.
-                    let boundary = (self.exponent() + 1) << self.d;
-                    let take = remaining.min(boundary - self.x).min(
-                        self.x_cap
-                            .map_or(u64::MAX, |cap| cap.saturating_sub(self.x)),
-                    );
-                    if take == 0 {
-                        break;
-                    }
-                    self.x += take;
-                    remaining -= take;
-                } else {
-                    let p = (-(dt as f64)).exp2();
-                    match Geometric::new(p)
-                        .expect("2^-dt in (0,1]")
-                        .sample_within(remaining, rng)
-                    {
-                        Some(consumed) => {
-                            remaining -= consumed;
-                            self.x += 1;
-                        }
-                        None => remaining = 0,
-                    }
-                }
+            if self.saturated() {
+                break;
             }
+            let survivors = if u_i == lo_u { lo_v } else { 1u64 << self.d };
+            self.absorb_survivors(survivors, u_i, rng);
         }
         self.peak = self.peak.max(self.state_bits());
         Ok(())
+    }
+
+    /// Absorbs `count` survivors that were accepted at rate `2^{-u_src}`
+    /// (with `u_src ≤ u`) into the register, re-thinning by `1/2` at every
+    /// exponent boundary crossed.
+    ///
+    /// Binomial thinning composes — a survivor at rate `2^{-u_src}` kept
+    /// with probability `2^{-(u − u_src)}` is exactly a survivor at rate
+    /// `2^{-u}` — so one bulk draw per exponent stretch reproduces the
+    /// per-trial dynamics. Raw increments are survivors at rate 1
+    /// (`u_src = 0`); the Remark 2.4-style merge feeds each completed
+    /// exponent's `2^d` survivors through the same path.
+    fn absorb_survivors(&mut self, count: u64, u_src: u64, rng: &mut dyn RandomSource) {
+        debug_assert!(u_src <= self.exponent(), "rates must be non-increasing");
+        let dt = self.exponent() - u_src;
+        let mut pending = if dt == 0 {
+            count
+        } else {
+            BernoulliPow2::new(dt.min(u64::from(u32::MAX)) as u32).sample_n(count, rng)
+        };
+        while pending > 0 && !self.saturated() {
+            // Fill up to the next exponent boundary (or the cap).
+            let boundary = (self.exponent() + 1).saturating_mul(1u64 << self.d);
+            let take = pending.min(boundary - self.x).min(
+                self.x_cap
+                    .map_or(u64::MAX, |cap| cap.saturating_sub(self.x)),
+            );
+            self.x += take;
+            pending -= take;
+            if pending > 0 && self.x == boundary && !self.saturated() {
+                // Crossed into exponent u+1: the sampling rate halves, so
+                // each not-yet-landed survivor is kept with probability
+                // 1/2 — one Binomial(pending, 1/2) draw.
+                pending = BernoulliPow2::new(1).sample_n(pending, rng);
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+}
+
+impl crate::Mergeable for CsurosCounter {
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError> {
+        CsurosCounter::merge_from(self, other, rng)
     }
 }
 
@@ -226,42 +263,14 @@ impl ApproxCounter for CsurosCounter {
         }
     }
 
-    /// Fast-forward: within the exponent-`u` stretch the survival rate is
-    /// constant `2^{-u}`, so survivors arrive after geometric waits; the
-    /// initial `u = 0` stretch is deterministic.
+    /// Fast-forward by per-exponent binomial subsampling: one
+    /// `Binomial(n, 2^{-u})` draw resolves the whole batch at the current
+    /// rate, and each exponent boundary crossed re-thins the remainder by
+    /// `1/2` with one more draw — `O(1 + exponents crossed)` bulk draws,
+    /// versus `n` coins for the loop (or `2^d` geometric draws per
+    /// exponent stretch).
     fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
-        let mut budget = n;
-        while budget > 0 && !self.saturated() {
-            let u = self.exponent();
-            if u == 0 {
-                // Deterministic stretch up to the end of exponent 0.
-                let boundary = 1u64 << self.d;
-                let room = boundary - self.x;
-                let take = budget.min(room).min(
-                    self.x_cap
-                        .map_or(u64::MAX, |cap| cap.saturating_sub(self.x)),
-                );
-                if take == 0 {
-                    break;
-                }
-                self.x += take;
-                budget -= take;
-            } else {
-                let p = (-(u as f64)).exp2();
-                if p < f64::MIN_POSITIVE {
-                    break;
-                }
-                let geo = Geometric::new(p).expect("p in (0,1]");
-                match geo.sample_within(budget, rng) {
-                    Some(z) => {
-                        budget -= z;
-                        self.x += 1;
-                    }
-                    None => budget = 0,
-                }
-            }
-        }
-        self.peak = self.peak.max(self.state_bits());
+        self.absorb_survivors(n, 0, rng);
     }
 
     fn estimate(&self) -> f64 {
@@ -289,6 +298,28 @@ mod tests {
     fn rejects_oversized_mantissa() {
         assert!(CsurosCounter::new(59).is_err());
         assert!(CsurosCounter::new(58).is_ok());
+    }
+
+    #[test]
+    fn mantissa_width_boundary_cannot_reach_shift_overflow() {
+        // d ≥ 64 would make `1u64 << d` overflow; construction must reject
+        // everything past MAX_MANTISSA_BITS on both constructors, so no
+        // reachable counter can hit the overflowing shift.
+        for d in [59u32, 63, 64, 65, 1_000, u32::MAX] {
+            assert!(
+                matches!(
+                    CsurosCounter::new(d),
+                    Err(CoreError::InvalidConstant { .. })
+                ),
+                "d={d} must be rejected"
+            );
+            assert!(CsurosCounter::with_cap(d, 100).is_err(), "d={d} via cap");
+        }
+        // The accepted boundary still has well-defined masks.
+        let mut c = CsurosCounter::new(58).unwrap();
+        c.set_register((1u64 << 58) | 5);
+        assert_eq!(c.exponent(), 1);
+        assert_eq!(c.mantissa(), 5);
     }
 
     #[test]

@@ -42,6 +42,20 @@ impl StateBits for ExactCounter {
     }
 }
 
+impl crate::Mergeable for ExactCounter {
+    /// Exact counters merge by exact addition (saturating at `u64::MAX`);
+    /// no randomness is consumed.
+    fn merge_from(
+        &mut self,
+        other: &Self,
+        _rng: &mut dyn RandomSource,
+    ) -> Result<(), crate::CoreError> {
+        self.n = self.n.saturating_add(other.n);
+        self.peak = self.peak.max(self.state_bits());
+        Ok(())
+    }
+}
+
 impl ApproxCounter for ExactCounter {
     fn name(&self) -> &'static str {
         "exact"

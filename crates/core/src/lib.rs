@@ -68,7 +68,7 @@ pub mod params;
 mod promise;
 
 pub use averaged::AveragedMorris;
-pub use counter::ApproxCounter;
+pub use counter::{ApproxCounter, Mergeable};
 pub use csuros::CsurosCounter;
 pub use error::CoreError;
 pub use exact::ExactCounter;

@@ -45,13 +45,15 @@ impl MorrisCounter {
         if !(a.is_finite() && a > 0.0) {
             return Err(CoreError::InvalidBase { got: a });
         }
-        Ok(Self {
+        let mut this = Self {
             x: 0,
             a,
             ln1a: a.ln_1p(),
             x_cap: None,
-            peak: u64::from(bit_len(0)),
-        })
+            peak: 0,
+        };
+        this.peak = this.state_bits();
+        Ok(this)
     }
 
     /// Creates `Morris(a)` whose level register saturates at `x_cap`
@@ -135,6 +137,11 @@ impl MorrisCounter {
     /// `j = 1..=min(X₁, X₂)` of the other counter, incrementing `X` with
     /// probability `(1+a)^{j-1-X}`.
     ///
+    /// Capped counters: if the replay saturates the register the remaining
+    /// levels are absorbed without drawing randomness — exactly as the
+    /// sequential counter ignores increments past its cap — and the merged
+    /// counter sits at the cap.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::MergeMismatch`] if the base parameters or caps
@@ -155,6 +162,13 @@ impl MorrisCounter {
         let (hi, lo) = (self.x.max(other.x), self.x.min(other.x));
         self.x = hi;
         for j in 1..=lo {
+            if self.saturated() {
+                // Saturated-merge semantics: once the register hits its
+                // cap it absorbs all further increments, so the remaining
+                // replay levels cannot move it — stop instead of drawing
+                // (and discarding) a Bernoulli sample per level.
+                break;
+            }
             // Accept with probability (1+a)^(j-1-X): one level of the
             // smaller counter "weighs" (1+a)^(j-1) increments relative to
             // the current acceptance rate (1+a)^(-X).
@@ -163,13 +177,18 @@ impl MorrisCounter {
             if Bernoulli::new(p.min(1.0))
                 .expect("probability in range")
                 .sample(rng)
-                && !self.saturated()
             {
                 self.x += 1;
             }
         }
         self.peak = self.peak.max(self.state_bits());
         Ok(())
+    }
+}
+
+impl crate::Mergeable for MorrisCounter {
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError> {
+        MorrisCounter::merge_from(self, other, rng)
     }
 }
 
@@ -274,7 +293,10 @@ impl ApproxCounter for MorrisCounter {
 
     fn reset(&mut self) {
         self.x = 0;
-        self.peak = u64::from(bit_len(0));
+        // Recompute from state_bits() (as `new` does) rather than assuming
+        // the representation, so a reset counter's peak always agrees with
+        // a fresh one's.
+        self.peak = self.state_bits();
     }
 }
 

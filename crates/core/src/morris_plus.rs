@@ -139,6 +139,12 @@ impl MorrisPlus {
     }
 }
 
+impl crate::Mergeable for MorrisPlus {
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError> {
+        MorrisPlus::merge_from(self, other, rng)
+    }
+}
+
 impl StateBits for MorrisPlus {
     fn state_bits(&self) -> u64 {
         // The prefix register and the Morris level are both live state.
@@ -170,6 +176,10 @@ impl ApproxCounter for MorrisPlus {
         self.peak = self.peak.max(self.state_bits());
     }
 
+    /// Fast-forward by delegating to each sub-counter's batched path: the
+    /// deterministic prefix advances in O(1) arithmetic and the Morris
+    /// part rides [`MorrisCounter::increment_by`]'s §2.2 geometric
+    /// decomposition, so the whole update is O(levels), never O(n).
     fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
         self.prefix = self.prefix.saturating_add(n).min(self.cutoff + 1);
         self.morris.increment_by(n, rng);

@@ -13,11 +13,16 @@
 //! ([`BernoulliPow2`](ac_randkit::BernoulliPow2)); `α` is rounded up to an
 //! inverse power of two so the `Y`-rescale on epoch change
 //! (`Y ← ⌊Y·α_new/α_old⌋`) is a right shift.
+//!
+//! Batch updates ([`ApproxCounter::increment_by`]) and merges run on the
+//! same per-epoch decomposition, replacing per-trial coins with one
+//! `Binomial` subsampling draw per epoch (see
+//! [`BernoulliPow2::sample_n`](ac_randkit::BernoulliPow2::sample_n)).
 
 use crate::params::NyParams;
 use crate::{ApproxCounter, CoreError};
 use ac_bitio::{bit_len, MemoryAudit, StateBits};
-use ac_randkit::{BernoulliPow2, Geometric, RandomSource};
+use ac_randkit::{BernoulliPow2, RandomSource};
 
 /// The Nelson–Yu counter (Algorithm 1), achieving
 /// `O(log log N + log(1/ε) + log log(1/δ))` bits with the
@@ -156,6 +161,44 @@ impl NelsonYuCounter {
         self.peak = self.peak.max(self.state_bits());
     }
 
+    /// Absorbs `count` survivors that were accepted at sampling rate
+    /// `2^{-t_src}` (with `t_src ≤ t`) into `Y`, re-thinning across every
+    /// epoch advance.
+    ///
+    /// This is the batched engine behind both [`ApproxCounter::increment_by`]
+    /// (raw increments are "survivors at rate 1", `t_src = 0`) and the
+    /// Remark 2.4 merge replay. Correctness rests on the fact that
+    /// Bernoulli thinning composes: a trial that survived rate `2^{-t_src}`
+    /// and an independent keep with probability `2^{-(t − t_src)}` is
+    /// exactly a survivor at rate `2^{-t}`, so one `Binomial` draw per
+    /// epoch reproduces the per-trial dynamics — the pending survivors
+    /// past an epoch boundary are precisely the trials the sequential
+    /// counter would have flipped at the new, lower rate.
+    fn absorb_survivors(&mut self, count: u64, t_src: u32, rng: &mut dyn RandomSource) {
+        debug_assert!(t_src <= self.t, "sampling rate must be non-increasing");
+        // Bring the batch to the current rate in a single bulk draw.
+        let mut pending = if self.t > t_src {
+            BernoulliPow2::new(self.t - t_src).sample_n(count, rng)
+        } else {
+            count
+        };
+        while pending > 0 {
+            // Survivors up to `threshold + 1` land at the current rate;
+            // the one reaching `threshold + 1` triggers the advance.
+            let take = pending.min(self.threshold + 1 - self.y);
+            self.y += take;
+            pending -= take;
+            while self.y > self.threshold {
+                let t_before = self.t;
+                self.advance_epoch();
+                if pending > 0 && self.t > t_before {
+                    pending = BernoulliPow2::new(self.t - t_before).sample_n(pending, rng);
+                }
+            }
+        }
+        self.peak = self.peak.max(self.state_bits());
+    }
+
     /// Merges `other` into `self` (Remark 2.4: the counter is *fully
     /// mergeable* — nothing is lost in `ε` or `δ`).
     ///
@@ -195,6 +238,8 @@ impl NelsonYuCounter {
 
         let x0 = self.params.x0();
         // Replay full epochs x0..lo_x, then the partial current epoch.
+        // Each epoch's survivors were accepted at rate 2^-t_i and are
+        // re-absorbed with one binomial thinning draw per epoch crossed.
         for level in x0..=lo_x {
             let (survivors, t_i) = if level == lo_x {
                 let (y_start, _) = self.params.epoch_y_span(level);
@@ -203,44 +248,16 @@ impl NelsonYuCounter {
                 let (y_start, y_end) = self.params.epoch_y_span(level);
                 (y_end - y_start, self.params.monotone_exponent(level))
             };
-            // Each survivor is re-accepted with probability 2^-(t - t_i).
-            // Instead of one coin per survivor, jump from acceptance to
-            // acceptance with geometric waits — identical in distribution,
-            // cost proportional to acceptances. The exponent is
-            // re-derived after every epoch advance, since `self.t` may
-            // have grown.
-            let mut remaining = survivors;
-            while remaining > 0 {
-                debug_assert!(self.t >= t_i, "sampling rate must be non-increasing");
-                let dt = self.t - t_i;
-                if dt == 0 {
-                    // Probability 1: accept in bulk up to the next epoch
-                    // boundary.
-                    let room = self.threshold + 1 - self.y;
-                    let take = remaining.min(room);
-                    self.y += take;
-                    remaining -= take;
-                    if self.y > self.threshold {
-                        self.settle();
-                    }
-                } else {
-                    let p = (-f64::from(dt)).exp2();
-                    match Geometric::new(p)
-                        .expect("2^-dt in (0,1]")
-                        .sample_within(remaining, rng)
-                    {
-                        Some(consumed) => {
-                            remaining -= consumed;
-                            self.y += 1;
-                            self.settle();
-                        }
-                        None => remaining = 0,
-                    }
-                }
-            }
+            self.absorb_survivors(survivors, t_i, rng);
         }
         self.peak = self.peak.max(self.state_bits());
         Ok(())
+    }
+}
+
+impl crate::Mergeable for NelsonYuCounter {
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError> {
+        NelsonYuCounter::merge_from(self, other, rng)
     }
 }
 
@@ -279,39 +296,14 @@ impl ApproxCounter for NelsonYuCounter {
         }
     }
 
-    /// Fast-forward: in the current epoch, survivors arrive after
-    /// geometric waiting times with parameter `2^{-t}` (and
-    /// deterministically when `t = 0`), so `n` increments cost one draw
-    /// per survivor instead of one per increment.
+    /// Fast-forward by per-epoch binomial subsampling: the whole batch is
+    /// subsampled into `Y` with one `Binomial(n, 2^{-t})` draw, and every
+    /// epoch boundary re-thins the not-yet-landed survivors to the new
+    /// rate with one more draw — `O(1 + epochs crossed)` bulk draws total,
+    /// versus `n` coins for the loop (or one geometric draw per survivor,
+    /// of which there are `Θ(threshold)` per epoch).
     fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
-        let mut budget = n;
-        while budget > 0 {
-            if self.t == 0 {
-                // Deterministic regime: every increment survives. Jump to
-                // the epoch boundary (or exhaust the budget).
-                let need = self.threshold + 1 - self.y;
-                if budget < need {
-                    self.y += budget;
-                    budget = 0;
-                } else {
-                    budget -= need;
-                    self.y += need;
-                    self.settle();
-                }
-            } else {
-                let p = (-f64::from(self.t)).exp2();
-                let geo = Geometric::new(p).expect("2^-t is in (0,1]");
-                match geo.sample_within(budget, rng) {
-                    Some(z) => {
-                        budget -= z;
-                        self.y += 1;
-                        self.settle();
-                    }
-                    None => budget = 0, // no survivor among the rest
-                }
-            }
-        }
-        self.peak = self.peak.max(self.state_bits());
+        self.absorb_survivors(n, 0, rng);
     }
 
     fn estimate(&self) -> f64 {

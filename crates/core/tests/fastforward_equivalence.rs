@@ -1,0 +1,262 @@
+//! Cross-family guards for the batched fast-forward paths.
+//!
+//! For every counter family, the state distribution after
+//! `increment_by(n)` must be indistinguishable from `n` repeated
+//! `increment` calls — KS two-sample tests over a `(seed, n)` grid, plus
+//! a chi-square test against the *exact* Morris level distribution (the
+//! forward DP of `exact_level_distribution`). A chunked-batch test pins
+//! down resumption from arbitrary mid-epoch states (the regime the
+//! sharded engine lives in), and `reset()`-equals-`new()` regressions
+//! cover every family.
+
+use ac_core::{
+    exact_level_distribution, ApproxCounter, AveragedMorris, CsurosCounter, ExactCounter,
+    MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
+};
+use ac_randkit::{CountingSource, Xoshiro256PlusPlus};
+use ac_stats::chi2::chi2_gof;
+use ac_stats::ks::ks_two_sample;
+
+/// Collects `trials` samples of a state statistic under the batched and
+/// the step-by-step path, then KS-tests the two populations.
+fn assert_ff_matches_step<C, F, S>(label: &str, make: F, stat: S, n: u64, trials: usize, seed: u64)
+where
+    C: ApproxCounter,
+    F: Fn() -> C,
+    S: Fn(&C) -> f64,
+{
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut ff = Vec::with_capacity(trials);
+    let mut step = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut c = make();
+        c.increment_by(n, &mut rng);
+        ff.push(stat(&c));
+
+        let mut c = make();
+        for _ in 0..n {
+            c.increment(&mut rng);
+        }
+        step.push(stat(&c));
+    }
+    let ks = ks_two_sample(&ff, &step);
+    assert!(
+        ks.p_value > 0.001,
+        "{label}: n={n} seed={seed}: KS p={} D={}",
+        ks.p_value,
+        ks.statistic
+    );
+}
+
+/// The `(seed, n)` grid shared by the per-family KS tests. Sizes are
+/// chosen so each family crosses several epochs/levels in every cell.
+const GRID: &[(u64, u64)] = &[(101, 2_000), (202, 5_000), (303, 20_000)];
+
+#[test]
+fn nelson_yu_fast_forward_matches_step_over_grid() {
+    let p = NyParams::new(0.3, 6).unwrap();
+    for &(seed, n) in GRID {
+        assert_ff_matches_step(
+            "nelson-yu",
+            || NelsonYuCounter::new(p),
+            |c| c.level() as f64,
+            n,
+            1_500,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn morris_plus_fast_forward_matches_step_over_grid() {
+    for &(seed, n) in GRID {
+        assert_ff_matches_step(
+            "morris+",
+            || MorrisPlus::with_base(0.05).unwrap(),
+            |c| c.morris().level() as f64,
+            n,
+            1_500,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn csuros_fast_forward_matches_step_over_grid() {
+    for &(seed, n) in GRID {
+        assert_ff_matches_step(
+            "csuros",
+            || CsurosCounter::new(5).unwrap(),
+            |c| c.register() as f64,
+            n,
+            1_500,
+            seed,
+        );
+    }
+}
+
+#[test]
+fn capped_csuros_fast_forward_matches_step() {
+    // The cap interacts with the bulk path (partial takes, discarded
+    // remainders); pin it to the stepped dynamics.
+    assert_ff_matches_step(
+        "csuros-capped",
+        || CsurosCounter::with_cap(4, 90).unwrap(),
+        |c| c.register() as f64,
+        5_000,
+        1_500,
+        404,
+    );
+}
+
+#[test]
+fn morris_fast_forward_matches_exact_distribution_chi2() {
+    // Strongest possible oracle: the exact forward-DP level pmf.
+    let (a, n) = (0.5, 2_000u64);
+    let pmf = exact_level_distribution(a, n);
+    let trials = 4_000u64;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(505);
+    let mut counts = vec![0.0f64; pmf.len()];
+    for _ in 0..trials {
+        let mut c = MorrisCounter::new(a).unwrap();
+        c.increment_by(n, &mut rng);
+        counts[c.level() as usize] += 1.0;
+    }
+    let expected: Vec<f64> = pmf.iter().map(|&p| p * trials as f64).collect();
+    let r = chi2_gof(&counts, &expected, 8.0);
+    assert!(
+        r.p_value > 0.001,
+        "chi2={} dof={} p={}",
+        r.statistic,
+        r.dof,
+        r.p_value
+    );
+}
+
+#[test]
+fn chunked_batches_match_single_batch() {
+    // The engine applies many small increment_by calls per counter, so
+    // resuming the batched path from arbitrary mid-epoch states must
+    // reproduce the single-batch distribution.
+    let p = NyParams::new(0.3, 6).unwrap();
+    let chunks = [1_000u64, 1, 4_999, 2_500, 37, 1_463, 10_000];
+    let n: u64 = chunks.iter().sum();
+    let trials = 2_000;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(606);
+
+    let mut chunked = Vec::with_capacity(trials);
+    let mut single = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut c = NelsonYuCounter::new(p);
+        for &k in &chunks {
+            c.increment_by(k, &mut rng);
+        }
+        chunked.push(c.level() as f64);
+
+        let mut c = NelsonYuCounter::new(p);
+        c.increment_by(n, &mut rng);
+        single.push(c.level() as f64);
+    }
+    let ks = ks_two_sample(&chunked, &single);
+    assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+
+    let mut chunked = Vec::with_capacity(trials);
+    let mut single = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut c = CsurosCounter::new(5).unwrap();
+        for &k in &chunks {
+            c.increment_by(k, &mut rng);
+        }
+        chunked.push(c.register() as f64);
+
+        let mut c = CsurosCounter::new(5).unwrap();
+        c.increment_by(n, &mut rng);
+        single.push(c.register() as f64);
+    }
+    let ks = ks_two_sample(&chunked, &single);
+    assert!(
+        ks.p_value > 0.001,
+        "csuros KS p={} D={}",
+        ks.p_value,
+        ks.statistic
+    );
+}
+
+/// Pumps a counter hard, resets it, and requires bit-identical equality
+/// with a freshly constructed one — including the peak-bits high-water
+/// mark (`PartialEq` covers every field).
+fn assert_reset_equals_new<C, F>(label: &str, make: F)
+where
+    C: ApproxCounter + PartialEq + std::fmt::Debug,
+    F: Fn() -> C,
+{
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(707);
+    let mut used = make();
+    used.increment_by(1_000_000, &mut rng);
+    used.reset();
+    assert_eq!(used, make(), "{label}: reset() must equal new()");
+    assert_eq!(
+        used.peak_state_bits(),
+        make().peak_state_bits(),
+        "{label}: post-reset peak must agree with a fresh counter's"
+    );
+}
+
+#[test]
+fn reset_equals_new_for_every_family() {
+    assert_reset_equals_new("exact", ExactCounter::new);
+    assert_reset_equals_new("morris", || MorrisCounter::new(0.7).unwrap());
+    assert_reset_equals_new("morris-capped", || MorrisCounter::with_cap(1.0, 9).unwrap());
+    assert_reset_equals_new("morris+", || MorrisPlus::with_base(0.1).unwrap());
+    assert_reset_equals_new("nelson-yu", || {
+        NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap())
+    });
+    assert_reset_equals_new("csuros", || CsurosCounter::new(6).unwrap());
+    assert_reset_equals_new("csuros-capped", || CsurosCounter::with_cap(6, 500).unwrap());
+    assert_reset_equals_new("averaged-morris", || AveragedMorris::new(4, 0.5).unwrap());
+}
+
+#[test]
+fn capped_morris_merge_matches_sequential_distribution() {
+    // Merging two capped counters must agree with one capped counter that
+    // saw both streams — including runs where the replay saturates midway.
+    let (a, cap) = (1.0, 8u64);
+    let (n1, n2) = (2_000u64, 3_000u64);
+    let trials = 4_000;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(808);
+    let mut merged = Vec::with_capacity(trials);
+    let mut sequential = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut c1 = MorrisCounter::with_cap(a, cap).unwrap();
+        c1.increment_by(n1, &mut rng);
+        let mut c2 = MorrisCounter::with_cap(a, cap).unwrap();
+        c2.increment_by(n2, &mut rng);
+        c1.merge_from(&c2, &mut rng).unwrap();
+        assert!(c1.level() <= cap, "merge must respect the cap");
+        merged.push(c1.level() as f64);
+
+        let mut c = MorrisCounter::with_cap(a, cap).unwrap();
+        c.increment_by(n1 + n2, &mut rng);
+        sequential.push(c.level() as f64);
+    }
+    let ks = ks_two_sample(&merged, &sequential);
+    assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+}
+
+#[test]
+fn saturated_morris_merge_consumes_no_randomness() {
+    // Both counters pinned at the cap: the replay must short-circuit
+    // before drawing a single word.
+    let mut a = MorrisCounter::with_cap(1.0, 5).unwrap();
+    a.set_level(5);
+    let mut b = MorrisCounter::with_cap(1.0, 5).unwrap();
+    b.set_level(5);
+    let mut src = CountingSource::new(Xoshiro256PlusPlus::seed_from_u64(909));
+    a.merge_from(&b, &mut src).unwrap();
+    assert_eq!(a.level(), 5);
+    assert_eq!(
+        src.words_drawn(),
+        0,
+        "saturated merge must not draw randomness"
+    );
+}

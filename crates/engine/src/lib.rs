@@ -1,0 +1,48 @@
+//! # `ac-engine` — the sharded keyed-counter engine
+//!
+//! The paper shrinks *one* counter to `O(log log N + log(1/ε) +
+//! log log(1/δ))` bits; the saving only matters at fleet scale — millions
+//! of keys, each with its own approximate counter. This crate is that
+//! deployment: a keyed registry sharded by key hash, where each shard owns
+//! a dense slab of counters plus its own deterministic RNG, driven through
+//! a batch-update API whose per-key work rides the counters'
+//! transition-count-proportional
+//! [`increment_by`](ac_core::ApproxCounter::increment_by) fast paths.
+//!
+//! * [`CounterEngine::apply`] — route a `&[(key, delta)]` batch to shards
+//!   and fast-forward each touched counter; `O(batch + transitions)`,
+//!   never `O(Σ delta)`.
+//! * [`CounterEngine::apply_parallel`] — the same batch fanned out with
+//!   one thread per shard. Because every shard's randomness comes from its
+//!   own RNG and the key→shard partition is deterministic, the resulting
+//!   state is *identical* to the sequential path, regardless of thread
+//!   scheduling.
+//! * [`CounterEngine::merged_total`] — cross-shard aggregation that folds
+//!   every counter into one via the [`Mergeable`](ac_core::Mergeable)
+//!   merge laws (Remark 2.4 / `[CY20 §2.1]`), so a global count never
+//!   touches the raw stream.
+//!
+//! ```
+//! use ac_core::{ApproxCounter, NelsonYuCounter, NyParams};
+//! use ac_engine::{CounterEngine, EngineConfig};
+//! use ac_randkit::Xoshiro256PlusPlus;
+//!
+//! let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+//! let mut engine = CounterEngine::new(template, EngineConfig::default());
+//! engine.apply(&[(1, 50_000), (2, 10_000), (1, 50_000)]);
+//!
+//! let est = engine.estimate(1).unwrap();
+//! assert!((est - 1.0e5).abs() / 1.0e5 < 0.5);
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+//! let total = engine.merged_total(&mut rng).unwrap();
+//! assert!((total.estimate() - 1.1e5).abs() / 1.1e5 < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod shard;
+
+pub use registry::{CounterEngine, EngineConfig, EngineStats};

@@ -1,0 +1,325 @@
+//! The engine proper: key→shard routing, batch application (sequential
+//! and one-thread-per-shard), and merge-based aggregation.
+
+use crate::shard::Shard;
+use ac_core::{ApproxCounter, CoreError, Mergeable};
+use ac_randkit::{RandomSource, SplitMix64};
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shards. More shards mean more parallelism on
+    /// [`CounterEngine::apply_parallel`] and smaller per-shard slabs; the
+    /// key→shard partition (and therefore every counter's state) changes
+    /// with this value, so treat it as part of the engine's identity.
+    pub shards: usize,
+    /// Seed for the per-shard RNGs and the key-routing hash.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: 16,
+            seed: 0x0A55C0117E5,
+        }
+    }
+}
+
+/// A point-in-time summary of the engine, for reports and capacity
+/// planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Distinct keys currently tracked.
+    pub keys: usize,
+    /// Total increments applied (exact).
+    pub events: u64,
+    /// Sum of live counter register bits across all shards.
+    pub counter_state_bits: u64,
+    /// Largest keys-per-shard count (load-balance diagnostic).
+    pub max_shard_keys: usize,
+}
+
+/// A hash-sharded registry of per-key approximate counters.
+///
+/// Every key's counter is cloned on first touch from a template (reset at
+/// construction), lives entirely within one shard, and advances through
+/// the family's batched
+/// [`increment_by`](ApproxCounter::increment_by) fast path. See the crate
+/// docs for the determinism and aggregation contracts.
+#[derive(Debug, Clone)]
+pub struct CounterEngine<C> {
+    shards: Vec<Shard<C>>,
+    template: C,
+    /// Salt for the key→shard hash, derived from the config seed.
+    salt: u64,
+}
+
+impl<C: ApproxCounter + Clone> CounterEngine<C> {
+    /// Creates an engine whose counters are clones of `template` (reset
+    /// before use, so a previously-used counter is a valid template).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    pub fn new(template: C, config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let mut template = template;
+        template.reset();
+        let mut seeder = SplitMix64::new(config.seed);
+        let salt = seeder.next_u64();
+        let shards = (0..config.shards)
+            .map(|_| Shard::new(seeder.next_u64()))
+            .collect();
+        Self {
+            shards,
+            template,
+            salt,
+        }
+    }
+
+    /// The shard index for `key`: one SplitMix64 finalizer round over the
+    /// salted key — cheap, well-mixed, deterministic.
+    fn shard_of(&self, key: u64) -> usize {
+        let mut h = SplitMix64::new(self.salt ^ key);
+        (h.next_u64() % self.shards.len() as u64) as usize
+    }
+
+    /// Applies a batch of `(key, delta)` updates sequentially.
+    ///
+    /// Work is proportional to the batch length plus the counter state
+    /// transitions triggered — never to the sum of deltas — because each
+    /// update rides the counter's batched fast path.
+    pub fn apply(&mut self, batch: &[(u64, u64)]) {
+        for &(key, delta) in batch {
+            let shard = self.shard_of(key);
+            self.shards[shard].apply_one(&self.template, key, delta);
+        }
+    }
+
+    /// Applies a batch with one thread per (touched) shard.
+    ///
+    /// The final state is bit-identical to [`CounterEngine::apply`] on the
+    /// same batch: the key→shard partition is deterministic, updates for
+    /// one shard stay in batch order, and each shard consumes only its own
+    /// RNG stream, so thread scheduling cannot leak into counter states.
+    pub fn apply_parallel(&mut self, batch: &[(u64, u64)])
+    where
+        C: Send + Sync,
+    {
+        let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(key, delta) in batch {
+            buckets[self.shard_of(key)].push((key, delta));
+        }
+        let template = &self.template;
+        std::thread::scope(|scope| {
+            for (shard, bucket) in self.shards.iter_mut().zip(&buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for &(key, delta) in bucket {
+                        shard.apply_one(template, key, delta);
+                    }
+                });
+            }
+        });
+    }
+
+    /// The current estimate for `key`, or `None` if the key was never
+    /// touched.
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        self.shards[self.shard_of(key)]
+            .get(key)
+            .map(ApproxCounter::estimate)
+    }
+
+    /// Read-only access to `key`'s counter.
+    #[must_use]
+    pub fn counter(&self, key: u64) -> Option<&C> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// Number of distinct keys tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// True when no key has been touched yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total increments applied across all shards (exact bookkeeping,
+    /// `O(shards)` to read).
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(Shard::events).sum()
+    }
+
+    /// Iterates all `(key, counter)` pairs. Counter states are
+    /// deterministic; iteration order is unspecified.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &C)> {
+        self.shards.iter().flat_map(Shard::entries)
+    }
+
+    /// Engine summary for reports.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            shards: self.shards.len(),
+            keys: self.len(),
+            events: self.total_events(),
+            counter_state_bits: self
+                .shards
+                .iter()
+                .flat_map(Shard::counters)
+                .map(|c| c.state_bits())
+                .sum(),
+            max_shard_keys: self.shards.iter().map(Shard::len).max().unwrap_or(0),
+        }
+    }
+
+    /// Folds every counter in every shard into a single counter via the
+    /// family's merge law — the cross-shard aggregate. The result is
+    /// distributed as a single counter that processed the whole stream
+    /// (Remark 2.4), so it agrees with [`CounterEngine::total_events`]
+    /// within the family's `(ε, δ)` guarantee.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::MergeMismatch`] — unreachable when all
+    /// counters are clones of one template, as here, but surfaced rather
+    /// than swallowed.
+    pub fn merged_total(&self, rng: &mut dyn RandomSource) -> Result<C, CoreError>
+    where
+        C: Mergeable,
+    {
+        let mut total = self.template.clone();
+        for shard in &self.shards {
+            for c in shard.counters() {
+                total.merge_from(c, rng)?;
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{ExactCounter, MorrisCounter, NelsonYuCounter, NyParams};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    fn cfg(shards: usize) -> EngineConfig {
+        EngineConfig { shards, seed: 42 }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = CounterEngine::new(ExactCounter::new(), cfg(0));
+    }
+
+    #[test]
+    fn exact_cells_count_exactly() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg(8));
+        e.apply(&[(1, 10), (2, 20), (1, 5), (3, 1)]);
+        assert_eq!(e.estimate(1), Some(15.0));
+        assert_eq!(e.estimate(2), Some(20.0));
+        assert_eq!(e.estimate(3), Some(1.0));
+        assert_eq!(e.estimate(99), None);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.total_events(), 36);
+    }
+
+    #[test]
+    fn template_is_reset_before_cloning() {
+        let mut dirty = ExactCounter::new();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        dirty.increment_by(1_000, &mut rng);
+        let mut e = CounterEngine::new(dirty, cfg(4));
+        e.apply(&[(7, 3)]);
+        assert_eq!(e.estimate(7), Some(3.0));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg(16));
+        let batch: Vec<(u64, u64)> = (0..10_000u64).map(|k| (k, 1)).collect();
+        e.apply(&batch);
+        let stats = e.stats();
+        assert_eq!(stats.keys, 10_000);
+        assert_eq!(stats.events, 10_000);
+        // A balanced hash keeps the fullest shard within ~3x of the mean.
+        assert!(
+            stats.max_shard_keys < 3 * 10_000 / 16,
+            "max shard load {}",
+            stats.max_shard_keys
+        );
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_to_sequential() {
+        let p = NyParams::new(0.2, 8).unwrap();
+        let template = NelsonYuCounter::new(p);
+        let mut seq = CounterEngine::new(template.clone(), cfg(8));
+        let mut par = CounterEngine::new(template, cfg(8));
+        let mut keygen = SplitMix64::new(9);
+        let batch: Vec<(u64, u64)> = (0..5_000)
+            .map(|_| (keygen.next_u64() % 500, 1 + keygen.next_u64() % 1_000))
+            .collect();
+        seq.apply(&batch);
+        par.apply_parallel(&batch);
+        for &(key, _) in &batch {
+            assert_eq!(seq.counter(key), par.counter(key), "key {key}");
+        }
+        assert_eq!(seq.total_events(), par.total_events());
+    }
+
+    #[test]
+    fn merged_total_is_exact_for_exact_counters() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg(8));
+        let batch: Vec<(u64, u64)> = (0..1_000u64).map(|k| (k, k % 17 + 1)).collect();
+        e.apply(&batch);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let total = e.merged_total(&mut rng).unwrap();
+        assert_eq!(total.count(), e.total_events());
+    }
+
+    #[test]
+    fn merged_total_tracks_events_for_morris() {
+        // 200 keys x 5_000 increments: the merged Morris counter's
+        // estimate concentrates around the exact event total.
+        let mut e = CounterEngine::new(MorrisCounter::new(0.05).unwrap(), cfg(8));
+        let batch: Vec<(u64, u64)> = (0..200u64).map(|k| (k, 5_000)).collect();
+        e.apply(&batch);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let total = e.merged_total(&mut rng).unwrap();
+        let n = e.total_events() as f64;
+        let rel = (total.estimate() - n).abs() / n;
+        // sd/N = sqrt(a/2) ~ 16 %; allow a wide, seed-stable band.
+        assert!(rel < 0.6, "merged relative error {rel}");
+    }
+
+    #[test]
+    fn stats_audit_memory() {
+        let mut e = CounterEngine::new(MorrisCounter::new(1.0).unwrap(), cfg(4));
+        e.apply(&[(1, 1_000), (2, 1_000_000)]);
+        let stats = e.stats();
+        assert_eq!(stats.shards, 4);
+        assert_eq!(stats.keys, 2);
+        // Two Morris registers: a handful of bits each, never log2(N).
+        assert!(stats.counter_state_bits < 16, "{stats:?}");
+        assert_eq!(
+            e.iter().count(),
+            2,
+            "iter must visit every (key, counter) pair"
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! One shard: a dense slab of counters, a key→slot index, and the shard's
+//! own deterministic RNG.
+
+use ac_core::ApproxCounter;
+use ac_randkit::Xoshiro256PlusPlus;
+use std::collections::HashMap;
+
+/// A shard owns every counter whose key hashes to it.
+///
+/// Counters live in a dense slab (`Vec<C>`) so bulk scans (aggregation,
+/// memory audits) are cache-friendly; the `HashMap` only resolves
+/// key→slot. Each shard draws from its *own* [`Xoshiro256PlusPlus`],
+/// seeded from the engine seed and the shard id, which makes every
+/// shard's evolution deterministic and independent of how batches are
+/// interleaved across shards — the property that lets
+/// `apply_parallel` produce states identical to the sequential path.
+#[derive(Debug, Clone)]
+pub(crate) struct Shard<C> {
+    /// key → slab slot. `u32` slots cap a shard at ~4 billion counters,
+    /// comfortably beyond any per-shard load the engine targets.
+    index: HashMap<u64, u32>,
+    slab: Vec<C>,
+    rng: Xoshiro256PlusPlus,
+    /// Total increments routed into this shard (exact, for diagnostics).
+    events: u64,
+}
+
+impl<C: ApproxCounter + Clone> Shard<C> {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            index: HashMap::new(),
+            slab: Vec::new(),
+            rng: Xoshiro256PlusPlus::seed_from_u64(seed),
+            events: 0,
+        }
+    }
+
+    /// Routes `delta` increments into `key`'s counter, materializing it
+    /// from `template` on first touch.
+    pub(crate) fn apply_one(&mut self, template: &C, key: u64, delta: u64) {
+        let slot = *self.index.entry(key).or_insert_with(|| {
+            debug_assert!(self.slab.len() < u32::MAX as usize, "shard slab full");
+            self.slab.push(template.clone());
+            (self.slab.len() - 1) as u32
+        });
+        self.slab[slot as usize].increment_by(delta, &mut self.rng);
+        self.events += delta;
+    }
+
+    pub(crate) fn get(&self, key: u64) -> Option<&C> {
+        self.index.get(&key).map(|&slot| &self.slab[slot as usize])
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slab.len()
+    }
+
+    pub(crate) fn events(&self) -> u64 {
+        self.events
+    }
+
+    pub(crate) fn counters(&self) -> impl Iterator<Item = &C> {
+        self.slab.iter()
+    }
+
+    /// Iterates `(key, counter)` pairs in unspecified order (the counter
+    /// *states* are deterministic; only the iteration order is not).
+    pub(crate) fn entries(&self) -> impl Iterator<Item = (u64, &C)> {
+        self.index
+            .iter()
+            .map(|(&key, &slot)| (key, &self.slab[slot as usize]))
+    }
+}

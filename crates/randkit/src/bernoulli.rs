@@ -1,6 +1,6 @@
 //! Bernoulli coins, including the exact `2^-t` coin of Remark 2.2.
 
-use crate::{DistError, RandomSource};
+use crate::{Binomial, DistError, RandomSource};
 
 /// A Bernoulli coin with success probability `p`.
 ///
@@ -101,6 +101,27 @@ impl BernoulliPow2 {
         let mask = (1u64 << remaining) - 1;
         rng.next_u64() & mask == 0
     }
+
+    /// Flips the coin `n` times and returns the number of successes, as a
+    /// single `Binomial(n, 2^-t)` draw.
+    ///
+    /// This is the batched form used by counter fast-forwarding: instead of
+    /// `n·t` fair bits it consumes `O(1)` expected words, and because
+    /// `2^-t` is exactly representable as an `f64` for every `t ≤ 1074`
+    /// the success count has *exactly* the same distribution as `n`
+    /// independent [`BernoulliPow2::sample`] calls. For `t > 1074` (where
+    /// even an `f64` cannot hold `2^-t`) the batch falls back to the
+    /// bit-exact per-flip coin; no counter schedule gets anywhere near
+    /// that regime.
+    pub fn sample_n<R: RandomSource + ?Sized>(&self, n: u64, rng: &mut R) -> u64 {
+        if self.t == 0 {
+            return n;
+        }
+        if self.t <= 1074 {
+            return Binomial::sample_n(n, self.p(), rng).expect("2^-t is a valid probability");
+        }
+        (0..n).filter(|_| self.sample(rng)).count() as u64
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +221,44 @@ mod tests {
         assert_eq!(BernoulliPow2::new(0).p(), 1.0);
         assert_eq!(BernoulliPow2::new(1).p(), 0.5);
         assert_eq!(BernoulliPow2::new(10).p(), 1.0 / 1024.0);
+    }
+
+    #[test]
+    fn batched_t0_is_deterministic_and_free() {
+        let mut src = CountingSource::new(SequenceSource::new(vec![]));
+        assert_eq!(BernoulliPow2::new(0).sample_n(12_345, &mut src), 12_345);
+        assert_eq!(src.words_drawn(), 0);
+    }
+
+    #[test]
+    fn batched_matches_per_flip_distribution() {
+        // Same (t, n): the batched success count and the sum of individual
+        // flips must agree in mean to binomial accuracy.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for t in [1u32, 3, 7] {
+            let coin = BernoulliPow2::new(t);
+            let n = 1u64 << 16;
+            let trials = 2_000;
+            let mut batched = 0.0;
+            let mut looped = 0.0;
+            for _ in 0..trials {
+                batched += coin.sample_n(n, &mut rng) as f64;
+                looped += (0..n).filter(|_| coin.sample(&mut rng)).count() as f64;
+            }
+            let mean_b = batched / f64::from(trials);
+            let mean_l = looped / f64::from(trials);
+            let p = coin.p();
+            let sigma = (n as f64 * p * (1.0 - p) / f64::from(trials)).sqrt();
+            assert!((mean_b - n as f64 * p).abs() < 6.0 * sigma, "t={t}");
+            assert!((mean_b - mean_l).abs() < 9.0 * sigma, "t={t}");
+        }
+    }
+
+    #[test]
+    fn batched_huge_t_returns_zero_like() {
+        // t far beyond f64 resolution: per-flip fallback, astronomically
+        // unlikely to succeed even once.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        assert_eq!(BernoulliPow2::new(2_000).sample_n(100, &mut rng), 0);
     }
 }

@@ -101,9 +101,12 @@ impl Binomial {
                     n,
                     s: r / q,
                     a: ((n + 1) as f64) * (r / q),
-                    // q^n = exp(n ln q); with n·r < 10 this cannot
+                    // q^n = exp(n ln(1-r)); with n·r < 10 this cannot
                     // underflow (n ln q ≥ -10/(1-r) ≥ -20 for r ≤ 1/2).
-                    q_pow_n: ((n as f64) * q.ln()).exp(),
+                    // ln_1p keeps it exact for r < 2^-53, where computing
+                    // ln(q) from the rounded q = 1.0 would collapse the
+                    // whole pmf onto zero successes.
+                    q_pow_n: ((n as f64) * (-r).ln_1p()).exp(),
                     flipped,
                 })
             } else {
@@ -144,6 +147,25 @@ impl Binomial {
             Method::Binv(b) => b.sample(rng),
             Method::Btpe(b) => b.sample(rng),
         }
+    }
+
+    /// One-shot draw from `Bin(n, p)` without keeping the sampling plan.
+    ///
+    /// This is the bulk-subsampling primitive of the counter fast-forward
+    /// paths: every call carries a different trial count (the remaining
+    /// increment budget) and a different rate (the current epoch's `α`),
+    /// so there is nothing to reuse — setup is a handful of flops and the
+    /// draw stays `O(1)` expected for any `n`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Binomial::new`].
+    pub fn sample_n<R: RandomSource + ?Sized>(
+        n: u64,
+        p: f64,
+        rng: &mut R,
+    ) -> Result<u64, DistError> {
+        Ok(Self::new(n, p)?.sample(rng))
     }
 }
 
@@ -464,6 +486,37 @@ mod tests {
         let mean: f64 =
             (0..trials).map(|_| a.sample(&mut rng) as f64).sum::<f64>() / f64::from(trials);
         assert!((mean - 350.0).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn sample_n_one_shot_matches_planned_sampler() {
+        // Identical RNG stream => identical draws: sample_n is exactly
+        // new().sample() without the retained plan.
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(9);
+        let d = Binomial::new(5_000, 0.37).unwrap();
+        for _ in 0..200 {
+            assert_eq!(
+                Binomial::sample_n(5_000, 0.37, &mut a).unwrap(),
+                d.sample(&mut b)
+            );
+        }
+        assert!(Binomial::sample_n(10, 1.5, &mut a).is_err());
+    }
+
+    #[test]
+    fn sub_ulp_p_keeps_the_pmf_alive() {
+        // p = 2^-55 < 2^-53: the rounded q = 1.0 - p collapses to 1.0, so
+        // q^n must come from ln_1p(-p) or BINV degenerates to constant 0.
+        // n = 2^57 gives mean 4 (BINV regime, n·p < 10).
+        let p = (0.5f64).powi(55);
+        let d = Binomial::new(1u64 << 57, p).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let trials = 20_000;
+        let mean: f64 =
+            (0..trials).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / f64::from(trials);
+        // sigma of the sample mean = sqrt(4/trials) ≈ 0.014.
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
     }
 
     #[test]

@@ -95,6 +95,16 @@ impl<C: ApproxCounter + Clone> CountMinSketch<C> {
         }
     }
 
+    /// Applies a whole `(key, delta)` batch — the sketch-side analogue of
+    /// `ac-engine`'s batch API. Each pair rides the cells' fast-forward
+    /// path, so cost is `O(batch · rows + cell transitions)`, independent
+    /// of the deltas' magnitudes.
+    pub fn update_by(&mut self, batch: &[(u64, u64)], rng: &mut dyn RandomSource) {
+        for &(key, delta) in batch {
+            self.offer_many(key, delta, rng);
+        }
+    }
+
     /// Point query: the minimum cell estimate across rows.
     #[must_use]
     pub fn estimate(&self, key: u64) -> f64 {
@@ -205,6 +215,22 @@ mod tests {
         cm.offer_many(42, 1_000, &mut rng);
         assert_eq!(cm.estimate(42), 1_000.0);
         assert_eq!(cm.items_seen(), 1_000);
+    }
+
+    #[test]
+    fn batched_update_by_matches_offer_many() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut a = CountMinSketch::new(32, 2, 5, &ExactCounter::new());
+        let mut b = CountMinSketch::new(32, 2, 5, &ExactCounter::new());
+        let batch = [(1u64, 100u64), (2, 50), (1, 25), (3, 7)];
+        a.update_by(&batch, &mut rng);
+        for &(k, d) in &batch {
+            b.offer_many(k, d, &mut rng);
+        }
+        for k in [1u64, 2, 3] {
+            assert_eq!(a.estimate(k), b.estimate(k), "key {k}");
+        }
+        assert_eq!(a.items_seen(), 182);
     }
 
     #[test]

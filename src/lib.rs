@@ -19,6 +19,9 @@
 //! * [`automaton`] — the Theorem 3.1 lower bound, executable.
 //! * [`streams`] — counter arrays, dictionaries, frequency moments,
 //!   reservoir sampling, heavy hitters.
+//! * [`engine`] — the sharded keyed-counter engine: millions of
+//!   per-key counters behind a batch-update API with merge-based
+//!   cross-shard aggregation.
 //! * [`sim`] — the parallel experiment harness.
 //!
 //! ## Quick start
@@ -48,6 +51,7 @@
 pub use ac_automaton as automaton;
 pub use ac_bitio as bitio;
 pub use ac_core as core;
+pub use ac_engine as engine;
 pub use ac_randkit as randkit;
 pub use ac_sim as sim;
 pub use ac_stats as stats;
@@ -58,9 +62,10 @@ pub mod prelude {
     pub use ac_bitio::StateBits;
     pub use ac_core::{
         budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
-        AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter, MorrisCounter,
-        MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
+        AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter, Mergeable,
+        MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
     };
+    pub use ac_engine::{CounterEngine, EngineConfig, EngineStats};
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};
     pub use ac_streams::{ApproxCountingDict, CountMinSketch, CounterArray, SpaceSaving};
