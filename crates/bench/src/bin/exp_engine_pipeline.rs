@@ -1,0 +1,373 @@
+//! **E13** — the four-layer engine pipeline end to end: multi-producer
+//! ingest throughput with coalescing and bounded backpressure; snapshot
+//! queries served with zero writer contention while ingest keeps running;
+//! and checkpoint/restore through `ac-bitio` whose on-disk size tracks
+//! `counter_state_bits` (within 2× plus framing) and whose restore is
+//! bit-identical for every key.
+//!
+//! Emits `BENCH_pipeline.json` via `--json` (uploaded by CI).
+
+use ac_bench::{header, json::JsonObject, section, sized, verdict, write_json_report};
+use ac_core::{ApproxCounter, NelsonYuCounter, NyParams, StateBits};
+use ac_engine::{
+    checkpoint_snapshot, restore_checkpoint, CounterEngine, EngineConfig, EngineSnapshot,
+    IngestConfig, IngestQueue,
+};
+use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
+use ac_sim::report::Table;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+const EPS: f64 = 0.2;
+const DELTA_LOG2: u32 = 8;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        shards: 32,
+        seed: 0xE13,
+    }
+}
+
+fn template() -> NelsonYuCounter {
+    NelsonYuCounter::new(NyParams::new(EPS, DELTA_LOG2).unwrap())
+}
+
+/// The fleet workload: every key touched once, then the remaining budget
+/// on hashed keys with small deltas, pre-split into per-producer slices.
+fn producer_streams(keys: u64, events: u64, producers: u64) -> Vec<Vec<(u64, u64)>> {
+    let mut streams: Vec<Vec<(u64, u64)>> = (0..producers).map(|_| Vec::new()).collect();
+    for key in 0..keys {
+        streams[(key % producers) as usize].push((key, 1));
+    }
+    let mut remaining = events - keys;
+    let mut gen = SplitMix64::new(0x5EEDE13);
+    let mut turn = 0usize;
+    while remaining > 0 {
+        let key = gen.next_u64() % keys;
+        let delta = (1 + gen.next_u64() % 32).min(remaining);
+        streams[turn % producers as usize].push((key, delta));
+        turn += 1;
+        remaining -= delta;
+    }
+    streams
+}
+
+/// What the snapshot-serving thread measures while the applier writes.
+struct QueryReport {
+    frozen_events: u64,
+    queries: u64,
+    hits: u64,
+    elapsed_s: f64,
+    merged_estimate: f64,
+}
+
+fn main() {
+    header(
+        "E13",
+        "ingest / snapshot / checkpoint pipeline",
+        "the sharded engine absorbs a multi-producer stream through a bounded \
+         coalescing queue, serves snapshot queries with zero writer contention \
+         mid-ingest, and checkpoints a million keys at ~counter_state_bits \
+         (restored bit-identically)",
+    );
+
+    let keys = sized(1_000_000, 100_000) as u64;
+    let events = sized(10_000_000, 1_000_000) as u64;
+    let producers = 4u64;
+
+    // ----- Part 1 + 2: ingest with a mid-stream snapshot reader ---------
+    section("ingest: bounded multi-producer queue, coalesced batches");
+    println!(
+        "{keys} keys, {events} events, {producers} producers -> 1 parallel applier, \
+         NelsonYu(eps={EPS}, delta=2^-{DELTA_LOG2}) cells\n"
+    );
+    let streams = producer_streams(keys, events, producers);
+    let batch_pairs: u64 = streams.iter().map(|s| s.len() as u64).sum();
+    let queue = IngestQueue::new(IngestConfig::default());
+    let mut engine = CounterEngine::new(template(), engine_config());
+    let (snap_tx, snap_rx) = mpsc::channel::<EngineSnapshot<NelsonYuCounter>>();
+
+    let ingest_start = Instant::now();
+    let (applied, apply_s, query_report) = thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let q = queue.clone();
+                s.spawn(move || {
+                    let mut p = q.producer();
+                    for &(key, delta) in stream {
+                        p.record(key, delta);
+                    }
+                })
+            })
+            .collect();
+
+        let engine_ref = &mut engine;
+        let queue_ref = &queue;
+        let applier = s.spawn(move || {
+            let mut applied = 0u64;
+            let mut published = false;
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE135A9);
+            while let Some(batch) = queue_ref.next_batch() {
+                applied += batch.iter().map(|&(_, d)| d).sum::<u64>();
+                engine_ref.apply_parallel(&batch);
+                if !published && applied >= events / 2 {
+                    // Freeze a replica mid-ingest and hand it to the
+                    // query thread; writes continue immediately after.
+                    snap_tx
+                        .send(engine_ref.snapshot(&mut rng).unwrap())
+                        .expect("query thread alive");
+                    published = true;
+                }
+            }
+            (applied, ingest_start.elapsed().as_secs_f64())
+        });
+
+        // The serving thread hammers the mid-ingest snapshot while the
+        // applier keeps writing. Zero shared locks: the replica is
+        // immutable and wholly owned.
+        let query = s.spawn(move || {
+            let snap = snap_rx.recv().expect("mid-ingest snapshot");
+            let frozen_events = snap.total_events();
+            let queries = 200_000u64;
+            let mut gen = SplitMix64::new(0xE13A);
+            let mut hits = 0u64;
+            let start = Instant::now();
+            for _ in 0..queries {
+                if snap.estimate(gen.next_u64() % keys).is_some() {
+                    hits += 1;
+                }
+            }
+            let elapsed_s = start.elapsed().as_secs_f64();
+            QueryReport {
+                frozen_events,
+                queries,
+                hits,
+                elapsed_s,
+                merged_estimate: snap.merged_total().estimate(),
+            }
+        });
+
+        for h in handles {
+            h.join().expect("producer thread");
+        }
+        queue.close();
+        let (applied, apply_s) = applier.join().expect("applier thread");
+        let query_report = query.join().expect("query thread");
+        (applied, apply_s, query_report)
+    });
+
+    let ingest_stats = queue.stats();
+    let stats = engine.stats().with_ingest(&ingest_stats);
+    let ingest_ok = applied == events
+        && stats.events == events
+        && stats.keys as u64 == keys
+        && stats.dropped_batches == 0;
+    let events_per_sec = events as f64 / apply_s;
+
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["keys".into(), format!("{}", stats.keys)]);
+    table.row(vec!["events".into(), format!("{}", stats.events)]);
+    table.row(vec![
+        "producer pairs".into(),
+        format!("{batch_pairs} (pre-coalescing)"),
+    ]);
+    table.row(vec![
+        "coalesced batches".into(),
+        format!("{}", ingest_stats.enqueued_batches),
+    ]);
+    table.row(vec![
+        "dropped batches".into(),
+        format!("{}", stats.dropped_batches),
+    ]);
+    table.row(vec![
+        "end-to-end wall time".into(),
+        format!("{apply_s:.3} s"),
+    ]);
+    table.row(vec![
+        "throughput".into(),
+        format!("{:.1} M events/s", events_per_sec / 1e6),
+    ]);
+    table.row(vec![
+        "counter state".into(),
+        format!(
+            "{} bits total ({:.1} bits/key)",
+            stats.counter_state_bits,
+            stats.counter_state_bits as f64 / stats.keys as f64
+        ),
+    ]);
+    print!("{}", table.to_markdown());
+
+    section("snapshot: queries served mid-ingest, zero writer contention");
+    let q = &query_report;
+    let per_query_ns = q.elapsed_s * 1e9 / q.queries as f64;
+    let merged_rel = (q.merged_estimate - q.frozen_events as f64).abs() / q.frozen_events as f64;
+    let snapshot_ok = q.hits > 0 && q.frozen_events < events && merged_rel <= 2.0 * EPS;
+    println!(
+        "snapshot frozen at {} events (mid-ingest); {} point queries in {:.3} s \
+         ({:.0} ns/query, {:.1} M queries/s) while the applier kept writing",
+        q.frozen_events,
+        q.queries,
+        q.elapsed_s,
+        per_query_ns,
+        q.queries as f64 / q.elapsed_s / 1e6
+    );
+    println!(
+        "merged aggregate (one field read): {:.3e} vs frozen exact {:.3e} (rel err {:.4}, bound {})",
+        q.merged_estimate,
+        q.frozen_events as f64,
+        merged_rel,
+        2.0 * EPS
+    );
+
+    // ----- Part 3: checkpoint size vs counter_state_bits ----------------
+    section("checkpoint: ac-bitio serialization of the final snapshot");
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE13C4);
+    let final_snap = engine.snapshot(&mut rng).unwrap();
+    let ck_start = Instant::now();
+    let ck = checkpoint_snapshot(&final_snap);
+    let write_s = ck_start.elapsed().as_secs_f64();
+    let cs = ck.stats();
+    let path = std::env::temp_dir().join("ac_engine_pipeline_checkpoint.bin");
+    std::fs::write(&path, ck.bytes()).expect("write checkpoint file");
+
+    let size_bound_bits = 2 * cs.counter_state_bits + cs.header_bits;
+    let checkpoint_ok =
+        cs.total_bits <= size_bound_bits && cs.counter_state_bits == stats.counter_state_bits;
+    let mut table = Table::new(vec!["component", "bits", "per key"]);
+    let per_key = |bits: u64| format!("{:.1}", bits as f64 / cs.keys as f64);
+    table.row(vec![
+        "counter states (encoded)".into(),
+        format!("{}", cs.state_code_bits),
+        per_key(cs.state_code_bits),
+    ]);
+    table.row(vec![
+        "keys (rice gaps)".into(),
+        format!("{}", cs.key_bits),
+        per_key(cs.key_bits),
+    ]);
+    table.row(vec![
+        "framing (header+sections)".into(),
+        format!("{}", cs.header_bits),
+        per_key(cs.header_bits),
+    ]);
+    table.row(vec![
+        "total".into(),
+        format!("{}", cs.total_bits),
+        per_key(cs.total_bits),
+    ]);
+    table.row(vec![
+        "live counter_state_bits".into(),
+        format!("{}", cs.counter_state_bits),
+        per_key(cs.counter_state_bits),
+    ]);
+    print!("{}", table.to_markdown());
+    println!(
+        "\n{} keys -> {} bytes on disk in {:.3} s ({:.2} bytes/key); bound: \
+         2 x state_bits + framing = {} bits ({})",
+        cs.keys,
+        cs.bytes(),
+        write_s,
+        cs.bytes() as f64 / cs.keys as f64,
+        size_bound_bits,
+        if checkpoint_ok { "met" } else { "EXCEEDED" }
+    );
+
+    // ----- Part 4: restore, bit-identically -----------------------------
+    section("restore: every key bit-identical, RNG stream continued");
+    let bytes = std::fs::read(&path).expect("read checkpoint file");
+    let rs_start = Instant::now();
+    let restored = restore_checkpoint(&template(), &bytes).expect("restore");
+    let restore_s = rs_start.elapsed().as_secs_f64();
+    let mut mismatches = 0u64;
+    for (key, counter) in engine.iter() {
+        let back = restored.counter(key);
+        if back.map(NelsonYuCounter::state_parts) != Some(counter.state_parts())
+            || back.map(ApproxCounter::estimate) != Some(counter.estimate())
+            || back.map(StateBits::state_bits) != Some(counter.state_bits())
+        {
+            mismatches += 1;
+        }
+    }
+    let restore_ok = mismatches == 0
+        && restored.len() == engine.len()
+        && restored.total_events() == engine.total_events()
+        && restored.config() == engine.config();
+    println!(
+        "restored {} keys from {} bytes in {restore_s:.3} s: {} state mismatches, \
+         events {} vs {}",
+        restored.len(),
+        bytes.len(),
+        mismatches,
+        restored.total_events(),
+        engine.total_events()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // ----- Report -------------------------------------------------------
+    let ok = ingest_ok && snapshot_ok && checkpoint_ok && restore_ok;
+    let report = JsonObject::new()
+        .str("experiment", "E13")
+        .str("title", "ingest / snapshot / checkpoint pipeline")
+        .bool("quick", ac_bench::quick_mode())
+        .obj(
+            "ingest",
+            JsonObject::new()
+                .int("keys", keys)
+                .int("events", events)
+                .int("producers", producers)
+                .int("producer_pairs", batch_pairs)
+                .int("coalesced_batches", ingest_stats.enqueued_batches)
+                .int("dropped_batches", stats.dropped_batches)
+                .num("apply_seconds", apply_s)
+                .num("events_per_second", events_per_sec)
+                .int("counter_state_bits", stats.counter_state_bits)
+                .bool("ok", ingest_ok),
+        )
+        .obj(
+            "snapshot",
+            JsonObject::new()
+                .int("frozen_events", q.frozen_events)
+                .int("queries", q.queries)
+                .int("hits", q.hits)
+                .num("query_seconds", q.elapsed_s)
+                .num("ns_per_query", per_query_ns)
+                .num("merged_estimate", q.merged_estimate)
+                .num("merged_relative_error", merged_rel)
+                .bool("ok", snapshot_ok),
+        )
+        .obj(
+            "checkpoint",
+            JsonObject::new()
+                .int("keys", cs.keys)
+                .int("bytes", cs.bytes())
+                .int("total_bits", cs.total_bits)
+                .int("state_code_bits", cs.state_code_bits)
+                .int("key_bits", cs.key_bits)
+                .int("header_bits", cs.header_bits)
+                .int("counter_state_bits", cs.counter_state_bits)
+                .int("size_bound_bits", size_bound_bits)
+                .num("write_seconds", write_s)
+                .bool("ok", checkpoint_ok),
+        )
+        .obj(
+            "restore",
+            JsonObject::new()
+                .int("mismatches", mismatches)
+                .num("restore_seconds", restore_s)
+                .bool("ok", restore_ok),
+        )
+        .bool("reproduced", ok);
+    write_json_report(&report);
+
+    verdict(
+        ok,
+        "multi-producer ingest is lossless and fast, a mid-ingest snapshot \
+         serves queries without touching the writers, and the checkpoint \
+         restores bit-identically at ~counter_state_bits on disk",
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -195,6 +195,47 @@ impl BitVec {
         self.words.clear();
         self.len = 0;
     }
+
+    /// Serializes to bytes: the backing words little-endian, trimmed to
+    /// `⌈len/8⌉` bytes. Pad bits in the final byte are zero.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n_bytes = (self.len.div_ceil(8)) as usize;
+        let mut out = Vec::with_capacity(n_bytes);
+        'fill: for word in &self.words {
+            for b in word.to_le_bytes() {
+                if out.len() == n_bytes {
+                    break 'fill;
+                }
+                out.push(b);
+            }
+        }
+        // Mask the pad bits of the last byte so the output is canonical.
+        let tail = (self.len % 8) as u32;
+        if tail != 0 {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u8 << tail) - 1;
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a bit vector from [`BitVec::to_bytes`] output. The length
+    /// is `8 × bytes.len()` — readers are expected to know their own
+    /// payload lengths (e.g. from a frame header) and ignore pad bits.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut words = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            words.push(u64::from_le_bytes(buf));
+        }
+        Self {
+            words,
+            len: bytes.len() as u64 * 8,
+        }
+    }
 }
 
 /// Sequential writer over a [`BitVec`] (append-only cursor).
@@ -275,6 +316,16 @@ impl<'a> BitReader<'a> {
         let v = self.vec.get_bits(self.pos, width);
         self.pos += u64::from(width);
         v
+    }
+
+    /// Reads `width` bits if that many remain, `None` otherwise — the
+    /// checked form used when parsing untrusted input (e.g. checkpoint
+    /// headers), where truncation must surface as an error, not a panic.
+    pub fn try_read_bits(&mut self, width: u32) -> Option<u64> {
+        if self.remaining() < u64::from(width) {
+            return None;
+        }
+        Some(self.read_bits(width))
     }
 
     /// Current cursor position in bits.

@@ -144,6 +144,54 @@ pub fn decode_rice(r: &mut BitReader<'_>, k: u32) -> u64 {
     (q << k) | rem
 }
 
+/// Checked variant of [`decode_gamma`]: `None` on truncated or
+/// structurally impossible input instead of a panic — for parsing bits
+/// whose provenance is untrusted (e.g. checkpoint payloads).
+pub fn try_decode_gamma(r: &mut BitReader<'_>) -> Option<u64> {
+    let mut zeros = 0u32;
+    loop {
+        if r.remaining() == 0 {
+            return None;
+        }
+        if r.read_bit() {
+            break;
+        }
+        zeros += 1;
+        if zeros >= 64 {
+            return None;
+        }
+    }
+    if r.remaining() < u64::from(zeros) {
+        return None;
+    }
+    let mut x = 1u64;
+    for _ in 0..zeros {
+        x = (x << 1) | u64::from(r.read_bit());
+    }
+    Some(x)
+}
+
+/// Checked variant of [`decode_delta`]: `None` instead of a panic.
+pub fn try_decode_delta(r: &mut BitReader<'_>) -> Option<u64> {
+    let n = try_decode_gamma(r)?;
+    if !(1..=64).contains(&n) {
+        return None;
+    }
+    if r.remaining() < n - 1 {
+        return None;
+    }
+    let mut x = 1u64;
+    for _ in 0..(n - 1) {
+        x = (x << 1) | u64::from(r.read_bit());
+    }
+    Some(x)
+}
+
+/// Checked variant of [`decode_delta0`]: `None` instead of a panic.
+pub fn try_decode_delta0(r: &mut BitReader<'_>) -> Option<u64> {
+    try_decode_delta(r).map(|x| x - 1)
+}
+
 /// Elias γ for zero-based values (encodes `x + 1`).
 pub fn encode_gamma0(w: &mut BitWriter<'_>, x: u64) {
     assert!(x < u64::MAX, "gamma0 domain is 0..u64::MAX-1");
@@ -305,5 +353,60 @@ mod tests {
     fn gamma_rejects_zero() {
         let mut v = BitVec::new();
         encode_gamma(&mut BitWriter::new(&mut v), 0);
+    }
+
+    #[test]
+    fn checked_decoders_match_panicking_ones_on_valid_input() {
+        let values: Vec<u64> = (1..=100)
+            .chain([1 << 20, (1 << 40) + 7, u64::MAX])
+            .collect();
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for &x in &values {
+                encode_gamma(&mut w, x.min(u64::MAX / 2));
+                encode_delta(&mut w, x);
+                encode_delta0(&mut w, x - 1);
+            }
+        }
+        let mut r = BitReader::new(&v);
+        for &x in &values {
+            assert_eq!(try_decode_gamma(&mut r), Some(x.min(u64::MAX / 2)));
+            assert_eq!(try_decode_delta(&mut r), Some(x));
+            assert_eq!(try_decode_delta0(&mut r), Some(x - 1));
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn checked_decoders_reject_truncation_and_garbage() {
+        // Truncated: a zero-run with no terminating one.
+        let mut v = BitVec::new();
+        for _ in 0..10 {
+            v.push(false);
+        }
+        assert_eq!(try_decode_gamma(&mut BitReader::new(&v)), None);
+        assert_eq!(try_decode_delta(&mut BitReader::new(&v)), None);
+
+        // Empty input.
+        let empty = BitVec::new();
+        assert_eq!(try_decode_gamma(&mut BitReader::new(&empty)), None);
+
+        // A γ code whose digit tail is cut off.
+        let mut v = BitVec::new();
+        encode_gamma(&mut BitWriter::new(&mut v), 1 << 30);
+        let mut cut = BitVec::new();
+        for i in 0..(v.len() / 2) {
+            cut.push(v.get(i));
+        }
+        assert_eq!(try_decode_gamma(&mut BitReader::new(&cut)), None);
+
+        // A structurally impossible zero-run (>= 64 zeros then a one).
+        let mut v = BitVec::new();
+        for _ in 0..80 {
+            v.push(false);
+        }
+        v.push(true);
+        assert_eq!(try_decode_gamma(&mut BitReader::new(&v)), None);
     }
 }

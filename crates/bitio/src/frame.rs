@@ -1,0 +1,308 @@
+//! Slab framing helpers: length-prefixed sections, labels, and packed
+//! sorted-key sets — the on-disk grammar of the `ac-engine` checkpoint.
+//!
+//! A *frame* is a bit stream assembled from three primitives:
+//!
+//! * **sections** — a fixed 32-bit payload-length prefix, patched in after
+//!   the payload is written ([`begin_section`] / [`end_section`]), so a
+//!   reader can bounds-check a slab before parsing it;
+//! * **labels** — short length-prefixed UTF-8 strings for family names and
+//!   the like ([`write_label`] / [`read_label`]);
+//! * **sorted key sets** — a strictly increasing `u64` sequence stored as
+//!   Golomb–Rice-coded gaps with a per-set parameter
+//!   ([`encode_sorted_keys`] / [`decode_sorted_keys`]). Dense key spaces
+//!   (the common engine workload) cost a handful of bits per key instead
+//!   of 64.
+//!
+//! Reader-side helpers return `Option` and never panic on *truncated*
+//! input; garbage bits inside a section that passes its length check can
+//! still abort downstream self-delimiting decoders (they assert on
+//! impossible codewords).
+
+use crate::codes::{encode_delta0, rice_len, try_decode_delta0};
+use crate::{BitReader, BitVec, BitWriter};
+
+/// Width of a section's payload-length prefix.
+const SECTION_LEN_BITS: u32 = 32;
+
+/// Maximum label length accepted by [`read_label`] (defense against
+/// corrupt length fields).
+const MAX_LABEL_BYTES: u64 = 256;
+
+/// Opens a length-prefixed section: reserves the 32-bit length slot and
+/// returns a token that [`end_section`] uses to patch it.
+#[must_use]
+pub fn begin_section(v: &mut BitVec) -> u64 {
+    let at = v.len();
+    v.push_bits(0, SECTION_LEN_BITS);
+    at
+}
+
+/// Closes the section opened at `token`, patching its payload bit length
+/// in place.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds `2^32 − 1` bits (half a gigabyte — a
+/// single slab section is never that large; split it first).
+pub fn end_section(v: &mut BitVec, token: u64) {
+    let payload = v.len() - token - u64::from(SECTION_LEN_BITS);
+    assert!(
+        payload < (1u64 << SECTION_LEN_BITS),
+        "section payload of {payload} bits overflows the length prefix"
+    );
+    v.overwrite_bits(token, payload, SECTION_LEN_BITS);
+}
+
+/// Reads a section's length prefix and verifies the full payload is
+/// present. Returns the payload bit length; the reader is positioned at
+/// the payload's first bit. `None` on truncation.
+pub fn read_section(r: &mut BitReader<'_>) -> Option<u64> {
+    let len = r.try_read_bits(SECTION_LEN_BITS)?;
+    (r.remaining() >= len).then_some(len)
+}
+
+/// Appends a length-prefixed UTF-8 label (Elias-δ byte count, then raw
+/// bytes).
+///
+/// # Panics
+///
+/// Panics if the label exceeds [`MAX_LABEL_BYTES`] (256) bytes.
+pub fn write_label(v: &mut BitVec, label: &str) {
+    assert!(
+        label.len() as u64 <= MAX_LABEL_BYTES,
+        "label too long: {} bytes",
+        label.len()
+    );
+    let mut w = BitWriter::new(v);
+    encode_delta0(&mut w, label.len() as u64);
+    for b in label.bytes() {
+        w.write_bits(u64::from(b), 8);
+    }
+}
+
+/// Reads a label written by [`write_label`]. `None` on truncation, an
+/// over-long length field, or invalid UTF-8.
+pub fn read_label(r: &mut BitReader<'_>) -> Option<String> {
+    let len = try_decode_delta0(r)?;
+    if len > MAX_LABEL_BYTES || r.remaining() < len * 8 {
+        return None;
+    }
+    let bytes: Vec<u8> = (0..len).map(|_| r.read_bits(8) as u8).collect();
+    String::from_utf8(bytes).ok()
+}
+
+/// The Golomb–Rice parameter used for a strictly increasing key set:
+/// `⌊log₂(mean gap)⌋`, the standard near-optimal choice for
+/// geometric-looking gap distributions.
+#[must_use]
+pub fn rice_parameter_for_keys(keys: &[u64]) -> u32 {
+    if keys.len() < 2 {
+        return 0;
+    }
+    let span = keys[keys.len() - 1] - keys[0];
+    let mean_gap = (span / (keys.len() as u64 - 1)).max(1);
+    mean_gap.ilog2().min(63)
+}
+
+/// Appends a strictly increasing key set: a 6-bit Rice parameter, the
+/// first key as a fixed 64-bit field, then `gap − 1` Rice-coded per
+/// subsequent key. Writes nothing for an empty set (the count travels out
+/// of band).
+///
+/// Returns the number of bits written.
+///
+/// # Panics
+///
+/// Panics if `keys` is not strictly increasing.
+pub fn encode_sorted_keys(v: &mut BitVec, keys: &[u64]) -> u64 {
+    let start = v.len();
+    if keys.is_empty() {
+        return 0;
+    }
+    for pair in keys.windows(2) {
+        assert!(pair[1] > pair[0], "keys must be strictly increasing");
+    }
+    let k = rice_parameter_for_keys(keys);
+    v.push_bits(u64::from(k), 6);
+    let mut w = BitWriter::new(v);
+    w.write_bits(keys[0], 64);
+    for pair in keys.windows(2) {
+        crate::codes::encode_rice(&mut w, pair[1] - pair[0] - 1, k);
+    }
+    v.len() - start
+}
+
+/// Reads `count` keys written by [`encode_sorted_keys`]. `None` on
+/// truncation or if reconstruction overflows `u64` (corrupt gaps).
+pub fn decode_sorted_keys(r: &mut BitReader<'_>, count: usize) -> Option<Vec<u64>> {
+    if count == 0 {
+        return Some(Vec::new());
+    }
+    // Every encoded key past the first costs at least one bit (and the
+    // preamble 70), so a count exceeding the remaining bits is
+    // structurally impossible — reject before allocating for it.
+    if count as u64 > r.remaining() {
+        return None;
+    }
+    let k = r.try_read_bits(6)? as u32;
+    let mut keys = Vec::with_capacity(count);
+    keys.push(r.try_read_bits(64)?);
+    for _ in 1..count {
+        let gap = try_decode_rice(r, k)?;
+        let prev = *keys.last().expect("non-empty");
+        keys.push(prev.checked_add(gap)?.checked_add(1)?);
+    }
+    Some(keys)
+}
+
+/// [`crate::codes::decode_rice`] with truncation reported as `None`
+/// instead of a panic.
+fn try_decode_rice(r: &mut BitReader<'_>, k: u32) -> Option<u64> {
+    let mut q = 0u64;
+    loop {
+        if r.remaining() == 0 {
+            return None;
+        }
+        if r.read_bit() {
+            break;
+        }
+        q += 1;
+    }
+    let rem = if k > 0 { r.try_read_bits(k)? } else { 0 };
+    Some((q << k) | rem)
+}
+
+/// Exact bit cost of [`encode_sorted_keys`] for `keys`, without encoding.
+#[must_use]
+pub fn sorted_keys_bits(keys: &[u64]) -> u64 {
+    if keys.is_empty() {
+        return 0;
+    }
+    let k = rice_parameter_for_keys(keys);
+    let mut bits = 6 + 64;
+    for pair in keys.windows(2) {
+        bits += rice_len(pair[1] - pair[0] - 1, k);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_round_trip() {
+        let mut v = BitVec::new();
+        let tok = begin_section(&mut v);
+        v.push_bits(0xABCD, 16);
+        v.push_bits(0b101, 3);
+        end_section(&mut v, tok);
+        let mut r = BitReader::new(&v);
+        let len = read_section(&mut r).unwrap();
+        assert_eq!(len, 19);
+        assert_eq!(r.read_bits(16), 0xABCD);
+        assert_eq!(r.read_bits(3), 0b101);
+    }
+
+    #[test]
+    fn truncated_section_is_rejected() {
+        let mut v = BitVec::new();
+        let tok = begin_section(&mut v);
+        v.push_bits(0xFFFF, 16);
+        end_section(&mut v, tok);
+        // Claim more bits than exist by corrupting the length field.
+        v.overwrite_bits(tok, 1_000, 32);
+        let mut r = BitReader::new(&v);
+        assert_eq!(read_section(&mut r), None);
+        // An empty reader cannot even produce the prefix.
+        let empty = BitVec::new();
+        assert_eq!(read_section(&mut BitReader::new(&empty)), None);
+    }
+
+    #[test]
+    fn label_round_trip() {
+        let mut v = BitVec::new();
+        write_label(&mut v, "nelson-yu");
+        write_label(&mut v, "");
+        let mut r = BitReader::new(&v);
+        assert_eq!(read_label(&mut r).as_deref(), Some("nelson-yu"));
+        assert_eq!(read_label(&mut r).as_deref(), Some(""));
+    }
+
+    #[test]
+    fn oversized_label_length_is_rejected() {
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_delta0(&mut w, 100_000); // absurd byte count
+        }
+        let mut r = BitReader::new(&v);
+        assert_eq!(read_label(&mut r), None);
+    }
+
+    #[test]
+    fn sorted_keys_round_trip_dense_and_sparse() {
+        for keys in [
+            (0u64..1_000).collect::<Vec<_>>(),
+            (0u64..1_000).map(|i| i * 37 + 5).collect(),
+            vec![3, 9, 10, 11, 12_345, u64::MAX - 2, u64::MAX],
+            vec![0],
+            vec![u64::MAX],
+            vec![],
+        ] {
+            let mut v = BitVec::new();
+            let bits = encode_sorted_keys(&mut v, &keys);
+            assert_eq!(bits, v.len());
+            assert_eq!(bits, sorted_keys_bits(&keys), "length accounting");
+            let mut r = BitReader::new(&v);
+            let back = decode_sorted_keys(&mut r, keys.len()).unwrap();
+            assert_eq!(back, keys);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn dense_keys_pack_far_below_64_bits_each() {
+        // 10k keys dense over a 320k span: the whole point of gap coding.
+        let keys: Vec<u64> = (0..10_000u64).map(|i| i * 32).collect();
+        let mut v = BitVec::new();
+        encode_sorted_keys(&mut v, &keys);
+        let per_key = v.len() as f64 / keys.len() as f64;
+        assert!(per_key < 10.0, "bits/key = {per_key}");
+    }
+
+    #[test]
+    fn truncated_keys_are_rejected_gracefully() {
+        let keys: Vec<u64> = (0..100u64).collect();
+        let mut v = BitVec::new();
+        encode_sorted_keys(&mut v, &keys);
+        // Chop the tail off: decode must return None, not panic.
+        let mut short = BitVec::new();
+        for i in 0..(v.len() / 2) {
+            short.push(v.get(i));
+        }
+        let mut r = BitReader::new(&short);
+        assert_eq!(decode_sorted_keys(&mut r, keys.len()), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_keys_panic() {
+        let mut v = BitVec::new();
+        encode_sorted_keys(&mut v, &[5, 3]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut v = BitVec::new();
+        v.push_bits(0xDEAD_BEEF_CAFE, 48);
+        v.push_bits(0b10110, 5);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 7); // ceil(53/8)
+        let back = BitVec::from_bytes(&bytes);
+        assert!(back.len() >= v.len());
+        assert_eq!(back.get_bits(0, 48), 0xDEAD_BEEF_CAFE);
+        assert_eq!(back.get_bits(48, 5), 0b10110);
+    }
+}

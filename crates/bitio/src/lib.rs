@@ -14,6 +14,9 @@
 //! * [`codes`] — self-delimiting integer codes (unary, Elias γ, Elias δ,
 //!   Golomb–Rice) used to pack *variable-width* counter states, realizing
 //!   the paper's "many counters" motivation end to end.
+//! * [`frame`] — slab framing: length-prefixed sections, labels, and
+//!   Rice-coded sorted key sets, the grammar of the `ac-engine`
+//!   checkpoint format.
 //!
 //! ## Width conventions
 //!
@@ -28,6 +31,7 @@
 
 mod bitvec;
 pub mod codes;
+pub mod frame;
 mod meter;
 mod width;
 

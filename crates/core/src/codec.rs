@@ -1,0 +1,475 @@
+//! The [`StateCodec`] trait: bit-exact, self-delimiting counter state
+//! serialization — the contract the `ac-engine` checkpoint layer (and the
+//! `ac-streams` packed arrays) build on.
+//!
+//! The paper's thesis is that counter *state* is a handful of bits; this
+//! trait makes persistence honor that. Every family encodes exactly its
+//! persistent registers (Remark 2.2's storage model: program constants
+//! like `ε`, `a`, `d` are *not* state and are never written) with the
+//! Elias/Golomb codes from [`ac_bitio::codes`], so a million checkpointed
+//! counters really cost on the order of their summed
+//! [`StateBits::state_bits`](ac_bitio::StateBits::state_bits) — not a
+//! million fixed-width records.
+//!
+//! Decoding is template-driven: the decoder is an already-constructed
+//! counter whose parameter schedule supplies everything the bits leave
+//! implicit. [`StateCodec::params_fingerprint`] lets containers verify up
+//! front that writer and reader agree on that schedule — the `ac-engine`
+//! checkpoint embeds it in its versioned header and refuses mismatched
+//! restores.
+//!
+//! | family | encoded state |
+//! |--------|---------------|
+//! | `exact` | `N` (δ) |
+//! | `morris` | level `X` (δ) |
+//! | `morris+` | prefix (δ), level `X` (δ) |
+//! | `nelson-yu` | `X − X₀` (δ), `Y` (δ), `t` (γ) |
+//! | `csuros-float` | register `x` (δ) |
+
+use crate::{
+    ApproxCounter, CoreError, CsurosCounter, ExactCounter, MorrisCounter, MorrisPlus,
+    NelsonYuCounter,
+};
+use ac_bitio::codes::{
+    decode_delta0, decode_gamma0, delta_len, encode_delta0, encode_gamma0, gamma_len,
+};
+use ac_bitio::{BitReader, BitWriter};
+
+/// Bit-exact state serialization for a counter family.
+///
+/// Implementations must uphold:
+///
+/// * **round trip** — `decode_state` over `encode_state`'s output, under a
+///   template with the same parameters, yields a counter with identical
+///   persistent state (same estimate, same `state_bits`, equal observable
+///   registers);
+/// * **self-delimitation** — `encode_state` writes exactly
+///   [`StateCodec::encoded_state_bits`] bits and `decode_state` consumes
+///   exactly that many, so states can be streamed back to back;
+/// * **fingerprint discipline** — two counters share a
+///   [`StateCodec::params_fingerprint`] iff their encoded states are
+///   mutually decodable.
+///
+/// Decoders *validate*: a bit pattern that no reachable counter state
+/// produces (a level above the register cap, `Y` above its epoch
+/// threshold, …) returns [`CoreError::InvalidState`] instead of a
+/// corrupted counter. Truncated input — fewer bits than one codeword —
+/// panics like the underlying [`ac_bitio::codes`] decoders; containers
+/// are expected to length-check their frames first (see
+/// [`ac_bitio::frame`]).
+pub trait StateCodec: ApproxCounter + Sized {
+    /// A 64-bit digest of the family and its parameter schedule (the
+    /// program constants). Equal fingerprints ⇔ interchangeable encodings.
+    fn params_fingerprint(&self) -> u64;
+
+    /// Appends the counter's persistent state to `w`.
+    fn encode_state(&self, w: &mut BitWriter<'_>);
+
+    /// Decodes one state written by [`StateCodec::encode_state`] under
+    /// the same schedule, with `self` as the template. The template's own
+    /// registers are ignored; only its parameters matter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] for well-formed bit strings
+    /// that violate the schedule's invariants.
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError>;
+
+    /// The exact number of bits [`StateCodec::encode_state`] writes for
+    /// the current state.
+    fn encoded_state_bits(&self) -> u64;
+}
+
+/// Order-sensitive fold of parameter words into one fingerprint, built on
+/// the canonical [`ac_randkit::mix64`] finalizer. The first word is the
+/// family tag, so distinct families never collide even on identical
+/// parameter lists.
+fn fingerprint(parts: &[u64]) -> u64 {
+    let mut acc = 0x5EED_C0DE_0DEC_0DE5u64;
+    for &p in parts {
+        acc = ac_randkit::mix64(acc ^ p);
+    }
+    acc
+}
+
+/// Encodes an optional register cap as two words (presence, value), so
+/// `None` can never collide with a real cap value.
+fn cap_parts(cap: Option<u64>) -> [u64; 2] {
+    match cap {
+        Some(v) => [1, v],
+        None => [0, 0],
+    }
+}
+
+impl StateCodec for ExactCounter {
+    fn params_fingerprint(&self) -> u64 {
+        fingerprint(&[0x01])
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.count());
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        let n = decode_delta0(r);
+        let mut c = ExactCounter::new();
+        // Replaying n exact increments costs O(1): the register is n.
+        c.increment_by(n, &mut NullSource);
+        Ok(c)
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        u64::from(delta_len(self.count() + 1))
+    }
+}
+
+/// The exact counter consumes no randomness; feed its decode replay a
+/// source that proves it (panics if sampled).
+struct NullSource;
+
+impl ac_randkit::RandomSource for NullSource {
+    fn next_u64(&mut self) -> u64 {
+        unreachable!("exact counter decode must not draw randomness")
+    }
+}
+
+impl StateCodec for MorrisCounter {
+    fn params_fingerprint(&self) -> u64 {
+        let cap = cap_parts(self.cap());
+        fingerprint(&[0x02, self.a().to_bits(), cap[0], cap[1]])
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.level());
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        let x = decode_delta0(r);
+        if self.cap().is_some_and(|cap| x > cap) {
+            return Err(CoreError::InvalidState {
+                what: "Morris level above register cap",
+            });
+        }
+        let mut c = self.clone();
+        c.reset();
+        c.set_level(x);
+        Ok(c)
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        u64::from(delta_len(self.level() + 1))
+    }
+}
+
+impl StateCodec for MorrisPlus {
+    fn params_fingerprint(&self) -> u64 {
+        fingerprint(&[0x03, self.a().to_bits(), self.cutoff()])
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.prefix());
+        encode_delta0(w, self.morris().level());
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        let prefix = decode_delta0(r);
+        let level = decode_delta0(r);
+        if prefix > self.cutoff() + 1 {
+            return Err(CoreError::InvalidState {
+                what: "Morris+ prefix beyond its saturation point",
+            });
+        }
+        let mut c = self.clone();
+        c.reset();
+        c.restore_parts(prefix, level);
+        Ok(c)
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        u64::from(delta_len(self.prefix() + 1)) + u64::from(delta_len(self.morris().level() + 1))
+    }
+}
+
+impl StateCodec for NelsonYuCounter {
+    fn params_fingerprint(&self) -> u64 {
+        let p = self.params();
+        fingerprint(&[
+            0x04,
+            p.eps().to_bits(),
+            u64::from(p.delta_log2()),
+            p.c().to_bits(),
+        ])
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        let (x, y, t) = self.state_parts();
+        // X is stored relative to X₀ (absolute level implied by the
+        // schedule); t is tiny, γ-coded; Y δ-coded.
+        encode_delta0(w, x - self.params().x0());
+        encode_delta0(w, y);
+        encode_gamma0(w, u64::from(t));
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        let dx = decode_delta0(r);
+        let y = decode_delta0(r);
+        let t = decode_gamma0(r);
+        let t = u32::try_from(t).map_err(|_| CoreError::InvalidState {
+            what: "sampling exponent does not fit u32",
+        })?;
+        let x = self
+            .params()
+            .x0()
+            .checked_add(dx)
+            .ok_or(CoreError::InvalidState {
+                what: "level overflows u64",
+            })?;
+        let mut c = NelsonYuCounter::new(*self.params());
+        c.try_restore_parts(x, y, t)?;
+        Ok(c)
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        let (x, y, t) = self.state_parts();
+        u64::from(delta_len(x - self.params().x0() + 1))
+            + u64::from(delta_len(y + 1))
+            + u64::from(gamma_len(u64::from(t) + 1))
+    }
+}
+
+impl StateCodec for CsurosCounter {
+    fn params_fingerprint(&self) -> u64 {
+        let cap = cap_parts(self.cap());
+        fingerprint(&[0x05, u64::from(self.mantissa_bits()), cap[0], cap[1]])
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        encode_delta0(w, self.register());
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        let x = decode_delta0(r);
+        if self.cap().is_some_and(|cap| x > cap) {
+            return Err(CoreError::InvalidState {
+                what: "Csűrös register above cap",
+            });
+        }
+        let mut c = self.clone();
+        c.reset();
+        c.set_register(x);
+        Ok(c)
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        u64::from(delta_len(self.register() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NyParams;
+    use ac_bitio::{BitVec, StateBits};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    /// Encodes `original`, decodes through `template`, and checks the
+    /// round-trip contract: exact bit accounting, identical estimate and
+    /// state bits.
+    fn round_trip<C: StateCodec>(original: &C, template: &C) -> C {
+        assert_eq!(
+            original.params_fingerprint(),
+            template.params_fingerprint(),
+            "test setup: template must share the schedule"
+        );
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            original.encode_state(&mut w);
+        }
+        assert_eq!(v.len(), original.encoded_state_bits(), "length accounting");
+        let mut r = BitReader::new(&v);
+        let decoded = template.decode_state(&mut r).expect("valid state");
+        assert_eq!(r.remaining(), 0, "all bits consumed");
+        assert_eq!(original.estimate(), decoded.estimate(), "estimate");
+        assert_eq!(original.state_bits(), decoded.state_bits(), "state bits");
+        decoded
+    }
+
+    #[test]
+    fn exact_round_trips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for n in [0u64, 1, 1_000, u64::MAX / 2] {
+            let mut c = ExactCounter::new();
+            c.increment_by(n, &mut rng);
+            let back = round_trip(&c, &ExactCounter::new());
+            assert_eq!(back.count(), n);
+        }
+    }
+
+    #[test]
+    fn morris_round_trips_including_caps() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let mut c = MorrisCounter::new(0.25).unwrap();
+        c.increment_by(100_000, &mut rng);
+        round_trip(&c, &MorrisCounter::new(0.25).unwrap());
+
+        let mut c = MorrisCounter::with_cap(1.0, 12).unwrap();
+        c.increment_by(1 << 20, &mut rng);
+        let back = round_trip(&c, &MorrisCounter::with_cap(1.0, 12).unwrap());
+        assert!(back.saturated());
+    }
+
+    #[test]
+    fn morris_plus_round_trips_across_the_cutoff() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        for n in [0u64, 50, 5_000, 300_000] {
+            let mut c = MorrisPlus::new(0.2, 8).unwrap();
+            c.increment_by(n, &mut rng);
+            let back = round_trip(&c, &MorrisPlus::new(0.2, 8).unwrap());
+            assert_eq!(back.prefix(), c.prefix());
+            assert_eq!(back.in_exact_regime(), c.in_exact_regime());
+        }
+    }
+
+    #[test]
+    fn nelson_yu_round_trips_across_epochs() {
+        let p = NyParams::new(0.2, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        for n in [0u64, 5, 1_000, 500_000] {
+            let mut c = NelsonYuCounter::new(p);
+            c.increment_by(n, &mut rng);
+            let back = round_trip(&c, &NelsonYuCounter::new(p));
+            assert_eq!(back.state_parts(), c.state_parts());
+        }
+    }
+
+    #[test]
+    fn csuros_round_trips() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let mut c = CsurosCounter::new(8).unwrap();
+        c.increment_by(123_456, &mut rng);
+        round_trip(&c, &CsurosCounter::new(8).unwrap());
+    }
+
+    #[test]
+    fn encoded_size_tracks_state_bits() {
+        // The raison d'être: encoding costs ~state_bits, not a fixed
+        // record. A counter holding a million increments must encode in
+        // well under a machine word.
+        let p = NyParams::new(0.1, 10).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let mut c = NelsonYuCounter::new(p);
+        c.increment_by(1_000_000, &mut rng);
+        assert!(
+            c.encoded_state_bits() <= 2 * c.state_bits() + 16,
+            "encoded {} vs state {}",
+            c.encoded_state_bits(),
+            c.state_bits()
+        );
+        assert!(c.encoded_state_bits() < 64);
+    }
+
+    #[test]
+    fn fingerprints_separate_families_and_parameters() {
+        let p1 = NyParams::new(0.1, 10).unwrap();
+        let p2 = NyParams::new(0.2, 10).unwrap();
+        let fps = [
+            ExactCounter::new().params_fingerprint(),
+            MorrisCounter::new(0.5).unwrap().params_fingerprint(),
+            MorrisCounter::new(0.25).unwrap().params_fingerprint(),
+            MorrisCounter::with_cap(0.5, 17)
+                .unwrap()
+                .params_fingerprint(),
+            MorrisPlus::with_base(0.5).unwrap().params_fingerprint(),
+            NelsonYuCounter::new(p1).params_fingerprint(),
+            NelsonYuCounter::new(p2).params_fingerprint(),
+            CsurosCounter::new(8).unwrap().params_fingerprint(),
+            CsurosCounter::new(9).unwrap().params_fingerprint(),
+            CsurosCounter::with_cap(8, 100)
+                .unwrap()
+                .params_fingerprint(),
+        ];
+        for (i, a) in fps.iter().enumerate() {
+            for (j, b) in fps.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "fingerprint collision between {i} and {j}");
+                }
+            }
+        }
+        // And stability across equal constructions.
+        assert_eq!(
+            MorrisCounter::new(0.5).unwrap().params_fingerprint(),
+            MorrisCounter::new(0.5).unwrap().params_fingerprint()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unreachable_states() {
+        // Morris: level above the cap.
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_delta0(&mut w, 100);
+        }
+        let template = MorrisCounter::with_cap(1.0, 10).unwrap();
+        assert!(matches!(
+            template.decode_state(&mut BitReader::new(&v)),
+            Err(CoreError::InvalidState { .. })
+        ));
+
+        // Nelson–Yu: Y far above any epoch threshold.
+        let p = NyParams::new(0.2, 8).unwrap();
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_delta0(&mut w, 0); // dx
+            encode_delta0(&mut w, u64::MAX / 4); // absurd Y
+            encode_gamma0(&mut w, 0); // t
+        }
+        let template = NelsonYuCounter::new(p);
+        assert!(matches!(
+            template.decode_state(&mut BitReader::new(&v)),
+            Err(CoreError::InvalidState { .. })
+        ));
+
+        // Morris+: prefix beyond saturation.
+        let template = MorrisPlus::with_base_and_cutoff(0.5, 100).unwrap();
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            encode_delta0(&mut w, 500); // prefix > cutoff + 1
+            encode_delta0(&mut w, 3);
+        }
+        assert!(matches!(
+            template.decode_state(&mut BitReader::new(&v)),
+            Err(CoreError::InvalidState { .. })
+        ));
+    }
+
+    #[test]
+    fn states_stream_back_to_back() {
+        // Self-delimitation: many states in one bit vector, no separators.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let template = MorrisCounter::new(0.1).unwrap();
+        let counters: Vec<MorrisCounter> = (0..50)
+            .map(|i| {
+                let mut c = template.clone();
+                c.increment_by(i * 997, &mut rng);
+                c
+            })
+            .collect();
+        let mut v = BitVec::new();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for c in &counters {
+                c.encode_state(&mut w);
+            }
+        }
+        let mut r = BitReader::new(&v);
+        for c in &counters {
+            let back = template.decode_state(&mut r).unwrap();
+            assert_eq!(back.level(), c.level());
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+}

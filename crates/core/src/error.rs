@@ -40,6 +40,13 @@ pub enum CoreError {
         /// Human-readable description of the mismatch.
         what: &'static str,
     },
+    /// A serialized counter state failed validation on decode: it is
+    /// well-formed as a bit string but unreachable under the decoding
+    /// counter's parameter schedule (wrong schedule, or corruption).
+    InvalidState {
+        /// Human-readable description of the violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -73,6 +80,9 @@ impl fmt::Display for CoreError {
             CoreError::MergeMismatch { what } => {
                 write!(f, "counters have incompatible parameters: {what}")
             }
+            CoreError::InvalidState { what } => {
+                write!(f, "decoded counter state is invalid: {what}")
+            }
         }
     }
 }
@@ -97,6 +107,10 @@ mod tests {
             }
             .to_string(),
             CoreError::MergeMismatch { what: "epsilon" }.to_string(),
+            CoreError::InvalidState {
+                what: "Y above epoch threshold",
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

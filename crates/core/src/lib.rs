@@ -50,12 +50,21 @@
 //! *fully mergeable*), and [`MorrisCounter::merge_from`] the classical
 //! Morris merge `[CY20, §2.1]`. Experiment E5 validates both against the
 //! sequential distribution with a KS test.
+//!
+//! ## Serialization
+//!
+//! Every family implements [`StateCodec`]: bit-exact, self-delimiting
+//! encode/decode of the persistent registers (and only those — program
+//! constants stay in the transition function, per Remark 2.2), with a
+//! parameter-schedule fingerprint so containers such as the `ac-engine`
+//! checkpoint can refuse mismatched restores up front.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod averaged;
 pub mod budget;
+mod codec;
 mod counter;
 mod csuros;
 mod error;
@@ -68,6 +77,7 @@ pub mod params;
 mod promise;
 
 pub use averaged::AveragedMorris;
+pub use codec::StateCodec;
 pub use counter::{ApproxCounter, Mergeable};
 pub use csuros::CsurosCounter;
 pub use error::CoreError;

@@ -3,7 +3,7 @@
 
 use crate::{ApproxCounter, CoreError};
 use ac_bitio::{bit_len, MemoryAudit, StateBits};
-use ac_randkit::{Bernoulli, Geometric, RandomSource};
+use ac_randkit::{Bernoulli, Geometric, GeometricLadder, RandomSource};
 
 /// The Morris Counter `Morris(a)`: stores a level `X`, increments it with
 /// probability `(1+a)^{-X}`, and estimates `N̂ = a⁻¹((1+a)^X − 1)`.
@@ -260,10 +260,14 @@ impl ApproxCounter for MorrisCounter {
         }
     }
 
-    /// Fast-forward using the geometric decomposition of §2.2: the time
-    /// spent at level `i` is `Z_i ~ Geometric((1+a)^{-i})`, so `n`
-    /// increments cost `O(X_final)` geometric draws instead of `n` coin
-    /// flips.
+    /// Fast-forward using the geometric decomposition of §2.2 — the time
+    /// spent at level `i` is `Z_i ~ Geometric((1+a)^{-i})` — with a
+    /// level-skipping run sampler on top: while the advance probability is
+    /// at least `1/2` (the entire trajectory for tiny bases `a ≲ 1e-4`
+    /// below `N ≈ 0.7/a`), whole runs of one-trial levels are climbed with
+    /// a single [`GeometricLadder`] draw instead of one geometric draw per
+    /// level. Cost is `O(levels with Z ≥ 2)` in the skip regime and
+    /// `O(levels)` past it — never `O(n)`.
     fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
         let mut budget = n;
         while budget > 0 && !self.saturated() {
@@ -271,12 +275,47 @@ impl ApproxCounter for MorrisCounter {
             if p < f64::MIN_POSITIVE {
                 break; // level so high that an advance is numerically impossible
             }
-            let z = Geometric::new(p).expect("p in (0,1]").sample(rng);
-            if z > budget {
-                break; // no advance within the remaining increments
+            if 2.0 * p >= 1.0 {
+                // Skip regime: sample M = #consecutive one-trial levels in
+                // O(1). Conditioning is confined to the levels actually
+                // climbed, so capping the climb at the budget (or the
+                // register cap) leaves the untouched levels fresh for
+                // future calls — the batched path stays exactly
+                // compositional.
+                let run = GeometricLadder::new(self.ln1a)
+                    .expect("ln(1+a) is positive and finite")
+                    .sample_run(self.x, rng);
+                let to_cap = self.x_cap.map_or(u64::MAX, |cap| cap - self.x);
+                let climb = run.min(budget).min(to_cap);
+                self.x += climb;
+                budget -= climb;
+                if climb == run && budget > 0 && !self.saturated() {
+                    // The run ended because this level needs Z ≥ 2 trials:
+                    // one implicit failed trial, then a fresh geometric by
+                    // memorylessness (Z − 1 | Z ≥ 2 ~ Geometric(p)).
+                    let p_here = self.advance_probability();
+                    if p_here < f64::MIN_POSITIVE {
+                        break;
+                    }
+                    let z = Geometric::new(p_here)
+                        .expect("p in (0,1]")
+                        .sample(rng)
+                        .saturating_add(1);
+                    if z > budget {
+                        budget = 0;
+                    } else {
+                        budget -= z;
+                        self.x += 1;
+                    }
+                }
+            } else {
+                let z = Geometric::new(p).expect("p in (0,1]").sample(rng);
+                if z > budget {
+                    break; // no advance within the remaining increments
+                }
+                budget -= z;
+                self.x += 1;
             }
-            budget -= z;
-            self.x += 1;
         }
         self.peak = self.peak.max(self.state_bits());
     }

@@ -126,18 +126,41 @@ impl NelsonYuCounter {
     /// (`x < X₀`, a sampling exponent below the schedule's, or `Y` above
     /// the epoch threshold).
     pub fn restore_parts(&mut self, x: u64, y: u64, t: u32) {
-        assert!(x >= self.params.x0(), "level below X0");
-        assert!(
-            t >= self.params.alpha_exponent(x),
-            "sampling exponent below schedule"
-        );
+        self.try_restore_parts(x, y, t)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// The checked form of [`NelsonYuCounter::restore_parts`], for decode
+    /// paths where an invalid state must surface as an error (corrupt or
+    /// mismatched serialized data) rather than a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] when the parts violate the
+    /// schedule invariants.
+    pub fn try_restore_parts(&mut self, x: u64, y: u64, t: u32) -> Result<(), CoreError> {
+        if x < self.params.x0() {
+            return Err(CoreError::InvalidState {
+                what: "level below X0",
+            });
+        }
+        if t < self.params.alpha_exponent(x) {
+            return Err(CoreError::InvalidState {
+                what: "sampling exponent below schedule",
+            });
+        }
         let threshold = self.params.threshold_for(x, t);
-        assert!(y <= threshold, "Y above epoch threshold");
+        if y > threshold {
+            return Err(CoreError::InvalidState {
+                what: "Y above epoch threshold",
+            });
+        }
         self.x = x;
         self.y = y;
         self.t = t;
         self.threshold = threshold;
         self.peak = self.peak.max(self.state_bits());
+        Ok(())
     }
 
     /// Lines 8–12 of Algorithm 1: enter the next epoch and rescale `Y`.

@@ -110,6 +110,74 @@ fn capped_csuros_fast_forward_matches_step() {
 }
 
 #[test]
+fn morris_plus_level_skip_matches_step_at_tight_parameters() {
+    // ε = 0.01, δ = 2⁻²⁰ gives a = ε²/(8 ln 1/δ) ≈ 9e-7 — the tiny-base
+    // regime where the batched path rides the GeometricLadder run sampler
+    // (advance probability stays ≥ 1/2 for the entire trajectory below
+    // N ≈ 0.7/a). The level distribution must still match the step loop.
+    let make = || MorrisPlus::new(0.01, 20).unwrap();
+    assert!(
+        make().a() < 1e-4,
+        "test must sit in the level-skip regime, a = {}",
+        make().a()
+    );
+    assert_ff_matches_step(
+        "morris+ tight",
+        make,
+        |c| c.morris().level() as f64,
+        10_000,
+        1_200,
+        909,
+    );
+}
+
+#[test]
+fn morris_level_skip_chunked_batches_match_single_batch() {
+    // Engine workloads hit tiny-base counters with many small
+    // increment_by calls; the run sampler's budget-capped climbs must
+    // compose exactly (no conditioning may leak across call boundaries).
+    let a = 5e-5;
+    let chunks = [700u64, 1, 4_999, 2_500, 37, 1_463, 300];
+    let n: u64 = chunks.iter().sum();
+    let trials = 3_000;
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1010);
+    let mut chunked = Vec::with_capacity(trials);
+    let mut single = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let mut c = MorrisCounter::new(a).unwrap();
+        for &k in &chunks {
+            c.increment_by(k, &mut rng);
+        }
+        chunked.push(c.level() as f64);
+
+        let mut c = MorrisCounter::new(a).unwrap();
+        c.increment_by(n, &mut rng);
+        single.push(c.level() as f64);
+    }
+    let ks = ks_two_sample(&chunked, &single);
+    assert!(ks.p_value > 0.001, "KS p={} D={}", ks.p_value, ks.statistic);
+}
+
+#[test]
+fn capped_morris_level_skip_respects_cap() {
+    // A cap inside the skip regime: the run sampler must stop climbing at
+    // the register cap and absorb the rest, exactly like the step loop.
+    assert_ff_matches_step(
+        "morris tiny-base capped",
+        || MorrisCounter::with_cap(1e-3, 40).unwrap(),
+        |c| c.level() as f64,
+        2_000,
+        1_500,
+        1111,
+    );
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(1212);
+    let mut c = MorrisCounter::with_cap(1e-5, 100).unwrap();
+    c.increment_by(10_000, &mut rng);
+    assert_eq!(c.level(), 100, "tiny base: cap reached deterministically");
+    assert!(c.saturated());
+}
+
+#[test]
 fn morris_fast_forward_matches_exact_distribution_chi2() {
     // Strongest possible oracle: the exact forward-DP level pmf.
     let (a, n) = (0.5, 2_000u64);

@@ -1,0 +1,779 @@
+//! The checkpoint layer: snapshot serialization through `ac-bitio`.
+//!
+//! A checkpoint is a byte buffer holding a versioned fixed-width header
+//! followed by one length-prefixed [`ac_bitio::frame`] section per shard.
+//! Counter states are written with the families' [`StateCodec`] codes and
+//! keys as Rice-coded sorted gaps, so a million checkpointed counters
+//! cost on the order of their summed `state_bits` — the paper's thesis,
+//! made durable — rather than a million fixed-width records. Each shard's
+//! RNG state rides along (256 bits), so a restored engine continues the
+//! *exact* random stream the original would have: checkpoint/restore is
+//! invisible to subsequent evolution, not merely distribution-preserving.
+//!
+//! ```text
+//! magic(32) version(16) fingerprint(64) shards(32) seed(64)
+//! keys(64) events(64) payload_bits(64)
+//! ┌ per shard ───────────────────────────────────────────────┐
+//! │ section_len(32) │ count(δ) events(64) rng(4×64)          │
+//! │                 │ keys: rice-coded sorted gaps           │
+//! │                 │ states: StateCodec, key-sorted order   │
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The header embeds the [`EngineConfig`] and the template's
+//! [`StateCodec::params_fingerprint`]; [`restore_checkpoint`] refuses
+//! mismatched restores (wrong family, wrong parameters, wrong version,
+//! truncated data) with a typed [`CheckpointError`]. The header carries
+//! its own checksum and the payload an FNV-1a digest, both verified — and
+//! every structural quantity (shard count, per-shard key counts, section
+//! lengths) is plausibility-bounded — before anything is allocated or
+//! parsed, so truncation and any bit corruption surface as typed errors.
+//! The residual trust boundary is deliberate: input that *passes* both
+//! checksums is treated as written by this module, so a deliberately
+//! crafted checksum-valid buffer may still abort inside a state decoder
+//! rather than return `Err`.
+
+use crate::registry::{CounterEngine, EngineConfig};
+use crate::shard::Shard;
+use crate::snapshot::EngineSnapshot;
+use ac_bitio::frame::{
+    begin_section, decode_sorted_keys, encode_sorted_keys, end_section, read_section,
+};
+use ac_bitio::{BitReader, BitVec, BitWriter};
+use ac_core::{CoreError, StateCodec};
+use ac_randkit::Xoshiro256PlusPlus;
+use std::fmt;
+
+/// `"ACKP"` — approximate-counting checkpoint.
+pub const CHECKPOINT_MAGIC: u32 = 0x4143_4B50;
+
+/// Current format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Fixed header width in bits: the eight fields, then a 64-bit header
+/// checksum, then a 64-bit payload checksum (66 bytes total, so the
+/// payload starts byte-aligned).
+const HEADER_BITS: u64 = HEADER_FIELD_BITS + 64 + 64;
+
+/// Width of the eight header fields alone.
+const HEADER_FIELD_BITS: u64 = 32 + 16 + 64 + 32 + 64 + 64 + 64 + 64;
+
+/// Byte offset of the payload checksum field.
+const PAYLOAD_CHECKSUM_BYTE: usize = ((HEADER_FIELD_BITS + 64) / 8) as usize;
+
+/// Byte offset of the first payload byte.
+const PAYLOAD_BYTE: usize = (HEADER_BITS / 8) as usize;
+
+/// The canonical [`ac_randkit::mix64`] finalizer chained over the header
+/// fields: any header bit flip (past the magic/version prefix, which
+/// carry their own typed errors) is caught before the payload is touched.
+fn header_checksum(fields: &[u64]) -> u64 {
+    let mut acc = 0x0C4E_C4B0_14E5_EEDC_u64;
+    for &w in fields {
+        acc = ac_randkit::mix64(acc ^ w);
+    }
+    acc
+}
+
+/// FNV-1a over the payload bytes: verified before any payload parsing, so
+/// flipped payload bits surface as a typed [`CheckpointError::Corrupt`]
+/// instead of feeding garbage to the self-delimiting decoders.
+fn payload_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Why a restore was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The buffer does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The format version is not one this build reads.
+    UnsupportedVersion {
+        /// The version found in the header.
+        got: u16,
+    },
+    /// The template's family/parameter fingerprint does not match the
+    /// one the checkpoint was written with.
+    ScheduleMismatch,
+    /// The caller pinned an expected [`EngineConfig`] and the header
+    /// disagrees.
+    ConfigMismatch {
+        /// The configuration the caller expected.
+        expected: EngineConfig,
+        /// The configuration in the header.
+        got: EngineConfig,
+    },
+    /// The buffer ends before the structure it promises.
+    Truncated,
+    /// A structural invariant does not hold (lengths, totals, RNG state).
+    Corrupt {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A counter state failed its family's validity checks on decode.
+    State(CoreError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { got } => {
+                write!(f, "unsupported checkpoint version {got}")
+            }
+            CheckpointError::ScheduleMismatch => write!(
+                f,
+                "template family/parameters do not match the checkpoint's fingerprint"
+            ),
+            CheckpointError::ConfigMismatch { expected, got } => write!(
+                f,
+                "engine config mismatch: expected {expected:?}, checkpoint has {got:?}"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
+            CheckpointError::Corrupt { what } => write!(f, "checkpoint is corrupt: {what}"),
+            CheckpointError::State(e) => write!(f, "checkpoint holds an invalid state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CoreError> for CheckpointError {
+    fn from(e: CoreError) -> Self {
+        CheckpointError::State(e)
+    }
+}
+
+/// Size accounting for one written checkpoint — the receipt proving
+/// counters persist at ~their `state_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Counters written.
+    pub keys: u64,
+    /// Shards written.
+    pub shards: usize,
+    /// Sum of live [`state_bits`](ac_bitio::StateBits::state_bits) over
+    /// every written counter — by construction identical to
+    /// [`EngineStats::counter_state_bits`](crate::EngineStats::counter_state_bits)
+    /// at freeze time (a test pins this).
+    pub counter_state_bits: u64,
+    /// Bits spent on encoded counter states.
+    pub state_code_bits: u64,
+    /// Bits spent on the Rice-coded key sets.
+    pub key_bits: u64,
+    /// Bits spent on framing: the fixed header plus per-shard section
+    /// preambles (lengths, counts, event tallies, RNG states).
+    pub header_bits: u64,
+    /// Total checkpoint size in bits (= the three parts above).
+    pub total_bits: u64,
+}
+
+impl CheckpointStats {
+    /// Serialized size in bytes.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.total_bits.div_ceil(8)
+    }
+}
+
+/// A written checkpoint: the serialized bytes plus their size breakdown.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    bytes: Vec<u8>,
+    stats: CheckpointStats,
+}
+
+impl Checkpoint {
+    /// The serialized checkpoint, ready for disk or the wire.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the checkpoint, returning the bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The size breakdown.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+}
+
+/// The parsed fixed header of a checkpoint (a cheap peek — no payload is
+/// touched).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointHeader {
+    /// Format version.
+    pub version: u16,
+    /// Family/parameter fingerprint of the written counters.
+    pub params_fingerprint: u64,
+    /// The engine configuration at freeze time.
+    pub config: EngineConfig,
+    /// Total keys in the checkpoint.
+    pub keys: u64,
+    /// Total events at freeze time.
+    pub events: u64,
+    /// Payload length in bits (everything after the fixed header).
+    pub payload_bits: u64,
+}
+
+/// Serializes a snapshot into a [`Checkpoint`].
+#[must_use]
+pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> Checkpoint {
+    let mut v = BitVec::new();
+    // Fixed header; the payload length is patched in at the end.
+    v.push_bits(u64::from(CHECKPOINT_MAGIC), 32);
+    v.push_bits(u64::from(CHECKPOINT_VERSION), 16);
+    v.push_bits(snap.template.params_fingerprint(), 64);
+    let config = snap.config();
+    v.push_bits(config.shards as u64, 32);
+    v.push_bits(config.seed, 64);
+    v.push_bits(snap.len() as u64, 64);
+    v.push_bits(snap.total_events(), 64);
+    let payload_len_at = v.len();
+    v.push_bits(0, 64); // payload length, patched below
+    let header_checksum_at = v.len();
+    v.push_bits(0, 64); // header checksum, patched below
+    v.push_bits(0, 64); // payload checksum, patched into the bytes below
+
+    let mut state_code_bits = 0u64;
+    let mut key_bits = 0u64;
+    let mut counter_state_bits = 0u64;
+    for shard in &snap.shards {
+        let section = begin_section(&mut v);
+        // Per-shard preamble: count, exact events, RNG state.
+        {
+            let mut w = BitWriter::new(&mut v);
+            ac_bitio::codes::encode_delta0(&mut w, shard.len() as u64);
+            w.write_bits(shard.events(), 64);
+            for word in shard.rng().state() {
+                w.write_bits(word, 64);
+            }
+        }
+        // Keys sorted ascending, gap-coded; states follow in key order.
+        let mut entries: Vec<(u64, &C)> = shard.entries().collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        let keys: Vec<u64> = entries.iter().map(|&(key, _)| key).collect();
+        key_bits += encode_sorted_keys(&mut v, &keys);
+        let before = v.len();
+        {
+            let mut w = BitWriter::new(&mut v);
+            for (_, counter) in &entries {
+                counter.encode_state(&mut w);
+                counter_state_bits += counter.state_bits();
+            }
+        }
+        state_code_bits += v.len() - before;
+        end_section(&mut v, section);
+    }
+    let total = v.len();
+    let payload_bits = total - HEADER_BITS;
+    v.overwrite_bits(payload_len_at, payload_bits, 64);
+    v.overwrite_bits(
+        header_checksum_at,
+        header_checksum(&[
+            u64::from(CHECKPOINT_MAGIC),
+            u64::from(CHECKPOINT_VERSION),
+            snap.template.params_fingerprint(),
+            config.shards as u64,
+            config.seed,
+            snap.len() as u64,
+            snap.total_events(),
+            payload_bits,
+        ]),
+        64,
+    );
+    let mut bytes = v.to_bytes();
+    let payload_sum = payload_checksum(&bytes[PAYLOAD_BYTE..]);
+    bytes[PAYLOAD_CHECKSUM_BYTE..PAYLOAD_BYTE].copy_from_slice(&payload_sum.to_le_bytes());
+
+    let stats = CheckpointStats {
+        keys: snap.len() as u64,
+        shards: snap.shards.len(),
+        counter_state_bits,
+        state_code_bits,
+        key_bits,
+        header_bits: total - state_code_bits - key_bits,
+        total_bits: total,
+    };
+    Checkpoint { bytes, stats }
+}
+
+/// Parses and validates the fixed header.
+///
+/// # Errors
+///
+/// Returns the corresponding [`CheckpointError`] for a short buffer, bad
+/// magic, or an unsupported version.
+pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
+    let v = BitVec::from_bytes(bytes);
+    let mut r = BitReader::new(&v);
+    let magic = r.try_read_bits(32).ok_or(CheckpointError::Truncated)?;
+    if magic != u64::from(CHECKPOINT_MAGIC) {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.try_read_bits(16).ok_or(CheckpointError::Truncated)? as u16;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion { got: version });
+    }
+    let params_fingerprint = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let shards = r.try_read_bits(32).ok_or(CheckpointError::Truncated)? as usize;
+    let seed = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let keys = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let events = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let payload_bits = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let stored_sum = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let computed = header_checksum(&[
+        magic,
+        u64::from(version),
+        params_fingerprint,
+        shards as u64,
+        seed,
+        keys,
+        events,
+        payload_bits,
+    ]);
+    if stored_sum != computed {
+        return Err(CheckpointError::Corrupt {
+            what: "header checksum mismatch",
+        });
+    }
+    if shards == 0 {
+        return Err(CheckpointError::Corrupt {
+            what: "zero shards",
+        });
+    }
+    Ok(CheckpointHeader {
+        version,
+        params_fingerprint,
+        config: EngineConfig { shards, seed },
+        keys,
+        events,
+        payload_bits,
+    })
+}
+
+/// Rebuilds a [`CounterEngine`] from checkpoint bytes. `template`
+/// supplies the family and parameter schedule; it must match the
+/// checkpoint's fingerprint (its registers are ignored).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] for any mismatch, truncation, or
+/// validation failure; on success every key's counter state — and each
+/// shard's RNG — is bit-identical to the snapshot's.
+pub fn restore_checkpoint<C: StateCodec + Clone>(
+    template: &C,
+    bytes: &[u8],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    let header = read_header(bytes)?;
+    if header.params_fingerprint != template.params_fingerprint() {
+        return Err(CheckpointError::ScheduleMismatch);
+    }
+    if bytes.len() < PAYLOAD_BYTE {
+        return Err(CheckpointError::Truncated);
+    }
+    // Length checks first (truncation is its own condition), then the
+    // payload checksum, then — and only then — parsing.
+    let available_bits = (bytes.len() - PAYLOAD_BYTE) as u64 * 8;
+    if available_bits < header.payload_bits {
+        return Err(CheckpointError::Truncated);
+    }
+    if available_bits - header.payload_bits >= 8 {
+        return Err(CheckpointError::Corrupt {
+            what: "trailing bytes after payload",
+        });
+    }
+    let stored_sum = u64::from_le_bytes(
+        bytes[PAYLOAD_CHECKSUM_BYTE..PAYLOAD_BYTE]
+            .try_into()
+            .expect("eight checksum bytes"),
+    );
+    if stored_sum != payload_checksum(&bytes[PAYLOAD_BYTE..]) {
+        return Err(CheckpointError::Corrupt {
+            what: "payload checksum mismatch",
+        });
+    }
+    // Plausibility bound before any sizing decision: every shard section
+    // costs at least 32 (length prefix) + 1 (count) + 64 (events) + 256
+    // (RNG) bits, so a shard count the payload cannot possibly hold is
+    // structural corruption, not something to allocate for.
+    const MIN_SHARD_SECTION_BITS: u64 = 32 + 1 + 64 + 256;
+    if header.config.shards as u64 > header.payload_bits / MIN_SHARD_SECTION_BITS + 1 {
+        return Err(CheckpointError::Corrupt {
+            what: "shard count exceeds what the payload can hold",
+        });
+    }
+    let v = BitVec::from_bytes(bytes);
+    let mut r = BitReader::at(&v, HEADER_BITS);
+
+    let mut shards = Vec::with_capacity(header.config.shards);
+    let mut keys_total = 0u64;
+    let mut events_total = 0u64;
+    for _ in 0..header.config.shards {
+        let section_len = read_section(&mut r).ok_or(CheckpointError::Truncated)?;
+        let section_start = r.position();
+
+        let count = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
+            what: "undecodable shard key count",
+        })?;
+        // Each key costs >= 1 bit inside the section; a count beyond the
+        // section length cannot be real, so reject before sizing buffers
+        // by it.
+        if count > section_len {
+            return Err(CheckpointError::Corrupt {
+                what: "shard key count exceeds its section",
+            });
+        }
+        let count = usize::try_from(count).map_err(|_| CheckpointError::Corrupt {
+            what: "shard key count overflows usize",
+        })?;
+        let events = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+        }
+        if rng_state.iter().all(|&w| w == 0) {
+            return Err(CheckpointError::Corrupt {
+                what: "all-zero shard RNG state",
+            });
+        }
+        let keys = decode_sorted_keys(&mut r, count).ok_or(CheckpointError::Corrupt {
+            what: "undecodable shard key set",
+        })?;
+        let mut entries = Vec::with_capacity(count);
+        for key in keys {
+            let counter = template.decode_state(&mut r)?;
+            entries.push((key, counter));
+        }
+        if r.position() - section_start != section_len {
+            return Err(CheckpointError::Corrupt {
+                what: "shard section length mismatch",
+            });
+        }
+        keys_total += entries.len() as u64;
+        events_total += events;
+        shards.push(Shard::from_restored(
+            Xoshiro256PlusPlus::from_state(rng_state),
+            events,
+            entries,
+        ));
+    }
+    if r.position() - HEADER_BITS != header.payload_bits {
+        return Err(CheckpointError::Corrupt {
+            what: "payload length mismatch",
+        });
+    }
+    if keys_total != header.keys || events_total != header.events {
+        return Err(CheckpointError::Corrupt {
+            what: "shard totals disagree with the header",
+        });
+    }
+    Ok(CounterEngine::from_restored(
+        template.clone(),
+        header.config,
+        shards,
+    ))
+}
+
+/// [`restore_checkpoint`], additionally refusing a checkpoint whose
+/// embedded [`EngineConfig`] differs from `expected` — for deployments
+/// where the config is pinned externally and a drifted checkpoint must
+/// not silently win.
+///
+/// # Errors
+///
+/// [`CheckpointError::ConfigMismatch`] on disagreement, plus everything
+/// [`restore_checkpoint`] returns.
+pub fn restore_checkpoint_expecting<C: StateCodec + Clone>(
+    template: &C,
+    bytes: &[u8],
+    expected: EngineConfig,
+) -> Result<CounterEngine<C>, CheckpointError> {
+    let header = read_header(bytes)?;
+    if header.config != expected {
+        return Err(CheckpointError::ConfigMismatch {
+            expected,
+            got: header.config,
+        });
+    }
+    restore_checkpoint(template, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_bitio::StateBits;
+    use ac_core::{
+        ApproxCounter, CsurosCounter, ExactCounter, MorrisCounter, NelsonYuCounter, NyParams,
+    };
+    use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
+
+    fn cfg() -> EngineConfig {
+        EngineConfig {
+            shards: 4,
+            seed: 11,
+        }
+    }
+
+    fn ny_engine(n_keys: u64) -> CounterEngine<NelsonYuCounter> {
+        let p = NyParams::new(0.2, 8).unwrap();
+        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        let mut gen = SplitMix64::new(3);
+        let batch: Vec<(u64, u64)> = (0..n_keys)
+            .map(|k| (k * 97 + 13, 1 + gen.next_u64() % 5_000))
+            .collect();
+        e.apply(&batch);
+        e
+    }
+
+    fn checkpoint_of<C: StateCodec + Clone + ac_core::Mergeable>(
+        e: &CounterEngine<C>,
+    ) -> Checkpoint {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        checkpoint_snapshot(&e.snapshot(&mut rng).unwrap())
+    }
+
+    #[test]
+    fn round_trip_preserves_every_counter_bit_for_bit() {
+        let e = ny_engine(1_000);
+        let ck = checkpoint_of(&e);
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let back = restore_checkpoint(&template, ck.bytes()).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.total_events(), e.total_events());
+        assert_eq!(back.config(), e.config());
+        for (key, counter) in e.iter() {
+            let restored = back.counter(key).expect("key present");
+            assert_eq!(restored.state_parts(), counter.state_parts(), "key {key}");
+            assert_eq!(restored.estimate(), counter.estimate());
+            assert_eq!(restored.state_bits(), counter.state_bits());
+        }
+    }
+
+    #[test]
+    fn restored_engine_continues_the_exact_random_stream() {
+        // Apply the same post-checkpoint batch to the original and the
+        // restored engine: bit-identical results, because shard RNG
+        // states ride in the checkpoint.
+        let mut original = ny_engine(300);
+        let ck = checkpoint_of(&original);
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let mut restored = restore_checkpoint(&template, ck.bytes()).unwrap();
+
+        let follow_up: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 31, 40 + k)).collect();
+        original.apply(&follow_up);
+        restored.apply(&follow_up);
+        assert_eq!(original.total_events(), restored.total_events());
+        for &(key, _) in &follow_up {
+            // Compare persistent registers: the peak-bits high-water mark
+            // is instrumentation (reset by restore), not state.
+            assert_eq!(
+                original.counter(key).map(NelsonYuCounter::state_parts),
+                restored.counter(key).map(NelsonYuCounter::state_parts),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_agree_with_engine_state_bits() {
+        // The satellite contract: what checkpoint writes is exactly what
+        // EngineStats reports as counter_state_bits.
+        let e = ny_engine(2_000);
+        let ck = checkpoint_of(&e);
+        assert_eq!(ck.stats().counter_state_bits, e.stats().counter_state_bits);
+        assert_eq!(ck.stats().keys, e.len() as u64);
+        assert_eq!(
+            ck.stats().total_bits,
+            ck.stats().state_code_bits + ck.stats().key_bits + ck.stats().header_bits
+        );
+        assert_eq!(ck.stats().bytes(), ck.bytes().len() as u64);
+    }
+
+    #[test]
+    fn header_peek_matches_written_engine() {
+        let e = ny_engine(50);
+        let ck = checkpoint_of(&e);
+        let h = read_header(ck.bytes()).unwrap();
+        assert_eq!(h.version, CHECKPOINT_VERSION);
+        assert_eq!(h.config, e.config());
+        assert_eq!(h.keys, 50);
+        assert_eq!(h.events, e.total_events());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let e = ny_engine(20);
+        let ck = checkpoint_of(&e);
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+
+        let mut bad = ck.bytes().to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            restore_checkpoint(&template, &bad).unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        assert_eq!(
+            restore_checkpoint(&template, &ck.bytes()[..4]).unwrap_err(),
+            CheckpointError::Truncated
+        );
+        let half = &ck.bytes()[..ck.bytes().len() / 2];
+        assert_eq!(
+            restore_checkpoint(&template, half).unwrap_err(),
+            CheckpointError::Truncated
+        );
+        assert_eq!(
+            restore_checkpoint(&template, &[]).unwrap_err(),
+            CheckpointError::Truncated
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let e = ny_engine(5);
+        let mut bytes = checkpoint_of(&e).into_bytes();
+        // The version field sits at bits 32..48; bump it.
+        bytes[4] = bytes[4].wrapping_add(1);
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        assert!(matches!(
+            restore_checkpoint(&template, &bytes),
+            Err(CheckpointError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_schedules_and_families() {
+        let e = ny_engine(25);
+        let ck = checkpoint_of(&e);
+        // Same family, different parameters.
+        let wrong_eps = NelsonYuCounter::new(NyParams::new(0.1, 8).unwrap());
+        assert_eq!(
+            restore_checkpoint(&wrong_eps, ck.bytes()).unwrap_err(),
+            CheckpointError::ScheduleMismatch
+        );
+        // Different family altogether.
+        let morris = MorrisCounter::new(0.5).unwrap();
+        assert_eq!(
+            restore_checkpoint(&morris, ck.bytes()).unwrap_err(),
+            CheckpointError::ScheduleMismatch
+        );
+    }
+
+    #[test]
+    fn rejects_pinned_config_mismatch() {
+        let e = ny_engine(25);
+        let ck = checkpoint_of(&e);
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let wrong = EngineConfig {
+            shards: 8,
+            seed: 11,
+        };
+        assert!(matches!(
+            restore_checkpoint_expecting(&template, ck.bytes(), wrong),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        // The right pin restores fine.
+        assert!(restore_checkpoint_expecting(&template, ck.bytes(), cfg()).is_ok());
+    }
+
+    #[test]
+    fn rejects_corrupted_header_totals() {
+        let e = ny_engine(30);
+        let mut bytes = checkpoint_of(&e).into_bytes();
+        // keys_total lives at bits 208..272 → bytes 26..34; flip a low bit.
+        bytes[26] ^= 1;
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        assert!(matches!(
+            restore_checkpoint(&template, &bytes),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_engine_checkpoints_and_restores() {
+        let p = NyParams::new(0.3, 6).unwrap();
+        let e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        let ck = checkpoint_of(&e);
+        let back = restore_checkpoint(&NelsonYuCounter::new(p), ck.bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.total_events(), 0);
+    }
+
+    #[test]
+    fn every_family_round_trips() {
+        /// The family-generic "bit-identical persistent state" oracle:
+        /// re-encode both counters and compare the code words (covers
+        /// every serialized register; instrumentation like peak bits is
+        /// deliberately outside).
+        fn encoded<C: StateCodec>(c: &C) -> BitVec {
+            let mut v = BitVec::new();
+            c.encode_state(&mut BitWriter::new(&mut v));
+            v
+        }
+
+        fn drive<C: StateCodec + Clone + ac_core::Mergeable + std::fmt::Debug>(template: C) {
+            let mut e = CounterEngine::new(template.clone(), cfg());
+            let mut gen = SplitMix64::new(21);
+            let batch: Vec<(u64, u64)> = (0..400u64)
+                .map(|k| (k, 1 + gen.next_u64() % 2_000))
+                .collect();
+            e.apply(&batch);
+            let ck = checkpoint_of(&e);
+            let back = restore_checkpoint(&template, ck.bytes()).unwrap();
+            for (key, counter) in e.iter() {
+                let restored = back.counter(key).expect("key present");
+                assert_eq!(encoded(restored), encoded(counter), "key {key}");
+                assert_eq!(restored.estimate(), counter.estimate(), "key {key}");
+                assert_eq!(restored.state_bits(), counter.state_bits(), "key {key}");
+            }
+            assert_eq!(back.total_events(), e.total_events());
+        }
+        drive(ExactCounter::new());
+        drive(MorrisCounter::new(0.25).unwrap());
+        drive(ac_core::MorrisPlus::new(0.2, 8).unwrap());
+        drive(NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap()));
+        drive(CsurosCounter::new(8).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_size_is_near_the_information_content() {
+        // Dense keys, light per-key traffic — the fleet-scale workload.
+        // Keys + states must land within 2× of counter_state_bits plus
+        // framing (the acceptance bound the pipeline bench also checks).
+        let p = NyParams::new(0.2, 8).unwrap();
+        let mut e =
+            CounterEngine::new(NelsonYuCounter::new(p), EngineConfig { shards: 8, seed: 2 });
+        let mut gen = SplitMix64::new(4);
+        let batch: Vec<(u64, u64)> = (0..20_000u64)
+            .map(|k| (k, 1 + gen.next_u64() % 32))
+            .collect();
+        e.apply(&batch);
+        let ck = checkpoint_of(&e);
+        let s = ck.stats();
+        assert!(
+            s.total_bits <= 2 * s.counter_state_bits + s.header_bits,
+            "{} bits total vs 2×{} + {} framing",
+            s.total_bits,
+            s.counter_state_bits,
+            s.header_bits
+        );
+        // And framing itself is a small fraction at this scale.
+        assert!(
+            s.header_bits < s.total_bits / 4,
+            "framing {} of {}",
+            s.header_bits,
+            s.total_bits
+        );
+    }
+}

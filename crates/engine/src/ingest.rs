@@ -1,0 +1,524 @@
+//! The ingest layer: a bounded multi-producer event queue that coalesces
+//! per-key increments into batches, so producers never block on shard
+//! application.
+//!
+//! Producers hold an [`IngestProducer`] and call
+//! [`record`](IngestProducer::record); increments to the same key within
+//! the current batch are coalesced into one `(key, delta)` pair (the
+//! counter families' batched `increment_by` makes a coalesced delta as
+//! cheap as a single increment — the amortized view of the Aden-Ali–Han–
+//! Nelson–Yu follow-up, where the batch is the first-class operation).
+//! Full batches are handed to a bounded queue; appliers drain them into a
+//! [`CounterEngine`](crate::CounterEngine) sequentially or with
+//! one-thread-per-shard application. The queue is the only synchronization
+//! point: producers contend on a mutex-guarded `VecDeque` push, never on
+//! counter slabs, and appliers never hold the queue lock while applying.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded ([`IngestConfig::queue_batches`]). When it fills,
+//! [`IngestConfig::block_when_full`] picks the policy: block the producer
+//! until an applier catches up (lossless, the default), or drop the
+//! refused batch and count it ([`IngestStats::dropped_batches`], surfaced
+//! through [`EngineStats::with_ingest`](crate::EngineStats::with_ingest))
+//! — the load-shedding mode for latency-critical writers.
+//!
+//! ## Determinism
+//!
+//! A single producer draining through a sequential applier reproduces
+//! `engine.apply` on the concatenated batches bit for bit. With several
+//! producers the *arrival order* of batches depends on thread scheduling —
+//! as in any streaming system — but every applied state is still one the
+//! deterministic engine produces for some arrival order, and per-shard RNG
+//! isolation keeps [`drain_parallel`](IngestQueue::drain_parallel)
+//! identical to a sequential drain of the same batch sequence.
+
+use crate::registry::CounterEngine;
+use ac_core::ApproxCounter;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One coalesced batch of `(key, delta)` pairs.
+pub type Batch = Vec<(u64, u64)>;
+
+/// Ingest layer construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestConfig {
+    /// Bounded queue capacity, in batches.
+    pub queue_batches: usize,
+    /// Coalesced pairs per batch before a producer auto-flushes.
+    pub batch_pairs: usize,
+    /// `true`: a producer whose flush finds the queue full blocks until
+    /// space frees up (lossless). `false`: the batch is dropped and
+    /// counted ([`IngestStats::dropped_batches`]).
+    pub block_when_full: bool,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            queue_batches: 64,
+            batch_pairs: 4_096,
+            block_when_full: true,
+        }
+    }
+}
+
+/// Live counters shared by producers, appliers, and stats readers.
+#[derive(Debug, Default)]
+struct Totals {
+    enqueued_batches: AtomicU64,
+    enqueued_events: AtomicU64,
+    applied_events: AtomicU64,
+    dropped_batches: AtomicU64,
+    dropped_events: AtomicU64,
+}
+
+/// The mutex-guarded queue proper.
+#[derive(Debug)]
+struct Channel {
+    queue: VecDeque<Batch>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: IngestConfig,
+    channel: Mutex<Channel>,
+    /// Signaled when a batch is popped or the queue closes.
+    space: Condvar,
+    /// Signaled when a batch is pushed or the queue closes.
+    ready: Condvar,
+    totals: Totals,
+}
+
+/// A point-in-time summary of the ingest layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches currently queued, not yet applied.
+    pub queue_depth: usize,
+    /// Batches accepted into the queue so far.
+    pub enqueued_batches: u64,
+    /// Events (sum of deltas) accepted into the queue so far.
+    pub enqueued_events: u64,
+    /// Events drained into an engine so far.
+    pub applied_events: u64,
+    /// Batches refused because the queue was full (drop policy only).
+    pub dropped_batches: u64,
+    /// Events lost with those batches.
+    pub dropped_events: u64,
+}
+
+/// The bounded, multi-producer ingest queue — the front door of the
+/// engine pipeline. Cheap to clone (all clones share the same queue).
+#[derive(Debug, Clone)]
+pub struct IngestQueue {
+    inner: Arc<Inner>,
+}
+
+impl IngestQueue {
+    /// Creates the queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    #[must_use]
+    pub fn new(config: IngestConfig) -> Self {
+        assert!(config.queue_batches > 0, "queue capacity must be positive");
+        assert!(config.batch_pairs > 0, "batch size must be positive");
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                channel: Mutex::new(Channel {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                space: Condvar::new(),
+                ready: Condvar::new(),
+                totals: Totals::default(),
+            }),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> IngestConfig {
+        self.inner.config
+    }
+
+    /// Creates a producer handle. Any number may exist concurrently; each
+    /// coalesces into its own batch buffer and contends only on the queue
+    /// push.
+    #[must_use]
+    pub fn producer(&self) -> IngestProducer {
+        IngestProducer {
+            inner: Arc::clone(&self.inner),
+            pairs: Vec::new(),
+            slots: HashMap::new(),
+            events: 0,
+        }
+    }
+
+    /// Closes the queue: producers' further flushes are refused (counted
+    /// as dropped), and appliers drain what remains, then observe
+    /// end-of-stream. Idempotent.
+    pub fn close(&self) {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        ch.closed = true;
+        drop(ch);
+        self.inner.ready.notify_all();
+        self.inner.space.notify_all();
+    }
+
+    /// Pops the next batch, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    #[must_use]
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        loop {
+            if let Some(batch) = ch.queue.pop_front() {
+                drop(ch);
+                self.inner.space.notify_one();
+                return Some(batch);
+            }
+            if ch.closed {
+                return None;
+            }
+            ch = self.inner.ready.wait(ch).expect("ingest lock");
+        }
+    }
+
+    /// Pops the next batch if one is queued; never blocks. `None` means
+    /// "nothing available right now" — check [`IngestQueue::is_closed`]
+    /// to distinguish end-of-stream.
+    #[must_use]
+    pub fn try_next_batch(&self) -> Option<Batch> {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        let batch = ch.queue.pop_front();
+        drop(ch);
+        if batch.is_some() {
+            self.inner.space.notify_one();
+        }
+        batch
+    }
+
+    /// True once [`IngestQueue::close`] has run.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.channel.lock().expect("ingest lock").closed
+    }
+
+    /// Drains every remaining batch into `engine` with sequential
+    /// application, blocking until the queue closes. Returns the events
+    /// applied by this call.
+    pub fn drain_into<C: ApproxCounter + Clone>(&self, engine: &mut CounterEngine<C>) -> u64 {
+        let mut applied = 0u64;
+        while let Some(batch) = self.next_batch() {
+            applied += batch_events(&batch);
+            engine.apply(&batch);
+            self.note_applied(&batch);
+        }
+        applied
+    }
+
+    /// Like [`IngestQueue::drain_into`], but each batch fans out with one
+    /// thread per touched shard — bit-identical states, per the engine's
+    /// parallel-apply contract.
+    pub fn drain_parallel<C: ApproxCounter + Clone + Send + Sync>(
+        &self,
+        engine: &mut CounterEngine<C>,
+    ) -> u64 {
+        let mut applied = 0u64;
+        while let Some(batch) = self.next_batch() {
+            applied += batch_events(&batch);
+            engine.apply_parallel(&batch);
+            self.note_applied(&batch);
+        }
+        applied
+    }
+
+    fn note_applied(&self, batch: &Batch) {
+        self.inner
+            .totals
+            .applied_events
+            .fetch_add(batch_events(batch), Ordering::Relaxed);
+    }
+
+    /// Diagnostics snapshot. Feed it to
+    /// [`EngineStats::with_ingest`](crate::EngineStats::with_ingest) for a
+    /// whole-pipeline summary.
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        let depth = self.inner.channel.lock().expect("ingest lock").queue.len();
+        let t = &self.inner.totals;
+        IngestStats {
+            queue_depth: depth,
+            enqueued_batches: t.enqueued_batches.load(Ordering::Relaxed),
+            enqueued_events: t.enqueued_events.load(Ordering::Relaxed),
+            applied_events: t.applied_events.load(Ordering::Relaxed),
+            dropped_batches: t.dropped_batches.load(Ordering::Relaxed),
+            dropped_events: t.dropped_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn batch_events(batch: &Batch) -> u64 {
+    batch.iter().map(|&(_, d)| d).sum()
+}
+
+/// A producer handle: coalesces per-key increments locally, flushing full
+/// batches into the shared bounded queue. Dropping the handle flushes any
+/// partial batch.
+#[derive(Debug)]
+pub struct IngestProducer {
+    inner: Arc<Inner>,
+    /// The batch under construction.
+    pairs: Batch,
+    /// key → position in `pairs`, so repeat keys coalesce.
+    slots: HashMap<u64, usize>,
+    /// Sum of deltas in `pairs`.
+    events: u64,
+}
+
+impl IngestProducer {
+    /// Records `delta` increments to `key`. Repeat keys within the current
+    /// batch coalesce into one pair; a full batch flushes automatically.
+    pub fn record(&mut self, key: u64, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        match self.slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let pair = &mut self.pairs[*e.get()];
+                pair.1 = pair.1.saturating_add(delta);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.pairs.len());
+                self.pairs.push((key, delta));
+            }
+        }
+        self.events = self.events.saturating_add(delta);
+        if self.pairs.len() >= self.inner.config.batch_pairs {
+            self.flush();
+        }
+    }
+
+    /// Pairs buffered in the batch under construction.
+    #[must_use]
+    pub fn pending_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Pushes the current batch (if any) into the queue, honoring the
+    /// backpressure policy. Returns `true` if the batch was accepted
+    /// (vacuously for an empty buffer), `false` if it was dropped.
+    pub fn flush(&mut self) -> bool {
+        if self.pairs.is_empty() {
+            return true;
+        }
+        let batch = std::mem::take(&mut self.pairs);
+        let events = std::mem::take(&mut self.events);
+        self.slots.clear();
+
+        let t = &self.inner.totals;
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        loop {
+            if ch.closed {
+                // Shutdown races producers; refuse loudly in the stats
+                // rather than deadlocking or silently succeeding.
+                drop(ch);
+                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                return false;
+            }
+            if ch.queue.len() < self.inner.config.queue_batches {
+                ch.queue.push_back(batch);
+                drop(ch);
+                t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
+                t.enqueued_events.fetch_add(events, Ordering::Relaxed);
+                self.inner.ready.notify_one();
+                return true;
+            }
+            if !self.inner.config.block_when_full {
+                drop(ch);
+                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                return false;
+            }
+            ch = self.inner.space.wait(ch).expect("ingest lock");
+        }
+    }
+}
+
+impl Drop for IngestProducer {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineConfig;
+    use ac_core::{ExactCounter, NelsonYuCounter, NyParams};
+    use std::thread;
+
+    fn small(queue_batches: usize, batch_pairs: usize, block: bool) -> IngestConfig {
+        IngestConfig {
+            queue_batches,
+            batch_pairs,
+            block_when_full: block,
+        }
+    }
+
+    #[test]
+    fn coalesces_repeat_keys_within_a_batch() {
+        let q = IngestQueue::new(small(4, 100, true));
+        let mut p = q.producer();
+        for _ in 0..10 {
+            p.record(7, 3);
+        }
+        p.record(8, 1);
+        assert_eq!(p.pending_pairs(), 2, "10 hits on key 7 coalesce to one");
+        assert!(p.flush());
+        let batch = q.try_next_batch().unwrap();
+        assert_eq!(batch, vec![(7, 30), (8, 1)]);
+    }
+
+    #[test]
+    fn full_batches_auto_flush() {
+        let q = IngestQueue::new(small(8, 3, true));
+        let mut p = q.producer();
+        for key in 0..7u64 {
+            p.record(key, 1);
+        }
+        // 7 distinct keys at 3 pairs/batch: two auto-flushes, one pending.
+        assert_eq!(q.stats().enqueued_batches, 2);
+        assert_eq!(p.pending_pairs(), 1);
+    }
+
+    #[test]
+    fn drop_policy_counts_refused_batches() {
+        let q = IngestQueue::new(small(1, 1, false));
+        let mut p = q.producer();
+        p.record(1, 5); // fills the queue
+        p.record(2, 7); // refused: queue full, non-blocking
+        p.record(3, 9); // still refused
+        let s = q.stats();
+        assert_eq!(s.enqueued_batches, 1);
+        assert_eq!(s.dropped_batches, 2);
+        assert_eq!(s.dropped_events, 16);
+        assert_eq!(s.queue_depth, 1);
+    }
+
+    #[test]
+    fn close_refuses_late_flushes() {
+        let q = IngestQueue::new(small(4, 10, true));
+        let mut p = q.producer();
+        p.record(1, 1);
+        q.close();
+        assert!(!p.flush(), "flush after close must be refused, not hang");
+        assert_eq!(q.stats().dropped_batches, 1);
+        assert_eq!(q.next_batch(), None);
+    }
+
+    #[test]
+    fn drain_matches_direct_apply_bit_for_bit() {
+        // Single producer + sequential drain == engine.apply on the same
+        // stream: the lossless determinism contract.
+        let p = NyParams::new(0.25, 8).unwrap();
+        let cfg = EngineConfig { shards: 4, seed: 7 };
+        let mut direct = CounterEngine::new(NelsonYuCounter::new(p), cfg);
+        let mut piped = CounterEngine::new(NelsonYuCounter::new(p), cfg);
+
+        // Capacity must hold every batch: this single-threaded test only
+        // drains after close, so a tight bound would block the producer.
+        let q = IngestQueue::new(small(64, 5, true));
+        let mut prod = q.producer();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut pending: Vec<(u64, u64)> = Vec::new();
+        for i in 0..137u64 {
+            let (key, delta) = (i % 11, 1 + i % 97);
+            prod.record(key, delta);
+            // Mirror the coalescing: same batch boundaries, same merge.
+            if let Some(pair) = pending.iter_mut().find(|p| p.0 == key) {
+                pair.1 += delta;
+            } else {
+                pending.push((key, delta));
+            }
+            if pending.len() == 5 {
+                reference.append(&mut pending);
+            }
+        }
+        drop(prod); // flushes the partial batch
+        reference.append(&mut pending);
+        q.close();
+
+        direct.apply(&reference);
+        let applied = q.drain_into(&mut piped);
+        assert_eq!(applied, direct.total_events());
+        for key in 0..11u64 {
+            assert_eq!(direct.counter(key), piped.counter(key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn multi_producer_totals_are_conserved() {
+        // 4 producer threads, one applier thread, bounded queue: nothing
+        // lost under the blocking policy, and the engine's exact event
+        // count equals the producers' submissions.
+        let q = IngestQueue::new(small(2, 8, true));
+        let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
+        let per_producer = 5_000u64;
+        let producers = 4u64;
+
+        let applied = thread::scope(|s| {
+            let handles: Vec<_> = (0..producers)
+                .map(|t| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let mut p = q.producer();
+                        for i in 0..per_producer {
+                            p.record((t * per_producer + i) % 257, 1);
+                        }
+                    })
+                })
+                .collect();
+            // Applier runs concurrently with the producers and returns
+            // once the queue is closed and drained.
+            let drain = s.spawn(|| q.drain_into(&mut engine));
+            for h in handles {
+                h.join().expect("producer thread");
+            }
+            q.close();
+            drain.join().expect("applier thread")
+        });
+        assert_eq!(applied, per_producer * producers);
+        assert_eq!(engine.total_events(), per_producer * producers);
+        let s = q.stats();
+        assert_eq!(s.dropped_batches, 0);
+        assert_eq!(s.applied_events, per_producer * producers);
+        assert_eq!(s.queue_depth, 0);
+    }
+
+    #[test]
+    fn stats_fold_into_engine_stats() {
+        let q = IngestQueue::new(small(4, 2, false));
+        let mut p = q.producer();
+        for key in 0..20u64 {
+            p.record(key, 1);
+        }
+        let engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
+        let stats = engine.stats().with_ingest(&q.stats());
+        assert_eq!(stats.queue_depth, 4, "bounded at queue capacity");
+        assert_eq!(stats.dropped_batches, q.stats().dropped_batches);
+        assert!(stats.dropped_batches > 0, "overflow must be visible");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = IngestQueue::new(small(0, 1, true));
+    }
+}

@@ -1,48 +1,92 @@
-//! # `ac-engine` — the sharded keyed-counter engine
+//! # `ac-engine` — the sharded keyed-counter engine, in four layers
 //!
 //! The paper shrinks *one* counter to `O(log log N + log(1/ε) +
-//! log log(1/δ))` bits; the saving only matters at fleet scale — millions
-//! of keys, each with its own approximate counter. This crate is that
-//! deployment: a keyed registry sharded by key hash, where each shard owns
-//! a dense slab of counters plus its own deterministic RNG, driven through
-//! a batch-update API whose per-key work rides the counters'
-//! transition-count-proportional
-//! [`increment_by`](ac_core::ApproxCounter::increment_by) fast paths.
+//! log log(1/δ))` bits; the saving only pays off at fleet scale — millions
+//! of keys, each with its own approximate counter — and only if the system
+//! can admit writes, serve reads, and persist state without freezing the
+//! hot path. This crate is that deployment, split into explicit layers:
 //!
-//! * [`CounterEngine::apply`] — route a `&[(key, delta)]` batch to shards
-//!   and fast-forward each touched counter; `O(batch + transitions)`,
-//!   never `O(Σ delta)`.
-//! * [`CounterEngine::apply_parallel`] — the same batch fanned out with
-//!   one thread per shard. Because every shard's randomness comes from its
-//!   own RNG and the key→shard partition is deterministic, the resulting
-//!   state is *identical* to the sequential path, regardless of thread
-//!   scheduling.
-//! * [`CounterEngine::merged_total`] — cross-shard aggregation that folds
-//!   every counter into one via the [`Mergeable`](ac_core::Mergeable)
-//!   merge laws (Remark 2.4 / `[CY20 §2.1]`), so a global count never
-//!   touches the raw stream.
+//! ```text
+//!  producers ──► ingest ──► registry/shards ──► snapshot ──► checkpoint
+//!               (queue)       (write path)      (serve)      (durable)
+//! ```
+//!
+//! 1. **Ingest** ([`IngestQueue`] / [`IngestProducer`]) — a bounded
+//!    multi-producer queue that coalesces per-key increments into batches,
+//!    so producers never block on shard application. Batched updates are
+//!    the first-class operation (after the amortized-complexity view of
+//!    Aden-Ali, Han, Nelson, Yu 2022): a coalesced `(key, delta)` costs
+//!    one transition-count-proportional `increment_by`, not `delta` coin
+//!    flips. Backpressure is configurable (block or drop-and-count);
+//!    diagnostics surface through [`EngineStats::with_ingest`].
+//! 2. **Write** ([`CounterEngine`]) — slab ownership and batched apply:
+//!    key→shard routing, dense per-shard slabs, per-shard deterministic
+//!    RNG. [`CounterEngine::apply_parallel`] fans a batch out one thread
+//!    per shard with states bit-identical to the sequential path.
+//! 3. **Snapshot/serve** ([`EngineSnapshot`]) — immutable, cheaply
+//!    cloneable read replicas: frozen slabs behind `Arc`s plus the
+//!    cross-shard merged aggregate, folded once at freeze time through the
+//!    [`Mergeable`](ac_core::Mergeable) laws (Remark 2.4). Queries never
+//!    contend with writers.
+//! 4. **Checkpoint** ([`checkpoint_snapshot`] / [`restore_checkpoint`]) —
+//!    snapshots serialized through `ac-bitio`: [`StateCodec`] counter
+//!    states plus Rice-coded key gaps behind a versioned header that
+//!    embeds the [`EngineConfig`] and parameter fingerprint and refuses
+//!    mismatched restores. A restored engine continues the *exact* random
+//!    stream (shard RNG states ride along), and a million counters persist
+//!    at ~their summed `state_bits`, not a million fixed-width records.
 //!
 //! ```
 //! use ac_core::{ApproxCounter, NelsonYuCounter, NyParams};
-//! use ac_engine::{CounterEngine, EngineConfig};
+//! use ac_engine::{
+//!     checkpoint_snapshot, restore_checkpoint, CounterEngine, EngineConfig, IngestConfig,
+//!     IngestQueue,
+//! };
 //! use ac_randkit::Xoshiro256PlusPlus;
 //!
 //! let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
-//! let mut engine = CounterEngine::new(template, EngineConfig::default());
-//! engine.apply(&[(1, 50_000), (2, 10_000), (1, 50_000)]);
+//! let mut engine = CounterEngine::new(template.clone(), EngineConfig::default());
 //!
-//! let est = engine.estimate(1).unwrap();
-//! assert!((est - 1.0e5).abs() / 1.0e5 < 0.5);
+//! // Ingest: coalesce and batch; drain applies to the write layer.
+//! let queue = IngestQueue::new(IngestConfig::default());
+//! let mut producer = queue.producer();
+//! producer.record(1, 50_000);
+//! producer.record(2, 10_000);
+//! producer.record(1, 50_000); // coalesces with the first pair
+//! producer.flush();
+//! queue.close();
+//! queue.drain_into(&mut engine);
 //!
+//! // Snapshot: lock-free reads + the merged cross-shard aggregate.
 //! let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
-//! let total = engine.merged_total(&mut rng).unwrap();
-//! assert!((total.estimate() - 1.1e5).abs() / 1.1e5 < 0.5);
+//! let snap = engine.snapshot(&mut rng).unwrap();
+//! assert!((snap.estimate(1).unwrap() - 1.0e5).abs() / 1.0e5 < 0.5);
+//! assert!((snap.merged_total().estimate() - 1.1e5).abs() / 1.1e5 < 0.5);
+//!
+//! // Checkpoint: durable at ~state_bits, restored bit-identically.
+//! let ck = checkpoint_snapshot(&snap);
+//! let restored = restore_checkpoint(&template, ck.bytes()).unwrap();
+//! assert_eq!(restored.counter(1).unwrap().state_parts(),
+//!            engine.counter(1).unwrap().state_parts());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
+mod ingest;
 mod registry;
 mod shard;
+mod snapshot;
 
+pub use checkpoint::{
+    checkpoint_snapshot, read_header, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
+    CheckpointError, CheckpointHeader, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+};
+pub use ingest::{Batch, IngestConfig, IngestProducer, IngestQueue, IngestStats};
 pub use registry::{CounterEngine, EngineConfig, EngineStats};
+pub use snapshot::EngineSnapshot;
+
+// The serialization contract checkpoints are written against, re-exported
+// so engine users need not depend on `ac-core` directly for it.
+pub use ac_core::StateCodec;

@@ -1,7 +1,13 @@
-//! The engine proper: key→shard routing, batch application (sequential
-//! and one-thread-per-shard), and merge-based aggregation.
+//! The write layer: key→shard routing, slab ownership, and batch
+//! application (sequential and one-thread-per-shard).
+//!
+//! This layer does exactly two things: own the per-shard counter slabs
+//! and apply `(key, delta)` batches to them. Everything else lives in its
+//! own layer — admission and coalescing in [`crate::ingest`], reads in
+//! [`crate::snapshot`], durability in [`crate::checkpoint`].
 
-use crate::shard::Shard;
+use crate::ingest::IngestStats;
+use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::{RandomSource, SplitMix64};
 
@@ -26,8 +32,9 @@ impl Default for EngineConfig {
     }
 }
 
-/// A point-in-time summary of the engine, for reports and capacity
-/// planning.
+/// A point-in-time summary of the engine (and, when taken through
+/// [`EngineStats::with_ingest`], of the ingest queue in front of it), for
+/// reports and capacity planning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Number of shards.
@@ -36,23 +43,48 @@ pub struct EngineStats {
     pub keys: usize,
     /// Total increments applied (exact).
     pub events: u64,
-    /// Sum of live counter register bits across all shards.
+    /// Sum of live counter register bits across all shards. This is the
+    /// same quantity the checkpoint layer reports as
+    /// [`CheckpointStats::counter_state_bits`](crate::CheckpointStats::counter_state_bits) —
+    /// a test pins the two together.
     pub counter_state_bits: u64,
     /// Largest keys-per-shard count (load-balance diagnostic).
     pub max_shard_keys: usize,
+    /// Batches sitting in the ingest queue, not yet applied (0 when no
+    /// ingest layer is attached; see [`EngineStats::with_ingest`]).
+    pub queue_depth: usize,
+    /// Batches the ingest layer dropped because the queue was full under
+    /// the drop-oldest-work-refused policy (0 without an ingest layer).
+    pub dropped_batches: u64,
 }
 
-/// A hash-sharded registry of per-key approximate counters.
+impl EngineStats {
+    /// Folds ingest-layer diagnostics into an engine summary, so one
+    /// struct describes the whole write pipeline.
+    #[must_use]
+    pub fn with_ingest(mut self, ingest: &IngestStats) -> Self {
+        self.queue_depth = ingest.queue_depth;
+        self.dropped_batches = ingest.dropped_batches;
+        self
+    }
+}
+
+/// A hash-sharded registry of per-key approximate counters — the write
+/// layer of the engine pipeline.
 ///
 /// Every key's counter is cloned on first touch from a template (reset at
 /// construction), lives entirely within one shard, and advances through
 /// the family's batched
 /// [`increment_by`](ApproxCounter::increment_by) fast path. See the crate
-/// docs for the determinism and aggregation contracts.
+/// docs for the determinism and aggregation contracts, and for the
+/// surrounding layers: [`crate::IngestQueue`] feeds this type,
+/// [`CounterEngine::snapshot`](crate::snapshot) freezes it for readers,
+/// and [`crate::checkpoint_snapshot`] persists it.
 #[derive(Debug, Clone)]
 pub struct CounterEngine<C> {
     shards: Vec<Shard<C>>,
     template: C,
+    config: EngineConfig,
     /// Salt for the key→shard hash, derived from the config seed.
     salt: u64,
 }
@@ -68,23 +100,69 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         assert!(config.shards > 0, "engine needs at least one shard");
         let mut template = template;
         template.reset();
-        let mut seeder = SplitMix64::new(config.seed);
-        let salt = seeder.next_u64();
+        let (salt, mut seeder) = Self::salt_for(config.seed);
         let shards = (0..config.shards)
             .map(|_| Shard::new(seeder.next_u64()))
             .collect();
         Self {
             shards,
             template,
+            config,
             salt,
         }
     }
 
-    /// The shard index for `key`: one SplitMix64 finalizer round over the
-    /// salted key — cheap, well-mixed, deterministic.
-    fn shard_of(&self, key: u64) -> usize {
-        let mut h = SplitMix64::new(self.salt ^ key);
-        (h.next_u64() % self.shards.len() as u64) as usize
+    /// The routing salt and per-shard seeder derived from `seed` — the
+    /// construction and the checkpoint-restore path must derive them
+    /// identically.
+    fn salt_for(seed: u64) -> (u64, SplitMix64) {
+        let mut seeder = SplitMix64::new(seed);
+        let salt = seeder.next_u64();
+        (salt, seeder)
+    }
+
+    /// Rebuilds an engine from restored shards (the checkpoint layer's
+    /// constructor). The template is reset; shard count must match the
+    /// config.
+    pub(crate) fn from_restored(template: C, config: EngineConfig, shards: Vec<Shard<C>>) -> Self {
+        assert_eq!(config.shards, shards.len(), "shard count mismatch");
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let mut template = template;
+        template.reset();
+        let (salt, _) = Self::salt_for(config.seed);
+        Self {
+            shards,
+            template,
+            config,
+            salt,
+        }
+    }
+
+    /// The configuration the engine was built with (part of its identity:
+    /// the checkpoint header embeds it).
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The shard index for `key`.
+    pub(crate) fn shard_of(&self, key: u64) -> usize {
+        route(self.salt, self.shards.len(), key)
+    }
+
+    /// The routing salt (shared with snapshots).
+    pub(crate) fn salt(&self) -> u64 {
+        self.salt
+    }
+
+    /// The shard slabs (read-only view for the snapshot/checkpoint layers).
+    pub(crate) fn shards(&self) -> &[Shard<C>] {
+        &self.shards
+    }
+
+    /// The reset template counter.
+    pub(crate) fn template(&self) -> &C {
+        &self.template
     }
 
     /// Applies a batch of `(key, delta)` updates sequentially.
@@ -168,7 +246,9 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         self.shards.iter().flat_map(Shard::entries)
     }
 
-    /// Engine summary for reports.
+    /// Engine summary for reports. Ingest diagnostics read zero here;
+    /// fold them in with [`EngineStats::with_ingest`] when an ingest
+    /// queue fronts this engine.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -182,6 +262,8 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
                 .map(|c| c.state_bits())
                 .sum(),
             max_shard_keys: self.shards.iter().map(Shard::len).max().unwrap_or(0),
+            queue_depth: 0,
+            dropped_batches: 0,
         }
     }
 
@@ -316,10 +398,19 @@ mod tests {
         assert_eq!(stats.keys, 2);
         // Two Morris registers: a handful of bits each, never log2(N).
         assert!(stats.counter_state_bits < 16, "{stats:?}");
+        // No ingest layer attached: diagnostics read zero.
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.dropped_batches, 0);
         assert_eq!(
             e.iter().count(),
             2,
             "iter must visit every (key, counter) pair"
         );
+    }
+
+    #[test]
+    fn config_is_preserved() {
+        let e = CounterEngine::new(ExactCounter::new(), cfg(8));
+        assert_eq!(e.config(), cfg(8));
     }
 }

@@ -2,8 +2,18 @@
 //! own deterministic RNG.
 
 use ac_core::ApproxCounter;
-use ac_randkit::Xoshiro256PlusPlus;
+use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
 use std::collections::HashMap;
+
+/// The key→shard partition: one SplitMix64 finalizer round over the
+/// salted key — cheap, well-mixed, deterministic. Shared by the write
+/// layer ([`crate::CounterEngine`]) and the read replicas
+/// ([`crate::EngineSnapshot`]), which must agree bit for bit.
+#[inline]
+pub(crate) fn route(salt: u64, shards: usize, key: u64) -> usize {
+    let mut h = SplitMix64::new(salt ^ key);
+    (h.next_u64() % shards as u64) as usize
+}
 
 /// A shard owns every counter whose key hashes to it.
 ///
@@ -35,6 +45,28 @@ impl<C: ApproxCounter + Clone> Shard<C> {
         }
     }
 
+    /// Rebuilds a shard from checkpointed parts: the exact RNG state,
+    /// event tally, and `(key, counter)` pairs (order defines slab
+    /// layout; estimates and future evolution do not depend on it).
+    pub(crate) fn from_restored(
+        rng: Xoshiro256PlusPlus,
+        events: u64,
+        entries: Vec<(u64, C)>,
+    ) -> Self {
+        let mut index = HashMap::with_capacity(entries.len());
+        let mut slab = Vec::with_capacity(entries.len());
+        for (key, counter) in entries {
+            index.insert(key, slab.len() as u32);
+            slab.push(counter);
+        }
+        Self {
+            index,
+            slab,
+            rng,
+            events,
+        }
+    }
+
     /// Routes `delta` increments into `key`'s counter, materializing it
     /// from `template` on first touch.
     pub(crate) fn apply_one(&mut self, template: &C, key: u64, delta: u64) {
@@ -57,6 +89,13 @@ impl<C: ApproxCounter + Clone> Shard<C> {
 
     pub(crate) fn events(&self) -> u64 {
         self.events
+    }
+
+    /// The shard's RNG, exposed read-only so the checkpoint layer can
+    /// persist its exact state (a restored engine continues the same
+    /// random stream).
+    pub(crate) fn rng(&self) -> &Xoshiro256PlusPlus {
+        &self.rng
     }
 
     pub(crate) fn counters(&self) -> impl Iterator<Item = &C> {

@@ -1,0 +1,207 @@
+//! The snapshot/serve layer: immutable, cheaply-cloneable read replicas.
+//!
+//! [`CounterEngine::snapshot`] freezes the engine at a point in time into
+//! an [`EngineSnapshot`]: per-shard frozen slabs behind `Arc`s, plus the
+//! cross-shard merged aggregate (folded once, at freeze time, through the
+//! family's [`Mergeable`] law — Remark 2.4). After the freeze:
+//!
+//! * **queries never contend with writers** — the snapshot owns its data;
+//!   the engine keeps mutating its own slabs. No lock is shared, so
+//!   `estimate`/`merged_total` latency is flat no matter how hard the
+//!   write path is running;
+//! * **clones are O(shards) pointer bumps** — hand a replica to every
+//!   serving thread;
+//! * **the checkpoint layer serializes snapshots**, not live engines, so
+//!   durability rides the same freeze and the write path never stalls for
+//!   I/O (see [`crate::checkpoint_snapshot`]).
+//!
+//! The freeze itself deep-clones the touched slabs — `O(keys)` compact
+//! counter states, the one moment writer and reader briefly share data.
+//! At the paper's state sizes that is a copy of a few bits per key.
+
+use crate::registry::{CounterEngine, EngineConfig};
+use crate::shard::{route, Shard};
+use ac_core::{ApproxCounter, CoreError, Mergeable};
+use ac_randkit::RandomSource;
+use std::sync::Arc;
+
+/// An immutable point-in-time replica of a [`CounterEngine`].
+///
+/// Created by [`CounterEngine::snapshot`]; cloning is cheap (shared
+/// frozen shards). Every query runs lock-free against the frozen data.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<C> {
+    pub(crate) shards: Vec<Arc<Shard<C>>>,
+    pub(crate) template: C,
+    config: EngineConfig,
+    salt: u64,
+    merged: C,
+    keys: usize,
+    events: u64,
+}
+
+impl<C: ApproxCounter + Clone> CounterEngine<C> {
+    /// Freezes a read replica of the engine's current state, folding the
+    /// cross-shard merged aggregate as part of the freeze (`rng` drives
+    /// the merge law's randomness; the engine itself is untouched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::MergeMismatch`] from the aggregate fold —
+    /// unreachable when all counters are clones of one template, as here.
+    pub fn snapshot(&self, rng: &mut dyn RandomSource) -> Result<EngineSnapshot<C>, CoreError>
+    where
+        C: Mergeable,
+    {
+        let merged = self.merged_total(rng)?;
+        Ok(EngineSnapshot {
+            shards: self.shards().iter().map(|s| Arc::new(s.clone())).collect(),
+            template: self.template().clone(),
+            config: self.config(),
+            salt: self.salt(),
+            merged,
+            keys: self.len(),
+            events: self.total_events(),
+        })
+    }
+}
+
+impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
+    /// The estimate for `key` at freeze time, or `None` if the key had
+    /// never been touched.
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        self.counter(key).map(ApproxCounter::estimate)
+    }
+
+    /// Read-only access to `key`'s frozen counter.
+    #[must_use]
+    pub fn counter(&self, key: u64) -> Option<&C> {
+        self.shards[route(self.salt, self.shards.len(), key)].get(key)
+    }
+
+    /// The cross-shard merged aggregate, folded once at freeze time: a
+    /// single counter distributed as if it had processed the whole stream
+    /// (Remark 2.4). Querying it is a field read — no per-query merge, no
+    /// writer contention.
+    #[must_use]
+    pub fn merged_total(&self) -> &C {
+        &self.merged
+    }
+
+    /// Distinct keys at freeze time.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys
+    }
+
+    /// True when the engine had no keys at freeze time.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.keys == 0
+    }
+
+    /// Exact total increments at freeze time.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.events
+    }
+
+    /// The engine configuration the snapshot was frozen from (embedded in
+    /// checkpoints as part of the engine's identity).
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Iterates all frozen `(key, counter)` pairs, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &C)> {
+        self.shards.iter().flat_map(|s| s.entries())
+    }
+
+    /// Sum of frozen counter register bits — the snapshot-side twin of
+    /// [`EngineStats::counter_state_bits`](crate::EngineStats::counter_state_bits).
+    #[must_use]
+    pub fn counter_state_bits(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.counters())
+            .map(ac_bitio::StateBits::state_bits)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_core::{ExactCounter, NelsonYuCounter, NyParams};
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig { shards: 8, seed: 5 }
+    }
+
+    #[test]
+    fn snapshot_is_a_faithful_point_in_time_copy() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg());
+        e.apply(&[(1, 10), (2, 20), (3, 30)]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let snap = e.snapshot(&mut rng).unwrap();
+
+        // Writer keeps going; the snapshot must not move.
+        e.apply(&[(1, 100), (4, 1)]);
+        assert_eq!(snap.estimate(1), Some(10.0));
+        assert_eq!(snap.estimate(4), None);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.total_events(), 60);
+        assert_eq!(snap.merged_total().count(), 60);
+        assert_eq!(e.estimate(1), Some(110.0), "writer advanced independently");
+        assert_eq!(snap.iter().count(), 3);
+        assert_eq!(snap.config(), cfg());
+    }
+
+    #[test]
+    fn clones_share_frozen_shards() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg());
+        e.apply(&[(1, 1), (2, 2)]);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        let snap = e.snapshot(&mut rng).unwrap();
+        let replica = snap.clone();
+        for (a, b) in snap.shards.iter().zip(&replica.shards) {
+            assert!(Arc::ptr_eq(a, b), "clone must share, not copy, slabs");
+        }
+        assert_eq!(replica.estimate(2), Some(2.0));
+    }
+
+    #[test]
+    fn merged_aggregate_tracks_event_total_for_approximate_families() {
+        let p = NyParams::new(0.2, 8).unwrap();
+        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k, 1_000)).collect();
+        e.apply(&batch);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let snap = e.snapshot(&mut rng).unwrap();
+        let exact = snap.total_events() as f64;
+        let rel = (snap.merged_total().estimate() - exact).abs() / exact;
+        assert!(rel < 0.4, "merged aggregate rel err {rel}");
+    }
+
+    #[test]
+    fn snapshot_state_bits_match_engine_stats() {
+        let p = NyParams::new(0.25, 6).unwrap();
+        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        e.apply(&(0..200u64).map(|k| (k, k + 1)).collect::<Vec<_>>());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let snap = e.snapshot(&mut rng).unwrap();
+        assert_eq!(snap.counter_state_bits(), e.stats().counter_state_bits);
+    }
+
+    #[test]
+    fn empty_engine_snapshots_cleanly() {
+        let e = CounterEngine::new(ExactCounter::new(), cfg());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let snap = e.snapshot(&mut rng).unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.merged_total().count(), 0);
+    }
+}

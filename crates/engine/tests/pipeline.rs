@@ -1,0 +1,207 @@
+//! Property tests for the engine pipeline: `restore(checkpoint(engine))`
+//! preserves every key's estimate, `state_bits`, and the RNG-independent
+//! metadata (key count, exact event totals, config) across all five
+//! counter families; corrupted checkpoints and mismatched restores are
+//! rejected with typed errors, never a panic or a silently wrong engine.
+
+use ac_core::{
+    CsurosCounter, ExactCounter, Mergeable, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
+    StateCodec,
+};
+use ac_engine::{
+    checkpoint_snapshot, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
+    CheckpointError, CounterEngine, EngineConfig,
+};
+use ac_randkit::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+/// Builds an engine over the given workload and checkpoints it.
+fn engine_and_checkpoint<C: StateCodec + Mergeable + Clone>(
+    template: &C,
+    shards: usize,
+    seed: u64,
+    events: &[(u64, u64)],
+) -> (CounterEngine<C>, Checkpoint) {
+    let mut engine = CounterEngine::new(template.clone(), EngineConfig { shards, seed });
+    engine.apply(events);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0xC0DE);
+    let snap = engine.snapshot(&mut rng).expect("uniform template merges");
+    let ck = checkpoint_snapshot(&snap);
+    (engine, ck)
+}
+
+/// The family-generic fidelity check.
+fn assert_restores_exactly<C: StateCodec + Mergeable + Clone>(
+    template: &C,
+    shards: usize,
+    seed: u64,
+    events: &[(u64, u64)],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let (engine, ck) = engine_and_checkpoint(template, shards, seed, events);
+    let restored = restore_checkpoint(template, ck.bytes()).expect("valid checkpoint");
+
+    prop_assert_eq!(restored.len(), engine.len());
+    prop_assert_eq!(restored.total_events(), engine.total_events());
+    prop_assert_eq!(restored.config(), engine.config());
+    prop_assert_eq!(
+        restored.stats().counter_state_bits,
+        ck.stats().counter_state_bits
+    );
+    for (key, counter) in engine.iter() {
+        let back = restored.counter(key);
+        prop_assert!(back.is_some(), "key {} lost", key);
+        let back = back.expect("checked");
+        prop_assert_eq!(
+            back.estimate(),
+            counter.estimate(),
+            "estimate for key {}",
+            key
+        );
+        prop_assert_eq!(
+            back.state_bits(),
+            counter.state_bits(),
+            "state bits for key {}",
+            key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn exact_checkpoints_restore_exactly(
+        events in prop::collection::vec((0u64..400, 1u64..3_000), 1..150),
+        shards in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        assert_restores_exactly(&ExactCounter::new(), shards, seed, &events)?;
+    }
+
+    #[test]
+    fn morris_checkpoints_restore_exactly(
+        events in prop::collection::vec((0u64..400, 1u64..3_000), 1..150),
+        shards in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        assert_restores_exactly(&MorrisCounter::new(0.25).unwrap(), shards, seed, &events)?;
+    }
+
+    #[test]
+    fn morris_plus_checkpoints_restore_exactly(
+        events in prop::collection::vec((0u64..400, 1u64..3_000), 1..150),
+        shards in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        assert_restores_exactly(&MorrisPlus::new(0.2, 8).unwrap(), shards, seed, &events)?;
+    }
+
+    #[test]
+    fn nelson_yu_checkpoints_restore_exactly(
+        events in prop::collection::vec((0u64..400, 1u64..3_000), 1..150),
+        shards in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        assert_restores_exactly(&template, shards, seed, &events)?;
+    }
+
+    #[test]
+    fn csuros_checkpoints_restore_exactly(
+        events in prop::collection::vec((0u64..400, 1u64..3_000), 1..150),
+        shards in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        assert_restores_exactly(&CsurosCounter::new(8).unwrap(), shards, seed, &events)?;
+    }
+
+    #[test]
+    fn sparse_u64_keyspace_round_trips(
+        // Arbitrary keys anywhere in u64: exercises the Rice gap coder's
+        // sparse regime and the first-key fixed field.
+        events in prop::collection::vec((proptest::arbitrary::any::<u64>(), 1u64..50), 1..80),
+        shards in 1usize..5,
+    ) {
+        assert_restores_exactly(&ExactCounter::new(), shards, 99, &events)?;
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        events in prop::collection::vec((0u64..60, 1u64..500), 1..40),
+        shards in 1usize..5,
+        flip in proptest::arbitrary::any::<u64>(),
+    ) {
+        // Checksums make corruption detection total: flipping any one bit
+        // anywhere in the checkpoint must yield a typed error (or, for a
+        // handful of prefix bits, a different-but-typed magic/version
+        // error). Never a panic, never a silently different engine.
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let (_, ck) = engine_and_checkpoint(&template, shards, 5, &events);
+        let mut bytes = ck.bytes().to_vec();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            restore_checkpoint(&template, &bytes).is_err(),
+            "flipping bit {} went undetected",
+            bit
+        );
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_rejected(
+        events in prop::collection::vec((0u64..60, 1u64..500), 1..40),
+        cut in proptest::arbitrary::any::<u64>(),
+    ) {
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let (_, ck) = engine_and_checkpoint(&template, 3, 8, &events);
+        let keep = (cut % ck.bytes().len() as u64) as usize;
+        let err = restore_checkpoint(&template, &ck.bytes()[..keep]).unwrap_err();
+        prop_assert!(
+            matches!(err, CheckpointError::Truncated | CheckpointError::Corrupt { .. }),
+            "unexpected error for {} kept bytes: {:?}",
+            keep,
+            err
+        );
+    }
+}
+
+#[test]
+fn mismatched_template_families_are_refused() {
+    let ny = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+    let events: Vec<(u64, u64)> = (0..50u64).map(|k| (k, k + 1)).collect();
+    let (_, ck) = engine_and_checkpoint(&ny, 4, 1, &events);
+
+    assert_eq!(
+        restore_checkpoint(&MorrisCounter::new(0.5).unwrap(), ck.bytes()).unwrap_err(),
+        CheckpointError::ScheduleMismatch
+    );
+    assert_eq!(
+        restore_checkpoint(&CsurosCounter::new(8).unwrap(), ck.bytes()).unwrap_err(),
+        CheckpointError::ScheduleMismatch
+    );
+    // Same family, different schedule: also refused.
+    let other = NelsonYuCounter::new(NyParams::new(0.2, 9).unwrap());
+    assert_eq!(
+        restore_checkpoint(&other, ck.bytes()).unwrap_err(),
+        CheckpointError::ScheduleMismatch
+    );
+}
+
+#[test]
+fn pinned_config_mismatch_is_refused() {
+    let template = ExactCounter::new();
+    let events: Vec<(u64, u64)> = (0..30u64).map(|k| (k, 2)).collect();
+    let (engine, ck) = engine_and_checkpoint(&template, 4, 7, &events);
+
+    let wrong_shards = EngineConfig { shards: 5, seed: 7 };
+    assert!(matches!(
+        restore_checkpoint_expecting(&template, ck.bytes(), wrong_shards),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    let wrong_seed = EngineConfig { shards: 4, seed: 8 };
+    assert!(matches!(
+        restore_checkpoint_expecting(&template, ck.bytes(), wrong_seed),
+        Err(CheckpointError::ConfigMismatch { .. })
+    ));
+    let ok = restore_checkpoint_expecting(&template, ck.bytes(), engine.config()).unwrap();
+    assert_eq!(ok.total_events(), engine.total_events());
+}

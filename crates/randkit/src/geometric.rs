@@ -101,6 +101,91 @@ impl Geometric {
     }
 }
 
+/// Bulk sampler over a *ladder* of geometric variables with geometrically
+/// decaying success probabilities — the level-skipping path for
+/// Morris-family fast-forwarding at tiny bases.
+///
+/// The setting: independent trials at rung `i` succeed with probability
+/// `p_i = b^{-i}` for a base `b = e^{ln_b} > 1`, and the time spent on rung
+/// `i` is `Z_i ~ Geometric(p_i)`. When `ln_b` is tiny (Morris bases
+/// `a ≲ 1e-4`), `p_i ≈ 1` across thousands of rungs, so almost every
+/// `Z_i = 1` and drawing each of them individually wastes one RNG call per
+/// rung. [`GeometricLadder::sample_run`] instead samples
+///
+/// ```text
+/// M = min { m ≥ 0 : Z_{x+m} ≥ 2 }
+/// ```
+///
+/// — the number of consecutive one-trial rungs starting at `x` — in `O(1)`
+/// via the closed form `P(M > m) = ∏_{j≤m} b^{-(x+j)} = b^{-S}` with
+/// `S = (m+1)x + m(m+1)/2`: inverting one `Exp(1)` draw against the
+/// quadratic `S(m)` yields `M` exactly. Crucially the sample is *only*
+/// conditioned on rungs `x .. x+M`, so a caller that climbs fewer than `M`
+/// rungs (budget exhausted) can later resample the untouched rungs fresh
+/// without bias, and the rung at `x+M` satisfies
+/// `Z | Z ≥ 2 = 1 + Geometric(p)` by memorylessness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricLadder {
+    /// `ln b > 0`.
+    ln_b: f64,
+}
+
+impl GeometricLadder {
+    /// Creates the ladder for success probabilities `p_i = e^{-ln_b · i}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError::ProbabilityOutOfRange`] unless `ln_b` is finite
+    /// and positive (a flat or growing ladder has no one-trial runs to
+    /// skip).
+    pub fn new(ln_b: f64) -> Result<Self, DistError> {
+        if !(ln_b.is_finite() && ln_b > 0.0) {
+            return Err(DistError::ProbabilityOutOfRange {
+                param: "ln_b",
+                required: "(0, inf)",
+            });
+        }
+        Ok(Self { ln_b })
+    }
+
+    /// The log-base `ln b`.
+    #[must_use]
+    pub fn ln_b(&self) -> f64 {
+        self.ln_b
+    }
+
+    /// Samples `M = min{m ≥ 0 : Z_{x+m} ≥ 2}` — how many consecutive rungs
+    /// starting at `x` are climbed with exactly one trial each — with one
+    /// `Exp(1)` draw and a square root.
+    ///
+    /// At `x = 0` the rung-0 trial always succeeds (`p_0 = 1`), so the
+    /// result is at least 1 there.
+    #[inline]
+    pub fn sample_run<R: RandomSource + ?Sized>(&self, x: u64, rng: &mut R) -> u64 {
+        // P(M > m) = exp(-S(m+1)·ln_b) with S(m) = m·x + m(m-1)/2, so
+        // M = max{m : S(m)·ln_b ≤ E} for E ~ Exp(1).
+        let e = -rng.next_f64_open().ln();
+        let r = e / self.ln_b;
+        let xf = x as f64;
+        // Largest m with m²/2 + m(x − 1/2) ≤ r, by the quadratic formula…
+        let disc = (xf - 0.5).mul_add(xf - 0.5, 2.0 * r);
+        let mut m = (0.5 - xf + disc.sqrt()).floor().max(0.0) as u64;
+        // …then nudged onto the exact integer boundary (f64 rounding can
+        // miss by one near the root).
+        let s = |m: u64| {
+            let mf = m as f64;
+            mf * xf + mf * (mf - 1.0) * 0.5
+        };
+        while m > 0 && s(m) > r {
+            m -= 1;
+        }
+        while s(m + 1) <= r {
+            m += 1;
+        }
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +254,98 @@ mod tests {
         assert!(x >= 1);
         // Mean is 1e12; a draw should be in a plausibly wide band.
         assert!(x < u64::MAX);
+    }
+
+    #[test]
+    fn ladder_rejects_bad_base() {
+        assert!(GeometricLadder::new(0.0).is_err());
+        assert!(GeometricLadder::new(-1.0).is_err());
+        assert!(GeometricLadder::new(f64::NAN).is_err());
+        assert!(GeometricLadder::new(f64::INFINITY).is_err());
+        assert!(GeometricLadder::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn ladder_run_from_rung_zero_is_at_least_one() {
+        // p_0 = 1: the first rung always takes exactly one trial.
+        let ladder = GeometricLadder::new(0.5).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(ladder.sample_run(0, &mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    fn ladder_run_matches_per_rung_simulation() {
+        // Simulate M directly (draw Z_i per rung until one is >= 2) and
+        // compare the empirical distribution against sample_run's.
+        let ln_b = 0.02f64; // a ~ 2 %: runs of a few dozen rungs
+        let x0 = 5u64;
+        let ladder = GeometricLadder::new(ln_b).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let trials = 40_000;
+        let mut direct_sum = 0.0f64;
+        let mut skip_sum = 0.0f64;
+        let mut direct_sq = 0.0f64;
+        for _ in 0..trials {
+            let mut m = 0u64;
+            loop {
+                let p = (-((x0 + m) as f64) * ln_b).exp();
+                let z = Geometric::new(p).unwrap().sample(&mut rng);
+                if z >= 2 {
+                    break;
+                }
+                m += 1;
+            }
+            direct_sum += m as f64;
+            direct_sq += (m * m) as f64;
+            skip_sum += ladder.sample_run(x0, &mut rng) as f64;
+        }
+        let n = f64::from(trials);
+        let (mean_d, mean_s) = (direct_sum / n, skip_sum / n);
+        let var_d = direct_sq / n - mean_d * mean_d;
+        let sigma = (2.0 * var_d / n).sqrt();
+        assert!(
+            (mean_d - mean_s).abs() < 6.0 * sigma,
+            "direct mean {mean_d} vs skip mean {mean_s} (sigma {sigma})"
+        );
+    }
+
+    #[test]
+    fn ladder_run_tail_probabilities_are_exact() {
+        // P(M >= m) = b^-(m·x + m(m-1)/2) in closed form; check the
+        // empirical tail at a few points.
+        let ln_b = 0.05f64;
+        let x = 3u64;
+        let ladder = GeometricLadder::new(ln_b).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let trials = 60_000u32;
+        let samples: Vec<u64> = (0..trials)
+            .map(|_| ladder.sample_run(x, &mut rng))
+            .collect();
+        for m in [1u64, 3, 6] {
+            let s = (m * x + m * (m - 1) / 2) as f64;
+            let expect = (-s * ln_b).exp();
+            let got = samples.iter().filter(|&&v| v >= m).count() as f64 / f64::from(trials);
+            let sigma = (expect * (1.0 - expect) / f64::from(trials)).sqrt();
+            assert!(
+                (got - expect).abs() < 6.0 * sigma,
+                "m={m}: empirical {got} vs exact {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_tiny_base_runs_are_long() {
+        // ln_b = 1e-6 near rung 0: failures are ~one-in-a-million per
+        // rung, so runs should regularly climb thousands of rungs.
+        let ladder = GeometricLadder::new(1e-6).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mean: f64 = (0..200)
+            .map(|_| ladder.sample_run(0, &mut rng) as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!(mean > 500.0, "mean run {mean} suspiciously short");
     }
 
     #[test]

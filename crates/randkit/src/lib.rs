@@ -54,9 +54,9 @@ mod zipf;
 pub use bernoulli::{Bernoulli, BernoulliPow2};
 pub use binomial::Binomial;
 pub use error::DistError;
-pub use geometric::Geometric;
+pub use geometric::{Geometric, GeometricLadder};
 pub use source::{CountingSource, RandomSource, SequenceSource};
-pub use splitmix::SplitMix64;
+pub use splitmix::{mix64, SplitMix64};
 pub use uniform::{UniformF64, UniformU64};
 pub use xoshiro::Xoshiro256PlusPlus;
 pub use zipf::{AliasTable, Zipf};

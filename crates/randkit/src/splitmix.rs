@@ -10,10 +10,13 @@ use crate::RandomSource;
 /// The 64-bit finalizer at the heart of SplitMix64.
 ///
 /// This is a bijection on `u64` with good avalanche properties; it is used
-/// both by the generator and by [`crate::trial_seed`].
+/// by the generator, by [`crate::trial_seed`], and — exported — as the
+/// workspace's one canonical mixing fold (parameter fingerprints in
+/// `ac-core`, checkpoint header checksums in `ac-engine`), so the magic
+/// constants live in exactly one place.
 #[inline]
 #[must_use]
-pub(crate) fn mix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

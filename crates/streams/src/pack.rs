@@ -1,8 +1,7 @@
 //! Bit-exact counter state serialization.
 
-use ac_bitio::codes::{decode_delta0, decode_gamma0, encode_delta0, encode_gamma0};
 use ac_bitio::{BitReader, BitWriter};
-use ac_core::{CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter};
+use ac_core::StateCodec;
 
 /// Serialize/deserialize a counter's persistent state with
 /// self-delimiting codes, so that arrays of counters can be stored in
@@ -10,6 +9,12 @@ use ac_core::{CsurosCounter, MorrisCounter, MorrisPlus, NelsonYuCounter};
 ///
 /// `pack_state`/`unpack_state` must round-trip exactly; property tests in
 /// [`crate::CounterArray`] verify this for every implementor.
+///
+/// Every [`StateCodec`] implementor (all five `ac-core` families,
+/// including [`ExactCounter`](ac_core::ExactCounter)) gets this trait via
+/// the blanket impl below — `StateCodec` is the canonical encode/decode
+/// contract (shared with the `ac-engine` checkpoint layer); `PackState`
+/// is its in-place, array-oriented face.
 pub trait PackState {
     /// Appends the counter's state to the writer.
     fn pack_state(&self, w: &mut BitWriter<'_>);
@@ -19,84 +24,33 @@ pub trait PackState {
     /// The counter must have been constructed with the same parameters
     /// (base `a`, mantissa width, schedule, …) as the one that packed the
     /// state — parameters are program constants and are not serialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bits decode to a state unreachable under this
+    /// counter's schedule (corrupt input or a parameter mismatch the
+    /// caller failed to rule out — compare
+    /// [`StateCodec::params_fingerprint`] first when the provenance of
+    /// the bits is uncertain).
     fn unpack_state(&mut self, r: &mut BitReader<'_>);
 
     /// The exact number of bits `pack_state` will write.
     fn packed_bits(&self) -> u64;
 }
 
-impl PackState for MorrisCounter {
+impl<C: StateCodec> PackState for C {
     fn pack_state(&self, w: &mut BitWriter<'_>) {
-        encode_delta0(w, self.level());
+        self.encode_state(w);
     }
 
     fn unpack_state(&mut self, r: &mut BitReader<'_>) {
-        self.set_level(decode_delta0(r));
+        *self = self
+            .decode_state(r)
+            .unwrap_or_else(|e| panic!("unpack_state: {e}"));
     }
 
     fn packed_bits(&self) -> u64 {
-        u64::from(ac_bitio::codes::delta_len(self.level() + 1))
-    }
-}
-
-impl PackState for CsurosCounter {
-    fn pack_state(&self, w: &mut BitWriter<'_>) {
-        encode_delta0(w, self.register());
-    }
-
-    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
-        self.set_register(decode_delta0(r));
-    }
-
-    fn packed_bits(&self) -> u64 {
-        u64::from(ac_bitio::codes::delta_len(self.register() + 1))
-    }
-}
-
-impl PackState for MorrisPlus {
-    fn pack_state(&self, w: &mut BitWriter<'_>) {
-        encode_delta0(w, self.prefix());
-        encode_delta0(w, self.morris().level());
-    }
-
-    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
-        let prefix = decode_delta0(r);
-        let level = decode_delta0(r);
-        self.restore_parts(prefix, level);
-    }
-
-    fn packed_bits(&self) -> u64 {
-        u64::from(ac_bitio::codes::delta_len(self.prefix() + 1))
-            + u64::from(ac_bitio::codes::delta_len(self.morris().level() + 1))
-    }
-}
-
-impl PackState for NelsonYuCounter {
-    fn pack_state(&self, w: &mut BitWriter<'_>) {
-        let (x, y, t) = self.state_parts();
-        // X is stored relative to X0 (the absolute level is implied by
-        // the schedule); t is tiny, γ-coded; Y δ-coded.
-        encode_delta0(w, x - self.params().x0());
-        encode_delta0(w, y);
-        encode_gamma0(w, u64::from(t));
-    }
-
-    fn unpack_state(&mut self, r: &mut BitReader<'_>) {
-        let dx = decode_delta0(r);
-        let y = decode_delta0(r);
-        let t = decode_gamma0(r);
-        self.restore_parts(
-            self.params().x0() + dx,
-            y,
-            u32::try_from(t).expect("sampling exponent fits u32"),
-        );
-    }
-
-    fn packed_bits(&self) -> u64 {
-        let (x, y, t) = self.state_parts();
-        u64::from(ac_bitio::codes::delta_len(x - self.params().x0() + 1))
-            + u64::from(ac_bitio::codes::delta_len(y + 1))
-            + u64::from(ac_bitio::codes::gamma_len(u64::from(t) + 1))
+        self.encoded_state_bits()
     }
 }
 
@@ -104,7 +58,10 @@ impl PackState for NelsonYuCounter {
 mod tests {
     use super::*;
     use ac_bitio::BitVec;
-    use ac_core::{ApproxCounter, NyParams};
+    use ac_core::{
+        ApproxCounter, CsurosCounter, ExactCounter, MorrisCounter, MorrisPlus, NelsonYuCounter,
+        NyParams,
+    };
     use ac_randkit::Xoshiro256PlusPlus;
 
     fn round_trip<C: PackState + ApproxCounter + Clone + PartialEq + std::fmt::Debug>(
@@ -158,6 +115,16 @@ mod tests {
             c.increment_by(n, &mut rng);
             round_trip(&c, NelsonYuCounter::new(p));
         }
+    }
+
+    #[test]
+    fn exact_round_trips_via_blanket_impl() {
+        // ExactCounter had no hand-written PackState before; the blanket
+        // impl over StateCodec covers it.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let mut c = ExactCounter::new();
+        c.increment_by(987_654_321, &mut rng);
+        round_trip(&c, ExactCounter::new());
     }
 
     #[test]

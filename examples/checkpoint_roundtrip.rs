@@ -1,0 +1,92 @@
+//! Cross-process checkpoint/restore: `write` serializes a deterministic
+//! engine to disk; `restore`, run as a *fresh process*, rebuilds the same
+//! reference engine from the shared seed and verifies the restored one
+//! matches it key for key. CI runs the two as separate invocations, so
+//! durability is proven across a process boundary, not just in memory.
+//!
+//! ```console
+//! $ cargo run --release --example checkpoint_roundtrip -- write  /tmp/engine.ckpt
+//! $ cargo run --release --example checkpoint_roundtrip -- restore /tmp/engine.ckpt
+//! ```
+
+use approx_counting::engine::{
+    checkpoint_snapshot, restore_checkpoint, CounterEngine, EngineConfig,
+};
+use approx_counting::prelude::*;
+
+const KEYS: u64 = 10_000;
+const CONFIG: EngineConfig = EngineConfig {
+    shards: 8,
+    seed: 0xC1AC_C0DE,
+};
+
+fn template() -> NelsonYuCounter {
+    NelsonYuCounter::new(NyParams::new(0.2, 8).expect("valid parameters"))
+}
+
+/// The deterministic reference workload both processes can rebuild.
+fn reference_engine() -> CounterEngine<NelsonYuCounter> {
+    let mut engine = CounterEngine::new(template(), CONFIG);
+    let mut gen = SplitMix64::new(0xFEED);
+    let batch: Vec<(u64, u64)> = (0..KEYS)
+        .map(|k| (k * 31 + 7, 1 + gen.next_u64() % 4_096))
+        .collect();
+    engine.apply(&batch);
+    engine
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: checkpoint_roundtrip <write|restore> <path>";
+    let (mode, path) = match args.as_slice() {
+        [_, mode, path] => (mode.as_str(), path.as_str()),
+        _ => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+
+    match mode {
+        "write" => {
+            let engine = reference_engine();
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+            let snap = engine.snapshot(&mut rng).expect("snapshot");
+            let ck = checkpoint_snapshot(&snap);
+            std::fs::write(path, ck.bytes()).expect("write checkpoint");
+            let s = ck.stats();
+            println!(
+                "wrote {} keys / {} events to {path}: {} bytes \
+                 ({} state bits live, {} bits on disk)",
+                s.keys,
+                engine.total_events(),
+                s.bytes(),
+                s.counter_state_bits,
+                s.total_bits
+            );
+        }
+        "restore" => {
+            let bytes = std::fs::read(path).expect("read checkpoint");
+            let restored = restore_checkpoint(&template(), &bytes).expect("restore checkpoint");
+            let reference = reference_engine();
+            assert_eq!(restored.len(), reference.len(), "key count");
+            assert_eq!(restored.total_events(), reference.total_events(), "events");
+            assert_eq!(restored.config(), reference.config(), "config");
+            let mut checked = 0u64;
+            for (key, counter) in reference.iter() {
+                let back = restored.counter(key).expect("restored key");
+                assert_eq!(back.state_parts(), counter.state_parts(), "key {key}");
+                assert_eq!(back.estimate(), counter.estimate(), "key {key}");
+                assert_eq!(back.state_bits(), counter.state_bits(), "key {key}");
+                checked += 1;
+            }
+            println!(
+                "restored {checked} keys from {path} in a fresh process: \
+                 every state bit-identical to the reference engine"
+            );
+        }
+        other => {
+            eprintln!("unknown mode '{other}'; {usage}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -19,9 +19,10 @@
 //! * [`automaton`] — the Theorem 3.1 lower bound, executable.
 //! * [`streams`] — counter arrays, dictionaries, frequency moments,
 //!   reservoir sampling, heavy hitters.
-//! * [`engine`] — the sharded keyed-counter engine: millions of
-//!   per-key counters behind a batch-update API with merge-based
-//!   cross-shard aggregation.
+//! * [`engine`] — the sharded keyed-counter engine, in four layers:
+//!   bounded coalescing ingest, the batch-update write path, immutable
+//!   snapshot read replicas with merged cross-shard aggregates, and
+//!   bit-exact checkpoint/restore through `ac-bitio`.
 //! * [`sim`] — the parallel experiment harness.
 //!
 //! ## Quick start
@@ -64,8 +65,13 @@ pub mod prelude {
         budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
         AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter, Mergeable,
         MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
+        StateCodec,
     };
-    pub use ac_engine::{CounterEngine, EngineConfig, EngineStats};
+    pub use ac_engine::{
+        checkpoint_snapshot, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
+        CheckpointError, CheckpointStats, CounterEngine, EngineConfig, EngineSnapshot, EngineStats,
+        IngestConfig, IngestProducer, IngestQueue, IngestStats,
+    };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};
     pub use ac_streams::{ApproxCountingDict, CountMinSketch, CounterArray, SpaceSaving};
