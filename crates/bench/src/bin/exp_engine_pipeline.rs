@@ -1,17 +1,24 @@
 //! **E13** — the four-layer engine pipeline end to end: multi-producer
-//! ingest throughput with coalescing and bounded backpressure; snapshot
-//! queries served with zero writer contention while ingest keeps running;
-//! and checkpoint/restore through `ac-bitio` whose on-disk size tracks
-//! `counter_state_bits` (within 2× plus framing) and whose restore is
-//! bit-identical for every key.
+//! ingest throughput with coalescing and bounded backpressure; a
+//! mid-ingest freeze measured both ways (legacy `O(keys)` deep clone vs
+//! the copy-on-write `O(shards)` epoch freeze, acceptance ≥ 10×);
+//! snapshot queries served with zero writer contention while ingest keeps
+//! running; a background checkpointer cutting a base + deltas chain on a
+//! cadence without blocking the applier; checkpoint/restore through
+//! `ac-bitio` whose on-disk size tracks `counter_state_bits` (within 2×
+//! plus framing) and whose restore is bit-identical for every key; and a
+//! delta checkpoint after dirtying ≤ 1 % of shards that costs ≤ 10 % of
+//! the full checkpoint, chain-restored bit-identically with RNG streams
+//! intact.
 //!
 //! Emits `BENCH_pipeline.json` via `--json` (uploaded by CI).
 
 use ac_bench::{header, json::JsonObject, section, sized, verdict, write_json_report};
 use ac_core::{ApproxCounter, NelsonYuCounter, NyParams, StateBits};
 use ac_engine::{
-    checkpoint_snapshot, restore_checkpoint, CounterEngine, EngineConfig, EngineSnapshot,
-    IngestConfig, IngestQueue,
+    checkpoint_delta, checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain,
+    BackgroundCheckpointer, CheckpointCadence, CheckpointKind, CheckpointerConfig, CounterEngine,
+    EngineConfig, EngineSnapshot, IngestConfig, IngestQueue,
 };
 use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
 use ac_sim::report::Table;
@@ -67,9 +74,10 @@ fn main() {
         "E13",
         "ingest / snapshot / checkpoint pipeline",
         "the sharded engine absorbs a multi-producer stream through a bounded \
-         coalescing queue, serves snapshot queries with zero writer contention \
-         mid-ingest, and checkpoints a million keys at ~counter_state_bits \
-         (restored bit-identically)",
+         coalescing queue, freezes mid-ingest replicas in O(shards) via \
+         copy-on-write epochs (>=10x over the deep-clone freeze), checkpoints \
+         a million keys at ~counter_state_bits with a background base+delta \
+         chain writer, and restores bit-identically — deltas at O(dirty data)",
     );
 
     let keys = sized(1_000_000, 100_000) as u64;
@@ -88,8 +96,19 @@ fn main() {
     let mut engine = CounterEngine::new(template(), engine_config());
     let (snap_tx, snap_rx) = mpsc::channel::<EngineSnapshot<NelsonYuCounter>>();
 
+    // The background checkpointer: the applier hands it O(shards)
+    // snapshots every `cadence` events; serialization happens off-thread.
+    let cadence = events / 8;
+    let checkpointer: BackgroundCheckpointer<NelsonYuCounter> =
+        BackgroundCheckpointer::spawn(CheckpointerConfig {
+            every_events: cadence,
+            max_deltas_per_base: 15,
+            directory: None,
+            retain_bytes: false,
+        });
+
     let ingest_start = Instant::now();
-    let (applied, apply_s, query_report) = thread::scope(|s| {
+    let (applied, apply_s, deep_freeze_ns, cow_freeze_ns, query_report) = thread::scope(|s| {
         let handles: Vec<_> = streams
             .iter()
             .map(|stream| {
@@ -105,28 +124,51 @@ fn main() {
 
         let engine_ref = &mut engine;
         let queue_ref = &queue;
+        let ckpt_ref = &checkpointer;
         let applier = s.spawn(move || {
-            let mut applied = 0u64;
             let mut published = false;
-            let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE135A9);
-            while let Some(batch) = queue_ref.next_batch() {
-                applied += batch.iter().map(|&(_, d)| d).sum::<u64>();
-                engine_ref.apply_parallel(&batch);
+            let mut deep_ns = 0u64;
+            let mut cow_ns = 0u64;
+            let mut ckpt_cadence = CheckpointCadence::new(cadence);
+            let applied = queue_ref.drain_parallel_with(engine_ref, |engine, applied| {
                 if !published && applied >= events / 2 {
-                    // Freeze a replica mid-ingest and hand it to the
-                    // query thread; writes continue immediately after.
-                    snap_tx
-                        .send(engine_ref.snapshot(&mut rng).unwrap())
-                        .expect("query thread alive");
+                    // The freeze shoot-out, at full mid-ingest scale: the
+                    // legacy deep clone copies every counter; the CoW
+                    // freeze bumps O(shards) Arcs. The deep replica is
+                    // dropped immediately (it exists only to be timed);
+                    // the CoW replica goes to the query thread, so the
+                    // applier really does pay the copy-on-write splits
+                    // for the rest of the run.
+                    let t = Instant::now();
+                    let deep = engine.snapshot_deep();
+                    deep_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    drop(deep);
+                    let t = Instant::now();
+                    let snap = engine.snapshot();
+                    cow_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    snap_tx.send(snap).expect("query thread alive");
                     published = true;
                 }
-            }
-            (applied, ingest_start.elapsed().as_secs_f64())
+                if ckpt_cadence.is_due(applied) {
+                    // Snapshot-at-batch-boundary, handed to the writer
+                    // thread: durability never blocks this applier (the
+                    // same cadence policy drain_parallel_checkpointed
+                    // uses, composed here with the mid-ingest publish).
+                    ckpt_ref.submit(engine.snapshot());
+                }
+            });
+            (
+                applied,
+                ingest_start.elapsed().as_secs_f64(),
+                deep_ns,
+                cow_ns,
+            )
         });
 
         // The serving thread hammers the mid-ingest snapshot while the
         // applier keeps writing. Zero shared locks: the replica is
-        // immutable and wholly owned.
+        // immutable; unwritten slabs are shared with the engine, written
+        // ones split off copy-on-write.
         let query = s.spawn(move || {
             let snap = snap_rx.recv().expect("mid-ingest snapshot");
             let frozen_events = snap.total_events();
@@ -140,12 +182,16 @@ fn main() {
                 }
             }
             let elapsed_s = start.elapsed().as_secs_f64();
+            // The merged aggregate folds here, on the reader's time —
+            // the freeze path never pays this O(keys) scan.
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE135A9);
+            let merged_estimate = snap.merged_total(&mut rng).unwrap().estimate();
             QueryReport {
                 frozen_events,
                 queries,
                 hits,
                 elapsed_s,
-                merged_estimate: snap.merged_total().estimate(),
+                merged_estimate,
             }
         });
 
@@ -153,13 +199,17 @@ fn main() {
             h.join().expect("producer thread");
         }
         queue.close();
-        let (applied, apply_s) = applier.join().expect("applier thread");
+        let (applied, apply_s, deep_ns, cow_ns) = applier.join().expect("applier thread");
         let query_report = query.join().expect("query thread");
-        (applied, apply_s, query_report)
+        (applied, apply_s, deep_ns, cow_ns, query_report)
     });
 
+    let ckpt_stats = checkpointer.stats();
     let ingest_stats = queue.stats();
-    let stats = engine.stats().with_ingest(&ingest_stats);
+    let stats = engine
+        .stats()
+        .with_ingest(&ingest_stats)
+        .with_checkpointer(&ckpt_stats);
     let ingest_ok = applied == events
         && stats.events == events
         && stats.keys as u64 == keys
@@ -197,7 +247,32 @@ fn main() {
             stats.counter_state_bits as f64 / stats.keys as f64
         ),
     ]);
+    table.row(vec![
+        "dirty shards (current epoch)".into(),
+        format!("{}/{}", stats.dirty_shards, stats.shards),
+    ]);
+    table.row(vec![
+        "last freeze".into(),
+        format!("{} ns", stats.last_freeze_ns),
+    ]);
+    table.row(vec![
+        "checkpoint lag".into(),
+        format!("{} events", stats.checkpoint_lag_events),
+    ]);
     print!("{}", table.to_markdown());
+
+    // ----- Part 2: the freeze shoot-out ---------------------------------
+    section("freeze: copy-on-write O(shards) vs legacy O(keys) deep clone");
+    let freeze_speedup = deep_freeze_ns as f64 / cow_freeze_ns.max(1) as f64;
+    let freeze_ok = freeze_speedup >= 10.0;
+    println!(
+        "mid-ingest freeze at ~{} keys: deep clone {:.3} ms vs CoW {:.1} us -> {:.0}x \
+         (acceptance: >=10x)",
+        keys,
+        deep_freeze_ns as f64 / 1e6,
+        cow_freeze_ns as f64 / 1e3,
+        freeze_speedup
+    );
 
     section("snapshot: queries served mid-ingest, zero writer contention");
     let q = &query_report;
@@ -214,17 +289,71 @@ fn main() {
         q.queries as f64 / q.elapsed_s / 1e6
     );
     println!(
-        "merged aggregate (one field read): {:.3e} vs frozen exact {:.3e} (rel err {:.4}, bound {})",
+        "merged aggregate (folded on the reader thread): {:.3e} vs frozen exact {:.3e} \
+         (rel err {:.4}, bound {})",
         q.merged_estimate,
         q.frozen_events as f64,
         merged_rel,
         2.0 * EPS
     );
 
-    // ----- Part 3: checkpoint size vs counter_state_bits ----------------
+    // ----- Part 3: the background checkpointer's chain ------------------
+    section("background checkpointer: base + deltas cut on cadence, off-thread");
+    let ckpt_report = checkpointer.finish();
+    let frames = ckpt_report.records.len();
+    let full_frames = ckpt_report
+        .records
+        .iter()
+        .filter(|r| r.kind == CheckpointKind::Full)
+        .count();
+    let avg_write_s = if frames == 0 {
+        0.0
+    } else {
+        ckpt_report
+            .records
+            .iter()
+            .map(|r| r.write_seconds)
+            .sum::<f64>()
+            / frames as f64
+    };
+    let chain_bytes: u64 = ckpt_report.records.iter().map(|r| r.bytes_len).sum();
+    // Once the writer thread has drained, the durable frontier is the
+    // last frame's event count (the live `checkpoint_lag_events` above is
+    // a mid-flight reading and can lag behind it).
+    let final_lag_events = stats
+        .events
+        .saturating_sub(ckpt_report.records.last().map_or(0, |r| r.events));
+    let checkpointer_ok = frames >= 2 && full_frames >= 1 && ckpt_stats.submitted == frames as u64;
+    let mut table = Table::new(vec![
+        "frame",
+        "kind",
+        "events",
+        "dirty shards",
+        "bytes",
+        "write",
+    ]);
+    for r in &ckpt_report.records {
+        table.row(vec![
+            format!("{}", r.seq),
+            format!("{:?}", r.kind),
+            format!("{}", r.events),
+            format!("{}", r.shards_written),
+            format!("{}", r.bytes_len),
+            format!("{:.1} ms", r.write_seconds * 1e3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!(
+        "\n{frames} frames ({full_frames} full) on a {cadence}-event cadence: {chain_bytes} \
+         bytes total, {:.1} ms avg serialize, all off the applier thread \
+         (final durability lag {} events)",
+        avg_write_s * 1e3,
+        final_lag_events
+    );
+
+    // ----- Part 4: checkpoint size vs counter_state_bits ----------------
     section("checkpoint: ac-bitio serialization of the final snapshot");
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(0xE13C4);
-    let final_snap = engine.snapshot(&mut rng).unwrap();
+    let final_snap = engine.snapshot();
     let ck_start = Instant::now();
     let ck = checkpoint_snapshot(&final_snap);
     let write_s = ck_start.elapsed().as_secs_f64();
@@ -274,7 +403,7 @@ fn main() {
         if checkpoint_ok { "met" } else { "EXCEEDED" }
     );
 
-    // ----- Part 4: restore, bit-identically -----------------------------
+    // ----- Part 5: restore, bit-identically -----------------------------
     section("restore: every key bit-identical, RNG stream continued");
     let bytes = std::fs::read(&path).expect("read checkpoint file");
     let rs_start = Instant::now();
@@ -305,8 +434,79 @@ fn main() {
     );
     let _ = std::fs::remove_file(&path);
 
+    // ----- Part 6: delta checkpoint at <=1% dirty shards ----------------
+    section("delta checkpoint: O(dirty data) bytes, chain-restored bit-identically");
+    let delta_shards = 256usize;
+    let mut fleet = CounterEngine::new(
+        template(),
+        EngineConfig {
+            shards: delta_shards,
+            seed: 0xE13D,
+        },
+    );
+    let fleet_batch: Vec<(u64, u64)> = (0..keys).map(|k| (k, 1 + k % 32)).collect();
+    fleet.apply(&fleet_batch);
+    let full_start = Instant::now();
+    let base = checkpoint_snapshot(&fleet.snapshot());
+    let full_write_s = full_start.elapsed().as_secs_f64();
+
+    // Dirty at most 2 of 256 shards (0.78 %): touch only keys that route
+    // to shards 0 and 1.
+    let hot_keys: Vec<u64> = (0..keys)
+        .filter(|&k| fleet.shard_of(k) < 2)
+        .take(500)
+        .collect();
+    let hot_batch: Vec<(u64, u64)> = hot_keys.iter().map(|&k| (k, 100)).collect();
+    fleet.apply(&hot_batch);
+    let delta_start = Instant::now();
+    let delta = checkpoint_delta(&fleet.snapshot(), &base.header()).expect("own lineage");
+    let delta_write_s = delta_start.elapsed().as_secs_f64();
+
+    let dirty = delta.stats().shards_written;
+    let dirty_fraction = dirty as f64 / delta_shards as f64;
+    let byte_ratio = delta.bytes().len() as f64 / base.bytes().len() as f64;
+
+    // Chain restore must equal the live engine bit for bit — and keep
+    // producing the same random stream afterwards.
+    let mut via_chain =
+        restore_checkpoint_chain(&template(), &[base.bytes(), delta.bytes()]).expect("chain");
+    let mut chain_mismatches = 0u64;
+    let follow_up: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k * 17 % keys, 3 + k % 9)).collect();
+    via_chain.apply(&follow_up);
+    fleet.apply(&follow_up);
+    for (key, counter) in fleet.iter() {
+        if via_chain.counter(key).map(NelsonYuCounter::state_parts) != Some(counter.state_parts()) {
+            chain_mismatches += 1;
+        }
+    }
+    let delta_ok = dirty_fraction <= 0.01
+        && byte_ratio <= 0.10
+        && chain_mismatches == 0
+        && via_chain.total_events() == fleet.total_events();
+    println!(
+        "{delta_shards}-shard fleet, {} keys: full checkpoint {} bytes ({:.3} s); after \
+         touching {} keys in {dirty} shards ({:.2} % of shards), delta = {} bytes \
+         ({:.2} % of full, {:.3} s) — chain restore + {} follow-up events: \
+         {chain_mismatches} mismatches",
+        keys,
+        base.bytes().len(),
+        full_write_s,
+        hot_keys.len(),
+        dirty_fraction * 100.0,
+        delta.bytes().len(),
+        byte_ratio * 100.0,
+        delta_write_s,
+        follow_up.len(),
+    );
+
     // ----- Report -------------------------------------------------------
-    let ok = ingest_ok && snapshot_ok && checkpoint_ok && restore_ok;
+    let ok = ingest_ok
+        && freeze_ok
+        && snapshot_ok
+        && checkpointer_ok
+        && checkpoint_ok
+        && restore_ok
+        && delta_ok;
     let report = JsonObject::new()
         .str("experiment", "E13")
         .str("title", "ingest / snapshot / checkpoint pipeline")
@@ -323,7 +523,20 @@ fn main() {
                 .num("apply_seconds", apply_s)
                 .num("events_per_second", events_per_sec)
                 .int("counter_state_bits", stats.counter_state_bits)
+                .int("dirty_shards", stats.dirty_shards as u64)
+                .int("last_freeze_ns", stats.last_freeze_ns)
+                .int("checkpoint_lag_events", stats.checkpoint_lag_events)
                 .bool("ok", ingest_ok),
+        )
+        .obj(
+            "freeze",
+            JsonObject::new()
+                .int("deep_clone_ns", deep_freeze_ns)
+                .int("cow_ns", cow_freeze_ns)
+                .num("freeze_ns_per_snapshot_old", deep_freeze_ns as f64)
+                .num("freeze_ns_per_snapshot_new", cow_freeze_ns as f64)
+                .num("speedup", freeze_speedup)
+                .bool("ok", freeze_ok),
         )
         .obj(
             "snapshot",
@@ -336,6 +549,18 @@ fn main() {
                 .num("merged_estimate", q.merged_estimate)
                 .num("merged_relative_error", merged_rel)
                 .bool("ok", snapshot_ok),
+        )
+        .obj(
+            "checkpointer",
+            JsonObject::new()
+                .int("cadence_events", cadence)
+                .int("frames", frames as u64)
+                .int("full_frames", full_frames as u64)
+                .int("delta_frames", (frames - full_frames) as u64)
+                .int("chain_bytes", chain_bytes)
+                .num("avg_write_seconds", avg_write_s)
+                .int("final_lag_events", final_lag_events)
+                .bool("ok", checkpointer_ok),
         )
         .obj(
             "checkpoint",
@@ -358,14 +583,31 @@ fn main() {
                 .num("restore_seconds", restore_s)
                 .bool("ok", restore_ok),
         )
+        .obj(
+            "delta",
+            JsonObject::new()
+                .int("fleet_shards", delta_shards as u64)
+                .int("dirty_shards", dirty as u64)
+                .num("dirty_shard_fraction", dirty_fraction)
+                .int("full_bytes", base.bytes().len() as u64)
+                .int("delta_bytes", delta.bytes().len() as u64)
+                .num("delta_to_full_ratio", byte_ratio)
+                .num("full_write_seconds", full_write_s)
+                .num("delta_write_seconds", delta_write_s)
+                .int("chain_mismatches", chain_mismatches)
+                .bool("ok", delta_ok),
+        )
         .bool("reproduced", ok);
     write_json_report(&report);
 
     verdict(
         ok,
-        "multi-producer ingest is lossless and fast, a mid-ingest snapshot \
-         serves queries without touching the writers, and the checkpoint \
-         restores bit-identically at ~counter_state_bits on disk",
+        "multi-producer ingest is lossless and fast, the CoW freeze beats the \
+         deep clone >=10x, a mid-ingest snapshot serves queries without \
+         touching the writers, the background checkpointer cuts a base+delta \
+         chain off-thread, the checkpoint restores bit-identically at \
+         ~counter_state_bits on disk, and a <=1%-dirty delta costs <=10% of \
+         the full checkpoint with a bit-identical chain restore",
     );
     if !ok {
         std::process::exit(1);

@@ -5,7 +5,10 @@
 //!
 //! * **sections** — a fixed 32-bit payload-length prefix, patched in after
 //!   the payload is written ([`begin_section`] / [`end_section`]), so a
-//!   reader can bounds-check a slab before parsing it;
+//!   reader can bounds-check a slab before parsing it; *indexed* sections
+//!   ([`begin_indexed_section`] / [`read_indexed_section`]) additionally
+//!   name their destination slot, the primitive delta frames are built
+//!   from (a sparse subset of slabs, each section self-addressed);
 //! * **labels** — short length-prefixed UTF-8 strings for family names and
 //!   the like ([`write_label`] / [`read_label`]);
 //! * **sorted key sets** — a strictly increasing `u64` sequence stored as
@@ -60,6 +63,36 @@ pub fn end_section(v: &mut BitVec, token: u64) {
 pub fn read_section(r: &mut BitReader<'_>) -> Option<u64> {
     let len = r.try_read_bits(SECTION_LEN_BITS)?;
     (r.remaining() >= len).then_some(len)
+}
+
+/// Width of an indexed section's index field.
+const SECTION_INDEX_BITS: u32 = 32;
+
+/// Opens an *indexed* section: a fixed 32-bit index (which slab, which
+/// shard, which column — the caller's namespace) followed by an ordinary
+/// length-prefixed section. Delta frames are built from these: a sparse
+/// subset of slabs can be serialized with each section naming its own
+/// destination, so the reader needs no out-of-band manifest.
+///
+/// Close with [`end_section`], exactly as for [`begin_section`].
+#[must_use]
+pub fn begin_indexed_section(v: &mut BitVec, index: u64) -> u64 {
+    assert!(
+        index < 1u64 << SECTION_INDEX_BITS,
+        "section index {index} overflows the 32-bit index field"
+    );
+    v.push_bits(index, SECTION_INDEX_BITS);
+    begin_section(v)
+}
+
+/// Reads the index and length prefix written by [`begin_indexed_section`],
+/// verifying the full payload is present. Returns `(index, payload bit
+/// length)`; the reader is positioned at the payload's first bit. `None`
+/// on truncation.
+pub fn read_indexed_section(r: &mut BitReader<'_>) -> Option<(u64, u64)> {
+    let index = r.try_read_bits(SECTION_INDEX_BITS)?;
+    let len = read_section(r)?;
+    Some((index, len))
 }
 
 /// Appends a length-prefixed UTF-8 label (Elias-δ byte count, then raw
@@ -203,6 +236,36 @@ mod tests {
         assert_eq!(len, 19);
         assert_eq!(r.read_bits(16), 0xABCD);
         assert_eq!(r.read_bits(3), 0b101);
+    }
+
+    #[test]
+    fn indexed_section_round_trip() {
+        let mut v = BitVec::new();
+        for idx in [0u64, 7, u32::MAX as u64] {
+            let tok = begin_indexed_section(&mut v, idx);
+            v.push_bits((idx ^ 0x5555) & 0xFFFF, 16);
+            end_section(&mut v, tok);
+        }
+        let mut r = BitReader::new(&v);
+        for idx in [0u64, 7, u32::MAX as u64] {
+            let (got, len) = read_indexed_section(&mut r).unwrap();
+            assert_eq!(got, idx);
+            assert_eq!(len, 16);
+            assert_eq!(r.read_bits(16), (idx ^ 0x5555) & 0xFFFF);
+        }
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(
+            read_indexed_section(&mut r),
+            None,
+            "exhausted reader reports truncation"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the 32-bit index field")]
+    fn oversized_section_index_panics() {
+        let mut v = BitVec::new();
+        let _ = begin_indexed_section(&mut v, 1 << 32);
     }
 
     #[test]

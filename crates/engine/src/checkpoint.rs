@@ -1,43 +1,62 @@
-//! The checkpoint layer: snapshot serialization through `ac-bitio`.
+//! The checkpoint layer: snapshot serialization through `ac-bitio`,
+//! in two frame kinds — **full** checkpoints and **incremental deltas**.
 //!
 //! A checkpoint is a byte buffer holding a versioned fixed-width header
-//! followed by one length-prefixed [`ac_bitio::frame`] section per shard.
-//! Counter states are written with the families' [`StateCodec`] codes and
-//! keys as Rice-coded sorted gaps, so a million checkpointed counters
-//! cost on the order of their summed `state_bits` — the paper's thesis,
-//! made durable — rather than a million fixed-width records. Each shard's
-//! RNG state rides along (256 bits), so a restored engine continues the
-//! *exact* random stream the original would have: checkpoint/restore is
-//! invisible to subsequent evolution, not merely distribution-preserving.
+//! followed by a section count and one length-prefixed
+//! [`ac_bitio::frame`] section per *written* shard. Counter states are
+//! written with the families' [`StateCodec`] codes and keys as Rice-coded
+//! sorted gaps, so a million checkpointed counters cost on the order of
+//! their summed `state_bits` — the paper's thesis, made durable — rather
+//! than a million fixed-width records. Each written shard's RNG state
+//! rides along (256 bits), so a restored engine continues the *exact*
+//! random stream the original would have: checkpoint/restore is invisible
+//! to subsequent evolution, not merely distribution-preserving.
 //!
 //! ```text
-//! magic(32) version(16) fingerprint(64) shards(32) seed(64)
-//! keys(64) events(64) payload_bits(64)
-//! ┌ per shard ───────────────────────────────────────────────┐
-//! │ section_len(32) │ count(δ) events(64) rng(4×64)          │
-//! │                 │ keys: rice-coded sorted gaps           │
-//! │                 │ states: StateCodec, key-sorted order   │
+//! magic(32) version(16) kind(8) fingerprint(64) shards(32) seed(64)
+//! epoch(64) parent_chain(64) keys(64) events(64) payload_bits(64)
+//! header_checksum(64) payload_checksum(64)
+//! ┌ payload ─────────────────────────────────────────────────┐
+//! │ sections(32)                                             │
+//! │ ┌ per written shard ─────────────────────────────────┐   │
+//! │ │ shard_idx(32) section_len(32) │ count(δ)           │   │
+//! │ │                               │ events(64) rng(4×64)│  │
+//! │ │                               │ keys: rice gaps    │   │
+//! │ │                               │ states: StateCodec │   │
+//! │ └────────────────────────────────────────────────────┘   │
 //! └──────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! The header embeds the [`EngineConfig`] and the template's
-//! [`StateCodec::params_fingerprint`]; [`restore_checkpoint`] refuses
-//! mismatched restores (wrong family, wrong parameters, wrong version,
-//! truncated data) with a typed [`CheckpointError`]. The header carries
-//! its own checksum and the payload an FNV-1a digest, both verified — and
-//! every structural quantity (shard count, per-shard key counts, section
-//! lengths) is plausibility-bounded — before anything is allocated or
-//! parsed, so truncation and any bit corruption surface as typed errors.
-//! The residual trust boundary is deliberate: input that *passes* both
-//! checksums is treated as written by this module, so a deliberately
-//! crafted checksum-valid buffer may still abort inside a state decoder
-//! rather than return `Err`.
+//! ## Delta chains
+//!
+//! A **full** checkpoint (`kind = 0`) writes every shard. A **delta**
+//! (`kind = 1`, written by [`checkpoint_delta`]) writes only the shards
+//! whose [dirty epoch](crate::EngineStats::dirty_shards) is newer than
+//! its *parent* checkpoint's freeze epoch — `O(dirty data)` bytes instead
+//! of `O(total keys)`. The parent is identified by a **chained
+//! checksum**: every checkpoint's identity is a 64-bit digest of its own
+//! header and payload checksums ([`CheckpointHeader::chain`]), and a
+//! delta's header stores its parent's digest in `parent_chain`.
+//! [`restore_checkpoint_chain`] refuses a chain whose links don't match —
+//! a delta can never be applied to the wrong base, out of order, or
+//! across a divergent history, because any of those changes the parent's
+//! bytes and therefore its digest.
+//!
+//! Corruption behavior mid-chain: every segment carries its own header
+//! and payload checksums, verified before parsing, so a truncated or
+//! bit-flipped delta surfaces as a typed error naming that segment's
+//! failure ([`CheckpointError::Truncated`] / [`CheckpointError::Corrupt`])
+//! rather than poisoning the fold. The residual trust boundary is
+//! deliberate: input that *passes* both checksums is treated as written
+//! by this module, so a deliberately crafted checksum-valid buffer may
+//! still abort inside a state decoder rather than return `Err`.
 
 use crate::registry::{CounterEngine, EngineConfig};
 use crate::shard::Shard;
 use crate::snapshot::EngineSnapshot;
 use ac_bitio::frame::{
-    begin_section, decode_sorted_keys, encode_sorted_keys, end_section, read_section,
+    begin_indexed_section, decode_sorted_keys, encode_sorted_keys, end_section,
+    read_indexed_section,
 };
 use ac_bitio::{BitReader, BitVec, BitWriter};
 use ac_core::{CoreError, StateCodec};
@@ -47,22 +66,54 @@ use std::fmt;
 /// `"ACKP"` — approximate-counting checkpoint.
 pub const CHECKPOINT_MAGIC: u32 = 0x4143_4B50;
 
-/// Current format version.
-pub const CHECKPOINT_VERSION: u16 = 1;
+/// Current format version (2: copy-on-write epochs, delta frames, chained
+/// headers; version-1 buffers are refused with a typed error).
+pub const CHECKPOINT_VERSION: u16 = 2;
 
-/// Fixed header width in bits: the eight fields, then a 64-bit header
-/// checksum, then a 64-bit payload checksum (66 bytes total, so the
+/// Width of the eleven header fields alone.
+const HEADER_FIELD_BITS: u64 = 32 + 16 + 8 + 64 + 32 + 64 + 64 + 64 + 64 + 64 + 64;
+
+/// Fixed header width in bits: the eleven fields, then a 64-bit header
+/// checksum, then a 64-bit payload checksum (83 bytes total, so the
 /// payload starts byte-aligned).
 const HEADER_BITS: u64 = HEADER_FIELD_BITS + 64 + 64;
-
-/// Width of the eight header fields alone.
-const HEADER_FIELD_BITS: u64 = 32 + 16 + 64 + 32 + 64 + 64 + 64 + 64;
 
 /// Byte offset of the payload checksum field.
 const PAYLOAD_CHECKSUM_BYTE: usize = ((HEADER_FIELD_BITS + 64) / 8) as usize;
 
 /// Byte offset of the first payload byte.
 const PAYLOAD_BYTE: usize = (HEADER_BITS / 8) as usize;
+
+/// Domain separation for the chain digest, so a chain id can never be
+/// mistaken for either of the checksums it is derived from.
+const CHAIN_SALT: u64 = 0xC4A1_4C4A_11CE_D51D;
+
+/// What a checkpoint frame holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointKind {
+    /// Every shard, self-contained.
+    Full,
+    /// Only shards dirtied since the parent checkpoint; restorable only
+    /// through [`restore_checkpoint_chain`] on top of its parent.
+    Delta,
+}
+
+impl CheckpointKind {
+    fn to_bits(self) -> u64 {
+        match self {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Delta => 1,
+        }
+    }
+
+    fn from_bits(bits: u64) -> Option<Self> {
+        match bits {
+            0 => Some(CheckpointKind::Full),
+            1 => Some(CheckpointKind::Delta),
+            _ => None,
+        }
+    }
+}
 
 /// The canonical [`ac_randkit::mix64`] finalizer chained over the header
 /// fields: any header bit flip (past the magic/version prefix, which
@@ -87,6 +138,14 @@ fn payload_checksum(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A checkpoint's chain identity: a digest of its two checksums, which
+/// themselves cover every header field and every payload byte — so two
+/// checkpoints share a chain id only if they are byte-identical (up to
+/// 64-bit digest collisions).
+fn chain_digest(header_sum: u64, payload_sum: u64) -> u64 {
+    ac_randkit::mix64(header_sum ^ ac_randkit::mix64(payload_sum ^ CHAIN_SALT))
+}
+
 /// Why a restore was refused.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CheckpointError {
@@ -107,6 +166,15 @@ pub enum CheckpointError {
         expected: EngineConfig,
         /// The configuration in the header.
         got: EngineConfig,
+    },
+    /// A delta checkpoint was handed to [`restore_checkpoint`]; deltas
+    /// only restore through [`restore_checkpoint_chain`] on their base.
+    DeltaWithoutBase,
+    /// The delta chain is broken: wrong parent digest, wrong order, a
+    /// non-full first segment, or a mid-chain kind violation.
+    BadChain {
+        /// Human-readable description.
+        what: &'static str,
     },
     /// The buffer ends before the structure it promises.
     Truncated,
@@ -134,6 +202,11 @@ impl fmt::Display for CheckpointError {
                 f,
                 "engine config mismatch: expected {expected:?}, checkpoint has {got:?}"
             ),
+            CheckpointError::DeltaWithoutBase => write!(
+                f,
+                "delta checkpoint cannot restore alone; fold it with restore_checkpoint_chain"
+            ),
+            CheckpointError::BadChain { what } => write!(f, "broken checkpoint chain: {what}"),
             CheckpointError::Truncated => write!(f, "checkpoint is truncated"),
             CheckpointError::Corrupt { what } => write!(f, "checkpoint is corrupt: {what}"),
             CheckpointError::State(e) => write!(f, "checkpoint holds an invalid state: {e}"),
@@ -150,15 +223,21 @@ impl From<CoreError> for CheckpointError {
 }
 
 /// Size accounting for one written checkpoint — the receipt proving
-/// counters persist at ~their `state_bits`.
+/// counters persist at ~their `state_bits` (and deltas at ~their *dirty*
+/// state bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointStats {
-    /// Counters written.
+    /// Counters written into this frame (all keys for a full checkpoint;
+    /// dirty shards' keys for a delta).
     pub keys: u64,
-    /// Shards written.
+    /// Engine shard count (the header value, not the sections written).
     pub shards: usize,
+    /// Shard sections actually serialized: `shards` for a full
+    /// checkpoint, the dirty-shard count for a delta.
+    pub shards_written: usize,
     /// Sum of live [`state_bits`](ac_bitio::StateBits::state_bits) over
-    /// every written counter — by construction identical to
+    /// every written counter — for a full checkpoint, by construction
+    /// identical to
     /// [`EngineStats::counter_state_bits`](crate::EngineStats::counter_state_bits)
     /// at freeze time (a test pins this).
     pub counter_state_bits: u64,
@@ -167,7 +246,8 @@ pub struct CheckpointStats {
     /// Bits spent on the Rice-coded key sets.
     pub key_bits: u64,
     /// Bits spent on framing: the fixed header plus per-shard section
-    /// preambles (lengths, counts, event tallies, RNG states).
+    /// preambles (lengths, shard indices, counts, event tallies, RNG
+    /// states).
     pub header_bits: u64,
     /// Total checkpoint size in bits (= the three parts above).
     pub total_bits: u64,
@@ -181,11 +261,13 @@ impl CheckpointStats {
     }
 }
 
-/// A written checkpoint: the serialized bytes plus their size breakdown.
+/// A written checkpoint: the serialized bytes plus their size breakdown
+/// and parsed header (including the chain digest future deltas cite).
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     bytes: Vec<u8>,
     stats: CheckpointStats,
+    header: CheckpointHeader,
 }
 
 impl Checkpoint {
@@ -206,37 +288,123 @@ impl Checkpoint {
     pub fn stats(&self) -> CheckpointStats {
         self.stats
     }
+
+    /// The parsed header — pass it to [`checkpoint_delta`] as the parent
+    /// of the next incremental frame.
+    #[must_use]
+    pub fn header(&self) -> CheckpointHeader {
+        self.header
+    }
 }
 
 /// The parsed fixed header of a checkpoint (a cheap peek — no payload is
-/// touched).
+/// touched beyond its checksum field).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointHeader {
     /// Format version.
     pub version: u16,
+    /// Full or delta frame.
+    pub kind: CheckpointKind,
     /// Family/parameter fingerprint of the written counters.
     pub params_fingerprint: u64,
     /// The engine configuration at freeze time.
     pub config: EngineConfig,
-    /// Total keys in the checkpoint.
+    /// The freeze epoch the snapshot was cut at — a delta against this
+    /// checkpoint serializes exactly the shards dirtied after it.
+    pub epoch: u64,
+    /// Chain digest of the parent checkpoint (0 for a full frame).
+    pub parent_chain: u64,
+    /// Total keys in the engine at freeze time (the whole engine, even
+    /// for a delta frame).
     pub keys: u64,
-    /// Total events at freeze time.
+    /// Total events at freeze time (likewise whole-engine).
     pub events: u64,
     /// Payload length in bits (everything after the fixed header).
     pub payload_bits: u64,
+    /// This checkpoint's own chain digest — what a child delta must cite
+    /// as `parent_chain`.
+    pub chain: u64,
 }
 
-/// Serializes a snapshot into a [`Checkpoint`].
+/// Serializes a snapshot into a self-contained full [`Checkpoint`].
 #[must_use]
 pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> Checkpoint {
+    let all: Vec<usize> = (0..snap.shards.len()).collect();
+    write_checkpoint(snap, CheckpointKind::Full, 0, &all)
+}
+
+/// Serializes only the shards dirtied since `parent` — an incremental
+/// frame restorable on top of its parent via [`restore_checkpoint_chain`].
+/// `O(dirty data)` bytes; a delta after touching 1 % of shards costs ~1 %
+/// of the full checkpoint.
+///
+/// # Errors
+///
+/// * [`CheckpointError::ScheduleMismatch`] — the parent was written by a
+///   different counter family or parameter schedule;
+/// * [`CheckpointError::ConfigMismatch`] — the parent belongs to an
+///   engine with a different shard count or seed;
+/// * [`CheckpointError::BadChain`] — the parent's freeze epoch is not
+///   strictly older than the snapshot's. A delta must look *back* at its
+///   parent; the strict ordering also refuses the common
+///   different-lineage accident (a freshly built engine with the same
+///   config and schedule, whose epoch clock restarted at 1, citing an
+///   older engine's checkpoint as parent). A same-config engine whose
+///   epoch clock happens to have advanced *past* the parent's is
+///   indistinguishable from the parent's own future without a lineage
+///   identity — keep one chain per engine.
+pub fn checkpoint_delta<C: StateCodec + Clone>(
+    snap: &EngineSnapshot<C>,
+    parent: &CheckpointHeader,
+) -> Result<Checkpoint, CheckpointError> {
+    if parent.params_fingerprint != snap.template.params_fingerprint() {
+        return Err(CheckpointError::ScheduleMismatch);
+    }
+    if parent.config != snap.config() {
+        return Err(CheckpointError::ConfigMismatch {
+            expected: snap.config(),
+            got: parent.config,
+        });
+    }
+    if parent.epoch >= snap.epoch() {
+        return Err(CheckpointError::BadChain {
+            what: "parent freeze epoch is not strictly older than the snapshot",
+        });
+    }
+    let dirty: Vec<usize> = snap
+        .shards
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.dirty_epoch() > parent.epoch)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(write_checkpoint(
+        snap,
+        CheckpointKind::Delta,
+        parent.chain,
+        &dirty,
+    ))
+}
+
+/// The single writer behind both frame kinds: serializes the shards named
+/// by `indices` (ascending) under the given kind and parent digest.
+fn write_checkpoint<C: StateCodec + Clone>(
+    snap: &EngineSnapshot<C>,
+    kind: CheckpointKind,
+    parent_chain: u64,
+    indices: &[usize],
+) -> Checkpoint {
     let mut v = BitVec::new();
     // Fixed header; the payload length is patched in at the end.
     v.push_bits(u64::from(CHECKPOINT_MAGIC), 32);
     v.push_bits(u64::from(CHECKPOINT_VERSION), 16);
+    v.push_bits(kind.to_bits(), 8);
     v.push_bits(snap.template.params_fingerprint(), 64);
     let config = snap.config();
     v.push_bits(config.shards as u64, 32);
     v.push_bits(config.seed, 64);
+    v.push_bits(snap.epoch(), 64);
+    v.push_bits(parent_chain, 64);
     v.push_bits(snap.len() as u64, 64);
     v.push_bits(snap.total_events(), 64);
     let payload_len_at = v.len();
@@ -245,11 +413,14 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> C
     v.push_bits(0, 64); // header checksum, patched below
     v.push_bits(0, 64); // payload checksum, patched into the bytes below
 
+    v.push_bits(indices.len() as u64, 32);
+    let mut keys_written = 0u64;
     let mut state_code_bits = 0u64;
     let mut key_bits = 0u64;
     let mut counter_state_bits = 0u64;
-    for shard in &snap.shards {
-        let section = begin_section(&mut v);
+    for &idx in indices {
+        let shard = &snap.shards[idx];
+        let section = begin_indexed_section(&mut v, idx as u64);
         // Per-shard preamble: count, exact events, RNG state.
         {
             let mut w = BitWriter::new(&mut v);
@@ -263,6 +434,7 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> C
         let mut entries: Vec<(u64, &C)> = shard.entries().collect();
         entries.sort_unstable_by_key(|&(key, _)| key);
         let keys: Vec<u64> = entries.iter().map(|&(key, _)| key).collect();
+        keys_written += keys.len() as u64;
         key_bits += encode_sorted_keys(&mut v, &keys);
         let before = v.len();
         {
@@ -278,34 +450,51 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> C
     let total = v.len();
     let payload_bits = total - HEADER_BITS;
     v.overwrite_bits(payload_len_at, payload_bits, 64);
-    v.overwrite_bits(
-        header_checksum_at,
-        header_checksum(&[
-            u64::from(CHECKPOINT_MAGIC),
-            u64::from(CHECKPOINT_VERSION),
-            snap.template.params_fingerprint(),
-            config.shards as u64,
-            config.seed,
-            snap.len() as u64,
-            snap.total_events(),
-            payload_bits,
-        ]),
-        64,
-    );
+    let header_sum = header_checksum(&[
+        u64::from(CHECKPOINT_MAGIC),
+        u64::from(CHECKPOINT_VERSION),
+        kind.to_bits(),
+        snap.template.params_fingerprint(),
+        config.shards as u64,
+        config.seed,
+        snap.epoch(),
+        parent_chain,
+        snap.len() as u64,
+        snap.total_events(),
+        payload_bits,
+    ]);
+    v.overwrite_bits(header_checksum_at, header_sum, 64);
     let mut bytes = v.to_bytes();
     let payload_sum = payload_checksum(&bytes[PAYLOAD_BYTE..]);
     bytes[PAYLOAD_CHECKSUM_BYTE..PAYLOAD_BYTE].copy_from_slice(&payload_sum.to_le_bytes());
 
     let stats = CheckpointStats {
-        keys: snap.len() as u64,
+        keys: keys_written,
         shards: snap.shards.len(),
+        shards_written: indices.len(),
         counter_state_bits,
         state_code_bits,
         key_bits,
         header_bits: total - state_code_bits - key_bits,
         total_bits: total,
     };
-    Checkpoint { bytes, stats }
+    let header = CheckpointHeader {
+        version: CHECKPOINT_VERSION,
+        kind,
+        params_fingerprint: snap.template.params_fingerprint(),
+        config,
+        epoch: snap.epoch(),
+        parent_chain,
+        keys: snap.len() as u64,
+        events: snap.total_events(),
+        payload_bits,
+        chain: chain_digest(header_sum, payload_sum),
+    };
+    Checkpoint {
+        bytes,
+        stats,
+        header,
+    }
 }
 
 /// Parses and validates the fixed header.
@@ -313,7 +502,8 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> C
 /// # Errors
 ///
 /// Returns the corresponding [`CheckpointError`] for a short buffer, bad
-/// magic, or an unsupported version.
+/// magic, an unsupported version, an unknown kind, or a checksum
+/// mismatch.
 pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
     let v = BitVec::from_bytes(bytes);
     let mut r = BitReader::new(&v);
@@ -325,9 +515,15 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
     if version != CHECKPOINT_VERSION {
         return Err(CheckpointError::UnsupportedVersion { got: version });
     }
+    let kind_bits = r.try_read_bits(8).ok_or(CheckpointError::Truncated)?;
+    let kind = CheckpointKind::from_bits(kind_bits).ok_or(CheckpointError::Corrupt {
+        what: "unknown checkpoint kind",
+    })?;
     let params_fingerprint = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
     let shards = r.try_read_bits(32).ok_or(CheckpointError::Truncated)? as usize;
     let seed = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let epoch = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let parent_chain = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
     let keys = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
     let events = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
     let payload_bits = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
@@ -335,9 +531,12 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
     let computed = header_checksum(&[
         magic,
         u64::from(version),
+        kind_bits,
         params_fingerprint,
         shards as u64,
         seed,
+        epoch,
+        parent_chain,
         keys,
         events,
         payload_bits,
@@ -352,30 +551,37 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
             what: "zero shards",
         });
     }
+    let payload_sum = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
     Ok(CheckpointHeader {
         version,
+        kind,
         params_fingerprint,
         config: EngineConfig { shards, seed },
+        epoch,
+        parent_chain,
         keys,
         events,
         payload_bits,
+        chain: chain_digest(stored_sum, payload_sum),
     })
 }
 
-/// Rebuilds a [`CounterEngine`] from checkpoint bytes. `template`
-/// supplies the family and parameter schedule; it must match the
-/// checkpoint's fingerprint (its registers are ignored).
-///
-/// # Errors
-///
-/// Returns a [`CheckpointError`] for any mismatch, truncation, or
-/// validation failure; on success every key's counter state — and each
-/// shard's RNG — is bit-identical to the snapshot's.
-pub fn restore_checkpoint<C: StateCodec + Clone>(
+/// One decoded shard section: where it goes and what it holds.
+struct ShardSection<C> {
+    idx: usize,
+    rng: Xoshiro256PlusPlus,
+    events: u64,
+    entries: Vec<(u64, C)>,
+}
+
+/// Verifies a checkpoint's payload checksum and parses its shard
+/// sections. Shared by the lone-restore and chain-restore paths; all
+/// structural validation happens here.
+fn parse_sections<C: StateCodec + Clone>(
     template: &C,
     bytes: &[u8],
-) -> Result<CounterEngine<C>, CheckpointError> {
-    let header = read_header(bytes)?;
+    header: &CheckpointHeader,
+) -> Result<Vec<ShardSection<C>>, CheckpointError> {
     if header.params_fingerprint != template.params_fingerprint() {
         return Err(CheckpointError::ScheduleMismatch);
     }
@@ -403,26 +609,52 @@ pub fn restore_checkpoint<C: StateCodec + Clone>(
             what: "payload checksum mismatch",
         });
     }
-    // Plausibility bound before any sizing decision: every shard section
-    // costs at least 32 (length prefix) + 1 (count) + 64 (events) + 256
-    // (RNG) bits, so a shard count the payload cannot possibly hold is
-    // structural corruption, not something to allocate for.
-    const MIN_SHARD_SECTION_BITS: u64 = 32 + 1 + 64 + 256;
-    if header.config.shards as u64 > header.payload_bits / MIN_SHARD_SECTION_BITS + 1 {
-        return Err(CheckpointError::Corrupt {
-            what: "shard count exceeds what the payload can hold",
-        });
-    }
     let v = BitVec::from_bytes(bytes);
     let mut r = BitReader::at(&v, HEADER_BITS);
 
-    let mut shards = Vec::with_capacity(header.config.shards);
-    let mut keys_total = 0u64;
-    let mut events_total = 0u64;
-    for _ in 0..header.config.shards {
-        let section_len = read_section(&mut r).ok_or(CheckpointError::Truncated)?;
-        let section_start = r.position();
+    let sections = r.try_read_bits(32).ok_or(CheckpointError::Truncated)? as usize;
+    match header.kind {
+        CheckpointKind::Full if sections != header.config.shards => {
+            return Err(CheckpointError::Corrupt {
+                what: "full checkpoint must hold every shard",
+            });
+        }
+        CheckpointKind::Delta if sections > header.config.shards => {
+            return Err(CheckpointError::Corrupt {
+                what: "delta holds more sections than shards",
+            });
+        }
+        _ => {}
+    }
+    // Plausibility bound before any sizing decision: every shard section
+    // costs at least 32 (length prefix) + 32 (shard index) + 1 (count) +
+    // 64 (events) + 256 (RNG) bits, so a section count the payload cannot
+    // possibly hold is structural corruption, not something to allocate
+    // for.
+    const MIN_SHARD_SECTION_BITS: u64 = 32 + 32 + 1 + 64 + 256;
+    if sections as u64 > header.payload_bits / MIN_SHARD_SECTION_BITS + 1 {
+        return Err(CheckpointError::Corrupt {
+            what: "section count exceeds what the payload can hold",
+        });
+    }
 
+    let mut parsed: Vec<ShardSection<C>> = Vec::with_capacity(sections);
+    for _ in 0..sections {
+        let (idx, section_len) = read_indexed_section(&mut r).ok_or(CheckpointError::Truncated)?;
+        let section_start = r.position();
+        let idx = idx as usize;
+        if idx >= header.config.shards {
+            return Err(CheckpointError::Corrupt {
+                what: "shard index out of range",
+            });
+        }
+        if let Some(prev) = parsed.last() {
+            if idx <= prev.idx {
+                return Err(CheckpointError::Corrupt {
+                    what: "shard indices must be strictly increasing",
+                });
+            }
+        }
         let count = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
             what: "undecodable shard key count",
         })?;
@@ -460,28 +692,137 @@ pub fn restore_checkpoint<C: StateCodec + Clone>(
                 what: "shard section length mismatch",
             });
         }
-        keys_total += entries.len() as u64;
-        events_total += events;
-        shards.push(Shard::from_restored(
-            Xoshiro256PlusPlus::from_state(rng_state),
+        parsed.push(ShardSection {
+            idx,
+            rng: Xoshiro256PlusPlus::from_state(rng_state),
             events,
             entries,
-        ));
+        });
     }
     if r.position() - HEADER_BITS != header.payload_bits {
         return Err(CheckpointError::Corrupt {
             what: "payload length mismatch",
         });
     }
-    if keys_total != header.keys || events_total != header.events {
+    Ok(parsed)
+}
+
+/// Rebuilds a [`CounterEngine`] from one **full** checkpoint. `template`
+/// supplies the family and parameter schedule; it must match the
+/// checkpoint's fingerprint (its registers are ignored).
+///
+/// # Errors
+///
+/// Returns a [`CheckpointError`] for any mismatch, truncation, or
+/// validation failure — including [`CheckpointError::DeltaWithoutBase`]
+/// for a delta frame, which only restores through
+/// [`restore_checkpoint_chain`]. On success every key's counter state —
+/// and each shard's RNG — is bit-identical to the snapshot's.
+pub fn restore_checkpoint<C: StateCodec + Clone>(
+    template: &C,
+    bytes: &[u8],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    restore_checkpoint_chain(template, &[bytes])
+}
+
+/// Folds a **base + deltas chain** back into a [`CounterEngine`] that is
+/// bit-identical to the engine the *last* delta was cut from: segment 0
+/// must be a full checkpoint, every later segment a delta whose
+/// `parent_chain` cites the digest of the segment before it. Dirty shards
+/// are replaced wholesale by the newest delta that carries them; clean
+/// shards keep the newest earlier state. The chain's final totals are
+/// verified against the last header, so a fold that loses or duplicates
+/// anything is refused.
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint`] returns, plus
+/// [`CheckpointError::BadChain`] for an empty chain, a delta-first chain,
+/// a full frame mid-chain, a parent-digest mismatch, or a non-monotone
+/// epoch. Each segment's checksums are verified independently, so a
+/// corrupt or truncated delta names itself rather than poisoning the
+/// fold.
+pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
+    template: &C,
+    segments: &[&[u8]],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    let (first, rest) = segments.split_first().ok_or(CheckpointError::BadChain {
+        what: "empty chain",
+    })?;
+    let base = read_header(first)?;
+    match base.kind {
+        CheckpointKind::Full => {}
+        CheckpointKind::Delta if rest.is_empty() => return Err(CheckpointError::DeltaWithoutBase),
+        CheckpointKind::Delta => {
+            return Err(CheckpointError::BadChain {
+                what: "chain must start with a full checkpoint",
+            })
+        }
+    }
+    let sections = parse_sections(template, first, &base)?;
+    let mut shards: Vec<Option<Shard<C>>> = (0..base.config.shards).map(|_| None).collect();
+    for s in sections {
+        shards[s.idx] = Some(Shard::from_restored(s.rng, s.events, s.entries, base.epoch));
+    }
+    // parse_sections proved a full frame holds exactly `shards` strictly
+    // increasing in-range indices, so every slot is filled.
+    debug_assert!(shards.iter().all(Option::is_some));
+
+    let mut prev = base;
+    for &segment in rest {
+        let header = read_header(segment)?;
+        if header.kind != CheckpointKind::Delta {
+            return Err(CheckpointError::BadChain {
+                what: "full checkpoint mid-chain (start a new chain from it instead)",
+            });
+        }
+        if header.config != prev.config {
+            return Err(CheckpointError::ConfigMismatch {
+                expected: prev.config,
+                got: header.config,
+            });
+        }
+        if header.parent_chain != prev.chain {
+            return Err(CheckpointError::BadChain {
+                what: "delta cites a different parent checkpoint",
+            });
+        }
+        if header.epoch < prev.epoch {
+            return Err(CheckpointError::BadChain {
+                what: "delta freeze epoch precedes its parent",
+            });
+        }
+        for s in parse_sections(template, segment, &header)? {
+            shards[s.idx] = Some(Shard::from_restored(
+                s.rng,
+                s.events,
+                s.entries,
+                header.epoch,
+            ));
+        }
+        prev = header;
+    }
+
+    let shards: Vec<Shard<C>> = shards
+        .into_iter()
+        .map(|s| {
+            s.ok_or(CheckpointError::Corrupt {
+                what: "chain leaves a shard with no state",
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let keys_total: u64 = shards.iter().map(|s| s.len() as u64).sum();
+    let events_total: u64 = shards.iter().map(Shard::events).sum();
+    if keys_total != prev.keys || events_total != prev.events {
         return Err(CheckpointError::Corrupt {
-            what: "shard totals disagree with the header",
+            what: "shard totals disagree with the final header",
         });
     }
     Ok(CounterEngine::from_restored(
         template.clone(),
-        header.config,
+        prev.config,
         shards,
+        prev.epoch + 1,
     ))
 }
 
@@ -516,7 +857,7 @@ mod tests {
     use ac_core::{
         ApproxCounter, CsurosCounter, ExactCounter, MorrisCounter, NelsonYuCounter, NyParams,
     };
-    use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
+    use ac_randkit::{RandomSource, SplitMix64};
 
     fn cfg() -> EngineConfig {
         EngineConfig {
@@ -525,9 +866,12 @@ mod tests {
         }
     }
 
+    fn ny_template() -> NelsonYuCounter {
+        NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap())
+    }
+
     fn ny_engine(n_keys: u64) -> CounterEngine<NelsonYuCounter> {
-        let p = NyParams::new(0.2, 8).unwrap();
-        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        let mut e = CounterEngine::new(ny_template(), cfg());
         let mut gen = SplitMix64::new(3);
         let batch: Vec<(u64, u64)> = (0..n_keys)
             .map(|k| (k * 97 + 13, 1 + gen.next_u64() % 5_000))
@@ -536,19 +880,15 @@ mod tests {
         e
     }
 
-    fn checkpoint_of<C: StateCodec + Clone + ac_core::Mergeable>(
-        e: &CounterEngine<C>,
-    ) -> Checkpoint {
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
-        checkpoint_snapshot(&e.snapshot(&mut rng).unwrap())
+    fn checkpoint_of<C: StateCodec + Clone>(e: &mut CounterEngine<C>) -> Checkpoint {
+        checkpoint_snapshot(&e.snapshot())
     }
 
     #[test]
     fn round_trip_preserves_every_counter_bit_for_bit() {
-        let e = ny_engine(1_000);
-        let ck = checkpoint_of(&e);
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
-        let back = restore_checkpoint(&template, ck.bytes()).unwrap();
+        let mut e = ny_engine(1_000);
+        let ck = checkpoint_of(&mut e);
+        let back = restore_checkpoint(&ny_template(), ck.bytes()).unwrap();
         assert_eq!(back.len(), e.len());
         assert_eq!(back.total_events(), e.total_events());
         assert_eq!(back.config(), e.config());
@@ -566,9 +906,8 @@ mod tests {
         // restored engine: bit-identical results, because shard RNG
         // states ride in the checkpoint.
         let mut original = ny_engine(300);
-        let ck = checkpoint_of(&original);
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
-        let mut restored = restore_checkpoint(&template, ck.bytes()).unwrap();
+        let ck = checkpoint_of(&mut original);
+        let mut restored = restore_checkpoint(&ny_template(), ck.bytes()).unwrap();
 
         let follow_up: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 31, 40 + k)).collect();
         original.apply(&follow_up);
@@ -589,10 +928,15 @@ mod tests {
     fn stats_agree_with_engine_state_bits() {
         // The satellite contract: what checkpoint writes is exactly what
         // EngineStats reports as counter_state_bits.
-        let e = ny_engine(2_000);
-        let ck = checkpoint_of(&e);
-        assert_eq!(ck.stats().counter_state_bits, e.stats().counter_state_bits);
+        let mut e = ny_engine(2_000);
+        let stats_before = e.stats();
+        let ck = checkpoint_of(&mut e);
+        assert_eq!(
+            ck.stats().counter_state_bits,
+            stats_before.counter_state_bits
+        );
         assert_eq!(ck.stats().keys, e.len() as u64);
+        assert_eq!(ck.stats().shards_written, ck.stats().shards);
         assert_eq!(
             ck.stats().total_bits,
             ck.stats().state_code_bits + ck.stats().key_bits + ck.stats().header_bits
@@ -602,20 +946,206 @@ mod tests {
 
     #[test]
     fn header_peek_matches_written_engine() {
-        let e = ny_engine(50);
-        let ck = checkpoint_of(&e);
+        let mut e = ny_engine(50);
+        let ck = checkpoint_of(&mut e);
         let h = read_header(ck.bytes()).unwrap();
+        assert_eq!(h, ck.header(), "stored header equals re-parsed header");
         assert_eq!(h.version, CHECKPOINT_VERSION);
+        assert_eq!(h.kind, CheckpointKind::Full);
+        assert_eq!(h.parent_chain, 0);
         assert_eq!(h.config, e.config());
         assert_eq!(h.keys, 50);
         assert_eq!(h.events, e.total_events());
     }
 
     #[test]
+    fn delta_after_touching_one_shard_is_small_and_restores_exactly() {
+        let mut e = ny_engine(2_000);
+        let base = checkpoint_of(&mut e);
+
+        // Dirty exactly one shard: feed keys that all route to shard 0.
+        let shard0_keys: Vec<u64> = (0..100_000u64)
+            .filter(|&k| e.shard_of(k) == 0)
+            .take(40)
+            .collect();
+        let batch: Vec<(u64, u64)> = shard0_keys.iter().map(|&k| (k, 7)).collect();
+        e.apply(&batch);
+        let delta = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+
+        assert_eq!(delta.header().kind, CheckpointKind::Delta);
+        assert_eq!(delta.stats().shards_written, 1, "one dirty shard");
+        assert!(
+            delta.bytes().len() * 2 < base.bytes().len(),
+            "delta ({}) must be far smaller than base ({})",
+            delta.bytes().len(),
+            base.bytes().len()
+        );
+
+        let back =
+            restore_checkpoint_chain(&ny_template(), &[base.bytes(), delta.bytes()]).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.total_events(), e.total_events());
+        for (key, counter) in e.iter() {
+            assert_eq!(
+                back.counter(key).map(NelsonYuCounter::state_parts),
+                Some(counter.state_parts()),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_of_two_deltas_restores_and_continues_the_stream() {
+        let mut e = ny_engine(500);
+        let base = checkpoint_of(&mut e);
+        e.apply(&[(13, 100), (97 * 31 + 13, 5)]);
+        let d1 = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+        e.apply(&[(13, 1), (7, 7), (999_983, 3)]);
+        let d2 = checkpoint_delta(&e.snapshot(), &d1.header()).unwrap();
+
+        let mut back =
+            restore_checkpoint_chain(&ny_template(), &[base.bytes(), d1.bytes(), d2.bytes()])
+                .unwrap();
+        assert_eq!(back.total_events(), e.total_events());
+        // The restored engine continues the exact random stream.
+        let follow_up: Vec<(u64, u64)> = (0..300u64).map(|k| (k * 7, 11 + k)).collect();
+        e.apply(&follow_up);
+        back.apply(&follow_up);
+        for &(key, _) in &follow_up {
+            assert_eq!(
+                e.counter(key).map(NelsonYuCounter::state_parts),
+                back.counter(key).map(NelsonYuCounter::state_parts),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_delta_is_header_only_and_restores() {
+        let mut e = ny_engine(200);
+        let base = checkpoint_of(&mut e);
+        // No writes between freezes: the delta carries zero sections.
+        let delta = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+        assert_eq!(delta.stats().shards_written, 0);
+        assert_eq!(delta.stats().keys, 0);
+        let back =
+            restore_checkpoint_chain(&ny_template(), &[base.bytes(), delta.bytes()]).unwrap();
+        assert_eq!(back.total_events(), e.total_events());
+    }
+
+    #[test]
+    fn delta_alone_is_refused() {
+        let mut e = ny_engine(100);
+        let base = checkpoint_of(&mut e);
+        e.apply(&[(13, 2)]);
+        let delta = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+        assert_eq!(
+            restore_checkpoint(&ny_template(), delta.bytes()).unwrap_err(),
+            CheckpointError::DeltaWithoutBase
+        );
+        assert_eq!(
+            restore_checkpoint_chain(&ny_template(), &[delta.bytes()]).unwrap_err(),
+            CheckpointError::DeltaWithoutBase
+        );
+    }
+
+    #[test]
+    fn broken_chains_are_refused() {
+        let mut e = ny_engine(100);
+        let base = checkpoint_of(&mut e);
+        e.apply(&[(13, 2)]);
+        let d1 = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+        e.apply(&[(14, 2)]);
+        let d2 = checkpoint_delta(&e.snapshot(), &d1.header()).unwrap();
+        let t = ny_template();
+
+        // Skipping a link: d2 cites d1, not base.
+        assert_eq!(
+            restore_checkpoint_chain(&t, &[base.bytes(), d2.bytes()]).unwrap_err(),
+            CheckpointError::BadChain {
+                what: "delta cites a different parent checkpoint"
+            }
+        );
+        // Reordering the deltas breaks the same check.
+        assert!(matches!(
+            restore_checkpoint_chain(&t, &[base.bytes(), d2.bytes(), d1.bytes()]).unwrap_err(),
+            CheckpointError::BadChain { .. }
+        ));
+        // A full frame mid-chain is a chain error, not silently a rebase.
+        assert!(matches!(
+            restore_checkpoint_chain(&t, &[base.bytes(), base.bytes()]).unwrap_err(),
+            CheckpointError::BadChain { .. }
+        ));
+        // An empty chain has nothing to restore.
+        assert!(matches!(
+            restore_checkpoint_chain(&t, &[]).unwrap_err(),
+            CheckpointError::BadChain { .. }
+        ));
+        // The intact chain still works.
+        assert!(restore_checkpoint_chain(&t, &[base.bytes(), d1.bytes(), d2.bytes()]).is_ok());
+    }
+
+    #[test]
+    fn truncated_delta_is_rejected_without_poisoning_the_chain_fold() {
+        let mut e = ny_engine(300);
+        let base = checkpoint_of(&mut e);
+        e.apply(&[(13, 50), (14, 60)]);
+        let delta = checkpoint_delta(&e.snapshot(), &base.header()).unwrap();
+        let t = ny_template();
+        for keep in [0, 10, PAYLOAD_BYTE, delta.bytes().len() - 1] {
+            let err =
+                restore_checkpoint_chain(&t, &[base.bytes(), &delta.bytes()[..keep]]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated | CheckpointError::Corrupt { .. }
+                ),
+                "kept {keep} bytes: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_against_foreign_parent_is_refused_at_write_time() {
+        let mut e = ny_engine(100);
+        let _ = checkpoint_of(&mut e);
+        // Wrong schedule.
+        let mut other =
+            CounterEngine::new(NelsonYuCounter::new(NyParams::new(0.1, 8).unwrap()), cfg());
+        let other_ck = checkpoint_of(&mut other);
+        assert_eq!(
+            checkpoint_delta(&e.snapshot(), &other_ck.header()).unwrap_err(),
+            CheckpointError::ScheduleMismatch
+        );
+        // Wrong config.
+        let mut bigger = CounterEngine::new(
+            ny_template(),
+            EngineConfig {
+                shards: 8,
+                seed: 11,
+            },
+        );
+        let bigger_ck = checkpoint_of(&mut bigger);
+        assert!(matches!(
+            checkpoint_delta(&e.snapshot(), &bigger_ck.header()).unwrap_err(),
+            CheckpointError::ConfigMismatch { .. }
+        ));
+        // Parent claiming a freeze epoch from the snapshot's future.
+        let newer = checkpoint_of(&mut e);
+        let snap = e.snapshot();
+        let mut forged = newer.header();
+        forged.epoch = snap.epoch() + 1_000;
+        assert!(matches!(
+            checkpoint_delta(&snap, &forged).unwrap_err(),
+            CheckpointError::BadChain { .. }
+        ));
+    }
+
+    #[test]
     fn rejects_bad_magic_and_truncation() {
-        let e = ny_engine(20);
-        let ck = checkpoint_of(&e);
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let mut e = ny_engine(20);
+        let ck = checkpoint_of(&mut e);
+        let template = ny_template();
 
         let mut bad = ck.bytes().to_vec();
         bad[0] ^= 0xFF;
@@ -641,21 +1171,20 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_version() {
-        let e = ny_engine(5);
-        let mut bytes = checkpoint_of(&e).into_bytes();
+        let mut e = ny_engine(5);
+        let mut bytes = checkpoint_of(&mut e).into_bytes();
         // The version field sits at bits 32..48; bump it.
         bytes[4] = bytes[4].wrapping_add(1);
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
         assert!(matches!(
-            restore_checkpoint(&template, &bytes),
+            restore_checkpoint(&ny_template(), &bytes),
             Err(CheckpointError::UnsupportedVersion { .. })
         ));
     }
 
     #[test]
     fn rejects_mismatched_schedules_and_families() {
-        let e = ny_engine(25);
-        let ck = checkpoint_of(&e);
+        let mut e = ny_engine(25);
+        let ck = checkpoint_of(&mut e);
         // Same family, different parameters.
         let wrong_eps = NelsonYuCounter::new(NyParams::new(0.1, 8).unwrap());
         assert_eq!(
@@ -672,9 +1201,9 @@ mod tests {
 
     #[test]
     fn rejects_pinned_config_mismatch() {
-        let e = ny_engine(25);
-        let ck = checkpoint_of(&e);
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let mut e = ny_engine(25);
+        let ck = checkpoint_of(&mut e);
+        let template = ny_template();
         let wrong = EngineConfig {
             shards: 8,
             seed: 11,
@@ -689,13 +1218,14 @@ mod tests {
 
     #[test]
     fn rejects_corrupted_header_totals() {
-        let e = ny_engine(30);
-        let mut bytes = checkpoint_of(&e).into_bytes();
-        // keys_total lives at bits 208..272 → bytes 26..34; flip a low bit.
-        bytes[26] ^= 1;
-        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let mut e = ny_engine(30);
+        let mut bytes = checkpoint_of(&mut e).into_bytes();
+        // keys_total lives past the fixed prefix; flip a low bit in it.
+        // Fields: magic(32) version(16) kind(8) fp(64) shards(32) seed(64)
+        // epoch(64) parent(64) → keys starts at bit 344 = byte 43.
+        bytes[43] ^= 1;
         assert!(matches!(
-            restore_checkpoint(&template, &bytes),
+            restore_checkpoint(&ny_template(), &bytes),
             Err(CheckpointError::Corrupt { .. })
         ));
     }
@@ -703,8 +1233,8 @@ mod tests {
     #[test]
     fn empty_engine_checkpoints_and_restores() {
         let p = NyParams::new(0.3, 6).unwrap();
-        let e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
-        let ck = checkpoint_of(&e);
+        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        let ck = checkpoint_of(&mut e);
         let back = restore_checkpoint(&NelsonYuCounter::new(p), ck.bytes()).unwrap();
         assert!(back.is_empty());
         assert_eq!(back.total_events(), 0);
@@ -722,14 +1252,14 @@ mod tests {
             v
         }
 
-        fn drive<C: StateCodec + Clone + ac_core::Mergeable + std::fmt::Debug>(template: C) {
+        fn drive<C: StateCodec + Clone + std::fmt::Debug>(template: C) {
             let mut e = CounterEngine::new(template.clone(), cfg());
             let mut gen = SplitMix64::new(21);
             let batch: Vec<(u64, u64)> = (0..400u64)
                 .map(|k| (k, 1 + gen.next_u64() % 2_000))
                 .collect();
             e.apply(&batch);
-            let ck = checkpoint_of(&e);
+            let ck = checkpoint_of(&mut e);
             let back = restore_checkpoint(&template, ck.bytes()).unwrap();
             for (key, counter) in e.iter() {
                 let restored = back.counter(key).expect("key present");
@@ -759,7 +1289,7 @@ mod tests {
             .map(|k| (k, 1 + gen.next_u64() % 32))
             .collect();
         e.apply(&batch);
-        let ck = checkpoint_of(&e);
+        let ck = checkpoint_of(&mut e);
         let s = ck.stats();
         assert!(
             s.total_bits <= 2 * s.counter_state_bits + s.header_bits,

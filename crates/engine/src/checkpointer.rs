@@ -1,0 +1,446 @@
+//! The background checkpointer: a dedicated writer thread that turns
+//! periodically-submitted snapshots into a durable **base + deltas**
+//! chain, so the appliers' only durability cost is the `O(shards)` freeze
+//! itself.
+//!
+//! The applier loop (see
+//! [`IngestQueue::drain_parallel_checkpointed`](crate::IngestQueue::drain_parallel_checkpointed))
+//! cuts a copy-on-write snapshot at a batch boundary every
+//! [`CheckpointerConfig::every_events`] applied events and hands it over a
+//! channel — nanoseconds of work. This thread serializes it on its own
+//! time: the first snapshot (and every
+//! [`CheckpointerConfig::max_deltas_per_base`]-th thereafter) becomes a
+//! full checkpoint, the rest become deltas against the previous frame via
+//! [`checkpoint_delta`]. Because snapshots share unwritten slabs with the
+//! live engine, serialization reads the same memory the readers do —
+//! never blocking, never copying more than the writers already did.
+
+use crate::checkpoint::{checkpoint_delta, checkpoint_snapshot, CheckpointHeader, CheckpointKind};
+use crate::snapshot::EngineSnapshot;
+use ac_core::StateCodec;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Background checkpointer construction parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointerConfig {
+    /// Applied-event cadence between snapshot submissions (consumed by
+    /// [`IngestQueue::drain_parallel_checkpointed`](crate::IngestQueue::drain_parallel_checkpointed);
+    /// the checkpointer itself serializes whatever it is handed).
+    pub every_events: u64,
+    /// After this many deltas, the next frame is a fresh full checkpoint
+    /// (bounds chain length, and therefore worst-case restore work and
+    /// the blast radius of a lost segment).
+    pub max_deltas_per_base: usize,
+    /// When set, each frame is also written to
+    /// `<directory>/ckpt-<seq>-<kind>.bin`.
+    pub directory: Option<PathBuf>,
+    /// Keep each frame's bytes in its [`CheckpointRecord`] (the in-memory
+    /// chain lets tests and benches fold the chain back without disk).
+    pub retain_bytes: bool,
+}
+
+impl Default for CheckpointerConfig {
+    fn default() -> Self {
+        Self {
+            every_events: 1_000_000,
+            max_deltas_per_base: 15,
+            directory: None,
+            retain_bytes: true,
+        }
+    }
+}
+
+/// One frame the checkpointer wrote.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// Position in submission order (0 = first).
+    pub seq: usize,
+    /// Full or delta.
+    pub kind: CheckpointKind,
+    /// Engine events at the frame's freeze.
+    pub events: u64,
+    /// Freeze epoch of the frame.
+    pub epoch: u64,
+    /// Shard sections serialized (engine shards for a full frame, dirty
+    /// shards for a delta).
+    pub shards_written: usize,
+    /// Serialized size in bytes.
+    pub bytes_len: u64,
+    /// Wall-clock seconds spent serializing (and writing, if a directory
+    /// is configured) — paid on this thread, not the appliers'.
+    pub write_seconds: f64,
+    /// Where the frame landed on disk, when a directory is configured.
+    pub path: Option<PathBuf>,
+    /// The frame itself, when [`CheckpointerConfig::retain_bytes`] is on.
+    pub bytes: Option<Vec<u8>>,
+}
+
+/// Everything the checkpointer produced, returned by
+/// [`BackgroundCheckpointer::finish`].
+#[derive(Debug, Clone)]
+pub struct CheckpointerReport {
+    /// Every written frame, in submission order.
+    pub records: Vec<CheckpointRecord>,
+}
+
+impl CheckpointerReport {
+    /// The newest restorable chain: the last full frame and every delta
+    /// after it, ready for
+    /// [`restore_checkpoint_chain`](crate::restore_checkpoint_chain).
+    /// `None` when nothing was written or bytes were not retained.
+    #[must_use]
+    pub fn latest_chain(&self) -> Option<Vec<&[u8]>> {
+        let base = self
+            .records
+            .iter()
+            .rposition(|r| r.kind == CheckpointKind::Full)?;
+        self.records[base..]
+            .iter()
+            .map(|r| r.bytes.as_deref())
+            .collect()
+    }
+}
+
+/// Live counters shared between the writer thread and stats readers.
+#[derive(Debug, Default)]
+struct Totals {
+    submitted: AtomicU64,
+    written: AtomicU64,
+    full_frames: AtomicU64,
+    delta_frames: AtomicU64,
+    bytes_written: AtomicU64,
+    last_checkpoint_events: AtomicU64,
+    last_write_ns: AtomicU64,
+}
+
+/// A point-in-time summary of the background checkpointer. Feed it to
+/// [`EngineStats::with_checkpointer`](crate::EngineStats::with_checkpointer)
+/// to expose the durability lag in a whole-pipeline summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointerStats {
+    /// Snapshots handed to the writer thread so far.
+    pub submitted: u64,
+    /// Frames fully serialized so far.
+    pub written: u64,
+    /// Full frames among them.
+    pub full_frames: u64,
+    /// Delta frames among them.
+    pub delta_frames: u64,
+    /// Total serialized bytes across all frames.
+    pub bytes_written: u64,
+    /// Engine events covered by the newest durable frame — the quantity
+    /// behind
+    /// [`EngineStats::checkpoint_lag_events`](crate::EngineStats::checkpoint_lag_events).
+    pub last_checkpoint_events: u64,
+    /// Wall-clock nanoseconds the newest frame took to serialize.
+    pub last_write_ns: u64,
+}
+
+/// A dedicated checkpoint-writer thread; see the module docs.
+///
+/// Submissions never block (unbounded channel of `O(shards)`-sized
+/// snapshots); [`BackgroundCheckpointer::finish`] drains and joins.
+/// Snapshots are expected to come from one engine lineage; a submission
+/// that cannot extend the current delta chain (different counter
+/// schedule, different config, older epoch) is written as a fresh full
+/// frame rather than an error — interleaving *multiple* engines through
+/// one checkpointer therefore still persists every frame, but produces
+/// chains that restore each lineage only from its own full frames.
+#[derive(Debug)]
+pub struct BackgroundCheckpointer<C: StateCodec + Clone + Send + Sync + 'static> {
+    tx: Sender<EngineSnapshot<C>>,
+    handle: JoinHandle<Vec<CheckpointRecord>>,
+    totals: Arc<Totals>,
+    config: CheckpointerConfig,
+}
+
+impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
+    /// Starts the writer thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_events` is zero or, in
+    /// [`BackgroundCheckpointer::finish`], if a configured directory
+    /// turns out not to be writable (durability failures are not
+    /// swallowed).
+    #[must_use]
+    pub fn spawn(config: CheckpointerConfig) -> Self {
+        assert!(config.every_events > 0, "cadence must be positive");
+        let (tx, rx) = channel::<EngineSnapshot<C>>();
+        let totals = Arc::new(Totals::default());
+        let thread_totals = Arc::clone(&totals);
+        let thread_config = config.clone();
+        let handle = std::thread::spawn(move || {
+            let mut records: Vec<CheckpointRecord> = Vec::new();
+            // Only the parent's header is needed to chain the next delta
+            // (80 bytes, `Copy`) — never the parent's serialized buffer.
+            let mut parent: Option<CheckpointHeader> = None;
+            let mut deltas_since_base = 0usize;
+            while let Ok(snap) = rx.recv() {
+                let start = Instant::now();
+                let (ck, kind) = match &parent {
+                    Some(base) if deltas_since_base < thread_config.max_deltas_per_base => {
+                        // A snapshot that cannot extend the current chain
+                        // (different schedule/config/lineage, or an
+                        // epoch not strictly newer than the parent's)
+                        // rebases onto a fresh full frame instead of
+                        // killing the writer thread: every full frame is
+                        // self-contained, so durability degrades to
+                        // "larger", never to "lost".
+                        match checkpoint_delta(&snap, base) {
+                            Ok(delta) => (delta, CheckpointKind::Delta),
+                            Err(_) => (checkpoint_snapshot(&snap), CheckpointKind::Full),
+                        }
+                    }
+                    _ => (checkpoint_snapshot(&snap), CheckpointKind::Full),
+                };
+                let header = ck.header();
+                let stats = ck.stats();
+                let bytes_len = ck.bytes().len() as u64;
+                let seq = records.len();
+                let path = thread_config.directory.as_ref().map(|dir| {
+                    let name = match kind {
+                        CheckpointKind::Full => format!("ckpt-{seq:05}-full.bin"),
+                        CheckpointKind::Delta => format!("ckpt-{seq:05}-delta.bin"),
+                    };
+                    let path = dir.join(name);
+                    std::fs::write(&path, ck.bytes()).expect("write checkpoint frame");
+                    path
+                });
+                let write_seconds = start.elapsed().as_secs_f64();
+                match kind {
+                    CheckpointKind::Full => {
+                        deltas_since_base = 0;
+                        thread_totals.full_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                    CheckpointKind::Delta => {
+                        deltas_since_base += 1;
+                        thread_totals.delta_frames.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                thread_totals.written.fetch_add(1, Ordering::Relaxed);
+                thread_totals
+                    .bytes_written
+                    .fetch_add(bytes_len, Ordering::Relaxed);
+                thread_totals
+                    .last_checkpoint_events
+                    .store(header.events, Ordering::Relaxed);
+                thread_totals.last_write_ns.store(
+                    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    Ordering::Relaxed,
+                );
+                records.push(CheckpointRecord {
+                    seq,
+                    kind,
+                    events: header.events,
+                    epoch: header.epoch,
+                    shards_written: stats.shards_written,
+                    bytes_len,
+                    write_seconds,
+                    path,
+                    // Move the buffer, don't copy it; drop it otherwise.
+                    bytes: thread_config.retain_bytes.then(|| ck.into_bytes()),
+                });
+                parent = Some(header);
+            }
+            records
+        });
+        Self {
+            tx,
+            handle,
+            totals,
+            config,
+        }
+    }
+
+    /// The configuration (the drain loop reads the cadence from here).
+    #[must_use]
+    pub fn config(&self) -> &CheckpointerConfig {
+        &self.config
+    }
+
+    /// Hands a frozen snapshot to the writer thread. Never blocks on
+    /// serialization; the snapshot is `O(shards)` of `Arc`s.
+    pub fn submit(&self, snap: EngineSnapshot<C>) {
+        self.totals.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(snap).expect("checkpointer thread alive");
+    }
+
+    /// Diagnostics snapshot; cheap, safe to call from any thread.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointerStats {
+        let t = &self.totals;
+        CheckpointerStats {
+            submitted: t.submitted.load(Ordering::Relaxed),
+            written: t.written.load(Ordering::Relaxed),
+            full_frames: t.full_frames.load(Ordering::Relaxed),
+            delta_frames: t.delta_frames.load(Ordering::Relaxed),
+            bytes_written: t.bytes_written.load(Ordering::Relaxed),
+            last_checkpoint_events: t.last_checkpoint_events.load(Ordering::Relaxed),
+            last_write_ns: t.last_write_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the channel, drains every pending snapshot, and returns the
+    /// full write history.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a writer-thread panic (e.g. an unwritable directory).
+    #[must_use]
+    pub fn finish(self) -> CheckpointerReport {
+        drop(self.tx);
+        let records = self.handle.join().expect("checkpointer thread");
+        CheckpointerReport { records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::restore_checkpoint_chain;
+    use crate::registry::{CounterEngine, EngineConfig};
+    use ac_core::{NelsonYuCounter, NyParams};
+
+    fn template() -> NelsonYuCounter {
+        NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap())
+    }
+
+    fn small_cfg() -> CheckpointerConfig {
+        CheckpointerConfig {
+            every_events: 100,
+            max_deltas_per_base: 3,
+            directory: None,
+            retain_bytes: true,
+        }
+    }
+
+    #[test]
+    fn base_then_deltas_then_rebase() {
+        let mut e = CounterEngine::new(template(), EngineConfig { shards: 4, seed: 9 });
+        let ckpt = BackgroundCheckpointer::spawn(small_cfg());
+        for round in 0..6u64 {
+            let batch: Vec<(u64, u64)> = (0..50u64).map(|k| (k + 10 * round, 3)).collect();
+            e.apply(&batch);
+            ckpt.submit(e.snapshot());
+        }
+        let stats_before_finish = ckpt.stats();
+        assert_eq!(stats_before_finish.submitted, 6);
+        let report = ckpt.finish();
+        let kinds: Vec<CheckpointKind> = report.records.iter().map(|r| r.kind).collect();
+        // Frame 0 full, 1–3 deltas, then a rebase at 4, delta at 5.
+        assert_eq!(
+            kinds,
+            vec![
+                CheckpointKind::Full,
+                CheckpointKind::Delta,
+                CheckpointKind::Delta,
+                CheckpointKind::Delta,
+                CheckpointKind::Full,
+                CheckpointKind::Delta,
+            ]
+        );
+        // The newest chain folds back to the engine at its last freeze.
+        let chain = report.latest_chain().expect("bytes retained");
+        assert_eq!(chain.len(), 2, "last full + one delta");
+        let back = restore_checkpoint_chain(&template(), &chain).unwrap();
+        assert_eq!(back.total_events(), e.total_events());
+        for (key, counter) in e.iter() {
+            assert_eq!(
+                back.counter(key).map(NelsonYuCounter::state_parts),
+                Some(counter.state_parts()),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_snapshot_rebases_to_a_full_frame_instead_of_panicking() {
+        // Two engines through one checkpointer: the second submission
+        // cannot extend the first's chain, so it must land as a
+        // self-contained full frame, not kill the writer thread or
+        // produce a chimeric chain. Covered both ways: a different
+        // config (refused by the config check) and — the subtler
+        // accident — an identical config from a *different lineage*
+        // (e.g. a restarted process), refused by the strict epoch
+        // ordering because the fresh engine's epoch clock restarted.
+        let cfg_a = EngineConfig { shards: 2, seed: 1 };
+        let mut a = CounterEngine::new(template(), cfg_a);
+        let mut b = CounterEngine::new(template(), EngineConfig { shards: 4, seed: 2 });
+        let mut twin = CounterEngine::new(template(), cfg_a);
+        a.apply(&[(1, 10)]);
+        b.apply(&[(2, 20)]);
+        twin.apply(&[(3, 30)]);
+        let ckpt = BackgroundCheckpointer::spawn(small_cfg());
+        ckpt.submit(a.snapshot());
+        ckpt.submit(b.snapshot());
+        ckpt.submit(twin.snapshot());
+        let report = ckpt.finish();
+        let kinds: Vec<CheckpointKind> = report.records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CheckpointKind::Full,
+                CheckpointKind::Full,
+                CheckpointKind::Full
+            ]
+        );
+        let chain = report.latest_chain().expect("bytes retained");
+        let back = restore_checkpoint_chain(&template(), &chain).unwrap();
+        assert_eq!(back.total_events(), 30, "latest chain is the twin's");
+    }
+
+    #[test]
+    fn stats_track_lag() {
+        let mut e = CounterEngine::new(template(), EngineConfig { shards: 2, seed: 1 });
+        let ckpt = BackgroundCheckpointer::spawn(small_cfg());
+        e.apply(&[(1, 500)]);
+        ckpt.submit(e.snapshot());
+        e.apply(&[(2, 41)]);
+        let report_stats = loop {
+            let s = ckpt.stats();
+            if s.written == 1 {
+                break s;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(report_stats.last_checkpoint_events, 500);
+        let stats = e.stats().with_checkpointer(&report_stats);
+        assert_eq!(stats.checkpoint_lag_events, 41);
+        let _ = ckpt.finish();
+    }
+
+    #[test]
+    fn writes_frames_to_a_directory() {
+        let dir = std::env::temp_dir().join(format!(
+            "ac-ckpt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut e = CounterEngine::new(template(), EngineConfig { shards: 2, seed: 4 });
+        let ckpt = BackgroundCheckpointer::spawn(CheckpointerConfig {
+            directory: Some(dir.clone()),
+            ..small_cfg()
+        });
+        e.apply(&[(1, 10)]);
+        ckpt.submit(e.snapshot());
+        e.apply(&[(2, 20)]);
+        ckpt.submit(e.snapshot());
+        let report = ckpt.finish();
+        let chain: Vec<Vec<u8>> = report
+            .records
+            .iter()
+            .map(|r| std::fs::read(r.path.as_ref().expect("path set")).unwrap())
+            .collect();
+        let chain_refs: Vec<&[u8]> = chain.iter().map(Vec::as_slice).collect();
+        let back = restore_checkpoint_chain(&template(), &chain_refs).unwrap();
+        assert_eq!(back.total_events(), 30);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,29 +18,41 @@
 //!    Aden-Ali, Han, Nelson, Yu 2022): a coalesced `(key, delta)` costs
 //!    one transition-count-proportional `increment_by`, not `delta` coin
 //!    flips. Backpressure is configurable (block or drop-and-count);
-//!    diagnostics surface through [`EngineStats::with_ingest`].
+//!    diagnostics surface through [`EngineStats::with_ingest`]. The
+//!    applier loop takes hooks at batch boundaries
+//!    ([`IngestQueue::drain_parallel_with`]), which is where the
+//!    background checkpointer rides
+//!    ([`IngestQueue::drain_parallel_checkpointed`]).
 //! 2. **Write** ([`CounterEngine`]) — slab ownership and batched apply:
-//!    key→shard routing, dense per-shard slabs, per-shard deterministic
-//!    RNG. [`CounterEngine::apply_parallel`] fans a batch out one thread
-//!    per shard with states bit-identical to the sequential path.
+//!    key→shard routing (SplitMix64 finalizer + Lemire range reduction),
+//!    dense per-shard slabs behind **copy-on-write `Arc`s with epoch
+//!    tracking**, per-shard deterministic RNG.
+//!    [`CounterEngine::apply_parallel`] fans a batch out one thread per
+//!    shard with states bit-identical to the sequential path.
 //! 3. **Snapshot/serve** ([`EngineSnapshot`]) — immutable, cheaply
-//!    cloneable read replicas: frozen slabs behind `Arc`s plus the
-//!    cross-shard merged aggregate, folded once at freeze time through the
-//!    [`Mergeable`](ac_core::Mergeable) laws (Remark 2.4). Queries never
-//!    contend with writers.
-//! 4. **Checkpoint** ([`checkpoint_snapshot`] / [`restore_checkpoint`]) —
-//!    snapshots serialized through `ac-bitio`: [`StateCodec`] counter
-//!    states plus Rice-coded key gaps behind a versioned header that
-//!    embeds the [`EngineConfig`] and parameter fingerprint and refuses
-//!    mismatched restores. A restored engine continues the *exact* random
-//!    stream (shard RNG states ride along), and a million counters persist
-//!    at ~their summed `state_bits`, not a million fixed-width records.
+//!    cloneable read replicas. A freeze is `O(shards)` `Arc` clones — no
+//!    counter is copied; writers split dirty shards lazily (CoW), so a
+//!    freeze's true cost is `O(dirty shards)`, amortized into the writes
+//!    that follow. The cross-shard merged aggregate (Remark 2.4) folds on
+//!    demand on a reader thread, never on the freeze path.
+//! 4. **Checkpoint** ([`checkpoint_snapshot`] / [`checkpoint_delta`] /
+//!    [`restore_checkpoint_chain`]) — snapshots serialized through
+//!    `ac-bitio`: [`StateCodec`] counter states plus Rice-coded key gaps
+//!    behind a versioned header that embeds the [`EngineConfig`] and
+//!    parameter fingerprint and refuses mismatched restores. Incremental
+//!    **delta frames** serialize only shards dirtied since a parent
+//!    checkpoint (parents are identified by chained checksums, so a delta
+//!    can never land on the wrong base), and the
+//!    [`BackgroundCheckpointer`] writes the base + deltas chain on its
+//!    own thread. A restored engine continues the *exact* random stream
+//!    (shard RNG states ride along), and a million counters persist at
+//!    ~their summed `state_bits`, not a million fixed-width records.
 //!
 //! ```
 //! use ac_core::{ApproxCounter, NelsonYuCounter, NyParams};
 //! use ac_engine::{
-//!     checkpoint_snapshot, restore_checkpoint, CounterEngine, EngineConfig, IngestConfig,
-//!     IngestQueue,
+//!     checkpoint_delta, checkpoint_snapshot, restore_checkpoint_chain, CounterEngine,
+//!     EngineConfig, IngestConfig, IngestQueue,
 //! };
 //! use ac_randkit::Xoshiro256PlusPlus;
 //!
@@ -57,15 +69,20 @@
 //! queue.close();
 //! queue.drain_into(&mut engine);
 //!
-//! // Snapshot: lock-free reads + the merged cross-shard aggregate.
+//! // Snapshot: an O(shards) freeze; lock-free reads; the merged
+//! // aggregate folds on demand, off the freeze path.
+//! let snap = engine.snapshot();
 //! let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
-//! let snap = engine.snapshot(&mut rng).unwrap();
 //! assert!((snap.estimate(1).unwrap() - 1.0e5).abs() / 1.0e5 < 0.5);
-//! assert!((snap.merged_total().estimate() - 1.1e5).abs() / 1.1e5 < 0.5);
+//! let merged = snap.merged_total(&mut rng).unwrap();
+//! assert!((merged.estimate() - 1.1e5).abs() / 1.1e5 < 0.5);
 //!
-//! // Checkpoint: durable at ~state_bits, restored bit-identically.
-//! let ck = checkpoint_snapshot(&snap);
-//! let restored = restore_checkpoint(&template, ck.bytes()).unwrap();
+//! // Checkpoint: a full base, then deltas priced at O(dirty data).
+//! let base = checkpoint_snapshot(&snap);
+//! engine.apply(&[(1, 1_000)]);
+//! let delta = checkpoint_delta(&engine.snapshot(), &base.header()).unwrap();
+//! let restored =
+//!     restore_checkpoint_chain(&template, &[base.bytes(), delta.bytes()]).unwrap();
 //! assert_eq!(restored.counter(1).unwrap().state_parts(),
 //!            engine.counter(1).unwrap().state_parts());
 //! ```
@@ -74,16 +91,24 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod checkpointer;
 mod ingest;
 mod registry;
 mod shard;
 mod snapshot;
 
 pub use checkpoint::{
-    checkpoint_snapshot, read_header, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
-    CheckpointError, CheckpointHeader, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    checkpoint_delta, checkpoint_snapshot, read_header, restore_checkpoint,
+    restore_checkpoint_chain, restore_checkpoint_expecting, Checkpoint, CheckpointError,
+    CheckpointHeader, CheckpointKind, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
-pub use ingest::{Batch, IngestConfig, IngestProducer, IngestQueue, IngestStats};
+pub use checkpointer::{
+    BackgroundCheckpointer, CheckpointRecord, CheckpointerConfig, CheckpointerReport,
+    CheckpointerStats,
+};
+pub use ingest::{
+    Batch, CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats,
+};
 pub use registry::{CounterEngine, EngineConfig, EngineStats};
 pub use snapshot::EngineSnapshot;
 

@@ -5,11 +5,29 @@
 //! and apply `(key, delta)` batches to them. Everything else lives in its
 //! own layer — admission and coalescing in [`crate::ingest`], reads in
 //! [`crate::snapshot`], durability in [`crate::checkpoint`].
+//!
+//! ## Copy-on-write epochs
+//!
+//! Each shard lives behind an [`Arc`]. A freeze
+//! ([`CounterEngine::snapshot`](crate::snapshot)) clones the `Arc`s —
+//! `O(shards)` pointer bumps — and bumps the engine's *epoch*. The write
+//! path reaches shards only through [`Arc::make_mut`]: while a snapshot
+//! still shares a shard, the first mutation after the freeze clones that
+//! one shard's slab (copy-on-write); once the snapshot drops — or for
+//! shards the snapshot era never touches — `make_mut` is a pointer check
+//! and no copy ever happens. A freeze therefore costs `O(dirty shards)`
+//! of copying, amortized into the writes that follow it, instead of the
+//! old stop-the-world `O(keys)` clone. Every write also stamps its
+//! shard's [`dirty epoch`](crate::shard::Shard::touch), which is what the
+//! incremental checkpoint layer reads to serialize only shards dirtied
+//! since a parent checkpoint.
 
+use crate::checkpointer::CheckpointerStats;
 use crate::ingest::IngestStats;
 use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::{RandomSource, SplitMix64};
+use std::sync::Arc;
 
 /// Engine construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,14 +45,14 @@ impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             shards: 16,
-            seed: 0x0A55C0117E5,
+            seed: 0x00A5_5C01_17E5,
         }
     }
 }
 
 /// A point-in-time summary of the engine (and, when taken through
-/// [`EngineStats::with_ingest`], of the ingest queue in front of it), for
-/// reports and capacity planning.
+/// [`EngineStats::with_ingest`] / [`EngineStats::with_checkpointer`], of
+/// the layers around it), for reports and capacity planning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
     /// Number of shards.
@@ -50,6 +68,18 @@ pub struct EngineStats {
     pub counter_state_bits: u64,
     /// Largest keys-per-shard count (load-balance diagnostic).
     pub max_shard_keys: usize,
+    /// Shards written since the last freeze — the copy-on-write debt the
+    /// *next* freeze will schedule, and exactly what a delta checkpoint
+    /// against the last freeze would serialize.
+    pub dirty_shards: usize,
+    /// Wall-clock nanoseconds the most recent freeze
+    /// ([`CounterEngine::snapshot`](crate::snapshot) or
+    /// [`CounterEngine::snapshot_deep`](crate::snapshot)) took (0 before
+    /// the first freeze).
+    pub last_freeze_ns: u64,
+    /// Events applied since the last checkpoint was cut (0 when no
+    /// checkpointer is attached; see [`EngineStats::with_checkpointer`]).
+    pub checkpoint_lag_events: u64,
     /// Batches sitting in the ingest queue, not yet applied (0 when no
     /// ingest layer is attached; see [`EngineStats::with_ingest`]).
     pub queue_depth: usize,
@@ -67,6 +97,14 @@ impl EngineStats {
         self.dropped_batches = ingest.dropped_batches;
         self
     }
+
+    /// Folds background-checkpointer diagnostics in: how many applied
+    /// events the newest durable checkpoint is behind the live engine.
+    #[must_use]
+    pub fn with_checkpointer(mut self, ckpt: &CheckpointerStats) -> Self {
+        self.checkpoint_lag_events = self.events.saturating_sub(ckpt.last_checkpoint_events);
+        self
+    }
 }
 
 /// A hash-sharded registry of per-key approximate counters — the write
@@ -82,11 +120,18 @@ impl EngineStats {
 /// and [`crate::checkpoint_snapshot`] persists it.
 #[derive(Debug, Clone)]
 pub struct CounterEngine<C> {
-    shards: Vec<Shard<C>>,
+    /// Copy-on-write shard slabs; see the module docs.
+    shards: Vec<Arc<Shard<C>>>,
     template: C,
     config: EngineConfig,
     /// Salt for the key→shard hash, derived from the config seed.
     salt: u64,
+    /// The current freeze epoch: bumped by every freeze, stamped onto
+    /// shards by every write. Starts at 1 so a fresh shard's
+    /// `dirty_epoch` of 0 reads as "never written".
+    epoch: u64,
+    /// Duration of the most recent freeze, in nanoseconds.
+    last_freeze_ns: u64,
 }
 
 impl<C: ApproxCounter + Clone> CounterEngine<C> {
@@ -102,13 +147,15 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         template.reset();
         let (salt, mut seeder) = Self::salt_for(config.seed);
         let shards = (0..config.shards)
-            .map(|_| Shard::new(seeder.next_u64()))
+            .map(|_| Arc::new(Shard::new(seeder.next_u64())))
             .collect();
         Self {
             shards,
             template,
             config,
             salt,
+            epoch: 1,
+            last_freeze_ns: 0,
         }
     }
 
@@ -123,18 +170,26 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
 
     /// Rebuilds an engine from restored shards (the checkpoint layer's
     /// constructor). The template is reset; shard count must match the
-    /// config.
-    pub(crate) fn from_restored(template: C, config: EngineConfig, shards: Vec<Shard<C>>) -> Self {
+    /// config; `epoch` resumes the freeze-epoch clock from the restored
+    /// checkpoint so subsequent deltas stay correctly ordered.
+    pub(crate) fn from_restored(
+        template: C,
+        config: EngineConfig,
+        shards: Vec<Shard<C>>,
+        epoch: u64,
+    ) -> Self {
         assert_eq!(config.shards, shards.len(), "shard count mismatch");
         assert!(config.shards > 0, "engine needs at least one shard");
         let mut template = template;
         template.reset();
         let (salt, _) = Self::salt_for(config.seed);
         Self {
-            shards,
+            shards: shards.into_iter().map(Arc::new).collect(),
             template,
             config,
             salt,
+            epoch,
+            last_freeze_ns: 0,
         }
     }
 
@@ -145,8 +200,12 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         self.config
     }
 
-    /// The shard index for `key`.
-    pub(crate) fn shard_of(&self, key: u64) -> usize {
+    /// The shard a key routes to — stable for the engine's lifetime (the
+    /// partition is part of its identity). Public so workload tools can
+    /// construct shard-targeted traffic (e.g. the pipeline bench dirties
+    /// exactly one shard to size a delta checkpoint).
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
         route(self.salt, self.shards.len(), key)
     }
 
@@ -156,13 +215,29 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     }
 
     /// The shard slabs (read-only view for the snapshot/checkpoint layers).
-    pub(crate) fn shards(&self) -> &[Shard<C>] {
+    pub(crate) fn shards(&self) -> &[Arc<Shard<C>>] {
         &self.shards
     }
 
     /// The reset template counter.
     pub(crate) fn template(&self) -> &C {
         &self.template
+    }
+
+    /// The current freeze epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Freeze bookkeeping for the snapshot layer: returns the epoch the
+    /// frozen replica belongs to, advances the clock so subsequent writes
+    /// stamp a strictly newer epoch, and records how long the freeze
+    /// took.
+    pub(crate) fn note_freeze(&mut self, freeze_ns: u64) -> u64 {
+        let frozen = self.epoch;
+        self.epoch += 1;
+        self.last_freeze_ns = freeze_ns;
+        frozen
     }
 
     /// Applies a batch of `(key, delta)` updates sequentially.
@@ -172,8 +247,10 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// update rides the counter's batched fast path.
     pub fn apply(&mut self, batch: &[(u64, u64)]) {
         for &(key, delta) in batch {
-            let shard = self.shard_of(key);
-            self.shards[shard].apply_one(&self.template, key, delta);
+            let idx = route(self.salt, self.shards.len(), key);
+            let shard = Arc::make_mut(&mut self.shards[idx]);
+            shard.touch(self.epoch);
+            shard.apply_one(&self.template, key, delta);
         }
     }
 
@@ -183,6 +260,8 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// same batch: the key→shard partition is deterministic, updates for
     /// one shard stay in batch order, and each shard consumes only its own
     /// RNG stream, so thread scheduling cannot leak into counter states.
+    /// Copy-on-write splits happen on this thread, before the spawn, so
+    /// the per-shard workers always own unique slabs.
     pub fn apply_parallel(&mut self, batch: &[(u64, u64)])
     where
         C: Send + Sync,
@@ -192,11 +271,14 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             buckets[self.shard_of(key)].push((key, delta));
         }
         let template = &self.template;
+        let epoch = self.epoch;
         std::thread::scope(|scope| {
-            for (shard, bucket) in self.shards.iter_mut().zip(&buckets) {
+            for (arc, bucket) in self.shards.iter_mut().zip(&buckets) {
                 if bucket.is_empty() {
                     continue;
                 }
+                let shard = Arc::make_mut(arc);
+                shard.touch(epoch);
                 scope.spawn(move || {
                     for &(key, delta) in bucket {
                         shard.apply_one(template, key, delta);
@@ -224,7 +306,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// Number of distinct keys tracked.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(Shard::len).sum()
+        self.shards.iter().map(|s| s.len()).sum()
     }
 
     /// True when no key has been touched yet.
@@ -237,18 +319,18 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// `O(shards)` to read).
     #[must_use]
     pub fn total_events(&self) -> u64 {
-        self.shards.iter().map(Shard::events).sum()
+        self.shards.iter().map(|s| s.events()).sum()
     }
 
     /// Iterates all `(key, counter)` pairs. Counter states are
     /// deterministic; iteration order is unspecified.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &C)> {
-        self.shards.iter().flat_map(Shard::entries)
+        self.shards.iter().flat_map(|s| s.entries())
     }
 
-    /// Engine summary for reports. Ingest diagnostics read zero here;
-    /// fold them in with [`EngineStats::with_ingest`] when an ingest
-    /// queue fronts this engine.
+    /// Engine summary for reports. Ingest and checkpointer diagnostics
+    /// read zero here; fold them in with [`EngineStats::with_ingest`] and
+    /// [`EngineStats::with_checkpointer`] when those layers are attached.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -258,10 +340,17 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             counter_state_bits: self
                 .shards
                 .iter()
-                .flat_map(Shard::counters)
+                .flat_map(|s| s.counters())
                 .map(|c| c.state_bits())
                 .sum(),
-            max_shard_keys: self.shards.iter().map(Shard::len).max().unwrap_or(0),
+            max_shard_keys: self.shards.iter().map(|s| s.len()).max().unwrap_or(0),
+            dirty_shards: self
+                .shards
+                .iter()
+                .filter(|s| s.dirty_epoch() == self.epoch)
+                .count(),
+            last_freeze_ns: self.last_freeze_ns,
+            checkpoint_lag_events: 0,
             queue_depth: 0,
             dropped_batches: 0,
         }
@@ -398,14 +487,32 @@ mod tests {
         assert_eq!(stats.keys, 2);
         // Two Morris registers: a handful of bits each, never log2(N).
         assert!(stats.counter_state_bits < 16, "{stats:?}");
-        // No ingest layer attached: diagnostics read zero.
+        // No ingest or checkpoint layer attached: diagnostics read zero.
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.dropped_batches, 0);
+        assert_eq!(stats.checkpoint_lag_events, 0);
+        assert_eq!(stats.last_freeze_ns, 0, "no freeze has happened");
         assert_eq!(
             e.iter().count(),
             2,
             "iter must visit every (key, counter) pair"
         );
+    }
+
+    #[test]
+    fn dirty_shards_track_writes_within_the_current_epoch() {
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg(8));
+        assert_eq!(e.stats().dirty_shards, 0);
+        e.apply(&[(1, 1)]);
+        assert_eq!(e.stats().dirty_shards, 1, "one shard written");
+        let batch: Vec<(u64, u64)> = (0..1_000u64).map(|k| (k, 1)).collect();
+        e.apply(&batch);
+        assert_eq!(e.stats().dirty_shards, 8, "all shards written");
+        // A freeze opens a new epoch: the debt resets.
+        let _snap = e.snapshot();
+        assert_eq!(e.stats().dirty_shards, 0, "fresh epoch after freeze");
+        e.apply(&[(2, 1)]);
+        assert_eq!(e.stats().dirty_shards, 1);
     }
 
     #[test]

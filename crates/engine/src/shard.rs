@@ -1,18 +1,31 @@
 //! One shard: a dense slab of counters, a key→slot index, and the shard's
-//! own deterministic RNG.
+//! own deterministic RNG — plus the dirty-epoch word that drives the
+//! copy-on-write freeze path and incremental checkpoints.
 
 use ac_core::ApproxCounter;
-use ac_randkit::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
+use ac_randkit::{BuildSplitMix64, RandomSource, SplitMix64, Xoshiro256PlusPlus};
 use std::collections::HashMap;
 
+/// The key→slot index. Keys reaching a shard are raw user keys, but every
+/// lookup mixes them through the deterministic single-round SplitMix64
+/// hasher ([`BuildSplitMix64`]) instead of SipHash: the engine's keys are
+/// not adversarial strings, so the PRF rounds were pure overhead on the
+/// hot `apply_one` lookup, and the process-random SipHash key broke
+/// run-to-run reproducibility of map internals.
+type KeyIndex = HashMap<u64, u32, BuildSplitMix64>;
+
 /// The key→shard partition: one SplitMix64 finalizer round over the
-/// salted key — cheap, well-mixed, deterministic. Shared by the write
-/// layer ([`crate::CounterEngine`]) and the read replicas
-/// ([`crate::EngineSnapshot`]), which must agree bit for bit.
+/// salted key — cheap, well-mixed, deterministic — then Lemire's
+/// multiplicative range reduction `(h × shards) >> 64` in place of the
+/// integer modulo (one multiply instead of a division; the high bits of
+/// `h` pick the shard, which is exactly where the finalizer's avalanche
+/// is strongest). Shared by the write layer ([`crate::CounterEngine`])
+/// and the read replicas ([`crate::EngineSnapshot`]), which must agree
+/// bit for bit.
 #[inline]
 pub(crate) fn route(salt: u64, shards: usize, key: u64) -> usize {
     let mut h = SplitMix64::new(salt ^ key);
-    (h.next_u64() % shards as u64) as usize
+    ((u128::from(h.next_u64()) * shards as u128) >> 64) as usize
 }
 
 /// A shard owns every counter whose key hashes to it.
@@ -24,36 +37,48 @@ pub(crate) fn route(salt: u64, shards: usize, key: u64) -> usize {
 /// shard's evolution deterministic and independent of how batches are
 /// interleaved across shards — the property that lets
 /// `apply_parallel` produce states identical to the sequential path.
+///
+/// The `dirty_epoch` word records the engine freeze epoch during which
+/// the shard was last written. The registry compares it against snapshot
+/// and checkpoint epochs to decide what a freeze must copy and what a
+/// delta checkpoint must serialize; the shard itself only stores it.
 #[derive(Debug, Clone)]
 pub(crate) struct Shard<C> {
     /// key → slab slot. `u32` slots cap a shard at ~4 billion counters,
     /// comfortably beyond any per-shard load the engine targets.
-    index: HashMap<u64, u32>,
+    index: KeyIndex,
     slab: Vec<C>,
     rng: Xoshiro256PlusPlus,
     /// Total increments routed into this shard (exact, for diagnostics).
     events: u64,
+    /// Engine freeze epoch of the last write into this shard (0 = never
+    /// written). Maintained by the registry via [`Shard::touch`].
+    dirty_epoch: u64,
 }
 
 impl<C: ApproxCounter + Clone> Shard<C> {
     pub(crate) fn new(seed: u64) -> Self {
         Self {
-            index: HashMap::new(),
+            index: KeyIndex::default(),
             slab: Vec::new(),
             rng: Xoshiro256PlusPlus::seed_from_u64(seed),
             events: 0,
+            dirty_epoch: 0,
         }
     }
 
     /// Rebuilds a shard from checkpointed parts: the exact RNG state,
     /// event tally, and `(key, counter)` pairs (order defines slab
     /// layout; estimates and future evolution do not depend on it).
+    /// `dirty_epoch` is the restore-time epoch — conservatively "dirty as
+    /// of the checkpoint it came from".
     pub(crate) fn from_restored(
         rng: Xoshiro256PlusPlus,
         events: u64,
         entries: Vec<(u64, C)>,
+        dirty_epoch: u64,
     ) -> Self {
-        let mut index = HashMap::with_capacity(entries.len());
+        let mut index = KeyIndex::with_capacity_and_hasher(entries.len(), BuildSplitMix64);
         let mut slab = Vec::with_capacity(entries.len());
         for (key, counter) in entries {
             index.insert(key, slab.len() as u32);
@@ -64,6 +89,7 @@ impl<C: ApproxCounter + Clone> Shard<C> {
             slab,
             rng,
             events,
+            dirty_epoch,
         }
     }
 
@@ -77,6 +103,18 @@ impl<C: ApproxCounter + Clone> Shard<C> {
         });
         self.slab[slot as usize].increment_by(delta, &mut self.rng);
         self.events += delta;
+    }
+
+    /// Marks the shard dirty as of freeze epoch `epoch`.
+    #[inline]
+    pub(crate) fn touch(&mut self, epoch: u64) {
+        self.dirty_epoch = epoch;
+    }
+
+    /// The freeze epoch of the last write (0 = never written).
+    #[inline]
+    pub(crate) fn dirty_epoch(&self) -> u64 {
+        self.dirty_epoch
     }
 
     pub(crate) fn get(&self, key: u64) -> Option<&C> {

@@ -1,29 +1,38 @@
 //! The snapshot/serve layer: immutable, cheaply-cloneable read replicas.
 //!
 //! [`CounterEngine::snapshot`] freezes the engine at a point in time into
-//! an [`EngineSnapshot`]: per-shard frozen slabs behind `Arc`s, plus the
-//! cross-shard merged aggregate (folded once, at freeze time, through the
-//! family's [`Mergeable`] law — Remark 2.4). After the freeze:
+//! an [`EngineSnapshot`] by cloning the per-shard `Arc`s — `O(shards)`
+//! pointer bumps, no counter is copied at freeze time. The engine keeps
+//! writing through [`Arc::make_mut`]: the first post-freeze write to a
+//! shard clones that one slab (copy-on-write), so the freeze's true cost
+//! is `O(dirty shards)`, paid lazily by the writers that actually
+//! collide with the frozen era. After the freeze:
 //!
-//! * **queries never contend with writers** — the snapshot owns its data;
-//!   the engine keeps mutating its own slabs. No lock is shared, so
-//!   `estimate`/`merged_total` latency is flat no matter how hard the
-//!   write path is running;
+//! * **queries never contend with writers** — the snapshot owns (or
+//!   still shares, immutably) its data. No lock is shared, so
+//!   `estimate` latency is flat no matter how hard the write path runs;
 //! * **clones are O(shards) pointer bumps** — hand a replica to every
 //!   serving thread;
 //! * **the checkpoint layer serializes snapshots**, not live engines, so
 //!   durability rides the same freeze and the write path never stalls for
-//!   I/O (see [`crate::checkpoint_snapshot`]).
+//!   I/O (see [`crate::checkpoint_snapshot`] and
+//!   [`crate::checkpoint_delta`]).
 //!
-//! The freeze itself deep-clones the touched slabs — `O(keys)` compact
-//! counter states, the one moment writer and reader briefly share data.
-//! At the paper's state sizes that is a copy of a few bits per key.
+//! The cross-shard merged aggregate (Remark 2.4) is *not* folded at
+//! freeze time any more — folding is `O(keys)` and would put the one
+//! expensive scan back on the freeze path. [`EngineSnapshot::merged_total`]
+//! computes it on demand, on whichever reader thread wants it.
+//!
+//! [`CounterEngine::snapshot_deep`] keeps the PR 3 stop-the-world
+//! `O(keys)` deep-clone freeze alive as a benchmark baseline and as the
+//! oracle for the CoW-equivalence property tests.
 
 use crate::registry::{CounterEngine, EngineConfig};
 use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::RandomSource;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// An immutable point-in-time replica of a [`CounterEngine`].
 ///
@@ -35,34 +44,59 @@ pub struct EngineSnapshot<C> {
     pub(crate) template: C,
     config: EngineConfig,
     salt: u64,
-    merged: C,
+    /// The freeze epoch this replica belongs to; the delta-checkpoint
+    /// layer compares shard dirty epochs against parents through it.
+    epoch: u64,
     keys: usize,
     events: u64,
 }
 
 impl<C: ApproxCounter + Clone> CounterEngine<C> {
-    /// Freezes a read replica of the engine's current state, folding the
-    /// cross-shard merged aggregate as part of the freeze (`rng` drives
-    /// the merge law's randomness; the engine itself is untouched).
+    /// Freezes a read replica of the engine's current state: `O(shards)`
+    /// `Arc` clones plus an `O(shards)` metadata scan. No counter is
+    /// copied here; shards the writer touches after this call are cloned
+    /// lazily, one shard at a time, by the write path (copy-on-write).
     ///
-    /// # Errors
-    ///
-    /// Propagates [`CoreError::MergeMismatch`] from the aggregate fold —
-    /// unreachable when all counters are clones of one template, as here.
-    pub fn snapshot(&self, rng: &mut dyn RandomSource) -> Result<EngineSnapshot<C>, CoreError>
-    where
-        C: Mergeable,
-    {
-        let merged = self.merged_total(rng)?;
-        Ok(EngineSnapshot {
-            shards: self.shards().iter().map(|s| Arc::new(s.clone())).collect(),
+    /// Takes `&mut self` because a freeze advances the engine's epoch
+    /// clock (and records its own duration for
+    /// [`EngineStats::last_freeze_ns`](crate::EngineStats::last_freeze_ns)).
+    pub fn snapshot(&mut self) -> EngineSnapshot<C> {
+        let start = Instant::now();
+        let shards: Vec<Arc<Shard<C>>> = self.shards().to_vec();
+        let snap = self.freeze_parts(shards, start);
+        debug_assert_eq!(snap.epoch + 1, self.epoch());
+        snap
+    }
+
+    /// The PR 3 freeze: deep-clones every slab, `O(keys)`, stopping the
+    /// world for the duration. Kept as the measured baseline the
+    /// copy-on-write path is benchmarked against, and as the oracle in
+    /// the CoW-equivalence property tests — not for production use.
+    pub fn snapshot_deep(&mut self) -> EngineSnapshot<C> {
+        let start = Instant::now();
+        let shards: Vec<Arc<Shard<C>>> = self
+            .shards()
+            .iter()
+            .map(|s| Arc::new(s.as_ref().clone()))
+            .collect();
+        self.freeze_parts(shards, start)
+    }
+
+    fn freeze_parts(&mut self, shards: Vec<Arc<Shard<C>>>, start: Instant) -> EngineSnapshot<C> {
+        let keys = shards.iter().map(|s| s.len()).sum();
+        let events = shards.iter().map(|s| s.events()).sum();
+        let snap = EngineSnapshot {
+            shards,
             template: self.template().clone(),
             config: self.config(),
             salt: self.salt(),
-            merged,
-            keys: self.len(),
-            events: self.total_events(),
-        })
+            epoch: 0, // patched below, after the freeze is timed
+            keys,
+            events,
+        };
+        let freeze_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let epoch = self.note_freeze(freeze_ns);
+        EngineSnapshot { epoch, ..snap }
     }
 }
 
@@ -80,13 +114,28 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
         self.shards[route(self.salt, self.shards.len(), key)].get(key)
     }
 
-    /// The cross-shard merged aggregate, folded once at freeze time: a
-    /// single counter distributed as if it had processed the whole stream
-    /// (Remark 2.4). Querying it is a field read — no per-query merge, no
-    /// writer contention.
-    #[must_use]
-    pub fn merged_total(&self) -> &C {
-        &self.merged
+    /// Folds the cross-shard merged aggregate: a single counter
+    /// distributed as if it had processed the whole frozen stream
+    /// (Remark 2.4), agreeing with [`EngineSnapshot::total_events`]
+    /// within the family's `(ε, δ)` guarantee. `O(keys)` — run it on a
+    /// reader thread; the freeze itself never pays this fold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::MergeMismatch`] from the fold —
+    /// unreachable when all counters are clones of one template, as here.
+    pub fn merged_total(&self, rng: &mut dyn RandomSource) -> Result<C, CoreError>
+    where
+        C: Mergeable,
+    {
+        let mut total = self.template.clone();
+        total.reset();
+        for shard in &self.shards {
+            for c in shard.counters() {
+                total.merge_from(c, rng)?;
+            }
+        }
+        Ok(total)
     }
 
     /// Distinct keys at freeze time.
@@ -112,6 +161,13 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
     #[must_use]
     pub fn config(&self) -> EngineConfig {
         self.config
+    }
+
+    /// The freeze epoch this replica was cut at (monotone per engine;
+    /// checkpoint headers embed it to order delta chains).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Iterates all frozen `(key, counter)` pairs, in unspecified order.
@@ -145,8 +201,7 @@ mod tests {
     fn snapshot_is_a_faithful_point_in_time_copy() {
         let mut e = CounterEngine::new(ExactCounter::new(), cfg());
         e.apply(&[(1, 10), (2, 20), (3, 30)]);
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
-        let snap = e.snapshot(&mut rng).unwrap();
+        let snap = e.snapshot();
 
         // Writer keeps going; the snapshot must not move.
         e.apply(&[(1, 100), (4, 1)]);
@@ -154,7 +209,8 @@ mod tests {
         assert_eq!(snap.estimate(4), None);
         assert_eq!(snap.len(), 3);
         assert_eq!(snap.total_events(), 60);
-        assert_eq!(snap.merged_total().count(), 60);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        assert_eq!(snap.merged_total(&mut rng).unwrap().count(), 60);
         assert_eq!(e.estimate(1), Some(110.0), "writer advanced independently");
         assert_eq!(snap.iter().count(), 3);
         assert_eq!(snap.config(), cfg());
@@ -164,8 +220,7 @@ mod tests {
     fn clones_share_frozen_shards() {
         let mut e = CounterEngine::new(ExactCounter::new(), cfg());
         e.apply(&[(1, 1), (2, 2)]);
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
-        let snap = e.snapshot(&mut rng).unwrap();
+        let snap = e.snapshot();
         let replica = snap.clone();
         for (a, b) in snap.shards.iter().zip(&replica.shards) {
             assert!(Arc::ptr_eq(a, b), "clone must share, not copy, slabs");
@@ -174,15 +229,44 @@ mod tests {
     }
 
     #[test]
+    fn freeze_shares_slabs_with_the_engine_until_written() {
+        // The CoW contract itself: at freeze time no slab is copied (the
+        // snapshot and engine share every shard); the first write to a
+        // shard splits that shard and only that shard.
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg());
+        let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k, 1)).collect();
+        e.apply(&batch);
+        let snap = e.snapshot();
+        assert!(e.stats().last_freeze_ns > 0, "freeze duration recorded");
+        for (live, frozen) in e.shards().iter().zip(&snap.shards) {
+            assert!(Arc::ptr_eq(live, frozen), "freeze must share, not copy");
+        }
+
+        let written = e.shard_of(7);
+        e.apply(&[(7, 5)]);
+        for (idx, (live, frozen)) in e.shards().iter().zip(&snap.shards).enumerate() {
+            assert_eq!(
+                Arc::ptr_eq(live, frozen),
+                idx != written,
+                "only the written shard may split (shard {idx})"
+            );
+        }
+        assert_eq!(snap.estimate(7), Some(1.0), "frozen value preserved");
+        assert_eq!(e.estimate(7), Some(6.0), "writer advanced");
+        assert_eq!(e.stats().dirty_shards, 1, "exactly one shard went dirty");
+    }
+
+    #[test]
     fn merged_aggregate_tracks_event_total_for_approximate_families() {
         let p = NyParams::new(0.2, 8).unwrap();
         let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
         let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k, 1_000)).collect();
         e.apply(&batch);
+        let snap = e.snapshot();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
-        let snap = e.snapshot(&mut rng).unwrap();
+        let merged = snap.merged_total(&mut rng).unwrap();
         let exact = snap.total_events() as f64;
-        let rel = (snap.merged_total().estimate() - exact).abs() / exact;
+        let rel = (merged.estimate() - exact).abs() / exact;
         assert!(rel < 0.4, "merged aggregate rel err {rel}");
     }
 
@@ -191,17 +275,32 @@ mod tests {
         let p = NyParams::new(0.25, 6).unwrap();
         let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
         e.apply(&(0..200u64).map(|k| (k, k + 1)).collect::<Vec<_>>());
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
-        let snap = e.snapshot(&mut rng).unwrap();
+        let snap = e.snapshot();
         assert_eq!(snap.counter_state_bits(), e.stats().counter_state_bits);
     }
 
     #[test]
+    fn deep_snapshot_matches_cow_snapshot() {
+        let p = NyParams::new(0.25, 6).unwrap();
+        let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
+        e.apply(&(0..300u64).map(|k| (k, 3 * k + 1)).collect::<Vec<_>>());
+        let cow = e.snapshot();
+        let deep = e.snapshot_deep();
+        assert_eq!(cow.len(), deep.len());
+        assert_eq!(cow.total_events(), deep.total_events());
+        for (key, counter) in cow.iter() {
+            assert_eq!(deep.counter(key), Some(counter), "key {key}");
+        }
+        // Epochs advance one per freeze, in order.
+        assert_eq!(deep.epoch(), cow.epoch() + 1);
+    }
+
+    #[test]
     fn empty_engine_snapshots_cleanly() {
-        let e = CounterEngine::new(ExactCounter::new(), cfg());
-        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
-        let snap = e.snapshot(&mut rng).unwrap();
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg());
+        let snap = e.snapshot();
         assert!(snap.is_empty());
-        assert_eq!(snap.merged_total().count(), 0);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        assert_eq!(snap.merged_total(&mut rng).unwrap().count(), 0);
     }
 }

@@ -1,22 +1,25 @@
 //! Property tests for the engine pipeline: `restore(checkpoint(engine))`
 //! preserves every key's estimate, `state_bits`, and the RNG-independent
 //! metadata (key count, exact event totals, config) across all five
-//! counter families; corrupted checkpoints and mismatched restores are
-//! rejected with typed errors, never a panic or a silently wrong engine.
+//! counter families; the copy-on-write freeze is bit-identical to the
+//! legacy deep-clone freeze under arbitrary interleavings of writes and
+//! freezes; base + delta chains fold back to exactly the engine a full
+//! checkpoint restores — RNG streams included; and corrupted checkpoints,
+//! broken chains, and mismatched restores are rejected with typed errors,
+//! never a panic or a silently wrong engine.
 
+use ac_bitio::{BitVec, BitWriter};
 use ac_core::{
-    CsurosCounter, ExactCounter, Mergeable, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
-    StateCodec,
+    CsurosCounter, ExactCounter, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams, StateCodec,
 };
 use ac_engine::{
-    checkpoint_snapshot, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
-    CheckpointError, CounterEngine, EngineConfig,
+    checkpoint_delta, checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain,
+    restore_checkpoint_expecting, Checkpoint, CheckpointError, CounterEngine, EngineConfig,
 };
-use ac_randkit::Xoshiro256PlusPlus;
 use proptest::prelude::*;
 
 /// Builds an engine over the given workload and checkpoints it.
-fn engine_and_checkpoint<C: StateCodec + Mergeable + Clone>(
+fn engine_and_checkpoint<C: StateCodec + Clone>(
     template: &C,
     shards: usize,
     seed: u64,
@@ -24,14 +27,19 @@ fn engine_and_checkpoint<C: StateCodec + Mergeable + Clone>(
 ) -> (CounterEngine<C>, Checkpoint) {
     let mut engine = CounterEngine::new(template.clone(), EngineConfig { shards, seed });
     engine.apply(events);
-    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed ^ 0xC0DE);
-    let snap = engine.snapshot(&mut rng).expect("uniform template merges");
-    let ck = checkpoint_snapshot(&snap);
+    let ck = checkpoint_snapshot(&engine.snapshot());
     (engine, ck)
 }
 
+/// The family-generic "bit-identical persistent state" oracle.
+fn encoded<C: StateCodec>(c: &C) -> BitVec {
+    let mut v = BitVec::new();
+    c.encode_state(&mut BitWriter::new(&mut v));
+    v
+}
+
 /// The family-generic fidelity check.
-fn assert_restores_exactly<C: StateCodec + Mergeable + Clone>(
+fn assert_restores_exactly<C: StateCodec + Clone>(
     template: &C,
     shards: usize,
     seed: u64,
@@ -65,6 +73,112 @@ fn assert_restores_exactly<C: StateCodec + Mergeable + Clone>(
         );
     }
     Ok(())
+}
+
+/// Drives a random write/freeze/checkpoint schedule and proves, for one
+/// family: (a) the CoW snapshot at every freeze point is bit-identical to
+/// the deep-clone snapshot of a twin engine fed the same stream; (b) the
+/// base + deltas chain cut along the way folds back to exactly what one
+/// final full checkpoint restores — and both restored engines continue
+/// the same RNG stream under a follow-up batch.
+fn assert_cow_and_chain_faithful<C: StateCodec + Clone + Send + Sync>(
+    template: &C,
+    shards: usize,
+    seed: u64,
+    schedule: &[(Vec<(u64, u64)>, bool)],
+    follow_up: &[(u64, u64)],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let config = EngineConfig { shards, seed };
+    let mut cow = CounterEngine::new(template.clone(), config);
+    let mut deep = CounterEngine::new(template.clone(), config);
+
+    let mut chain: Vec<Checkpoint> = Vec::new();
+    for (batch, freeze) in schedule {
+        cow.apply(batch);
+        deep.apply(batch);
+        if *freeze {
+            let snap_cow = cow.snapshot();
+            let snap_deep = deep.snapshot_deep();
+            prop_assert_eq!(snap_cow.len(), snap_deep.len());
+            prop_assert_eq!(snap_cow.total_events(), snap_deep.total_events());
+            for (key, counter) in snap_cow.iter() {
+                let twin = snap_deep.counter(key);
+                prop_assert!(twin.is_some(), "key {} missing from deep freeze", key);
+                prop_assert_eq!(
+                    encoded(twin.expect("checked")),
+                    encoded(counter),
+                    "frozen state for key {}",
+                    key
+                );
+            }
+            // Extend the checkpoint chain from the CoW snapshot.
+            let ck = match chain.last() {
+                None => checkpoint_snapshot(&snap_cow),
+                Some(parent) => {
+                    checkpoint_delta(&snap_cow, &parent.header()).expect("same engine lineage")
+                }
+            };
+            chain.push(ck);
+        }
+    }
+
+    if !chain.is_empty() {
+        // The chain tip describes the engine at its *last* freeze; replay
+        // the same prefix on a fresh engine to get the full-checkpoint
+        // twin of that same moment.
+        let segments: Vec<&[u8]> = chain.iter().map(Checkpoint::bytes).collect();
+        let mut via_chain = restore_checkpoint_chain(template, &segments).expect("intact chain");
+
+        // Rebuild the stream prefix up to (and including) the last frozen
+        // batch on a fresh engine — freezes themselves never perturb
+        // counter evolution, so this is the same moment the chain tip
+        // describes.
+        let last_freeze = schedule
+            .iter()
+            .rposition(|(_, f)| *f)
+            .expect("chain exists");
+        let mut at_freeze = CounterEngine::new(template.clone(), config);
+        for (batch, _) in &schedule[..=last_freeze] {
+            at_freeze.apply(batch);
+        }
+        let mut via_full =
+            restore_checkpoint(template, checkpoint_snapshot(&at_freeze.snapshot()).bytes())
+                .expect("valid full checkpoint");
+
+        prop_assert_eq!(via_chain.len(), via_full.len());
+        prop_assert_eq!(via_chain.total_events(), via_full.total_events());
+        for (key, counter) in via_full.iter() {
+            let twin = via_chain.counter(key);
+            prop_assert!(twin.is_some(), "key {} missing from chain restore", key);
+            prop_assert_eq!(
+                encoded(twin.expect("checked")),
+                encoded(counter),
+                "restored state for key {}",
+                key
+            );
+        }
+        // RNG streams: both restored engines must evolve identically.
+        via_chain.apply(follow_up);
+        via_full.apply(follow_up);
+        for &(key, _) in follow_up {
+            let a = via_chain.counter(key).map(encoded);
+            let b = via_full.counter(key).map(encoded);
+            prop_assert_eq!(a, b, "post-restore stream for key {}", key);
+        }
+    }
+    Ok(())
+}
+
+/// A random write/freeze schedule: a few batches, each optionally
+/// followed by a freeze+checkpoint.
+fn schedules() -> impl Strategy<Value = Vec<(Vec<(u64, u64)>, bool)>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0u64..300, 1u64..800), 1..25),
+            proptest::arbitrary::any::<bool>(),
+        ),
+        1..8,
+    )
 }
 
 proptest! {
@@ -125,6 +239,26 @@ proptest! {
     }
 
     #[test]
+    fn cow_freeze_and_delta_chains_are_faithful_for_every_family(
+        schedule in schedules(),
+        follow_up in prop::collection::vec((0u64..300, 1u64..200), 1..20),
+        shards in 1usize..6,
+        seed in 0u64..100_000,
+    ) {
+        assert_cow_and_chain_faithful(
+            &ExactCounter::new(), shards, seed, &schedule, &follow_up)?;
+        assert_cow_and_chain_faithful(
+            &MorrisCounter::new(0.25).unwrap(), shards, seed, &schedule, &follow_up)?;
+        assert_cow_and_chain_faithful(
+            &MorrisPlus::new(0.2, 8).unwrap(), shards, seed, &schedule, &follow_up)?;
+        assert_cow_and_chain_faithful(
+            &NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap()),
+            shards, seed, &schedule, &follow_up)?;
+        assert_cow_and_chain_faithful(
+            &CsurosCounter::new(8).unwrap(), shards, seed, &schedule, &follow_up)?;
+    }
+
+    #[test]
     fn any_single_bit_flip_is_rejected(
         events in prop::collection::vec((0u64..60, 1u64..500), 1..40),
         shards in 1usize..5,
@@ -142,6 +276,26 @@ proptest! {
         prop_assert!(
             restore_checkpoint(&template, &bytes).is_err(),
             "flipping bit {} went undetected",
+            bit
+        );
+    }
+
+    #[test]
+    fn any_single_bit_flip_in_a_delta_is_rejected(
+        events in prop::collection::vec((0u64..60, 1u64..500), 1..40),
+        extra in prop::collection::vec((0u64..60, 1u64..500), 1..20),
+        flip in proptest::arbitrary::any::<u64>(),
+    ) {
+        let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
+        let (mut engine, base) = engine_and_checkpoint(&template, 4, 5, &events);
+        engine.apply(&extra);
+        let delta = checkpoint_delta(&engine.snapshot(), &base.header()).unwrap();
+        let mut bytes = delta.bytes().to_vec();
+        let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            restore_checkpoint_chain(&template, &[base.bytes(), &bytes]).is_err(),
+            "flipping delta bit {} went undetected",
             bit
         );
     }

@@ -1,0 +1,173 @@
+//! A deterministic SplitMix64-based [`Hasher`] for hash maps whose keys
+//! are already integers.
+//!
+//! The standard library's default `HashMap` hasher is SipHash-1-3: a keyed
+//! PRF chosen to resist hash-flooding from *adversarial* string keys. The
+//! engine's hot path resolves `u64` keys that have already been salted and
+//! mixed by the key→shard router, so SipHash's per-lookup compression
+//! rounds are pure overhead — and its process-random key breaks the
+//! bit-for-bit reproducibility the rest of the workspace guarantees. This
+//! module swaps it for one round of the [`mix64`] finalizer: a bijective
+//! avalanche over the full 64-bit word, measured in single nanoseconds,
+//! identical on every platform and every run.
+//!
+//! ```
+//! use ac_randkit::BuildSplitMix64;
+//! use std::collections::HashMap;
+//!
+//! let mut index: HashMap<u64, u32, BuildSplitMix64> = HashMap::default();
+//! index.insert(0xFEED, 7);
+//! assert_eq!(index.get(&0xFEED), Some(&7));
+//! ```
+
+use crate::splitmix::mix64;
+use std::hash::{BuildHasher, Hasher};
+
+/// One-round SplitMix64 finalizer hasher for integer keys.
+///
+/// `write_u64`/`write_u32`/... fold each word through [`mix64`];
+/// arbitrary byte slices fold in 8-byte little-endian chunks, so the
+/// hasher is total (any `Hash` impl works), merely fastest on the integer
+/// keys it is built for. The output is a bijection of the input for a
+/// single `u64` write — distinct keys can never collide in the hasher
+/// itself, only in the table's bucket reduction.
+#[derive(Debug, Clone, Default)]
+pub struct SplitMix64Hasher {
+    state: u64,
+}
+
+impl Hasher for SplitMix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Chunked little-endian fold; the tail chunk is zero-padded. The
+        // length is folded in so "ab" + "c" and "abc" cannot collide
+        // across a chunk boundary.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(word));
+        }
+        self.state = mix64(self.state ^ (bytes.len() as u64) ^ LEN_TAG);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// Domain-separation tag for the byte-slice path of
+/// [`SplitMix64Hasher::write`].
+const LEN_TAG: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic [`BuildHasher`] producing [`SplitMix64Hasher`]s.
+///
+/// Every build yields the identical hasher — hash maps keyed through it
+/// iterate and resize identically across runs and platforms, which keeps
+/// engine diagnostics (and any future map-order-dependent fast path)
+/// reproducible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildSplitMix64;
+
+impl BuildHasher for BuildSplitMix64 {
+    type Hasher = SplitMix64Hasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SplitMix64Hasher {
+        SplitMix64Hasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        BuildSplitMix64.hash_one(v)
+    }
+
+    #[test]
+    fn u64_hash_is_the_mix64_finalizer() {
+        for k in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(hash_one(k), mix64(k));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let a = BuildSplitMix64.build_hasher();
+        let b = BuildSplitMix64.build_hasher();
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(hash_one(7u64), hash_one(7u64));
+    }
+
+    #[test]
+    fn map_round_trips_with_custom_hasher() {
+        let mut m: HashMap<u64, u32, BuildSplitMix64> = HashMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k * 31, k as u32);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(&(k * 31)), Some(&(k as u32)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_slices_with_shared_prefixes_do_not_collide() {
+        let words: &[&[u8]] = &[b"", b"a", b"ab", b"abc", b"abcd", b"abcdefgh", b"abcdefghi"];
+        let mut seen = std::collections::HashSet::new();
+        for w in words {
+            assert!(seen.insert(hash_one(*w)), "collision on {w:?}");
+        }
+        // Chunk-boundary split vs contiguous write must differ too.
+        let mut split = BuildSplitMix64.build_hasher();
+        split.write(b"abcdefgh");
+        split.write(b"i");
+        let mut whole = BuildSplitMix64.build_hasher();
+        whole.write(b"abcdefghi");
+        assert_ne!(split.finish(), whole.finish());
+    }
+
+    #[test]
+    fn sequential_keys_avalanche() {
+        // Low-bit diversity in, high avalanche out: adjacent keys land in
+        // different 64ths of the output space often enough to balance a
+        // table (crude but effective smoke check).
+        let mut buckets = [0u32; 64];
+        for k in 0..64_000u64 {
+            buckets[(hash_one(k) >> 58) as usize] += 1;
+        }
+        let (min, max) = buckets
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(max < 2 * min, "bucket spread {min}..{max}");
+    }
+}

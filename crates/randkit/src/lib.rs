@@ -17,6 +17,9 @@
 //!   (BINV + BTPE, used for workload synthesis and epoch skipping), and
 //!   [`Zipf`] (heavy-tailed key popularity for the "many counters"
 //!   experiments).
+//! * [`BuildSplitMix64`] — a deterministic, single-round `mix64` hasher
+//!   for integer-keyed hash maps (the engine's key→slot indexes), where
+//!   SipHash's flood resistance buys nothing and costs the hot path.
 //!
 //! ## Why not the `rand` crate?
 //!
@@ -45,6 +48,7 @@ mod bernoulli;
 mod binomial;
 mod error;
 mod geometric;
+mod hasher;
 mod source;
 mod splitmix;
 mod uniform;
@@ -55,6 +59,7 @@ pub use bernoulli::{Bernoulli, BernoulliPow2};
 pub use binomial::Binomial;
 pub use error::DistError;
 pub use geometric::{Geometric, GeometricLadder};
+pub use hasher::{BuildSplitMix64, SplitMix64Hasher};
 pub use source::{CountingSource, RandomSource, SequenceSource};
 pub use splitmix::{mix64, SplitMix64};
 pub use uniform::{UniformF64, UniformU64};

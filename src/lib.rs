@@ -20,9 +20,10 @@
 //! * [`streams`] — counter arrays, dictionaries, frequency moments,
 //!   reservoir sampling, heavy hitters.
 //! * [`engine`] — the sharded keyed-counter engine, in four layers:
-//!   bounded coalescing ingest, the batch-update write path, immutable
-//!   snapshot read replicas with merged cross-shard aggregates, and
-//!   bit-exact checkpoint/restore through `ac-bitio`.
+//!   bounded coalescing ingest, the copy-on-write batch-update write
+//!   path, `O(shards)` snapshot read replicas, and bit-exact full +
+//!   delta checkpoint chains through `ac-bitio` with a background
+//!   checkpoint writer.
 //! * [`sim`] — the parallel experiment harness.
 //!
 //! ## Quick start
@@ -68,9 +69,10 @@ pub mod prelude {
         StateCodec,
     };
     pub use ac_engine::{
-        checkpoint_snapshot, restore_checkpoint, restore_checkpoint_expecting, Checkpoint,
-        CheckpointError, CheckpointStats, CounterEngine, EngineConfig, EngineSnapshot, EngineStats,
-        IngestConfig, IngestProducer, IngestQueue, IngestStats,
+        checkpoint_delta, checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain,
+        restore_checkpoint_expecting, BackgroundCheckpointer, Checkpoint, CheckpointError,
+        CheckpointKind, CheckpointStats, CheckpointerConfig, CounterEngine, EngineConfig,
+        EngineSnapshot, EngineStats, IngestConfig, IngestProducer, IngestQueue, IngestStats,
     };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};
