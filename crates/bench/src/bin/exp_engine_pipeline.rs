@@ -30,10 +30,7 @@ const EPS: f64 = 0.2;
 const DELTA_LOG2: u32 = 8;
 
 fn engine_config() -> EngineConfig {
-    EngineConfig {
-        shards: 32,
-        seed: 0xE13,
-    }
+    EngineConfig::new().with_shards(32).with_seed(0xE13)
 }
 
 fn template() -> NelsonYuCounter {
@@ -99,13 +96,11 @@ fn main() {
     // The background checkpointer: the applier hands it O(shards)
     // snapshots every `cadence` events; serialization happens off-thread.
     let cadence = events / 8;
-    let checkpointer: BackgroundCheckpointer<NelsonYuCounter> =
-        BackgroundCheckpointer::spawn(CheckpointerConfig {
-            every_events: cadence,
-            max_deltas_per_base: 15,
-            directory: None,
-            retain_bytes: false,
-        });
+    let checkpointer: BackgroundCheckpointer<NelsonYuCounter> = BackgroundCheckpointer::spawn(
+        CheckpointerConfig::new()
+            .with_every_events(cadence)
+            .with_retain_bytes(false),
+    );
 
     let ingest_start = Instant::now();
     let (applied, apply_s, deep_freeze_ns, cow_freeze_ns, query_report) = thread::scope(|s| {
@@ -439,10 +434,9 @@ fn main() {
     let delta_shards = 256usize;
     let mut fleet = CounterEngine::new(
         template(),
-        EngineConfig {
-            shards: delta_shards,
-            seed: 0xE13D,
-        },
+        EngineConfig::new()
+            .with_shards(delta_shards)
+            .with_seed(0xE13D),
     );
     let fleet_batch: Vec<(u64, u64)> = (0..keys).map(|k| (k, 1 + k % 32)).collect();
     fleet.apply(&fleet_batch);

@@ -145,10 +145,7 @@ fn main() {
     let engine_params = NyParams::new(eps, 8).unwrap();
     let mut engine = CounterEngine::new(
         NelsonYuCounter::new(engine_params),
-        EngineConfig {
-            shards: 32,
-            seed: 0xE12,
-        },
+        EngineConfig::new().with_shards(32).with_seed(0xE12),
     );
 
     // Workload: every key is touched at least once, then the remaining

@@ -100,7 +100,7 @@ pub fn read_indexed_section(r: &mut BitReader<'_>) -> Option<(u64, u64)> {
 ///
 /// # Panics
 ///
-/// Panics if the label exceeds [`MAX_LABEL_BYTES`] (256) bytes.
+/// Panics if the label exceeds `MAX_LABEL_BYTES` (256) bytes.
 pub fn write_label(v: &mut BitVec, label: &str) {
     assert!(
         label.len() as u64 <= MAX_LABEL_BYTES,

@@ -47,7 +47,7 @@ impl CsurosCounter {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConstant`] if
-    /// `d > `[`MAX_MANTISSA_BITS`]` = 58`. The bound both keeps the
+    /// `d > MAX_MANTISSA_BITS = 58`. The bound both keeps the
     /// estimator exact in `f64` and guarantees every internal
     /// `1u64 << d` mask/boundary computation is well-defined (`d ≥ 64`
     /// would panic in debug builds and wrap in release).

@@ -75,6 +75,7 @@ mod morris_plus;
 mod nelson_yu;
 pub mod params;
 mod promise;
+mod spec;
 
 pub use averaged::AveragedMorris;
 pub use codec::StateCodec;
@@ -88,6 +89,7 @@ pub use morris_plus::MorrisPlus;
 pub use nelson_yu::NelsonYuCounter;
 pub use params::{morris_a, morris_plus_cutoff, NyParams};
 pub use promise::{PromiseAnswer, PromiseDecider, PROMISE_DEFAULT_C};
+pub use spec::{CounterFamily, CounterSpec};
 
 // Re-export the two traits users need alongside the counters.
 pub use ac_bitio::StateBits;

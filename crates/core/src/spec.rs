@@ -1,0 +1,478 @@
+//! Runtime family selection: [`CounterSpec`] names a counter family and
+//! its parameters as *data*, and [`CounterFamily`] is the counter it
+//! builds — one concrete type that behaves exactly like whichever family
+//! the spec named.
+//!
+//! The generic containers in this workspace (`CounterEngine<C>`, the
+//! checkpoint layer, the packed arrays) are monomorphized over a family
+//! chosen at compile time. A deployed service wants that choice in a
+//! *config file*: the same binary serving a Morris fleet today and a
+//! Nelson–Yu fleet tomorrow, and — crucially — able to reopen a
+//! checkpoint directory whose manifest says which family wrote it.
+//! [`CounterFamily`] makes `CounterEngine<CounterFamily>` exactly that
+//! runtime-selected engine.
+//!
+//! ## Dispatch is invisible to the bits
+//!
+//! Every trait impl on [`CounterFamily`] delegates to the wrapped
+//! counter: the random draws, the state registers, the
+//! [`StateCodec`] encoding, and the
+//! [`params_fingerprint`](StateCodec::params_fingerprint) are those of
+//! the inner family, bit for bit. A `CounterEngine<CounterFamily>` fed a
+//! stream therefore produces states — and checkpoint *bytes* — identical
+//! to the monomorphized `CounterEngine<MorrisCounter>` (etc.) fed the
+//! same stream, and either side can restore the other's checkpoints.
+//! Property tests in `ac-engine` pin this equivalence for all five
+//! families.
+
+use crate::params::morris_a;
+use crate::{
+    ApproxCounter, CoreError, CsurosCounter, ExactCounter, Mergeable, MorrisCounter, MorrisPlus,
+    NelsonYuCounter, NyParams, StateCodec,
+};
+use ac_bitio::{BitReader, BitWriter, MemoryAudit, StateBits};
+use ac_randkit::RandomSource;
+use std::fmt;
+
+/// A counter family plus its parameters, as plain data: the runtime
+/// counterpart of picking a concrete counter type at compile time.
+///
+/// Build the counter with [`CounterSpec::build`]; serialize the spec
+/// itself with [`CounterSpec::encode_words`] /
+/// [`CounterSpec::decode_words`] (the `ac-engine` store manifest records
+/// it this way, so `Store::open` can reconstruct the family a directory
+/// was written with).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum CounterSpec {
+    /// The exact `log₂ N`-bit baseline counter.
+    Exact,
+    /// `Morris(a)` with base parameter `a` (§1.2, §2.2).
+    Morris {
+        /// The base parameter `a > 0`.
+        a: f64,
+    },
+    /// Morris+ from a target `(ε, δ = 2^{-Δ})` (Appendix A).
+    MorrisPlus {
+        /// Relative accuracy `ε ∈ (0, 1/2)`.
+        eps: f64,
+        /// Failure exponent `Δ ≥ 1` (`δ = 2^{-Δ}`).
+        delta_log2: u32,
+    },
+    /// The paper's Algorithm 1 from a target `(ε, δ = 2^{-Δ})`.
+    NelsonYu {
+        /// Relative accuracy `ε ∈ (0, 1/2)`.
+        eps: f64,
+        /// Failure exponent `Δ ≥ 1` (`δ = 2^{-Δ}`).
+        delta_log2: u32,
+    },
+    /// The Csűrös-style floating-point counter with `d` mantissa bits.
+    Csuros {
+        /// Mantissa width `d ≥ 1`.
+        mantissa_bits: u32,
+    },
+}
+
+/// Family tags used by the word encoding (stable across versions: the
+/// store manifest persists them).
+const TAG_EXACT: u64 = 0;
+const TAG_MORRIS: u64 = 1;
+const TAG_MORRIS_PLUS: u64 = 2;
+const TAG_NELSON_YU: u64 = 3;
+const TAG_CSUROS: u64 = 4;
+
+impl CounterSpec {
+    /// `Morris(a)` with the paper's §2.2 prescription
+    /// `a = ε²/(8 ln(1/δ))` for a target `(ε, δ = 2^{-Δ})`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`morris_a`].
+    pub fn morris_for(eps: f64, delta_log2: u32) -> Result<Self, CoreError> {
+        Ok(CounterSpec::Morris {
+            a: morris_a(eps, delta_log2)?,
+        })
+    }
+
+    /// The family's short stable name (matches
+    /// [`ApproxCounter::name`] of the built counter).
+    #[must_use]
+    pub fn family_name(&self) -> &'static str {
+        match self {
+            CounterSpec::Exact => "exact",
+            CounterSpec::Morris { .. } => "morris",
+            CounterSpec::MorrisPlus { .. } => "morris+",
+            CounterSpec::NelsonYu { .. } => "nelson-yu",
+            CounterSpec::Csuros { .. } => "csuros-float",
+        }
+    }
+
+    /// Constructs the counter the spec describes, validating parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the family constructor's [`CoreError`] for out-of-range
+    /// parameters.
+    pub fn build(&self) -> Result<CounterFamily, CoreError> {
+        Ok(match *self {
+            CounterSpec::Exact => CounterFamily::Exact(ExactCounter::new()),
+            CounterSpec::Morris { a } => CounterFamily::Morris(MorrisCounter::new(a)?),
+            CounterSpec::MorrisPlus { eps, delta_log2 } => {
+                CounterFamily::MorrisPlus(MorrisPlus::new(eps, delta_log2)?)
+            }
+            CounterSpec::NelsonYu { eps, delta_log2 } => {
+                CounterFamily::NelsonYu(NelsonYuCounter::new(NyParams::new(eps, delta_log2)?))
+            }
+            CounterSpec::Csuros { mantissa_bits } => {
+                CounterFamily::Csuros(CsurosCounter::new(mantissa_bits)?)
+            }
+        })
+    }
+
+    /// The spec as a short word sequence `[tag, params…]` — the stable
+    /// serialization the store manifest records.
+    #[must_use]
+    pub fn encode_words(&self) -> Vec<u64> {
+        match *self {
+            CounterSpec::Exact => vec![TAG_EXACT],
+            CounterSpec::Morris { a } => vec![TAG_MORRIS, a.to_bits()],
+            CounterSpec::MorrisPlus { eps, delta_log2 } => {
+                vec![TAG_MORRIS_PLUS, eps.to_bits(), u64::from(delta_log2)]
+            }
+            CounterSpec::NelsonYu { eps, delta_log2 } => {
+                vec![TAG_NELSON_YU, eps.to_bits(), u64::from(delta_log2)]
+            }
+            CounterSpec::Csuros { mantissa_bits } => {
+                vec![TAG_CSUROS, u64::from(mantissa_bits)]
+            }
+        }
+    }
+
+    /// Parses a word sequence written by [`CounterSpec::encode_words`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] for an unknown tag or a wrong
+    /// word count, and the family's own validation error for parameters
+    /// that decode but do not validate.
+    pub fn decode_words(words: &[u64]) -> Result<Self, CoreError> {
+        let bad = |what| Err(CoreError::InvalidState { what });
+        let u32_of = |w: u64, what: &'static str| {
+            u32::try_from(w).map_err(|_| CoreError::InvalidState { what })
+        };
+        let spec = match words {
+            [TAG_EXACT] => CounterSpec::Exact,
+            [TAG_MORRIS, a] => CounterSpec::Morris {
+                a: f64::from_bits(*a),
+            },
+            [TAG_MORRIS_PLUS, eps, d] => CounterSpec::MorrisPlus {
+                eps: f64::from_bits(*eps),
+                delta_log2: u32_of(*d, "Morris+ delta exponent does not fit u32")?,
+            },
+            [TAG_NELSON_YU, eps, d] => CounterSpec::NelsonYu {
+                eps: f64::from_bits(*eps),
+                delta_log2: u32_of(*d, "Nelson-Yu delta exponent does not fit u32")?,
+            },
+            [TAG_CSUROS, d] => CounterSpec::Csuros {
+                mantissa_bits: u32_of(*d, "Csűrös mantissa width does not fit u32")?,
+            },
+            _ => return bad("unknown counter-spec encoding"),
+        };
+        // Validate by building: a spec that decodes must also construct.
+        spec.build()?;
+        Ok(spec)
+    }
+}
+
+impl fmt::Display for CounterSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CounterSpec::Exact => write!(f, "exact"),
+            CounterSpec::Morris { a } => write!(f, "morris(a={a})"),
+            CounterSpec::MorrisPlus { eps, delta_log2 } => {
+                write!(f, "morris+(eps={eps}, delta=2^-{delta_log2})")
+            }
+            CounterSpec::NelsonYu { eps, delta_log2 } => {
+                write!(f, "nelson-yu(eps={eps}, delta=2^-{delta_log2})")
+            }
+            CounterSpec::Csuros { mantissa_bits } => write!(f, "csuros-float(d={mantissa_bits})"),
+        }
+    }
+}
+
+/// A counter whose family was chosen at runtime (by a [`CounterSpec`]):
+/// enum dispatch over the five concrete families, bit-identical to the
+/// wrapped counter in every observable way — random draws, registers,
+/// estimates, encoded state, and parameter fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CounterFamily {
+    /// An [`ExactCounter`].
+    Exact(ExactCounter),
+    /// A [`MorrisCounter`].
+    Morris(MorrisCounter),
+    /// A [`MorrisPlus`].
+    MorrisPlus(MorrisPlus),
+    /// A [`NelsonYuCounter`].
+    NelsonYu(NelsonYuCounter),
+    /// A [`CsurosCounter`].
+    Csuros(CsurosCounter),
+}
+
+/// Delegates an expression to whichever concrete counter the enum holds.
+macro_rules! dispatch {
+    ($on:expr, $c:ident => $body:expr) => {
+        match $on {
+            CounterFamily::Exact($c) => $body,
+            CounterFamily::Morris($c) => $body,
+            CounterFamily::MorrisPlus($c) => $body,
+            CounterFamily::NelsonYu($c) => $body,
+            CounterFamily::Csuros($c) => $body,
+        }
+    };
+}
+
+impl StateBits for CounterFamily {
+    fn state_bits(&self) -> u64 {
+        dispatch!(self, c => c.state_bits())
+    }
+
+    fn memory_audit(&self) -> MemoryAudit {
+        dispatch!(self, c => c.memory_audit())
+    }
+}
+
+impl ApproxCounter for CounterFamily {
+    fn name(&self) -> &'static str {
+        dispatch!(self, c => c.name())
+    }
+
+    fn increment(&mut self, rng: &mut dyn RandomSource) {
+        dispatch!(self, c => c.increment(rng));
+    }
+
+    fn increment_by(&mut self, n: u64, rng: &mut dyn RandomSource) {
+        dispatch!(self, c => c.increment_by(n, rng));
+    }
+
+    fn estimate(&self) -> f64 {
+        dispatch!(self, c => c.estimate())
+    }
+
+    fn peak_state_bits(&self) -> u64 {
+        dispatch!(self, c => c.peak_state_bits())
+    }
+
+    fn reset(&mut self) {
+        dispatch!(self, c => c.reset());
+    }
+}
+
+impl Mergeable for CounterFamily {
+    fn merge_from(&mut self, other: &Self, rng: &mut dyn RandomSource) -> Result<(), CoreError> {
+        match (self, other) {
+            (CounterFamily::Exact(a), CounterFamily::Exact(b)) => a.merge_from(b, rng),
+            (CounterFamily::Morris(a), CounterFamily::Morris(b)) => a.merge_from(b, rng),
+            (CounterFamily::MorrisPlus(a), CounterFamily::MorrisPlus(b)) => a.merge_from(b, rng),
+            (CounterFamily::NelsonYu(a), CounterFamily::NelsonYu(b)) => a.merge_from(b, rng),
+            (CounterFamily::Csuros(a), CounterFamily::Csuros(b)) => a.merge_from(b, rng),
+            _ => Err(CoreError::MergeMismatch {
+                what: "different counter families",
+            }),
+        }
+    }
+}
+
+impl StateCodec for CounterFamily {
+    fn params_fingerprint(&self) -> u64 {
+        // Delegation, *not* re-hashing with a family-of-families tag: a
+        // runtime-selected counter is checkpoint-compatible with the
+        // monomorphized counter it wraps.
+        dispatch!(self, c => c.params_fingerprint())
+    }
+
+    fn encode_state(&self, w: &mut BitWriter<'_>) {
+        dispatch!(self, c => c.encode_state(w));
+    }
+
+    fn decode_state(&self, r: &mut BitReader<'_>) -> Result<Self, CoreError> {
+        Ok(match self {
+            CounterFamily::Exact(c) => CounterFamily::Exact(c.decode_state(r)?),
+            CounterFamily::Morris(c) => CounterFamily::Morris(c.decode_state(r)?),
+            CounterFamily::MorrisPlus(c) => CounterFamily::MorrisPlus(c.decode_state(r)?),
+            CounterFamily::NelsonYu(c) => CounterFamily::NelsonYu(c.decode_state(r)?),
+            CounterFamily::Csuros(c) => CounterFamily::Csuros(c.decode_state(r)?),
+        })
+    }
+
+    fn encoded_state_bits(&self) -> u64 {
+        dispatch!(self, c => c.encoded_state_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ac_bitio::BitVec;
+    use ac_randkit::Xoshiro256PlusPlus;
+
+    fn all_specs() -> Vec<CounterSpec> {
+        vec![
+            CounterSpec::Exact,
+            CounterSpec::Morris { a: 0.25 },
+            CounterSpec::MorrisPlus {
+                eps: 0.2,
+                delta_log2: 8,
+            },
+            CounterSpec::NelsonYu {
+                eps: 0.2,
+                delta_log2: 8,
+            },
+            CounterSpec::Csuros { mantissa_bits: 8 },
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip_through_words() {
+        for spec in all_specs() {
+            let words = spec.encode_words();
+            let back = CounterSpec::decode_words(&words).expect("valid words");
+            assert_eq!(back, spec);
+            assert_eq!(back.family_name(), spec.family_name());
+        }
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert!(CounterSpec::decode_words(&[]).is_err());
+        assert!(CounterSpec::decode_words(&[99]).is_err(), "unknown tag");
+        assert!(
+            CounterSpec::decode_words(&[TAG_MORRIS]).is_err(),
+            "missing parameter"
+        );
+        // Decodes structurally but fails family validation: a = -1.
+        assert!(CounterSpec::decode_words(&[TAG_MORRIS, (-1.0f64).to_bits()]).is_err());
+        // Nelson-Yu with eps out of range.
+        assert!(CounterSpec::decode_words(&[TAG_NELSON_YU, 0.9f64.to_bits(), 8]).is_err());
+    }
+
+    #[test]
+    fn build_matches_family_name() {
+        for spec in all_specs() {
+            let c = spec.build().expect("valid spec");
+            assert_eq!(c.name(), spec.family_name(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn morris_for_matches_prescription() {
+        let spec = CounterSpec::morris_for(0.1, 10).unwrap();
+        let CounterSpec::Morris { a } = spec else {
+            panic!("wrong family");
+        };
+        assert!((a - morris_a(0.1, 10).unwrap()).abs() < 1e-18);
+    }
+
+    /// The dispatch-is-invisible contract at the single-counter level:
+    /// identical draws, states, estimates, fingerprints, and encodings
+    /// against the monomorphized counter fed the same stream.
+    #[test]
+    fn family_counter_is_bit_identical_to_concrete() {
+        fn drive<C: StateCodec + Clone + PartialEq + std::fmt::Debug>(
+            concrete: C,
+            family: CounterFamily,
+        ) {
+            let mut a = concrete;
+            let mut b = family;
+            let mut rng_a = Xoshiro256PlusPlus::seed_from_u64(77);
+            let mut rng_b = Xoshiro256PlusPlus::seed_from_u64(77);
+            for n in [1u64, 10, 1_000, 123_456] {
+                a.increment_by(n, &mut rng_a);
+                b.increment_by(n, &mut rng_b);
+                assert_eq!(a.estimate(), b.estimate());
+                assert_eq!(a.state_bits(), b.state_bits());
+                assert_eq!(a.params_fingerprint(), b.params_fingerprint());
+                let mut va = BitVec::new();
+                a.encode_state(&mut BitWriter::new(&mut va));
+                let mut vb = BitVec::new();
+                b.encode_state(&mut BitWriter::new(&mut vb));
+                assert_eq!(va, vb, "encoded state");
+            }
+            // And both RNGs sit at the same point in the stream.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
+
+        drive(ExactCounter::new(), CounterSpec::Exact.build().unwrap());
+        drive(
+            MorrisCounter::new(0.25).unwrap(),
+            CounterSpec::Morris { a: 0.25 }.build().unwrap(),
+        );
+        drive(
+            MorrisPlus::new(0.2, 8).unwrap(),
+            CounterSpec::MorrisPlus {
+                eps: 0.2,
+                delta_log2: 8,
+            }
+            .build()
+            .unwrap(),
+        );
+        drive(
+            NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap()),
+            CounterSpec::NelsonYu {
+                eps: 0.2,
+                delta_log2: 8,
+            }
+            .build()
+            .unwrap(),
+        );
+        drive(
+            CsurosCounter::new(8).unwrap(),
+            CounterSpec::Csuros { mantissa_bits: 8 }.build().unwrap(),
+        );
+    }
+
+    #[test]
+    fn cross_family_merge_is_refused() {
+        let mut a = CounterSpec::Exact.build().unwrap();
+        let b = CounterSpec::Morris { a: 0.5 }.build().unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        assert!(matches!(
+            a.merge_from(&b, &mut rng),
+            Err(CoreError::MergeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn same_family_merge_delegates() {
+        let mut a = CounterSpec::Exact.build().unwrap();
+        let mut b = CounterSpec::Exact.build().unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        a.increment_by(10, &mut rng);
+        b.increment_by(32, &mut rng);
+        a.merge_from(&b, &mut rng).unwrap();
+        assert_eq!(a.estimate(), 42.0);
+    }
+
+    #[test]
+    fn decode_state_preserves_the_variant() {
+        let mut c = CounterSpec::NelsonYu {
+            eps: 0.2,
+            delta_log2: 8,
+        }
+        .build()
+        .unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        c.increment_by(50_000, &mut rng);
+        let mut v = BitVec::new();
+        c.encode_state(&mut BitWriter::new(&mut v));
+        let template = CounterSpec::NelsonYu {
+            eps: 0.2,
+            delta_log2: 8,
+        }
+        .build()
+        .unwrap();
+        let back = template.decode_state(&mut BitReader::new(&v)).unwrap();
+        assert!(matches!(back, CounterFamily::NelsonYu(_)));
+        assert_eq!(back.estimate(), c.estimate());
+    }
+}

@@ -148,6 +148,7 @@ fn chain_digest(header_sum: u64, payload_sum: u64) -> u64 {
 
 /// Why a restore was refused.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CheckpointError {
     /// The buffer does not start with [`CHECKPOINT_MAGIC`].
     BadMagic,
@@ -226,6 +227,7 @@ impl From<CoreError> for CheckpointError {
 /// counters persist at ~their `state_bits` (and deltas at ~their *dirty*
 /// state bits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CheckpointStats {
     /// Counters written into this frame (all keys for a full checkpoint;
     /// dirty shards' keys for a delta).

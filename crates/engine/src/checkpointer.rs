@@ -14,8 +14,21 @@
 //! [`checkpoint_delta`]. Because snapshots share unwritten slabs with the
 //! live engine, serialization reads the same memory the readers do —
 //! never blocking, never copying more than the writers already did.
+//!
+//! ## Manifest
+//!
+//! When configured with a directory *and* a [`ManifestInfo`]
+//! ([`CheckpointerConfig::with_manifest`]), the writer thread also keeps
+//! the directory's [`Manifest`](crate::Manifest) up to date: the header
+//! (spec + config) is ensured at spawn, and one checksummed frame line is
+//! appended after each frame file lands — file name, chain digests, and
+//! the per-producer applied sequence marks that rode in with the
+//! snapshot. `Store::open` reads that manifest to discover the newest
+//! intact chain after a crash.
 
 use crate::checkpoint::{checkpoint_delta, checkpoint_snapshot, CheckpointHeader, CheckpointKind};
+use crate::ingest::ProducerMark;
+use crate::manifest::{Manifest, ManifestFrame, ManifestInfo};
 use crate::snapshot::EngineSnapshot;
 use ac_core::StateCodec;
 use std::path::PathBuf;
@@ -25,8 +38,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Background checkpointer construction parameters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Background checkpointer construction parameters. Construct with the
+/// builder surface: `CheckpointerConfig::new().with_every_events(…)`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct CheckpointerConfig {
     /// Applied-event cadence between snapshot submissions (consumed by
     /// [`IngestQueue::drain_parallel_checkpointed`](crate::IngestQueue::drain_parallel_checkpointed);
@@ -37,26 +52,80 @@ pub struct CheckpointerConfig {
     /// the blast radius of a lost segment).
     pub max_deltas_per_base: usize,
     /// When set, each frame is also written to
-    /// `<directory>/ckpt-<seq>-<kind>.bin`.
+    /// `<directory>/ckpt-<session>-<seq>-<kind>.bin`.
     pub directory: Option<PathBuf>,
-    /// Keep each frame's bytes in its [`CheckpointRecord`] (the in-memory
-    /// chain lets tests and benches fold the chain back without disk).
+    /// Keep each frame's bytes in its [`CheckpointRecord`] (the
+    /// in-memory chain lets tests and benches fold the chain back
+    /// without disk). **Off by default**: retained buffers accumulate
+    /// for the checkpointer's whole lifetime, which is an unbounded
+    /// memory cost for a long-running service.
     pub retain_bytes: bool,
+    /// When set (together with [`CheckpointerConfig::directory`]), the
+    /// writer maintains the directory's store manifest; see the module
+    /// docs.
+    pub manifest: Option<ManifestInfo>,
 }
 
-impl Default for CheckpointerConfig {
-    fn default() -> Self {
+impl CheckpointerConfig {
+    /// The default configuration (full frame every 15 deltas, 1M-event
+    /// cadence, no directory, bytes not retained).
+    #[must_use]
+    pub fn new() -> Self {
         Self {
             every_events: 1_000_000,
             max_deltas_per_base: 15,
             directory: None,
-            retain_bytes: true,
+            retain_bytes: false,
+            manifest: None,
         }
+    }
+
+    /// Sets the applied-event cadence between snapshots.
+    #[must_use]
+    pub fn with_every_events(mut self, every_events: u64) -> Self {
+        self.every_events = every_events;
+        self
+    }
+
+    /// Sets how many deltas may follow a base before rebasing.
+    #[must_use]
+    pub fn with_max_deltas_per_base(mut self, max: usize) -> Self {
+        self.max_deltas_per_base = max;
+        self
+    }
+
+    /// Writes each frame to a file under `dir`.
+    #[must_use]
+    pub fn with_directory(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.directory = Some(dir.into());
+        self
+    }
+
+    /// Keeps (or drops) each frame's bytes in its record.
+    #[must_use]
+    pub fn with_retain_bytes(mut self, retain: bool) -> Self {
+        self.retain_bytes = retain;
+        self
+    }
+
+    /// Maintains the durability directory's store manifest (requires
+    /// [`CheckpointerConfig::with_directory`] to have any effect).
+    #[must_use]
+    pub fn with_manifest(mut self, info: ManifestInfo) -> Self {
+        self.manifest = Some(info);
+        self
+    }
+}
+
+impl Default for CheckpointerConfig {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 /// One frame the checkpointer wrote.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CheckpointRecord {
     /// Position in submission order (0 = first).
     pub seq: usize,
@@ -78,11 +147,16 @@ pub struct CheckpointRecord {
     pub path: Option<PathBuf>,
     /// The frame itself, when [`CheckpointerConfig::retain_bytes`] is on.
     pub bytes: Option<Vec<u8>>,
+    /// Per-producer applied sequence marks that rode in with the
+    /// snapshot ([`BackgroundCheckpointer::submit_with_marks`]); empty
+    /// for plain [`BackgroundCheckpointer::submit`] submissions.
+    pub producer_marks: Vec<ProducerMark>,
 }
 
 /// Everything the checkpointer produced, returned by
 /// [`BackgroundCheckpointer::finish`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct CheckpointerReport {
     /// Every written frame, in submission order.
     pub records: Vec<CheckpointRecord>,
@@ -118,10 +192,23 @@ struct Totals {
     last_write_ns: AtomicU64,
 }
 
+fn totals_stats(t: &Totals) -> CheckpointerStats {
+    CheckpointerStats {
+        submitted: t.submitted.load(Ordering::Relaxed),
+        written: t.written.load(Ordering::Relaxed),
+        full_frames: t.full_frames.load(Ordering::Relaxed),
+        delta_frames: t.delta_frames.load(Ordering::Relaxed),
+        bytes_written: t.bytes_written.load(Ordering::Relaxed),
+        last_checkpoint_events: t.last_checkpoint_events.load(Ordering::Relaxed),
+        last_write_ns: t.last_write_ns.load(Ordering::Relaxed),
+    }
+}
+
 /// A point-in-time summary of the background checkpointer. Feed it to
 /// [`EngineStats::with_checkpointer`](crate::EngineStats::with_checkpointer)
 /// to expose the durability lag in a whole-pipeline summary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct CheckpointerStats {
     /// Snapshots handed to the writer thread so far.
     pub submitted: u64,
@@ -141,6 +228,28 @@ pub struct CheckpointerStats {
     pub last_write_ns: u64,
 }
 
+/// A cheap, cloneable, read-only view of a checkpointer's live counters —
+/// for stats from threads that do not own the checkpointer (the `Store`
+/// facade hands the checkpointer to its applier thread and keeps a probe).
+#[derive(Debug, Clone)]
+pub struct CheckpointerProbe {
+    totals: Arc<Totals>,
+}
+
+impl CheckpointerProbe {
+    /// Diagnostics snapshot; cheap, safe to call from any thread.
+    #[must_use]
+    pub fn stats(&self) -> CheckpointerStats {
+        totals_stats(&self.totals)
+    }
+}
+
+/// One unit of work for the writer thread.
+struct Submission<C> {
+    snap: EngineSnapshot<C>,
+    marks: Vec<ProducerMark>,
+}
+
 /// A dedicated checkpoint-writer thread; see the module docs.
 ///
 /// Submissions never block (unbounded channel of `O(shards)`-sized
@@ -153,7 +262,7 @@ pub struct CheckpointerStats {
 /// chains that restore each lineage only from its own full frames.
 #[derive(Debug)]
 pub struct BackgroundCheckpointer<C: StateCodec + Clone + Send + Sync + 'static> {
-    tx: Sender<EngineSnapshot<C>>,
+    tx: Sender<Submission<C>>,
     handle: JoinHandle<Vec<CheckpointRecord>>,
     totals: Arc<Totals>,
     config: CheckpointerConfig,
@@ -165,23 +274,27 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
     /// # Panics
     ///
     /// Panics if `every_events` is zero or, in
-    /// [`BackgroundCheckpointer::finish`], if a configured directory
-    /// turns out not to be writable (durability failures are not
-    /// swallowed).
+    /// [`BackgroundCheckpointer::finish`], if a configured directory or
+    /// manifest turns out not to be writable or belongs to a different
+    /// deployment (durability failures are not swallowed; the `Store`
+    /// facade pre-validates both to return typed errors instead).
     #[must_use]
     pub fn spawn(config: CheckpointerConfig) -> Self {
         assert!(config.every_events > 0, "cadence must be positive");
-        let (tx, rx) = channel::<EngineSnapshot<C>>();
+        let (tx, rx) = channel::<Submission<C>>();
         let totals = Arc::new(Totals::default());
         let thread_totals = Arc::clone(&totals);
         let thread_config = config.clone();
         let handle = std::thread::spawn(move || {
+            if let (Some(dir), Some(info)) = (&thread_config.directory, &thread_config.manifest) {
+                Manifest::ensure(dir, &info.spec, &info.config).expect("usable store manifest");
+            }
             let mut records: Vec<CheckpointRecord> = Vec::new();
             // Only the parent's header is needed to chain the next delta
             // (80 bytes, `Copy`) — never the parent's serialized buffer.
             let mut parent: Option<CheckpointHeader> = None;
             let mut deltas_since_base = 0usize;
-            while let Ok(snap) = rx.recv() {
+            while let Ok(Submission { snap, marks }) = rx.recv() {
                 let start = Instant::now();
                 let (ck, kind) = match &parent {
                     Some(base) if deltas_since_base < thread_config.max_deltas_per_base => {
@@ -203,13 +316,37 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
                 let stats = ck.stats();
                 let bytes_len = ck.bytes().len() as u64;
                 let seq = records.len();
+                let session = thread_config.manifest.as_ref().map_or(0, |m| m.session);
                 let path = thread_config.directory.as_ref().map(|dir| {
-                    let name = match kind {
-                        CheckpointKind::Full => format!("ckpt-{seq:05}-full.bin"),
-                        CheckpointKind::Delta => format!("ckpt-{seq:05}-delta.bin"),
+                    let kind_tag = match kind {
+                        CheckpointKind::Full => "full",
+                        CheckpointKind::Delta => "delta",
                     };
-                    let path = dir.join(name);
-                    std::fs::write(&path, ck.bytes()).expect("write checkpoint frame");
+                    let name = format!("ckpt-{session:03}-{seq:05}-{kind_tag}.bin");
+                    let path = dir.join(&name);
+                    // Write + fsync before the manifest line lands: a
+                    // listed frame's bytes must already be durable.
+                    let mut file = std::fs::File::create(&path).expect("create checkpoint frame");
+                    std::io::Write::write_all(&mut file, ck.bytes())
+                        .expect("write checkpoint frame");
+                    file.sync_all().expect("sync checkpoint frame");
+                    if thread_config.manifest.is_some() {
+                        Manifest::append_frame(
+                            dir,
+                            &ManifestFrame {
+                                session,
+                                file: name,
+                                kind,
+                                epoch: header.epoch,
+                                events: header.events,
+                                keys: header.keys,
+                                chain: header.chain,
+                                parent_chain: header.parent_chain,
+                                marks: marks.clone(),
+                            },
+                        )
+                        .expect("append manifest frame line");
+                    }
                     path
                 });
                 let write_seconds = start.elapsed().as_secs_f64();
@@ -245,6 +382,7 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
                     path,
                     // Move the buffer, don't copy it; drop it otherwise.
                     bytes: thread_config.retain_bytes.then(|| ck.into_bytes()),
+                    producer_marks: marks,
                 });
                 parent = Some(header);
             }
@@ -267,22 +405,32 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
     /// Hands a frozen snapshot to the writer thread. Never blocks on
     /// serialization; the snapshot is `O(shards)` of `Arc`s.
     pub fn submit(&self, snap: EngineSnapshot<C>) {
+        self.submit_with_marks(snap, Vec::new());
+    }
+
+    /// [`BackgroundCheckpointer::submit`] with the per-producer applied
+    /// sequence marks at the snapshot's freeze, recorded in the frame's
+    /// [`CheckpointRecord`] and manifest line — the exactly-once replay
+    /// cursor a recovered store reports.
+    pub fn submit_with_marks(&self, snap: EngineSnapshot<C>, marks: Vec<ProducerMark>) {
         self.totals.submitted.fetch_add(1, Ordering::Relaxed);
-        self.tx.send(snap).expect("checkpointer thread alive");
+        self.tx
+            .send(Submission { snap, marks })
+            .expect("checkpointer thread alive");
     }
 
     /// Diagnostics snapshot; cheap, safe to call from any thread.
     #[must_use]
     pub fn stats(&self) -> CheckpointerStats {
-        let t = &self.totals;
-        CheckpointerStats {
-            submitted: t.submitted.load(Ordering::Relaxed),
-            written: t.written.load(Ordering::Relaxed),
-            full_frames: t.full_frames.load(Ordering::Relaxed),
-            delta_frames: t.delta_frames.load(Ordering::Relaxed),
-            bytes_written: t.bytes_written.load(Ordering::Relaxed),
-            last_checkpoint_events: t.last_checkpoint_events.load(Ordering::Relaxed),
-            last_write_ns: t.last_write_ns.load(Ordering::Relaxed),
+        totals_stats(&self.totals)
+    }
+
+    /// A cloneable read-only stats handle that outlives ownership
+    /// transfers of the checkpointer itself.
+    #[must_use]
+    pub fn probe(&self) -> CheckpointerProbe {
+        CheckpointerProbe {
+            totals: Arc::clone(&self.totals),
         }
     }
 
@@ -312,17 +460,15 @@ mod tests {
     }
 
     fn small_cfg() -> CheckpointerConfig {
-        CheckpointerConfig {
-            every_events: 100,
-            max_deltas_per_base: 3,
-            directory: None,
-            retain_bytes: true,
-        }
+        CheckpointerConfig::new()
+            .with_every_events(100)
+            .with_max_deltas_per_base(3)
+            .with_retain_bytes(true)
     }
 
     #[test]
     fn base_then_deltas_then_rebase() {
-        let mut e = CounterEngine::new(template(), EngineConfig { shards: 4, seed: 9 });
+        let mut e = CounterEngine::new(template(), EngineConfig::new().with_shards(4).with_seed(9));
         let ckpt = BackgroundCheckpointer::spawn(small_cfg());
         for round in 0..6u64 {
             let batch: Vec<(u64, u64)> = (0..50u64).map(|k| (k + 10 * round, 3)).collect();
@@ -369,9 +515,9 @@ mod tests {
         // accident — an identical config from a *different lineage*
         // (e.g. a restarted process), refused by the strict epoch
         // ordering because the fresh engine's epoch clock restarted.
-        let cfg_a = EngineConfig { shards: 2, seed: 1 };
+        let cfg_a = EngineConfig::new().with_shards(2).with_seed(1);
         let mut a = CounterEngine::new(template(), cfg_a);
-        let mut b = CounterEngine::new(template(), EngineConfig { shards: 4, seed: 2 });
+        let mut b = CounterEngine::new(template(), EngineConfig::new().with_shards(4).with_seed(2));
         let mut twin = CounterEngine::new(template(), cfg_a);
         a.apply(&[(1, 10)]);
         b.apply(&[(2, 20)]);
@@ -397,8 +543,9 @@ mod tests {
 
     #[test]
     fn stats_track_lag() {
-        let mut e = CounterEngine::new(template(), EngineConfig { shards: 2, seed: 1 });
+        let mut e = CounterEngine::new(template(), EngineConfig::new().with_shards(2).with_seed(1));
         let ckpt = BackgroundCheckpointer::spawn(small_cfg());
+        let probe = ckpt.probe();
         e.apply(&[(1, 500)]);
         ckpt.submit(e.snapshot());
         e.apply(&[(2, 41)]);
@@ -410,26 +557,46 @@ mod tests {
             std::thread::yield_now();
         };
         assert_eq!(report_stats.last_checkpoint_events, 500);
+        assert_eq!(probe.stats(), report_stats, "probe mirrors the owner");
         let stats = e.stats().with_checkpointer(&report_stats);
         assert_eq!(stats.checkpoint_lag_events, 41);
         let _ = ckpt.finish();
     }
 
     #[test]
-    fn writes_frames_to_a_directory() {
+    fn writes_frames_and_manifest_to_a_directory() {
+        use ac_core::CounterSpec;
+
         let dir = std::env::temp_dir().join(format!(
             "ac-ckpt-test-{}-{:?}",
             std::process::id(),
             std::thread::current().id()
         ));
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let mut e = CounterEngine::new(template(), EngineConfig { shards: 2, seed: 4 });
-        let ckpt = BackgroundCheckpointer::spawn(CheckpointerConfig {
-            directory: Some(dir.clone()),
-            ..small_cfg()
-        });
+        let spec = CounterSpec::NelsonYu {
+            eps: 0.2,
+            delta_log2: 8,
+        };
+        let config = EngineConfig::new().with_shards(2).with_seed(4);
+        let mut e = CounterEngine::new(template(), config);
+        let ckpt =
+            BackgroundCheckpointer::spawn(small_cfg().with_directory(dir.clone()).with_manifest(
+                ManifestInfo {
+                    spec,
+                    config,
+                    session: 0,
+                },
+            ));
         e.apply(&[(1, 10)]);
-        ckpt.submit(e.snapshot());
+        ckpt.submit_with_marks(
+            e.snapshot(),
+            vec![ProducerMark {
+                producer: 0,
+                enqueued_seq: 1,
+                applied_seq: 1,
+            }],
+        );
         e.apply(&[(2, 20)]);
         ckpt.submit(e.snapshot());
         let report = ckpt.finish();
@@ -441,6 +608,25 @@ mod tests {
         let chain_refs: Vec<&[u8]> = chain.iter().map(Vec::as_slice).collect();
         let back = restore_checkpoint_chain(&template(), &chain_refs).unwrap();
         assert_eq!(back.total_events(), 30);
+
+        // The manifest mirrors the frames, marks included.
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.spec, spec);
+        assert_eq!(m.config, config);
+        assert_eq!(m.frames.len(), 2);
+        assert_eq!(m.frames[0].kind, CheckpointKind::Full);
+        assert_eq!(m.frames[0].marks.len(), 1);
+        assert_eq!(m.frames[0].marks[0].applied_seq, 1);
+        assert_eq!(m.frames[1].marks, vec![]);
+        for (frame, record) in m.frames.iter().zip(&report.records) {
+            assert_eq!(frame.events, record.events);
+            assert_eq!(frame.epoch, record.epoch);
+            assert_eq!(
+                dir.join(&frame.file),
+                *record.path.as_ref().unwrap(),
+                "manifest names the frame file"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,158 @@
+//! The one error type every fallible `Store` path returns.
+//!
+//! The layered expert API keeps its precise per-layer errors
+//! ([`CheckpointError`](crate::CheckpointError) for the durable format,
+//! [`CoreError`](ac_core::CoreError) for counter parameters); the service
+//! facade wraps them — together with manifest, recovery, I/O, and ingest
+//! conditions — in a single `#[non_exhaustive]` enum so callers match one
+//! type at the service boundary.
+
+use crate::checkpoint::CheckpointError;
+use ac_core::CoreError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a `Store` operation failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A counter-parameter or merge error from `ac-core` (e.g. an invalid
+    /// [`CounterSpec`](ac_core::CounterSpec)).
+    Core(CoreError),
+    /// A checkpoint could not be read, validated, or restored.
+    Checkpoint(CheckpointError),
+    /// Filesystem I/O failed (durability directory, manifest, frames).
+    Io(std::io::Error),
+    /// No `store.manifest` exists in the directory — it was never a store
+    /// durability directory, or the manifest was deleted.
+    ManifestMissing {
+        /// The manifest path that was probed.
+        path: PathBuf,
+    },
+    /// The manifest exists but cannot be trusted: empty, bad magic, a
+    /// corrupt header, or a mismatch against the running configuration.
+    ManifestCorrupt {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The manifest lists frames, but no base + delta chain on disk
+    /// restores — every candidate chain was missing, truncated, or
+    /// corrupt past repair.
+    NoRestorableChain {
+        /// Frames listed in the manifest.
+        frames: usize,
+        /// Restorable chains attempted (newest first).
+        chains_tried: usize,
+    },
+    /// Another live store owns the durability directory (its `store.lock`
+    /// names a process that still exists). Two concurrent writers would
+    /// clobber each other's frames and interleave manifest lines.
+    StoreBusy {
+        /// The lock file that was held.
+        path: PathBuf,
+        /// The pid recorded in the lock (0 when unreadable).
+        pid: u32,
+    },
+    /// An ingest batch was refused (queue closed, or full under the drop
+    /// policy) on a path that promised losslessness.
+    BatchRefused {
+        /// Events in the refused batch.
+        dropped_events: u64,
+    },
+    /// The store is already closed.
+    Closed,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "counter error: {e}"),
+            EngineError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            EngineError::Io(e) => write!(f, "store I/O error: {e}"),
+            EngineError::ManifestMissing { path } => {
+                write!(f, "no store manifest at {}", path.display())
+            }
+            EngineError::ManifestCorrupt { what } => {
+                write!(f, "store manifest is corrupt: {what}")
+            }
+            EngineError::NoRestorableChain {
+                frames,
+                chains_tried,
+            } => write!(
+                f,
+                "no restorable checkpoint chain ({frames} frames in the manifest, \
+                 {chains_tried} chains tried)"
+            ),
+            EngineError::StoreBusy { path, pid } => write!(
+                f,
+                "durability directory is owned by a live store (lock {} held by pid {pid})",
+                path.display()
+            ),
+            EngineError::BatchRefused { dropped_events } => {
+                write!(f, "ingest refused a batch of {dropped_events} events")
+            }
+            EngineError::Closed => write!(f, "store is closed"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Checkpoint(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<CheckpointError> for EngineError {
+    fn from(e: CheckpointError) -> Self {
+        EngineError::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources_are_informative() {
+        let errors: Vec<EngineError> = vec![
+            CoreError::InvalidEpsilon { got: 0.9 }.into(),
+            CheckpointError::Truncated.into(),
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into(),
+            EngineError::ManifestMissing {
+                path: PathBuf::from("/tmp/x"),
+            },
+            EngineError::ManifestCorrupt {
+                what: "empty file".into(),
+            },
+            EngineError::NoRestorableChain {
+                frames: 3,
+                chains_tried: 2,
+            },
+            EngineError::BatchRefused { dropped_events: 10 },
+            EngineError::Closed,
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+        }
+        use std::error::Error;
+        assert!(errors[0].source().is_some());
+        assert!(errors[3].source().is_none());
+    }
+}

@@ -23,6 +23,21 @@
 //! through [`EngineStats::with_ingest`](crate::EngineStats::with_ingest))
 //! — the load-shedding mode for latency-critical writers.
 //!
+//! ## Provenance: producer ids and sequence numbers
+//!
+//! Every [`Batch`] is stamped with the id of the [`IngestProducer`] that
+//! flushed it and a per-producer sequence number (1, 2, 3, … over the
+//! *accepted* batches of that producer). The queue tracks two high-water
+//! marks per producer — the last sequence accepted into the queue and the
+//! last sequence drained into an engine ([`ProducerMark`], surfaced
+//! through [`IngestStats::producers`]) — which is what makes exactly-once
+//! replay after a crash-restore possible: a checkpoint cut at a batch
+//! boundary records the applied marks, so on recovery each producer knows
+//! the first sequence number the store has *not* seen and replays from
+//! there, nothing dropped and nothing double-counted (the checkpoint
+//! preserves RNG streams, so replayed batches reproduce states
+//! bit-for-bit).
+//!
 //! ## Determinism
 //!
 //! A single producer draining through a sequential applier reproduces
@@ -36,15 +51,35 @@
 use crate::checkpointer::BackgroundCheckpointer;
 use crate::registry::CounterEngine;
 use ac_core::{ApproxCounter, StateCodec};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One coalesced batch of `(key, delta)` pairs.
-pub type Batch = Vec<(u64, u64)>;
+/// One coalesced batch of `(key, delta)` pairs, stamped with its
+/// provenance: which producer flushed it and where it sits in that
+/// producer's accepted sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Batch {
+    /// Id of the [`IngestProducer`] that flushed the batch.
+    pub producer: u64,
+    /// 1-based position in that producer's accepted stream.
+    pub seq: u64,
+    /// The coalesced `(key, delta)` pairs, in first-touch order.
+    pub pairs: Vec<(u64, u64)>,
+}
+
+impl Batch {
+    /// Sum of deltas in the batch.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.pairs.iter().map(|&(_, d)| d).sum()
+    }
+}
 
 /// Ingest layer construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IngestConfig {
     /// Bounded queue capacity, in batches.
     pub queue_batches: usize,
@@ -56,13 +91,45 @@ pub struct IngestConfig {
     pub block_when_full: bool,
 }
 
-impl Default for IngestConfig {
-    fn default() -> Self {
+impl IngestConfig {
+    /// The default configuration (64 batches of up to 4096 pairs,
+    /// blocking backpressure), as a `const` starting point for the
+    /// `with_*` builders.
+    #[must_use]
+    pub const fn new() -> Self {
         Self {
             queue_batches: 64,
             batch_pairs: 4_096,
             block_when_full: true,
         }
+    }
+
+    /// Sets the bounded queue capacity, in batches.
+    #[must_use]
+    pub const fn with_queue_batches(mut self, queue_batches: usize) -> Self {
+        self.queue_batches = queue_batches;
+        self
+    }
+
+    /// Sets the coalesced pairs per batch before a producer auto-flushes.
+    #[must_use]
+    pub const fn with_batch_pairs(mut self, batch_pairs: usize) -> Self {
+        self.batch_pairs = batch_pairs;
+        self
+    }
+
+    /// Picks the backpressure policy: `true` blocks producers when the
+    /// queue is full (lossless), `false` drops and counts.
+    #[must_use]
+    pub const fn with_block_when_full(mut self, block: bool) -> Self {
+        self.block_when_full = block;
+        self
+    }
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -74,6 +141,21 @@ struct Totals {
     applied_events: AtomicU64,
     dropped_batches: AtomicU64,
     dropped_events: AtomicU64,
+    next_producer: AtomicU64,
+}
+
+/// Per-producer sequence high-water marks (see the module docs on
+/// provenance). `enqueued_seq` is the last sequence accepted into the
+/// queue; `applied_seq` the last drained into an engine; 0 means "none
+/// yet". `applied_seq ≤ enqueued_seq` at every batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerMark {
+    /// The producer id.
+    pub producer: u64,
+    /// Highest sequence number accepted into the queue.
+    pub enqueued_seq: u64,
+    /// Highest sequence number applied to an engine.
+    pub applied_seq: u64,
 }
 
 /// The mutex-guarded queue proper.
@@ -92,10 +174,15 @@ struct Inner {
     /// Signaled when a batch is pushed or the queue closes.
     ready: Condvar,
     totals: Totals,
+    /// producer id → (enqueued_seq, applied_seq). A `BTreeMap` so every
+    /// stats read reports producers in stable id order. Lock order:
+    /// `channel` before `marks` (flush holds both); `marks` alone is fine.
+    marks: Mutex<BTreeMap<u64, (u64, u64)>>,
 }
 
 /// A point-in-time summary of the ingest layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct IngestStats {
     /// Batches currently queued, not yet applied.
     pub queue_depth: usize,
@@ -109,6 +196,8 @@ pub struct IngestStats {
     pub dropped_batches: u64,
     /// Events lost with those batches.
     pub dropped_events: u64,
+    /// Per-producer sequence high-water marks, in producer-id order.
+    pub producers: Vec<ProducerMark>,
 }
 
 /// The bounded, multi-producer ingest queue — the front door of the
@@ -138,6 +227,7 @@ impl IngestQueue {
                 space: Condvar::new(),
                 ready: Condvar::new(),
                 totals: Totals::default(),
+                marks: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -148,16 +238,29 @@ impl IngestQueue {
         self.inner.config
     }
 
-    /// Creates a producer handle. Any number may exist concurrently; each
-    /// coalesces into its own batch buffer and contends only on the queue
-    /// push.
+    /// Creates a producer handle with a fresh producer id. Any number may
+    /// exist concurrently; each coalesces into its own batch buffer and
+    /// contends only on the queue push.
     #[must_use]
     pub fn producer(&self) -> IngestProducer {
+        let id = self
+            .inner
+            .totals
+            .next_producer
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .marks
+            .lock()
+            .expect("ingest marks lock")
+            .insert(id, (0, 0));
         IngestProducer {
             inner: Arc::clone(&self.inner),
+            id,
+            next_seq: 1,
             pairs: Vec::new(),
             slots: HashMap::new(),
             events: 0,
+            refused_events: 0,
         }
     }
 
@@ -216,8 +319,8 @@ impl IngestQueue {
     pub fn drain_into<C: ApproxCounter + Clone>(&self, engine: &mut CounterEngine<C>) -> u64 {
         let mut applied = 0u64;
         while let Some(batch) = self.next_batch() {
-            applied += batch_events(&batch);
-            engine.apply(&batch);
+            applied += batch.events();
+            engine.apply(&batch.pairs);
             self.note_applied(&batch);
         }
         applied
@@ -236,9 +339,12 @@ impl IngestQueue {
     /// [`IngestQueue::drain_parallel`] with an applier hook: after every
     /// applied batch, `hook(engine, applied_events_so_far)` runs on the
     /// applier thread, at a batch boundary — the engine is quiescent, so
-    /// the hook may freeze snapshots, publish replicas, or read stats.
-    /// This is the integration point the background checkpointer rides
-    /// (see [`IngestQueue::drain_parallel_checkpointed`]).
+    /// the hook may freeze snapshots, publish replicas, or read stats
+    /// (the applied sequence marks visible through
+    /// [`IngestQueue::applied_marks`] are exact here). This is the
+    /// integration point the background checkpointer — and the `Store`
+    /// service facade — ride (see
+    /// [`IngestQueue::drain_parallel_checkpointed`]).
     pub fn drain_parallel_with<C, F>(&self, engine: &mut CounterEngine<C>, mut hook: F) -> u64
     where
         C: ApproxCounter + Clone + Send + Sync,
@@ -246,8 +352,8 @@ impl IngestQueue {
     {
         let mut applied = 0u64;
         while let Some(batch) = self.next_batch() {
-            applied += batch_events(&batch);
-            engine.apply_parallel(&batch);
+            applied += batch.events();
+            engine.apply_parallel(&batch.pairs);
             self.note_applied(&batch);
             hook(engine, applied);
         }
@@ -257,9 +363,11 @@ impl IngestQueue {
     /// Drains with durability riding along: every
     /// [`CheckpointerConfig::every_events`](crate::CheckpointerConfig::every_events)
     /// applied events, the applier cuts an `O(shards)` copy-on-write
-    /// snapshot at the batch boundary and hands it to `checkpointer`'s
-    /// writer thread — serialization and disk I/O never run on this
-    /// thread, so ingest throughput is insulated from checkpoint size.
+    /// snapshot at the batch boundary and hands it — together with the
+    /// applied sequence marks, for exactly-once replay after a restore —
+    /// to `checkpointer`'s writer thread. Serialization and disk I/O
+    /// never run on this thread, so ingest throughput is insulated from
+    /// checkpoint size.
     pub fn drain_parallel_checkpointed<C>(
         &self,
         engine: &mut CounterEngine<C>,
@@ -271,7 +379,7 @@ impl IngestQueue {
         let mut cadence = CheckpointCadence::new(checkpointer.config().every_events);
         self.drain_parallel_with(engine, |engine, applied| {
             if cadence.is_due(applied) {
-                checkpointer.submit(engine.snapshot());
+                checkpointer.submit_with_marks(engine.snapshot(), self.applied_marks());
             }
         })
     }
@@ -280,7 +388,30 @@ impl IngestQueue {
         self.inner
             .totals
             .applied_events
-            .fetch_add(batch_events(batch), Ordering::Relaxed);
+            .fetch_add(batch.events(), Ordering::Relaxed);
+        let mut marks = self.inner.marks.lock().expect("ingest marks lock");
+        let entry = marks.entry(batch.producer).or_insert((0, 0));
+        // Batches from one producer are FIFO through the queue, but a
+        // second applier could race; the mark is a high-water mark.
+        entry.1 = entry.1.max(batch.seq);
+    }
+
+    /// The per-producer sequence high-water marks, in producer-id order.
+    /// Read from an applier hook (batch boundary) these are exact; read
+    /// from elsewhere they are a moment-in-time snapshot.
+    #[must_use]
+    pub fn applied_marks(&self) -> Vec<ProducerMark> {
+        self.inner
+            .marks
+            .lock()
+            .expect("ingest marks lock")
+            .iter()
+            .map(|(&producer, &(enqueued_seq, applied_seq))| ProducerMark {
+                producer,
+                enqueued_seq,
+                applied_seq,
+            })
+            .collect()
     }
 
     /// Diagnostics snapshot. Feed it to
@@ -297,12 +428,9 @@ impl IngestQueue {
             applied_events: t.applied_events.load(Ordering::Relaxed),
             dropped_batches: t.dropped_batches.load(Ordering::Relaxed),
             dropped_events: t.dropped_events.load(Ordering::Relaxed),
+            producers: self.applied_marks(),
         }
     }
-}
-
-fn batch_events(batch: &Batch) -> u64 {
-    batch.iter().map(|&(_, d)| d).sum()
 }
 
 /// The event-count cadence policy behind
@@ -346,19 +474,41 @@ impl CheckpointCadence {
 
 /// A producer handle: coalesces per-key increments locally, flushing full
 /// batches into the shared bounded queue. Dropping the handle flushes any
-/// partial batch.
+/// partial batch. Each handle owns a unique producer id; its accepted
+/// batches are numbered 1, 2, 3, … (see the module docs on provenance).
 #[derive(Debug)]
 pub struct IngestProducer {
     inner: Arc<Inner>,
+    /// This producer's id (unique per queue).
+    id: u64,
+    /// Sequence number the next *accepted* batch will carry.
+    next_seq: u64,
     /// The batch under construction.
-    pairs: Batch,
+    pairs: Vec<(u64, u64)>,
     /// key → position in `pairs`, so repeat keys coalesce.
     slots: HashMap<u64, usize>,
     /// Sum of deltas in `pairs`.
     events: u64,
+    /// Events this producer has had refused (dropped) since the last
+    /// [`IngestProducer::take_refused_events`] — including refusals from
+    /// `record`'s silent auto-flush, so lossless callers can detect them.
+    refused_events: u64,
 }
 
 impl IngestProducer {
+    /// This producer's id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The sequence number of the last batch this producer had accepted
+    /// into the queue (0 before the first).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
     /// Records `delta` increments to `key`. Repeat keys within the current
     /// batch coalesce into one pair; a full batch flushes automatically.
     pub fn record(&mut self, key: u64, delta: u64) {
@@ -387,14 +537,31 @@ impl IngestProducer {
         self.pairs.len()
     }
 
+    /// Events (sum of deltas) buffered in the batch under construction.
+    #[must_use]
+    pub fn pending_events(&self) -> u64 {
+        self.events
+    }
+
+    /// Returns — and resets — the events this producer has had refused
+    /// since the last call. Non-zero means data was dropped, *including*
+    /// by [`IngestProducer::record`]'s automatic flush of a full batch,
+    /// whose `bool` nobody sees; callers that promised losslessness
+    /// check this after flushing.
+    pub fn take_refused_events(&mut self) -> u64 {
+        std::mem::take(&mut self.refused_events)
+    }
+
     /// Pushes the current batch (if any) into the queue, honoring the
     /// backpressure policy. Returns `true` if the batch was accepted
     /// (vacuously for an empty buffer), `false` if it was dropped.
+    /// Sequence numbers advance only over accepted batches, so a dropped
+    /// batch never leaves a hole in the applied sequence.
     pub fn flush(&mut self) -> bool {
         if self.pairs.is_empty() {
             return true;
         }
-        let batch = std::mem::take(&mut self.pairs);
+        let pairs = std::mem::take(&mut self.pairs);
         let events = std::mem::take(&mut self.events);
         self.slots.clear();
 
@@ -407,10 +574,24 @@ impl IngestProducer {
                 drop(ch);
                 t.dropped_batches.fetch_add(1, Ordering::Relaxed);
                 t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                self.refused_events = self.refused_events.saturating_add(events);
                 return false;
             }
             if ch.queue.len() < self.inner.config.queue_batches {
-                ch.queue.push_back(batch);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                // Record the enqueued mark before the batch becomes
+                // poppable (we still hold the channel lock), so an
+                // applier can never observe applied_seq > enqueued_seq.
+                {
+                    let mut marks = self.inner.marks.lock().expect("ingest marks lock");
+                    marks.entry(self.id).or_insert((0, 0)).0 = seq;
+                }
+                ch.queue.push_back(Batch {
+                    producer: self.id,
+                    seq,
+                    pairs,
+                });
                 drop(ch);
                 t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
                 t.enqueued_events.fetch_add(events, Ordering::Relaxed);
@@ -421,6 +602,7 @@ impl IngestProducer {
                 drop(ch);
                 t.dropped_batches.fetch_add(1, Ordering::Relaxed);
                 t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                self.refused_events = self.refused_events.saturating_add(events);
                 return false;
             }
             ch = self.inner.space.wait(ch).expect("ingest lock");
@@ -442,11 +624,10 @@ mod tests {
     use std::thread;
 
     fn small(queue_batches: usize, batch_pairs: usize, block: bool) -> IngestConfig {
-        IngestConfig {
-            queue_batches,
-            batch_pairs,
-            block_when_full: block,
-        }
+        IngestConfig::new()
+            .with_queue_batches(queue_batches)
+            .with_batch_pairs(batch_pairs)
+            .with_block_when_full(block)
     }
 
     #[test]
@@ -460,7 +641,9 @@ mod tests {
         assert_eq!(p.pending_pairs(), 2, "10 hits on key 7 coalesce to one");
         assert!(p.flush());
         let batch = q.try_next_batch().unwrap();
-        assert_eq!(batch, vec![(7, 30), (8, 1)]);
+        assert_eq!(batch.pairs, vec![(7, 30), (8, 1)]);
+        assert_eq!(batch.producer, p.id());
+        assert_eq!(batch.seq, 1, "first accepted batch");
     }
 
     #[test]
@@ -473,6 +656,7 @@ mod tests {
         // 7 distinct keys at 3 pairs/batch: two auto-flushes, one pending.
         assert_eq!(q.stats().enqueued_batches, 2);
         assert_eq!(p.pending_pairs(), 1);
+        assert_eq!(p.last_seq(), 2);
     }
 
     #[test]
@@ -487,6 +671,8 @@ mod tests {
         assert_eq!(s.dropped_batches, 2);
         assert_eq!(s.dropped_events, 16);
         assert_eq!(s.queue_depth, 1);
+        // Dropped batches never consumed a sequence number.
+        assert_eq!(p.last_seq(), 1);
     }
 
     #[test]
@@ -501,11 +687,49 @@ mod tests {
     }
 
     #[test]
+    fn sequence_marks_track_enqueue_and_apply() {
+        let q = IngestQueue::new(small(16, 2, true));
+        let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
+        let mut p = q.producer();
+        for key in 0..6u64 {
+            p.record(key, 1); // 3 auto-flushed batches of 2 pairs
+        }
+        let marks = q.applied_marks();
+        assert_eq!(marks.len(), 1);
+        assert_eq!(marks[0].producer, p.id());
+        assert_eq!(marks[0].enqueued_seq, 3);
+        assert_eq!(marks[0].applied_seq, 0, "nothing drained yet");
+
+        q.close();
+        let applied = q.drain_into(&mut engine);
+        assert_eq!(applied, 6);
+        let marks = q.applied_marks();
+        assert_eq!(marks[0].applied_seq, 3, "all three batches applied");
+        assert_eq!(marks[0].enqueued_seq, 3);
+    }
+
+    #[test]
+    fn producers_get_distinct_ids_and_independent_sequences() {
+        let q = IngestQueue::new(small(16, 1, true));
+        let mut a = q.producer();
+        let mut b = q.producer();
+        assert_ne!(a.id(), b.id());
+        a.record(1, 1);
+        a.record(2, 1);
+        b.record(3, 1);
+        let stats = q.stats();
+        assert_eq!(stats.producers.len(), 2);
+        let find = |id: u64| *stats.producers.iter().find(|m| m.producer == id).unwrap();
+        assert_eq!(find(a.id()).enqueued_seq, 2);
+        assert_eq!(find(b.id()).enqueued_seq, 1);
+    }
+
+    #[test]
     fn drain_matches_direct_apply_bit_for_bit() {
         // Single producer + sequential drain == engine.apply on the same
         // stream: the lossless determinism contract.
         let p = NyParams::new(0.25, 8).unwrap();
-        let cfg = EngineConfig { shards: 4, seed: 7 };
+        let cfg = EngineConfig::new().with_shards(4).with_seed(7);
         let mut direct = CounterEngine::new(NelsonYuCounter::new(p), cfg);
         let mut piped = CounterEngine::new(NelsonYuCounter::new(p), cfg);
 
@@ -577,6 +801,12 @@ mod tests {
         assert_eq!(s.dropped_batches, 0);
         assert_eq!(s.applied_events, per_producer * producers);
         assert_eq!(s.queue_depth, 0);
+        // Every producer's accepted stream was fully applied.
+        assert_eq!(s.producers.len(), producers as usize);
+        for m in &s.producers {
+            assert_eq!(m.applied_seq, m.enqueued_seq, "producer {}", m.producer);
+            assert!(m.applied_seq > 0);
+        }
     }
 
     #[test]
@@ -591,6 +821,7 @@ mod tests {
         assert_eq!(stats.queue_depth, 4, "bounded at queue capacity");
         assert_eq!(stats.dropped_batches, q.stats().dropped_batches);
         assert!(stats.dropped_batches > 0, "overflow must be visible");
+        assert_eq!(stats.producers, q.stats().producers);
     }
 
     #[test]
@@ -624,7 +855,10 @@ mod tests {
         use ac_core::{NelsonYuCounter, NyParams};
 
         let template = NelsonYuCounter::new(NyParams::new(0.2, 8).unwrap());
-        let mut engine = CounterEngine::new(template.clone(), EngineConfig { shards: 4, seed: 3 });
+        let mut engine = CounterEngine::new(
+            template.clone(),
+            EngineConfig::new().with_shards(4).with_seed(3),
+        );
         // Capacity must hold every batch: this test drains only after
         // close, so a tight bound would block the single producer.
         let q = IngestQueue::new(small(512, 16, true));
@@ -635,12 +869,12 @@ mod tests {
         drop(p);
         q.close();
 
-        let ckpt = BackgroundCheckpointer::spawn(CheckpointerConfig {
-            every_events: 2_000,
-            max_deltas_per_base: 8,
-            directory: None,
-            retain_bytes: true,
-        });
+        let ckpt = BackgroundCheckpointer::spawn(
+            CheckpointerConfig::new()
+                .with_every_events(2_000)
+                .with_max_deltas_per_base(8)
+                .with_retain_bytes(true),
+        );
         let applied = q.drain_parallel_checkpointed(&mut engine, &ckpt);
         assert_eq!(applied, engine.total_events());
         // Durability lag is observable through the stats fold.
@@ -656,6 +890,10 @@ mod tests {
             "~{applied} events at a 2k cadence must cut several frames"
         );
         assert_eq!(report.records[0].kind, crate::CheckpointKind::Full);
+        // Each frame carries the applied sequence marks at its freeze.
+        let last_marks = &report.records.last().unwrap().producer_marks;
+        assert_eq!(last_marks.len(), 1);
+        assert!(last_marks[0].applied_seq > 0);
         // The newest chain folds back to a true prefix of the stream:
         // every restored counter matches a state the engine actually
         // passed through (checked via event totals and a full replay of

@@ -48,6 +48,34 @@
 //!    (shard RNG states ride along), and a million counters persist at
 //!    ~their summed `state_bits`, not a million fixed-width records.
 //!
+//! ## The `Store` service facade
+//!
+//! The **[`Store`]** puts all four layers under one roof: one builder, a
+//! *runtime*-selected counter family ([`CounterSpec`] /
+//! [`CounterFamily`], bit-identical to the monomorphized engine),
+//! cloneable writer/reader handles, and crash recovery from an on-disk
+//! [`Manifest`]. Start here; the layers stay public as the expert API.
+//!
+//! ```
+//! use ac_engine::{CounterSpec, Store};
+//!
+//! let store = Store::builder(CounterSpec::NelsonYu { eps: 0.2, delta_log2: 8 })
+//!     .with_shards(8)
+//!     .start()
+//!     .unwrap();
+//! let mut writer = store.writer(); // cloneable; own producer id + seqs
+//! writer.record(42, 1_000_000);
+//! writer.flush().unwrap();
+//! let reader = store.reader(); // epoch-pinned, lock-free queries
+//! let _ = (reader.estimate(42), reader.merged_estimate().unwrap());
+//! store.close().unwrap();
+//! // With `.with_durability(dir)`: crash, then `Store::open(dir)`
+//! // resumes counters, RNG streams, and the epoch clock bit-exactly
+//! // and reports each producer's last applied sequence number.
+//! ```
+//!
+//! ## The expert API, layer by layer
+//!
 //! ```
 //! use ac_core::{ApproxCounter, NelsonYuCounter, NyParams};
 //! use ac_engine::{
@@ -92,10 +120,13 @@
 
 mod checkpoint;
 mod checkpointer;
+mod error;
 mod ingest;
+mod manifest;
 mod registry;
 mod shard;
 mod snapshot;
+mod store;
 
 pub use checkpoint::{
     checkpoint_delta, checkpoint_snapshot, read_header, restore_checkpoint,
@@ -103,15 +134,22 @@ pub use checkpoint::{
     CheckpointHeader, CheckpointKind, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use checkpointer::{
-    BackgroundCheckpointer, CheckpointRecord, CheckpointerConfig, CheckpointerReport,
-    CheckpointerStats,
+    BackgroundCheckpointer, CheckpointRecord, CheckpointerConfig, CheckpointerProbe,
+    CheckpointerReport, CheckpointerStats,
 };
+pub use error::EngineError;
 pub use ingest::{
-    Batch, CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats,
+    Batch, CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats, ProducerMark,
 };
+pub use manifest::{Manifest, ManifestFrame, ManifestInfo, MANIFEST_FILE};
 pub use registry::{CounterEngine, EngineConfig, EngineStats};
 pub use snapshot::EngineSnapshot;
+pub use store::{
+    RecoveryReport, Store, StoreBuilder, StoreOptions, StoreReader, StoreReport, StoreStats,
+    StoreWriter,
+};
 
-// The serialization contract checkpoints are written against, re-exported
-// so engine users need not depend on `ac-core` directly for it.
-pub use ac_core::StateCodec;
+// The serialization contract checkpoints are written against — and the
+// runtime family selection the store builds on — re-exported so engine
+// users need not depend on `ac-core` directly for them.
+pub use ac_core::{CounterFamily, CounterSpec, StateCodec};

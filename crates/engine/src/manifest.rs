@@ -1,0 +1,527 @@
+//! The on-disk store manifest: a small, append-only, line-checksummed
+//! index of a durability directory, written by the
+//! [`BackgroundCheckpointer`](crate::BackgroundCheckpointer) and read by
+//! `Store::open` to discover what a directory holds without parsing every
+//! frame.
+//!
+//! ## Format
+//!
+//! A text file (`store.manifest`) of one header line plus one line per
+//! written frame, each line ending in its own FNV-1a checksum:
+//!
+//! ```text
+//! acstore v1 spec=<hex,…> shards=<n> seed=<hex> sum=<hex>
+//! frame session=<n> file=<name> kind=<full|delta> epoch=<n> events=<n>
+//!       keys=<n> chain=<hex> parent=<hex> marks=<p:enq:app,…|-> sum=<hex>
+//! ```
+//!
+//! The header records the [`CounterSpec`] (as its stable word encoding)
+//! and the [`EngineConfig`] — everything `Store::open` needs to rebuild
+//! the template before any frame is touched. Frame lines carry the frame
+//! file name, its chain digests (so candidate chains are discoverable
+//! without reading frame files), and the per-producer applied sequence
+//! marks at the frame's freeze (the exactly-once replay cursor).
+//!
+//! ## Crash behavior
+//!
+//! Frame files are fsynced before their line is appended, and the append
+//! itself is fsynced, so a listed frame's bytes are durable before the
+//! listing is. A crash mid-append leaves a torn final line, which fails
+//! its per-line checksum; the loader **skips** any bad frame line and
+//! keeps parsing — every line seals itself, so later intact lines are
+//! still trustworthy, and a new session appending after a torn tail
+//! (the appender starts a fresh line when the file does not end in a
+//! newline) stays discoverable. Frame-level integrity never rests on
+//! the manifest alone: chains are re-validated by their own checksums
+//! and chain digests at restore. A bad **header** is unrecoverable and
+//! surfaces as [`EngineError::ManifestCorrupt`].
+
+use crate::checkpoint::CheckpointKind;
+use crate::error::EngineError;
+use crate::ingest::ProducerMark;
+use crate::registry::EngineConfig;
+use ac_core::CounterSpec;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// File name of the manifest inside a durability directory.
+pub const MANIFEST_FILE: &str = "store.manifest";
+
+/// What the checkpointer needs to know to keep a manifest: the spec and
+/// config the header pins, and this process's session number (frame
+/// files are namespaced per session so restarted stores never clobber
+/// earlier frames).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestInfo {
+    /// The runtime family specification recorded in the header.
+    pub spec: CounterSpec,
+    /// The engine configuration recorded in the header.
+    pub config: EngineConfig,
+    /// This writer session's number (0 for the first; `Store::open`
+    /// continues at [`Manifest::next_session`]).
+    pub session: u64,
+}
+
+/// One frame line of the manifest.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ManifestFrame {
+    /// The writer session that produced the frame.
+    pub session: u64,
+    /// Frame file name, relative to the directory.
+    pub file: String,
+    /// Full or delta.
+    pub kind: CheckpointKind,
+    /// Freeze epoch of the frame.
+    pub epoch: u64,
+    /// Engine events at the frame's freeze.
+    pub events: u64,
+    /// Engine keys at the frame's freeze.
+    pub keys: u64,
+    /// The frame's own chain digest.
+    pub chain: u64,
+    /// The parent's chain digest (0 for a full frame).
+    pub parent_chain: u64,
+    /// Per-producer sequence marks at the frame's freeze — the replay
+    /// cursor for exactly-once recovery.
+    pub marks: Vec<ProducerMark>,
+}
+
+/// A parsed manifest: the header plus every intact frame line, in write
+/// order.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct Manifest {
+    /// The runtime family specification from the header.
+    pub spec: CounterSpec,
+    /// The engine configuration from the header.
+    pub config: EngineConfig,
+    /// Intact frame lines, oldest first (a torn tail line and anything
+    /// after it are dropped at load).
+    pub frames: Vec<ManifestFrame>,
+}
+
+/// FNV-1a over a line's content — the same cheap integrity check the
+/// checkpoint payloads use, applied per line.
+fn line_checksum(content: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in content.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn seal(mut line: String) -> String {
+    let sum = line_checksum(&line);
+    let _ = write!(line, " sum={sum:016x}");
+    line
+}
+
+/// Splits a sealed line into (content, stored checksum); `None` when the
+/// seal is missing or unparseable.
+fn unseal(line: &str) -> Option<&str> {
+    let (content, sum) = line.rsplit_once(" sum=")?;
+    let stored = u64::from_str_radix(sum, 16).ok()?;
+    (stored == line_checksum(content)).then_some(content)
+}
+
+fn field<'a>(tokens: &mut impl Iterator<Item = &'a str>, key: &str) -> Option<&'a str> {
+    tokens.next()?.strip_prefix(key)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+impl Manifest {
+    /// The manifest path inside `dir`.
+    #[must_use]
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_FILE)
+    }
+
+    /// The session number a new writer over this directory should use.
+    #[must_use]
+    pub fn next_session(&self) -> u64 {
+        self.frames.iter().map(|f| f.session + 1).max().unwrap_or(0)
+    }
+
+    /// Loads and verifies the manifest in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ManifestMissing`] when no manifest file exists,
+    /// [`EngineError::ManifestCorrupt`] for an empty file or a bad
+    /// header, [`EngineError::Io`] for underlying read failures. Torn or
+    /// corrupt **frame** lines are not errors: the intact prefix loads
+    /// (see the module docs).
+    pub fn load(dir: &Path) -> Result<Self, EngineError> {
+        let path = Self::path_in(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(EngineError::ManifestMissing { path })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let corrupt = |what: &str| EngineError::ManifestCorrupt { what: what.into() };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| corrupt("empty manifest"))?;
+        let header = unseal(header).ok_or_else(|| corrupt("header checksum mismatch"))?;
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some("acstore") || tokens.next() != Some("v1") {
+            return Err(corrupt("bad magic or version"));
+        }
+        let spec_words: Vec<u64> = field(&mut tokens, "spec=")
+            .ok_or_else(|| corrupt("missing spec"))?
+            .split(',')
+            .map(parse_hex)
+            .collect::<Option<_>>()
+            .ok_or_else(|| corrupt("unparseable spec words"))?;
+        let spec = CounterSpec::decode_words(&spec_words)
+            .map_err(|e| corrupt(&format!("invalid counter spec: {e}")))?;
+        let shards = field(&mut tokens, "shards=")
+            .and_then(parse_u64)
+            .ok_or_else(|| corrupt("missing shard count"))?;
+        let seed = field(&mut tokens, "seed=")
+            .and_then(parse_hex)
+            .ok_or_else(|| corrupt("missing seed"))?;
+        let config = EngineConfig::new()
+            .with_shards(shards as usize)
+            .with_seed(seed);
+
+        let mut frames = Vec::new();
+        for line in lines {
+            // A torn or corrupt frame line is skipped, not fatal: each
+            // line carries its own checksum, so the lines around it stay
+            // trustworthy (see the module docs on crash behavior).
+            if let Some(frame) = unseal(line).and_then(Self::parse_frame) {
+                frames.push(frame);
+            }
+        }
+        Ok(Self {
+            spec,
+            config,
+            frames,
+        })
+    }
+
+    fn parse_frame(content: &str) -> Option<ManifestFrame> {
+        let mut t = content.split_whitespace();
+        if t.next() != Some("frame") {
+            return None;
+        }
+        let session = field(&mut t, "session=").and_then(parse_u64)?;
+        let file = field(&mut t, "file=")?.to_string();
+        let kind = match field(&mut t, "kind=")? {
+            "full" => CheckpointKind::Full,
+            "delta" => CheckpointKind::Delta,
+            _ => return None,
+        };
+        let epoch = field(&mut t, "epoch=").and_then(parse_u64)?;
+        let events = field(&mut t, "events=").and_then(parse_u64)?;
+        let keys = field(&mut t, "keys=").and_then(parse_u64)?;
+        let chain = field(&mut t, "chain=").and_then(parse_hex)?;
+        let parent_chain = field(&mut t, "parent=").and_then(parse_hex)?;
+        let marks_str = field(&mut t, "marks=")?;
+        let marks = if marks_str == "-" {
+            Vec::new()
+        } else {
+            marks_str
+                .split(',')
+                .map(|m| {
+                    let mut parts = m.split(':');
+                    let producer = parse_u64(parts.next()?)?;
+                    let enqueued_seq = parse_u64(parts.next()?)?;
+                    let applied_seq = parse_u64(parts.next()?)?;
+                    parts.next().is_none().then_some(ProducerMark {
+                        producer,
+                        enqueued_seq,
+                        applied_seq,
+                    })
+                })
+                .collect::<Option<_>>()?
+        };
+        t.next().is_none().then_some(ManifestFrame {
+            session,
+            file,
+            kind,
+            epoch,
+            events,
+            keys,
+            chain,
+            parent_chain,
+            marks,
+        })
+    }
+
+    /// Renders the header line for `spec`/`config` (sealed).
+    fn header_line(spec: &CounterSpec, config: &EngineConfig) -> String {
+        let words: Vec<String> = spec
+            .encode_words()
+            .iter()
+            .map(|w| format!("{w:x}"))
+            .collect();
+        seal(format!(
+            "acstore v1 spec={} shards={} seed={:x}",
+            words.join(","),
+            config.shards,
+            config.seed
+        ))
+    }
+
+    /// Creates the manifest header in `dir` if absent; if present,
+    /// verifies the existing header pins the same spec and config.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ManifestCorrupt`] when an existing manifest
+    /// disagrees (a directory must never silently serve two different
+    /// deployments), plus load/I/O errors.
+    pub(crate) fn ensure(
+        dir: &Path,
+        spec: &CounterSpec,
+        config: &EngineConfig,
+    ) -> Result<(), EngineError> {
+        match Self::load(dir) {
+            Ok(existing) => {
+                if existing.spec != *spec {
+                    return Err(EngineError::ManifestCorrupt {
+                        what: format!(
+                            "directory belongs to family {}, store configured for {}",
+                            existing.spec, spec
+                        ),
+                    });
+                }
+                if existing.config != *config {
+                    return Err(EngineError::ManifestCorrupt {
+                        what: format!(
+                            "directory pins config {:?}, store configured with {:?}",
+                            existing.config, config
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            Err(EngineError::ManifestMissing { .. }) => {
+                let line = Self::header_line(spec, config);
+                let mut f = std::fs::File::create(Self::path_in(dir))?;
+                writeln!(f, "{line}")?;
+                f.sync_all()?;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends one frame line (after the frame file is durably written).
+    pub(crate) fn append_frame(dir: &Path, frame: &ManifestFrame) -> std::io::Result<()> {
+        let marks = if frame.marks.is_empty() {
+            "-".to_string()
+        } else {
+            frame
+                .marks
+                .iter()
+                .map(|m| format!("{}:{}:{}", m.producer, m.enqueued_seq, m.applied_seq))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let kind = match frame.kind {
+            CheckpointKind::Full => "full",
+            CheckpointKind::Delta => "delta",
+        };
+        let line = seal(format!(
+            "frame session={} file={} kind={kind} epoch={} events={} keys={} \
+             chain={:016x} parent={:016x} marks={marks}",
+            frame.session,
+            frame.file,
+            frame.epoch,
+            frame.events,
+            frame.keys,
+            frame.chain,
+            frame.parent_chain
+        ));
+        let path = Manifest::path_in(dir);
+        // A crash can leave the file without a trailing newline (torn
+        // final line); start a fresh line so this frame's line seals on
+        // its own instead of merging into the torn fragment.
+        let torn_tail = !std::fs::read(&path)?.ends_with(b"\n");
+        let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+        if torn_tail {
+            writeln!(f)?;
+        }
+        writeln!(f, "{line}")?;
+        // The line is the commit point of the frame: make it durable
+        // before the writer moves on (the frame file was synced first).
+        f.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CounterSpec {
+        CounterSpec::NelsonYu {
+            eps: 0.2,
+            delta_log2: 8,
+        }
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new().with_shards(4).with_seed(0xABCD)
+    }
+
+    fn frame(session: u64, seq: u64, kind: CheckpointKind) -> ManifestFrame {
+        ManifestFrame {
+            session,
+            file: format!("ckpt-{session:03}-{seq:05}.bin"),
+            kind,
+            epoch: seq + 1,
+            events: 100 * (seq + 1),
+            keys: 10 * (seq + 1),
+            chain: 0xDEAD_0000 + seq,
+            parent_chain: if kind == CheckpointKind::Full {
+                0
+            } else {
+                0xDEAD_0000 + seq - 1
+            },
+            marks: vec![ProducerMark {
+                producer: 0,
+                enqueued_seq: seq + 2,
+                applied_seq: seq + 1,
+            }],
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ac-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn header_and_frames_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        let f0 = frame(0, 0, CheckpointKind::Full);
+        let f1 = frame(0, 1, CheckpointKind::Delta);
+        Manifest::append_frame(&dir, &f0).unwrap();
+        Manifest::append_frame(&dir, &f1).unwrap();
+
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.spec, spec());
+        assert_eq!(m.config, cfg());
+        assert_eq!(m.frames, vec![f0, f1]);
+        assert_eq!(m.next_session(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_empty_manifests_are_typed() {
+        let dir = tmp_dir("missing");
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(EngineError::ManifestMissing { .. })
+        ));
+        std::fs::write(Manifest::path_in(&dir), "").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(EngineError::ManifestCorrupt { .. })
+        ));
+        std::fs::write(Manifest::path_in(&dir), "not a manifest at all\n").unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(EngineError::ManifestCorrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_frame_line_is_dropped_not_fatal() {
+        let dir = tmp_dir("torn");
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        let f0 = frame(0, 0, CheckpointKind::Full);
+        Manifest::append_frame(&dir, &f0).unwrap();
+        // Simulate a crash mid-append: write half a line, no newline.
+        let mut text = std::fs::read_to_string(Manifest::path_in(&dir)).unwrap();
+        text.push_str("frame session=0 file=ckpt-000-00001.bin kind=delta epo");
+        std::fs::write(Manifest::path_in(&dir), text).unwrap();
+
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.frames, vec![f0.clone()], "torn tail line is skipped");
+
+        // A new session appending after the torn fragment must start a
+        // fresh line: its frame stays discoverable, and the fragment
+        // stays an isolated bad line.
+        let f1 = frame(1, 1, CheckpointKind::Full);
+        Manifest::append_frame(&dir, &f1).unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.frames, vec![f0, f1], "post-crash appends are visible");
+        assert_eq!(m.next_session(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_mid_file_line_is_skipped_not_poisoning() {
+        let dir = tmp_dir("midbad");
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        let f0 = frame(0, 0, CheckpointKind::Full);
+        Manifest::append_frame(&dir, &f0).unwrap();
+        // Corrupt the f0 line in place, then append an intact line.
+        let path = Manifest::path_in(&dir);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("events=100", "events=999");
+        std::fs::write(&path, text).unwrap();
+        let f1 = frame(0, 1, CheckpointKind::Delta);
+        Manifest::append_frame(&dir, &f1).unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.frames, vec![f1], "bad line skipped, later line kept");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ensure_refuses_a_different_deployment() {
+        let dir = tmp_dir("mismatch");
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        // Same spec + config: idempotent.
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        // Different family: refused.
+        assert!(matches!(
+            Manifest::ensure(&dir, &CounterSpec::Exact, &cfg()),
+            Err(EngineError::ManifestCorrupt { .. })
+        ));
+        // Different config: refused.
+        assert!(matches!(
+            Manifest::ensure(&dir, &spec(), &cfg().with_shards(8)),
+            Err(EngineError::ManifestCorrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_header_byte_is_detected() {
+        let dir = tmp_dir("flip");
+        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        let mut text = std::fs::read_to_string(Manifest::path_in(&dir)).unwrap();
+        // Flip one character inside the spec words.
+        let at = text.find("spec=").unwrap() + 5;
+        let mut bytes = text.clone().into_bytes();
+        bytes[at] = if bytes[at] == b'0' { b'1' } else { b'0' };
+        text = String::from_utf8(bytes).unwrap();
+        std::fs::write(Manifest::path_in(&dir), text).unwrap();
+        assert!(matches!(
+            Manifest::load(&dir),
+            Err(EngineError::ManifestCorrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

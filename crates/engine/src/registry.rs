@@ -9,7 +9,7 @@
 //! ## Copy-on-write epochs
 //!
 //! Each shard lives behind an [`Arc`]. A freeze
-//! ([`CounterEngine::snapshot`](crate::snapshot)) clones the `Arc`s —
+//! ([`CounterEngine::snapshot`]) clones the `Arc`s —
 //! `O(shards)` pointer bumps — and bumps the engine's *epoch*. The write
 //! path reaches shards only through [`Arc::make_mut`]: while a snapshot
 //! still shares a shard, the first mutation after the freeze clones that
@@ -23,14 +23,16 @@
 //! since a parent checkpoint.
 
 use crate::checkpointer::CheckpointerStats;
-use crate::ingest::IngestStats;
+use crate::ingest::{IngestStats, ProducerMark};
 use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::{RandomSource, SplitMix64};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Engine construction parameters.
+/// Engine construction parameters. Construct with the `const` builder
+/// surface: `EngineConfig::new().with_shards(32).with_seed(7)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Number of shards. More shards mean more parallelism on
     /// [`CounterEngine::apply_parallel`] and smaller per-shard slabs; the
@@ -41,19 +43,43 @@ pub struct EngineConfig {
     pub seed: u64,
 }
 
-impl Default for EngineConfig {
-    fn default() -> Self {
+impl EngineConfig {
+    /// The default configuration (16 shards, fixed seed), as a `const`
+    /// starting point for the `with_*` builders.
+    #[must_use]
+    pub const fn new() -> Self {
         Self {
             shards: 16,
             seed: 0x00A5_5C01_17E5,
         }
+    }
+
+    /// Sets the shard count (part of the engine's identity).
+    #[must_use]
+    pub const fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the RNG/routing seed (part of the engine's identity).
+    #[must_use]
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 /// A point-in-time summary of the engine (and, when taken through
 /// [`EngineStats::with_ingest`] / [`EngineStats::with_checkpointer`], of
 /// the layers around it), for reports and capacity planning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct EngineStats {
     /// Number of shards.
     pub shards: usize,
@@ -73,8 +99,8 @@ pub struct EngineStats {
     /// against the last freeze would serialize.
     pub dirty_shards: usize,
     /// Wall-clock nanoseconds the most recent freeze
-    /// ([`CounterEngine::snapshot`](crate::snapshot) or
-    /// [`CounterEngine::snapshot_deep`](crate::snapshot)) took (0 before
+    /// ([`CounterEngine::snapshot`] or
+    /// [`CounterEngine::snapshot_deep`]) took (0 before
     /// the first freeze).
     pub last_freeze_ns: u64,
     /// Events applied since the last checkpoint was cut (0 when no
@@ -86,15 +112,21 @@ pub struct EngineStats {
     /// Batches the ingest layer dropped because the queue was full under
     /// the drop-oldest-work-refused policy (0 without an ingest layer).
     pub dropped_batches: u64,
+    /// Per-producer sequence high-water marks from the ingest layer, in
+    /// producer-id order (empty without an ingest layer; see
+    /// [`EngineStats::with_ingest`]).
+    pub producers: Vec<ProducerMark>,
 }
 
 impl EngineStats {
     /// Folds ingest-layer diagnostics into an engine summary, so one
-    /// struct describes the whole write pipeline.
+    /// struct describes the whole write pipeline — queue depth, drops,
+    /// and the per-producer sequence high-water marks.
     #[must_use]
     pub fn with_ingest(mut self, ingest: &IngestStats) -> Self {
         self.queue_depth = ingest.queue_depth;
         self.dropped_batches = ingest.dropped_batches;
+        self.producers = ingest.producers.clone();
         self
     }
 
@@ -107,6 +139,29 @@ impl EngineStats {
     }
 }
 
+/// One cached per-shard fold: the shard's counters merged into a single
+/// counter, valid while the identifying triple still matches the shard.
+/// `(dirty_epoch, events, len)` is a sound validity key within one engine
+/// lineage: any state-changing write bumps `events` (a zero-delta update
+/// changes neither events nor state), and a freeze opens a new epoch
+/// before post-freeze writes can stamp it.
+#[derive(Debug, Clone)]
+pub(crate) struct FoldEntry<C> {
+    pub(crate) dirty_epoch: u64,
+    pub(crate) events: u64,
+    pub(crate) len: usize,
+    pub(crate) folded: C,
+}
+
+/// The merged-aggregate cache shared by an engine and every snapshot
+/// frozen from it (one slot per shard). See
+/// [`EngineSnapshot::merged_total`](crate::EngineSnapshot::merged_total).
+pub(crate) type FoldCache<C> = Arc<Mutex<Vec<Option<FoldEntry<C>>>>>;
+
+pub(crate) fn fresh_fold_cache<C>(shards: usize) -> FoldCache<C> {
+    Arc::new(Mutex::new((0..shards).map(|_| None).collect()))
+}
+
 /// A hash-sharded registry of per-key approximate counters — the write
 /// layer of the engine pipeline.
 ///
@@ -116,9 +171,9 @@ impl EngineStats {
 /// [`increment_by`](ApproxCounter::increment_by) fast path. See the crate
 /// docs for the determinism and aggregation contracts, and for the
 /// surrounding layers: [`crate::IngestQueue`] feeds this type,
-/// [`CounterEngine::snapshot`](crate::snapshot) freezes it for readers,
+/// [`CounterEngine::snapshot`] freezes it for readers,
 /// and [`crate::checkpoint_snapshot`] persists it.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CounterEngine<C> {
     /// Copy-on-write shard slabs; see the module docs.
     shards: Vec<Arc<Shard<C>>>,
@@ -132,6 +187,25 @@ pub struct CounterEngine<C> {
     epoch: u64,
     /// Duration of the most recent freeze, in nanoseconds.
     last_freeze_ns: u64,
+    /// Per-shard merged-aggregate cache, shared with snapshots.
+    fold_cache: FoldCache<C>,
+}
+
+impl<C: Clone> Clone for CounterEngine<C> {
+    /// Clones the engine with a **fresh, empty** fold cache: a clone may
+    /// diverge from the original within the same epoch, and the cache's
+    /// validity key is only sound within one lineage.
+    fn clone(&self) -> Self {
+        Self {
+            shards: self.shards.clone(),
+            template: self.template.clone(),
+            config: self.config,
+            salt: self.salt,
+            epoch: self.epoch,
+            last_freeze_ns: self.last_freeze_ns,
+            fold_cache: fresh_fold_cache(self.shards.len()),
+        }
+    }
 }
 
 impl<C: ApproxCounter + Clone> CounterEngine<C> {
@@ -156,6 +230,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             salt,
             epoch: 1,
             last_freeze_ns: 0,
+            fold_cache: fresh_fold_cache(config.shards),
         }
     }
 
@@ -190,6 +265,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             salt,
             epoch,
             last_freeze_ns: 0,
+            fold_cache: fresh_fold_cache(config.shards),
         }
     }
 
@@ -222,6 +298,11 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// The reset template counter.
     pub(crate) fn template(&self) -> &C {
         &self.template
+    }
+
+    /// The shared merged-aggregate cache (cloned into snapshots).
+    pub(crate) fn fold_cache(&self) -> &FoldCache<C> {
+        &self.fold_cache
     }
 
     /// The current freeze epoch.
@@ -353,6 +434,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             checkpoint_lag_events: 0,
             queue_depth: 0,
             dropped_batches: 0,
+            producers: Vec::new(),
         }
     }
 

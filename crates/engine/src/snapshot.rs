@@ -27,7 +27,7 @@
 //! `O(keys)` deep-clone freeze alive as a benchmark baseline and as the
 //! oracle for the CoW-equivalence property tests.
 
-use crate::registry::{CounterEngine, EngineConfig};
+use crate::registry::{CounterEngine, EngineConfig, FoldCache, FoldEntry};
 use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::RandomSource;
@@ -37,7 +37,10 @@ use std::time::Instant;
 /// An immutable point-in-time replica of a [`CounterEngine`].
 ///
 /// Created by [`CounterEngine::snapshot`]; cloning is cheap (shared
-/// frozen shards). Every query runs lock-free against the frozen data.
+/// frozen shards). Every query runs lock-free against the frozen data
+/// (the merged-aggregate fold cache behind
+/// [`EngineSnapshot::merged_total`] is the one mutex, taken only by that
+/// call).
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot<C> {
     pub(crate) shards: Vec<Arc<Shard<C>>>,
@@ -49,6 +52,9 @@ pub struct EngineSnapshot<C> {
     epoch: u64,
     keys: usize,
     events: u64,
+    /// Per-shard fold cache, shared with the engine and every sibling
+    /// snapshot of the same lineage.
+    fold_cache: FoldCache<C>,
 }
 
 impl<C: ApproxCounter + Clone> CounterEngine<C> {
@@ -93,6 +99,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             epoch: 0, // patched below, after the freeze is timed
             keys,
             events,
+            fold_cache: Arc::clone(self.fold_cache()),
         };
         let freeze_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let epoch = self.note_freeze(freeze_ns);
@@ -117,8 +124,22 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
     /// Folds the cross-shard merged aggregate: a single counter
     /// distributed as if it had processed the whole frozen stream
     /// (Remark 2.4), agreeing with [`EngineSnapshot::total_events`]
-    /// within the family's `(ε, δ)` guarantee. `O(keys)` — run it on a
-    /// reader thread; the freeze itself never pays this fold.
+    /// within the family's `(ε, δ)` guarantee. Run it on a reader
+    /// thread; the freeze itself never pays this fold.
+    ///
+    /// ## Per-shard caching
+    ///
+    /// The fold is computed in two stages — each shard's counters merge
+    /// into one per-shard contribution, then the `O(shards)`
+    /// contributions merge into the total — and the per-shard stage is
+    /// **cached across freezes, keyed on dirty epochs**: a shard
+    /// untouched since the last fold reuses its cached contribution, so
+    /// between two freezes the recomputation cost is `O(dirty shards'
+    /// keys + shards)`, not `O(all keys)`. The cache is shared by the
+    /// engine and every snapshot of its lineage. Because cache hits skip
+    /// their shard's merge draws, the *sequence* of draws taken from
+    /// `rng` depends on cache warmth; the distribution of the result
+    /// (the Remark 2.4 guarantee) does not.
     ///
     /// # Errors
     ///
@@ -128,12 +149,31 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
     where
         C: Mergeable,
     {
+        let mut cache = self.fold_cache.lock().expect("fold cache lock");
         let mut total = self.template.clone();
         total.reset();
-        for shard in &self.shards {
-            for c in shard.counters() {
-                total.merge_from(c, rng)?;
+        for (slot, shard) in cache.iter_mut().zip(&self.shards) {
+            let fresh = matches!(
+                slot,
+                Some(e) if e.dirty_epoch == shard.dirty_epoch()
+                    && e.events == shard.events()
+                    && e.len == shard.len()
+            );
+            if !fresh {
+                let mut folded = self.template.clone();
+                folded.reset();
+                for c in shard.counters() {
+                    folded.merge_from(c, rng)?;
+                }
+                *slot = Some(FoldEntry {
+                    dirty_epoch: shard.dirty_epoch(),
+                    events: shard.events(),
+                    len: shard.len(),
+                    folded,
+                });
             }
+            let entry = slot.as_ref().expect("slot filled above");
+            total.merge_from(&entry.folded, rng)?;
         }
         Ok(total)
     }
@@ -293,6 +333,74 @@ mod tests {
         }
         // Epochs advance one per freeze, in order.
         assert_eq!(deep.epoch(), cow.epoch() + 1);
+    }
+
+    /// Counts how many words a fold actually draws, to observe cache
+    /// hits (a cached shard contributes zero merge draws).
+    struct CountingSource<'a> {
+        inner: &'a mut Xoshiro256PlusPlus,
+        draws: u64,
+    }
+
+    impl ac_randkit::RandomSource for CountingSource<'_> {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn merged_total_reuses_clean_shard_folds_across_freezes() {
+        use ac_core::MorrisCounter;
+        let mut e = CounterEngine::new(MorrisCounter::new(0.25).unwrap(), cfg());
+        let batch: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, 50)).collect();
+        e.apply(&batch);
+
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let snap1 = e.snapshot();
+        let mut cold = CountingSource {
+            inner: &mut rng,
+            draws: 0,
+        };
+        let _ = snap1.merged_total(&mut cold).unwrap();
+        let cold_draws = cold.draws;
+
+        // Touch exactly one shard, freeze again: only that shard's fold
+        // (plus the O(shards) cross-shard merge) recomputes.
+        e.apply(&[(7, 5)]);
+        let snap2 = e.snapshot();
+        let mut warm = CountingSource {
+            inner: &mut rng,
+            draws: 0,
+        };
+        let total = snap2.merged_total(&mut warm).unwrap();
+        assert!(
+            warm.draws < cold_draws / 2,
+            "warm fold drew {} vs cold {}",
+            warm.draws,
+            cold_draws
+        );
+        // And the estimate still tracks the exact total.
+        let n = snap2.total_events() as f64;
+        let rel = (total.estimate() - n).abs() / n;
+        assert!(rel < 0.5, "merged relative error {rel}");
+    }
+
+    #[test]
+    fn merged_total_cache_is_exact_for_exact_counters() {
+        // With the deterministic exact merge the cache must be invisible:
+        // every freeze's merged total equals the frozen event count.
+        let mut e = CounterEngine::new(ExactCounter::new(), cfg());
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for round in 0..5u64 {
+            e.apply(&[(round, 10 + round), (7 * round + 3, 1)]);
+            let snap = e.snapshot();
+            assert_eq!(
+                snap.merged_total(&mut rng).unwrap().count(),
+                snap.total_events(),
+                "round {round}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1029 @@
+//! The [`Store`]: the engine pipeline under one roof, as a running
+//! service.
+//!
+//! The layered API (ingest → engine → snapshot → checkpoint) stays public
+//! as the expert surface, but deploying it means hand-wiring four layers,
+//! fixing the counter family at compile time, and writing your own crash
+//! recovery. The store is the service-shaped answer:
+//!
+//! * **one builder** — [`Store::builder`] takes a runtime
+//!   [`CounterSpec`] (family + parameters as data) plus shard, ingest,
+//!   and durability knobs, and [`StoreBuilder::start`] yields a running
+//!   service that owns the applier loop and the background checkpointer
+//!   internally;
+//! * **handles, not layers** — cloneable [`StoreWriter`]s (wrapping
+//!   [`IngestProducer`]s, each with its own producer id and sequence
+//!   numbers) and epoch-pinned [`StoreReader`]s (wrapping published
+//!   [`EngineSnapshot`]s with `estimate` / `merged_total`);
+//! * **crash recovery** — [`Store::open`] reads the directory's
+//!   [`Manifest`], rebuilds the family from the recorded spec, discovers
+//!   the newest intact base + delta chain (falling back past a truncated
+//!   or corrupt tail), and resumes counters, shard RNG streams, and the
+//!   epoch clock bit-exactly; the [`RecoveryReport`] carries each
+//!   producer's last-applied sequence number so callers can replay
+//!   exactly once;
+//! * **one error type** — every fallible path returns
+//!   [`EngineError`].
+//!
+//! ```
+//! use ac_core::CounterSpec;
+//! use ac_engine::Store;
+//!
+//! let store = Store::builder(CounterSpec::NelsonYu { eps: 0.2, delta_log2: 8 })
+//!     .with_shards(8)
+//!     .with_snapshot_every_events(1_000)
+//!     .start()
+//!     .unwrap();
+//! let mut writer = store.writer();
+//! for key in 0..100u64 {
+//!     writer.record(key, 1_000);
+//! }
+//! writer.flush().unwrap();
+//! let report = store.close().unwrap();
+//! assert_eq!(report.stats.events, 100_000);
+//! ```
+
+use crate::checkpoint::restore_checkpoint_chain;
+use crate::checkpointer::{
+    BackgroundCheckpointer, CheckpointerConfig, CheckpointerProbe, CheckpointerReport,
+    CheckpointerStats,
+};
+use crate::error::EngineError;
+use crate::ingest::{
+    CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats, ProducerMark,
+};
+use crate::manifest::{Manifest, ManifestInfo};
+use crate::registry::{CounterEngine, EngineConfig, EngineStats};
+use crate::snapshot::EngineSnapshot;
+use ac_core::{ApproxCounter, CounterFamily, CounterSpec};
+use ac_randkit::{mix64, RandomSource, Xoshiro256PlusPlus};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Runtime knobs shared by [`StoreBuilder`] and [`Store::open_with`]:
+/// everything about *how* the service runs, none of it part of the
+/// engine's durable identity (which is the [`CounterSpec`] +
+/// [`EngineConfig`] recorded in the manifest).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StoreOptions {
+    /// Ingest queue configuration.
+    pub ingest: IngestConfig,
+    /// Applied-event cadence between published read snapshots. Each
+    /// publish is an `O(shards)` copy-on-write freeze whose splits are
+    /// amortized into subsequent writes; smaller values mean fresher
+    /// readers, larger values less copy-on-write traffic.
+    pub snapshot_every_events: u64,
+    /// Applied-event cadence between durable checkpoint frames (only
+    /// meaningful with a durability directory).
+    pub checkpoint_every_events: u64,
+    /// Deltas per base before the checkpointer rebases.
+    pub max_deltas_per_base: usize,
+}
+
+impl StoreOptions {
+    /// The default runtime knobs (publish every 65 536 events,
+    /// checkpoint every 1 000 000, rebase after 15 deltas).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ingest: IngestConfig::new(),
+            snapshot_every_events: 65_536,
+            checkpoint_every_events: 1_000_000,
+            max_deltas_per_base: 15,
+        }
+    }
+
+    /// Sets the ingest queue configuration.
+    #[must_use]
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.ingest = ingest;
+        self
+    }
+
+    /// Sets the read-snapshot publish cadence, in applied events.
+    #[must_use]
+    pub fn with_snapshot_every_events(mut self, every: u64) -> Self {
+        self.snapshot_every_events = every;
+        self
+    }
+
+    /// Sets the checkpoint cadence, in applied events.
+    #[must_use]
+    pub fn with_checkpoint_every_events(mut self, every: u64) -> Self {
+        self.checkpoint_every_events = every;
+        self
+    }
+
+    /// Sets how many deltas may follow a base before rebasing.
+    #[must_use]
+    pub fn with_max_deltas_per_base(mut self, max: usize) -> Self {
+        self.max_deltas_per_base = max;
+        self
+    }
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Configures and starts a [`Store`]; created by [`Store::builder`].
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    spec: CounterSpec,
+    engine: EngineConfig,
+    opts: StoreOptions,
+    durability: Option<PathBuf>,
+}
+
+impl StoreBuilder {
+    /// Sets the shard count (part of the engine's durable identity).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.engine = self.engine.with_shards(shards);
+        self
+    }
+
+    /// Sets the RNG/routing seed (part of the engine's durable identity).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.engine = self.engine.with_seed(seed);
+        self
+    }
+
+    /// Sets the ingest queue configuration (capacity, batch size, and
+    /// the block-or-drop backpressure policy).
+    #[must_use]
+    pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
+        self.opts.ingest = ingest;
+        self
+    }
+
+    /// Sets the read-snapshot publish cadence, in applied events.
+    #[must_use]
+    pub fn with_snapshot_every_events(mut self, every: u64) -> Self {
+        self.opts.snapshot_every_events = every;
+        self
+    }
+
+    /// Enables durability: checkpoint frames and the store manifest are
+    /// written under `dir` (created if absent), and [`Store::open`] can
+    /// later resume from it.
+    #[must_use]
+    pub fn with_durability(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability = Some(dir.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence, in applied events.
+    #[must_use]
+    pub fn with_checkpoint_every_events(mut self, every: u64) -> Self {
+        self.opts.checkpoint_every_events = every;
+        self
+    }
+
+    /// Sets how many deltas may follow a base before rebasing.
+    #[must_use]
+    pub fn with_max_deltas_per_base(mut self, max: usize) -> Self {
+        self.opts.max_deltas_per_base = max;
+        self
+    }
+
+    /// Builds the engine from the spec and starts the service (applier
+    /// thread, and — with durability — the background checkpointer and
+    /// manifest).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Core`] for an invalid spec,
+    /// [`EngineError::ManifestCorrupt`] when the durability directory
+    /// already belongs to a different deployment, and I/O errors from
+    /// directory creation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cadence or ingest capacity is zero.
+    pub fn start(self) -> Result<Store, EngineError> {
+        let template = self.spec.build()?;
+        let engine = CounterEngine::new(template, self.engine);
+        let (durability, lock) = match self.durability {
+            None => (None, None),
+            Some(dir) => {
+                std::fs::create_dir_all(&dir)?;
+                let lock = DirLock::acquire(&dir)?;
+                Manifest::ensure(&dir, &self.spec, &self.engine)?;
+                let session = Manifest::load(&dir)?.next_session();
+                (Some((dir, session)), Some(lock))
+            }
+        };
+        Ok(Store::launch(
+            self.spec,
+            self.engine,
+            self.opts,
+            durability,
+            engine,
+            None,
+            lock,
+        ))
+    }
+}
+
+/// What [`Store::open`] found and did; see the module docs on recovery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// The durability directory that was opened.
+    pub directory: PathBuf,
+    /// Frames listed (intact) in the manifest.
+    pub frames_in_manifest: usize,
+    /// Frames of the chosen chain actually folded into the engine.
+    pub frames_used: usize,
+    /// Manifest frames *after* the restored tip that could not be used
+    /// (truncated/corrupt/missing tail, or frames of an abandoned
+    /// chain). Non-zero means the store resumed from an earlier moment
+    /// than the newest frame claims — exactly the window
+    /// [`RecoveryReport::last_applied`] lets producers replay.
+    pub frames_skipped: usize,
+    /// Exact events in the restored engine.
+    pub events: u64,
+    /// Distinct keys in the restored engine.
+    pub keys: usize,
+    /// Freeze epoch of the restored tip (the resumed engine's clock
+    /// continues at `epoch + 1`).
+    pub epoch: u64,
+    /// Per-producer sequence marks at the restored tip's freeze: for
+    /// each producer, `applied_seq` is the last batch the restored state
+    /// contains — replay everything after it for exactly-once recovery.
+    pub last_applied: Vec<ProducerMark>,
+    /// The writer session this reopened store records frames under.
+    pub session: u64,
+}
+
+/// A point-in-time summary of the whole service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct StoreStats {
+    /// Engine stats as of the last published snapshot (with ingest and
+    /// checkpointer diagnostics folded in at publish time).
+    pub engine: EngineStats,
+    /// Live ingest-layer stats.
+    pub ingest: IngestStats,
+    /// Live checkpointer stats (durable stores only).
+    pub checkpointer: Option<CheckpointerStats>,
+}
+
+/// What [`Store::close`] returns: the final engine summary and, for
+/// durable stores, the full checkpoint write history.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct StoreReport {
+    /// Final engine stats (ingest diagnostics folded in).
+    pub stats: EngineStats,
+    /// Every checkpoint frame written, in order (durable stores only).
+    pub checkpoints: Option<CheckpointerReport>,
+}
+
+/// File name of the single-writer lock inside a durability directory.
+const LOCK_FILE: &str = "store.lock";
+
+/// An advisory single-writer lock over a durability directory: a
+/// `store.lock` file holding the owner's pid, created exclusively and
+/// removed on drop. Two live stores over one directory would clobber
+/// each other's frame files and interleave manifest lines, so the
+/// second acquirer gets [`EngineError::StoreBusy`]. A lock left by a
+/// crashed process is detected by pid liveness and cleared (liveness
+/// probing is Linux-`/proc`-based; elsewhere a foreign lock is treated
+/// as stale — advisory, like the rest of the scheme).
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
+}
+
+fn pid_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new("/proc").join(pid.to_string()).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = pid;
+        false
+    }
+}
+
+impl DirLock {
+    fn acquire(dir: &Path) -> Result<Self, EngineError> {
+        let path = dir.join(LOCK_FILE);
+        for _ in 0..16 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Ok(Self { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid_alive(pid) => {
+                            return Err(EngineError::StoreBusy { path, pid })
+                        }
+                        // Stale (dead owner) or unreadable: clear, retry.
+                        _ => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(EngineError::StoreBusy { path, pid: 0 })
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// State shared between the service, its applier thread, and every
+/// reader handle.
+#[derive(Debug)]
+struct Shared {
+    /// The newest published read replica.
+    snap: RwLock<Arc<EngineSnapshot<CounterFamily>>>,
+    /// Engine stats as of the newest publish.
+    stats: Mutex<EngineStats>,
+    /// Whether shutdown should cut a final durable frame (`close`) or
+    /// leave the disk exactly as the crash left it (`kill`).
+    finalize: AtomicBool,
+}
+
+/// Publishes a fresh read replica + stats snapshot. Runs on the applier
+/// thread at batch boundaries (and once at launch / shutdown).
+fn publish(
+    shared: &Shared,
+    engine: &mut CounterEngine<CounterFamily>,
+    queue: &IngestQueue,
+    probe: Option<&CheckpointerProbe>,
+) {
+    let snap = engine.snapshot();
+    let mut stats = engine.stats().with_ingest(&queue.stats());
+    if let Some(p) = probe {
+        stats = stats.with_checkpointer(&p.stats());
+    }
+    *shared.snap.write().expect("snapshot slot") = Arc::new(snap);
+    *shared.stats.lock().expect("stats slot") = stats;
+}
+
+/// The running service: one facade over ingest, the sharded engine,
+/// published read replicas, and (optionally) durable checkpoints with a
+/// crash-recovery manifest. See the module docs.
+#[derive(Debug)]
+pub struct Store {
+    spec: CounterSpec,
+    config: EngineConfig,
+    queue: IngestQueue,
+    shared: Arc<Shared>,
+    #[allow(clippy::type_complexity)]
+    applier: Option<JoinHandle<(CounterEngine<CounterFamily>, Option<CheckpointerReport>)>>,
+    probe: Option<CheckpointerProbe>,
+    directory: Option<PathBuf>,
+    recovery: Option<RecoveryReport>,
+    /// The single-writer directory lock; released (in `Drop`, after the
+    /// applier joins) when the store shuts down — including `kill`, so
+    /// a same-process reopen works; a *real* crash leaves the file and
+    /// the staleness check clears it.
+    _lock: Option<DirLock>,
+}
+
+impl Store {
+    /// Starts configuring a new store for the given runtime family.
+    #[must_use]
+    pub fn builder(spec: CounterSpec) -> StoreBuilder {
+        StoreBuilder {
+            spec,
+            engine: EngineConfig::new(),
+            opts: StoreOptions::new(),
+            durability: None,
+        }
+    }
+
+    /// Reopens a durability directory after a shutdown or crash, with
+    /// default runtime options; see [`Store::open_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::open_with`].
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, EngineError> {
+        Self::open_with(dir, StoreOptions::new())
+    }
+
+    /// Reopens a durability directory: loads and verifies the
+    /// [`Manifest`], rebuilds the counter family from the recorded
+    /// [`CounterSpec`], restores the newest intact base + delta chain
+    /// (dropping a truncated or corrupt tail frame by frame, and falling
+    /// back to earlier chains if a base itself is damaged), and resumes
+    /// the service — counters, shard RNG streams, and the epoch clock
+    /// bit-identical to a clean restore of the same chain. The
+    /// [`RecoveryReport`] (via [`Store::recovery`]) tells producers the
+    /// last applied sequence numbers so they can replay exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::ManifestMissing`] / [`EngineError::ManifestCorrupt`]
+    /// for an unusable manifest, [`EngineError::NoRestorableChain`] when
+    /// frames are listed but nothing on disk restores, plus I/O errors.
+    pub fn open_with(dir: impl AsRef<Path>, opts: StoreOptions) -> Result<Self, EngineError> {
+        let dir = dir.as_ref();
+        if !Manifest::path_in(dir).exists() {
+            return Err(EngineError::ManifestMissing {
+                path: Manifest::path_in(dir),
+            });
+        }
+        // Take the single-writer lock *before* recovery reads anything,
+        // so a still-live writer can't mutate the chain under us.
+        let lock = DirLock::acquire(dir)?;
+        let manifest = Manifest::load(dir)?;
+        let (engine, report) = recover(dir, &manifest)?;
+        let durability = Some((dir.to_path_buf(), report.session));
+        Ok(Self::launch(
+            manifest.spec,
+            manifest.config,
+            opts,
+            durability,
+            engine,
+            Some(report),
+            Some(lock),
+        ))
+    }
+
+    /// Spawns the applier thread (and checkpointer) around a built or
+    /// restored engine — the one construction path behind `start` and
+    /// `open`.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        spec: CounterSpec,
+        config: EngineConfig,
+        opts: StoreOptions,
+        durability: Option<(PathBuf, u64)>,
+        mut engine: CounterEngine<CounterFamily>,
+        recovery: Option<RecoveryReport>,
+        lock: Option<DirLock>,
+    ) -> Self {
+        let queue = IngestQueue::new(opts.ingest);
+        let checkpointer: Option<BackgroundCheckpointer<CounterFamily>> =
+            durability.as_ref().map(|(dir, session)| {
+                BackgroundCheckpointer::spawn(
+                    CheckpointerConfig::new()
+                        .with_every_events(opts.checkpoint_every_events)
+                        .with_max_deltas_per_base(opts.max_deltas_per_base)
+                        .with_directory(dir.clone())
+                        .with_retain_bytes(false)
+                        .with_manifest(ManifestInfo {
+                            spec,
+                            config,
+                            session: *session,
+                        }),
+                )
+            });
+        let probe = checkpointer.as_ref().map(BackgroundCheckpointer::probe);
+        let shared = Arc::new(Shared {
+            snap: RwLock::new(Arc::new(engine.snapshot())),
+            stats: Mutex::new(engine.stats().with_ingest(&queue.stats())),
+            finalize: AtomicBool::new(true),
+        });
+
+        let thread_shared = Arc::clone(&shared);
+        let thread_queue = queue.clone();
+        let snapshot_every = opts.snapshot_every_events;
+        let applier = std::thread::Builder::new()
+            .name("ac-store-applier".into())
+            .spawn(move || {
+                let mut engine = engine;
+                let thread_probe = checkpointer.as_ref().map(BackgroundCheckpointer::probe);
+                let mut snap_due = CheckpointCadence::new(snapshot_every);
+                let mut ckpt_due = checkpointer
+                    .as_ref()
+                    .map(|c| CheckpointCadence::new(c.config().every_events));
+                thread_queue.drain_parallel_with(&mut engine, |engine, applied| {
+                    if snap_due.is_due(applied) {
+                        publish(&thread_shared, engine, &thread_queue, thread_probe.as_ref());
+                    }
+                    if let (Some(due), Some(ck)) = (ckpt_due.as_mut(), checkpointer.as_ref()) {
+                        if due.is_due(applied) {
+                            ck.submit_with_marks(engine.snapshot(), thread_queue.applied_marks());
+                        }
+                    }
+                });
+                // Queue closed and drained: cut the final durable frame
+                // (unless this is a simulated crash), publish the final
+                // replica, and drain the writer thread.
+                let report = checkpointer.map(|ck| {
+                    if thread_shared.finalize.load(Ordering::SeqCst) {
+                        ck.submit_with_marks(engine.snapshot(), thread_queue.applied_marks());
+                    }
+                    ck.finish()
+                });
+                publish(&thread_shared, &mut engine, &thread_queue, None);
+                (engine, report)
+            })
+            .expect("spawn applier thread");
+
+        Self {
+            spec,
+            config,
+            queue,
+            shared,
+            applier: Some(applier),
+            probe,
+            directory: durability.map(|(dir, _)| dir),
+            recovery,
+            _lock: lock,
+        }
+    }
+
+    /// The runtime family the store was built (or reopened) with.
+    #[must_use]
+    pub fn spec(&self) -> CounterSpec {
+        self.spec
+    }
+
+    /// The engine configuration (part of the durable identity).
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The durability directory, when configured.
+    #[must_use]
+    pub fn directory(&self) -> Option<&Path> {
+        self.directory.as_deref()
+    }
+
+    /// What [`Store::open`] recovered; `None` for a store built fresh.
+    #[must_use]
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Creates a writer handle with its own producer id and sequence
+    /// numbering. Any number may exist, on any threads.
+    #[must_use]
+    pub fn writer(&self) -> StoreWriter {
+        StoreWriter {
+            producer: self.queue.producer(),
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Creates a reader pinned to the newest published replica (see
+    /// [`StoreReader::refresh`] to re-pin later). Queries are lock-free
+    /// against the pinned snapshot and never contend with writers.
+    #[must_use]
+    pub fn reader(&self) -> StoreReader {
+        let snap = Arc::clone(&self.shared.snap.read().expect("snapshot slot"));
+        StoreReader {
+            shared: Arc::clone(&self.shared),
+            seed: self.config.seed,
+            snap,
+        }
+    }
+
+    /// A point-in-time summary of the whole pipeline: engine stats as of
+    /// the last publish, live ingest stats (queue depth, drops,
+    /// per-producer sequence marks), live checkpointer stats.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            engine: self.shared.stats.lock().expect("stats slot").clone(),
+            ingest: self.queue.stats(),
+            checkpointer: self.probe.as_ref().map(CheckpointerProbe::stats),
+        }
+    }
+
+    /// Stops the intake, drains every queued batch, cuts a final durable
+    /// checkpoint frame (durable stores), publishes the final replica,
+    /// and returns the service report. Readers created before or after
+    /// `close` keep serving the final state.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; the `Result` reserves the right
+    /// to surface final-flush failures without an API break.
+    pub fn close(mut self) -> Result<StoreReport, EngineError> {
+        let (engine, checkpoints) = self.shutdown(true);
+        Ok(StoreReport {
+            stats: engine.stats().with_ingest(&self.queue.stats()),
+            checkpoints,
+        })
+    }
+
+    /// Crash simulation (tests, chaos drills): stops without the final
+    /// close-time checkpoint frame, leaving the directory exactly as the
+    /// last cadence frame left it — the state [`Store::open`] must
+    /// recover from. In-flight cadence frames already handed to the
+    /// writer thread are still written (a real crash may also tear the
+    /// newest frame file; tests simulate that by truncating it).
+    pub fn kill(mut self) {
+        let _ = self.shutdown(false);
+    }
+
+    /// Common shutdown: close the queue, join the applier, return the
+    /// engine and checkpoint history.
+    fn shutdown(
+        &mut self,
+        finalize: bool,
+    ) -> (CounterEngine<CounterFamily>, Option<CheckpointerReport>) {
+        self.shared.finalize.store(finalize, Ordering::SeqCst);
+        self.queue.close();
+        let handle = self.applier.take().expect("store not yet shut down");
+        handle.join().expect("applier thread")
+    }
+}
+
+impl Drop for Store {
+    /// Best-effort clean close (final frame included) when the store is
+    /// dropped without [`Store::close`].
+    fn drop(&mut self) {
+        if self.applier.is_some() {
+            let _ = self.shutdown(true);
+        }
+    }
+}
+
+/// A write handle: coalesces increments locally and flushes batches into
+/// the store's ingest queue under its own producer id. Cloning creates a
+/// *new* producer (fresh id, fresh sequence) sharing the same store.
+#[derive(Debug)]
+pub struct StoreWriter {
+    producer: IngestProducer,
+    queue: IngestQueue,
+}
+
+impl StoreWriter {
+    /// Records `delta` increments to `key` (coalesced; auto-flushes full
+    /// batches, honoring the store's backpressure policy).
+    pub fn record(&mut self, key: u64, delta: u64) {
+        self.producer.record(key, delta);
+    }
+
+    /// Flushes the partial batch, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::BatchRefused`] when anything this writer submitted
+    /// since the last `flush` was dropped (queue closed, or full under
+    /// the drop policy) — including batches [`StoreWriter::record`]
+    /// auto-flushed silently; `dropped_events` totals every lost event.
+    pub fn flush(&mut self) -> Result<(), EngineError> {
+        let _ = self.producer.flush();
+        let dropped_events = self.producer.take_refused_events();
+        if dropped_events == 0 {
+            Ok(())
+        } else {
+            Err(EngineError::BatchRefused { dropped_events })
+        }
+    }
+
+    /// This writer's producer id (stamped on every batch it flushes).
+    #[must_use]
+    pub fn producer_id(&self) -> u64 {
+        self.producer.id()
+    }
+
+    /// The sequence number of this writer's last accepted batch (0
+    /// before the first) — compare against
+    /// [`RecoveryReport::last_applied`] to replay exactly once.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.producer.last_seq()
+    }
+
+    /// Pairs buffered in the batch under construction.
+    #[must_use]
+    pub fn pending_pairs(&self) -> usize {
+        self.producer.pending_pairs()
+    }
+}
+
+impl Clone for StoreWriter {
+    /// A clone is a new, independent producer over the same store (its
+    /// own id and sequence numbering; nothing buffered is shared).
+    fn clone(&self) -> Self {
+        Self {
+            producer: self.queue.producer(),
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// A read handle pinned to one published replica: every query sees one
+/// consistent freeze epoch, immune to concurrent writes, until
+/// [`StoreReader::refresh`] re-pins. Cloning preserves the pin; handles
+/// are cheap (`O(shards)` of `Arc`s) and lock-free on the query path.
+#[derive(Debug, Clone)]
+pub struct StoreReader {
+    shared: Arc<Shared>,
+    snap: Arc<EngineSnapshot<CounterFamily>>,
+    seed: u64,
+}
+
+impl StoreReader {
+    /// The estimate for `key` at the pinned freeze, or `None` if the key
+    /// had never been touched.
+    #[must_use]
+    pub fn estimate(&self, key: u64) -> Option<f64> {
+        self.snap.estimate(key)
+    }
+
+    /// Read-only access to `key`'s frozen counter.
+    #[must_use]
+    pub fn counter(&self, key: u64) -> Option<&CounterFamily> {
+        self.snap.counter(key)
+    }
+
+    /// The cross-shard merged aggregate (Remark 2.4) of the pinned
+    /// replica, folded with a deterministic RNG derived from the store
+    /// seed and the pinned epoch — so two readers pinned to the same
+    /// epoch with the same cache warmth agree. For explicit randomness
+    /// use [`StoreReader::merged_total_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge errors as [`EngineError::Core`] (unreachable for
+    /// a store's homogeneous counters).
+    pub fn merged_total(&self) -> Result<CounterFamily, EngineError> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix64(self.seed ^ mix64(self.epoch())));
+        self.merged_total_with(&mut rng)
+    }
+
+    /// [`StoreReader::merged_total`] with caller-supplied randomness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates merge errors as [`EngineError::Core`].
+    pub fn merged_total_with(
+        &self,
+        rng: &mut dyn RandomSource,
+    ) -> Result<CounterFamily, EngineError> {
+        Ok(self.snap.merged_total(rng)?)
+    }
+
+    /// The merged aggregate's estimate — the service's one-number answer
+    /// to "how many events, in total?".
+    ///
+    /// # Errors
+    ///
+    /// See [`StoreReader::merged_total`].
+    pub fn merged_estimate(&self) -> Result<f64, EngineError> {
+        Ok(self.merged_total()?.estimate())
+    }
+
+    /// Exact total events at the pinned freeze.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.snap.total_events()
+    }
+
+    /// Distinct keys at the pinned freeze.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.snap.len()
+    }
+
+    /// True when the pinned replica holds no keys.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.snap.is_empty()
+    }
+
+    /// The freeze epoch this reader is pinned to.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch()
+    }
+
+    /// The pinned frozen replica itself (the expert API underneath).
+    #[must_use]
+    pub fn snapshot(&self) -> &EngineSnapshot<CounterFamily> {
+        &self.snap
+    }
+
+    /// Re-pins to the newest published replica.
+    pub fn refresh(&mut self) {
+        self.snap = Arc::clone(&self.shared.snap.read().expect("snapshot slot"));
+    }
+}
+
+/// Restores the newest intact chain a manifest describes; see
+/// [`Store::open_with`].
+fn recover(
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(CounterEngine<CounterFamily>, RecoveryReport), EngineError> {
+    use crate::checkpoint::CheckpointKind;
+
+    let template = manifest.spec.build()?;
+    let frames = &manifest.frames;
+    if frames.is_empty() {
+        // A store that never reached its first checkpoint: resume empty.
+        let engine = CounterEngine::new(template, manifest.config);
+        let report = RecoveryReport {
+            directory: dir.to_path_buf(),
+            frames_in_manifest: 0,
+            frames_used: 0,
+            frames_skipped: 0,
+            events: 0,
+            keys: 0,
+            epoch: 0,
+            last_applied: Vec::new(),
+            session: manifest.next_session(),
+        };
+        return Ok((engine, report));
+    }
+
+    // Candidate chains, newest base first: each run [full, delta…] up to
+    // the next full frame.
+    let fulls: Vec<usize> = frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.kind == CheckpointKind::Full)
+        .map(|(i, _)| i)
+        .collect();
+    let mut chains_tried = 0usize;
+    for &base in fulls.iter().rev() {
+        chains_tried += 1;
+        let end = fulls
+            .iter()
+            .find(|&&i| i > base)
+            .copied()
+            .unwrap_or(frames.len());
+        // Read segment files up to the first unreadable one.
+        let mut segments: Vec<Vec<u8>> = Vec::new();
+        for frame in &frames[base..end] {
+            match std::fs::read(dir.join(&frame.file)) {
+                Ok(bytes) => segments.push(bytes),
+                Err(_) => break,
+            }
+        }
+        // Fold the longest restorable prefix: a truncated or corrupt
+        // tail delta drops off one frame at a time; a damaged base sends
+        // us to the previous chain.
+        while !segments.is_empty() {
+            let refs: Vec<&[u8]> = segments.iter().map(Vec::as_slice).collect();
+            match restore_checkpoint_chain(&template, &refs) {
+                Ok(engine) => {
+                    let used = segments.len();
+                    let tip = &frames[base + used - 1];
+                    let report = RecoveryReport {
+                        directory: dir.to_path_buf(),
+                        frames_in_manifest: frames.len(),
+                        frames_used: used,
+                        frames_skipped: frames.len() - (base + used),
+                        events: engine.total_events(),
+                        keys: engine.len(),
+                        epoch: tip.epoch,
+                        last_applied: tip.marks.clone(),
+                        session: manifest.next_session(),
+                    };
+                    return Ok((engine, report));
+                }
+                Err(_) => {
+                    segments.pop();
+                }
+            }
+        }
+    }
+    Err(EngineError::NoRestorableChain {
+        frames: frames.len(),
+        chains_tried,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CounterSpec {
+        CounterSpec::NelsonYu {
+            eps: 0.2,
+            delta_log2: 8,
+        }
+    }
+
+    #[test]
+    fn store_runs_writes_and_serves_reads() {
+        let store = Store::builder(spec())
+            .with_shards(4)
+            .with_seed(11)
+            .with_snapshot_every_events(100)
+            .start()
+            .unwrap();
+        let mut w = store.writer();
+        for key in 0..50u64 {
+            w.record(key, 200);
+        }
+        w.flush().unwrap();
+
+        // A reader pinned before close may lag; after close the final
+        // replica is published.
+        let report = store.close().unwrap();
+        assert_eq!(report.stats.events, 10_000);
+        assert_eq!(report.stats.keys, 50);
+        assert!(report.checkpoints.is_none(), "no durability configured");
+    }
+
+    #[test]
+    fn readers_are_epoch_pinned_until_refreshed() {
+        let store = Store::builder(CounterSpec::Exact)
+            .with_snapshot_every_events(1) // publish at every batch
+            .start()
+            .unwrap();
+        let early = store.reader();
+        assert_eq!(early.total_events(), 0);
+
+        let mut w = store.writer();
+        w.record(1, 5);
+        w.flush().unwrap();
+        // Wait for the applier to publish the new replica.
+        let mut fresh = store.reader();
+        for _ in 0..10_000 {
+            if fresh.total_events() == 5 {
+                break;
+            }
+            std::thread::yield_now();
+            fresh.refresh();
+        }
+        assert_eq!(fresh.total_events(), 5);
+        assert_eq!(fresh.estimate(1), Some(5.0));
+        assert_eq!(early.total_events(), 0, "pin held");
+        let mut early = early;
+        early.refresh();
+        assert_eq!(early.total_events(), 5, "refresh re-pins");
+        assert!(fresh.epoch() > 0);
+        let _ = store.close().unwrap();
+    }
+
+    #[test]
+    fn merged_estimate_tracks_totals() {
+        let store = Store::builder(spec())
+            .with_shards(8)
+            .with_snapshot_every_events(1_000)
+            .start()
+            .unwrap();
+        let mut w = store.writer();
+        for key in 0..500u64 {
+            w.record(key, 1_000);
+        }
+        w.flush().unwrap();
+        let _ = store.stats(); // exercisable mid-run
+        let mut reader = store.reader();
+        let report = store.close().unwrap();
+        assert_eq!(report.stats.events, 500_000);
+
+        // After close the final replica is published: the merged
+        // aggregate concentrates around the exact total, and repeated
+        // calls on the same pin agree (deterministic seed + warm cache).
+        reader.refresh();
+        assert_eq!(reader.total_events(), 500_000);
+        let merged = reader.merged_estimate().unwrap();
+        let rel = (merged - 500_000.0).abs() / 500_000.0;
+        assert!(rel < 0.4, "merged relative error {rel}");
+        let again = reader.merged_estimate().unwrap();
+        assert_eq!(merged, again, "same pin, same fold");
+    }
+
+    #[test]
+    fn writer_clones_are_independent_producers() {
+        let store = Store::builder(CounterSpec::Exact).start().unwrap();
+        let mut a = store.writer();
+        let b = a.clone();
+        assert_ne!(a.producer_id(), b.producer_id());
+        a.record(1, 1);
+        assert_eq!(b.pending_pairs(), 0, "buffers are not shared");
+        let _ = store.close().unwrap();
+    }
+
+    #[test]
+    fn invalid_spec_is_a_typed_error() {
+        let err = Store::builder(CounterSpec::Morris { a: -3.0 })
+            .start()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Core(_)));
+    }
+}

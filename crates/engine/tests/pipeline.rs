@@ -25,7 +25,10 @@ fn engine_and_checkpoint<C: StateCodec + Clone>(
     seed: u64,
     events: &[(u64, u64)],
 ) -> (CounterEngine<C>, Checkpoint) {
-    let mut engine = CounterEngine::new(template.clone(), EngineConfig { shards, seed });
+    let mut engine = CounterEngine::new(
+        template.clone(),
+        EngineConfig::new().with_shards(shards).with_seed(seed),
+    );
     engine.apply(events);
     let ck = checkpoint_snapshot(&engine.snapshot());
     (engine, ck)
@@ -88,7 +91,7 @@ fn assert_cow_and_chain_faithful<C: StateCodec + Clone + Send + Sync>(
     schedule: &[(Vec<(u64, u64)>, bool)],
     follow_up: &[(u64, u64)],
 ) -> Result<(), proptest::test_runner::TestCaseError> {
-    let config = EngineConfig { shards, seed };
+    let config = EngineConfig::new().with_shards(shards).with_seed(seed);
     let mut cow = CounterEngine::new(template.clone(), config);
     let mut deep = CounterEngine::new(template.clone(), config);
 
@@ -346,12 +349,12 @@ fn pinned_config_mismatch_is_refused() {
     let events: Vec<(u64, u64)> = (0..30u64).map(|k| (k, 2)).collect();
     let (engine, ck) = engine_and_checkpoint(&template, 4, 7, &events);
 
-    let wrong_shards = EngineConfig { shards: 5, seed: 7 };
+    let wrong_shards = EngineConfig::new().with_shards(5).with_seed(7);
     assert!(matches!(
         restore_checkpoint_expecting(&template, ck.bytes(), wrong_shards),
         Err(CheckpointError::ConfigMismatch { .. })
     ));
-    let wrong_seed = EngineConfig { shards: 4, seed: 8 };
+    let wrong_seed = EngineConfig::new().with_shards(4).with_seed(8);
     assert!(matches!(
         restore_checkpoint_expecting(&template, ck.bytes(), wrong_seed),
         Err(CheckpointError::ConfigMismatch { .. })

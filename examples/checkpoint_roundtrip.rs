@@ -24,10 +24,7 @@ use approx_counting::prelude::*;
 use std::path::Path;
 
 const KEYS: u64 = 10_000;
-const CONFIG: EngineConfig = EngineConfig {
-    shards: 8,
-    seed: 0xC1AC_C0DE,
-};
+const CONFIG: EngineConfig = EngineConfig::new().with_shards(8).with_seed(0xC1AC_C0DE);
 
 fn template() -> NelsonYuCounter {
     NelsonYuCounter::new(NyParams::new(0.2, 8).expect("valid parameters"))

@@ -1,0 +1,222 @@
+//! The `Store` service facade, end to end — including a crash and a
+//! cross-process recovery.
+//!
+//! Three modes:
+//!
+//! * no arguments — an in-process drill: start a durable store, hammer it
+//!   from several writer threads while a reader queries, **kill it**
+//!   (simulated crash: no close-time checkpoint), tear the newest delta
+//!   frame in half (simulated torn write), then `Store::open` the
+//!   directory and verify the recovery report against the disk state;
+//! * `write <dir>` — run a deterministic single-writer workload against a
+//!   durable store and close cleanly (the close-time frame makes the full
+//!   state durable);
+//! * `recover <dir>` — run as a *fresh process*: reopen the directory and
+//!   assert the restored totals equal the deterministic workload's,
+//!   proving durability across a process boundary (CI wires write and
+//!   recover as separate invocations).
+//!
+//! ```console
+//! $ cargo run --release --example store_service
+//! $ cargo run --release --example store_service -- write  /tmp/ac-store
+//! $ cargo run --release --example store_service -- recover /tmp/ac-store
+//! ```
+
+use approx_counting::prelude::*;
+use std::path::Path;
+
+fn spec() -> CounterSpec {
+    CounterSpec::NelsonYu {
+        eps: 0.2,
+        delta_log2: 8,
+    }
+}
+
+/// The deterministic workload `write` records and `recover` checks.
+fn deterministic_workload() -> Vec<(u64, u64)> {
+    (0..5_000u64).map(|k| (k, 1 + k % 13)).collect()
+}
+
+fn expected_total() -> u64 {
+    deterministic_workload().iter().map(|&(_, d)| d).sum()
+}
+
+fn write_mode(dir: &Path) {
+    let store = Store::builder(spec())
+        .with_shards(8)
+        .with_seed(0x0057_031E)
+        .with_durability(dir)
+        .with_checkpoint_every_events(10_000)
+        .with_snapshot_every_events(5_000)
+        .start()
+        .expect("start durable store");
+    let mut writer = store.writer();
+    for &(key, delta) in &deterministic_workload() {
+        writer.record(key, delta);
+    }
+    writer.flush().expect("lossless flush");
+    let report = store.close().expect("clean close");
+    println!(
+        "wrote {} events over {} keys to {}; {} checkpoint frames ({} bytes), \
+         producer 0 applied through seq {}",
+        report.stats.events,
+        report.stats.keys,
+        dir.display(),
+        report.checkpoints.as_ref().map_or(0, |c| c.records.len()),
+        report.checkpoints.as_ref().map_or(0, |c| c
+            .records
+            .iter()
+            .map(|r| r.bytes_len)
+            .sum::<u64>()),
+        report.stats.producers.first().map_or(0, |m| m.applied_seq),
+    );
+    assert_eq!(report.stats.events, expected_total());
+}
+
+fn recover_mode(dir: &Path) {
+    let store = Store::open(dir).expect("reopen durability directory");
+    let recovery = store.recovery().expect("opened from disk").clone();
+    let reader = store.reader();
+    println!(
+        "reopened {}: {} frames in manifest, {} used, {} skipped; \
+         {} events / {} keys restored; last applied seqs: {:?}",
+        dir.display(),
+        recovery.frames_in_manifest,
+        recovery.frames_used,
+        recovery.frames_skipped,
+        recovery.events,
+        recovery.keys,
+        recovery
+            .last_applied
+            .iter()
+            .map(|m| (m.producer, m.applied_seq))
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(
+        reader.total_events(),
+        expected_total(),
+        "clean close must have made the full workload durable"
+    );
+    assert_eq!(recovery.events, expected_total());
+    assert_eq!(recovery.keys, 5_000);
+    // Spot-check a few per-key estimates against their exact deltas.
+    for key in [0u64, 13, 777, 4_999] {
+        let exact = (1 + key % 13) as f64;
+        let est = reader.estimate(key).expect("key restored");
+        assert!(
+            est >= 1.0 && est <= 60.0 * exact,
+            "key {key}: estimate {est} vs exact {exact}"
+        );
+    }
+    store.close().expect("clean close");
+    println!("recover OK: totals match the deterministic workload exactly");
+}
+
+fn crash_drill() {
+    let dir = std::env::temp_dir().join(format!("ac-store-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("crash drill in {}", dir.display());
+
+    // Start a durable store and hammer it from three writers while a
+    // reader polls.
+    let store = Store::builder(spec())
+        .with_shards(8)
+        .with_durability(&dir)
+        .with_checkpoint_every_events(20_000)
+        .with_snapshot_every_events(10_000)
+        .start()
+        .expect("start durable store");
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let mut writer = store.writer();
+            s.spawn(move || {
+                for i in 0..40_000u64 {
+                    writer.record((t * 1_000 + i) % 7_000, 1 + i % 5);
+                }
+                writer.flush().expect("lossless flush");
+            });
+        }
+        let mut reader = store.reader();
+        s.spawn(move || {
+            for _ in 0..50 {
+                reader.refresh();
+                std::thread::yield_now();
+            }
+        });
+    });
+    let submitted = store.stats().ingest.enqueued_events;
+    println!("writers submitted {submitted} events; killing the store mid-flight");
+    store.kill(); // simulated crash: no close-time checkpoint frame
+
+    // Tear the newest delta frame (simulated torn write), when one
+    // exists — recovery must fall back past it.
+    let manifest = Manifest::load(&dir).expect("manifest survives the crash");
+    let torn = manifest
+        .frames
+        .iter()
+        .rev()
+        .find(|f| f.kind == CheckpointKind::Delta)
+        .filter(|f| f.chain == manifest.frames.last().unwrap().chain)
+        .map(|f| dir.join(&f.file));
+    if let Some(path) = &torn {
+        let bytes = std::fs::read(path).expect("read tail frame");
+        std::fs::write(path, &bytes[..bytes.len() / 2]).expect("tear tail frame");
+        println!("tore the newest delta frame in half: {}", path.display());
+    }
+
+    // Recover. The report says exactly how far the durable state got and
+    // where each producer should resume.
+    let store = Store::open(&dir).expect("recover the directory");
+    let recovery = store.recovery().expect("opened from disk").clone();
+    println!(
+        "recovered: {} of {} frames used ({} skipped), {} events / {} keys; \
+         replay cursors: {:?}",
+        recovery.frames_used,
+        recovery.frames_in_manifest,
+        recovery.frames_skipped,
+        recovery.events,
+        recovery.keys,
+        recovery
+            .last_applied
+            .iter()
+            .map(|m| (m.producer, m.applied_seq))
+            .collect::<Vec<_>>(),
+    );
+    assert!(recovery.events <= submitted, "never more than was written");
+    assert_eq!(store.reader().total_events(), recovery.events);
+    if torn.is_some() {
+        assert!(
+            recovery.frames_skipped >= 1,
+            "the torn tail must have been skipped"
+        );
+    }
+
+    // The reopened store keeps serving: write a little more and close
+    // cleanly.
+    let mut writer = store.writer();
+    for key in 0..100u64 {
+        writer.record(key, 7);
+    }
+    writer.flush().expect("lossless flush");
+    let report = store.close().expect("clean close");
+    println!(
+        "post-recovery writes applied; final state: {} events / {} keys",
+        report.stats.events, report.stats.keys
+    );
+    assert_eq!(report.stats.events, recovery.events + 700);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("crash drill OK");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.as_slice() {
+        [_] => crash_drill(),
+        [_, mode, path] if mode == "write" => write_mode(Path::new(path)),
+        [_, mode, path] if mode == "recover" => recover_mode(Path::new(path)),
+        _ => {
+            eprintln!("usage: store_service [write <dir> | recover <dir>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -19,10 +19,14 @@
 //! * [`automaton`] — the Theorem 3.1 lower bound, executable.
 //! * [`streams`] — counter arrays, dictionaries, frequency moments,
 //!   reservoir sampling, heavy hitters.
-//! * [`engine`] — the sharded keyed-counter engine, in four layers:
-//!   bounded coalescing ingest, the copy-on-write batch-update write
-//!   path, `O(shards)` snapshot read replicas, and bit-exact full +
-//!   delta checkpoint chains through `ac-bitio` with a background
+//! * [`engine`] — the sharded keyed-counter engine: the
+//!   [`Store`](engine::Store) service facade (runtime family selection
+//!   via [`CounterSpec`](core::CounterSpec), cloneable writer/reader
+//!   handles, manifest-driven crash recovery) over four expert layers —
+//!   bounded coalescing ingest with per-producer sequence numbers, the
+//!   copy-on-write batch-update write path, `O(shards)` snapshot read
+//!   replicas with a dirty-epoch-cached merged aggregate, and bit-exact
+//!   full + delta checkpoint chains through `ac-bitio` with a background
 //!   checkpoint writer.
 //! * [`sim`] — the parallel experiment harness.
 //!
@@ -64,15 +68,17 @@ pub mod prelude {
     pub use ac_bitio::StateBits;
     pub use ac_core::{
         budget, exact_level_distribution, morris_a, morris_plus_cutoff, ApproxCounter,
-        AveragedMorris, CoreError, CsurosCounter, ExactAlphaNelsonYu, ExactCounter, Mergeable,
-        MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams, PromiseAnswer, PromiseDecider,
-        StateCodec,
+        AveragedMorris, CoreError, CounterFamily, CounterSpec, CsurosCounter, ExactAlphaNelsonYu,
+        ExactCounter, Mergeable, MorrisCounter, MorrisPlus, NelsonYuCounter, NyParams,
+        PromiseAnswer, PromiseDecider, StateCodec,
     };
     pub use ac_engine::{
         checkpoint_delta, checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain,
         restore_checkpoint_expecting, BackgroundCheckpointer, Checkpoint, CheckpointError,
         CheckpointKind, CheckpointStats, CheckpointerConfig, CounterEngine, EngineConfig,
-        EngineSnapshot, EngineStats, IngestConfig, IngestProducer, IngestQueue, IngestStats,
+        EngineError, EngineSnapshot, EngineStats, IngestConfig, IngestProducer, IngestQueue,
+        IngestStats, Manifest, ProducerMark, RecoveryReport, Store, StoreBuilder, StoreOptions,
+        StoreReader, StoreStats, StoreWriter,
     };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};
