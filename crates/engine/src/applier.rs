@@ -1,0 +1,192 @@
+//! The pooled applier behind [`IngestQueue::drain_pooled`]: one
+//! persistent worker thread per shard, fed bursts of batches, so thread
+//! spawn/join and per-batch routing overhead amortize across the burst.
+//!
+//! ## Why not scoped-spawn per batch
+//!
+//! [`CounterEngine::apply_parallel`](crate::CounterEngine::apply_parallel)
+//! spawns one scoped thread per touched shard *per batch* — fine for the
+//! occasional large batch, ruinous at pipeline rates where a batch is a
+//! few thousand pairs and spawn/join costs rival application. The pool
+//! spawns its workers once per drain and ships work over channels.
+//!
+//! ## The era-per-burst protocol
+//!
+//! The dispatcher (the drain thread, which owns `&mut CounterEngine`)
+//! repeatedly:
+//!
+//! 1. pops a burst of up to [`BURST_BATCHES`] batches (one blocking pop,
+//!    then nonblocking pops),
+//! 2. routes every pair to its shard bucket via the engine's Lemire
+//!    `shard_of`,
+//! 3. *moves* each touched shard's `Arc` out of the engine and ships it
+//!    to that shard's worker together with its bucket,
+//! 4. collects every reply, reinstalls the shards, records the applied
+//!    marks, and runs the burst hook.
+//!
+//! Between bursts the engine is whole and quiescent, so hooks can freeze
+//! snapshots exactly as they do on the per-batch drains. Workers perform
+//! the copy-on-write `Arc::make_mut` split themselves — an improvement
+//! over the scoped path, where every split ran serially on the applier
+//! thread.
+//!
+//! Determinism: bursts concatenate batches in arrival order and buckets
+//! preserve that order per shard, and each shard consumes only its own
+//! RNG stream — so the pooled drain is bit-identical to a sequential
+//! drain of the same arrival order. The opt-in key-run fold
+//! ([`IngestConfig::fold_runs`](crate::IngestConfig::fold_runs)) trades
+//! that bit-exactness (not correctness) for fewer counter transitions;
+//! see the ingest module docs.
+
+use crate::ingest::{Batch, IngestQueue};
+use crate::registry::CounterEngine;
+use crate::shard::Shard;
+use ac_core::ApproxCounter;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Max batches drained per burst. Large enough to amortize the
+/// fan-out/fan-in channel round trip, small enough that burst-boundary
+/// hooks (checkpoint cadence, snapshot publication) stay responsive.
+pub(crate) const BURST_BATCHES: usize = 64;
+
+/// One unit of work for a shard worker: the shard (moved out of the
+/// engine for the burst), the epoch to stamp, and the pairs routed to it.
+struct Job<C> {
+    slot: usize,
+    shard: Arc<Shard<C>>,
+    epoch: u64,
+    pairs: Vec<(u64, u64)>,
+    fold: bool,
+}
+
+/// A worker's reply: the shard back, plus how many pairs the fold elided.
+struct Done<C> {
+    slot: usize,
+    shard: Arc<Shard<C>>,
+    folded: u64,
+}
+
+fn worker<C: ApproxCounter + Clone>(
+    jobs: mpsc::Receiver<Job<C>>,
+    done: mpsc::Sender<Done<C>>,
+    template: C,
+) {
+    while let Ok(job) = jobs.recv() {
+        let Job {
+            slot,
+            mut shard,
+            epoch,
+            pairs,
+            fold,
+        } = job;
+        let s = Arc::make_mut(&mut shard);
+        s.touch(epoch);
+        let folded = if fold {
+            s.apply_folded(&template, pairs)
+        } else {
+            s.apply_pairs(&template, &pairs);
+            0
+        };
+        if done
+            .send(Done {
+                slot,
+                shard,
+                folded,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// The drain loop behind [`IngestQueue::drain_pooled_with`].
+pub(crate) fn drain_pooled_with<C, F>(
+    queue: &IngestQueue,
+    engine: &mut CounterEngine<C>,
+    mut hook: F,
+) -> u64
+where
+    C: ApproxCounter + Clone + Send + Sync,
+    F: FnMut(&mut CounterEngine<C>, u64),
+{
+    let shards = engine.shards().len();
+    let fold = queue.config().fold_runs;
+    let burst_cap = queue.config().burst_events;
+    let template = engine.template().clone();
+    let mut applied = 0u64;
+
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel::<Done<C>>();
+        let job_txs: Vec<mpsc::Sender<Job<C>>> = (0..shards)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel::<Job<C>>();
+                let done = done_tx.clone();
+                let template = template.clone();
+                scope.spawn(move || worker(rx, done, template));
+                tx
+            })
+            .collect();
+        drop(done_tx);
+
+        let mut burst: Vec<Batch> = Vec::with_capacity(BURST_BATCHES);
+        let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards];
+        while let Some(first) = queue.next_batch() {
+            let mut burst_ev = first.events();
+            burst.push(first);
+            while burst.len() < BURST_BATCHES && burst_ev < burst_cap {
+                match queue.try_next_batch() {
+                    Some(batch) => {
+                        burst_ev += batch.events();
+                        burst.push(batch);
+                    }
+                    None => break,
+                }
+            }
+
+            for batch in &burst {
+                for &(key, delta) in &batch.pairs {
+                    buckets[engine.shard_of(key)].push((key, delta));
+                }
+            }
+
+            let epoch = engine.epoch();
+            let mut outstanding = 0usize;
+            for (slot, bucket) in buckets.iter_mut().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let pairs = std::mem::take(bucket);
+                let shard = engine.take_shard(slot);
+                job_txs[slot]
+                    .send(Job {
+                        slot,
+                        shard,
+                        epoch,
+                        pairs,
+                        fold,
+                    })
+                    .expect("applier worker alive");
+                outstanding += 1;
+            }
+
+            let mut folded = 0u64;
+            for _ in 0..outstanding {
+                let done = done_rx.recv().expect("applier worker reply");
+                engine.put_shard(done.slot, done.shard);
+                folded += done.folded;
+            }
+            if folded > 0 {
+                queue.note_folded(folded);
+            }
+            for batch in burst.drain(..) {
+                applied += batch.events();
+                queue.note_applied(&batch);
+            }
+            hook(engine, applied);
+        }
+        drop(job_txs);
+    });
+    applied
+}

@@ -125,6 +125,20 @@ impl From<std::io::Error> for EngineError {
     }
 }
 
+/// Collapses a writer-side [`SendError`](crate::SendError) into the
+/// service error. The batch itself is dropped by this conversion — paths
+/// that want to retry or spill it should match the `SendError` instead.
+impl From<crate::SendError> for EngineError {
+    fn from(e: crate::SendError) -> Self {
+        match e {
+            crate::SendError::Full(batch) => EngineError::BatchRefused {
+                dropped_events: batch.events(),
+            },
+            crate::SendError::Closed(_) => EngineError::Closed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

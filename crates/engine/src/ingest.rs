@@ -1,6 +1,6 @@
-//! The ingest layer: a bounded multi-producer event queue that coalesces
-//! per-key increments into batches, so producers never block on shard
-//! application.
+//! The ingest layer: per-producer lock-free SPSC rings behind a
+//! nonblocking writer API, so producers never contend on a global lock
+//! and never block on shard application.
 //!
 //! Producers hold an [`IngestProducer`] and call
 //! [`record`](IngestProducer::record); increments to the same key within
@@ -8,52 +8,80 @@
 //! counter families' batched `increment_by` makes a coalesced delta as
 //! cheap as a single increment — the amortized view of the Aden-Ali–Han–
 //! Nelson–Yu follow-up, where the batch is the first-class operation).
-//! Full batches are handed to a bounded queue; appliers drain them into a
-//! [`CounterEngine`](crate::CounterEngine) sequentially or with
-//! one-thread-per-shard application. The queue is the only synchronization
-//! point: producers contend on a mutex-guarded `VecDeque` push, never on
-//! counter slabs, and appliers never hold the queue lock while applying.
+//! Full batches are published into the producer's *own* bounded
+//! single-producer/single-consumer ring
+//! ([`ring_batches`](IngestConfig::ring_batches) slots, power-of-two,
+//! atomic head/tail on separate cache lines); appliers round-robin the
+//! rings and drain batches into a [`CounterEngine`](crate::CounterEngine)
+//! sequentially, with one-thread-per-shard application, or through the
+//! persistent applier pool ([`IngestQueue::drain_pooled`]). There is no
+//! global queue lock: a producer's hot path is one uncontended slot write
+//! plus two atomic ring words, and parking/unparking rides eventcount
+//! doorbells (one atomic load per notify when nobody waits) instead of a
+//! shared `Condvar`.
 //!
 //! ## Backpressure
 //!
-//! The queue is bounded ([`IngestConfig::queue_batches`]). When it fills,
-//! [`IngestConfig::block_when_full`] picks the policy: block the producer
-//! until an applier catches up (lossless, the default), or drop the
-//! refused batch and count it ([`IngestStats::dropped_batches`], surfaced
-//! through [`EngineStats::with_ingest`](crate::EngineStats::with_ingest))
-//! — the load-shedding mode for latency-critical writers.
+//! Each ring is bounded. When a producer's ring fills,
+//! [`IngestConfig::policy`] picks the behavior:
+//!
+//! * [`BackpressurePolicy::Block`] (default) — the producer parks on the
+//!   space doorbell until its applier catches up. Lossless.
+//! * [`BackpressurePolicy::DropNewest`] — the refused batch is dropped
+//!   and counted ([`IngestStats::dropped_batches`], surfaced through
+//!   [`EngineStats::with_ingest`](crate::EngineStats::with_ingest)) —
+//!   the load-shedding mode for latency-critical writers.
+//! * [`BackpressurePolicy::Fail`] — nothing is ever dropped silently:
+//!   [`IngestProducer::try_send`] returns [`SendError::Full`] *carrying
+//!   the rejected batch*, and `record`'s auto-flush retains the buffer
+//!   instead of discarding it, so refusal always surfaces at a call
+//!   site that can retry ([`IngestProducer::resubmit`]), back off, or
+//!   shed load deliberately.
 //!
 //! ## Provenance: producer ids and sequence numbers
 //!
 //! Every [`Batch`] is stamped with the id of the [`IngestProducer`] that
 //! flushed it and a per-producer sequence number (1, 2, 3, … over the
-//! *accepted* batches of that producer). The queue tracks two high-water
-//! marks per producer — the last sequence accepted into the queue and the
-//! last sequence drained into an engine ([`ProducerMark`], surfaced
-//! through [`IngestStats::producers`]) — which is what makes exactly-once
-//! replay after a crash-restore possible: a checkpoint cut at a batch
-//! boundary records the applied marks, so on recovery each producer knows
-//! the first sequence number the store has *not* seen and replays from
-//! there, nothing dropped and nothing double-counted (the checkpoint
-//! preserves RNG streams, so replayed batches reproduce states
-//! bit-for-bit).
+//! *accepted* batches of that producer). The ring registry tracks two
+//! high-water marks per producer — the last sequence accepted into the
+//! ring and the last sequence drained into an engine ([`ProducerMark`],
+//! surfaced through [`IngestStats::producers`]) — which is what makes
+//! exactly-once replay after a crash-restore possible: a checkpoint cut
+//! at a batch boundary records the applied marks, so on recovery each
+//! producer knows the first sequence number the store has *not* seen and
+//! replays from there, nothing dropped and nothing double-counted (the
+//! checkpoint preserves RNG streams, so replayed batches reproduce
+//! states bit-for-bit).
 //!
 //! ## Determinism
 //!
 //! A single producer draining through a sequential applier reproduces
-//! `engine.apply` on the concatenated batches bit for bit. With several
-//! producers the *arrival order* of batches depends on thread scheduling —
-//! as in any streaming system — but every applied state is still one the
-//! deterministic engine produces for some arrival order, and per-shard RNG
-//! isolation keeps [`drain_parallel`](IngestQueue::drain_parallel)
-//! identical to a sequential drain of the same batch sequence.
+//! `engine.apply` on the concatenated batches bit for bit — and so do
+//! [`drain_parallel`](IngestQueue::drain_parallel) and the pooled drain,
+//! per the engine's parallel-apply contract (per-shard arrival order is
+//! preserved and each shard consumes only its own RNG stream). With
+//! several producers the *arrival order* of batches depends on thread
+//! scheduling — as in any streaming system — but every applied state is
+//! still one the deterministic engine produces for some arrival order.
+//!
+//! The one deliberate exception is the opt-in key-run fold
+//! ([`IngestConfig::fold_runs`]): the pooled applier then sorts each
+//! drained burst's pairs by key and applies one `increment_by` per
+//! key-run, amortizing counter transitions across the burst. Summing
+//! deltas before the draw consumes the RNG stream differently than
+//! summing after, so folded states are *distributionally* identical
+//! (Remark 2.4's merge view) but not bit-identical to the unfolded
+//! path — hence off by default and never used by the checkpointed
+//! drains' tests of bit-exactness.
 
 use crate::checkpointer::BackgroundCheckpointer;
 use crate::registry::CounterEngine;
+use crate::ring::{Doorbell, SpscRing};
 use ac_core::{ApproxCounter, StateCodec};
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use ac_randkit::BuildSplitMix64;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// One coalesced batch of `(key, delta)` pairs, stamped with its
 /// provenance: which producer flushed it and where it sits in that
@@ -77,37 +105,141 @@ impl Batch {
     }
 }
 
+/// What a producer does when its ring is full (or the queue closed).
+///
+/// See the module docs for the full story; the short version:
+/// `Block` is lossless and parks, `DropNewest` sheds load and counts,
+/// `Fail` turns refusal into a value ([`SendError::Full`]) the caller
+/// must handle — the only mode in which nothing can ever be lost
+/// silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum BackpressurePolicy {
+    /// Park the producer on the space doorbell until the applier frees a
+    /// slot. Lossless; the default.
+    #[default]
+    Block,
+    /// Drop the refused batch, count it in
+    /// [`IngestStats::dropped_batches`], and keep going.
+    DropNewest,
+    /// Refuse loudly: [`IngestProducer::try_send`] returns the batch
+    /// inside [`SendError::Full`] and auto-flush retains the buffer, so
+    /// the caller decides what to do with the data.
+    Fail,
+}
+
+/// A batch the queue would not accept, returned *with the data* so the
+/// caller owns the retry/shed decision. Produced by
+/// [`IngestProducer::try_send`] / [`IngestProducer::send`] /
+/// [`IngestProducer::resubmit`] and re-exported through the
+/// [`Store`](crate::Store) writer surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SendError {
+    /// The producer's ring had no free slot. Retrying after the applier
+    /// catches up (or [`IngestProducer::send`], which parks) will
+    /// succeed; the batch is returned untouched.
+    Full(Batch),
+    /// The queue is closed; no retry can ever succeed. The batch is
+    /// returned so a draining caller can persist it elsewhere.
+    Closed(Batch),
+}
+
+impl SendError {
+    /// The rejected batch, by reference.
+    #[must_use]
+    pub fn batch(&self) -> &Batch {
+        match self {
+            Self::Full(b) | Self::Closed(b) => b,
+        }
+    }
+
+    /// Recovers the rejected batch (for [`IngestProducer::resubmit`] or
+    /// external spill).
+    #[must_use]
+    pub fn into_batch(self) -> Batch {
+        match self {
+            Self::Full(b) | Self::Closed(b) => b,
+        }
+    }
+
+    /// True for the retryable [`SendError::Full`] case.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, Self::Full(_))
+    }
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full(b) => write!(
+                f,
+                "ingest ring full: batch of {} pairs ({} events) refused",
+                b.pairs.len(),
+                b.events()
+            ),
+            Self::Closed(b) => write!(
+                f,
+                "ingest queue closed: batch of {} pairs ({} events) refused",
+                b.pairs.len(),
+                b.events()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
 /// Ingest layer construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct IngestConfig {
-    /// Bounded queue capacity, in batches.
-    pub queue_batches: usize,
+    /// Per-producer ring capacity, in batches (rounded up to a power of
+    /// two). The total buffering of the layer is `ring_batches ×
+    /// producers`; a deeper ring absorbs longer applier stalls before
+    /// backpressure engages.
+    pub ring_batches: usize,
     /// Coalesced pairs per batch before a producer auto-flushes.
     pub batch_pairs: usize,
-    /// `true`: a producer whose flush finds the queue full blocks until
-    /// space frees up (lossless). `false`: the batch is dropped and
-    /// counted ([`IngestStats::dropped_batches`]).
-    pub block_when_full: bool,
+    /// What a producer does when its ring is full; see
+    /// [`BackpressurePolicy`].
+    pub policy: BackpressurePolicy,
+    /// Opt-in batch-level fold for the pooled applier: sort each drained
+    /// burst by key and apply one `increment_by` per key-run. Fastest
+    /// for heavily skewed streams; distributionally identical but not
+    /// bit-identical to the unfolded path (see the module docs), so off
+    /// by default.
+    pub fold_runs: bool,
+    /// Soft cap on *events* per pooled-applier burst (`u64::MAX` =
+    /// unbounded). The pooled drain stops growing a burst once its
+    /// accumulated events reach this cap, so burst-boundary hooks
+    /// (snapshot publication, checkpoint cadence) get a chance to run at
+    /// least that often even when producers race far ahead of the
+    /// applier. A burst always takes at least one batch, so a single
+    /// oversized batch can still overshoot the cap.
+    pub burst_events: u64,
 }
 
 impl IngestConfig {
-    /// The default configuration (64 batches of up to 4096 pairs,
-    /// blocking backpressure), as a `const` starting point for the
-    /// `with_*` builders.
+    /// The default configuration (rings of 64 batches of up to 4096
+    /// pairs, blocking backpressure, no fold), as a `const` starting
+    /// point for the `with_*` builders.
     #[must_use]
     pub const fn new() -> Self {
         Self {
-            queue_batches: 64,
+            ring_batches: 64,
             batch_pairs: 4_096,
-            block_when_full: true,
+            policy: BackpressurePolicy::Block,
+            fold_runs: false,
+            burst_events: u64::MAX,
         }
     }
 
-    /// Sets the bounded queue capacity, in batches.
+    /// Sets the per-producer ring capacity, in batches.
     #[must_use]
-    pub const fn with_queue_batches(mut self, queue_batches: usize) -> Self {
-        self.queue_batches = queue_batches;
+    pub const fn with_ring_batches(mut self, ring_batches: usize) -> Self {
+        self.ring_batches = ring_batches;
         self
     }
 
@@ -118,11 +250,51 @@ impl IngestConfig {
         self
     }
 
-    /// Picks the backpressure policy: `true` blocks producers when the
-    /// queue is full (lossless), `false` drops and counts.
+    /// Picks the backpressure policy.
+    #[must_use]
+    pub const fn with_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables the pooled applier's key-run fold.
+    #[must_use]
+    pub const fn with_fold_runs(mut self, fold_runs: bool) -> Self {
+        self.fold_runs = fold_runs;
+        self
+    }
+
+    /// Caps the events drained per pooled-applier burst, bounding how
+    /// much state can change between burst-boundary hook calls.
+    #[must_use]
+    pub const fn with_burst_events(mut self, burst_events: u64) -> Self {
+        self.burst_events = burst_events;
+        self
+    }
+
+    /// Pre-ring name for the buffering knob.
+    #[deprecated(
+        since = "0.6.0",
+        note = "renamed to `with_ring_batches`: the bound is now per-producer ring slots"
+    )]
+    #[must_use]
+    pub const fn with_queue_batches(self, queue_batches: usize) -> Self {
+        self.with_ring_batches(queue_batches)
+    }
+
+    /// Pre-ring block-or-drop boolean, superseded by
+    /// [`BackpressurePolicy`] (which adds the nonblocking `Fail` mode).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `with_policy(BackpressurePolicy::Block | DropNewest | Fail)`"
+    )]
     #[must_use]
     pub const fn with_block_when_full(mut self, block: bool) -> Self {
-        self.block_when_full = block;
+        self.policy = if block {
+            BackpressurePolicy::Block
+        } else {
+            BackpressurePolicy::DropNewest
+        };
         self
     }
 }
@@ -141,67 +313,90 @@ struct Totals {
     applied_events: AtomicU64,
     dropped_batches: AtomicU64,
     dropped_events: AtomicU64,
-    next_producer: AtomicU64,
+    folded_pairs: AtomicU64,
 }
 
 /// Per-producer sequence high-water marks (see the module docs on
 /// provenance). `enqueued_seq` is the last sequence accepted into the
-/// queue; `applied_seq` the last drained into an engine; 0 means "none
+/// ring; `applied_seq` the last drained into an engine; 0 means "none
 /// yet". `applied_seq ≤ enqueued_seq` at every batch boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProducerMark {
     /// The producer id.
     pub producer: u64,
-    /// Highest sequence number accepted into the queue.
+    /// Highest sequence number accepted into the ring.
     pub enqueued_seq: u64,
     /// Highest sequence number applied to an engine.
     pub applied_seq: u64,
 }
 
-/// The mutex-guarded queue proper.
+/// One producer's ring plus its sequence high-water marks. Ring index in
+/// the registry == producer id.
 #[derive(Debug)]
-struct Channel {
-    queue: VecDeque<Batch>,
-    closed: bool,
+struct ProducerRing {
+    ring: SpscRing<Batch>,
+    enqueued_seq: AtomicU64,
+    applied_seq: AtomicU64,
+}
+
+/// The consumer-side view of every ring. The mutex serializes consumers
+/// against each other and against producer *registration* — never
+/// against a producer's push, which touches only its own ring.
+#[derive(Debug, Default)]
+struct Registry {
+    rings: Vec<Arc<ProducerRing>>,
+    /// Round-robin scan start, so one chatty producer cannot starve the
+    /// others.
+    cursor: usize,
 }
 
 #[derive(Debug)]
 struct Inner {
     config: IngestConfig,
-    channel: Mutex<Channel>,
-    /// Signaled when a batch is popped or the queue closes.
-    space: Condvar,
-    /// Signaled when a batch is pushed or the queue closes.
-    ready: Condvar,
+    registry: Mutex<Registry>,
+    closed: AtomicBool,
+    /// Producers currently inside an `offer` (between the closed check
+    /// and the ring publish). A closing consumer waits for this to reach
+    /// zero before its final sweep, so a push racing `close` is either
+    /// refused or drained — never lost.
+    pushers: AtomicU64,
+    /// Rung by producers after a push (and by `close`); appliers park on
+    /// it when every ring is empty.
+    ready: Doorbell,
+    /// Rung by consumers after a pop (and by `close`); blocked producers
+    /// park on it when their ring is full.
+    space: Doorbell,
     totals: Totals,
-    /// producer id → (enqueued_seq, applied_seq). A `BTreeMap` so every
-    /// stats read reports producers in stable id order. Lock order:
-    /// `channel` before `marks` (flush holds both); `marks` alone is fine.
-    marks: Mutex<BTreeMap<u64, (u64, u64)>>,
 }
 
 /// A point-in-time summary of the ingest layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct IngestStats {
-    /// Batches currently queued, not yet applied.
+    /// Batches currently buffered across all producer rings, not yet
+    /// applied.
     pub queue_depth: usize,
-    /// Batches accepted into the queue so far.
+    /// Batches accepted into rings so far.
     pub enqueued_batches: u64,
-    /// Events (sum of deltas) accepted into the queue so far.
+    /// Events (sum of deltas) accepted into rings so far.
     pub enqueued_events: u64,
     /// Events drained into an engine so far.
     pub applied_events: u64,
-    /// Batches refused because the queue was full (drop policy only).
+    /// Batches refused because a ring was full or the queue closed
+    /// (drop policy, or blocked flushes cut off by `close`).
     pub dropped_batches: u64,
     /// Events lost with those batches.
     pub dropped_events: u64,
+    /// Pairs elided by the pooled applier's key-run fold
+    /// ([`IngestConfig::fold_runs`]); 0 when the fold is off.
+    pub folded_pairs: u64,
     /// Per-producer sequence high-water marks, in producer-id order.
     pub producers: Vec<ProducerMark>,
 }
 
-/// The bounded, multi-producer ingest queue — the front door of the
-/// engine pipeline. Cheap to clone (all clones share the same queue).
+/// The multi-producer ingest front door: one lock-free SPSC ring per
+/// producer, round-robin drained. Cheap to clone (all clones share the
+/// same rings).
 #[derive(Debug, Clone)]
 pub struct IngestQueue {
     inner: Arc<Inner>,
@@ -215,19 +410,17 @@ impl IngestQueue {
     /// Panics if either capacity is zero.
     #[must_use]
     pub fn new(config: IngestConfig) -> Self {
-        assert!(config.queue_batches > 0, "queue capacity must be positive");
+        assert!(config.ring_batches > 0, "queue capacity must be positive");
         assert!(config.batch_pairs > 0, "batch size must be positive");
         Self {
             inner: Arc::new(Inner {
                 config,
-                channel: Mutex::new(Channel {
-                    queue: VecDeque::new(),
-                    closed: false,
-                }),
-                space: Condvar::new(),
-                ready: Condvar::new(),
+                registry: Mutex::new(Registry::default()),
+                closed: AtomicBool::new(false),
+                pushers: AtomicU64::new(0),
+                ready: Doorbell::new(),
+                space: Doorbell::new(),
                 totals: Totals::default(),
-                marks: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -238,79 +431,105 @@ impl IngestQueue {
         self.inner.config
     }
 
-    /// Creates a producer handle with a fresh producer id. Any number may
-    /// exist concurrently; each coalesces into its own batch buffer and
-    /// contends only on the queue push.
+    /// Creates a producer handle with a fresh producer id and its own
+    /// ring. Any number may exist concurrently; each coalesces into its
+    /// own batch buffer and publishes into its own ring, so producers
+    /// never contend with each other.
     #[must_use]
     pub fn producer(&self) -> IngestProducer {
-        let id = self
-            .inner
-            .totals
-            .next_producer
-            .fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .marks
-            .lock()
-            .expect("ingest marks lock")
-            .insert(id, (0, 0));
+        let ring = Arc::new(ProducerRing {
+            ring: SpscRing::new(self.inner.config.ring_batches),
+            enqueued_seq: AtomicU64::new(0),
+            applied_seq: AtomicU64::new(0),
+        });
+        let mut registry = self.inner.registry.lock().expect("ingest registry lock");
+        let id = registry.rings.len() as u64;
+        registry.rings.push(Arc::clone(&ring));
+        drop(registry);
         IngestProducer {
             inner: Arc::clone(&self.inner),
+            ring,
             id,
             next_seq: 1,
             pairs: Vec::new(),
-            slots: HashMap::new(),
+            slots: HashMap::default(),
             events: 0,
             refused_events: 0,
         }
     }
 
-    /// Closes the queue: producers' further flushes are refused (counted
-    /// as dropped), and appliers drain what remains, then observe
-    /// end-of-stream. Idempotent.
+    /// Closes the queue: producers' further flushes are refused, and
+    /// appliers drain what remains, then observe end-of-stream.
+    /// Idempotent.
     pub fn close(&self) {
-        let mut ch = self.inner.channel.lock().expect("ingest lock");
-        ch.closed = true;
-        drop(ch);
-        self.inner.ready.notify_all();
-        self.inner.space.notify_all();
-    }
-
-    /// Pops the next batch, blocking while the queue is empty and open.
-    /// Returns `None` once the queue is closed *and* drained.
-    #[must_use]
-    pub fn next_batch(&self) -> Option<Batch> {
-        let mut ch = self.inner.channel.lock().expect("ingest lock");
-        loop {
-            if let Some(batch) = ch.queue.pop_front() {
-                drop(ch);
-                self.inner.space.notify_one();
-                return Some(batch);
-            }
-            if ch.closed {
-                return None;
-            }
-            ch = self.inner.ready.wait(ch).expect("ingest lock");
-        }
-    }
-
-    /// Pops the next batch if one is queued; never blocks. `None` means
-    /// "nothing available right now" — check [`IngestQueue::is_closed`]
-    /// to distinguish end-of-stream.
-    #[must_use]
-    pub fn try_next_batch(&self) -> Option<Batch> {
-        let mut ch = self.inner.channel.lock().expect("ingest lock");
-        let batch = ch.queue.pop_front();
-        drop(ch);
-        if batch.is_some() {
-            self.inner.space.notify_one();
-        }
-        batch
+        self.inner.closed.store(true, Ordering::SeqCst);
+        self.inner.ready.notify();
+        self.inner.space.notify();
     }
 
     /// True once [`IngestQueue::close`] has run.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.inner.channel.lock().expect("ingest lock").closed
+        self.inner.closed.load(Ordering::SeqCst)
+    }
+
+    /// Pops one batch via a round-robin scan of the rings. The registry
+    /// lock serializes consumers, upholding each ring's SPSC discipline.
+    fn pop_any(&self) -> Option<Batch> {
+        let mut registry = self.inner.registry.lock().expect("ingest registry lock");
+        let n = registry.rings.len();
+        for k in 0..n {
+            let i = (registry.cursor + k) % n;
+            if let Some(batch) = registry.rings[i].ring.pop() {
+                registry.cursor = (i + 1) % n;
+                drop(registry);
+                self.inner.space.notify();
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    /// True when some ring has a batch ready (moment-in-time).
+    fn has_ready(&self) -> bool {
+        let registry = self.inner.registry.lock().expect("ingest registry lock");
+        registry.rings.iter().any(|r| !r.ring.is_empty())
+    }
+
+    /// Pops the next batch, blocking while every ring is empty and the
+    /// queue is open. Returns `None` once the queue is closed *and*
+    /// drained.
+    #[must_use]
+    pub fn next_batch(&self) -> Option<Batch> {
+        loop {
+            if let Some(batch) = self.pop_any() {
+                return Some(batch);
+            }
+            if self.inner.closed.load(Ordering::SeqCst) {
+                // A producer that saw `closed == false` had already
+                // registered in `pushers` (SeqCst total order), so once
+                // the count reaches zero every racing push has either
+                // landed in a ring or been refused — the final sweep
+                // misses nothing.
+                // Yield, don't spin: the racing producer may need this
+                // very core to finish its push (single-core hosts).
+                while self.inner.pushers.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+                return self.pop_any();
+            }
+            self.inner
+                .ready
+                .wait(|| self.has_ready() || self.inner.closed.load(Ordering::SeqCst));
+        }
+    }
+
+    /// Pops the next batch if one is buffered; never blocks. `None` means
+    /// "nothing available right now" — check [`IngestQueue::is_closed`]
+    /// to distinguish end-of-stream.
+    #[must_use]
+    pub fn try_next_batch(&self) -> Option<Batch> {
+        self.pop_any()
     }
 
     /// Drains every remaining batch into `engine` with sequential
@@ -360,6 +579,40 @@ impl IngestQueue {
         applied
     }
 
+    /// Drains through the persistent thread-per-shard applier pool — the
+    /// ring path's high-throughput applier. See
+    /// [`IngestQueue::drain_pooled_with`].
+    pub fn drain_pooled<C: ApproxCounter + Clone + Send + Sync>(
+        &self,
+        engine: &mut CounterEngine<C>,
+    ) -> u64 {
+        self.drain_pooled_with(engine, |_, _| {})
+    }
+
+    /// [`IngestQueue::drain_pooled`] with an applier hook.
+    ///
+    /// Unlike [`IngestQueue::drain_parallel_with`] — which spawns one
+    /// scoped thread per touched shard *per batch* — this drain keeps one
+    /// worker thread per shard alive for its whole duration and feeds
+    /// them bursts of up to 64 batches at a time, so thread spawn/join
+    /// and routing overhead amortize across the burst. Counter states are
+    /// bit-identical to a sequential drain of the same batch arrival
+    /// order (per-shard order is preserved; each shard owns its RNG)
+    /// unless [`IngestConfig::fold_runs`] is on.
+    ///
+    /// `hook(engine, applied_events_so_far)` runs once per *burst* (not
+    /// per batch), again with the engine quiescent. Cadence-driven hooks
+    /// ([`CheckpointCadence`]) handle the coarser boundary unchanged;
+    /// hooks that must see every batch belong on
+    /// [`IngestQueue::drain_parallel_with`].
+    pub fn drain_pooled_with<C, F>(&self, engine: &mut CounterEngine<C>, hook: F) -> u64
+    where
+        C: ApproxCounter + Clone + Send + Sync,
+        F: FnMut(&mut CounterEngine<C>, u64),
+    {
+        crate::applier::drain_pooled_with(self, engine, hook)
+    }
+
     /// Drains with durability riding along: every
     /// [`CheckpointerConfig::every_events`](crate::CheckpointerConfig::every_events)
     /// applied events, the applier cuts an `O(shards)` copy-on-write
@@ -384,16 +637,46 @@ impl IngestQueue {
         })
     }
 
-    fn note_applied(&self, batch: &Batch) {
+    /// [`IngestQueue::drain_parallel_checkpointed`] over the pooled
+    /// applier: checkpoints are cut at burst boundaries (the cadence
+    /// catches up across a burst without double-firing).
+    pub fn drain_pooled_checkpointed<C>(
+        &self,
+        engine: &mut CounterEngine<C>,
+        checkpointer: &BackgroundCheckpointer<C>,
+    ) -> u64
+    where
+        C: StateCodec + Clone + Send + Sync + 'static,
+    {
+        let mut cadence = CheckpointCadence::new(checkpointer.config().every_events);
+        self.drain_pooled_with(engine, |engine, applied| {
+            if cadence.is_due(applied) {
+                checkpointer.submit_with_marks(engine.snapshot(), self.applied_marks());
+            }
+        })
+    }
+
+    /// Records that `batch` was applied to an engine (applied-events
+    /// total and the producer's applied high-water mark).
+    pub(crate) fn note_applied(&self, batch: &Batch) {
         self.inner
             .totals
             .applied_events
             .fetch_add(batch.events(), Ordering::Relaxed);
-        let mut marks = self.inner.marks.lock().expect("ingest marks lock");
-        let entry = marks.entry(batch.producer).or_insert((0, 0));
-        // Batches from one producer are FIFO through the queue, but a
-        // second applier could race; the mark is a high-water mark.
-        entry.1 = entry.1.max(batch.seq);
+        let registry = self.inner.registry.lock().expect("ingest registry lock");
+        if let Some(ring) = registry.rings.get(batch.producer as usize) {
+            // Batches from one producer are FIFO through its ring, but a
+            // second applier could race; the mark is a high-water mark.
+            ring.applied_seq.fetch_max(batch.seq, Ordering::SeqCst);
+        }
+    }
+
+    /// Records pairs elided by the pooled applier's key-run fold.
+    pub(crate) fn note_folded(&self, pairs: u64) {
+        self.inner
+            .totals
+            .folded_pairs
+            .fetch_add(pairs, Ordering::Relaxed);
     }
 
     /// The per-producer sequence high-water marks, in producer-id order.
@@ -401,15 +684,15 @@ impl IngestQueue {
     /// from elsewhere they are a moment-in-time snapshot.
     #[must_use]
     pub fn applied_marks(&self) -> Vec<ProducerMark> {
-        self.inner
-            .marks
-            .lock()
-            .expect("ingest marks lock")
+        let registry = self.inner.registry.lock().expect("ingest registry lock");
+        registry
+            .rings
             .iter()
-            .map(|(&producer, &(enqueued_seq, applied_seq))| ProducerMark {
-                producer,
-                enqueued_seq,
-                applied_seq,
+            .enumerate()
+            .map(|(i, ring)| ProducerMark {
+                producer: i as u64,
+                enqueued_seq: ring.enqueued_seq.load(Ordering::SeqCst),
+                applied_seq: ring.applied_seq.load(Ordering::SeqCst),
             })
             .collect()
     }
@@ -419,7 +702,10 @@ impl IngestQueue {
     /// whole-pipeline summary.
     #[must_use]
     pub fn stats(&self) -> IngestStats {
-        let depth = self.inner.channel.lock().expect("ingest lock").queue.len();
+        let depth = {
+            let registry = self.inner.registry.lock().expect("ingest registry lock");
+            registry.rings.iter().map(|r| r.ring.len()).sum()
+        };
         let t = &self.inner.totals;
         IngestStats {
             queue_depth: depth,
@@ -428,6 +714,7 @@ impl IngestQueue {
             applied_events: t.applied_events.load(Ordering::Relaxed),
             dropped_batches: t.dropped_batches.load(Ordering::Relaxed),
             dropped_events: t.dropped_events.load(Ordering::Relaxed),
+            folded_pairs: t.folded_pairs.load(Ordering::Relaxed),
             producers: self.applied_marks(),
         }
     }
@@ -472,26 +759,33 @@ impl CheckpointCadence {
     }
 }
 
-/// A producer handle: coalesces per-key increments locally, flushing full
-/// batches into the shared bounded queue. Dropping the handle flushes any
-/// partial batch. Each handle owns a unique producer id; its accepted
-/// batches are numbered 1, 2, 3, … (see the module docs on provenance).
+/// A producer handle: coalesces per-key increments locally, publishing
+/// full batches into its own lock-free ring. Dropping the handle flushes
+/// any partial batch (per the backpressure policy). Each handle owns a
+/// unique producer id; its accepted batches are numbered 1, 2, 3, … (see
+/// the module docs on provenance).
 #[derive(Debug)]
 pub struct IngestProducer {
     inner: Arc<Inner>,
-    /// This producer's id (unique per queue).
+    /// This producer's ring (`inner.registry.rings[id]`).
+    ring: Arc<ProducerRing>,
+    /// This producer's id (its ring index).
     id: u64,
     /// Sequence number the next *accepted* batch will carry.
     next_seq: u64,
     /// The batch under construction.
     pairs: Vec<(u64, u64)>,
-    /// key → position in `pairs`, so repeat keys coalesce.
-    slots: HashMap<u64, usize>,
+    /// key → position in `pairs`, so repeat keys coalesce. SplitMix64
+    /// keying: the coalescing map sat on the hot `record` path, where
+    /// SipHash was a dominant per-event cost (the keys are not
+    /// adversarial — same reasoning as the shard index).
+    slots: HashMap<u64, usize, BuildSplitMix64>,
     /// Sum of deltas in `pairs`.
     events: u64,
     /// Events this producer has had refused (dropped) since the last
     /// [`IngestProducer::take_refused_events`] — including refusals from
-    /// `record`'s silent auto-flush, so lossless callers can detect them.
+    /// `record`'s silent auto-flush under `Block`/`DropNewest`. Always 0
+    /// under [`BackpressurePolicy::Fail`], which never discards.
     refused_events: u64,
 }
 
@@ -503,14 +797,18 @@ impl IngestProducer {
     }
 
     /// The sequence number of the last batch this producer had accepted
-    /// into the queue (0 before the first).
+    /// into its ring (0 before the first).
     #[must_use]
     pub fn last_seq(&self) -> u64 {
         self.next_seq - 1
     }
 
     /// Records `delta` increments to `key`. Repeat keys within the current
-    /// batch coalesce into one pair; a full batch flushes automatically.
+    /// batch coalesce into one pair; a full batch flushes automatically
+    /// per the backpressure policy (under [`BackpressurePolicy::Fail`]
+    /// with a full ring, the buffer is retained and keeps growing until
+    /// a [`IngestProducer::try_send`] / [`IngestProducer::send`] call
+    /// can surface the refusal).
     pub fn record(&mut self, key: u64, delta: u64) {
         if delta == 0 {
             return;
@@ -527,7 +825,10 @@ impl IngestProducer {
         }
         self.events = self.events.saturating_add(delta);
         if self.pairs.len() >= self.inner.config.batch_pairs {
-            self.flush();
+            let fail = matches!(self.inner.config.policy, BackpressurePolicy::Fail);
+            if !(fail && self.ring.ring.is_full()) {
+                let _ = self.flush_policy();
+            }
         }
     }
 
@@ -546,73 +847,209 @@ impl IngestProducer {
     /// Returns — and resets — the events this producer has had refused
     /// since the last call. Non-zero means data was dropped, *including*
     /// by [`IngestProducer::record`]'s automatic flush of a full batch,
-    /// whose `bool` nobody sees; callers that promised losslessness
-    /// check this after flushing.
+    /// whose outcome nobody sees; callers that promised losslessness
+    /// check this after flushing. Provably always 0 under
+    /// [`BackpressurePolicy::Fail`].
     pub fn take_refused_events(&mut self) -> u64 {
         std::mem::take(&mut self.refused_events)
     }
 
-    /// Pushes the current batch (if any) into the queue, honoring the
-    /// backpressure policy. Returns `true` if the batch was accepted
-    /// (vacuously for an empty buffer), `false` if it was dropped.
-    /// Sequence numbers advance only over accepted batches, so a dropped
+    /// Publishes the current batch (if any) into the ring without ever
+    /// blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] when the ring has no free slot and
+    /// [`SendError::Closed`] after [`IngestQueue::close`] — both carry
+    /// the batch, so nothing is lost: hold it and
+    /// [`resubmit`](IngestProducer::resubmit) later, or shed it
+    /// deliberately.
+    pub fn try_send(&mut self) -> Result<(), SendError> {
+        self.submit(false)
+    }
+
+    /// Publishes the current batch (if any), parking on the space
+    /// doorbell while the ring is full — the lossless blocking path.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] (with the batch) if the queue closes before
+    /// a slot frees up.
+    pub fn send(&mut self) -> Result<(), SendError> {
+        self.submit(true)
+    }
+
+    /// Re-offers a batch previously returned inside a [`SendError`].
+    /// Nonblocking, like [`IngestProducer::try_send`]. The batch is
+    /// re-stamped with this producer's next sequence number (its refusal
+    /// rolled the sequence back, so the numbering stays gapless).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] / [`SendError::Closed`], carrying the batch
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` came from a different producer — sequence
+    /// provenance is per-producer and cannot be transplanted.
+    pub fn resubmit(&mut self, batch: Batch) -> Result<(), SendError> {
+        assert_eq!(
+            batch.producer, self.id,
+            "resubmit: batch belongs to producer {} not {}",
+            batch.producer, self.id
+        );
+        let events = batch.events();
+        self.submit_pairs(batch.pairs, events, false)
+    }
+
+    /// Pushes the current batch (if any), honoring
+    /// [`IngestConfig::policy`]. Returns `true` if the batch was accepted
+    /// (vacuously for an empty buffer), `false` if it was refused.
+    /// Sequence numbers advance only over accepted batches, so a refused
     /// batch never leaves a hole in the applied sequence.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `try_send` (nonblocking, returns the rejected batch) or `send` (parks)"
+    )]
     pub fn flush(&mut self) -> bool {
+        self.flush_policy()
+    }
+
+    /// The policy-directed flush behind `record`'s auto-flush, `Drop`,
+    /// the deprecated `flush` shim, and the store writer's lossy-path
+    /// reporter.
+    pub(crate) fn flush_policy(&mut self) -> bool {
+        match self.inner.config.policy {
+            BackpressurePolicy::Block => match self.send() {
+                Ok(()) => true,
+                // `send` only fails on close; refuse loudly in the stats
+                // rather than deadlocking or silently succeeding.
+                Err(err) => {
+                    self.discard(err.into_batch());
+                    false
+                }
+            },
+            BackpressurePolicy::DropNewest => match self.try_send() {
+                Ok(()) => true,
+                Err(err) => {
+                    self.discard(err.into_batch());
+                    false
+                }
+            },
+            BackpressurePolicy::Fail => match self.try_send() {
+                Ok(()) => true,
+                Err(SendError::Full(batch)) => {
+                    // Never drop under Fail: the buffer is restored and
+                    // the refusal surfaces at the next try_send/send.
+                    self.restore(batch);
+                    false
+                }
+                Err(SendError::Closed(batch)) => {
+                    self.discard(batch);
+                    false
+                }
+            },
+        }
+    }
+
+    /// Counts a refused batch as dropped (stats + the per-producer
+    /// refused tally) and discards it.
+    fn discard(&mut self, batch: Batch) {
+        let events = batch.events();
+        let t = &self.inner.totals;
+        t.dropped_batches.fetch_add(1, Ordering::Relaxed);
+        t.dropped_events.fetch_add(events, Ordering::Relaxed);
+        self.refused_events = self.refused_events.saturating_add(events);
+    }
+
+    /// Puts a refused batch back as the buffer under construction
+    /// (rebuilding the coalescing index). Only called when the buffer is
+    /// empty — immediately after a failed submit took it.
+    fn restore(&mut self, batch: Batch) {
+        debug_assert!(self.pairs.is_empty(), "restore over a live buffer");
+        self.events = batch.events();
+        self.slots = batch
+            .pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(key, _))| (key, i))
+            .collect();
+        self.pairs = batch.pairs;
+    }
+
+    /// Takes the buffer and offers it; empty buffers vacuously succeed.
+    fn submit(&mut self, park: bool) -> Result<(), SendError> {
         if self.pairs.is_empty() {
-            return true;
+            return Ok(());
         }
         let pairs = std::mem::take(&mut self.pairs);
         let events = std::mem::take(&mut self.events);
         self.slots.clear();
+        self.submit_pairs(pairs, events, park)
+    }
 
-        let t = &self.inner.totals;
-        let mut ch = self.inner.channel.lock().expect("ingest lock");
+    /// The one publish path: stamps the next sequence number, offers the
+    /// batch to this producer's ring, and keeps the sequence/mark
+    /// bookkeeping exact on every outcome.
+    fn submit_pairs(
+        &mut self,
+        pairs: Vec<(u64, u64)>,
+        events: u64,
+        park: bool,
+    ) -> Result<(), SendError> {
+        let seq = self.next_seq;
+        // Speculative enqueued mark *before* the batch becomes poppable,
+        // so an applier can never observe applied_seq > enqueued_seq.
+        // Rolled back below on refusal (this thread is the mark's only
+        // writer, so the rollback is exact).
+        self.ring.enqueued_seq.store(seq, Ordering::SeqCst);
+        let mut batch = Batch {
+            producer: self.id,
+            seq,
+            pairs,
+        };
         loop {
-            if ch.closed {
-                // Shutdown races producers; refuse loudly in the stats
-                // rather than deadlocking or silently succeeding.
-                drop(ch);
-                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
-                t.dropped_events.fetch_add(events, Ordering::Relaxed);
-                self.refused_events = self.refused_events.saturating_add(events);
-                return false;
+            // The pushers guard makes "push racing close" lossless: we
+            // register before checking `closed`, so a closing consumer
+            // that finds `pushers > 0` waits out this window before its
+            // final sweep (see `next_batch`).
+            self.inner.pushers.fetch_add(1, Ordering::SeqCst);
+            if self.inner.closed.load(Ordering::SeqCst) {
+                self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+                self.ring.enqueued_seq.store(seq - 1, Ordering::SeqCst);
+                return Err(SendError::Closed(batch));
             }
-            if ch.queue.len() < self.inner.config.queue_batches {
-                let seq = self.next_seq;
-                self.next_seq += 1;
-                // Record the enqueued mark before the batch becomes
-                // poppable (we still hold the channel lock), so an
-                // applier can never observe applied_seq > enqueued_seq.
-                {
-                    let mut marks = self.inner.marks.lock().expect("ingest marks lock");
-                    marks.entry(self.id).or_insert((0, 0)).0 = seq;
+            match self.ring.ring.push(batch) {
+                Ok(()) => {
+                    self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+                    self.next_seq = seq + 1;
+                    let t = &self.inner.totals;
+                    t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
+                    t.enqueued_events.fetch_add(events, Ordering::Relaxed);
+                    self.inner.ready.notify();
+                    return Ok(());
                 }
-                ch.queue.push_back(Batch {
-                    producer: self.id,
-                    seq,
-                    pairs,
-                });
-                drop(ch);
-                t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
-                t.enqueued_events.fetch_add(events, Ordering::Relaxed);
-                self.inner.ready.notify_one();
-                return true;
+                Err(refused) => {
+                    self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+                    if park {
+                        batch = refused;
+                        self.inner.space.wait(|| {
+                            !self.ring.ring.is_full() || self.inner.closed.load(Ordering::SeqCst)
+                        });
+                        continue;
+                    }
+                    self.ring.enqueued_seq.store(seq - 1, Ordering::SeqCst);
+                    return Err(SendError::Full(refused));
+                }
             }
-            if !self.inner.config.block_when_full {
-                drop(ch);
-                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
-                t.dropped_events.fetch_add(events, Ordering::Relaxed);
-                self.refused_events = self.refused_events.saturating_add(events);
-                return false;
-            }
-            ch = self.inner.space.wait(ch).expect("ingest lock");
         }
     }
 }
 
 impl Drop for IngestProducer {
     fn drop(&mut self) {
-        let _ = self.flush();
+        let _ = self.flush_policy();
     }
 }
 
@@ -623,23 +1060,23 @@ mod tests {
     use ac_core::{ExactCounter, NelsonYuCounter, NyParams};
     use std::thread;
 
-    fn small(queue_batches: usize, batch_pairs: usize, block: bool) -> IngestConfig {
+    fn small(ring_batches: usize, batch_pairs: usize, policy: BackpressurePolicy) -> IngestConfig {
         IngestConfig::new()
-            .with_queue_batches(queue_batches)
+            .with_ring_batches(ring_batches)
             .with_batch_pairs(batch_pairs)
-            .with_block_when_full(block)
+            .with_policy(policy)
     }
 
     #[test]
     fn coalesces_repeat_keys_within_a_batch() {
-        let q = IngestQueue::new(small(4, 100, true));
+        let q = IngestQueue::new(small(4, 100, BackpressurePolicy::Block));
         let mut p = q.producer();
         for _ in 0..10 {
             p.record(7, 3);
         }
         p.record(8, 1);
         assert_eq!(p.pending_pairs(), 2, "10 hits on key 7 coalesce to one");
-        assert!(p.flush());
+        assert!(p.try_send().is_ok());
         let batch = q.try_next_batch().unwrap();
         assert_eq!(batch.pairs, vec![(7, 30), (8, 1)]);
         assert_eq!(batch.producer, p.id());
@@ -648,7 +1085,7 @@ mod tests {
 
     #[test]
     fn full_batches_auto_flush() {
-        let q = IngestQueue::new(small(8, 3, true));
+        let q = IngestQueue::new(small(8, 3, BackpressurePolicy::Block));
         let mut p = q.producer();
         for key in 0..7u64 {
             p.record(key, 1);
@@ -661,10 +1098,10 @@ mod tests {
 
     #[test]
     fn drop_policy_counts_refused_batches() {
-        let q = IngestQueue::new(small(1, 1, false));
+        let q = IngestQueue::new(small(1, 1, BackpressurePolicy::DropNewest));
         let mut p = q.producer();
-        p.record(1, 5); // fills the queue
-        p.record(2, 7); // refused: queue full, non-blocking
+        p.record(1, 5); // fills the ring
+        p.record(2, 7); // refused: ring full, drop policy
         p.record(3, 9); // still refused
         let s = q.stats();
         assert_eq!(s.enqueued_batches, 1);
@@ -673,22 +1110,78 @@ mod tests {
         assert_eq!(s.queue_depth, 1);
         // Dropped batches never consumed a sequence number.
         assert_eq!(p.last_seq(), 1);
+        assert_eq!(p.take_refused_events(), 16);
+    }
+
+    #[test]
+    fn fail_policy_surfaces_refusal_and_never_drops() {
+        let q = IngestQueue::new(small(1, 1, BackpressurePolicy::Fail));
+        let mut p = q.producer();
+        p.record(1, 5); // auto-flush fills the ring
+        p.record(2, 7); // ring full: buffer retained, nothing dropped
+        p.record(3, 9); // buffer keeps growing past batch_pairs
+        assert_eq!(p.pending_pairs(), 2, "Fail retains instead of dropping");
+        let err = p.try_send().expect_err("ring is full");
+        assert!(err.is_full());
+        let batch = err.into_batch();
+        assert_eq!(batch.pairs, vec![(2, 7), (3, 9)]);
+        // The old silent-loss path is unreachable: nothing was counted
+        // dropped, and the refused tally never moved.
+        let s = q.stats();
+        assert_eq!(s.dropped_batches, 0);
+        assert_eq!(s.dropped_events, 0);
+        assert_eq!(p.take_refused_events(), 0);
+        // Drain one batch, resubmit the refused one: gapless sequence.
+        let first = q.try_next_batch().unwrap();
+        assert_eq!(first.seq, 1);
+        assert!(p.resubmit(batch).is_ok());
+        let second = q.try_next_batch().unwrap();
+        assert_eq!(second.seq, 2, "refusal rolled the sequence back");
+        assert_eq!(second.pairs, vec![(2, 7), (3, 9)]);
+    }
+
+    #[test]
+    fn send_parks_until_the_applier_frees_a_slot() {
+        let q = IngestQueue::new(small(1, 4, BackpressurePolicy::Block));
+        let mut p = q.producer();
+        p.record(1, 1);
+        assert!(p.send().is_ok(), "slot available: no park");
+        p.record(2, 1);
+        let popped = thread::scope(|s| {
+            let q2 = q.clone();
+            let popper = s.spawn(move || {
+                // Give the sender time to park, then free the slot.
+                thread::sleep(std::time::Duration::from_millis(20));
+                q2.try_next_batch()
+            });
+            assert!(p.send().is_ok(), "send must resume after the pop");
+            popper.join().expect("popper thread")
+        });
+        assert_eq!(popped.unwrap().seq, 1);
+        assert_eq!(q.stats().enqueued_batches, 2);
     }
 
     #[test]
     fn close_refuses_late_flushes() {
-        let q = IngestQueue::new(small(4, 10, true));
+        let q = IngestQueue::new(small(4, 10, BackpressurePolicy::Block));
         let mut p = q.producer();
         p.record(1, 1);
         q.close();
-        assert!(!p.flush(), "flush after close must be refused, not hang");
-        assert_eq!(q.stats().dropped_batches, 1);
+        let err = p.send().expect_err("send after close must fail, not hang");
+        assert!(!err.is_full());
+        assert_eq!(err.batch().events(), 1, "the data comes back");
         assert_eq!(q.next_batch(), None);
+        // The deprecated bool shim counts the refusal instead.
+        p.record(2, 1);
+        #[allow(deprecated)]
+        let accepted = p.flush();
+        assert!(!accepted);
+        assert_eq!(q.stats().dropped_batches, 1);
     }
 
     #[test]
     fn sequence_marks_track_enqueue_and_apply() {
-        let q = IngestQueue::new(small(16, 2, true));
+        let q = IngestQueue::new(small(16, 2, BackpressurePolicy::Block));
         let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
         let mut p = q.producer();
         for key in 0..6u64 {
@@ -710,7 +1203,7 @@ mod tests {
 
     #[test]
     fn producers_get_distinct_ids_and_independent_sequences() {
-        let q = IngestQueue::new(small(16, 1, true));
+        let q = IngestQueue::new(small(16, 1, BackpressurePolicy::Block));
         let mut a = q.producer();
         let mut b = q.producer();
         assert_ne!(a.id(), b.id());
@@ -734,8 +1227,8 @@ mod tests {
         let mut piped = CounterEngine::new(NelsonYuCounter::new(p), cfg);
 
         // Capacity must hold every batch: this single-threaded test only
-        // drains after close, so a tight bound would block the producer.
-        let q = IngestQueue::new(small(64, 5, true));
+        // drains after close, so a tight bound would park the producer.
+        let q = IngestQueue::new(small(64, 5, BackpressurePolicy::Block));
         let mut prod = q.producer();
         let mut reference: Vec<(u64, u64)> = Vec::new();
         let mut pending: Vec<(u64, u64)> = Vec::new();
@@ -766,10 +1259,10 @@ mod tests {
 
     #[test]
     fn multi_producer_totals_are_conserved() {
-        // 4 producer threads, one applier thread, bounded queue: nothing
+        // 4 producer threads, one applier thread, tiny rings: nothing
         // lost under the blocking policy, and the engine's exact event
         // count equals the producers' submissions.
-        let q = IngestQueue::new(small(2, 8, true));
+        let q = IngestQueue::new(small(2, 8, BackpressurePolicy::Block));
         let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
         let per_producer = 5_000u64;
         let producers = 4u64;
@@ -810,16 +1303,71 @@ mod tests {
     }
 
     #[test]
+    fn pooled_drain_matches_parallel_drain_bit_for_bit() {
+        let p = NyParams::new(0.2, 8).unwrap();
+        let cfg = EngineConfig::new().with_shards(4).with_seed(11);
+        let mut pooled = CounterEngine::new(NelsonYuCounter::new(p), cfg);
+        let mut parallel = CounterEngine::new(NelsonYuCounter::new(p), cfg);
+
+        let feed = |q: &IngestQueue| {
+            let mut prod = q.producer();
+            for i in 0..2_000u64 {
+                prod.record(i % 97, 1 + i % 13);
+            }
+            drop(prod);
+            q.close();
+        };
+
+        let qa = IngestQueue::new(small(512, 16, BackpressurePolicy::Block));
+        feed(&qa);
+        let a = qa.drain_pooled(&mut pooled);
+
+        let qb = IngestQueue::new(small(512, 16, BackpressurePolicy::Block));
+        feed(&qb);
+        let b = qb.drain_parallel(&mut parallel);
+
+        assert_eq!(a, b);
+        for key in 0..97u64 {
+            assert_eq!(pooled.counter(key), parallel.counter(key), "key {key}");
+        }
+        let marks = qa.applied_marks();
+        assert_eq!(marks[0].applied_seq, marks[0].enqueued_seq);
+    }
+
+    #[test]
+    fn folded_pooled_drain_conserves_totals_and_counts_folds() {
+        // Five hot keys, batches of four pairs: every flush repeats keys
+        // from earlier batches in the same burst, so the fold elides runs.
+        let q = IngestQueue::new(small(512, 4, BackpressurePolicy::Block).with_fold_runs(true));
+        let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
+        let mut prod = q.producer();
+        for i in 0..1_000u64 {
+            // Alternate keys so coalescing can't pre-merge everything.
+            prod.record(i % 2, 1);
+            prod.record(7 + i % 3, 2);
+        }
+        drop(prod);
+        q.close();
+        let applied = q.drain_pooled(&mut engine);
+        assert_eq!(applied, 3_000);
+        assert_eq!(engine.total_events(), 3_000, "fold conserves events");
+        assert_eq!(engine.estimate(0), Some(500.0));
+        assert_eq!(engine.estimate(1), Some(500.0));
+        assert!(q.stats().folded_pairs > 0, "hot keys must fold");
+    }
+
+    #[test]
     fn stats_fold_into_engine_stats() {
-        let q = IngestQueue::new(small(4, 2, false));
+        let q = IngestQueue::new(small(4, 2, BackpressurePolicy::DropNewest));
         let mut p = q.producer();
         for key in 0..20u64 {
             p.record(key, 1);
         }
         let engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
         let stats = engine.stats().with_ingest(&q.stats());
-        assert_eq!(stats.queue_depth, 4, "bounded at queue capacity");
+        assert_eq!(stats.queue_depth, 4, "bounded at ring capacity");
         assert_eq!(stats.dropped_batches, q.stats().dropped_batches);
+        assert_eq!(stats.dropped_events, q.stats().dropped_events);
         assert!(stats.dropped_batches > 0, "overflow must be visible");
         assert_eq!(stats.producers, q.stats().producers);
     }
@@ -827,7 +1375,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn rejects_zero_capacity() {
-        let _ = IngestQueue::new(small(0, 1, true));
+        let _ = IngestQueue::new(small(0, 1, BackpressurePolicy::Block));
     }
 
     #[test]
@@ -860,8 +1408,8 @@ mod tests {
             EngineConfig::new().with_shards(4).with_seed(3),
         );
         // Capacity must hold every batch: this test drains only after
-        // close, so a tight bound would block the single producer.
-        let q = IngestQueue::new(small(512, 16, true));
+        // close, so a tight bound would park the single producer.
+        let q = IngestQueue::new(small(512, 16, BackpressurePolicy::Block));
         let mut p = q.producer();
         for i in 0..4_000u64 {
             p.record(i % 300, 1 + i % 7);

@@ -1,0 +1,438 @@
+//! The pre-ring ingest queue — one global mutex-guarded `VecDeque` with a
+//! pair of condvars — kept for one release as a deprecated shim.
+//!
+//! PR 6 replaced this design with per-producer lock-free SPSC rings and a
+//! doorbell ([`IngestQueue`](crate::IngestQueue)); this module preserves
+//! the old implementation verbatim (renamed `Legacy*`) so that
+//!
+//! * migrating callers keep compiling for one release, and
+//! * the pipeline bench and the bit-identity tests can run the *same*
+//!   stream through both implementations and compare throughput and
+//!   checkpoint bytes old-vs-new.
+//!
+//! Semantics are exactly the PR 3–5 queue: one bounded global queue, a
+//! `Mutex` + `Condvar` pair serializing every producer flush and every
+//! applier pop, and [`BackpressurePolicy::Block`] /
+//! [`BackpressurePolicy::DropNewest`] mapped onto the old block-or-drop
+//! boolean ([`BackpressurePolicy::Fail`] behaves as `DropNewest` here —
+//! the legacy design has no nonblocking refusal surface, which is half
+//! the reason it is deprecated).
+
+#![allow(deprecated)]
+
+use crate::ingest::{BackpressurePolicy, Batch, IngestConfig, IngestStats, ProducerMark};
+use crate::registry::CounterEngine;
+use ac_core::ApproxCounter;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Live counters shared by producers, appliers, and stats readers.
+#[derive(Debug, Default)]
+struct Totals {
+    enqueued_batches: AtomicU64,
+    enqueued_events: AtomicU64,
+    applied_events: AtomicU64,
+    dropped_batches: AtomicU64,
+    dropped_events: AtomicU64,
+    next_producer: AtomicU64,
+}
+
+/// The mutex-guarded queue proper.
+#[derive(Debug)]
+struct Channel {
+    queue: VecDeque<Batch>,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    config: IngestConfig,
+    channel: Mutex<Channel>,
+    /// Signaled when a batch is popped or the queue closes.
+    space: Condvar,
+    /// Signaled when a batch is pushed or the queue closes.
+    ready: Condvar,
+    totals: Totals,
+    /// producer id → (enqueued_seq, applied_seq). Lock order: `channel`
+    /// before `marks` (flush holds both); `marks` alone is fine.
+    marks: Mutex<BTreeMap<u64, (u64, u64)>>,
+}
+
+impl Inner {
+    fn blocks(&self) -> bool {
+        matches!(self.config.policy, BackpressurePolicy::Block)
+    }
+}
+
+/// The PR 3–5 global-lock ingest queue, preserved for migration and
+/// old-vs-new benchmarking. Cheap to clone (all clones share the queue).
+#[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.6.0",
+    note = "superseded by the lock-free per-producer `IngestQueue`; \
+            kept one release for migration and A/B benchmarking"
+)]
+pub struct LegacyIngestQueue {
+    inner: Arc<Inner>,
+}
+
+impl LegacyIngestQueue {
+    /// Creates the queue. [`IngestConfig::ring_batches`] is read as the
+    /// *global* queue capacity (the legacy design has one queue, not one
+    /// ring per producer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    #[must_use]
+    pub fn new(config: IngestConfig) -> Self {
+        assert!(config.ring_batches > 0, "queue capacity must be positive");
+        assert!(config.batch_pairs > 0, "batch size must be positive");
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                channel: Mutex::new(Channel {
+                    queue: VecDeque::new(),
+                    closed: false,
+                }),
+                space: Condvar::new(),
+                ready: Condvar::new(),
+                totals: Totals::default(),
+                marks: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> IngestConfig {
+        self.inner.config
+    }
+
+    /// Creates a producer handle with a fresh producer id.
+    #[must_use]
+    pub fn producer(&self) -> LegacyIngestProducer {
+        let id = self
+            .inner
+            .totals
+            .next_producer
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .marks
+            .lock()
+            .expect("ingest marks lock")
+            .insert(id, (0, 0));
+        LegacyIngestProducer {
+            inner: Arc::clone(&self.inner),
+            id,
+            next_seq: 1,
+            pairs: Vec::new(),
+            slots: HashMap::new(),
+            events: 0,
+            refused_events: 0,
+        }
+    }
+
+    /// Closes the queue: further flushes are refused (counted as
+    /// dropped), appliers drain what remains then observe end-of-stream.
+    pub fn close(&self) {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        ch.closed = true;
+        drop(ch);
+        self.inner.ready.notify_all();
+        self.inner.space.notify_all();
+    }
+
+    /// Pops the next batch, blocking while the queue is empty and open.
+    #[must_use]
+    pub fn next_batch(&self) -> Option<Batch> {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        loop {
+            if let Some(batch) = ch.queue.pop_front() {
+                drop(ch);
+                self.inner.space.notify_one();
+                return Some(batch);
+            }
+            if ch.closed {
+                return None;
+            }
+            ch = self.inner.ready.wait(ch).expect("ingest lock");
+        }
+    }
+
+    /// Pops the next batch if one is queued; never blocks.
+    #[must_use]
+    pub fn try_next_batch(&self) -> Option<Batch> {
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        let batch = ch.queue.pop_front();
+        drop(ch);
+        if batch.is_some() {
+            self.inner.space.notify_one();
+        }
+        batch
+    }
+
+    /// Drains every remaining batch into `engine` sequentially, blocking
+    /// until the queue closes. Returns the events applied by this call.
+    pub fn drain_into<C: ApproxCounter + Clone>(&self, engine: &mut CounterEngine<C>) -> u64 {
+        let mut applied = 0u64;
+        while let Some(batch) = self.next_batch() {
+            applied += batch.events();
+            engine.apply(&batch.pairs);
+            self.note_applied(&batch);
+        }
+        applied
+    }
+
+    /// Like [`LegacyIngestQueue::drain_into`], but each batch fans out
+    /// with one scoped thread per touched shard.
+    pub fn drain_parallel<C: ApproxCounter + Clone + Send + Sync>(
+        &self,
+        engine: &mut CounterEngine<C>,
+    ) -> u64 {
+        self.drain_parallel_with(engine, |_, _| {})
+    }
+
+    /// [`LegacyIngestQueue::drain_parallel`] with a per-batch applier
+    /// hook (the legacy integration point for snapshots/checkpoints).
+    pub fn drain_parallel_with<C, F>(&self, engine: &mut CounterEngine<C>, mut hook: F) -> u64
+    where
+        C: ApproxCounter + Clone + Send + Sync,
+        F: FnMut(&mut CounterEngine<C>, u64),
+    {
+        let mut applied = 0u64;
+        while let Some(batch) = self.next_batch() {
+            applied += batch.events();
+            engine.apply_parallel(&batch.pairs);
+            self.note_applied(&batch);
+            hook(engine, applied);
+        }
+        applied
+    }
+
+    fn note_applied(&self, batch: &Batch) {
+        self.inner
+            .totals
+            .applied_events
+            .fetch_add(batch.events(), Ordering::Relaxed);
+        let mut marks = self.inner.marks.lock().expect("ingest marks lock");
+        let entry = marks.entry(batch.producer).or_insert((0, 0));
+        entry.1 = entry.1.max(batch.seq);
+    }
+
+    /// The per-producer sequence high-water marks, in producer-id order.
+    #[must_use]
+    pub fn applied_marks(&self) -> Vec<ProducerMark> {
+        self.inner
+            .marks
+            .lock()
+            .expect("ingest marks lock")
+            .iter()
+            .map(|(&producer, &(enqueued_seq, applied_seq))| ProducerMark {
+                producer,
+                enqueued_seq,
+                applied_seq,
+            })
+            .collect()
+    }
+
+    /// Diagnostics snapshot (same shape as the ring queue's, with
+    /// `folded_pairs` always zero — the legacy applier never folds).
+    #[must_use]
+    pub fn stats(&self) -> IngestStats {
+        let depth = self.inner.channel.lock().expect("ingest lock").queue.len();
+        let t = &self.inner.totals;
+        IngestStats {
+            queue_depth: depth,
+            enqueued_batches: t.enqueued_batches.load(Ordering::Relaxed),
+            enqueued_events: t.enqueued_events.load(Ordering::Relaxed),
+            applied_events: t.applied_events.load(Ordering::Relaxed),
+            dropped_batches: t.dropped_batches.load(Ordering::Relaxed),
+            dropped_events: t.dropped_events.load(Ordering::Relaxed),
+            folded_pairs: 0,
+            producers: self.applied_marks(),
+        }
+    }
+}
+
+/// The legacy producer handle: coalesces locally, flushes into the shared
+/// bounded queue under the global lock. Dropping flushes the partial
+/// batch.
+#[derive(Debug)]
+#[deprecated(
+    since = "0.6.0",
+    note = "superseded by the ring-backed `IngestProducer` and its \
+            `try_send`/`send` surface"
+)]
+pub struct LegacyIngestProducer {
+    inner: Arc<Inner>,
+    id: u64,
+    next_seq: u64,
+    pairs: Vec<(u64, u64)>,
+    slots: HashMap<u64, usize>,
+    events: u64,
+    refused_events: u64,
+}
+
+impl LegacyIngestProducer {
+    /// This producer's id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The sequence number of the last accepted batch (0 before the
+    /// first).
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records `delta` increments to `key`, coalescing repeats; a full
+    /// batch flushes automatically.
+    pub fn record(&mut self, key: u64, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        match self.slots.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let pair = &mut self.pairs[*e.get()];
+                pair.1 = pair.1.saturating_add(delta);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.pairs.len());
+                self.pairs.push((key, delta));
+            }
+        }
+        self.events = self.events.saturating_add(delta);
+        if self.pairs.len() >= self.inner.config.batch_pairs {
+            self.flush();
+        }
+    }
+
+    /// Events this producer has had refused since the last call;
+    /// resets on read.
+    pub fn take_refused_events(&mut self) -> u64 {
+        std::mem::take(&mut self.refused_events)
+    }
+
+    /// Pushes the current batch into the queue, honoring the (mapped)
+    /// backpressure policy. `true` when accepted; dropped batches never
+    /// consume a sequence number.
+    pub fn flush(&mut self) -> bool {
+        if self.pairs.is_empty() {
+            return true;
+        }
+        let pairs = std::mem::take(&mut self.pairs);
+        let events = std::mem::take(&mut self.events);
+        self.slots.clear();
+
+        let t = &self.inner.totals;
+        let mut ch = self.inner.channel.lock().expect("ingest lock");
+        loop {
+            if ch.closed {
+                drop(ch);
+                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                self.refused_events = self.refused_events.saturating_add(events);
+                return false;
+            }
+            if ch.queue.len() < self.inner.config.ring_batches {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                {
+                    let mut marks = self.inner.marks.lock().expect("ingest marks lock");
+                    marks.entry(self.id).or_insert((0, 0)).0 = seq;
+                }
+                ch.queue.push_back(Batch {
+                    producer: self.id,
+                    seq,
+                    pairs,
+                });
+                drop(ch);
+                t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
+                t.enqueued_events.fetch_add(events, Ordering::Relaxed);
+                self.inner.ready.notify_one();
+                return true;
+            }
+            if !self.inner.blocks() {
+                drop(ch);
+                t.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                t.dropped_events.fetch_add(events, Ordering::Relaxed);
+                self.refused_events = self.refused_events.saturating_add(events);
+                return false;
+            }
+            ch = self.inner.space.wait(ch).expect("ingest lock");
+        }
+    }
+}
+
+impl Drop for LegacyIngestProducer {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineConfig;
+    use ac_core::ExactCounter;
+    use std::thread;
+
+    fn small(capacity: usize, batch_pairs: usize, policy: BackpressurePolicy) -> IngestConfig {
+        IngestConfig::new()
+            .with_ring_batches(capacity)
+            .with_batch_pairs(batch_pairs)
+            .with_policy(policy)
+    }
+
+    #[test]
+    fn legacy_queue_still_conserves_multi_producer_totals() {
+        let q = LegacyIngestQueue::new(small(2, 8, BackpressurePolicy::Block));
+        let mut engine = CounterEngine::new(ExactCounter::new(), EngineConfig::default());
+        let per_producer = 2_000u64;
+        let producers = 4u64;
+
+        let applied = thread::scope(|s| {
+            let handles: Vec<_> = (0..producers)
+                .map(|t| {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        let mut p = q.producer();
+                        for i in 0..per_producer {
+                            p.record((t * per_producer + i) % 257, 1);
+                        }
+                    })
+                })
+                .collect();
+            let drain = s.spawn(|| q.drain_into(&mut engine));
+            for h in handles {
+                h.join().expect("producer thread");
+            }
+            q.close();
+            drain.join().expect("applier thread")
+        });
+        assert_eq!(applied, per_producer * producers);
+        assert_eq!(engine.total_events(), per_producer * producers);
+        let s = q.stats();
+        assert_eq!(s.dropped_batches, 0);
+        for m in &s.producers {
+            assert_eq!(m.applied_seq, m.enqueued_seq, "producer {}", m.producer);
+        }
+    }
+
+    #[test]
+    fn legacy_drop_policy_counts_refusals() {
+        let q = LegacyIngestQueue::new(small(1, 1, BackpressurePolicy::DropNewest));
+        let mut p = q.producer();
+        p.record(1, 5); // fills the queue
+        p.record(2, 7); // refused
+        let s = q.stats();
+        assert_eq!(s.enqueued_batches, 1);
+        assert_eq!(s.dropped_batches, 1);
+        assert_eq!(s.dropped_events, 7);
+        assert_eq!(p.last_seq(), 1);
+    }
+}

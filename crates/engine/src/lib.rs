@@ -11,17 +11,26 @@
 //!               (queue)       (write path)      (serve)      (durable)
 //! ```
 //!
-//! 1. **Ingest** ([`IngestQueue`] / [`IngestProducer`]) — a bounded
-//!    multi-producer queue that coalesces per-key increments into batches,
-//!    so producers never block on shard application. Batched updates are
-//!    the first-class operation (after the amortized-complexity view of
+//! 1. **Ingest** ([`IngestQueue`] / [`IngestProducer`]) — one lock-free
+//!    SPSC ring per producer (sized by [`IngestConfig::ring_batches`],
+//!    rounded to a power of two), coalescing per-key increments into
+//!    batches so producers never block on shard application — and never
+//!    contend with each other: a flush is one uncontended slot write plus
+//!    two atomic ring words, with parking/unparking on eventcount
+//!    doorbells instead of a shared `Condvar`. Batched updates are the
+//!    first-class operation (after the amortized-complexity view of
 //!    Aden-Ali, Han, Nelson, Yu 2022): a coalesced `(key, delta)` costs
 //!    one transition-count-proportional `increment_by`, not `delta` coin
-//!    flips. Backpressure is configurable (block or drop-and-count);
-//!    diagnostics surface through [`EngineStats::with_ingest`]. The
-//!    applier loop takes hooks at batch boundaries
-//!    ([`IngestQueue::drain_parallel_with`]), which is where the
-//!    background checkpointer rides
+//!    flips. Backpressure is a [`BackpressurePolicy`]: `Block` parks the
+//!    producer (lossless, default), `DropNewest` sheds and counts, and
+//!    `Fail` makes refusal a value — [`IngestProducer::try_send`] /
+//!    [`StoreWriter::try_send`] return [`SendError::Full`] *carrying the
+//!    rejected batch*, so silent loss is impossible. Diagnostics surface
+//!    through [`EngineStats::with_ingest`]. The applier loop takes hooks
+//!    at batch boundaries ([`IngestQueue::drain_parallel_with`]) or at
+//!    burst boundaries on the high-throughput pooled path
+//!    ([`IngestQueue::drain_pooled_with`], one persistent worker per
+//!    shard), which is where the background checkpointer rides
 //!    ([`IngestQueue::drain_parallel_checkpointed`]).
 //! 2. **Write** ([`CounterEngine`]) — slab ownership and batched apply:
 //!    key→shard routing (SplitMix64 finalizer + Lemire range reduction),
@@ -93,7 +102,7 @@
 //! producer.record(1, 50_000);
 //! producer.record(2, 10_000);
 //! producer.record(1, 50_000); // coalesces with the first pair
-//! producer.flush();
+//! producer.send().unwrap(); // or try_send() for the nonblocking path
 //! queue.close();
 //! queue.drain_into(&mut engine);
 //!
@@ -118,12 +127,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod applier;
 mod checkpoint;
 mod checkpointer;
 mod error;
 mod ingest;
+mod legacy;
 mod manifest;
 mod registry;
+mod ring;
 mod shard;
 mod snapshot;
 mod store;
@@ -139,8 +151,11 @@ pub use checkpointer::{
 };
 pub use error::EngineError;
 pub use ingest::{
-    Batch, CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats, ProducerMark,
+    BackpressurePolicy, Batch, CheckpointCadence, IngestConfig, IngestProducer, IngestQueue,
+    IngestStats, ProducerMark, SendError,
 };
+#[allow(deprecated)]
+pub use legacy::{LegacyIngestProducer, LegacyIngestQueue};
 pub use manifest::{Manifest, ManifestFrame, ManifestInfo, MANIFEST_FILE};
 pub use registry::{CounterEngine, EngineConfig, EngineStats};
 pub use snapshot::EngineSnapshot;

@@ -109,9 +109,13 @@ pub struct EngineStats {
     /// Batches sitting in the ingest queue, not yet applied (0 when no
     /// ingest layer is attached; see [`EngineStats::with_ingest`]).
     pub queue_depth: usize,
-    /// Batches the ingest layer dropped because the queue was full under
-    /// the drop-oldest-work-refused policy (0 without an ingest layer).
+    /// Batches the ingest layer dropped because a producer's ring was
+    /// full under [`BackpressurePolicy::DropNewest`](crate::BackpressurePolicy::DropNewest)
+    /// (0 without an ingest layer).
     pub dropped_batches: u64,
+    /// Events lost with those dropped batches (0 without an ingest
+    /// layer).
+    pub dropped_events: u64,
     /// Per-producer sequence high-water marks from the ingest layer, in
     /// producer-id order (empty without an ingest layer; see
     /// [`EngineStats::with_ingest`]).
@@ -126,6 +130,7 @@ impl EngineStats {
     pub fn with_ingest(mut self, ingest: &IngestStats) -> Self {
         self.queue_depth = ingest.queue_depth;
         self.dropped_batches = ingest.dropped_batches;
+        self.dropped_events = ingest.dropped_events;
         self.producers = ingest.producers.clone();
         self
     }
@@ -295,6 +300,19 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         &self.shards
     }
 
+    /// Moves a shard out of the engine for the pooled applier, leaving a
+    /// placeholder. The engine is *not* a consistent view until the
+    /// matching [`CounterEngine::put_shard`] — the applier only exposes
+    /// it (to burst hooks) after every shard is back.
+    pub(crate) fn take_shard(&mut self, index: usize) -> Arc<Shard<C>> {
+        std::mem::replace(&mut self.shards[index], Arc::new(Shard::new(0)))
+    }
+
+    /// Reinstalls a shard moved out by [`CounterEngine::take_shard`].
+    pub(crate) fn put_shard(&mut self, index: usize, shard: Arc<Shard<C>>) {
+        self.shards[index] = shard;
+    }
+
     /// The reset template counter.
     pub(crate) fn template(&self) -> &C {
         &self.template
@@ -434,6 +452,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             checkpoint_lag_events: 0,
             queue_depth: 0,
             dropped_batches: 0,
+            dropped_events: 0,
             producers: Vec::new(),
         }
     }

@@ -49,8 +49,11 @@ use crate::checkpointer::{
     CheckpointerStats,
 };
 use crate::error::EngineError;
+#[cfg(test)]
+use crate::ingest::BackpressurePolicy;
 use crate::ingest::{
     CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats, ProducerMark,
+    SendError,
 };
 use crate::manifest::{Manifest, ManifestInfo};
 use crate::registry::{CounterEngine, EngineConfig, EngineStats};
@@ -155,8 +158,8 @@ impl StoreBuilder {
         self
     }
 
-    /// Sets the ingest queue configuration (capacity, batch size, and
-    /// the block-or-drop backpressure policy).
+    /// Sets the ingest configuration (per-producer ring capacity, batch
+    /// size, and the [`BackpressurePolicy`](crate::BackpressurePolicy)).
     #[must_use]
     pub fn with_ingest(mut self, ingest: IngestConfig) -> Self {
         self.opts.ingest = ingest;
@@ -485,7 +488,20 @@ impl Store {
         recovery: Option<RecoveryReport>,
         lock: Option<DirLock>,
     ) -> Self {
-        let queue = IngestQueue::new(opts.ingest);
+        // Bound pooled-applier bursts at the tightest cadence so the
+        // burst-boundary hook can actually fire that often — otherwise a
+        // backlog (producers racing far ahead of the applier) would be
+        // swallowed in one burst and cross every cadence point with a
+        // single frame.
+        let burst_cap = opts.snapshot_every_events.min(if durability.is_some() {
+            opts.checkpoint_every_events
+        } else {
+            u64::MAX
+        });
+        let ingest = opts
+            .ingest
+            .with_burst_events(opts.ingest.burst_events.min(burst_cap));
+        let queue = IngestQueue::new(ingest);
         let checkpointer: Option<BackgroundCheckpointer<CounterFamily>> =
             durability.as_ref().map(|(dir, session)| {
                 BackgroundCheckpointer::spawn(
@@ -520,7 +536,10 @@ impl Store {
                 let mut ckpt_due = checkpointer
                     .as_ref()
                     .map(|c| CheckpointCadence::new(c.config().every_events));
-                thread_queue.drain_parallel_with(&mut engine, |engine, applied| {
+                // The pooled drain: persistent worker-per-shard applier,
+                // hooks at burst boundaries (the cadences catch up across
+                // a burst without double-firing).
+                thread_queue.drain_pooled_with(&mut engine, |engine, applied| {
                     if snap_due.is_due(applied) {
                         publish(&thread_shared, engine, &thread_queue, thread_probe.as_ref());
                     }
@@ -682,16 +701,65 @@ impl StoreWriter {
         self.producer.record(key, delta);
     }
 
-    /// Flushes the partial batch, if any.
+    /// Publishes the buffered batch (if any) into this writer's ring
+    /// without ever blocking — the foreground of the nonblocking writer
+    /// API. Pair with [`BackpressurePolicy::Fail`](crate::BackpressurePolicy::Fail) for a pipeline in
+    /// which no event can be lost without the code that produced it
+    /// finding out.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] when the ring has no free slot,
+    /// [`SendError::Closed`] after shutdown — both *carry the rejected
+    /// batch*, so the caller can hold it and
+    /// [`resubmit`](StoreWriter::resubmit) later, spill it, or shed it
+    /// deliberately. (Convert to the service error with `?` via
+    /// `EngineError::from` when the batch itself is expendable.)
+    pub fn try_send(&mut self) -> Result<(), SendError> {
+        self.producer.try_send()
+    }
+
+    /// Publishes the buffered batch (if any), parking on the ring's
+    /// doorbell while it is full — the lossless blocking path.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] (with the batch) if the store shuts down
+    /// before a slot frees up.
+    pub fn send(&mut self) -> Result<(), SendError> {
+        self.producer.send()
+    }
+
+    /// Re-offers a batch returned inside a [`SendError`]; nonblocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Full`] / [`SendError::Closed`], carrying the batch
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch came from a different writer (sequence
+    /// provenance is per-producer).
+    pub fn resubmit(&mut self, batch: crate::Batch) -> Result<(), SendError> {
+        self.producer.resubmit(batch)
+    }
+
+    /// Flushes the partial batch, if any, honoring the backpressure
+    /// policy, then reports any silent losses after the fact.
     ///
     /// # Errors
     ///
     /// [`EngineError::BatchRefused`] when anything this writer submitted
     /// since the last `flush` was dropped (queue closed, or full under
-    /// the drop policy) — including batches [`StoreWriter::record`]
-    /// auto-flushed silently; `dropped_events` totals every lost event.
+    /// [`BackpressurePolicy::DropNewest`](crate::BackpressurePolicy::DropNewest)) — including batches
+    /// [`StoreWriter::record`] auto-flushed silently; `dropped_events`
+    /// totals every lost event. Under [`BackpressurePolicy::Fail`](crate::BackpressurePolicy::Fail)
+    /// nothing is ever dropped silently, so this after-the-fact path
+    /// cannot fire: refusals surface at [`StoreWriter::try_send`]
+    /// instead, with the data still in hand.
     pub fn flush(&mut self) -> Result<(), EngineError> {
-        let _ = self.producer.flush();
+        let _ = self.producer.flush_policy();
         let dropped_events = self.producer.take_refused_events();
         if dropped_events == 0 {
             Ok(())
@@ -1017,6 +1085,50 @@ mod tests {
         a.record(1, 1);
         assert_eq!(b.pending_pairs(), 0, "buffers are not shared");
         let _ = store.close().unwrap();
+    }
+
+    #[test]
+    fn fail_policy_makes_silent_loss_unreachable() {
+        let store = Store::builder(CounterSpec::Exact)
+            .with_ingest(
+                IngestConfig::new()
+                    .with_ring_batches(1)
+                    .with_batch_pairs(1)
+                    .with_policy(BackpressurePolicy::Fail),
+            )
+            .start()
+            .unwrap();
+        let mut w = store.writer();
+        // Slam records into a one-slot ring: the lagging applier forces
+        // refusals, but under Fail a refusal can only retain the buffer
+        // or surface at try_send — never discard.
+        for key in 0..1_000u64 {
+            w.record(key, 1);
+        }
+        // Drive the retained buffer in through the nonblocking path.
+        // Full is the only acceptable refusal while the store runs, and
+        // it hands the batch back — hold it and resubmit, as a real
+        // lossless caller must. Nothing here can shed data invisibly.
+        let mut held: Option<crate::Batch> = None;
+        loop {
+            let res = match held.take() {
+                Some(batch) => w.resubmit(batch),
+                None if w.pending_pairs() > 0 => w.try_send(),
+                None => break,
+            };
+            if let Err(e) = res {
+                assert!(e.is_full(), "unexpected refusal: {e}");
+                held = Some(e.into_batch());
+                std::thread::yield_now();
+            }
+        }
+        // The after-the-fact reporter has nothing to report — the old
+        // silent-loss path is unreachable under Fail.
+        w.flush().unwrap();
+        let report = store.close().unwrap();
+        assert_eq!(report.stats.events, 1_000, "every event accounted for");
+        assert_eq!(report.stats.dropped_events, 0);
+        assert_eq!(report.stats.dropped_batches, 0);
     }
 
     #[test]

@@ -22,9 +22,11 @@
 //! * [`engine`] — the sharded keyed-counter engine: the
 //!   [`Store`](engine::Store) service facade (runtime family selection
 //!   via [`CounterSpec`](core::CounterSpec), cloneable writer/reader
-//!   handles, manifest-driven crash recovery) over four expert layers —
-//!   bounded coalescing ingest with per-producer sequence numbers, the
-//!   copy-on-write batch-update write path, `O(shards)` snapshot read
+//!   handles with a nonblocking `try_send`/`send` surface and explicit
+//!   [`BackpressurePolicy`](engine::BackpressurePolicy), manifest-driven
+//!   crash recovery) over four expert layers —
+//!   lock-free per-producer ingest rings with per-producer sequence
+//!   numbers, the copy-on-write batch-update write path, `O(shards)` snapshot read
 //!   replicas with a dirty-epoch-cached merged aggregate, and bit-exact
 //!   full + delta checkpoint chains through `ac-bitio` with a background
 //!   checkpoint writer.
@@ -74,10 +76,10 @@ pub mod prelude {
     };
     pub use ac_engine::{
         checkpoint_delta, checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain,
-        restore_checkpoint_expecting, BackgroundCheckpointer, Checkpoint, CheckpointError,
-        CheckpointKind, CheckpointStats, CheckpointerConfig, CounterEngine, EngineConfig,
-        EngineError, EngineSnapshot, EngineStats, IngestConfig, IngestProducer, IngestQueue,
-        IngestStats, Manifest, ProducerMark, RecoveryReport, Store, StoreBuilder, StoreOptions,
+        restore_checkpoint_expecting, BackgroundCheckpointer, BackpressurePolicy, Checkpoint,
+        CheckpointError, CheckpointKind, CheckpointStats, CheckpointerConfig, CounterEngine,
+        EngineConfig, EngineError, EngineSnapshot, EngineStats, IngestConfig, IngestStats,
+        Manifest, ProducerMark, RecoveryReport, SendError, Store, StoreBuilder, StoreOptions,
         StoreReader, StoreStats, StoreWriter,
     };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
