@@ -391,8 +391,8 @@ fn main() {
         "counter state".into(),
         format!(
             "{} bits total ({:.1} bits/key)",
-            stats.counter_state_bits,
-            stats.counter_state_bits as f64 / stats.keys as f64
+            stats.state_bits_total,
+            stats.state_bits_total as f64 / stats.keys as f64
         ),
     ]);
     table.row(vec![
@@ -511,7 +511,7 @@ fn main() {
 
     let size_bound_bits = 2 * cs.counter_state_bits + cs.header_bits;
     let checkpoint_ok =
-        cs.total_bits <= size_bound_bits && cs.counter_state_bits == stats.counter_state_bits;
+        cs.total_bits <= size_bound_bits && cs.counter_state_bits == stats.state_bits_total;
     let mut table = Table::new(vec!["component", "bits", "per key"]);
     let per_key = |bits: u64| format!("{:.1}", bits as f64 / cs.keys as f64);
     table.row(vec![
@@ -687,7 +687,8 @@ fn main() {
                 .int("dropped_batches", stats.dropped_batches)
                 .num("apply_seconds", apply_s)
                 .num("events_per_second", events_per_sec)
-                .int("counter_state_bits", stats.counter_state_bits)
+                .int("state_bits_total", stats.state_bits_total)
+                .num("bits_per_key", stats.bits_per_key())
                 .int("dirty_shards", stats.dirty_shards as u64)
                 .int("last_freeze_ns", stats.last_freeze_ns)
                 .int("checkpoint_lag_events", stats.checkpoint_lag_events)

@@ -192,8 +192,8 @@ fn main() {
         "counter state".into(),
         format!(
             "{} bits total ({:.1} bits/key)",
-            stats.counter_state_bits,
-            stats.counter_state_bits as f64 / stats.keys as f64
+            stats.state_bits_total,
+            stats.state_bits_total as f64 / stats.keys as f64
         ),
     ]);
     table.row(vec![
@@ -250,7 +250,8 @@ fn main() {
                 .int("batch_pairs", pairs.len() as u64)
                 .num("apply_seconds", apply_s)
                 .num("events_per_second", events_per_sec)
-                .int("counter_state_bits", stats.counter_state_bits)
+                .int("state_bits_total", stats.state_bits_total)
+                .num("bits_per_key", stats.bits_per_key())
                 .num("merge_seconds", merge_s)
                 .num("merged_estimate", total.estimate())
                 .num("exact_total", exact)

@@ -76,6 +76,7 @@ mod nelson_yu;
 pub mod params;
 mod promise;
 mod spec;
+pub mod tier;
 
 pub use averaged::AveragedMorris;
 pub use codec::StateCodec;
@@ -90,6 +91,7 @@ pub use nelson_yu::NelsonYuCounter;
 pub use params::{morris_a, morris_plus_cutoff, NyParams};
 pub use promise::{PromiseAnswer, PromiseDecider, PROMISE_DEFAULT_C};
 pub use spec::{CounterFamily, CounterSpec};
+pub use tier::{BudgetController, MigrationPlan, TierMove, TierPolicy};
 
 // Re-export the two traits users need alongside the counters.
 pub use ac_bitio::StateBits;

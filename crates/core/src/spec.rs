@@ -200,6 +200,157 @@ impl fmt::Display for CounterSpec {
     }
 }
 
+impl CounterFamily {
+    /// Estimate-preserving re-seeding into another family: builds the
+    /// counter `spec` describes and seeds its state so that its estimate
+    /// is the **nearest representable value** to `self.estimate()`.
+    ///
+    /// This is the migration primitive behind per-key accuracy tiers: a
+    /// key promoted from Morris to Exact (or demoted back) carries its
+    /// current estimate across the family switch, and only its *future*
+    /// increments see the new family's dynamics.
+    ///
+    /// ## Error accounting
+    ///
+    /// Each family's estimates form a discrete grid; migration rounds the
+    /// source estimate to the nearest grid point of the **target**:
+    ///
+    /// - **Exact**: grid `{0, 1, 2, …}` — absolute rounding error ≤ 1/2.
+    /// - **Morris(a)**: adjacent levels are a factor `≈ (1+a)` apart, so
+    ///   the relative rounding error is ≤ `a/2 + O(a²)` — below the
+    ///   family's own per-step resolution and far below its sampling
+    ///   standard deviation `≈ √(a/2)`.
+    /// - **Morris+**: exact while the estimate fits the deterministic
+    ///   prefix (`≤ N_a`); the Morris grid bound afterwards.
+    /// - **Nelson–Yu**: exact while the estimate fits the exact epoch
+    ///   (`≤ T(X₀)`); afterwards the grid is `{⌈(1+ε)^X⌉}`, so the
+    ///   relative rounding error is ≤ `ε/2 + O(ε²)` — inside the target
+    ///   tier's `(ε, δ)` band by construction.
+    /// - **Csűrös(d)**: adjacent registers are `2^u` apart at estimate
+    ///   `≈ 2^{u+d}`, so the relative rounding error is ≤ `2^{-d-1}` —
+    ///   below the family's sampling standard deviation `≈ 2^{-(d+1)/2}`.
+    ///
+    /// In every case the rounding error is dominated by the target tier's
+    /// stochastic `(ε, δ)` deviation, so a migrated counter is
+    /// statistically indistinguishable (to within that band) from one
+    /// that counted the same stream natively. Post-migration increments
+    /// evolve under the target's own schedule, so follow-up error stays
+    /// within the *target* tier's band (property-tested in this module's
+    /// tests and in `tests/migration_proptest.rs`).
+    ///
+    /// The current construction is deterministic and consumes **no**
+    /// randomness; `rng` is part of the signature so randomized-rounding
+    /// variants (unbiasedness across the grid gap) remain
+    /// signature-compatible, and so callers thread the same per-shard
+    /// stream they use for increments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CounterSpec::build`] validation errors; the seeding
+    /// itself cannot fail (every non-negative finite estimate has a
+    /// nearest representable neighbour in every family).
+    pub fn migrate_to(
+        &self,
+        spec: &CounterSpec,
+        rng: &mut dyn RandomSource,
+    ) -> Result<CounterFamily, CoreError> {
+        let est = self.estimate().max(0.0);
+        let mut target = spec.build()?;
+        match &mut target {
+            CounterFamily::Exact(c) => {
+                // Round to the nearest integer count; Exact consumes no
+                // randomness on increments.
+                c.increment_by(est.round() as u64, rng);
+            }
+            CounterFamily::Morris(c) => {
+                c.set_level(morris_level_for(c.a(), est));
+            }
+            CounterFamily::MorrisPlus(c) => {
+                let prefix = (est.round() as u64).min(c.cutoff() + 1);
+                let level = morris_level_for(c.a(), est);
+                c.restore_parts(prefix, level);
+            }
+            CounterFamily::NelsonYu(c) => {
+                let p = *c.params();
+                let x0 = p.x0();
+                let exact_cap = p.threshold_for(x0, 0);
+                let n = est.round() as u64;
+                if n <= exact_cap {
+                    // Fits the exact epoch: Y literally stores the count.
+                    c.restore_parts(x0, n, 0);
+                } else {
+                    // Nearest level on the {⌈(1+ε)^X⌉} grid, then the
+                    // state a sequential counter holds on entering that
+                    // epoch (monotone sampling exponent, epoch-start Y).
+                    let guess = (est.ln() / p.eps().ln_1p()).round() as u64;
+                    let mut best_x = guess.max(x0 + 1);
+                    let mut best_err = f64::INFINITY;
+                    for x in guess.saturating_sub(1).max(x0 + 1)..=guess + 1 {
+                        let err = (p.t_value(x) - est).abs();
+                        if err < best_err {
+                            best_err = err;
+                            best_x = x;
+                        }
+                    }
+                    let t = p.monotone_exponent(best_x);
+                    let y = p.epoch_y_span(best_x).0.min(p.threshold_for(best_x, t));
+                    c.restore_parts(best_x, y, t);
+                }
+            }
+            CounterFamily::Csuros(c) => {
+                c.set_register(csuros_register_for(c.mantissa_bits(), est));
+            }
+        }
+        Ok(target)
+    }
+}
+
+/// The Morris level whose estimate `((1+a)^x − 1)/a` is nearest to `est`.
+fn morris_level_for(a: f64, est: f64) -> u64 {
+    if est <= 0.0 {
+        return 0;
+    }
+    let ln1a = a.ln_1p();
+    let xf = (a * est).ln_1p() / ln1a;
+    let lo = xf.floor().max(0.0) as u64;
+    let est_of = |x: u64| (x as f64 * ln1a).exp_m1() / a;
+    if (est_of(lo + 1) - est).abs() < (est_of(lo) - est).abs() {
+        lo + 1
+    } else {
+        lo
+    }
+}
+
+/// The Csűrös register whose estimate `(2^d + v)·2^u − 2^d` is nearest to
+/// `est` (`u = x >> d`, `v = x & (2^d − 1)`). The estimate is integer and
+/// strictly increasing in `x`, so bisection over the register is exact.
+fn csuros_register_for(d: u32, est: f64) -> u64 {
+    let n = est.round().max(0.0) as u128;
+    let scale = 1u128 << d;
+    let est_of = |x: u64| -> u128 {
+        let u = (x >> d) as u32;
+        let v = u128::from(x) & (scale - 1);
+        ((scale + v) << u) - scale
+    };
+    // Upper bound: the register for counts near 2^64 stays far below
+    // (64 + 2) · 2^d; bisect the largest x with est_of(x) <= n.
+    let (mut lo, mut hi) = (0u64, 66u64 << d);
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if est_of(mid) <= n {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let below = est_of(lo);
+    if n.saturating_sub(below) > est_of(lo + 1).saturating_sub(n) {
+        lo + 1
+    } else {
+        lo
+    }
+}
+
 /// A counter whose family was chosen at runtime (by a [`CounterSpec`]):
 /// enum dispatch over the five concrete families, bit-identical to the
 /// wrapped counter in every observable way — random draws, registers,
@@ -429,6 +580,85 @@ mod tests {
             CsurosCounter::new(8).unwrap(),
             CounterSpec::Csuros { mantissa_bits: 8 }.build().unwrap(),
         );
+    }
+
+    #[test]
+    fn migrate_preserves_integer_representable_estimates_exactly() {
+        // Exact, the Nelson-Yu exact epoch, the Morris+ prefix, and small
+        // Csűrös registers all represent small integers exactly: migration
+        // between them at such an estimate is lossless.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut src = CounterSpec::Exact.build().unwrap();
+        src.increment_by(37, &mut rng);
+        for spec in all_specs() {
+            let migrated = src.migrate_to(&spec, &mut rng).unwrap();
+            if let CounterSpec::Morris { a } = spec {
+                // A bare Morris grid has no exact-integer regime; the
+                // documented a/2 relative bound is the guarantee.
+                let rel = (migrated.estimate() - 37.0).abs() / 37.0;
+                assert!(rel <= a / 2.0, "morris rel {rel} > {}", a / 2.0);
+            } else {
+                assert_eq!(
+                    migrated.estimate(),
+                    37.0,
+                    "estimate 37 is on {}'s grid",
+                    spec.family_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_rounds_to_the_targets_grid_resolution() {
+        // At a large estimate, migration into each family lands within
+        // half that family's grid spacing (the documented bound).
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+        let mut src = CounterSpec::Exact.build().unwrap();
+        let n = 1_234_567u64;
+        src.increment_by(n, &mut rng);
+        let cases: Vec<(CounterSpec, f64)> = vec![
+            (CounterSpec::Exact, 0.5 / n as f64),
+            // Morris(a): adjacent levels are a factor (1+a) apart.
+            (CounterSpec::Morris { a: 0.25 }, 0.25),
+            // Nelson-Yu: levels are a factor (1+eps) apart.
+            (
+                CounterSpec::NelsonYu {
+                    eps: 0.2,
+                    delta_log2: 8,
+                },
+                0.2,
+            ),
+            // Csűrös(d): relative spacing 2^-d.
+            (
+                CounterSpec::Csuros { mantissa_bits: 8 },
+                0.5 * (0.5f64).powi(8),
+            ),
+        ];
+        for (spec, rel_bound) in cases {
+            let migrated = src.migrate_to(&spec, &mut rng).unwrap();
+            let rel = (migrated.estimate() - n as f64).abs() / n as f64;
+            assert!(
+                rel <= rel_bound,
+                "{}: migrated {} vs {n}, rel {rel} > bound {rel_bound}",
+                spec.family_name(),
+                migrated.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_consumes_no_randomness() {
+        // The deterministic construction leaves the stream untouched —
+        // the property that makes migrations checkpoint-friendly (the
+        // shard RNG state is unchanged by a migration pass).
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let mut src = CounterSpec::Morris { a: 0.25 }.build().unwrap();
+        src.increment_by(10_000, &mut rng);
+        let mut probe = rng.clone();
+        for spec in all_specs() {
+            let _ = src.migrate_to(&spec, &mut rng).unwrap();
+        }
+        assert_eq!(rng.next_u64(), probe.next_u64());
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Per-key accuracy tiers under a global memory budget.
+//!
+//! The paper prices *one* counter at `O(log log n + log 1/ε +
+//! log log 1/δ)` bits; a keyed deployment spends that same `(ε, δ)` on
+//! every key, so cold keys waste bits and hot keys get no better than the
+//! global accuracy. The amortized-complexity follow-up (Aden-Ali, Han,
+//! Nelson, Yu 2022) frames the alternative this module implements: keys
+//! share one bit budget, and each key is assigned a **tier** — one rung
+//! of a ladder of [`CounterSpec`]s ordered cheapest-first — with hot keys
+//! promoted toward exact counting and cold keys demoted toward the
+//! cheapest Morris rung, migrating state across families via the
+//! estimate-preserving [`CounterFamily::migrate_to`].
+//!
+//! Two pieces live here:
+//!
+//! - [`TierPolicy`] — the ladder itself, either hand-picked
+//!   ([`TierPolicy::new`] / [`TierPolicy::default_ladder`]) or planned
+//!   from per-key bit budgets by the [`crate::budget`] planners
+//!   ([`TierPolicy::for_budget`]).
+//! - [`BudgetController`] — the decision rule: given the hot-key report
+//!   from a detector (SpaceSaving/CountMin in `ac-streams`) and the
+//!   engine's current total state bits, emit a [`MigrationPlan`] of
+//!   per-key tier moves that keeps the total under the configured
+//!   ceiling. Each tier boundary is a promise decision in the §1.2 sense
+//!   — "is this key's count above `T_i`?" — and the controller keeps the
+//!   promise problem's multiplicative decision gap as hysteresis, so a
+//!   key fluctuating around a boundary does not flap between tiers.
+
+use crate::budget::{plan_csuros, plan_morris, plan_nelson_yu, DEFAULT_SLACK_SIGMAS};
+use crate::{ApproxCounter, CoreError, CounterFamily, CounterSpec};
+use ac_bitio::{bit_len, StateBits};
+use ac_randkit::SplitMix64;
+
+/// Maximum ladder length: tier tags persist as one byte per key in
+/// checkpoint format v3.
+pub const MAX_TIERS: usize = 255;
+
+/// Default promotion threshold for the first tier boundary (a key this
+/// hot earns the second rung).
+pub const DEFAULT_PROMOTE_BASE: f64 = 1_024.0;
+
+/// Default geometric ratio between consecutive promotion thresholds.
+pub const DEFAULT_PROMOTE_RATIO: f64 = 32.0;
+
+/// Default multiplicative hysteresis around each promotion threshold —
+/// the promise problem's decision gap (§1.2 uses `ε/10`; a key must be
+/// clearly above `T_i` to promote and clearly below to demote).
+pub const DEFAULT_HYSTERESIS_GAP: f64 = 0.1;
+
+/// An ordered ladder of counter specifications: `ladder[0]` is the
+/// **default tier** every new (and every demoted-to-cold) key lives in,
+/// and later rungs trade more bits for more accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPolicy {
+    ladder: Vec<CounterSpec>,
+}
+
+impl TierPolicy {
+    /// Builds a policy from an explicit ladder. `ladder[0]` is the
+    /// default tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] for an empty ladder or one
+    /// longer than [`MAX_TIERS`], and each spec's own validation error if
+    /// it does not construct.
+    pub fn new(ladder: Vec<CounterSpec>) -> Result<Self, CoreError> {
+        if ladder.is_empty() {
+            return Err(CoreError::InvalidState {
+                what: "tier ladder must name at least one spec",
+            });
+        }
+        if ladder.len() > MAX_TIERS {
+            return Err(CoreError::InvalidState {
+                what: "tier ladder exceeds the one-byte tag space",
+            });
+        }
+        for spec in &ladder {
+            spec.build()?;
+        }
+        Ok(Self { ladder })
+    }
+
+    /// The stock ladder: `Morris(1)` (the classic ~`log log n`-bit
+    /// counter) → Nelson–Yu (`ε = 0.25, δ = 2⁻⁶`) → Csűrös (`d = 8`,
+    /// relative error ≈ 4 %) → Exact.
+    #[must_use]
+    pub fn default_ladder() -> Self {
+        Self::new(vec![
+            CounterSpec::Morris { a: 1.0 },
+            CounterSpec::NelsonYu {
+                eps: 0.25,
+                delta_log2: 6,
+            },
+            CounterSpec::Csuros { mantissa_bits: 8 },
+            CounterSpec::Exact,
+        ])
+        .expect("stock ladder is valid")
+    }
+
+    /// Plans a ladder from strictly increasing per-key bit budgets using
+    /// the [`crate::budget`] planners: each rung gets the **most accurate
+    /// family that fits its budget** — every planner runs and the spec
+    /// with the smallest planned relative standard deviation wins
+    /// (`√(a/2)` for Morris, `ε/2` for Nelson–Yu, `2^{-(d+1)/2}` for
+    /// Csűrös, `0` for Exact once the budget covers `⌈log₂ n_max⌉`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] for empty or non-increasing
+    /// budgets and [`CoreError::BudgetInfeasible`] when a rung's budget
+    /// cannot hold counts up to `n_max` in any family.
+    pub fn for_budget(bits: &[u32], n_max: u64, delta_log2: u32) -> Result<Self, CoreError> {
+        if bits.is_empty() {
+            return Err(CoreError::InvalidState {
+                what: "budget ladder must name at least one rung",
+            });
+        }
+        if bits.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::InvalidState {
+                what: "budget ladder must be strictly increasing",
+            });
+        }
+        let exact_bits = u64::from(bit_len(n_max));
+        let ladder = bits
+            .iter()
+            .map(|&b| {
+                if u64::from(b) >= exact_bits {
+                    return Ok(CounterSpec::Exact);
+                }
+                let mut best: Option<(f64, CounterSpec)> = None;
+                let mut offer = |sd: f64, spec: CounterSpec| {
+                    if best.as_ref().is_none_or(|(s, _)| sd < *s) {
+                        best = Some((sd, spec));
+                    }
+                };
+                if let Ok(c) = plan_morris(b, n_max, DEFAULT_SLACK_SIGMAS) {
+                    offer((c.a() / 2.0).sqrt(), CounterSpec::Morris { a: c.a() });
+                }
+                if let Ok(c) = plan_nelson_yu(b, n_max, delta_log2) {
+                    offer(
+                        c.params().eps() / 2.0,
+                        CounterSpec::NelsonYu {
+                            eps: c.params().eps(),
+                            delta_log2,
+                        },
+                    );
+                }
+                if let Ok(c) = plan_csuros(b, n_max, DEFAULT_SLACK_SIGMAS) {
+                    offer(
+                        (-(f64::from(c.mantissa_bits()) + 1.0) / 2.0).exp2(),
+                        CounterSpec::Csuros {
+                            mantissa_bits: c.mantissa_bits(),
+                        },
+                    );
+                }
+                best.map(|(_, spec)| spec)
+                    .ok_or(CoreError::BudgetInfeasible {
+                        bits: b,
+                        n_max,
+                        reason: "no family fits this rung's per-key budget",
+                    })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Self::new(ladder)
+    }
+
+    /// The ladder, cheapest tier first.
+    #[must_use]
+    pub fn specs(&self) -> &[CounterSpec] {
+        &self.ladder
+    }
+
+    /// Number of tiers (always at least 1).
+    #[must_use]
+    pub fn tiers(&self) -> usize {
+        self.ladder.len()
+    }
+
+    /// The default tier's spec (`ladder[0]`).
+    #[must_use]
+    pub fn default_spec(&self) -> &CounterSpec {
+        &self.ladder[0]
+    }
+
+    /// Builds one template counter per tier, in ladder order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CounterSpec::build`] errors (unreachable for a policy
+    /// constructed through [`TierPolicy::new`], which validates).
+    pub fn templates(&self) -> Result<Vec<CounterFamily>, CoreError> {
+        self.ladder.iter().map(CounterSpec::build).collect()
+    }
+}
+
+/// One key's pending tier move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierMove {
+    /// The key to migrate.
+    pub key: u64,
+    /// The tier to migrate it to (index into the policy's ladder).
+    pub tier: u8,
+}
+
+/// The controller's output: demotions first (they free bits), then
+/// promotions admitted against the freed-up budget.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MigrationPlan {
+    /// Tier moves in application order.
+    pub moves: Vec<TierMove>,
+    /// The controller's projection of `state_bits_total` after the moves.
+    pub projected_bits: u64,
+}
+
+impl MigrationPlan {
+    /// True when the plan moves nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// The tier decision rule: promotes hot keys up the ladder and demotes
+/// keys that left the hot window, under a hard `budget_bits` ceiling.
+///
+/// Thresholds form a geometric ladder `T_i = base · ratio^i` (one per
+/// tier boundary), each treated as a §1.2 promise decision with a
+/// multiplicative hysteresis gap: promote past boundary `i` only when the
+/// detected count exceeds `(1 + gap)·T_i`, demote below it only when the
+/// count falls under `(1 − gap)·T_i` — between the two, the current tier
+/// wins, so boundary noise cannot flap a key.
+#[derive(Debug, Clone)]
+pub struct BudgetController {
+    policy: TierPolicy,
+    budget_bits: u64,
+    /// Promotion thresholds, one per tier boundary
+    /// (`thresholds[i]` gates tier `i` → `i + 1`).
+    thresholds: Vec<f64>,
+    gap: f64,
+}
+
+impl BudgetController {
+    /// Creates a controller for `policy` under a total ceiling of
+    /// `budget_bits` counter-state bits, with the default geometric
+    /// threshold ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the policy's specs (unreachable
+    /// for a policy built through [`TierPolicy::new`]).
+    pub fn new(policy: TierPolicy, budget_bits: u64) -> Result<Self, CoreError> {
+        policy.templates()?;
+        let thresholds = (0..policy.tiers().saturating_sub(1))
+            .map(|i| DEFAULT_PROMOTE_BASE * DEFAULT_PROMOTE_RATIO.powi(i as i32))
+            .collect();
+        Ok(Self {
+            policy,
+            budget_bits,
+            thresholds,
+            gap: DEFAULT_HYSTERESIS_GAP,
+        })
+    }
+
+    /// Replaces the promotion thresholds (must be strictly increasing,
+    /// one per tier boundary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] on a length mismatch or a
+    /// non-increasing ladder.
+    pub fn with_thresholds(mut self, thresholds: Vec<f64>) -> Result<Self, CoreError> {
+        if thresholds.len() != self.policy.tiers() - 1 {
+            return Err(CoreError::InvalidState {
+                what: "need exactly one threshold per tier boundary",
+            });
+        }
+        if thresholds.windows(2).any(|w| !(w[0] > 0.0 && w[0] < w[1]))
+            || thresholds.first().is_some_and(|&t| t <= 0.0)
+        {
+            return Err(CoreError::InvalidState {
+                what: "promotion thresholds must be positive and strictly increasing",
+            });
+        }
+        self.thresholds = thresholds;
+        Ok(self)
+    }
+
+    /// The policy the controller steers.
+    #[must_use]
+    pub fn policy(&self) -> &TierPolicy {
+        &self.policy
+    }
+
+    /// The configured ceiling on total counter-state bits.
+    #[must_use]
+    pub fn budget_bits(&self) -> u64 {
+        self.budget_bits
+    }
+
+    /// The promotion thresholds in force.
+    #[must_use]
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// The tier a key with detected count `est` belongs in, given its
+    /// `current` tier — the promise-gap hysteresis rule.
+    #[must_use]
+    pub fn target_tier(&self, est: f64, current: u8) -> u8 {
+        // Highest boundary cleanly exceeded (promote floor) and highest
+        // boundary not cleanly undershot (demote ceiling).
+        let promote_to = self
+            .thresholds
+            .iter()
+            .take_while(|&&t| est >= (1.0 + self.gap) * t)
+            .count() as u8;
+        let demote_to = self
+            .thresholds
+            .iter()
+            .take_while(|&&t| est >= (1.0 - self.gap) * t)
+            .count() as u8;
+        current.clamp(promote_to.min(demote_to), promote_to.max(demote_to))
+    }
+
+    /// The bit cost of holding an estimate of `est` in `tier` — the state
+    /// bits of the tier's counter seeded at that estimate. Exact for the
+    /// deterministic migration construction.
+    #[must_use]
+    pub fn tier_cost_bits(&self, tier: u8, est: f64) -> u64 {
+        let Some(spec) = self.policy.ladder.get(usize::from(tier)) else {
+            return 0;
+        };
+        // `migrate_to` is deterministic and consumes no randomness; the
+        // throwaway stream only satisfies the signature.
+        let mut scratch = SplitMix64::new(0);
+        let mut probe = CounterFamily::Exact(crate::ExactCounter::new());
+        probe.increment_by(est.max(0.0).round() as u64, &mut scratch);
+        probe
+            .migrate_to(spec, &mut scratch)
+            .map_or(0, |c| c.state_bits())
+    }
+
+    /// Computes the round's migration plan.
+    ///
+    /// - `state_bits_total`: the engine's current total counter-state
+    ///   bits.
+    /// - `hot`: the detector's current window report, `(key, detected
+    ///   count)`, hottest first.
+    /// - `resident`: every key currently above the default tier, as
+    ///   `(key, tier, current estimate)`.
+    ///
+    /// Demotions come first: resident keys absent from the hot window
+    /// step down one tier per round (straight to the default tier when
+    /// the total is over budget). Promotions are then admitted hottest
+    /// first while the projected total stays under the ceiling.
+    #[must_use]
+    pub fn plan(
+        &self,
+        state_bits_total: u64,
+        hot: &[(u64, f64)],
+        resident: &[(u64, u8, f64)],
+    ) -> MigrationPlan {
+        let mut plan = MigrationPlan {
+            moves: Vec::new(),
+            projected_bits: state_bits_total,
+        };
+        let over_budget = state_bits_total > self.budget_bits;
+        let hot_keys: std::collections::HashSet<u64> = hot.iter().map(|&(k, _)| k).collect();
+        let mut current_tier: std::collections::HashMap<u64, u8> =
+            resident.iter().map(|&(k, t, _)| (k, t)).collect();
+
+        for &(key, tier, est) in resident {
+            if tier == 0 || hot_keys.contains(&key) {
+                continue;
+            }
+            // Cold: one rung per round normally, all the way down when
+            // the ceiling is breached.
+            let to = if over_budget { 0 } else { tier - 1 };
+            let freed = self
+                .tier_cost_bits(tier, est)
+                .saturating_sub(self.tier_cost_bits(to, est));
+            plan.projected_bits = plan.projected_bits.saturating_sub(freed);
+            plan.moves.push(TierMove { key, tier: to });
+            current_tier.insert(key, to);
+        }
+
+        for &(key, est) in hot {
+            let current = current_tier.get(&key).copied().unwrap_or(0);
+            let desired = self.target_tier(est, current);
+            if desired <= current {
+                continue;
+            }
+            let added = self
+                .tier_cost_bits(desired, est)
+                .saturating_sub(self.tier_cost_bits(current, est));
+            if plan.projected_bits.saturating_add(added) > self.budget_bits {
+                continue;
+            }
+            plan.projected_bits += added;
+            plan.moves.push(TierMove { key, tier: desired });
+            current_tier.insert(key, desired);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_is_ordered_cheap_to_exact() {
+        let p = TierPolicy::default_ladder();
+        assert_eq!(p.tiers(), 4);
+        assert_eq!(p.default_spec().family_name(), "morris");
+        assert_eq!(p.specs()[3].family_name(), "exact");
+    }
+
+    #[test]
+    fn rejects_degenerate_ladders() {
+        assert!(TierPolicy::new(vec![]).is_err());
+        assert!(TierPolicy::new(vec![CounterSpec::Morris { a: -1.0 }]).is_err());
+        assert!(TierPolicy::new(vec![CounterSpec::Exact; MAX_TIERS + 1]).is_err());
+    }
+
+    #[test]
+    fn for_budget_uses_the_planners() {
+        let p = TierPolicy::for_budget(&[6, 10, 20, 40], 1 << 24, 6).unwrap();
+        assert_eq!(p.tiers(), 4);
+        // The cheapest rung is an approximate family, the roomiest covers
+        // log₂ n_max and goes exact; every rung builds.
+        assert_ne!(p.specs()[0].family_name(), "exact");
+        assert_eq!(p.specs()[3].family_name(), "exact");
+        assert!(p.templates().is_ok());
+        // Rung budgets below any family's floor are refused, as are
+        // degenerate budget lists.
+        assert!(TierPolicy::for_budget(&[1], 1 << 24, 6).is_err());
+        assert!(TierPolicy::for_budget(&[], 100, 6).is_err());
+        assert!(TierPolicy::for_budget(&[8, 8], 100, 6).is_err());
+    }
+
+    #[test]
+    fn hysteresis_holds_the_current_tier_inside_the_gap() {
+        let c = BudgetController::new(TierPolicy::default_ladder(), 1 << 20).unwrap();
+        let t0 = c.thresholds()[0];
+        // Clearly above: promote. Clearly below: demote. In the gap: stay.
+        assert_eq!(c.target_tier(t0 * 1.2, 0), 1);
+        assert_eq!(c.target_tier(t0 * 0.5, 1), 0);
+        assert_eq!(c.target_tier(t0 * 1.01, 0), 0, "inside the gap, stays");
+        assert_eq!(c.target_tier(t0 * 0.99, 1), 1, "inside the gap, stays");
+    }
+
+    #[test]
+    fn plan_promotes_hot_keys_within_budget_and_demotes_cold() {
+        let c = BudgetController::new(TierPolicy::default_ladder(), 10_000).unwrap();
+        let t0 = c.thresholds()[0];
+        let hot = vec![(1u64, t0 * 100.0), (2, t0 * 2.0)];
+        let resident = vec![(9u64, 2u8, t0 * 2.0)];
+        let plan = c.plan(500, &hot, &resident);
+        // Key 9 left the hot window: one rung down. Keys 1 and 2 promote.
+        assert!(plan.moves.contains(&TierMove { key: 9, tier: 1 }));
+        assert!(plan.moves.iter().any(|m| m.key == 1 && m.tier >= 2));
+        assert!(plan.moves.iter().any(|m| m.key == 2 && m.tier == 1));
+        assert!(plan.projected_bits <= 10_000);
+    }
+
+    #[test]
+    fn plan_refuses_promotions_past_the_ceiling() {
+        // A ceiling of 0 admits nothing.
+        let c = BudgetController::new(TierPolicy::default_ladder(), 0).unwrap();
+        let t0 = c.thresholds()[0];
+        let plan = c.plan(0, &[(1, t0 * 100.0)], &[]);
+        assert!(plan.moves.is_empty());
+    }
+
+    #[test]
+    fn over_budget_demotes_cold_keys_to_the_default_tier() {
+        let c = BudgetController::new(TierPolicy::default_ladder(), 100).unwrap();
+        let plan = c.plan(1_000, &[], &[(5u64, 3u8, 1e6)]);
+        assert_eq!(plan.moves, vec![TierMove { key: 5, tier: 0 }]);
+    }
+}

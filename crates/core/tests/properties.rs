@@ -154,3 +154,130 @@ proptest! {
         }
     }
 }
+
+/// Half the relative grid spacing of `spec` around estimate `est` — the
+/// documented migration-time rounding bound of
+/// [`ac_core::CounterFamily::migrate_to`] (nearest representable
+/// neighbour in the target family).
+fn migration_grid_bound(spec: &ac_core::CounterSpec, est: f64) -> f64 {
+    match spec {
+        ac_core::CounterSpec::Exact => 0.5 / est.max(1.0),
+        ac_core::CounterSpec::Morris { a } => a / 2.0,
+        ac_core::CounterSpec::MorrisPlus { eps, .. }
+        | ac_core::CounterSpec::NelsonYu { eps, .. } => *eps,
+        // Full spacing, not half: the Csűrös estimator is offset by
+        // -2^d, so half a step relative to the *estimate* can exceed
+        // 2^-(d+1) near the bottom of a binade.
+        ac_core::CounterSpec::Csuros { mantissa_bits } => (0.5f64).powi(*mantissa_bits as i32),
+        _ => unreachable!("default ladder uses the four stock families"),
+    }
+}
+
+/// The planned relative standard deviation of `spec` (the σ the
+/// [`ac_core::TierPolicy::for_budget`] planners rank rungs by).
+fn tier_sigma(spec: &ac_core::CounterSpec) -> f64 {
+    match spec {
+        ac_core::CounterSpec::Exact => 0.0,
+        ac_core::CounterSpec::Morris { a } => (a / 2.0).sqrt(),
+        ac_core::CounterSpec::MorrisPlus { eps, .. }
+        | ac_core::CounterSpec::NelsonYu { eps, .. } => eps / 2.0,
+        ac_core::CounterSpec::Csuros { mantissa_bits } => {
+            (0.5f64).powf((f64::from(*mantissa_bits) + 1.0) / 2.0)
+        }
+        _ => unreachable!("default ladder uses the four stock families"),
+    }
+}
+
+proptest! {
+    /// Migration across every ordered pair of the default ladder (both
+    /// promotions and demotions) preserves the estimate at migration
+    /// time: the target lands within half its own grid spacing of the
+    /// source estimate, and — the exactness claim — an estimate already
+    /// representable in the target family is preserved *bit-exactly*
+    /// (re-migration to the same spec is a fixed point, and migration
+    /// into `Exact` reproduces the rounded source estimate).
+    #[test]
+    fn migrate_preserves_estimates_across_the_default_ladder(
+        seed in any::<u64>(),
+        n in 1u64..200_000,
+    ) {
+        let ladder = ac_core::TierPolicy::default_ladder();
+        let specs = ladder.specs();
+        for (i, src_spec) in specs.iter().enumerate() {
+            for (j, dst_spec) in specs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(
+                    seed ^ ((i as u64) << 32) ^ ((j as u64) << 40),
+                );
+                let mut src = src_spec.build().unwrap();
+                src.increment_by(n, &mut rng);
+                let e0 = src.estimate();
+                let migrated = src.migrate_to(dst_spec, &mut rng).unwrap();
+                let e1 = migrated.estimate();
+
+                let bound = migration_grid_bound(dst_spec, e0);
+                let rel = (e1 - e0).abs() / e0.max(1.0);
+                prop_assert!(
+                    rel <= bound,
+                    "{} -> {}: migrated {e1} vs {e0}, rel {rel} > grid bound {bound}",
+                    src_spec.family_name(),
+                    dst_spec.family_name()
+                );
+                if matches!(dst_spec, ac_core::CounterSpec::Exact) {
+                    prop_assert_eq!(e1, e0.round(), "Exact holds the rounded source estimate");
+                }
+                let again = migrated.migrate_to(dst_spec, &mut rng).unwrap();
+                prop_assert_eq!(
+                    again.estimate(),
+                    e1,
+                    "{}: re-migration must be a fixed point",
+                    dst_spec.family_name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// After a promotion (every ordered pair `i < j` of the default
+    /// ladder), follow-up increments on the migrated counter stay inside
+    /// the *target* tier's error band: the final estimate is within the
+    /// migration-time grid rounding plus six planned standard deviations
+    /// of `migrated_estimate + follow` (deterministically exact when the
+    /// target is `Exact`). Seeds derive from the case inputs, so any
+    /// failure replays deterministically.
+    #[test]
+    fn post_migration_error_stays_in_the_target_band(
+        n in 1u64..100_000,
+        follow in 1u64..100_000,
+    ) {
+        let ladder = ac_core::TierPolicy::default_ladder();
+        let specs = ladder.specs();
+        for (i, src_spec) in specs.iter().enumerate() {
+            for (j, dst_spec) in specs.iter().enumerate().skip(i + 1) {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(
+                    n ^ follow.rotate_left(17) ^ ((i as u64) << 32) ^ ((j as u64) << 40),
+                );
+                let mut src = src_spec.build().unwrap();
+                src.increment_by(n, &mut rng);
+                let mut migrated = src.migrate_to(dst_spec, &mut rng).unwrap();
+                let seeded = migrated.estimate();
+                migrated.increment_by(follow, &mut rng);
+
+                let truth = seeded + follow as f64;
+                let band =
+                    migration_grid_bound(dst_spec, truth) + 6.0 * tier_sigma(dst_spec) + 1e-9;
+                let rel = (migrated.estimate() - truth).abs() / truth.max(1.0);
+                prop_assert!(
+                    rel <= band,
+                    "{} -> {}: estimate {} vs {truth}, rel {rel} > band {band}",
+                    src_spec.family_name(),
+                    dst_spec.family_name(),
+                    migrated.estimate()
+                );
+            }
+        }
+    }
+}

@@ -105,10 +105,29 @@ fn worker<C: ApproxCounter + Clone>(
 pub(crate) fn drain_pooled_with<C, F>(
     queue: &IngestQueue,
     engine: &mut CounterEngine<C>,
+    hook: F,
+) -> u64
+where
+    C: ApproxCounter + Clone + Send + Sync,
+    F: FnMut(&mut CounterEngine<C>, u64),
+{
+    drain_pooled_tap(queue, engine, |_| {}, hook)
+}
+
+/// The drain loop behind [`IngestQueue::drain_pooled_tap`]:
+/// [`drain_pooled_with`] plus a per-batch pair tap, run on the dispatcher
+/// thread before the burst is routed — so an observer (e.g. a hot-key
+/// detector steering tier migrations) sees exactly the applied stream,
+/// in arrival order, without the burst hook having to re-derive it.
+pub(crate) fn drain_pooled_tap<C, T, F>(
+    queue: &IngestQueue,
+    engine: &mut CounterEngine<C>,
+    mut tap: T,
     mut hook: F,
 ) -> u64
 where
     C: ApproxCounter + Clone + Send + Sync,
+    T: FnMut(&[(u64, u64)]),
     F: FnMut(&mut CounterEngine<C>, u64),
 {
     let shards = engine.shards().len();
@@ -146,6 +165,7 @@ where
             }
 
             for batch in &burst {
+                tap(&batch.pairs);
                 for &(key, delta) in &batch.pairs {
                     buckets[engine.shard_of(key)].push((key, delta));
                 }

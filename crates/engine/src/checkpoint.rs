@@ -66,9 +66,37 @@ use std::fmt;
 /// `"ACKP"` — approximate-counting checkpoint.
 pub const CHECKPOINT_MAGIC: u32 = 0x4143_4B50;
 
-/// Current format version (2: copy-on-write epochs, delta frames, chained
-/// headers; version-1 buffers are refused with a typed error).
+/// Base format version (2: copy-on-write epochs, delta frames, chained
+/// headers; version-1 buffers are refused with a typed error). Written
+/// for every untiered engine, so pre-tiering readers and byte-level
+/// golden tests are unaffected by the tier machinery.
 pub const CHECKPOINT_VERSION: u16 = 2;
+
+/// Tiered format version (3): identical to version 2 except that each
+/// shard section carries a sparse per-key tier-tag block *before* its
+/// states (a state can only be decoded by its own tier's template), and
+/// the header fingerprint covers the whole ladder of templates via
+/// [`combined_fingerprint`]. Written by [`checkpoint_snapshot_with`] /
+/// [`checkpoint_delta_with`]; version-2 frames restore through the same
+/// `_with` readers with every key in tier 0.
+pub const CHECKPOINT_VERSION_TIERED: u16 = 3;
+
+/// Domain separation for the ladder fingerprint fold, so a one-tier
+/// ladder's combined fingerprint can never collide with the bare
+/// template fingerprint version 2 stores.
+const LADDER_FINGERPRINT_SALT: u64 = 0x7143_A90F_5EED_11E5;
+
+/// The ladder-covering fingerprint version-3 headers store: an order-
+/// sensitive [`ac_randkit::mix64`] fold over every tier template's own
+/// parameter fingerprint. Restoring with a ladder that differs in any
+/// tier's family or parameters — or in tier order — is refused up front
+/// as a [`CheckpointError::ScheduleMismatch`].
+#[must_use]
+pub fn combined_fingerprint<C: StateCodec>(templates: &[C]) -> u64 {
+    templates.iter().fold(LADDER_FINGERPRINT_SALT, |acc, t| {
+        ac_randkit::mix64(acc ^ t.params_fingerprint())
+    })
+}
 
 /// Width of the eleven header fields alone.
 const HEADER_FIELD_BITS: u64 = 32 + 16 + 8 + 64 + 32 + 64 + 64 + 64 + 64 + 64 + 64;
@@ -240,7 +268,7 @@ pub struct CheckpointStats {
     /// Sum of live [`state_bits`](ac_bitio::StateBits::state_bits) over
     /// every written counter — for a full checkpoint, by construction
     /// identical to
-    /// [`EngineStats::counter_state_bits`](crate::EngineStats::counter_state_bits)
+    /// [`EngineStats::state_bits_total`](crate::EngineStats::state_bits_total)
     /// at freeze time (a test pins this).
     pub counter_state_bits: u64,
     /// Bits spent on encoded counter states.
@@ -328,11 +356,32 @@ pub struct CheckpointHeader {
     pub chain: u64,
 }
 
-/// Serializes a snapshot into a self-contained full [`Checkpoint`].
+/// Serializes a snapshot into a self-contained full [`Checkpoint`]
+/// (version 2).
+///
+/// # Panics
+///
+/// Panics if the engine carries non-default tier tags — version 2 has
+/// nowhere to put them; use [`checkpoint_snapshot_with`] instead.
 #[must_use]
 pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> Checkpoint {
     let all: Vec<usize> = (0..snap.shards.len()).collect();
-    write_checkpoint(snap, CheckpointKind::Full, 0, &all)
+    write_checkpoint(snap, None, CheckpointKind::Full, 0, &all)
+}
+
+/// Serializes a tiered snapshot into a self-contained full version-3
+/// [`Checkpoint`]: per-key tier tags ride in each shard section and the
+/// header fingerprint covers the whole `templates` ladder (tier →
+/// template, `templates[0]` the default tier). Restore through
+/// [`restore_checkpoint_chain_with`] with the same ladder.
+#[must_use]
+pub fn checkpoint_snapshot_with<C: StateCodec + Clone>(
+    snap: &EngineSnapshot<C>,
+    templates: &[C],
+) -> Checkpoint {
+    assert!(!templates.is_empty(), "need at least the default template");
+    let all: Vec<usize> = (0..snap.shards.len()).collect();
+    write_checkpoint(snap, Some(templates), CheckpointKind::Full, 0, &all)
 }
 
 /// Serializes only the shards dirtied since `parent` — an incremental
@@ -359,7 +408,41 @@ pub fn checkpoint_delta<C: StateCodec + Clone>(
     snap: &EngineSnapshot<C>,
     parent: &CheckpointHeader,
 ) -> Result<Checkpoint, CheckpointError> {
-    if parent.params_fingerprint != snap.template.params_fingerprint() {
+    checkpoint_delta_inner(snap, None, parent)
+}
+
+/// [`checkpoint_delta`] for tiered engines: writes a version-3 delta
+/// whose dirty shard sections carry per-key tier tags. The parent may be
+/// a version-2 frame (the chain that was cut before tiering was turned
+/// on) or another version-3 frame — both fingerprints are accepted.
+///
+/// # Errors
+///
+/// Everything [`checkpoint_delta`] returns.
+pub fn checkpoint_delta_with<C: StateCodec + Clone>(
+    snap: &EngineSnapshot<C>,
+    templates: &[C],
+    parent: &CheckpointHeader,
+) -> Result<Checkpoint, CheckpointError> {
+    assert!(!templates.is_empty(), "need at least the default template");
+    checkpoint_delta_inner(snap, Some(templates), parent)
+}
+
+fn checkpoint_delta_inner<C: StateCodec + Clone>(
+    snap: &EngineSnapshot<C>,
+    templates: Option<&[C]>,
+    parent: &CheckpointHeader,
+) -> Result<Checkpoint, CheckpointError> {
+    let fingerprint_ok = match templates {
+        None => parent.params_fingerprint == snap.template.params_fingerprint(),
+        // A tiered delta may extend a pre-tiering (version 2) chain: its
+        // parent then carries the bare default-template fingerprint.
+        Some(t) => {
+            parent.params_fingerprint == combined_fingerprint(t)
+                || parent.params_fingerprint == t[0].params_fingerprint()
+        }
+    };
+    if !fingerprint_ok {
         return Err(CheckpointError::ScheduleMismatch);
     }
     if parent.config != snap.config() {
@@ -382,26 +465,36 @@ pub fn checkpoint_delta<C: StateCodec + Clone>(
         .collect();
     Ok(write_checkpoint(
         snap,
+        templates,
         CheckpointKind::Delta,
         parent.chain,
         &dirty,
     ))
 }
 
-/// The single writer behind both frame kinds: serializes the shards named
-/// by `indices` (ascending) under the given kind and parent digest.
+/// The single writer behind both frame kinds and both versions:
+/// serializes the shards named by `indices` (ascending) under the given
+/// kind and parent digest. `templates` selects the format: `None` writes
+/// version 2 (and panics on non-default tier tags, which it cannot
+/// represent); `Some(ladder)` writes version 3 with per-section tag
+/// blocks and the ladder-covering fingerprint.
 fn write_checkpoint<C: StateCodec + Clone>(
     snap: &EngineSnapshot<C>,
+    templates: Option<&[C]>,
     kind: CheckpointKind,
     parent_chain: u64,
     indices: &[usize],
 ) -> Checkpoint {
+    let (version, fingerprint) = match templates {
+        None => (CHECKPOINT_VERSION, snap.template.params_fingerprint()),
+        Some(t) => (CHECKPOINT_VERSION_TIERED, combined_fingerprint(t)),
+    };
     let mut v = BitVec::new();
     // Fixed header; the payload length is patched in at the end.
     v.push_bits(u64::from(CHECKPOINT_MAGIC), 32);
-    v.push_bits(u64::from(CHECKPOINT_VERSION), 16);
+    v.push_bits(u64::from(version), 16);
     v.push_bits(kind.to_bits(), 8);
-    v.push_bits(snap.template.params_fingerprint(), 64);
+    v.push_bits(fingerprint, 64);
     let config = snap.config();
     v.push_bits(config.shards as u64, 32);
     v.push_bits(config.seed, 64);
@@ -433,15 +526,44 @@ fn write_checkpoint<C: StateCodec + Clone>(
             }
         }
         // Keys sorted ascending, gap-coded; states follow in key order.
-        let mut entries: Vec<(u64, &C)> = shard.entries().collect();
-        entries.sort_unstable_by_key(|&(key, _)| key);
-        let keys: Vec<u64> = entries.iter().map(|&(key, _)| key).collect();
+        let mut entries: Vec<(u64, &C, u8)> = shard.entries_tagged().collect();
+        entries.sort_unstable_by_key(|&(key, _, _)| key);
+        let keys: Vec<u64> = entries.iter().map(|&(key, _, _)| key).collect();
         keys_written += keys.len() as u64;
         key_bits += encode_sorted_keys(&mut v, &keys);
+        if templates.is_some() {
+            // Version 3: sparse tier-tag block, *before* the states — a
+            // state can only be decoded by its own tier's template.
+            // Layout: delta0(tagged count), then per tagged key, in key
+            // order: delta0(position gap) + tier(8). Position gaps are
+            // 1-based after the first entry so delta0 never sees a zero
+            // mid-stream.
+            let tagged: Vec<(u64, u8)> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, _, tier))| tier != 0)
+                .map(|(pos, &(_, _, tier))| (pos as u64, tier))
+                .collect();
+            let mut w = BitWriter::new(&mut v);
+            ac_bitio::codes::encode_delta0(&mut w, tagged.len() as u64);
+            let mut prev = 0u64;
+            for (i, &(pos, tier)) in tagged.iter().enumerate() {
+                let gap = if i == 0 { pos } else { pos - prev - 1 };
+                ac_bitio::codes::encode_delta0(&mut w, gap);
+                w.write_bits(u64::from(tier), 8);
+                prev = pos;
+            }
+        } else {
+            assert!(
+                entries.iter().all(|&(_, _, tier)| tier == 0),
+                "engine carries tier tags; version 2 cannot represent them \
+                 — checkpoint with checkpoint_snapshot_with/checkpoint_delta_with"
+            );
+        }
         let before = v.len();
         {
             let mut w = BitWriter::new(&mut v);
-            for (_, counter) in &entries {
+            for (_, counter, _) in &entries {
                 counter.encode_state(&mut w);
                 counter_state_bits += counter.state_bits();
             }
@@ -454,9 +576,9 @@ fn write_checkpoint<C: StateCodec + Clone>(
     v.overwrite_bits(payload_len_at, payload_bits, 64);
     let header_sum = header_checksum(&[
         u64::from(CHECKPOINT_MAGIC),
-        u64::from(CHECKPOINT_VERSION),
+        u64::from(version),
         kind.to_bits(),
-        snap.template.params_fingerprint(),
+        fingerprint,
         config.shards as u64,
         config.seed,
         snap.epoch(),
@@ -481,9 +603,9 @@ fn write_checkpoint<C: StateCodec + Clone>(
         total_bits: total,
     };
     let header = CheckpointHeader {
-        version: CHECKPOINT_VERSION,
+        version,
         kind,
-        params_fingerprint: snap.template.params_fingerprint(),
+        params_fingerprint: fingerprint,
         config,
         epoch: snap.epoch(),
         parent_chain,
@@ -514,7 +636,7 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = r.try_read_bits(16).ok_or(CheckpointError::Truncated)? as u16;
-    if version != CHECKPOINT_VERSION {
+    if version != CHECKPOINT_VERSION && version != CHECKPOINT_VERSION_TIERED {
         return Err(CheckpointError::UnsupportedVersion { got: version });
     }
     let kind_bits = r.try_read_bits(8).ok_or(CheckpointError::Truncated)?;
@@ -568,23 +690,34 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
     })
 }
 
-/// One decoded shard section: where it goes and what it holds.
+/// One decoded shard section: where it goes and what it holds. `tiers`
+/// is parallel to `entries` when any key carries a non-default tier, and
+/// empty otherwise (the all-default case costs nothing).
 struct ShardSection<C> {
     idx: usize,
     rng: Xoshiro256PlusPlus,
     events: u64,
     entries: Vec<(u64, C)>,
+    tiers: Vec<u8>,
 }
 
 /// Verifies a checkpoint's payload checksum and parses its shard
 /// sections. Shared by the lone-restore and chain-restore paths; all
-/// structural validation happens here.
+/// structural validation happens here. `templates` is the tier ladder
+/// (rung 0 = default); a version-2 frame uses only rung 0 and must carry
+/// its bare fingerprint, a version-3 frame must carry the fingerprint
+/// covering the whole ladder.
 fn parse_sections<C: StateCodec + Clone>(
-    template: &C,
+    templates: &[C],
     bytes: &[u8],
     header: &CheckpointHeader,
 ) -> Result<Vec<ShardSection<C>>, CheckpointError> {
-    if header.params_fingerprint != template.params_fingerprint() {
+    let expected_fingerprint = if header.version == CHECKPOINT_VERSION {
+        templates[0].params_fingerprint()
+    } else {
+        combined_fingerprint(templates)
+    };
+    if header.params_fingerprint != expected_fingerprint {
         return Err(CheckpointError::ScheduleMismatch);
     }
     if bytes.len() < PAYLOAD_BYTE {
@@ -684,9 +817,57 @@ fn parse_sections<C: StateCodec + Clone>(
         let keys = decode_sorted_keys(&mut r, count).ok_or(CheckpointError::Corrupt {
             what: "undecodable shard key set",
         })?;
+        // Version 3 interposes the sparse tier-tag block between the keys
+        // and the states; the writer only tags non-default tiers, so an
+        // explicit tier-0 tag is non-canonical and refused.
+        let mut tiers: Vec<u8> = Vec::new();
+        if header.version == CHECKPOINT_VERSION_TIERED {
+            let tagged =
+                ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
+                    what: "undecodable tier tag count",
+                })?;
+            if tagged > count as u64 {
+                return Err(CheckpointError::Corrupt {
+                    what: "more tier tags than keys",
+                });
+            }
+            if tagged > 0 {
+                tiers = vec![0u8; count];
+                let mut pos = 0u64;
+                for i in 0..tagged {
+                    let gap = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(
+                        CheckpointError::Corrupt {
+                            what: "undecodable tier tag position",
+                        },
+                    )?;
+                    pos = if i == 0 {
+                        gap
+                    } else {
+                        pos.checked_add(gap).and_then(|p| p.checked_add(1)).ok_or(
+                            CheckpointError::Corrupt {
+                                what: "tier tag position overflows",
+                            },
+                        )?
+                    };
+                    if pos >= count as u64 {
+                        return Err(CheckpointError::Corrupt {
+                            what: "tier tag position out of range",
+                        });
+                    }
+                    let tier = r.try_read_bits(8).ok_or(CheckpointError::Truncated)? as u8;
+                    if tier == 0 || usize::from(tier) >= templates.len() {
+                        return Err(CheckpointError::Corrupt {
+                            what: "tier tag names no ladder rung",
+                        });
+                    }
+                    tiers[usize::try_from(pos).expect("pos < count <= usize::MAX")] = tier;
+                }
+            }
+        }
         let mut entries = Vec::with_capacity(count);
-        for key in keys {
-            let counter = template.decode_state(&mut r)?;
+        for (slot, key) in keys.into_iter().enumerate() {
+            let tier = tiers.get(slot).copied().unwrap_or(0);
+            let counter = templates[usize::from(tier)].decode_state(&mut r)?;
             entries.push((key, counter));
         }
         if r.position() - section_start != section_len {
@@ -699,6 +880,7 @@ fn parse_sections<C: StateCodec + Clone>(
             rng: Xoshiro256PlusPlus::from_state(rng_state),
             events,
             entries,
+            tiers,
         });
     }
     if r.position() - HEADER_BITS != header.payload_bits {
@@ -727,6 +909,20 @@ pub fn restore_checkpoint<C: StateCodec + Clone>(
     restore_checkpoint_chain(template, &[bytes])
 }
 
+/// [`restore_checkpoint`] for tiered checkpoints: `templates` is the
+/// tier ladder (rung 0 = default) the version-3 frame was written
+/// against.
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint`] returns.
+pub fn restore_checkpoint_with<C: StateCodec + Clone>(
+    templates: &[C],
+    bytes: &[u8],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    restore_checkpoint_chain_with(templates, &[bytes])
+}
+
 /// Folds a **base + deltas chain** back into a [`CounterEngine`] that is
 /// bit-identical to the engine the *last* delta was cut from: segment 0
 /// must be a full checkpoint, every later segment a delta whose
@@ -748,6 +944,24 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
     template: &C,
     segments: &[&[u8]],
 ) -> Result<CounterEngine<C>, CheckpointError> {
+    restore_checkpoint_chain_with(std::slice::from_ref(template), segments)
+}
+
+/// [`restore_checkpoint_chain`] for tiered chains: `templates` is the
+/// tier ladder (rung 0 = default). Accepts any mix of version-2 segments
+/// (fingerprinted against rung 0 alone, every key restored at tier 0)
+/// and version-3 segments (fingerprinted against the whole ladder,
+/// per-key tier tags restored), so a chain that straddles the moment
+/// tiering was enabled folds cleanly.
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn restore_checkpoint_chain_with<C: StateCodec + Clone>(
+    templates: &[C],
+    segments: &[&[u8]],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    assert!(!templates.is_empty(), "need at least the default template");
     let (first, rest) = segments.split_first().ok_or(CheckpointError::BadChain {
         what: "empty chain",
     })?;
@@ -761,10 +975,12 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
             })
         }
     }
-    let sections = parse_sections(template, first, &base)?;
+    let sections = parse_sections(templates, first, &base)?;
     let mut shards: Vec<Option<Shard<C>>> = (0..base.config.shards).map(|_| None).collect();
     for s in sections {
-        shards[s.idx] = Some(Shard::from_restored(s.rng, s.events, s.entries, base.epoch));
+        shards[s.idx] = Some(Shard::from_restored(
+            s.rng, s.events, s.entries, s.tiers, base.epoch,
+        ));
     }
     // parse_sections proved a full frame holds exactly `shards` strictly
     // increasing in-range indices, so every slot is filled.
@@ -794,11 +1010,12 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
                 what: "delta freeze epoch precedes its parent",
             });
         }
-        for s in parse_sections(template, segment, &header)? {
+        for s in parse_sections(templates, segment, &header)? {
             shards[s.idx] = Some(Shard::from_restored(
                 s.rng,
                 s.events,
                 s.entries,
+                s.tiers,
                 header.epoch,
             ));
         }
@@ -821,7 +1038,7 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
         });
     }
     Ok(CounterEngine::from_restored(
-        template.clone(),
+        templates[0].clone(),
         prev.config,
         shards,
         prev.epoch + 1,
@@ -933,10 +1150,7 @@ mod tests {
         let mut e = ny_engine(2_000);
         let stats_before = e.stats();
         let ck = checkpoint_of(&mut e);
-        assert_eq!(
-            ck.stats().counter_state_bits,
-            stats_before.counter_state_bits
-        );
+        assert_eq!(ck.stats().counter_state_bits, stats_before.state_bits_total);
         assert_eq!(ck.stats().keys, e.len() as u64);
         assert_eq!(ck.stats().shards_written, ck.stats().shards);
         assert_eq!(
@@ -1175,8 +1389,9 @@ mod tests {
     fn rejects_unsupported_version() {
         let mut e = ny_engine(5);
         let mut bytes = checkpoint_of(&mut e).into_bytes();
-        // The version field sits at bits 32..48; bump it.
-        bytes[4] = bytes[4].wrapping_add(1);
+        // The version field sits at bits 32..48; bump it past both the
+        // base and the tiered versions.
+        bytes[4] = bytes[4].wrapping_add(2);
         assert!(matches!(
             restore_checkpoint(&ny_template(), &bytes),
             Err(CheckpointError::UnsupportedVersion { .. })
@@ -1306,6 +1521,157 @@ mod tests {
             "framing {} of {}",
             s.header_bits,
             s.total_bits
+        );
+    }
+
+    // ---- version 3: tiered checkpoints ------------------------------
+
+    use ac_core::{CounterFamily, TierMove, TierPolicy};
+
+    /// A family engine with every fourth key migrated off the default
+    /// rung, plus the ladder it was tiered against.
+    fn tiered_engine(n_keys: u64) -> (CounterEngine<CounterFamily>, Vec<CounterFamily>) {
+        let policy = TierPolicy::default_ladder();
+        let templates = policy.templates().unwrap();
+        let mut e = CounterEngine::new(templates[0].clone(), cfg());
+        let mut gen = SplitMix64::new(17);
+        let batch: Vec<(u64, u64)> = (0..n_keys)
+            .map(|k| (k * 71 + 5, 1 + gen.next_u64() % 3_000))
+            .collect();
+        e.apply(&batch);
+        let moves: Vec<TierMove> = (0..n_keys)
+            .step_by(4)
+            .map(|k| TierMove {
+                key: k * 71 + 5,
+                tier: u8::try_from(1 + (k / 4) % 3).unwrap(),
+            })
+            .collect();
+        let migrated = e.apply_migrations(policy.specs(), &moves).unwrap();
+        assert_eq!(migrated, moves.len() as u64);
+        (e, templates)
+    }
+
+    #[test]
+    fn tiered_round_trip_restores_tiers_counters_and_rng_streams() {
+        let (mut e, templates) = tiered_engine(800);
+        let ck = checkpoint_snapshot_with(&e.snapshot(), &templates);
+        assert_eq!(ck.header().version, CHECKPOINT_VERSION_TIERED);
+        assert_eq!(
+            ck.header().params_fingerprint,
+            combined_fingerprint(&templates)
+        );
+
+        let mut back = restore_checkpoint_with(&templates, ck.bytes()).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.stats().tier_keys, e.stats().tier_keys);
+        assert_eq!(back.stats().state_bits_total, e.stats().state_bits_total);
+        for (key, counter) in e.iter() {
+            assert_eq!(back.tier_of(key), e.tier_of(key), "tier of key {key}");
+            assert_eq!(
+                back.counter(key).map(ApproxCounter::estimate),
+                Some(counter.estimate()),
+                "estimate of key {key}"
+            );
+        }
+
+        // A second checkpoint of the freshly restored engine carries the
+        // very same payload (headers differ only in the freeze epoch).
+        let again = checkpoint_snapshot_with(&back.snapshot(), &templates);
+        assert_eq!(
+            &ck.bytes()[PAYLOAD_BYTE..],
+            &again.bytes()[PAYLOAD_BYTE..],
+            "ckpt -> restore -> ckpt must reproduce the payload bit-for-bit"
+        );
+
+        // Shard RNGs rode along: the same follow-up batch drives both
+        // engines to bit-identical estimates.
+        let follow_up: Vec<(u64, u64)> = (0..400u64).map(|k| (k * 71 + 5, 9 + k)).collect();
+        e.apply(&follow_up);
+        back.apply(&follow_up);
+        for &(key, _) in &follow_up {
+            assert_eq!(
+                e.counter(key).map(ApproxCounter::estimate),
+                back.counter(key).map(ApproxCounter::estimate),
+                "post-restore estimate of key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_chain_restores_into_a_tiered_ladder_at_the_default_tier() {
+        let policy = TierPolicy::default_ladder();
+        let templates = policy.templates().unwrap();
+        let mut e = CounterEngine::new(templates[0].clone(), cfg());
+        let batch: Vec<(u64, u64)> = (0..300u64).map(|k| (k * 13, 5 + k)).collect();
+        e.apply(&batch);
+        let ck = checkpoint_of(&mut e);
+        assert_eq!(ck.header().version, CHECKPOINT_VERSION);
+
+        let back = restore_checkpoint_chain_with(&templates, &[ck.bytes()]).unwrap();
+        assert_eq!(back.len(), e.len());
+        let counts = back.tier_counts();
+        assert_eq!(counts[0], e.len() as u64, "every key on the default rung");
+        assert!(counts[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn tiered_delta_extends_a_pre_tiering_v2_base() {
+        let policy = TierPolicy::default_ladder();
+        let templates = policy.templates().unwrap();
+        let mut e = CounterEngine::new(templates[0].clone(), cfg());
+        let batch: Vec<(u64, u64)> = (0..500u64).map(|k| (k * 7 + 1, 2 + k % 90)).collect();
+        e.apply(&batch);
+        let base = checkpoint_of(&mut e);
+
+        // Tiering turned on after the base was cut: migrate and keep
+        // counting, then cut a version-3 delta against the version-2
+        // parent.
+        let moves: Vec<TierMove> = (0..500u64)
+            .step_by(5)
+            .map(|k| TierMove {
+                key: k * 7 + 1,
+                tier: 1,
+            })
+            .collect();
+        e.apply_migrations(policy.specs(), &moves).unwrap();
+        let more: Vec<(u64, u64)> = (0..200u64).map(|k| (k * 7 + 1, 3)).collect();
+        e.apply(&more);
+        let delta = checkpoint_delta_with(&e.snapshot(), &templates, &base.header()).unwrap();
+        assert_eq!(delta.header().version, CHECKPOINT_VERSION_TIERED);
+
+        let back =
+            restore_checkpoint_chain_with(&templates, &[base.bytes(), delta.bytes()]).unwrap();
+        assert_eq!(back.len(), e.len());
+        assert_eq!(back.total_events(), e.total_events());
+        assert_eq!(back.stats().tier_keys, e.stats().tier_keys);
+        for (key, _) in e.iter() {
+            assert_eq!(back.tier_of(key), e.tier_of(key), "tier of key {key}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "version 2 cannot represent them")]
+    fn version_2_writer_refuses_an_engine_with_tier_tags() {
+        let (mut e, _) = tiered_engine(40);
+        let _ = checkpoint_of(&mut e);
+    }
+
+    #[test]
+    fn tiered_frame_refuses_a_bare_or_wrong_ladder() {
+        let (mut e, templates) = tiered_engine(60);
+        let ck = checkpoint_snapshot_with(&e.snapshot(), &templates);
+        // A single-template restore cannot cover the ladder fingerprint.
+        assert_eq!(
+            restore_checkpoint(&templates[0], ck.bytes()).unwrap_err(),
+            CheckpointError::ScheduleMismatch
+        );
+        // Nor can a reordered ladder: the fingerprint fold is
+        // order-sensitive because the tier *indices* must line up.
+        let mut reversed = templates.clone();
+        reversed.reverse();
+        assert_eq!(
+            restore_checkpoint_with(&reversed, ck.bytes()).unwrap_err(),
+            CheckpointError::ScheduleMismatch
         );
     }
 }

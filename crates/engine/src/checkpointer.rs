@@ -26,7 +26,10 @@
 //! snapshot. `Store::open` reads that manifest to discover the newest
 //! intact chain after a crash.
 
-use crate::checkpoint::{checkpoint_delta, checkpoint_snapshot, CheckpointHeader, CheckpointKind};
+use crate::checkpoint::{
+    checkpoint_delta, checkpoint_delta_with, checkpoint_snapshot, checkpoint_snapshot_with,
+    CheckpointHeader, CheckpointKind,
+};
 use crate::ingest::ProducerMark;
 use crate::manifest::{Manifest, ManifestFrame, ManifestInfo};
 use crate::snapshot::EngineSnapshot;
@@ -280,14 +283,36 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
     /// facade pre-validates both to return typed errors instead).
     #[must_use]
     pub fn spawn(config: CheckpointerConfig) -> Self {
+        Self::spawn_with(config, None)
+    }
+
+    /// [`BackgroundCheckpointer::spawn`] for a **tiered** engine: frames
+    /// are serialized against `templates` (the tier ladder, rung 0 =
+    /// default) via
+    /// [`checkpoint_snapshot_with`](crate::checkpoint_snapshot_with) /
+    /// [`checkpoint_delta_with`](crate::checkpoint_delta_with), so
+    /// snapshots carrying tier tags land as version-3 frames instead of
+    /// panicking the writer. `None` is the plain version-2 writer.
+    ///
+    /// # Panics
+    ///
+    /// As [`BackgroundCheckpointer::spawn`], plus if `templates` is
+    /// `Some` but empty.
+    #[must_use]
+    pub fn spawn_with(config: CheckpointerConfig, templates: Option<Vec<C>>) -> Self {
         assert!(config.every_events > 0, "cadence must be positive");
+        assert!(
+            templates.as_ref().is_none_or(|t| !t.is_empty()),
+            "a tier ladder needs at least the default template"
+        );
         let (tx, rx) = channel::<Submission<C>>();
         let totals = Arc::new(Totals::default());
         let thread_totals = Arc::clone(&totals);
         let thread_config = config.clone();
         let handle = std::thread::spawn(move || {
             if let (Some(dir), Some(info)) = (&thread_config.directory, &thread_config.manifest) {
-                Manifest::ensure(dir, &info.spec, &info.config).expect("usable store manifest");
+                Manifest::ensure(dir, &info.spec, &info.config, info.tiering.as_ref())
+                    .expect("usable store manifest");
             }
             let mut records: Vec<CheckpointRecord> = Vec::new();
             // Only the parent's header is needed to chain the next delta
@@ -296,6 +321,14 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
             let mut deltas_since_base = 0usize;
             while let Ok(Submission { snap, marks }) = rx.recv() {
                 let start = Instant::now();
+                let full = |snap: &EngineSnapshot<C>| match &templates {
+                    Some(t) => checkpoint_snapshot_with(snap, t),
+                    None => checkpoint_snapshot(snap),
+                };
+                let delta = |snap: &EngineSnapshot<C>, base: &CheckpointHeader| match &templates {
+                    Some(t) => checkpoint_delta_with(snap, t, base),
+                    None => checkpoint_delta(snap, base),
+                };
                 let (ck, kind) = match &parent {
                     Some(base) if deltas_since_base < thread_config.max_deltas_per_base => {
                         // A snapshot that cannot extend the current chain
@@ -305,12 +338,12 @@ impl<C: StateCodec + Clone + Send + Sync + 'static> BackgroundCheckpointer<C> {
                         // killing the writer thread: every full frame is
                         // self-contained, so durability degrades to
                         // "larger", never to "lost".
-                        match checkpoint_delta(&snap, base) {
-                            Ok(delta) => (delta, CheckpointKind::Delta),
-                            Err(_) => (checkpoint_snapshot(&snap), CheckpointKind::Full),
+                        match delta(&snap, base) {
+                            Ok(d) => (d, CheckpointKind::Delta),
+                            Err(_) => (full(&snap), CheckpointKind::Full),
                         }
                     }
-                    _ => (checkpoint_snapshot(&snap), CheckpointKind::Full),
+                    _ => (full(&snap), CheckpointKind::Full),
                 };
                 let header = ck.header();
                 let stats = ck.stats();
@@ -586,6 +619,7 @@ mod tests {
                     spec,
                     config,
                     session: 0,
+                    tiering: None,
                 },
             ));
         e.apply(&[(1, 10)]);

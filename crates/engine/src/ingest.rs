@@ -613,6 +613,22 @@ impl IngestQueue {
         crate::applier::drain_pooled_with(self, engine, hook)
     }
 
+    /// [`IngestQueue::drain_pooled_with`] plus a per-batch pair tap:
+    /// `tap(&pairs)` runs on the drain thread for every batch, in arrival
+    /// order, *before* the batch is routed to the shard workers. This is
+    /// the observation point for stream consumers that must see the
+    /// applied `(key, delta)` traffic itself — e.g. a hot-key detector
+    /// feeding tier migration decisions — which the burst hook (whose
+    /// burst has already been consumed) cannot recover.
+    pub fn drain_pooled_tap<C, T, F>(&self, engine: &mut CounterEngine<C>, tap: T, hook: F) -> u64
+    where
+        C: ApproxCounter + Clone + Send + Sync,
+        T: FnMut(&[(u64, u64)]),
+        F: FnMut(&mut CounterEngine<C>, u64),
+    {
+        crate::applier::drain_pooled_tap(self, engine, tap, hook)
+    }
+
     /// Drains with durability riding along: every
     /// [`CheckpointerConfig::every_events`](crate::CheckpointerConfig::every_events)
     /// applied events, the applier cuts an `O(shards)` copy-on-write

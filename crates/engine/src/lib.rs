@@ -141,9 +141,11 @@ mod snapshot;
 mod store;
 
 pub use checkpoint::{
-    checkpoint_delta, checkpoint_snapshot, read_header, restore_checkpoint,
-    restore_checkpoint_chain, restore_checkpoint_expecting, Checkpoint, CheckpointError,
-    CheckpointHeader, CheckpointKind, CheckpointStats, CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
+    checkpoint_delta, checkpoint_delta_with, checkpoint_snapshot, checkpoint_snapshot_with,
+    combined_fingerprint, read_header, restore_checkpoint, restore_checkpoint_chain,
+    restore_checkpoint_chain_with, restore_checkpoint_expecting, restore_checkpoint_with,
+    Checkpoint, CheckpointError, CheckpointHeader, CheckpointKind, CheckpointStats,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION, CHECKPOINT_VERSION_TIERED,
 };
 pub use checkpointer::{
     BackgroundCheckpointer, CheckpointRecord, CheckpointerConfig, CheckpointerProbe,
@@ -156,7 +158,7 @@ pub use ingest::{
 };
 #[allow(deprecated)]
 pub use legacy::{LegacyIngestProducer, LegacyIngestQueue};
-pub use manifest::{Manifest, ManifestFrame, ManifestInfo, MANIFEST_FILE};
+pub use manifest::{Manifest, ManifestFrame, ManifestInfo, ManifestTiering, MANIFEST_FILE};
 pub use registry::{CounterEngine, EngineConfig, EngineStats};
 pub use snapshot::EngineSnapshot;
 pub use store::{

@@ -10,17 +10,23 @@
 //! written frame, each line ending in its own FNV-1a checksum:
 //!
 //! ```text
-//! acstore v1 spec=<hex,…> shards=<n> seed=<hex> sum=<hex>
+//! acstore v1 spec=<hex,…> shards=<n> seed=<hex> [tiers=<hex,…;…> budget=<n>] sum=<hex>
 //! frame session=<n> file=<name> kind=<full|delta> epoch=<n> events=<n>
 //!       keys=<n> chain=<hex> parent=<hex> marks=<p:enq:app,…|-> sum=<hex>
 //! ```
 //!
 //! The header records the [`CounterSpec`] (as its stable word encoding)
 //! and the [`EngineConfig`] — everything `Store::open` needs to rebuild
-//! the template before any frame is touched. Frame lines carry the frame
-//! file name, its chain digests (so candidate chains are discoverable
-//! without reading frame files), and the per-producer applied sequence
-//! marks at the frame's freeze (the exactly-once replay cursor).
+//! the template before any frame is touched. A **tiered** store
+//! additionally records its tier ladder (each rung's spec word-encoded,
+//! rungs `;`-separated) and bit budget: `Store::open` must know the
+//! ladder before parsing any version-3 frame. The tokens are trailing
+//! and optional, so pre-tiering loaders (which ignore tokens past
+//! `seed=`) still read a tiered manifest's spec and config. Frame lines
+//! carry the frame file name, its chain digests (so candidate chains are
+//! discoverable without reading frame files), and the per-producer
+//! applied sequence marks at the frame's freeze (the exactly-once replay
+//! cursor).
 //!
 //! ## Crash behavior
 //!
@@ -48,6 +54,19 @@ use std::path::{Path, PathBuf};
 /// File name of the manifest inside a durability directory.
 pub const MANIFEST_FILE: &str = "store.manifest";
 
+/// The tiering identity a manifest header pins for a tiered store: the
+/// ladder's specs (rung 0 = default) and the global bit budget. Part of
+/// the durable identity — a directory written under one ladder cannot be
+/// reopened under another, because its version-3 frames are fingerprinted
+/// (and their states encoded) against that exact ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestTiering {
+    /// The tier ladder, cheapest first.
+    pub ladder: Vec<CounterSpec>,
+    /// The global ceiling on total counter-state bits.
+    pub budget_bits: u64,
+}
+
 /// What the checkpointer needs to know to keep a manifest: the spec and
 /// config the header pins, and this process's session number (frame
 /// files are namespaced per session so restarted stores never clobber
@@ -61,6 +80,8 @@ pub struct ManifestInfo {
     /// This writer session's number (0 for the first; `Store::open`
     /// continues at [`Manifest::next_session`]).
     pub session: u64,
+    /// The tier ladder and budget, for a tiered store.
+    pub tiering: Option<ManifestTiering>,
 }
 
 /// One frame line of the manifest.
@@ -97,6 +118,9 @@ pub struct Manifest {
     pub spec: CounterSpec,
     /// The engine configuration from the header.
     pub config: EngineConfig,
+    /// The tier ladder and budget from the header, when the directory
+    /// belongs to a tiered store.
+    pub tiering: Option<ManifestTiering>,
     /// Intact frame lines, oldest first (a torn tail line and anything
     /// after it are dropped at load).
     pub frames: Vec<ManifestFrame>,
@@ -196,6 +220,31 @@ impl Manifest {
             .with_shards(shards as usize)
             .with_seed(seed);
 
+        // Trailing tokens are the extension point: pre-tiering headers
+        // stop at seed=, tiered headers add tiers= and budget=. Either
+        // both tokens appear or neither — half a tiering is corrupt.
+        let tiering = match field(&mut tokens, "tiers=") {
+            None => None,
+            Some(rungs) => {
+                let ladder: Vec<CounterSpec> = rungs
+                    .split(';')
+                    .map(|rung| {
+                        let words: Vec<u64> =
+                            rung.split(',').map(parse_hex).collect::<Option<_>>()?;
+                        CounterSpec::decode_words(&words).ok()
+                    })
+                    .collect::<Option<_>>()
+                    .ok_or_else(|| corrupt("unparseable tier ladder"))?;
+                let budget_bits = field(&mut tokens, "budget=")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| corrupt("tier ladder without a budget"))?;
+                Some(ManifestTiering {
+                    ladder,
+                    budget_bits,
+                })
+            }
+        };
+
         let mut frames = Vec::new();
         for line in lines {
             // A torn or corrupt frame line is skipped, not fatal: each
@@ -208,6 +257,7 @@ impl Manifest {
         Ok(Self {
             spec,
             config,
+            tiering,
             frames,
         })
     }
@@ -261,19 +311,31 @@ impl Manifest {
         })
     }
 
-    /// Renders the header line for `spec`/`config` (sealed).
-    fn header_line(spec: &CounterSpec, config: &EngineConfig) -> String {
-        let words: Vec<String> = spec
-            .encode_words()
-            .iter()
-            .map(|w| format!("{w:x}"))
-            .collect();
-        seal(format!(
+    /// Renders the header line for `spec`/`config` (sealed), with the
+    /// optional trailing tiering tokens.
+    fn header_line(
+        spec: &CounterSpec,
+        config: &EngineConfig,
+        tiering: Option<&ManifestTiering>,
+    ) -> String {
+        let hex_words = |s: &CounterSpec| {
+            s.encode_words()
+                .iter()
+                .map(|w| format!("{w:x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let mut line = format!(
             "acstore v1 spec={} shards={} seed={:x}",
-            words.join(","),
+            hex_words(spec),
             config.shards,
             config.seed
-        ))
+        );
+        if let Some(t) = tiering {
+            let rungs: Vec<String> = t.ladder.iter().map(hex_words).collect();
+            let _ = write!(line, " tiers={} budget={}", rungs.join(";"), t.budget_bits);
+        }
+        seal(line)
     }
 
     /// Creates the manifest header in `dir` if absent; if present,
@@ -288,6 +350,7 @@ impl Manifest {
         dir: &Path,
         spec: &CounterSpec,
         config: &EngineConfig,
+        tiering: Option<&ManifestTiering>,
     ) -> Result<(), EngineError> {
         match Self::load(dir) {
             Ok(existing) => {
@@ -307,10 +370,21 @@ impl Manifest {
                         ),
                     });
                 }
+                if existing.tiering.as_ref() != tiering {
+                    // The ladder is part of the durable identity: v3
+                    // frames encode states against it, so a directory
+                    // cannot change (or gain, or lose) tiering in place.
+                    return Err(EngineError::ManifestCorrupt {
+                        what: format!(
+                            "directory pins tiering {:?}, store configured with {:?}",
+                            existing.tiering, tiering
+                        ),
+                    });
+                }
                 Ok(())
             }
             Err(EngineError::ManifestMissing { .. }) => {
-                let line = Self::header_line(spec, config);
+                let line = Self::header_line(spec, config, tiering);
                 let mut f = std::fs::File::create(Self::path_in(dir))?;
                 writeln!(f, "{line}")?;
                 f.sync_all()?;
@@ -410,7 +484,7 @@ mod tests {
     #[test]
     fn header_and_frames_round_trip() {
         let dir = tmp_dir("roundtrip");
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         let f0 = frame(0, 0, CheckpointKind::Full);
         let f1 = frame(0, 1, CheckpointKind::Delta);
         Manifest::append_frame(&dir, &f0).unwrap();
@@ -447,7 +521,7 @@ mod tests {
     #[test]
     fn torn_tail_frame_line_is_dropped_not_fatal() {
         let dir = tmp_dir("torn");
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         let f0 = frame(0, 0, CheckpointKind::Full);
         Manifest::append_frame(&dir, &f0).unwrap();
         // Simulate a crash mid-append: write half a line, no newline.
@@ -472,7 +546,7 @@ mod tests {
     #[test]
     fn bad_mid_file_line_is_skipped_not_poisoning() {
         let dir = tmp_dir("midbad");
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         let f0 = frame(0, 0, CheckpointKind::Full);
         Manifest::append_frame(&dir, &f0).unwrap();
         // Corrupt the f0 line in place, then append an intact line.
@@ -491,17 +565,17 @@ mod tests {
     #[test]
     fn ensure_refuses_a_different_deployment() {
         let dir = tmp_dir("mismatch");
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         // Same spec + config: idempotent.
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         // Different family: refused.
         assert!(matches!(
-            Manifest::ensure(&dir, &CounterSpec::Exact, &cfg()),
+            Manifest::ensure(&dir, &CounterSpec::Exact, &cfg(), None),
             Err(EngineError::ManifestCorrupt { .. })
         ));
         // Different config: refused.
         assert!(matches!(
-            Manifest::ensure(&dir, &spec(), &cfg().with_shards(8)),
+            Manifest::ensure(&dir, &spec(), &cfg().with_shards(8), None),
             Err(EngineError::ManifestCorrupt { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -510,7 +584,7 @@ mod tests {
     #[test]
     fn flipped_header_byte_is_detected() {
         let dir = tmp_dir("flip");
-        Manifest::ensure(&dir, &spec(), &cfg()).unwrap();
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
         let mut text = std::fs::read_to_string(Manifest::path_in(&dir)).unwrap();
         // Flip one character inside the spec words.
         let at = text.find("spec=").unwrap() + 5;

@@ -87,11 +87,16 @@ pub struct EngineStats {
     pub keys: usize,
     /// Total increments applied (exact).
     pub events: u64,
-    /// Sum of live counter register bits across all shards. This is the
-    /// same quantity the checkpoint layer reports as
+    /// Sum of live counter register bits across all shards — the quantity
+    /// a tiering budget caps. Maintained incrementally per shard
+    /// (`O(shards)` to read, never an `O(keys)` scan) and equal to what
+    /// the checkpoint layer reports as
     /// [`CheckpointStats::counter_state_bits`](crate::CheckpointStats::counter_state_bits) —
     /// a test pins the two together.
-    pub counter_state_bits: u64,
+    pub state_bits_total: u64,
+    /// Distinct keys per accuracy tier (`tier_keys[t]` = keys tagged tier
+    /// `t`; a never-tiered engine reports all keys in tier 0).
+    pub tier_keys: Vec<u64>,
     /// Largest keys-per-shard count (load-balance diagnostic).
     pub max_shard_keys: usize,
     /// Shards written since the last freeze — the copy-on-write debt the
@@ -123,6 +128,17 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Average live counter register bits per tracked key — the budget
+    /// gauge normalized for capacity planning (`0.0` with no keys).
+    #[must_use]
+    pub fn bits_per_key(&self) -> f64 {
+        if self.keys == 0 {
+            0.0
+        } else {
+            self.state_bits_total as f64 / self.keys as f64
+        }
+    }
+
     /// Folds ingest-layer diagnostics into an engine summary, so one
     /// struct describes the whole write pipeline — queue depth, drops,
     /// and the per-producer sequence high-water marks.
@@ -427,6 +443,32 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         self.shards.iter().flat_map(|s| s.entries())
     }
 
+    /// Sum of live counter register bits across all shards (`O(shards)`;
+    /// each shard maintains its total incrementally).
+    #[must_use]
+    pub fn state_bits_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.state_bits()).sum()
+    }
+
+    /// Distinct keys per accuracy tier (`counts[t]` = keys in tier `t`).
+    /// A never-tiered engine reports every key in tier 0.
+    #[must_use]
+    pub fn tier_counts(&self) -> Vec<u64> {
+        let mut counts = Vec::new();
+        for shard in &self.shards {
+            shard.tier_counts_into(&mut counts);
+        }
+        counts
+    }
+
+    /// The accuracy tier `key` currently sits in (`None` for an
+    /// untracked key; tier 0 is the default for every key never
+    /// migrated).
+    #[must_use]
+    pub fn tier_of(&self, key: u64) -> Option<u8> {
+        self.shards[self.shard_of(key)].tier_of(key)
+    }
+
     /// Engine summary for reports. Ingest and checkpointer diagnostics
     /// read zero here; fold them in with [`EngineStats::with_ingest`] and
     /// [`EngineStats::with_checkpointer`] when those layers are attached.
@@ -436,12 +478,8 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             shards: self.shards.len(),
             keys: self.len(),
             events: self.total_events(),
-            counter_state_bits: self
-                .shards
-                .iter()
-                .flat_map(|s| s.counters())
-                .map(|c| c.state_bits())
-                .sum(),
+            state_bits_total: self.state_bits_total(),
+            tier_keys: self.tier_counts(),
             max_shard_keys: self.shards.iter().map(|s| s.len()).max().unwrap_or(0),
             dirty_shards: self
                 .shards
@@ -479,6 +517,46 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             }
         }
         Ok(total)
+    }
+}
+
+impl CounterEngine<ac_core::CounterFamily> {
+    /// Applies a migration plan: each move re-seeds its key's counter in
+    /// the ladder's target spec (estimate-preserving, deterministic — the
+    /// shard RNG streams are untouched) and tags the key with its new
+    /// tier. Moves naming untracked keys are skipped (a detector window
+    /// can outlive an eviction). Returns the number of keys migrated.
+    ///
+    /// Runs on whatever thread calls it — the store runs it on the
+    /// applier's burst hook, between bursts, when the engine is
+    /// quiescent — and marks migrated shards dirty so copy-on-write
+    /// snapshots and delta checkpoints see the moves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidState`] when a move names a tier
+    /// outside `ladder`, and propagates [`ac_core::CounterSpec::build`]
+    /// errors from invalid specs.
+    pub fn apply_migrations(
+        &mut self,
+        ladder: &[ac_core::CounterSpec],
+        moves: &[ac_core::TierMove],
+    ) -> Result<u64, CoreError> {
+        let mut migrated = 0u64;
+        for m in moves {
+            let Some(spec) = ladder.get(usize::from(m.tier)) else {
+                return Err(CoreError::InvalidState {
+                    what: "tier move names a rung outside the ladder",
+                });
+            };
+            let idx = self.shard_of(m.key);
+            let shard = Arc::make_mut(&mut self.shards[idx]);
+            if shard.migrate_key(m.key, spec, m.tier)? {
+                shard.touch(self.epoch);
+                migrated += 1;
+            }
+        }
+        Ok(migrated)
     }
 }
 
@@ -587,7 +665,7 @@ mod tests {
         assert_eq!(stats.shards, 4);
         assert_eq!(stats.keys, 2);
         // Two Morris registers: a handful of bits each, never log2(N).
-        assert!(stats.counter_state_bits < 16, "{stats:?}");
+        assert!(stats.state_bits_total < 16, "{stats:?}");
         // No ingest or checkpoint layer attached: diagnostics read zero.
         assert_eq!(stats.queue_depth, 0);
         assert_eq!(stats.dropped_batches, 0);

@@ -216,14 +216,53 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
     }
 
     /// Sum of frozen counter register bits — the snapshot-side twin of
-    /// [`EngineStats::counter_state_bits`](crate::EngineStats::counter_state_bits).
+    /// [`EngineStats::state_bits_total`](crate::EngineStats::state_bits_total).
+    /// `O(shards)`: each shard maintains its sum incrementally.
     #[must_use]
     pub fn counter_state_bits(&self) -> u64 {
-        self.shards
-            .iter()
-            .flat_map(|s| s.counters())
-            .map(ac_bitio::StateBits::state_bits)
-            .sum()
+        self.shards.iter().map(|s| s.state_bits()).sum()
+    }
+}
+
+impl EngineSnapshot<ac_core::CounterFamily> {
+    /// The cross-shard merged aggregate for a **tiered** snapshot, where
+    /// keys on different rungs hold different counter families and a
+    /// single [`EngineSnapshot::merged_total`] fold would refuse to mix
+    /// them. Counters merge *within* each tier under the family's merge
+    /// law (Remark 2.4), and the per-tier totals' estimates sum — so the
+    /// result inherits each tier's `(ε, δ)` guarantee on its share of the
+    /// stream rather than one family-wide bound.
+    ///
+    /// `tiers` is the ladder length; a tag at or above it is refused.
+    /// Unlike `merged_total` this fold bypasses the per-shard cache (the
+    /// cache stores one counter per shard, not one per tier) and is
+    /// `O(keys)` per call.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidState`] when a key carries a tier tag outside
+    /// `0..tiers`; [`CoreError::MergeMismatch`] is unreachable because
+    /// counters within one tier are clones of one template.
+    pub fn merged_estimate_tiered(
+        &self,
+        tiers: usize,
+        rng: &mut dyn RandomSource,
+    ) -> Result<f64, CoreError> {
+        let mut per_tier: Vec<Option<ac_core::CounterFamily>> = vec![None; tiers];
+        for shard in &self.shards {
+            for (_, counter, tier) in shard.entries_tagged() {
+                let slot = per_tier
+                    .get_mut(usize::from(tier))
+                    .ok_or(CoreError::InvalidState {
+                        what: "key carries a tier tag outside the ladder",
+                    })?;
+                match slot {
+                    None => *slot = Some(counter.clone()),
+                    Some(acc) => acc.merge_from(counter, rng)?,
+                }
+            }
+        }
+        Ok(per_tier.into_iter().flatten().map(|c| c.estimate()).sum())
     }
 }
 
@@ -316,7 +355,7 @@ mod tests {
         let mut e = CounterEngine::new(NelsonYuCounter::new(p), cfg());
         e.apply(&(0..200u64).map(|k| (k, k + 1)).collect::<Vec<_>>());
         let snap = e.snapshot();
-        assert_eq!(snap.counter_state_bits(), e.stats().counter_state_bits);
+        assert_eq!(snap.counter_state_bits(), e.stats().state_bits_total);
     }
 
     #[test]

@@ -43,7 +43,7 @@
 //! assert_eq!(report.stats.events, 100_000);
 //! ```
 
-use crate::checkpoint::restore_checkpoint_chain;
+use crate::checkpoint::restore_checkpoint_chain_with;
 use crate::checkpointer::{
     BackgroundCheckpointer, CheckpointerConfig, CheckpointerProbe, CheckpointerReport,
     CheckpointerStats,
@@ -55,15 +55,24 @@ use crate::ingest::{
     CheckpointCadence, IngestConfig, IngestProducer, IngestQueue, IngestStats, ProducerMark,
     SendError,
 };
-use crate::manifest::{Manifest, ManifestInfo};
+use crate::manifest::{Manifest, ManifestInfo, ManifestTiering};
 use crate::registry::{CounterEngine, EngineConfig, EngineStats};
 use crate::snapshot::EngineSnapshot;
-use ac_core::{ApproxCounter, CounterFamily, CounterSpec};
-use ac_randkit::{mix64, RandomSource, Xoshiro256PlusPlus};
+use ac_core::{
+    ApproxCounter, BudgetController, CounterFamily, CounterSpec, ExactCounter, TierPolicy,
+};
+use ac_randkit::{mix64, RandomSource, SplitMix64, Xoshiro256PlusPlus};
+use ac_streams::SpaceSaving;
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
+
+/// Slots in the applier's SpaceSaving hot-key detector. A few times the
+/// number of keys a migration round can plausibly promote: the detector
+/// only has to rank the head of the distribution, not hold the tail.
+const DETECTOR_SLOTS: usize = 1024;
 
 /// Runtime knobs shared by [`StoreBuilder`] and [`Store::open_with`]:
 /// everything about *how* the service runs, none of it part of the
@@ -141,6 +150,7 @@ pub struct StoreBuilder {
     engine: EngineConfig,
     opts: StoreOptions,
     durability: Option<PathBuf>,
+    tiering: Option<(TierPolicy, u64)>,
 }
 
 impl StoreBuilder {
@@ -196,6 +206,25 @@ impl StoreBuilder {
         self
     }
 
+    /// Enables **tiered accuracy**: keys live on `policy`'s ladder of
+    /// counter specs (rung 0 — which must equal the store's
+    /// [`CounterSpec`] — is where every key starts), and the applier
+    /// thread migrates hot keys up / cold keys down between ingest
+    /// bursts so total counter state stays under `budget_bits`.
+    ///
+    /// A SpaceSaving detector taps the applied stream; each
+    /// snapshot-cadence boundary runs one
+    /// [`BudgetController::plan`] round and applies the estimate-
+    /// preserving migrations before the replica is published. With
+    /// durability, checkpoints become version-3 frames carrying the
+    /// per-key tier tags, the manifest pins the ladder and budget, and
+    /// [`Store::open`] restores tier assignments bit-exactly.
+    #[must_use]
+    pub fn with_tiering(mut self, policy: TierPolicy, budget_bits: u64) -> Self {
+        self.tiering = Some((policy, budget_bits));
+        self
+    }
+
     /// Builds the engine from the spec and starts the service (applier
     /// thread, and — with durability — the background checkpointer and
     /// manifest).
@@ -213,12 +242,24 @@ impl StoreBuilder {
     pub fn start(self) -> Result<Store, EngineError> {
         let template = self.spec.build()?;
         let engine = CounterEngine::new(template, self.engine);
+        let tiering = self
+            .tiering
+            .map(|(policy, budget_bits)| -> Result<TierSetup, EngineError> {
+                if *policy.default_spec() != self.spec {
+                    return Err(EngineError::Core(ac_core::CoreError::InvalidState {
+                        what: "tier ladder's default rung must be the store's counter spec",
+                    }));
+                }
+                TierSetup::new(policy, budget_bits)
+            })
+            .transpose()?;
         let (durability, lock) = match self.durability {
             None => (None, None),
             Some(dir) => {
                 std::fs::create_dir_all(&dir)?;
                 let lock = DirLock::acquire(&dir)?;
-                Manifest::ensure(&dir, &self.spec, &self.engine)?;
+                let manifest_tiering = tiering.as_ref().map(TierSetup::manifest_tiering);
+                Manifest::ensure(&dir, &self.spec, &self.engine, manifest_tiering.as_ref())?;
                 let session = Manifest::load(&dir)?.next_session();
                 (Some((dir, session)), Some(lock))
             }
@@ -231,6 +272,7 @@ impl StoreBuilder {
             engine,
             None,
             lock,
+            tiering,
         ))
     }
 }
@@ -277,6 +319,10 @@ pub struct StoreStats {
     pub ingest: IngestStats,
     /// Live checkpointer stats (durable stores only).
     pub checkpointer: Option<CheckpointerStats>,
+    /// The tiering bit budget (tiered stores only). Compare against
+    /// [`EngineStats::state_bits_total`] — the engine gauge rides in
+    /// [`StoreStats::engine`], along with the per-tier key counts.
+    pub tier_budget_bits: Option<u64>,
 }
 
 /// What [`Store::close`] returns: the final engine summary and, for
@@ -363,6 +409,99 @@ impl Drop for DirLock {
     }
 }
 
+/// Everything the applier thread needs to run tier migrations: the
+/// planner, the ladder's built templates (also handed to the
+/// checkpointer so frames serialize as version 3), the SpaceSaving
+/// detector fed from the ingest tap, and the resident map of keys
+/// currently above the default tier (rebuilt from the engine's tier
+/// tags on recovery — migrations only ever run on this thread, so the
+/// map stays exact).
+struct TierSetup {
+    controller: BudgetController,
+    templates: Vec<CounterFamily>,
+    detector: SpaceSaving<ExactCounter>,
+    rng: SplitMix64,
+    resident: HashMap<u64, u8>,
+}
+
+impl std::fmt::Debug for TierSetup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TierSetup")
+            .field("controller", &self.controller)
+            .field("resident_keys", &self.resident.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TierSetup {
+    fn new(policy: TierPolicy, budget_bits: u64) -> Result<Self, EngineError> {
+        let templates = policy.templates()?;
+        let controller = BudgetController::new(policy, budget_bits)?;
+        Ok(Self {
+            controller,
+            templates,
+            // The detector needs no entropy for exact slot counters, but
+            // the trait takes a source; any fixed seed keeps the applier
+            // deterministic for a given arrival order.
+            detector: SpaceSaving::new(DETECTOR_SLOTS, &ExactCounter::new()),
+            rng: SplitMix64::new(0x7157_0000_D1CE_C7ED),
+            resident: HashMap::new(),
+        })
+    }
+
+    fn manifest_tiering(&self) -> ManifestTiering {
+        ManifestTiering {
+            ladder: self.controller.policy().specs().to_vec(),
+            budget_bits: self.controller.budget_bits(),
+        }
+    }
+
+    /// Feeds one applied batch to the hot-key detector (the ingest tap).
+    fn observe(&mut self, pairs: &[(u64, u64)]) {
+        for &(key, delta) in pairs {
+            self.detector.offer_by(key, delta, &mut self.rng);
+        }
+    }
+
+    /// One migration round, run between ingest bursts while the engine
+    /// is quiescent: rank the window's heavy hitters, close the detector
+    /// epoch, plan promotions/demotions under the budget, and apply the
+    /// estimate-preserving migrations.
+    fn round(&mut self, engine: &mut CounterEngine<CounterFamily>) {
+        let hot: Vec<(u64, f64)> = self
+            .detector
+            .report()
+            .into_iter()
+            .map(|h| (h.item, h.estimate))
+            .collect();
+        let _ = self.detector.decay();
+        let resident: Vec<(u64, u8, f64)> = self
+            .resident
+            .iter()
+            .map(|(&key, &tier)| {
+                let est = engine.counter(key).map_or(0.0, ApproxCounter::estimate);
+                (key, tier, est)
+            })
+            .collect();
+        let plan = self
+            .controller
+            .plan(engine.state_bits_total(), &hot, &resident);
+        if plan.is_empty() {
+            return;
+        }
+        engine
+            .apply_migrations(self.controller.policy().specs(), &plan.moves)
+            .expect("planned tier moves stay inside the ladder");
+        for m in &plan.moves {
+            if m.tier == 0 {
+                self.resident.remove(&m.key);
+            } else {
+                self.resident.insert(m.key, m.tier);
+            }
+        }
+    }
+}
+
 /// State shared between the service, its applier thread, and every
 /// reader handle.
 #[derive(Debug)]
@@ -407,6 +546,7 @@ pub struct Store {
     probe: Option<CheckpointerProbe>,
     directory: Option<PathBuf>,
     recovery: Option<RecoveryReport>,
+    tier_budget_bits: Option<u64>,
     /// The single-writer directory lock; released (in `Drop`, after the
     /// applier joins) when the store shuts down — including `kill`, so
     /// a same-process reopen works; a *real* crash leaves the file and
@@ -423,6 +563,7 @@ impl Store {
             engine: EngineConfig::new(),
             opts: StoreOptions::new(),
             durability: None,
+            tiering: None,
         }
     }
 
@@ -463,6 +604,24 @@ impl Store {
         let lock = DirLock::acquire(dir)?;
         let manifest = Manifest::load(dir)?;
         let (engine, report) = recover(dir, &manifest)?;
+        // A tiered directory resumes tiered: rebuild the planner from the
+        // manifest's ladder + budget and the resident map from the
+        // restored engine's own tier tags (the durable source of truth).
+        let tiering = manifest
+            .tiering
+            .as_ref()
+            .map(|t| -> Result<TierSetup, EngineError> {
+                let policy = TierPolicy::new(t.ladder.clone())?;
+                let mut setup = TierSetup::new(policy, t.budget_bits)?;
+                setup.resident = engine
+                    .iter()
+                    .filter_map(|(key, _)| {
+                        engine.tier_of(key).filter(|&t| t != 0).map(|t| (key, t))
+                    })
+                    .collect();
+                Ok(setup)
+            })
+            .transpose()?;
         let durability = Some((dir.to_path_buf(), report.session));
         Ok(Self::launch(
             manifest.spec,
@@ -472,6 +631,7 @@ impl Store {
             engine,
             Some(report),
             Some(lock),
+            tiering,
         ))
     }
 
@@ -487,7 +647,9 @@ impl Store {
         mut engine: CounterEngine<CounterFamily>,
         recovery: Option<RecoveryReport>,
         lock: Option<DirLock>,
+        tiering: Option<TierSetup>,
     ) -> Self {
+        let tier_budget_bits = tiering.as_ref().map(|t| t.controller.budget_bits());
         // Bound pooled-applier bursts at the tightest cadence so the
         // burst-boundary hook can actually fire that often — otherwise a
         // backlog (producers racing far ahead of the applier) would be
@@ -504,7 +666,10 @@ impl Store {
         let queue = IngestQueue::new(ingest);
         let checkpointer: Option<BackgroundCheckpointer<CounterFamily>> =
             durability.as_ref().map(|(dir, session)| {
-                BackgroundCheckpointer::spawn(
+                // A tiered store's checkpointer serializes against the
+                // ladder so tier-tagged snapshots land as version-3
+                // frames (and the manifest header pins the ladder).
+                BackgroundCheckpointer::spawn_with(
                     CheckpointerConfig::new()
                         .with_every_events(opts.checkpoint_every_events)
                         .with_max_deltas_per_base(opts.max_deltas_per_base)
@@ -514,7 +679,9 @@ impl Store {
                             spec,
                             config,
                             session: *session,
+                            tiering: tiering.as_ref().map(TierSetup::manifest_tiering),
                         }),
+                    tiering.as_ref().map(|t| t.templates.clone()),
                 )
             });
         let probe = checkpointer.as_ref().map(BackgroundCheckpointer::probe);
@@ -536,19 +703,40 @@ impl Store {
                 let mut ckpt_due = checkpointer
                     .as_ref()
                     .map(|c| CheckpointCadence::new(c.config().every_events));
+                // The tap and the burst hook both run on this thread,
+                // never reentrantly; the RefCell lets them share the
+                // tiering state across the two closures.
+                let tiering = std::cell::RefCell::new(tiering);
                 // The pooled drain: persistent worker-per-shard applier,
                 // hooks at burst boundaries (the cadences catch up across
                 // a burst without double-firing).
-                thread_queue.drain_pooled_with(&mut engine, |engine, applied| {
-                    if snap_due.is_due(applied) {
-                        publish(&thread_shared, engine, &thread_queue, thread_probe.as_ref());
-                    }
-                    if let (Some(due), Some(ck)) = (ckpt_due.as_mut(), checkpointer.as_ref()) {
-                        if due.is_due(applied) {
-                            ck.submit_with_marks(engine.snapshot(), thread_queue.applied_marks());
+                thread_queue.drain_pooled_tap(
+                    &mut engine,
+                    |pairs| {
+                        if let Some(t) = tiering.borrow_mut().as_mut() {
+                            t.observe(pairs);
                         }
-                    }
-                });
+                    },
+                    |engine, applied| {
+                        if snap_due.is_due(applied) {
+                            // Migrate before publishing (and before any
+                            // checkpoint below) so the replica and the
+                            // frame both see this round's tier moves.
+                            if let Some(t) = tiering.borrow_mut().as_mut() {
+                                t.round(engine);
+                            }
+                            publish(&thread_shared, engine, &thread_queue, thread_probe.as_ref());
+                        }
+                        if let (Some(due), Some(ck)) = (ckpt_due.as_mut(), checkpointer.as_ref()) {
+                            if due.is_due(applied) {
+                                ck.submit_with_marks(
+                                    engine.snapshot(),
+                                    thread_queue.applied_marks(),
+                                );
+                            }
+                        }
+                    },
+                );
                 // Queue closed and drained: cut the final durable frame
                 // (unless this is a simulated crash), publish the final
                 // replica, and drain the writer thread.
@@ -572,6 +760,7 @@ impl Store {
             probe,
             directory: durability.map(|(dir, _)| dir),
             recovery,
+            tier_budget_bits,
             _lock: lock,
         }
     }
@@ -632,6 +821,7 @@ impl Store {
             engine: self.shared.stats.lock().expect("stats slot").clone(),
             ingest: self.queue.stats(),
             checkpointer: self.probe.as_ref().map(CheckpointerProbe::stats),
+            tier_budget_bits: self.tier_budget_bits,
         }
     }
 
@@ -862,6 +1052,22 @@ impl StoreReader {
         Ok(self.merged_total()?.estimate())
     }
 
+    /// The merged aggregate of a **tiered** store: counters merge within
+    /// each tier under the family merge law and the per-tier totals'
+    /// estimates sum (see [`EngineSnapshot::merged_estimate_tiered`]).
+    /// `tiers` is the ladder length the store was started with. Uses the
+    /// same deterministic epoch-derived randomness as
+    /// [`StoreReader::merged_total`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Core`] when a key carries a tier tag at or beyond
+    /// `tiers`.
+    pub fn merged_estimate_tiered(&self, tiers: usize) -> Result<f64, EngineError> {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix64(self.seed ^ mix64(self.epoch())));
+        Ok(self.snap.merged_estimate_tiered(tiers, &mut rng)?)
+    }
+
     /// Exact total events at the pinned freeze.
     #[must_use]
     pub fn total_events(&self) -> u64 {
@@ -906,11 +1112,28 @@ fn recover(
 ) -> Result<(CounterEngine<CounterFamily>, RecoveryReport), EngineError> {
     use crate::checkpoint::CheckpointKind;
 
-    let template = manifest.spec.build()?;
+    // For a tiered directory, restore against the manifest's ladder —
+    // version-3 frames decode each key's state with its tier's template.
+    // An untiered directory restores with the one-rung "ladder", which
+    // is exactly the classic single-template restore.
+    let templates: Vec<CounterFamily> = match &manifest.tiering {
+        Some(t) => {
+            if t.ladder.first() != Some(&manifest.spec) {
+                return Err(EngineError::ManifestCorrupt {
+                    what: "manifest ladder's default rung disagrees with its spec".into(),
+                });
+            }
+            t.ladder
+                .iter()
+                .map(CounterSpec::build)
+                .collect::<Result<_, _>>()?
+        }
+        None => vec![manifest.spec.build()?],
+    };
     let frames = &manifest.frames;
     if frames.is_empty() {
         // A store that never reached its first checkpoint: resume empty.
-        let engine = CounterEngine::new(template, manifest.config);
+        let engine = CounterEngine::new(templates[0].clone(), manifest.config);
         let report = RecoveryReport {
             directory: dir.to_path_buf(),
             frames_in_manifest: 0,
@@ -954,7 +1177,7 @@ fn recover(
         // us to the previous chain.
         while !segments.is_empty() {
             let refs: Vec<&[u8]> = segments.iter().map(Vec::as_slice).collect();
-            match restore_checkpoint_chain(&template, &refs) {
+            match restore_checkpoint_chain_with(&templates, &refs) {
                 Ok(engine) => {
                     let used = segments.len();
                     let tip = &frames[base + used - 1];
@@ -1137,5 +1360,171 @@ mod tests {
             .start()
             .unwrap_err();
         assert!(matches!(err, EngineError::Core(_)));
+    }
+
+    /// A skewed ladder for tier tests: Morris default, exact top rung.
+    fn ladder() -> TierPolicy {
+        TierPolicy::new(vec![
+            CounterSpec::Morris { a: 8.0 },
+            spec(),
+            CounterSpec::Exact,
+        ])
+        .unwrap()
+    }
+
+    fn tier_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ac-store-tier-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn tiering_requires_the_ladder_to_start_at_the_store_spec() {
+        let err = Store::builder(CounterSpec::Exact)
+            .with_tiering(ladder(), 1 << 20)
+            .start()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Core(_)));
+    }
+
+    #[test]
+    fn tiered_store_promotes_hot_keys_within_budget() {
+        let store = Store::builder(CounterSpec::Morris { a: 8.0 })
+            .with_shards(4)
+            .with_seed(7)
+            .with_snapshot_every_events(2_000)
+            .with_tiering(ladder(), 1 << 20)
+            .start()
+            .unwrap();
+        let mut w = store.writer();
+        // Two blazing-hot keys over a cold tail, across enough cadence
+        // boundaries for detection and promotion to both happen.
+        for round in 0..40 {
+            for hot in 0..2u64 {
+                w.record(hot, 2_000);
+            }
+            for key in 0..100u64 {
+                w.record(1_000 + key + 100 * round, 1);
+            }
+            w.flush().unwrap();
+        }
+        let report = store.close().unwrap();
+        let counts = &report.stats.tier_keys;
+        assert_eq!(counts.len(), 3, "one gauge per rung");
+        let promoted: u64 = counts[1..].iter().sum();
+        assert!(promoted >= 2, "hot keys promoted, got {counts:?}");
+        assert!(
+            report.stats.state_bits_total <= 1 << 20,
+            "budget respected: {} bits",
+            report.stats.state_bits_total
+        );
+        assert!(report.stats.bits_per_key() > 0.0);
+    }
+
+    #[test]
+    fn tiered_store_survives_close_and_reopens_with_tiers_intact() {
+        let dir = tier_dir("reopen");
+        let budget = 1 << 20;
+        let (tiers_before, estimates_before) = {
+            let store = Store::builder(CounterSpec::Morris { a: 8.0 })
+                .with_shards(4)
+                .with_seed(7)
+                .with_snapshot_every_events(1_000)
+                .with_checkpoint_every_events(2_000)
+                .with_tiering(ladder(), budget)
+                .with_durability(&dir)
+                .start()
+                .unwrap();
+            let mut w = store.writer();
+            for _ in 0..30 {
+                for hot in 0..2u64 {
+                    w.record(hot, 1_500);
+                }
+                for key in 100..150u64 {
+                    w.record(key, 1);
+                }
+                w.flush().unwrap();
+            }
+            let mut reader = store.reader();
+            let _ = store.close().unwrap();
+            reader.refresh();
+            let snap = reader.snapshot();
+            let mut tiers = Vec::new();
+            let mut estimates = Vec::new();
+            for shard in &snap.shards {
+                for (key, counter, tier) in shard.entries_tagged() {
+                    tiers.push((key, tier));
+                    estimates.push((key, counter.estimate()));
+                }
+            }
+            tiers.sort_unstable();
+            estimates.sort_by_key(|&(key, _)| key);
+            (tiers, estimates)
+        };
+        assert!(
+            tiers_before.iter().any(|&(_, t)| t != 0),
+            "test needs at least one promoted key to be meaningful"
+        );
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(
+            store.stats().tier_budget_bits,
+            Some(budget),
+            "manifest restores the budget"
+        );
+        let reader = store.reader();
+        let snap = reader.snapshot();
+        let mut tiers_after = Vec::new();
+        let mut estimates_after = Vec::new();
+        for shard in &snap.shards {
+            for (key, counter, tier) in shard.entries_tagged() {
+                tiers_after.push((key, tier));
+                estimates_after.push((key, counter.estimate()));
+            }
+        }
+        tiers_after.sort_unstable();
+        estimates_after.sort_by_key(|&(key, _)| key);
+        assert_eq!(tiers_before, tiers_after, "tier assignments round-trip");
+        assert_eq!(
+            estimates_before, estimates_after,
+            "estimates round-trip bit-exactly"
+        );
+
+        // The reopened store keeps migrating (same ladder, same planner).
+        let mut w = store.writer();
+        for _ in 0..10 {
+            for hot in 0..2u64 {
+                w.record(hot, 1_500);
+            }
+            w.flush().unwrap();
+        }
+        let report = store.close().unwrap();
+        assert!(report.stats.state_bits_total <= budget);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_a_tiered_directory_untiered_is_refused() {
+        let dir = tier_dir("mismatch");
+        {
+            let store = Store::builder(CounterSpec::Morris { a: 8.0 })
+                .with_tiering(ladder(), 1 << 20)
+                .with_durability(&dir)
+                .start()
+                .unwrap();
+            let _ = store.close().unwrap();
+        }
+        // Same spec/config but no tiering: the ladder is part of the
+        // durable identity, so the builder must refuse the directory.
+        let err = Store::builder(CounterSpec::Morris { a: 8.0 })
+            .with_durability(&dir)
+            .start()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ManifestCorrupt { .. }));
+        // Store::open, by contrast, resumes tiered from the manifest.
+        let store = Store::open(&dir).unwrap();
+        assert!(store.stats().tier_budget_bits.is_some());
+        store.kill();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -55,7 +55,7 @@ fn assert_restores_exactly<C: StateCodec + Clone>(
     prop_assert_eq!(restored.total_events(), engine.total_events());
     prop_assert_eq!(restored.config(), engine.config());
     prop_assert_eq!(
-        restored.stats().counter_state_bits,
+        restored.stats().state_bits_total,
         ck.stats().counter_state_bits
     );
     for (key, counter) in engine.iter() {

@@ -3,7 +3,9 @@
 //! Turns counters plus workloads into the numbers the paper reports:
 //!
 //! * [`Workload`] — how many increments a trial performs (Figure 1 uses
-//!   `Uniform[500000, 999999]`).
+//!   `Uniform[500000, 999999]`); [`ZipfKeys`] — *which key* each event
+//!   lands on in the engine-scale keyed workloads (heavy-tailed rank
+//!   popularity, scattered stable key ids).
 //! * [`TrialRunner`] — runs `m` independent trials, in parallel across
 //!   threads, with bit-reproducible per-trial seeds derived from a master
 //!   seed via [`ac_randkit::trial_seed`]; collects estimates, relative
@@ -36,4 +38,4 @@ mod workload;
 
 pub use results::{TrialOutcome, TrialResults};
 pub use runner::{ExecutionMode, TrialRunner};
-pub use workload::Workload;
+pub use workload::{Workload, ZipfKeys};

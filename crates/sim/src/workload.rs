@@ -1,6 +1,7 @@
-//! Trial workloads: how many increments a trial performs.
+//! Trial workloads: how many increments a trial performs, and — for the
+//! engine-scale experiments — *which key* each increment lands on.
 
-use ac_randkit::{RandomSource, UniformU64};
+use ac_randkit::{mix64, DistError, RandomSource, UniformU64, Zipf};
 
 /// The per-trial increment count distribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,75 @@ impl Workload {
     }
 }
 
+/// A Zipf-popular **keyed** workload: each event's key is drawn by rank
+/// popularity `P[rank] ∝ rank^{-s}` (via [`Zipf`]'s exact alias table)
+/// and mapped to an opaque stable key id through the bijective
+/// [`mix64`] finalizer — so hot keys are scattered across the `u64` key
+/// space instead of clustering at small integers, and a keyed engine's
+/// shard routing cannot accidentally correlate with popularity rank.
+///
+/// Distinct ranks always map to distinct keys (`mix64` is a bijection),
+/// so [`ZipfKeys::key_of_rank`] both generates the stream and names the
+/// ground-truth hot set when measuring per-key error.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    zipf: Zipf,
+    salt: u64,
+}
+
+impl ZipfKeys {
+    /// A workload over `keys` distinct keys with exponent `s`, scattered
+    /// with `salt` (two workloads with different salts share no key ids).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Zipf::new`]'s validation: `keys` must be in
+    /// `1..=u32::MAX` and `s` finite and non-negative.
+    pub fn new(keys: u64, s: f64, salt: u64) -> Result<Self, DistError> {
+        Ok(Self {
+            zipf: Zipf::new(keys, s)?,
+            salt,
+        })
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn keys(&self) -> u64 {
+        self.zipf.n()
+    }
+
+    /// The Zipf exponent `s`.
+    #[must_use]
+    pub fn s(&self) -> f64 {
+        self.zipf.s()
+    }
+
+    /// The rank distribution itself (for exact pmf queries).
+    #[must_use]
+    pub fn rank_dist(&self) -> &Zipf {
+        &self.zipf
+    }
+
+    /// The stable key id of popularity rank `rank` (1-based, rank 1
+    /// hottest).
+    #[must_use]
+    pub fn key_of_rank(&self, rank: u64) -> u64 {
+        mix64(self.salt ^ rank)
+    }
+
+    /// Draws one event's popularity rank in `{1, …, keys}`.
+    #[inline]
+    pub fn sample_rank<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.zipf.sample(rng)
+    }
+
+    /// Draws one event's key id.
+    #[inline]
+    pub fn sample_key<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.key_of_rank(self.sample_rank(rng))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +177,47 @@ mod tests {
     #[should_panic(expected = "empty workload range")]
     fn rejects_inverted_range() {
         let _ = Workload::uniform(5, 4);
+    }
+
+    #[test]
+    fn zipf_keys_rejects_bad_params() {
+        assert!(ZipfKeys::new(0, 1.1, 7).is_err());
+        assert!(ZipfKeys::new(100, -0.5, 7).is_err());
+    }
+
+    #[test]
+    fn zipf_keys_ranks_map_to_distinct_stable_ids() {
+        let w = ZipfKeys::new(10_000, 1.1, 0xE14).unwrap();
+        let ids: std::collections::HashSet<u64> =
+            (1..=w.keys()).map(|r| w.key_of_rank(r)).collect();
+        assert_eq!(ids.len(), 10_000, "mix64 is a bijection: no collisions");
+        // Stable: the same rank always names the same key.
+        assert_eq!(w.key_of_rank(1), w.key_of_rank(1));
+        // Different salts shear the mapping.
+        let other = ZipfKeys::new(10_000, 1.1, 0xBEEF).unwrap();
+        assert_ne!(w.key_of_rank(1), other.key_of_rank(1));
+    }
+
+    #[test]
+    fn zipf_keys_samples_live_in_the_declared_id_set() {
+        let w = ZipfKeys::new(500, 1.1, 3).unwrap();
+        let ids: std::collections::HashSet<u64> =
+            (1..=w.keys()).map(|r| w.key_of_rank(r)).collect();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..5_000 {
+            assert!(ids.contains(&w.sample_key(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn zipf_keys_rank_one_dominates() {
+        let w = ZipfKeys::new(1_000, 1.1, 9).unwrap();
+        let hot = w.key_of_rank(1);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| w.sample_key(&mut rng) == hot).count();
+        let p1 = w.rank_dist().pmf(1);
+        let freq = hits as f64 / f64::from(n);
+        assert!((freq - p1).abs() < 0.01, "freq={freq}, pmf={p1}");
     }
 }

@@ -22,20 +22,41 @@ pub struct HeavyHitter {
     pub estimate: f64,
 }
 
+/// One monitored item: its counter plus the epoch it was last offered
+/// in, so [`SpaceSaving::decay`] can expire items that left the window.
+#[derive(Debug, Clone)]
+struct Slot<C> {
+    item: u64,
+    counter: C,
+    touched: u64,
+}
+
 /// SpaceSaving with `k` slots over a `u64` item universe.
 ///
 /// Guarantee (with exact counters): any item with true frequency
 /// `> n/k` is present, and every estimate overshoots by at most `n/k`.
 /// With `(1±ε)`-approximate counters both statements degrade by a
 /// `(1±ε)` factor.
+///
+/// # Windowed decay
+///
+/// A plain SpaceSaving summary never forgets: once an item climbs to a
+/// large slot value it stays "hot" forever, even if it stops arriving —
+/// its slot is never the minimum, so it is never evicted. For workloads
+/// where hotness must be *current* (e.g. tier demotion decisions),
+/// [`SpaceSaving::decay`] closes an epoch: items not offered during the
+/// epoch just ended are dropped, freeing their slots, and are returned
+/// to the caller.
 #[derive(Debug, Clone)]
 pub struct SpaceSaving<C> {
     /// Monitored items and their counters; kept unsorted (k is small).
-    slots: Vec<(u64, C)>,
+    slots: Vec<Slot<C>>,
     capacity: usize,
     template: C,
     /// Exact stream length (diagnostics only).
     items_seen: u64,
+    /// Current epoch; bumped by [`SpaceSaving::decay`].
+    epoch: u64,
 }
 
 impl<C: ApproxCounter + Clone> SpaceSaving<C> {
@@ -54,37 +75,84 @@ impl<C: ApproxCounter + Clone> SpaceSaving<C> {
             capacity,
             template: fresh,
             items_seen: 0,
+            epoch: 0,
         }
     }
 
     /// Processes one stream item.
     pub fn offer(&mut self, item: u64, rng: &mut dyn RandomSource) {
-        self.items_seen += 1;
-        if let Some((_, c)) = self.slots.iter_mut().find(|(i, _)| *i == item) {
-            c.increment(rng);
+        self.offer_by(item, 1, rng);
+    }
+
+    /// Processes `weight` occurrences of `item` at once — the weighted
+    /// stream shape of batched pipelines, where replaying a large delta
+    /// one [`SpaceSaving::offer`] at a time would cost `O(weight)`.
+    pub fn offer_by(&mut self, item: u64, weight: u64, rng: &mut dyn RandomSource) {
+        if weight == 0 {
+            return;
+        }
+        self.items_seen += weight;
+        let epoch = self.epoch;
+        if let Some(s) = self.slots.iter_mut().find(|s| s.item == item) {
+            s.counter.increment_by(weight, rng);
+            s.touched = epoch;
             return;
         }
         if self.slots.len() < self.capacity {
-            let mut c = self.template.clone();
-            c.increment(rng);
-            self.slots.push((item, c));
+            let mut counter = self.template.clone();
+            counter.increment_by(weight, rng);
+            self.slots.push(Slot {
+                item,
+                counter,
+                touched: epoch,
+            });
             return;
         }
         // Evict the slot with the smallest estimate; the newcomer
         // *inherits* its counter (the SpaceSaving "min + 1" step) and
-        // then counts its own occurrence.
+        // then counts its own occurrences.
         let (min_idx, _) = self
             .slots
             .iter()
             .enumerate()
-            .min_by(|(_, (_, a)), (_, (_, b))| {
-                a.estimate()
-                    .partial_cmp(&b.estimate())
+            .min_by(|(_, a), (_, b)| {
+                a.counter
+                    .estimate()
+                    .partial_cmp(&b.counter.estimate())
                     .expect("estimates are not NaN")
             })
             .expect("slots non-empty at capacity");
-        self.slots[min_idx].0 = item;
-        self.slots[min_idx].1.increment(rng);
+        let s = &mut self.slots[min_idx];
+        s.item = item;
+        s.counter.increment_by(weight, rng);
+        s.touched = epoch;
+    }
+
+    /// Closes the current epoch: every item **not** offered since the
+    /// previous `decay` call is evicted (its slot freed, its counter
+    /// dropped) and returned. Items still arriving keep their counters,
+    /// so a persistently hot key's estimate survives any number of
+    /// decays while a key that went cold disappears after one quiet
+    /// epoch — exactly the signal tier demotion needs.
+    pub fn decay(&mut self) -> Vec<u64> {
+        let closing = self.epoch;
+        self.epoch += 1;
+        let mut evicted = Vec::new();
+        self.slots.retain(|s| {
+            if s.touched == closing {
+                true
+            } else {
+                evicted.push(s.item);
+                false
+            }
+        });
+        evicted
+    }
+
+    /// The current epoch (number of [`SpaceSaving::decay`] calls so far).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Current heavy-hitter report, sorted by descending estimate.
@@ -93,9 +161,9 @@ impl<C: ApproxCounter + Clone> SpaceSaving<C> {
         let mut out: Vec<HeavyHitter> = self
             .slots
             .iter()
-            .map(|(item, c)| HeavyHitter {
-                item: *item,
-                estimate: c.estimate(),
+            .map(|s| HeavyHitter {
+                item: s.item,
+                estimate: s.counter.estimate(),
             })
             .collect();
         out.sort_by(|a, b| b.estimate.partial_cmp(&a.estimate).expect("no NaN"));
@@ -107,8 +175,8 @@ impl<C: ApproxCounter + Clone> SpaceSaving<C> {
     pub fn estimate(&self, item: u64) -> Option<f64> {
         self.slots
             .iter()
-            .find(|(i, _)| *i == item)
-            .map(|(_, c)| c.estimate())
+            .find(|s| s.item == item)
+            .map(|s| s.counter.estimate())
     }
 
     /// Number of slots.
@@ -129,7 +197,7 @@ impl<C: ApproxCounter + Clone> SpaceSaving<C> {
     pub fn counter_state_bits(&self) -> u64 {
         self.slots
             .iter()
-            .map(|(_, c)| ac_bitio::StateBits::state_bits(c))
+            .map(|s| ac_bitio::StateBits::state_bits(&s.counter))
             .sum()
     }
 }
@@ -222,6 +290,48 @@ mod tests {
         ss.offer(30, &mut rng);
         assert_eq!(ss.estimate(30), Some(2.0));
         assert_eq!(ss.estimate(20), None);
+    }
+
+    #[test]
+    fn decay_evicts_only_keys_that_went_quiet() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mut ss = SpaceSaving::new(8, &ExactCounter::new());
+        for _ in 0..100 {
+            ss.offer(1, &mut rng);
+            ss.offer(2, &mut rng);
+        }
+        assert_eq!(ss.epoch(), 0);
+        // Epoch 1: only key 1 keeps arriving.
+        let evicted = ss.decay();
+        assert!(evicted.is_empty(), "both keys were live in epoch 0");
+        for _ in 0..50 {
+            ss.offer(1, &mut rng);
+        }
+        // Closing epoch 1 drops key 2 (quiet all epoch) but key 1
+        // survives with its estimate intact.
+        let evicted = ss.decay();
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(ss.epoch(), 2);
+        assert_eq!(ss.estimate(1), Some(150.0));
+        assert_eq!(ss.estimate(2), None);
+    }
+
+    #[test]
+    fn decay_frees_capacity_for_the_next_window() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let mut ss = SpaceSaving::new(2, &ExactCounter::new());
+        for _ in 0..1_000 {
+            ss.offer(7, &mut rng);
+            ss.offer(8, &mut rng);
+        }
+        // Without decay a newcomer would *inherit* a 1000-count slot.
+        // After decay both stale slots are gone, so the newcomer starts
+        // from a fresh counter.
+        ss.decay();
+        ss.decay();
+        ss.offer(9, &mut rng);
+        assert_eq!(ss.estimate(9), Some(1.0));
+        assert_eq!(ss.estimate(7), None);
     }
 
     #[test]
