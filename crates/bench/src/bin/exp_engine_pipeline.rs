@@ -1,7 +1,9 @@
 //! **E13** — the four-layer engine pipeline end to end: a writer-API
 //! shoot-out (raw apply vs the retired mutex+condvar queue vs the
-//! lock-free per-producer rings, gated on rings >= legacy, plus the
-//! hot-key `fold_runs` fast path); multi-producer
+//! lock-free per-producer rings vs producer-routed per-(producer, shard)
+//! lanes, gated on rings >= legacy and routed >= pooled, with a
+//! `burst_batches` sweep, a routed-vs-pooled checkpoint byte-identity
+//! check, and the hot-key `fold_runs` fast path); multi-producer
 //! ingest throughput with coalescing and bounded backpressure; a
 //! mid-ingest freeze measured both ways (legacy `O(keys)` deep clone vs
 //! the copy-on-write `O(shards)` epoch freeze, acceptance ≥ 10×);
@@ -151,6 +153,76 @@ fn run_ring_queue(
     (expected_events as f64 / elapsed, queue.stats().folded_pairs)
 }
 
+/// The tentpole: producer-side shard routing. Producers Lemire-route
+/// every pair into per-(producer, shard) lanes at `send` time, each
+/// persistent shard worker drains its own lane set directly, and the
+/// dispatcher's re-hash-and-copy of every pair disappears — the drain
+/// thread shrinks to a burst coordinator.
+fn run_routed_queue(
+    streams: &[Vec<(u64, u64)>],
+    expected_events: u64,
+    burst_batches: usize,
+) -> f64 {
+    let mut engine = CounterEngine::new(template(), engine_config());
+    let queue = IngestQueue::new_routed(
+        IngestConfig::default().with_burst_batches(burst_batches),
+        engine.router(),
+    );
+    let start = Instant::now();
+    let applied = thread::scope(|s| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|stream| {
+                let q = queue.clone();
+                s.spawn(move || {
+                    let mut p = q.producer();
+                    for &(key, delta) in stream {
+                        p.record(key, delta);
+                    }
+                })
+            })
+            .collect();
+        s.spawn(|| {
+            for h in handles {
+                h.join().expect("producer thread");
+            }
+            queue.close();
+        });
+        queue.drain_routed(&mut engine)
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(applied, expected_events, "routed queue lost events");
+    expected_events as f64 / elapsed
+}
+
+/// The routed path's determinism gate, run inline on a single-producer
+/// stream: pooled and routed drains must serialize to identical
+/// checkpoint *bytes* (per-producer FIFO per shard + per-shard RNG
+/// streams make the two applications the same state machine).
+fn routed_checkpoint_matches_pooled(events: &[(u64, u64)]) -> bool {
+    let drain = |routed: bool| {
+        let mut engine = CounterEngine::new(template(), engine_config());
+        let queue = if routed {
+            IngestQueue::new_routed(IngestConfig::default(), engine.router())
+        } else {
+            IngestQueue::new(IngestConfig::default())
+        };
+        let mut p = queue.producer();
+        for &(key, delta) in events {
+            p.record(key, delta);
+        }
+        drop(p);
+        queue.close();
+        if routed {
+            queue.drain_routed(&mut engine);
+        } else {
+            queue.drain_pooled(&mut engine);
+        }
+        checkpoint_snapshot(&engine.snapshot()).bytes().to_vec()
+    };
+    drain(false) == drain(true)
+}
+
 /// What the snapshot-serving thread measures while the applier writes.
 struct QueryReport {
     frozen_events: u64,
@@ -176,13 +248,28 @@ fn main() {
     let producers = 4u64;
 
     // ----- Part 0: the writer-API shoot-out -----------------------------
-    section("shoot-out: raw apply vs legacy mutex queue vs lock-free rings");
+    section("shoot-out: raw apply vs legacy queue vs pooled rings vs routed lanes");
     let so_events = sized(4_000_000, 500_000) as u64;
     let so_keys = sized(200_000, 50_000) as u64;
     let so_streams = producer_streams(so_keys, so_events, producers);
     let raw_eps = run_raw_apply(&so_streams, so_events);
     let legacy_eps = run_legacy_queue(&so_streams, so_events);
-    let (ring_eps, _) = run_ring_queue(&so_streams, so_events, false);
+    // The gated pooled-vs-routed comparison takes the best of three runs
+    // per leg: on a loaded (or single-core CI) host one descheduled
+    // burst can swing a single run by more than the true gap.
+    let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(0.0f64, f64::max);
+    let ring_eps = best(&|| run_ring_queue(&so_streams, so_events, false).0);
+
+    // The routed lanes, with a burst_batches sweep around the default:
+    // the knob trades burst-boundary hook latency (small bursts) against
+    // coordination amortization (large bursts).
+    let routed_b16_eps = run_routed_queue(&so_streams, so_events, 16);
+    let routed_eps = best(&|| run_routed_queue(&so_streams, so_events, 64));
+    let routed_b256_eps = run_routed_queue(&so_streams, so_events, 256);
+    let routed_vs_pooled = routed_eps / ring_eps;
+    let routed_beats_pooled = routed_eps >= ring_eps;
+    let identity_stream = producer_streams(10_000, 100_000, 1);
+    let routed_bytes_identical = routed_checkpoint_matches_pooled(&identity_stream[0]);
 
     // The batch-level fast path: a handful of hot keys recur in every
     // batch of a drained burst; `fold_runs` sorts each shard's burst and
@@ -195,7 +282,8 @@ fn main() {
     let ring_vs_legacy = ring_eps / legacy_eps;
     let raw_vs_ring = raw_eps / ring_eps;
     let within_2x = raw_vs_ring <= 2.0;
-    let shootout_ok = ring_eps >= legacy_eps && folded_pairs > 0;
+    let shootout_ok =
+        ring_eps >= legacy_eps && folded_pairs > 0 && routed_beats_pooled && routed_bytes_identical;
     let meps = |v: f64| format!("{:.2} M events/s", v / 1e6);
     let mut table = Table::new(vec!["ingest path", "throughput", "vs raw apply"]);
     table.row(vec![
@@ -209,9 +297,24 @@ fn main() {
         format!("{:.2}x", legacy_eps / raw_eps),
     ]);
     table.row(vec![
-        "per-producer rings (after)".into(),
+        "per-producer rings, pooled dispatch".into(),
         meps(ring_eps),
         format!("{:.2}x", ring_eps / raw_eps),
+    ]);
+    table.row(vec![
+        "producer-routed shard lanes (after)".into(),
+        meps(routed_eps),
+        format!("{:.2}x", routed_eps / raw_eps),
+    ]);
+    table.row(vec![
+        "routed, burst_batches=16".into(),
+        meps(routed_b16_eps),
+        "-".into(),
+    ]);
+    table.row(vec![
+        "routed, burst_batches=256".into(),
+        meps(routed_b256_eps),
+        "-".into(),
     ]);
     table.row(vec![
         "rings, hot keys, fold off".into(),
@@ -226,7 +329,9 @@ fn main() {
     print!("{}", table.to_markdown());
     println!(
         "\n{so_events} events / {so_keys} keys / {producers} producers: rings are \
-         {ring_vs_legacy:.2}x the legacy queue; raw apply is {raw_vs_ring:.2}x the ring \
+         {ring_vs_legacy:.2}x the legacy queue; routed lanes are {routed_vs_pooled:.2}x the \
+         pooled dispatcher (dispatch copies per event: pooled 1, routed 0; checkpoint bytes \
+         identical: {routed_bytes_identical}); raw apply is {raw_vs_ring:.2}x the ring \
          pipeline (target <=2x: {}). Hot-key fold elided {folded_pairs} pairs.",
         if within_2x { "met" } else { "missed" }
     );
@@ -242,12 +347,25 @@ fn main() {
     // The background checkpointer: the applier hands it O(shards)
     // snapshots every `cadence` events; serialization happens off-thread.
     let cadence = events / 8;
-    // Cap pooled bursts at the cadence so the burst-boundary hook (the
-    // mid-ingest publish + checkpoint submits below) actually fires that
-    // often — on a single-core host the applier can otherwise swallow
-    // the producers' whole backlog in one burst.
-    let queue = IngestQueue::new(IngestConfig::default().with_burst_events(cadence));
+    // Cap routed bursts (bounded in batches) at the cadence so the
+    // burst-boundary hook (the mid-ingest publish + checkpoint submits
+    // below) actually fires that often — on a single-core host the
+    // applier can otherwise swallow the producers' whole backlog in one
+    // burst.
     let mut engine = CounterEngine::new(template(), engine_config());
+    let ingest_cfg = IngestConfig::default().with_burst_events(cadence);
+    // Routed bursts are bounded in batches per producer, so convert the
+    // event cadence through this workload's real batch weight: a full
+    // coalesced batch carries batch_pairs distinct keys times the mean
+    // delta (events / pre-coalescing pairs), not batch_pairs events.
+    let events_per_batch = (events * ingest_cfg.batch_pairs as u64 / batch_pairs.max(1)).max(1);
+    let cadence_batches = usize::try_from((cadence / (producers * events_per_batch)).max(1))
+        .unwrap_or(usize::MAX)
+        .min(ingest_cfg.burst_batches);
+    let queue = IngestQueue::new_routed(
+        ingest_cfg.with_burst_batches(cadence_batches),
+        engine.router(),
+    );
     let (snap_tx, snap_rx) = mpsc::channel::<EngineSnapshot<NelsonYuCounter>>();
     let checkpointer: BackgroundCheckpointer<NelsonYuCounter> = BackgroundCheckpointer::spawn(
         CheckpointerConfig::new()
@@ -278,7 +396,7 @@ fn main() {
             let mut deep_ns = 0u64;
             let mut cow_ns = 0u64;
             let mut ckpt_cadence = CheckpointCadence::new(cadence);
-            let applied = queue_ref.drain_pooled_with(engine_ref, |engine, applied| {
+            let applied = queue_ref.drain_routed_with(engine_ref, |engine, applied| {
                 if !published && applied >= events / 2 {
                     // The freeze shoot-out, at full mid-ingest scale: the
                     // legacy deep clone copies every counter; the CoW
@@ -668,6 +786,15 @@ fn main() {
                 .num("raw_apply_events_per_second", raw_eps)
                 .num("legacy_queue_events_per_second", legacy_eps)
                 .num("ring_events_per_second", ring_eps)
+                .num("routed_events_per_second", routed_eps)
+                .num("routed_burst16_events_per_second", routed_b16_eps)
+                .num("routed_burst64_events_per_second", routed_eps)
+                .num("routed_burst256_events_per_second", routed_b256_eps)
+                .num("routed_vs_pooled", routed_vs_pooled)
+                .num("dispatch_copies_per_event_pooled", 1.0)
+                .num("dispatch_copies_per_event_routed", 0.0)
+                .bool("routed_beats_pooled", routed_beats_pooled)
+                .bool("routed_checkpoint_bytes_identical", routed_bytes_identical)
                 .num("ring_vs_legacy", ring_vs_legacy)
                 .num("raw_vs_ring", raw_vs_ring)
                 .bool("within_2x_of_raw", within_2x)
@@ -768,7 +895,9 @@ fn main() {
 
     verdict(
         ok,
-        "the lock-free rings beat the retired mutex queue (and the hot-key \
+        "the lock-free rings beat the retired mutex queue, the producer-routed \
+         shard lanes beat the pooled dispatcher with zero dispatch copies and \
+         bit-identical checkpoints (and the hot-key \
          fold fires), multi-producer ingest is lossless and fast, the CoW \
          freeze beats the \
          deep clone >=10x, a mid-ingest snapshot serves queries without \

@@ -1,22 +1,25 @@
-//! The pooled applier behind [`IngestQueue::drain_pooled`]: one
-//! persistent worker thread per shard, fed bursts of batches, so thread
-//! spawn/join and per-batch routing overhead amortize across the burst.
+//! The persistent shard-worker appliers: the pooled drain behind
+//! [`IngestQueue::drain_pooled`] and the routed drain behind
+//! [`IngestQueue::drain_routed`]. Both keep one worker thread per shard
+//! alive for the whole drain, fed in bursts, so thread spawn/join and
+//! coordination amortize across many batches.
 //!
 //! ## Why not scoped-spawn per batch
 //!
 //! [`CounterEngine::apply_parallel`](crate::CounterEngine::apply_parallel)
 //! spawns one scoped thread per touched shard *per batch* — fine for the
 //! occasional large batch, ruinous at pipeline rates where a batch is a
-//! few thousand pairs and spawn/join costs rival application. The pool
-//! spawns its workers once per drain and ships work over channels.
+//! few thousand pairs and spawn/join costs rival application. The pools
+//! here spawn their workers once per drain and ship work over channels.
 //!
-//! ## The era-per-burst protocol
+//! ## The era-per-burst protocol (pooled)
 //!
 //! The dispatcher (the drain thread, which owns `&mut CounterEngine`)
 //! repeatedly:
 //!
-//! 1. pops a burst of up to [`BURST_BATCHES`] batches (one blocking pop,
-//!    then nonblocking pops),
+//! 1. pops a burst of up to
+//!    [`IngestConfig::burst_batches`](crate::IngestConfig::burst_batches)
+//!    batches (one blocking pop, then nonblocking pops),
 //! 2. routes every pair to its shard bucket via the engine's Lemire
 //!    `shard_of`,
 //! 3. *moves* each touched shard's `Arc` out of the engine and ships it
@@ -24,31 +27,48 @@
 //! 4. collects every reply, reinstalls the shards, records the applied
 //!    marks, and runs the burst hook.
 //!
-//! Between bursts the engine is whole and quiescent, so hooks can freeze
-//! snapshots exactly as they do on the per-batch drains. Workers perform
-//! the copy-on-write `Arc::make_mut` split themselves — an improvement
-//! over the scoped path, where every split ran serially on the applier
-//! thread.
+//! Step 2 is the pooled path's scaling cap: one thread re-hashes and
+//! copies every pair, no matter how many shards wait behind it.
 //!
-//! Determinism: bursts concatenate batches in arrival order and buckets
-//! preserve that order per shard, and each shard consumes only its own
-//! RNG stream — so the pooled drain is bit-identical to a sequential
-//! drain of the same arrival order. The opt-in key-run fold
+//! ## The routed burst protocol
+//!
+//! On a routed queue ([`IngestQueue::new_routed`](crate::IngestQueue::new_routed))
+//! producers already routed every pair into per-(producer, shard) lanes
+//! at send time, so the dispatch copy disappears and the drain thread
+//! shrinks to a burst *coordinator*. Per burst it:
+//!
+//! 1. snapshots the producer rings and fixes a **consistent cut** per
+//!    producer — `min(committed, applied + burst_batches)`, where
+//!    `committed` only ever covers fully-published batches,
+//! 2. moves *every* shard out of the engine and ships it to its worker
+//!    with the cut table; each worker pops its own lane set up to the
+//!    cuts (producer-id order) and applies only if it drew work — an
+//!    idle shard is never `make_mut` (which would copy-on-write-split a
+//!    slab snapshots still share) and never stamped into the burst era,
+//! 3. collects every reply, reinstalls the shards, merges the per-shard
+//!    tap collections (shard order) into the detector tap, advances the
+//!    applied marks to the cuts, and runs the burst hook.
+//!
+//! Between bursts — on either path — the engine is whole and quiescent,
+//! so hooks can freeze snapshots exactly as they do on the per-batch
+//! drains. Workers perform the copy-on-write `Arc::make_mut` split
+//! themselves, in parallel.
+//!
+//! Determinism: both paths preserve each producer's batch order per
+//! shard, and each shard consumes only its own RNG stream — so both are
+//! bit-identical to a sequential drain of the same arrival order, and to
+//! each other (single producer; with several producers the interleaving
+//! is scheduling-dependent in any mode). The opt-in key-run fold
 //! ([`IngestConfig::fold_runs`](crate::IngestConfig::fold_runs)) trades
 //! that bit-exactness (not correctness) for fewer counter transitions;
 //! see the ingest module docs.
 
-use crate::ingest::{Batch, IngestQueue};
+use crate::ingest::{Batch, IngestQueue, LaneBatch, ProducerRing};
 use crate::registry::CounterEngine;
 use crate::shard::Shard;
 use ac_core::ApproxCounter;
 use std::sync::mpsc;
 use std::sync::Arc;
-
-/// Max batches drained per burst. Large enough to amortize the
-/// fan-out/fan-in channel round trip, small enough that burst-boundary
-/// hooks (checkpoint cadence, snapshot publication) stay responsive.
-pub(crate) const BURST_BATCHES: usize = 64;
 
 /// One unit of work for a shard worker: the shard (moved out of the
 /// engine for the burst), the epoch to stamp, and the pairs routed to it.
@@ -133,6 +153,7 @@ where
     let shards = engine.shards().len();
     let fold = queue.config().fold_runs;
     let burst_cap = queue.config().burst_events;
+    let burst_batches = queue.config().burst_batches;
     let template = engine.template().clone();
     let mut applied = 0u64;
 
@@ -149,12 +170,12 @@ where
             .collect();
         drop(done_tx);
 
-        let mut burst: Vec<Batch> = Vec::with_capacity(BURST_BATCHES);
+        let mut burst: Vec<Batch> = Vec::with_capacity(burst_batches);
         let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); shards];
         while let Some(first) = queue.next_batch() {
             let mut burst_ev = first.events();
             burst.push(first);
-            while burst.len() < BURST_BATCHES && burst_ev < burst_cap {
+            while burst.len() < burst_batches && burst_ev < burst_cap {
                 match queue.try_next_batch() {
                     Some(batch) => {
                         burst_ev += batch.events();
@@ -204,6 +225,224 @@ where
                 applied += batch.events();
                 queue.note_applied(&batch);
             }
+            hook(engine, applied);
+        }
+        drop(job_txs);
+    });
+    applied
+}
+
+/// One routed-burst unit of work for a shard worker: the shard (moved
+/// out of the engine for the burst), the epoch to stamp, and the
+/// per-producer sequence cuts bounding the lane sweep.
+struct LaneJob<C> {
+    slot: usize,
+    shard: Arc<Shard<C>>,
+    epoch: u64,
+    cuts: Arc<Vec<(Arc<ProducerRing>, u64)>>,
+    fold: bool,
+    collect: bool,
+}
+
+/// A lane worker's reply: the shard back, the events it applied this
+/// burst, how many pairs the fold elided, and (when collecting) the
+/// applied pairs for the coordinator's tap.
+struct LaneDone<C> {
+    slot: usize,
+    shard: Arc<Shard<C>>,
+    events: u64,
+    folded: u64,
+    tapped: Vec<(u64, u64)>,
+}
+
+fn lane_worker<C: ApproxCounter + Clone>(
+    queue: IngestQueue,
+    jobs: mpsc::Receiver<LaneJob<C>>,
+    done: mpsc::Sender<LaneDone<C>>,
+    template: C,
+) {
+    while let Ok(job) = jobs.recv() {
+        let LaneJob {
+            slot,
+            mut shard,
+            epoch,
+            cuts,
+            fold,
+            collect,
+        } = job;
+        let mut batches: Vec<LaneBatch> = Vec::new();
+        for (ring, cut) in cuts.iter() {
+            let lane = ring.lane(slot);
+            while let Some(batch) = lane.pop_if(|b| b.seq <= *cut) {
+                queue.notify_space();
+                batches.push(batch);
+            }
+        }
+        let mut events = 0u64;
+        let mut folded = 0u64;
+        let mut tapped: Vec<(u64, u64)> = Vec::new();
+        if !batches.is_empty() {
+            // Only a shard that drew work joins the burst era: make_mut
+            // on an idle shard would copy-on-write-split slabs that live
+            // snapshots still share, and touch would mis-stamp its dirty
+            // epoch.
+            let s = Arc::make_mut(&mut shard);
+            s.touch(epoch);
+            for batch in &batches {
+                events += batch.pairs.iter().map(|&(_, delta)| delta).sum::<u64>();
+            }
+            if fold {
+                let pairs: Vec<(u64, u64)> = batches
+                    .iter()
+                    .flat_map(|b| b.pairs.iter().copied())
+                    .collect();
+                folded = s.apply_folded(&template, pairs);
+            } else {
+                for batch in &batches {
+                    s.apply_pairs(&template, &batch.pairs);
+                }
+            }
+            if collect {
+                for batch in &mut batches {
+                    tapped.append(&mut batch.pairs);
+                }
+            }
+        }
+        if done
+            .send(LaneDone {
+                slot,
+                shard,
+                events,
+                folded,
+                tapped,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// The drain loop behind [`IngestQueue::drain_routed_with`] and
+/// [`IngestQueue::drain_routed_tap`]. See the module docs for the burst
+/// protocol; `collect` turns on per-shard pair collection for `tap`.
+pub(crate) fn drain_routed_inner<C, T, F>(
+    queue: &IngestQueue,
+    engine: &mut CounterEngine<C>,
+    collect: bool,
+    mut tap: T,
+    mut hook: F,
+) -> u64
+where
+    C: ApproxCounter + Clone + Send + Sync,
+    T: FnMut(&[(u64, u64)]),
+    F: FnMut(&mut CounterEngine<C>, u64),
+{
+    let router = queue
+        .router()
+        .expect("drain_routed needs a queue built with IngestQueue::new_routed");
+    assert_eq!(
+        router,
+        engine.router(),
+        "routed queue and engine disagree on the key-to-shard partition"
+    );
+    let shards = engine.shards().len();
+    let fold = queue.config().fold_runs;
+    let burst_batches = queue.config().burst_batches as u64;
+    let template = engine.template().clone();
+    let mut applied = 0u64;
+
+    std::thread::scope(|scope| {
+        let (done_tx, done_rx) = mpsc::channel::<LaneDone<C>>();
+        let job_txs: Vec<mpsc::Sender<LaneJob<C>>> = (0..shards)
+            .map(|_| {
+                let (tx, rx) = mpsc::channel::<LaneJob<C>>();
+                let done = done_tx.clone();
+                let template = template.clone();
+                let queue = queue.clone();
+                scope.spawn(move || lane_worker(queue, rx, done, template));
+                tx
+            })
+            .collect();
+        drop(done_tx);
+
+        while let Some(rings) = queue.next_routed_burst() {
+            // Tiny-burst pacing: the coordinator does no per-pair work,
+            // so left alone it outruns the producers and degenerates into
+            // one full worker barrier per freshly-committed batch. Yield
+            // scheduling slots to the producers while the backlog is
+            // still growing toward a full burst; stop as soon as a yield
+            // buys no new batches, so an idle or slow stream never stalls
+            // the burst hooks. (The pooled dispatcher self-paces for free
+            // through its bucket-copy work.)
+            let backlog = |rings: &[Arc<ProducerRing>]| -> u64 {
+                rings
+                    .iter()
+                    .map(|r| r.committed().saturating_sub(r.applied()))
+                    .sum()
+            };
+            let burst_target = burst_batches.saturating_mul(rings.len() as u64);
+            let mut pending = backlog(&rings);
+            for _ in 0..64 {
+                if pending >= burst_target {
+                    break;
+                }
+                std::thread::yield_now();
+                let now = backlog(&rings);
+                if now == pending {
+                    break;
+                }
+                pending = now;
+            }
+            // A consistent cut per producer: only fully-published batches
+            // (committed is stored after every lane slice of the batch),
+            // at most burst_batches new ones.
+            let cuts: Arc<Vec<(Arc<ProducerRing>, u64)>> = Arc::new(
+                rings
+                    .iter()
+                    .map(|ring| {
+                        let cut = ring
+                            .committed()
+                            .min(ring.applied().saturating_add(burst_batches));
+                        (Arc::clone(ring), cut)
+                    })
+                    .collect(),
+            );
+            let epoch = engine.epoch();
+            for (slot, tx) in job_txs.iter().enumerate() {
+                tx.send(LaneJob {
+                    slot,
+                    shard: engine.take_shard(slot),
+                    epoch,
+                    cuts: Arc::clone(&cuts),
+                    fold,
+                    collect,
+                })
+                .expect("lane worker alive");
+            }
+
+            let mut dones: Vec<LaneDone<C>> = (0..shards)
+                .map(|_| done_rx.recv().expect("lane worker reply"))
+                .collect();
+            dones.sort_unstable_by_key(|d| d.slot);
+            let mut burst_events = 0u64;
+            let mut folded = 0u64;
+            for done in dones {
+                engine.put_shard(done.slot, done.shard);
+                burst_events += done.events;
+                folded += done.folded;
+                if collect && !done.tapped.is_empty() {
+                    tap(&done.tapped);
+                }
+            }
+            if folded > 0 {
+                queue.note_folded(folded);
+            }
+            for (ring, cut) in cuts.iter() {
+                ring.note_applied_seq(*cut);
+            }
+            queue.note_applied_events(burst_events);
+            applied += burst_events;
             hook(engine, applied);
         }
         drop(job_txs);

@@ -20,6 +20,31 @@
 //! doorbells (one atomic load per notify when nobody waits) instead of a
 //! shared `Condvar`.
 //!
+//! ## Routed mode: producer-side shard routing
+//!
+//! The pooled drain above still re-hashes and copies every pair on one
+//! dispatcher thread before the shard workers see it. *Routed* mode
+//! ([`IngestQueue::new_routed`]) moves that routing to the send side:
+//! each producer owns one ring **lane per shard**, `try_send`/`send`
+//! Lemire-route each pair exactly once — while the batch is cache-hot on
+//! the producer's core — and push each shard's slice into that shard's
+//! lane, and each persistent shard worker pops its own lanes directly
+//! ([`IngestQueue::drain_routed`]). The dispatcher's bucket-and-copy
+//! pass disappears; the drain thread shrinks to a burst coordinator
+//! (epoch stamping, sequence high-water marks, burst hooks, and the
+//! merged per-shard detector tap). A batch's lane slices become visible
+//! to the coordinator **atomically**: the producer publishes every slice
+//! first and only then advances its commit mark, and a burst drains each
+//! producer up to a *consistent cut* of committed sequence numbers — so
+//! per-producer FIFO holds per shard, [`BackpressurePolicy`] semantics
+//! (including `Fail`'s all-or-nothing refusal with exact sequence-mark
+//! rollback) carry over, and checkpoint bytes stay bit-identical to the
+//! pooled applier. A routed queue refuses the batch-granular consumer
+//! surface ([`IngestQueue::next_batch`] and the drains built on it);
+//! producers' writer API is identical in both modes. Lane memory is
+//! `producers × shards` rings of `ring_batches` slots — see the sizing
+//! guidance in [`crate::ring`].
+//!
 //! ## Backpressure
 //!
 //! Each ring is bounded. When a producer's ring fills,
@@ -75,7 +100,7 @@
 //! drains' tests of bit-exactness.
 
 use crate::checkpointer::BackgroundCheckpointer;
-use crate::registry::CounterEngine;
+use crate::registry::{CounterEngine, ShardRouter};
 use crate::ring::{Doorbell, SpscRing};
 use ac_core::{ApproxCounter, StateCodec};
 use ac_randkit::BuildSplitMix64;
@@ -219,12 +244,19 @@ pub struct IngestConfig {
     /// applier. A burst always takes at least one batch, so a single
     /// oversized batch can still overshoot the cap.
     pub burst_events: u64,
+    /// Cap on *batches* per drain burst. The pooled drain takes at most
+    /// this many batches (across all producers) per burst; the routed
+    /// drain advances each producer's consistent cut by at most this many
+    /// batches per burst. Larger bursts amortize burst-boundary
+    /// coordination; smaller ones run burst hooks (snapshot publication,
+    /// checkpoint cadence, tier rounds) more often.
+    pub burst_batches: usize,
 }
 
 impl IngestConfig {
     /// The default configuration (rings of 64 batches of up to 4096
-    /// pairs, blocking backpressure, no fold), as a `const` starting
-    /// point for the `with_*` builders.
+    /// pairs, blocking backpressure, no fold, bursts of up to 64
+    /// batches), as a `const` starting point for the `with_*` builders.
     #[must_use]
     pub const fn new() -> Self {
         Self {
@@ -233,6 +265,7 @@ impl IngestConfig {
             policy: BackpressurePolicy::Block,
             fold_runs: false,
             burst_events: u64::MAX,
+            burst_batches: 64,
         }
     }
 
@@ -269,6 +302,15 @@ impl IngestConfig {
     #[must_use]
     pub const fn with_burst_events(mut self, burst_events: u64) -> Self {
         self.burst_events = burst_events;
+        self
+    }
+
+    /// Caps the batches taken per drain burst (per producer on the
+    /// routed path), trading burst-boundary hook frequency against
+    /// coordination amortization.
+    #[must_use]
+    pub const fn with_burst_batches(mut self, burst_batches: usize) -> Self {
+        self.burst_batches = burst_batches;
         self
     }
 
@@ -330,13 +372,103 @@ pub struct ProducerMark {
     pub applied_seq: u64,
 }
 
-/// One producer's ring plus its sequence high-water marks. Ring index in
-/// the registry == producer id.
+/// One shard's slice of a routed batch: the `(key, delta)` pairs of
+/// batch `seq` that route to the lane's shard, in batch order.
 #[derive(Debug)]
-struct ProducerRing {
-    ring: SpscRing<Batch>,
+pub(crate) struct LaneBatch {
+    /// The owning batch's per-producer sequence number. Strictly
+    /// increasing along each lane (a batch pushes at most one slice per
+    /// lane, and refused sequence numbers are reused only after their
+    /// slices were never published).
+    pub(crate) seq: u64,
+    /// The slice's pairs (never empty).
+    pub(crate) pairs: Vec<(u64, u64)>,
+}
+
+/// A producer's ring storage: one batch ring in pooled mode, one lane
+/// per shard in routed mode.
+#[derive(Debug)]
+enum Lanes {
+    Pooled(SpscRing<Batch>),
+    Routed(Vec<SpscRing<LaneBatch>>),
+}
+
+/// One producer's ring(s) plus its sequence high-water marks. Ring index
+/// in the registry == producer id.
+#[derive(Debug)]
+pub(crate) struct ProducerRing {
+    lanes: Lanes,
+    /// Routed mode only: the highest sequence number whose lane slices
+    /// are **all** published. Stored *after* the slice pushes (`SeqCst`),
+    /// so a coordinator cut at or below this mark never splits a batch.
+    committed_seq: AtomicU64,
     enqueued_seq: AtomicU64,
     applied_seq: AtomicU64,
+}
+
+impl ProducerRing {
+    /// The pooled-mode batch ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a routed producer — batch-granular consumption has no
+    /// meaning when batches are split across lanes.
+    fn pooled(&self) -> &SpscRing<Batch> {
+        match &self.lanes {
+            Lanes::Pooled(ring) => ring,
+            Lanes::Routed(_) => {
+                panic!("batch-granular consumer API on a routed queue; use drain_routed")
+            }
+        }
+    }
+
+    /// The routed-mode lane for `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pooled producer.
+    pub(crate) fn lane(&self, shard: usize) -> &SpscRing<LaneBatch> {
+        match &self.lanes {
+            Lanes::Routed(lanes) => &lanes[shard],
+            Lanes::Pooled(_) => panic!("lane access on a pooled queue"),
+        }
+    }
+
+    /// Batches admitted but not yet applied.
+    fn depth(&self) -> usize {
+        match &self.lanes {
+            Lanes::Pooled(ring) => ring.len(),
+            Lanes::Routed(_) => {
+                let committed = self.committed_seq.load(Ordering::SeqCst);
+                let applied = self.applied_seq.load(Ordering::SeqCst);
+                committed.saturating_sub(applied) as usize
+            }
+        }
+    }
+
+    /// Conservative "a push right now could be refused" hint for
+    /// `record`'s auto-flush guard under [`BackpressurePolicy::Fail`].
+    fn full_hint(&self) -> bool {
+        match &self.lanes {
+            Lanes::Pooled(ring) => ring.is_full(),
+            Lanes::Routed(lanes) => lanes.iter().any(SpscRing::is_full),
+        }
+    }
+
+    /// Routed mode: the commit high-water mark.
+    pub(crate) fn committed(&self) -> u64 {
+        self.committed_seq.load(Ordering::SeqCst)
+    }
+
+    /// The applied high-water mark.
+    pub(crate) fn applied(&self) -> u64 {
+        self.applied_seq.load(Ordering::SeqCst)
+    }
+
+    /// Routed mode: records that every batch up to `cut` is applied.
+    pub(crate) fn note_applied_seq(&self, cut: u64) {
+        self.applied_seq.fetch_max(cut, Ordering::SeqCst);
+    }
 }
 
 /// The consumer-side view of every ring. The mutex serializes consumers
@@ -353,6 +485,10 @@ struct Registry {
 #[derive(Debug)]
 struct Inner {
     config: IngestConfig,
+    /// `Some` puts the queue in routed mode: producers route pairs into
+    /// per-shard lanes at send time; `None` is the pooled batch-ring
+    /// mode.
+    router: Option<ShardRouter>,
     registry: Mutex<Registry>,
     closed: AtomicBool,
     /// Producers currently inside an `offer` (between the closed check
@@ -403,18 +539,40 @@ pub struct IngestQueue {
 }
 
 impl IngestQueue {
-    /// Creates the queue.
+    /// Creates the queue in pooled mode: one batch ring per producer,
+    /// shard routing deferred to the drain side.
     ///
     /// # Panics
     ///
-    /// Panics if either capacity is zero.
+    /// Panics if any capacity is zero.
     #[must_use]
     pub fn new(config: IngestConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Creates the queue in **routed** mode: one ring lane per
+    /// (producer, shard), producers routing each pair through `router` at
+    /// send time. Drain with [`IngestQueue::drain_routed`] against an
+    /// engine whose [`CounterEngine::router`](crate::CounterEngine::router)
+    /// equals `router` — the drain asserts the match, because a partition
+    /// mismatch would silently scatter keys to wrong shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is zero.
+    #[must_use]
+    pub fn new_routed(config: IngestConfig, router: ShardRouter) -> Self {
+        Self::build(config, Some(router))
+    }
+
+    fn build(config: IngestConfig, router: Option<ShardRouter>) -> Self {
         assert!(config.ring_batches > 0, "queue capacity must be positive");
         assert!(config.batch_pairs > 0, "batch size must be positive");
+        assert!(config.burst_batches > 0, "burst batches must be positive");
         Self {
             inner: Arc::new(Inner {
                 config,
+                router,
                 registry: Mutex::new(Registry::default()),
                 closed: AtomicBool::new(false),
                 pushers: AtomicU64::new(0),
@@ -431,14 +589,35 @@ impl IngestQueue {
         self.inner.config
     }
 
+    /// True when the queue was built with [`IngestQueue::new_routed`].
+    #[must_use]
+    pub fn is_routed(&self) -> bool {
+        self.inner.router.is_some()
+    }
+
+    /// The routed-mode partition, if any.
+    pub(crate) fn router(&self) -> Option<ShardRouter> {
+        self.inner.router
+    }
+
     /// Creates a producer handle with a fresh producer id and its own
     /// ring. Any number may exist concurrently; each coalesces into its
     /// own batch buffer and publishes into its own ring, so producers
     /// never contend with each other.
     #[must_use]
     pub fn producer(&self) -> IngestProducer {
+        let ring_batches = self.inner.config.ring_batches;
+        let lanes = match self.inner.router {
+            None => Lanes::Pooled(SpscRing::new(ring_batches)),
+            Some(router) => Lanes::Routed(
+                (0..router.shards())
+                    .map(|_| SpscRing::new(ring_batches))
+                    .collect(),
+            ),
+        };
         let ring = Arc::new(ProducerRing {
-            ring: SpscRing::new(self.inner.config.ring_batches),
+            lanes,
+            committed_seq: AtomicU64::new(0),
             enqueued_seq: AtomicU64::new(0),
             applied_seq: AtomicU64::new(0),
         });
@@ -480,7 +659,7 @@ impl IngestQueue {
         let n = registry.rings.len();
         for k in 0..n {
             let i = (registry.cursor + k) % n;
-            if let Some(batch) = registry.rings[i].ring.pop() {
+            if let Some(batch) = registry.rings[i].pooled().pop() {
                 registry.cursor = (i + 1) % n;
                 drop(registry);
                 self.inner.space.notify();
@@ -493,12 +672,17 @@ impl IngestQueue {
     /// True when some ring has a batch ready (moment-in-time).
     fn has_ready(&self) -> bool {
         let registry = self.inner.registry.lock().expect("ingest registry lock");
-        registry.rings.iter().any(|r| !r.ring.is_empty())
+        registry.rings.iter().any(|r| !r.pooled().is_empty())
     }
 
     /// Pops the next batch, blocking while every ring is empty and the
     /// queue is open. Returns `None` once the queue is closed *and*
     /// drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a routed queue — batches there are split across lanes
+    /// and only [`IngestQueue::drain_routed`] can consume them.
     #[must_use]
     pub fn next_batch(&self) -> Option<Batch> {
         loop {
@@ -527,9 +711,75 @@ impl IngestQueue {
     /// Pops the next batch if one is buffered; never blocks. `None` means
     /// "nothing available right now" — check [`IngestQueue::is_closed`]
     /// to distinguish end-of-stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a routed queue (see [`IngestQueue::next_batch`]).
     #[must_use]
     pub fn try_next_batch(&self) -> Option<Batch> {
         self.pop_any()
+    }
+
+    /// A moment-in-time snapshot of every producer ring, for the routed
+    /// coordinator (the `Arc`s keep rings alive across the burst without
+    /// holding the registry lock).
+    pub(crate) fn routed_rings(&self) -> Vec<Arc<ProducerRing>> {
+        self.inner
+            .registry
+            .lock()
+            .expect("ingest registry lock")
+            .rings
+            .clone()
+    }
+
+    /// True when some producer has committed batches not yet applied.
+    fn routed_has_ready(&self) -> bool {
+        let registry = self.inner.registry.lock().expect("ingest registry lock");
+        registry.rings.iter().any(|r| r.committed() > r.applied())
+    }
+
+    /// The routed coordinator's burst gate: blocks until some producer
+    /// has committed-but-unapplied batches, returning the ring snapshot
+    /// to cut the burst over. Returns `None` once the queue is closed
+    /// *and* fully applied.
+    pub(crate) fn next_routed_burst(&self) -> Option<Vec<Arc<ProducerRing>>> {
+        loop {
+            let rings = self.routed_rings();
+            if rings.iter().any(|r| r.committed() > r.applied()) {
+                return Some(rings);
+            }
+            if self.inner.closed.load(Ordering::SeqCst) {
+                // Same pushers-guard reasoning as `next_batch`: once the
+                // count reaches zero every racing push has committed or
+                // been refused, so the final re-check misses nothing.
+                while self.inner.pushers.load(Ordering::SeqCst) != 0 {
+                    std::thread::yield_now();
+                }
+                let rings = self.routed_rings();
+                if rings.iter().any(|r| r.committed() > r.applied()) {
+                    return Some(rings);
+                }
+                return None;
+            }
+            self.inner
+                .ready
+                .wait(|| self.routed_has_ready() || self.inner.closed.load(Ordering::SeqCst));
+        }
+    }
+
+    /// Wakes producers parked on lane space (rung by lane workers after
+    /// pops; one atomic load when nobody waits).
+    pub(crate) fn notify_space(&self) {
+        self.inner.space.notify();
+    }
+
+    /// Records events applied by a routed burst (the per-producer marks
+    /// advance separately, via [`ProducerRing::note_applied_seq`]).
+    pub(crate) fn note_applied_events(&self, events: u64) {
+        self.inner
+            .totals
+            .applied_events
+            .fetch_add(events, Ordering::Relaxed);
     }
 
     /// Drains every remaining batch into `engine` with sequential
@@ -629,6 +879,60 @@ impl IngestQueue {
         crate::applier::drain_pooled_tap(self, engine, tap, hook)
     }
 
+    /// Drains a **routed** queue ([`IngestQueue::new_routed`]): each
+    /// persistent shard worker pops its own lane set directly — no
+    /// dispatcher re-hash, no bucket copy — while this thread coordinates
+    /// bursts (consistent cuts, epoch stamping, sequence marks). Blocks
+    /// until the queue closes; returns the events applied by this call.
+    /// See [`IngestQueue::drain_routed_with`].
+    pub fn drain_routed<C: ApproxCounter + Clone + Send + Sync>(
+        &self,
+        engine: &mut CounterEngine<C>,
+    ) -> u64 {
+        self.drain_routed_with(engine, |_, _| {})
+    }
+
+    /// [`IngestQueue::drain_routed`] with a burst hook:
+    /// `hook(engine, applied_events_so_far)` runs once per burst with the
+    /// engine quiescent, exactly like the pooled drain's hook — cadence
+    /// hooks ([`CheckpointCadence`]), snapshot publication, and tier
+    /// rounds carry over unchanged. A burst drains each producer up to a
+    /// consistent cut of fully-committed sequence numbers (at most
+    /// [`IngestConfig::burst_batches`] per producer), so per-producer
+    /// FIFO holds per shard and counter states are bit-identical to the
+    /// pooled applier on the same arrival order (unless
+    /// [`IngestConfig::fold_runs`] is on).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is pooled, or if its router does not match
+    /// `engine`'s partition.
+    pub fn drain_routed_with<C, F>(&self, engine: &mut CounterEngine<C>, hook: F) -> u64
+    where
+        C: ApproxCounter + Clone + Send + Sync,
+        F: FnMut(&mut CounterEngine<C>, u64),
+    {
+        crate::applier::drain_routed_inner(self, engine, false, |_| {}, hook)
+    }
+
+    /// [`IngestQueue::drain_routed_with`] plus a pair tap — the routed
+    /// home of the hot-key detector feed. Each shard worker keeps the
+    /// pairs it applied; at the burst boundary the coordinator hands them
+    /// to `tap(&pairs)` one shard at a time, in shard order, before the
+    /// burst hook runs. The tap sees exactly the applied traffic (totals
+    /// match the pooled tap), grouped by shard rather than by arrival —
+    /// fine for frequency estimation, which is order-insensitive. Without
+    /// a tap ([`IngestQueue::drain_routed_with`]) the workers skip the
+    /// collection entirely.
+    pub fn drain_routed_tap<C, T, F>(&self, engine: &mut CounterEngine<C>, tap: T, hook: F) -> u64
+    where
+        C: ApproxCounter + Clone + Send + Sync,
+        T: FnMut(&[(u64, u64)]),
+        F: FnMut(&mut CounterEngine<C>, u64),
+    {
+        crate::applier::drain_routed_inner(self, engine, true, tap, hook)
+    }
+
     /// Drains with durability riding along: every
     /// [`CheckpointerConfig::every_events`](crate::CheckpointerConfig::every_events)
     /// applied events, the applier cuts an `O(shards)` copy-on-write
@@ -720,7 +1024,7 @@ impl IngestQueue {
     pub fn stats(&self) -> IngestStats {
         let depth = {
             let registry = self.inner.registry.lock().expect("ingest registry lock");
-            registry.rings.iter().map(|r| r.ring.len()).sum()
+            registry.rings.iter().map(|r| r.depth()).sum()
         };
         let t = &self.inner.totals;
         IngestStats {
@@ -842,7 +1146,7 @@ impl IngestProducer {
         self.events = self.events.saturating_add(delta);
         if self.pairs.len() >= self.inner.config.batch_pairs {
             let fail = matches!(self.inner.config.policy, BackpressurePolicy::Fail);
-            if !(fail && self.ring.ring.is_full()) {
+            if !(fail && self.ring.full_hint()) {
                 let _ = self.flush_policy();
             }
         }
@@ -1006,9 +1310,23 @@ impl IngestProducer {
     }
 
     /// The one publish path: stamps the next sequence number, offers the
-    /// batch to this producer's ring, and keeps the sequence/mark
+    /// batch to this producer's ring(s), and keeps the sequence/mark
     /// bookkeeping exact on every outcome.
     fn submit_pairs(
+        &mut self,
+        pairs: Vec<(u64, u64)>,
+        events: u64,
+        park: bool,
+    ) -> Result<(), SendError> {
+        match self.inner.router {
+            None => self.submit_pooled(pairs, events, park),
+            Some(router) => self.submit_routed(router, pairs, events, park),
+        }
+    }
+
+    /// Pooled-mode publish: the whole batch into this producer's one
+    /// ring.
+    fn submit_pooled(
         &mut self,
         pairs: Vec<(u64, u64)>,
         events: u64,
@@ -1036,7 +1354,7 @@ impl IngestProducer {
                 self.ring.enqueued_seq.store(seq - 1, Ordering::SeqCst);
                 return Err(SendError::Closed(batch));
             }
-            match self.ring.ring.push(batch) {
+            match self.ring.pooled().push(batch) {
                 Ok(()) => {
                     self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
                     self.next_seq = seq + 1;
@@ -1051,7 +1369,8 @@ impl IngestProducer {
                     if park {
                         batch = refused;
                         self.inner.space.wait(|| {
-                            !self.ring.ring.is_full() || self.inner.closed.load(Ordering::SeqCst)
+                            !self.ring.pooled().is_full()
+                                || self.inner.closed.load(Ordering::SeqCst)
                         });
                         continue;
                     }
@@ -1059,6 +1378,90 @@ impl IngestProducer {
                     return Err(SendError::Full(refused));
                 }
             }
+        }
+    }
+
+    /// Routed-mode publish: route each pair once (cache-hot, on this
+    /// thread), push each shard's slice into its lane **all-or-nothing**,
+    /// then advance the commit mark so the coordinator sees the batch
+    /// atomically.
+    ///
+    /// The all-or-nothing space check is sound without locking: this
+    /// producer is its lanes' only pusher, and consumers only free slots,
+    /// so space observed before the pushes cannot shrink under us.
+    /// Refusal keeps `pairs` in original first-touch order, so
+    /// [`SendError`] carries the batch exactly as the pooled path would.
+    fn submit_routed(
+        &mut self,
+        router: ShardRouter,
+        pairs: Vec<(u64, u64)>,
+        events: u64,
+        park: bool,
+    ) -> Result<(), SendError> {
+        let seq = self.next_seq;
+        // Same speculative enqueued mark + exact rollback as the pooled
+        // path.
+        self.ring.enqueued_seq.store(seq, Ordering::SeqCst);
+        let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); router.shards()];
+        for &(key, delta) in &pairs {
+            buckets[router.shard_of(key)].push((key, delta));
+        }
+        loop {
+            // Pushers guard: same push-racing-close protocol as pooled.
+            self.inner.pushers.fetch_add(1, Ordering::SeqCst);
+            if self.inner.closed.load(Ordering::SeqCst) {
+                self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+                self.ring.enqueued_seq.store(seq - 1, Ordering::SeqCst);
+                return Err(SendError::Closed(Batch {
+                    producer: self.id,
+                    seq,
+                    pairs,
+                }));
+            }
+            let blocked = |ring: &ProducerRing| {
+                buckets
+                    .iter()
+                    .enumerate()
+                    .any(|(shard, b)| !b.is_empty() && ring.lane(shard).is_full())
+            };
+            if blocked(&self.ring) {
+                self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+                if park {
+                    self.inner
+                        .space
+                        .wait(|| !blocked(&self.ring) || self.inner.closed.load(Ordering::SeqCst));
+                    continue;
+                }
+                self.ring.enqueued_seq.store(seq - 1, Ordering::SeqCst);
+                return Err(SendError::Full(Batch {
+                    producer: self.id,
+                    seq,
+                    pairs,
+                }));
+            }
+            for (shard, bucket) in buckets.iter_mut().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let slice = LaneBatch {
+                    seq,
+                    pairs: std::mem::take(bucket),
+                };
+                assert!(
+                    self.ring.lane(shard).push(slice).is_ok(),
+                    "lane space was checked and only this producer pushes"
+                );
+            }
+            // Commit *after* every slice is published (SeqCst): a
+            // coordinator cut at or below this mark never splits a batch.
+            self.ring.committed_seq.store(seq, Ordering::SeqCst);
+            self.inner.pushers.fetch_sub(1, Ordering::SeqCst);
+            self.next_seq = seq + 1;
+            let t = &self.inner.totals;
+            t.enqueued_batches.fetch_add(1, Ordering::Relaxed);
+            t.enqueued_events.fetch_add(events, Ordering::Relaxed);
+            self.inner.ready.notify();
+            return Ok(());
         }
     }
 }

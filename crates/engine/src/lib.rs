@@ -26,10 +26,16 @@
 //!    `Fail` makes refusal a value — [`IngestProducer::try_send`] /
 //!    [`StoreWriter::try_send`] return [`SendError::Full`] *carrying the
 //!    rejected batch*, so silent loss is impossible. Diagnostics surface
-//!    through [`EngineStats::with_ingest`]. The applier loop takes hooks
+//!    through [`EngineStats::with_ingest`]. On the **routed** path
+//!    ([`IngestQueue::new_routed`]) producers shard-route each pair at
+//!    send time into per-(producer, shard) lanes, so the drain thread is
+//!    just a burst coordinator and each persistent shard worker drains
+//!    its own lanes with zero dispatch copies
+//!    ([`IngestQueue::drain_routed_with`]). The applier loop takes hooks
 //!    at batch boundaries ([`IngestQueue::drain_parallel_with`]) or at
-//!    burst boundaries on the high-throughput pooled path
-//!    ([`IngestQueue::drain_pooled_with`], one persistent worker per
+//!    burst boundaries on the pooled and routed paths
+//!    ([`IngestQueue::drain_pooled_with`] /
+//!    [`IngestQueue::drain_routed_with`], one persistent worker per
 //!    shard), which is where the background checkpointer rides
 //!    ([`IngestQueue::drain_parallel_checkpointed`]).
 //! 2. **Write** ([`CounterEngine`]) — slab ownership and batched apply:
@@ -159,7 +165,7 @@ pub use ingest::{
 #[allow(deprecated)]
 pub use legacy::{LegacyIngestProducer, LegacyIngestQueue};
 pub use manifest::{Manifest, ManifestFrame, ManifestInfo, ManifestTiering, MANIFEST_FILE};
-pub use registry::{CounterEngine, EngineConfig, EngineStats};
+pub use registry::{CounterEngine, EngineConfig, EngineStats, ShardRouter};
 pub use snapshot::EngineSnapshot;
 pub use store::{
     RecoveryReport, Store, StoreBuilder, StoreOptions, StoreReader, StoreReport, StoreStats,

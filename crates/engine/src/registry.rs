@@ -75,6 +75,67 @@ impl Default for EngineConfig {
     }
 }
 
+/// The key→shard partition of an engine, as a standalone copyable value:
+/// the routing salt (derived from the config seed exactly as the engine
+/// derives it) plus the shard count, applied through the same SplitMix64
+/// finalizer + Lemire range reduction as [`CounterEngine::shard_of`].
+///
+/// This is what lets *producers* route pairs at send time — the
+/// routed-ingest mode ([`IngestQueue::new_routed`](crate::IngestQueue::new_routed))
+/// hashes each key once, where the data is cache-hot, instead of paying a
+/// second pass on the drain thread. Two routers are interchangeable iff
+/// they compare equal; [`CounterEngine::router`] is the canonical way to
+/// obtain the router matching an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    salt: u64,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Derives the router every engine built from `config` uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "router needs at least one shard");
+        let (salt, _) = salt_for(config.seed);
+        Self {
+            salt,
+            shards: config.shards,
+        }
+    }
+
+    /// The shard count this router partitions keys over.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard `key` routes to — identical to
+    /// [`CounterEngine::shard_of`] on any engine with the same config.
+    #[inline]
+    #[must_use]
+    pub fn shard_of(&self, key: u64) -> usize {
+        route(self.salt, self.shards, key)
+    }
+
+    pub(crate) fn from_parts(salt: u64, shards: usize) -> Self {
+        Self { salt, shards }
+    }
+}
+
+/// The routing salt and per-shard seeder derived from `seed` — engine
+/// construction, checkpoint restore, and [`ShardRouter::new`] must all
+/// derive them identically.
+fn salt_for(seed: u64) -> (u64, SplitMix64) {
+    let mut seeder = SplitMix64::new(seed);
+    let salt = seeder.next_u64();
+    (salt, seeder)
+}
+
 /// A point-in-time summary of the engine (and, when taken through
 /// [`EngineStats::with_ingest`] / [`EngineStats::with_checkpointer`], of
 /// the layers around it), for reports and capacity planning.
@@ -183,6 +244,33 @@ pub(crate) fn fresh_fold_cache<C>(shards: usize) -> FoldCache<C> {
     Arc::new(Mutex::new((0..shards).map(|_| None).collect()))
 }
 
+/// One cached per-shard **tiered** fold: the shard's counters merged
+/// within each tier (`folded[t]` = the shard's tier-`t` aggregate, `None`
+/// when the shard holds no tier-`t` keys). Valid while the same
+/// `(dirty_epoch, events, len)` triple as [`FoldEntry`] matches *and* the
+/// caller asks for the same ladder length. Tier **migrations** mutate
+/// counter state without moving either `events` or `len`, so
+/// [`CounterEngine::apply_migrations`] explicitly evicts the slots of
+/// migrated shards (from this cache and from [`FoldCache`]) instead of
+/// relying on the triple.
+#[derive(Debug, Clone)]
+pub(crate) struct TieredFoldEntry {
+    pub(crate) dirty_epoch: u64,
+    pub(crate) events: u64,
+    pub(crate) len: usize,
+    pub(crate) folded: Vec<Option<ac_core::CounterFamily>>,
+}
+
+/// The tiered merged-aggregate cache shared by an engine and every
+/// snapshot frozen from it (one slot per shard). Concrete over
+/// [`ac_core::CounterFamily`] because only tiered (ladder-bearing)
+/// engines ever populate it; on other engines it stays empty.
+pub(crate) type TieredFoldCache = Arc<Mutex<Vec<Option<TieredFoldEntry>>>>;
+
+pub(crate) fn fresh_tiered_fold_cache(shards: usize) -> TieredFoldCache {
+    Arc::new(Mutex::new((0..shards).map(|_| None).collect()))
+}
+
 /// A hash-sharded registry of per-key approximate counters — the write
 /// layer of the engine pipeline.
 ///
@@ -210,6 +298,9 @@ pub struct CounterEngine<C> {
     last_freeze_ns: u64,
     /// Per-shard merged-aggregate cache, shared with snapshots.
     fold_cache: FoldCache<C>,
+    /// Per-shard tiered-aggregate cache, shared with snapshots (empty on
+    /// engines that never serve `merged_estimate_tiered`).
+    tiered_fold_cache: TieredFoldCache,
 }
 
 impl<C: Clone> Clone for CounterEngine<C> {
@@ -225,6 +316,7 @@ impl<C: Clone> Clone for CounterEngine<C> {
             epoch: self.epoch,
             last_freeze_ns: self.last_freeze_ns,
             fold_cache: fresh_fold_cache(self.shards.len()),
+            tiered_fold_cache: fresh_tiered_fold_cache(self.shards.len()),
         }
     }
 }
@@ -240,7 +332,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         assert!(config.shards > 0, "engine needs at least one shard");
         let mut template = template;
         template.reset();
-        let (salt, mut seeder) = Self::salt_for(config.seed);
+        let (salt, mut seeder) = salt_for(config.seed);
         let shards = (0..config.shards)
             .map(|_| Arc::new(Shard::new(seeder.next_u64())))
             .collect();
@@ -252,16 +344,8 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             epoch: 1,
             last_freeze_ns: 0,
             fold_cache: fresh_fold_cache(config.shards),
+            tiered_fold_cache: fresh_tiered_fold_cache(config.shards),
         }
-    }
-
-    /// The routing salt and per-shard seeder derived from `seed` — the
-    /// construction and the checkpoint-restore path must derive them
-    /// identically.
-    fn salt_for(seed: u64) -> (u64, SplitMix64) {
-        let mut seeder = SplitMix64::new(seed);
-        let salt = seeder.next_u64();
-        (salt, seeder)
     }
 
     /// Rebuilds an engine from restored shards (the checkpoint layer's
@@ -278,7 +362,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
         assert!(config.shards > 0, "engine needs at least one shard");
         let mut template = template;
         template.reset();
-        let (salt, _) = Self::salt_for(config.seed);
+        let (salt, _) = salt_for(config.seed);
         Self {
             shards: shards.into_iter().map(Arc::new).collect(),
             template,
@@ -287,6 +371,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             epoch,
             last_freeze_ns: 0,
             fold_cache: fresh_fold_cache(config.shards),
+            tiered_fold_cache: fresh_tiered_fold_cache(config.shards),
         }
     }
 
@@ -304,6 +389,13 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     #[must_use]
     pub fn shard_of(&self, key: u64) -> usize {
         route(self.salt, self.shards.len(), key)
+    }
+
+    /// The engine's key→shard partition as a standalone copyable value,
+    /// for producer-side routing ([`crate::IngestQueue::new_routed`]).
+    #[must_use]
+    pub fn router(&self) -> ShardRouter {
+        ShardRouter::from_parts(self.salt, self.shards.len())
     }
 
     /// The routing salt (shared with snapshots).
@@ -337,6 +429,11 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
     /// The shared merged-aggregate cache (cloned into snapshots).
     pub(crate) fn fold_cache(&self) -> &FoldCache<C> {
         &self.fold_cache
+    }
+
+    /// The shared tiered-aggregate cache (cloned into snapshots).
+    pub(crate) fn tiered_fold_cache(&self) -> &TieredFoldCache {
+        &self.tiered_fold_cache
     }
 
     /// The current freeze epoch.
@@ -543,6 +640,7 @@ impl CounterEngine<ac_core::CounterFamily> {
         moves: &[ac_core::TierMove],
     ) -> Result<u64, CoreError> {
         let mut migrated = 0u64;
+        let mut migrated_shards = vec![false; self.shards.len()];
         for m in moves {
             let Some(spec) = ladder.get(usize::from(m.tier)) else {
                 return Err(CoreError::InvalidState {
@@ -553,7 +651,26 @@ impl CounterEngine<ac_core::CounterFamily> {
             let shard = Arc::make_mut(&mut self.shards[idx]);
             if shard.migrate_key(m.key, spec, m.tier)? {
                 shard.touch(self.epoch);
+                migrated_shards[idx] = true;
                 migrated += 1;
+            }
+        }
+        // A migration changes counter state without moving a shard's
+        // `events` or `len`, and `touch` is a no-op on an already-dirty
+        // shard — the fold caches' `(dirty_epoch, events, len)` validity
+        // key cannot see it. Evict migrated shards' slots explicitly so
+        // no stale fold survives.
+        if migrated > 0 {
+            let mut folds = self.fold_cache.lock().expect("fold cache lock");
+            let mut tiered = self
+                .tiered_fold_cache
+                .lock()
+                .expect("tiered fold cache lock");
+            for (idx, hit) in migrated_shards.iter().enumerate() {
+                if *hit {
+                    folds[idx] = None;
+                    tiered[idx] = None;
+                }
             }
         }
         Ok(migrated)

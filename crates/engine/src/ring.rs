@@ -6,6 +6,23 @@
 //! Both types are `pub(crate)` plumbing: the public surface is
 //! [`IngestQueue`](crate::IngestQueue) / [`IngestProducer`](crate::IngestProducer).
 //!
+//! ## How the ingest layer arranges rings
+//!
+//! *Pooled* mode gives each producer one ring of whole
+//! [`Batch`](crate::Batch)es; a dispatcher pops them, re-hashes every
+//! pair, and copies it into per-shard buckets. *Routed* mode
+//! ([`IngestQueue::new_routed`](crate::IngestQueue::new_routed)) replaces
+//! that single ring with one **lane** per (producer, shard): the producer
+//! routes each pair once at send time, pushes each shard's slice into
+//! that shard's lane, and the shard worker pops its own lanes directly —
+//! no dispatcher copy. The SPSC discipline holds per lane: the producer
+//! handle is the only pusher, and within a burst exactly one shard worker
+//! pops a given lane ([`SpscRing::pop_if`] bounds it to a consistent
+//! cut of fully-published sequence numbers). Memory footprint is
+//! `producers × shards` rings of `ring_batches` slots each — size
+//! `ring_batches` down (it bounds *per-lane* burst depth, not aggregate
+//! throughput) when producer or shard counts are large.
+//!
 //! ## Why `Mutex<Option<T>>` slots in a "lock-free" ring
 //!
 //! The crate forbids `unsafe`, so slots cannot be `UnsafeCell`s. Instead
@@ -125,6 +142,31 @@ impl<T> SpscRing<T> {
         self.head.0.store(head.wrapping_add(1), SeqCst);
         value
     }
+
+    /// Consumer side: removes the oldest value only when `eligible`
+    /// accepts it; returns `None` (leaving the value queued) otherwise.
+    /// The routed drain uses this to stop a lane sweep at its burst's
+    /// consistent cut — published-but-uncommitted batches stay put.
+    pub(crate) fn pop_if(&self, eligible: impl FnOnce(&T) -> bool) -> Option<T> {
+        let head = self.head.0.load(SeqCst);
+        let tail = self.tail.0.load(SeqCst);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.slots[(head & self.mask) as usize];
+        let mut guard = slot.lock().expect("ring slot lock");
+        let passes = {
+            let value = guard.as_ref().expect("published slot was empty");
+            eligible(value)
+        };
+        if !passes {
+            return None;
+        }
+        let value = guard.take();
+        drop(guard);
+        self.head.0.store(head.wrapping_add(1), SeqCst);
+        value
+    }
 }
 
 /// An eventcount-style doorbell: waiters park on a condvar, but notifiers
@@ -211,6 +253,20 @@ mod tests {
             assert!(ring.push(round).is_ok());
             assert_eq!(ring.pop(), Some(round));
         }
+    }
+
+    #[test]
+    fn pop_if_stops_at_the_first_ineligible_value() {
+        let ring = SpscRing::new(4);
+        for i in 0..3 {
+            assert!(ring.push(i).is_ok());
+        }
+        assert_eq!(ring.pop_if(|&v| v <= 1), Some(0));
+        assert_eq!(ring.pop_if(|&v| v <= 1), Some(1));
+        assert_eq!(ring.pop_if(|&v| v <= 1), None, "2 must stay queued");
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.pop(), Some(2), "ineligible value is untouched");
+        assert_eq!(ring.pop_if(|_| true), None, "empty ring");
     }
 
     #[test]

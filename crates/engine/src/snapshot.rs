@@ -27,7 +27,9 @@
 //! `O(keys)` deep-clone freeze alive as a benchmark baseline and as the
 //! oracle for the CoW-equivalence property tests.
 
-use crate::registry::{CounterEngine, EngineConfig, FoldCache, FoldEntry};
+use crate::registry::{
+    CounterEngine, EngineConfig, FoldCache, FoldEntry, TieredFoldCache, TieredFoldEntry,
+};
 use crate::shard::{route, Shard};
 use ac_core::{ApproxCounter, CoreError, Mergeable};
 use ac_randkit::RandomSource;
@@ -55,6 +57,9 @@ pub struct EngineSnapshot<C> {
     /// Per-shard fold cache, shared with the engine and every sibling
     /// snapshot of the same lineage.
     fold_cache: FoldCache<C>,
+    /// Per-shard tiered fold cache, shared the same way (used only by
+    /// [`EngineSnapshot::merged_estimate_tiered`]).
+    tiered_fold_cache: TieredFoldCache,
 }
 
 impl<C: ApproxCounter + Clone> CounterEngine<C> {
@@ -100,6 +105,7 @@ impl<C: ApproxCounter + Clone> CounterEngine<C> {
             keys,
             events,
             fold_cache: Arc::clone(self.fold_cache()),
+            tiered_fold_cache: Arc::clone(self.tiered_fold_cache()),
         };
         let freeze_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let epoch = self.note_freeze(freeze_ns);
@@ -234,9 +240,21 @@ impl EngineSnapshot<ac_core::CounterFamily> {
     /// stream rather than one family-wide bound.
     ///
     /// `tiers` is the ladder length; a tag at or above it is refused.
-    /// Unlike `merged_total` this fold bypasses the per-shard cache (the
-    /// cache stores one counter per shard, not one per tier) and is
-    /// `O(keys)` per call.
+    ///
+    /// ## Per-shard caching
+    ///
+    /// Like [`EngineSnapshot::merged_total`], the fold runs in two
+    /// stages — each shard's counters merge into one per-tier aggregate
+    /// vector, then the `O(shards × tiers)` vectors merge into per-tier
+    /// totals — and the per-shard stage is cached across freezes on the
+    /// same `(dirty_epoch, events, len)` validity key (plus the ladder
+    /// length). Between two freezes the cost is `O(dirty shards' keys +
+    /// shards × tiers)`, not `O(all keys)`. Tier migrations, which change
+    /// counter state without moving the validity triple, evict their
+    /// shards' slots explicitly
+    /// (see [`CounterEngine::apply_migrations`]). As with `merged_total`,
+    /// cache warmth changes the *sequence* of draws taken from `rng`, not
+    /// the distribution of the result.
     ///
     /// # Errors
     ///
@@ -248,17 +266,43 @@ impl EngineSnapshot<ac_core::CounterFamily> {
         tiers: usize,
         rng: &mut dyn RandomSource,
     ) -> Result<f64, CoreError> {
+        let mut cache = self.tiered_fold_cache.lock().expect("tiered fold cache");
         let mut per_tier: Vec<Option<ac_core::CounterFamily>> = vec![None; tiers];
-        for shard in &self.shards {
-            for (_, counter, tier) in shard.entries_tagged() {
-                let slot = per_tier
-                    .get_mut(usize::from(tier))
-                    .ok_or(CoreError::InvalidState {
-                        what: "key carries a tier tag outside the ladder",
-                    })?;
-                match slot {
-                    None => *slot = Some(counter.clone()),
-                    Some(acc) => acc.merge_from(counter, rng)?,
+        for (slot, shard) in cache.iter_mut().zip(&self.shards) {
+            let fresh = matches!(
+                slot,
+                Some(e) if e.dirty_epoch == shard.dirty_epoch()
+                    && e.events == shard.events()
+                    && e.len == shard.len()
+                    && e.folded.len() == tiers
+            );
+            if !fresh {
+                let mut folded: Vec<Option<ac_core::CounterFamily>> = vec![None; tiers];
+                for (_, counter, tier) in shard.entries_tagged() {
+                    let acc = folded
+                        .get_mut(usize::from(tier))
+                        .ok_or(CoreError::InvalidState {
+                            what: "key carries a tier tag outside the ladder",
+                        })?;
+                    match acc {
+                        None => *acc = Some(counter.clone()),
+                        Some(acc) => acc.merge_from(counter, rng)?,
+                    }
+                }
+                *slot = Some(TieredFoldEntry {
+                    dirty_epoch: shard.dirty_epoch(),
+                    events: shard.events(),
+                    len: shard.len(),
+                    folded,
+                });
+            }
+            let entry = slot.as_ref().expect("slot filled above");
+            for (total, part) in per_tier.iter_mut().zip(&entry.folded) {
+                if let Some(p) = part {
+                    match total {
+                        None => *total = Some(p.clone()),
+                        Some(t) => t.merge_from(p, rng)?,
+                    }
                 }
             }
         }
@@ -440,6 +484,82 @@ mod tests {
                 "round {round}"
             );
         }
+    }
+
+    #[test]
+    fn tiered_fold_reuses_clean_shard_folds_across_freezes() {
+        use ac_core::CounterSpec;
+        let template = CounterSpec::Morris { a: 0.25 }.build().unwrap();
+        let mut e = CounterEngine::new(template, cfg());
+        let batch: Vec<(u64, u64)> = (0..2_000u64).map(|k| (k, 50)).collect();
+        e.apply(&batch);
+
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(13);
+        let snap1 = e.snapshot();
+        let mut cold = CountingSource {
+            inner: &mut rng,
+            draws: 0,
+        };
+        let _ = snap1.merged_estimate_tiered(1, &mut cold).unwrap();
+        let cold_draws = cold.draws;
+
+        // Touch exactly one shard, freeze again: only that shard's
+        // per-tier fold recomputes.
+        e.apply(&[(7, 5)]);
+        let snap2 = e.snapshot();
+        let mut warm = CountingSource {
+            inner: &mut rng,
+            draws: 0,
+        };
+        let est = snap2.merged_estimate_tiered(1, &mut warm).unwrap();
+        assert!(
+            warm.draws < cold_draws / 2,
+            "warm tiered fold drew {} vs cold {}",
+            warm.draws,
+            cold_draws
+        );
+        let n = snap2.total_events() as f64;
+        let rel = (est - n).abs() / n;
+        assert!(rel < 0.5, "tiered estimate relative error {rel}");
+
+        // A different ladder length is a different fold: no stale reuse.
+        let wide = snap2.merged_estimate_tiered(3, &mut rng).unwrap();
+        let rel = (wide - n).abs() / n;
+        assert!(rel < 0.5, "wider-ladder estimate relative error {rel}");
+    }
+
+    #[test]
+    fn tier_migrations_evict_stale_tiered_folds() {
+        use ac_core::{CounterSpec, TierMove};
+        let template = CounterSpec::Exact.build().unwrap();
+        let mut e = CounterEngine::new(template, cfg());
+        let batch: Vec<(u64, u64)> = (0..64u64).map(|k| (k, 12)).collect();
+        e.apply(&batch);
+        let ladder = [CounterSpec::Exact, CounterSpec::Csuros { mantissa_bits: 1 }];
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+
+        let snap1 = e.snapshot();
+        let before = snap1.merged_estimate_tiered(2, &mut rng).unwrap();
+        assert_eq!(before, 768.0, "all-exact engine sums exactly");
+
+        // Migrate one key onto the coarse rung. Its exact count (12) is
+        // not representable with a 1-bit mantissa, so the re-seeded
+        // estimate moves — while the shard's `events` and `len` do not.
+        // The fold must never serve the pre-migration cache entry.
+        let moved = e
+            .apply_migrations(&ladder, &[TierMove { key: 3, tier: 1 }])
+            .unwrap();
+        assert_eq!(moved, 1);
+        let snap2 = e.snapshot();
+        let after = snap2.merged_estimate_tiered(2, &mut rng).unwrap();
+        let oracle: f64 = snap2
+            .shards
+            .iter()
+            .flat_map(|s| s.entries_tagged())
+            .map(|(_, c, _)| c.estimate())
+            .sum();
+        assert_eq!(after, oracle, "fold must match an uncached recompute");
+        assert_ne!(after, before, "coarse rung must move the estimate");
     }
 
     #[test]

@@ -69,11 +69,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 
-/// Slots in the applier's SpaceSaving hot-key detector. A few times the
-/// number of keys a migration round can plausibly promote: the detector
-/// only has to rank the head of the distribution, not hold the tail.
-const DETECTOR_SLOTS: usize = 1024;
-
 /// Runtime knobs shared by [`StoreBuilder`] and [`Store::open_with`]:
 /// everything about *how* the service runs, none of it part of the
 /// engine's durable identity (which is the [`CounterSpec`] +
@@ -93,11 +88,17 @@ pub struct StoreOptions {
     pub checkpoint_every_events: u64,
     /// Deltas per base before the checkpointer rebases.
     pub max_deltas_per_base: usize,
+    /// Slots in the applier's SpaceSaving hot-key detector (tiered
+    /// stores only). A few times the number of keys a migration round
+    /// can plausibly promote is enough: the detector only has to rank
+    /// the head of the distribution, not hold the tail.
+    pub detector_slots: usize,
 }
 
 impl StoreOptions {
     /// The default runtime knobs (publish every 65 536 events,
-    /// checkpoint every 1 000 000, rebase after 15 deltas).
+    /// checkpoint every 1 000 000, rebase after 15 deltas, 1024
+    /// detector slots).
     #[must_use]
     pub fn new() -> Self {
         Self {
@@ -105,6 +106,7 @@ impl StoreOptions {
             snapshot_every_events: 65_536,
             checkpoint_every_events: 1_000_000,
             max_deltas_per_base: 15,
+            detector_slots: 1024,
         }
     }
 
@@ -133,6 +135,14 @@ impl StoreOptions {
     #[must_use]
     pub fn with_max_deltas_per_base(mut self, max: usize) -> Self {
         self.max_deltas_per_base = max;
+        self
+    }
+
+    /// Sets the hot-key detector's SpaceSaving slot count (tiered
+    /// stores only).
+    #[must_use]
+    pub fn with_detector_slots(mut self, slots: usize) -> Self {
+        self.detector_slots = slots;
         self
     }
 }
@@ -206,6 +216,14 @@ impl StoreBuilder {
         self
     }
 
+    /// Sets the hot-key detector's SpaceSaving slot count (meaningful
+    /// with [`StoreBuilder::with_tiering`]).
+    #[must_use]
+    pub fn with_detector_slots(mut self, slots: usize) -> Self {
+        self.opts.detector_slots = slots;
+        self
+    }
+
     /// Enables **tiered accuracy**: keys live on `policy`'s ladder of
     /// counter specs (rung 0 — which must equal the store's
     /// [`CounterSpec`] — is where every key starts), and the applier
@@ -250,7 +268,7 @@ impl StoreBuilder {
                         what: "tier ladder's default rung must be the store's counter spec",
                     }));
                 }
-                TierSetup::new(policy, budget_bits)
+                TierSetup::new(policy, budget_bits, self.opts.detector_slots)
             })
             .transpose()?;
         let (durability, lock) = match self.durability {
@@ -434,7 +452,11 @@ impl std::fmt::Debug for TierSetup {
 }
 
 impl TierSetup {
-    fn new(policy: TierPolicy, budget_bits: u64) -> Result<Self, EngineError> {
+    fn new(
+        policy: TierPolicy,
+        budget_bits: u64,
+        detector_slots: usize,
+    ) -> Result<Self, EngineError> {
         let templates = policy.templates()?;
         let controller = BudgetController::new(policy, budget_bits)?;
         Ok(Self {
@@ -443,7 +465,7 @@ impl TierSetup {
             // The detector needs no entropy for exact slot counters, but
             // the trait takes a source; any fixed seed keeps the applier
             // deterministic for a given arrival order.
-            detector: SpaceSaving::new(DETECTOR_SLOTS, &ExactCounter::new()),
+            detector: SpaceSaving::new(detector_slots, &ExactCounter::new()),
             rng: SplitMix64::new(0x7157_0000_D1CE_C7ED),
             resident: HashMap::new(),
         })
@@ -612,7 +634,7 @@ impl Store {
             .as_ref()
             .map(|t| -> Result<TierSetup, EngineError> {
                 let policy = TierPolicy::new(t.ladder.clone())?;
-                let mut setup = TierSetup::new(policy, t.budget_bits)?;
+                let mut setup = TierSetup::new(policy, t.budget_bits, opts.detector_slots)?;
                 setup.resident = engine
                     .iter()
                     .filter_map(|(key, _)| {
@@ -650,20 +672,27 @@ impl Store {
         tiering: Option<TierSetup>,
     ) -> Self {
         let tier_budget_bits = tiering.as_ref().map(|t| t.controller.budget_bits());
-        // Bound pooled-applier bursts at the tightest cadence so the
+        // Bound applier bursts at the tightest cadence so the
         // burst-boundary hook can actually fire that often — otherwise a
         // backlog (producers racing far ahead of the applier) would be
         // swallowed in one burst and cross every cadence point with a
-        // single frame.
+        // single frame. The routed drain bounds bursts in *batches*, so
+        // the event cadence converts at the batch capacity (a full batch
+        // carries at least batch_pairs events).
         let burst_cap = opts.snapshot_every_events.min(if durability.is_some() {
             opts.checkpoint_every_events
         } else {
             u64::MAX
         });
+        let batches_for_cap = usize::try_from(
+            (burst_cap / u64::try_from(opts.ingest.batch_pairs).unwrap_or(u64::MAX)).max(1),
+        )
+        .unwrap_or(usize::MAX);
         let ingest = opts
             .ingest
-            .with_burst_events(opts.ingest.burst_events.min(burst_cap));
-        let queue = IngestQueue::new(ingest);
+            .with_burst_events(opts.ingest.burst_events.min(burst_cap))
+            .with_burst_batches(opts.ingest.burst_batches.min(batches_for_cap));
+        let queue = IngestQueue::new_routed(ingest, engine.router());
         let checkpointer: Option<BackgroundCheckpointer<CounterFamily>> =
             durability.as_ref().map(|(dir, session)| {
                 // A tiered store's checkpointer serializes against the
@@ -707,10 +736,12 @@ impl Store {
                 // never reentrantly; the RefCell lets them share the
                 // tiering state across the two closures.
                 let tiering = std::cell::RefCell::new(tiering);
-                // The pooled drain: persistent worker-per-shard applier,
-                // hooks at burst boundaries (the cadences catch up across
-                // a burst without double-firing).
-                thread_queue.drain_pooled_tap(
+                // The routed drain: producers already routed every pair
+                // into per-(producer, shard) lanes, each persistent
+                // shard worker drains its own lane set, and hooks run at
+                // burst boundaries (the cadences catch up across a burst
+                // without double-firing).
+                thread_queue.drain_routed_tap(
                     &mut engine,
                     |pairs| {
                         if let Some(t) = tiering.borrow_mut().as_mut() {

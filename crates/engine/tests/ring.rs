@@ -244,4 +244,232 @@ proptest! {
             spec
         );
     }
+
+    /// The tentpole's durability contract: moving the shard routing from
+    /// the drain side (pooled dispatcher copy) to the send side (routed
+    /// per-(producer, shard) lanes) must not move the checkpoint *bytes*.
+    /// Same single-producer stream through both drains, one engine each,
+    /// same seed — identical frames, for every family.
+    #[test]
+    fn routed_ingest_checkpoints_bit_identical_to_pooled(
+        seed in 0u64..1_000,
+        spec_idx in 0usize..5,
+        events in proptest::collection::vec((0u64..200u64, 1u64..50u64), 1..300),
+    ) {
+        let spec = all_specs()[spec_idx];
+        let mut pooled = drain_via_pooled(spec, seed, &events);
+        let mut routed = drain_via_routed(spec, seed, &events);
+
+        prop_assert_eq!(pooled.total_events(), routed.total_events());
+        let a = checkpoint_snapshot(&pooled.snapshot());
+        let b = checkpoint_snapshot(&routed.snapshot());
+        prop_assert_eq!(
+            a.bytes(),
+            b.bytes(),
+            "routed checkpoint bytes diverged from pooled for {:?}",
+            spec
+        );
+    }
+}
+
+fn drain_via_pooled(
+    spec: CounterSpec,
+    seed: u64,
+    events: &[(u64, u64)],
+) -> CounterEngine<ac_core::CounterFamily> {
+    let mut engine = CounterEngine::new(
+        spec.build().expect("valid spec"),
+        EngineConfig::new().with_shards(4).with_seed(seed),
+    );
+    let queue = IngestQueue::new(
+        IngestConfig::new()
+            .with_ring_batches(256)
+            .with_batch_pairs(16),
+    );
+    let mut prod = queue.producer();
+    for &(key, delta) in events {
+        prod.record(key, delta);
+    }
+    drop(prod);
+    queue.close();
+    queue.drain_pooled(&mut engine);
+    engine
+}
+
+fn drain_via_routed(
+    spec: CounterSpec,
+    seed: u64,
+    events: &[(u64, u64)],
+) -> CounterEngine<ac_core::CounterFamily> {
+    let mut engine = CounterEngine::new(
+        spec.build().expect("valid spec"),
+        EngineConfig::new().with_shards(4).with_seed(seed),
+    );
+    let queue = IngestQueue::new_routed(
+        IngestConfig::new()
+            .with_ring_batches(256)
+            .with_batch_pairs(16),
+        engine.router(),
+    );
+    let mut prod = queue.producer();
+    for &(key, delta) in events {
+        prod.record(key, delta);
+    }
+    drop(prod);
+    queue.close();
+    queue.drain_routed(&mut engine);
+    engine
+}
+
+/// The routed twin of the pooled stress test: many producers hammering
+/// tiny per-shard lanes through `Block` must still conserve every event,
+/// for all five families, with every producer's applied mark caught up.
+#[test]
+fn routed_lossless_stress_conserves_events_for_all_five_families() {
+    const PRODUCERS: u64 = 4;
+    const RECORDS: u64 = 2_000;
+
+    for spec in all_specs() {
+        let family = spec.build().expect("valid spec");
+        let mut engine =
+            CounterEngine::new(family, EngineConfig::new().with_shards(4).with_seed(9));
+        let queue = IngestQueue::new_routed(
+            IngestConfig::new()
+                .with_ring_batches(2)
+                .with_batch_pairs(8)
+                .with_policy(BackpressurePolicy::Block),
+            engine.router(),
+        );
+
+        let mut expected = 0u64;
+        for p in 0..PRODUCERS {
+            for i in 0..RECORDS {
+                expected += 1 + (p + i) % 7;
+            }
+        }
+
+        let applied = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for p in 0..PRODUCERS {
+                let mut prod = queue.producer();
+                handles.push(s.spawn(move || {
+                    for i in 0..RECORDS {
+                        prod.record(i % 61, 1 + (p + i) % 7);
+                    }
+                    prod.send().expect("queue open");
+                }));
+            }
+            s.spawn(|| {
+                for h in handles {
+                    h.join().expect("producer");
+                }
+                queue.close();
+            });
+            queue.drain_routed(&mut engine)
+        });
+
+        assert_eq!(applied, expected, "{spec:?}: routed drain undercounted");
+        assert_eq!(
+            engine.total_events(),
+            expected,
+            "{spec:?}: events lost in the routed lane path"
+        );
+        let stats = queue.stats();
+        assert_eq!(stats.dropped_events, 0, "{spec:?}: Block must be lossless");
+        for mark in &stats.producers {
+            assert_eq!(
+                mark.applied_seq, mark.enqueued_seq,
+                "{spec:?}: producer {} not fully applied",
+                mark.producer
+            );
+        }
+    }
+}
+
+/// `Fail` under per-shard lane backpressure: a batch is refused
+/// all-or-nothing when *any* of its destination lanes is full, the
+/// refusal hands back the batch with pairs in their original first-touch
+/// order, and the producer's speculative sequence mark rolls back
+/// exactly — a later resubmit reuses the same sequence number, so once a
+/// drain starts, totals are conserved with nothing dropped.
+#[test]
+fn routed_fail_policy_rolls_back_and_conserves_under_lane_backpressure() {
+    let mut engine = CounterEngine::new(
+        CounterSpec::Exact.build().expect("valid spec"),
+        EngineConfig::new().with_shards(4).with_seed(3),
+    );
+    let router = engine.router();
+    // Two keys on one shard, one key on a different shard: enough to
+    // build a cross-lane batch whose refusal must be all-or-nothing.
+    let same_shard: Vec<u64> = (0..1_000u64)
+        .filter(|&k| router.shard_of(k) == router.shard_of(0))
+        .take(2)
+        .collect();
+    let other = (0..1_000u64)
+        .find(|&k| router.shard_of(k) != router.shard_of(0))
+        .expect("4 shards hold more than one lane");
+
+    let queue = IngestQueue::new_routed(
+        IngestConfig::new()
+            .with_ring_batches(1) // one-slot lanes
+            .with_batch_pairs(4)
+            .with_policy(BackpressurePolicy::Fail),
+        router,
+    );
+    let mut prod = queue.producer();
+
+    // Fill shard-0's lane (no drain running yet).
+    prod.record(same_shard[0], 5);
+    prod.try_send().expect("first batch fits the empty lane");
+    assert_eq!(prod.last_seq(), 1);
+
+    // A batch straddling a full lane and an empty one: refused whole.
+    prod.record(other, 7);
+    prod.record(same_shard[1], 9);
+    prod.record(other, 4); // coalesces with the first `other` pair
+    let err = prod.try_send().expect_err("shard-0 lane is full");
+    assert!(err.is_full());
+    let batch = err.into_batch();
+    assert_eq!(
+        batch.pairs,
+        vec![(other, 11), (same_shard[1], 9)],
+        "refusal hands back the batch in first-touch order"
+    );
+    assert_eq!(batch.seq, 2, "the refused sequence number was reserved");
+    let mark = &queue.stats().producers[0];
+    assert_eq!(
+        mark.enqueued_seq, 1,
+        "speculative mark rolled back exactly on refusal"
+    );
+
+    // With a drain running the held batch eventually lands — same seq,
+    // nothing dropped, empty-lane pairs never applied twice.
+    thread::scope(|s| {
+        s.spawn(|| {
+            let mut held = Some(batch);
+            while let Some(b) = held.take() {
+                match prod.resubmit(b) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        assert!(e.is_full(), "only Full is acceptable while open");
+                        held = Some(e.into_batch());
+                        thread::yield_now();
+                    }
+                }
+            }
+            assert_eq!(prod.last_seq(), 2, "resubmit reused the rolled-back seq");
+            queue.close();
+        });
+        queue.drain_routed(&mut engine);
+    });
+
+    assert_eq!(
+        engine.total_events(),
+        5 + 11 + 9,
+        "every event applied once"
+    );
+    let stats = queue.stats();
+    assert_eq!(stats.dropped_events, 0, "Fail never drops silently");
+    assert_eq!(stats.producers[0].applied_seq, 2);
+    assert_eq!(stats.producers[0].enqueued_seq, 2);
 }
