@@ -236,6 +236,40 @@ impl BitVec {
             len: bytes.len() as u64 * 8,
         }
     }
+
+    /// Appends every bit of `other`, preserving order — the splice
+    /// primitive that lets independently encoded bit streams (e.g.
+    /// per-shard checkpoint sections built on worker threads) be joined
+    /// into one frame. When the current length is word-aligned this is a
+    /// plain word copy; otherwise each word of `other` is re-pushed at
+    /// the misaligned offset.
+    pub fn append(&mut self, other: &BitVec) {
+        if other.len == 0 {
+            return;
+        }
+        if self.len % 64 == 0 {
+            // Fast path: bits above `len` in the last word are always
+            // zero (every writer masks), so whole words transplant.
+            let words_needed = other.len.div_ceil(64) as usize;
+            self.words.extend_from_slice(&other.words[..words_needed]);
+            self.len += other.len;
+            return;
+        }
+        let mut remaining = other.len;
+        let mut i = 0;
+        while remaining > 0 {
+            let take = remaining.min(64) as u32;
+            let word = other.words[i];
+            let value = if take == 64 {
+                word
+            } else {
+                word & ((1u64 << take) - 1)
+            };
+            self.push_bits(value, take);
+            remaining -= u64::from(take);
+            i += 1;
+        }
+    }
 }
 
 /// Sequential writer over a [`BitVec`] (append-only cursor).
@@ -489,6 +523,64 @@ mod tests {
         let mut v = BitVec::new();
         v.push_bits(0, 8);
         v.overwrite_bits(4, 0, 8);
+    }
+
+    #[test]
+    fn append_matches_sequential_pushes() {
+        // Build the same logical stream two ways: one vector written
+        // straight through, and a left half spliced with a right half.
+        let fields: Vec<(u64, u32)> = (0..300)
+            .map(|i: u64| {
+                let w = 1 + ((i * 7) % 64) as u32;
+                let v =
+                    (i.wrapping_mul(2_654_435_761)) & if w == 64 { u64::MAX } else { (1 << w) - 1 };
+                (v, w)
+            })
+            .collect();
+        for split in [0usize, 1, 17, 150, 299, 300] {
+            let mut whole = BitVec::new();
+            for &(v, w) in &fields {
+                whole.push_bits(v, w);
+            }
+            let mut left = BitVec::new();
+            let mut right = BitVec::new();
+            for (i, &(v, w)) in fields.iter().enumerate() {
+                if i < split {
+                    left.push_bits(v, w);
+                } else {
+                    right.push_bits(v, w);
+                }
+            }
+            left.append(&right);
+            assert_eq!(left, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn append_word_aligned_fast_path() {
+        let mut a = BitVec::new();
+        a.push_bits(u64::MAX, 64);
+        a.push_bits(0x1234_5678_9ABC_DEF0, 64);
+        let mut b = BitVec::new();
+        b.push_bits(0b101, 3);
+        b.push_bits(77, 13);
+        let mut joined = a.clone();
+        joined.append(&b);
+        assert_eq!(joined.len(), 144);
+        assert_eq!(joined.get_bits(128, 3), 0b101);
+        assert_eq!(joined.get_bits(131, 13), 77);
+    }
+
+    #[test]
+    fn append_empty_is_a_noop() {
+        let mut a = BitVec::new();
+        a.push_bits(0b11, 2);
+        let before = a.clone();
+        a.append(&BitVec::new());
+        assert_eq!(a, before);
+        let mut empty = BitVec::new();
+        empty.append(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

@@ -62,6 +62,7 @@ use ac_bitio::{BitReader, BitVec, BitWriter};
 use ac_core::{CoreError, StateCodec};
 use ac_randkit::Xoshiro256PlusPlus;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `"ACKP"` — approximate-counting checkpoint.
 pub const CHECKPOINT_MAGIC: u32 = 0x4143_4B50;
@@ -356,17 +357,57 @@ pub struct CheckpointHeader {
     pub chain: u64,
 }
 
+/// How many workers to actually use for `items` independent units of
+/// work covering `keys` total keys. `requested == 0` means "auto": one
+/// thread per available core, but only once the engine is big enough
+/// (≥ 4096 keys) for fan-out to beat its setup cost. An explicit
+/// `requested == 1` forces the serial path; explicit larger values are
+/// honored, capped at the unit count. The choice never changes the
+/// produced bytes or state — only who produces them.
+fn effective_workers(requested: usize, items: usize, keys: u64) -> usize {
+    const AUTO_MIN_KEYS: u64 = 4096;
+    let cap = items.max(1);
+    match requested {
+        0 => {
+            if keys < AUTO_MIN_KEYS {
+                1
+            } else {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(cap)
+            }
+        }
+        n => n.min(cap),
+    }
+}
+
 /// Serializes a snapshot into a self-contained full [`Checkpoint`]
-/// (version 2).
+/// (version 2). Shard sections are encoded in parallel when the engine
+/// is large enough; the bytes are identical to the serial encoder's.
 ///
 /// # Panics
 ///
 /// Panics if the engine carries non-default tier tags — version 2 has
 /// nowhere to put them; use [`checkpoint_snapshot_with`] instead.
 #[must_use]
-pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> Checkpoint {
+pub fn checkpoint_snapshot<C: StateCodec + Clone + Send + Sync>(
+    snap: &EngineSnapshot<C>,
+) -> Checkpoint {
+    checkpoint_snapshot_workers(snap, 0)
+}
+
+/// [`checkpoint_snapshot`] with an explicit encode worker count: `0`
+/// picks one per core (engaged only for large engines), `1` forces the
+/// serial encoder, larger values are capped at the shard count. Every
+/// choice produces bit-identical frames — a property test pins this.
+#[must_use]
+pub fn checkpoint_snapshot_workers<C: StateCodec + Clone + Send + Sync>(
+    snap: &EngineSnapshot<C>,
+    workers: usize,
+) -> Checkpoint {
     let all: Vec<usize> = (0..snap.shards.len()).collect();
-    write_checkpoint(snap, None, CheckpointKind::Full, 0, &all)
+    write_checkpoint(snap, None, CheckpointKind::Full, 0, &all, workers)
 }
 
 /// Serializes a tiered snapshot into a self-contained full version-3
@@ -375,13 +416,31 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone>(snap: &EngineSnapshot<C>) -> C
 /// template, `templates[0]` the default tier). Restore through
 /// [`restore_checkpoint_chain_with`] with the same ladder.
 #[must_use]
-pub fn checkpoint_snapshot_with<C: StateCodec + Clone>(
+pub fn checkpoint_snapshot_with<C: StateCodec + Clone + Send + Sync>(
     snap: &EngineSnapshot<C>,
     templates: &[C],
 ) -> Checkpoint {
+    checkpoint_snapshot_with_workers(snap, templates, 0)
+}
+
+/// [`checkpoint_snapshot_with`] with an explicit encode worker count
+/// (see [`checkpoint_snapshot_workers`] for the contract).
+#[must_use]
+pub fn checkpoint_snapshot_with_workers<C: StateCodec + Clone + Send + Sync>(
+    snap: &EngineSnapshot<C>,
+    templates: &[C],
+    workers: usize,
+) -> Checkpoint {
     assert!(!templates.is_empty(), "need at least the default template");
     let all: Vec<usize> = (0..snap.shards.len()).collect();
-    write_checkpoint(snap, Some(templates), CheckpointKind::Full, 0, &all)
+    write_checkpoint(
+        snap,
+        Some(templates),
+        CheckpointKind::Full,
+        0,
+        &all,
+        workers,
+    )
 }
 
 /// Serializes only the shards dirtied since `parent` — an incremental
@@ -404,7 +463,7 @@ pub fn checkpoint_snapshot_with<C: StateCodec + Clone>(
 ///   epoch clock happens to have advanced *past* the parent's is
 ///   indistinguishable from the parent's own future without a lineage
 ///   identity — keep one chain per engine.
-pub fn checkpoint_delta<C: StateCodec + Clone>(
+pub fn checkpoint_delta<C: StateCodec + Clone + Send + Sync>(
     snap: &EngineSnapshot<C>,
     parent: &CheckpointHeader,
 ) -> Result<Checkpoint, CheckpointError> {
@@ -419,7 +478,7 @@ pub fn checkpoint_delta<C: StateCodec + Clone>(
 /// # Errors
 ///
 /// Everything [`checkpoint_delta`] returns.
-pub fn checkpoint_delta_with<C: StateCodec + Clone>(
+pub fn checkpoint_delta_with<C: StateCodec + Clone + Send + Sync>(
     snap: &EngineSnapshot<C>,
     templates: &[C],
     parent: &CheckpointHeader,
@@ -428,7 +487,7 @@ pub fn checkpoint_delta_with<C: StateCodec + Clone>(
     checkpoint_delta_inner(snap, Some(templates), parent)
 }
 
-fn checkpoint_delta_inner<C: StateCodec + Clone>(
+fn checkpoint_delta_inner<C: StateCodec + Clone + Send + Sync>(
     snap: &EngineSnapshot<C>,
     templates: Option<&[C]>,
     parent: &CheckpointHeader,
@@ -469,7 +528,98 @@ fn checkpoint_delta_inner<C: StateCodec + Clone>(
         CheckpointKind::Delta,
         parent.chain,
         &dirty,
+        0,
     ))
+}
+
+/// Size accounting for one encoded shard section, accumulated into the
+/// frame-level [`CheckpointStats`].
+#[derive(Default, Clone, Copy)]
+struct SectionTally {
+    keys: u64,
+    key_bits: u64,
+    state_code_bits: u64,
+    counter_state_bits: u64,
+}
+
+impl SectionTally {
+    fn absorb(&mut self, other: SectionTally) {
+        self.keys += other.keys;
+        self.key_bits += other.key_bits;
+        self.state_code_bits += other.state_code_bits;
+        self.counter_state_bits += other.counter_state_bits;
+    }
+}
+
+/// Encodes one shard as a complete indexed section (index, length
+/// prefix, preamble, keys, optional tier tags, states) appended to `v`.
+/// The emitted bit stream is position-independent, so a section encoded
+/// into a fresh vector on a worker thread splices into the frame
+/// byte-identically to one encoded in place — the property the parallel
+/// encoder rests on.
+fn encode_section_into<C: StateCodec + Clone>(
+    v: &mut BitVec,
+    shard: &Shard<C>,
+    idx: usize,
+    tiered: bool,
+) -> SectionTally {
+    let mut tally = SectionTally::default();
+    let section = begin_indexed_section(v, idx as u64);
+    // Per-shard preamble: count, exact events, RNG state.
+    {
+        let mut w = BitWriter::new(v);
+        ac_bitio::codes::encode_delta0(&mut w, shard.len() as u64);
+        w.write_bits(shard.events(), 64);
+        for word in shard.rng().state() {
+            w.write_bits(word, 64);
+        }
+    }
+    // Keys sorted ascending, gap-coded; states follow in key order.
+    let mut entries: Vec<(u64, &C, u8)> = shard.entries_tagged().collect();
+    entries.sort_unstable_by_key(|&(key, _, _)| key);
+    let keys: Vec<u64> = entries.iter().map(|&(key, _, _)| key).collect();
+    tally.keys = keys.len() as u64;
+    tally.key_bits = encode_sorted_keys(v, &keys);
+    if tiered {
+        // Version 3: sparse tier-tag block, *before* the states — a
+        // state can only be decoded by its own tier's template.
+        // Layout: delta0(tagged count), then per tagged key, in key
+        // order: delta0(position gap) + tier(8). Position gaps are
+        // 1-based after the first entry so delta0 never sees a zero
+        // mid-stream.
+        let tagged: Vec<(u64, u8)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, tier))| tier != 0)
+            .map(|(pos, &(_, _, tier))| (pos as u64, tier))
+            .collect();
+        let mut w = BitWriter::new(v);
+        ac_bitio::codes::encode_delta0(&mut w, tagged.len() as u64);
+        let mut prev = 0u64;
+        for (i, &(pos, tier)) in tagged.iter().enumerate() {
+            let gap = if i == 0 { pos } else { pos - prev - 1 };
+            ac_bitio::codes::encode_delta0(&mut w, gap);
+            w.write_bits(u64::from(tier), 8);
+            prev = pos;
+        }
+    } else {
+        assert!(
+            entries.iter().all(|&(_, _, tier)| tier == 0),
+            "engine carries tier tags; version 2 cannot represent them \
+             — checkpoint with checkpoint_snapshot_with/checkpoint_delta_with"
+        );
+    }
+    let before = v.len();
+    {
+        let mut w = BitWriter::new(v);
+        for (_, counter, _) in &entries {
+            counter.encode_state(&mut w);
+            tally.counter_state_bits += counter.state_bits();
+        }
+    }
+    tally.state_code_bits = v.len() - before;
+    end_section(v, section);
+    tally
 }
 
 /// The single writer behind both frame kinds and both versions:
@@ -477,13 +627,18 @@ fn checkpoint_delta_inner<C: StateCodec + Clone>(
 /// kind and parent digest. `templates` selects the format: `None` writes
 /// version 2 (and panics on non-default tier tags, which it cannot
 /// represent); `Some(ladder)` writes version 3 with per-section tag
-/// blocks and the ladder-covering fingerprint.
-fn write_checkpoint<C: StateCodec + Clone>(
+/// blocks and the ladder-covering fingerprint. `workers` steers section
+/// encoding (0 = auto): with more than one worker, sections are encoded
+/// into per-worker vectors and spliced in order with [`BitVec::append`],
+/// so checksums, chain digests, and every committed byte are identical
+/// to the serial path.
+fn write_checkpoint<C: StateCodec + Clone + Send + Sync>(
     snap: &EngineSnapshot<C>,
     templates: Option<&[C]>,
     kind: CheckpointKind,
     parent_chain: u64,
     indices: &[usize],
+    workers: usize,
 ) -> Checkpoint {
     let (version, fingerprint) = match templates {
         None => (CHECKPOINT_VERSION, snap.template.params_fingerprint()),
@@ -509,68 +664,56 @@ fn write_checkpoint<C: StateCodec + Clone>(
     v.push_bits(0, 64); // payload checksum, patched into the bytes below
 
     v.push_bits(indices.len() as u64, 32);
-    let mut keys_written = 0u64;
-    let mut state_code_bits = 0u64;
-    let mut key_bits = 0u64;
-    let mut counter_state_bits = 0u64;
-    for &idx in indices {
-        let shard = &snap.shards[idx];
-        let section = begin_indexed_section(&mut v, idx as u64);
-        // Per-shard preamble: count, exact events, RNG state.
-        {
-            let mut w = BitWriter::new(&mut v);
-            ac_bitio::codes::encode_delta0(&mut w, shard.len() as u64);
-            w.write_bits(shard.events(), 64);
-            for word in shard.rng().state() {
-                w.write_bits(word, 64);
-            }
+    let tiered = templates.is_some();
+    let mut tally = SectionTally::default();
+    let n_workers = effective_workers(workers, indices.len(), snap.len() as u64);
+    if n_workers <= 1 {
+        for &idx in indices {
+            tally.absorb(encode_section_into(&mut v, &snap.shards[idx], idx, tiered));
         }
-        // Keys sorted ascending, gap-coded; states follow in key order.
-        let mut entries: Vec<(u64, &C, u8)> = shard.entries_tagged().collect();
-        entries.sort_unstable_by_key(|&(key, _, _)| key);
-        let keys: Vec<u64> = entries.iter().map(|&(key, _, _)| key).collect();
-        keys_written += keys.len() as u64;
-        key_bits += encode_sorted_keys(&mut v, &keys);
-        if templates.is_some() {
-            // Version 3: sparse tier-tag block, *before* the states — a
-            // state can only be decoded by its own tier's template.
-            // Layout: delta0(tagged count), then per tagged key, in key
-            // order: delta0(position gap) + tier(8). Position gaps are
-            // 1-based after the first entry so delta0 never sees a zero
-            // mid-stream.
-            let tagged: Vec<(u64, u8)> = entries
-                .iter()
-                .enumerate()
-                .filter(|(_, &(_, _, tier))| tier != 0)
-                .map(|(pos, &(_, _, tier))| (pos as u64, tier))
+    } else {
+        // Work-stealing fan-out: each worker claims section positions
+        // off a shared counter and encodes them into fresh vectors
+        // (shard sizes are skewed, so static striping would leave
+        // threads idle behind the heaviest shard). Sections then splice
+        // into the frame in original position order, reproducing the
+        // serial byte stream exactly.
+        let next = AtomicUsize::new(0);
+        let mut encoded: Vec<(usize, BitVec, SectionTally)> = std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let pos = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&idx) = indices.get(pos) else { break };
+                            let mut section = BitVec::new();
+                            let t =
+                                encode_section_into(&mut section, &snap.shards[idx], idx, tiered);
+                            out.push((pos, section, t));
+                        }
+                        out
+                    })
+                })
                 .collect();
-            let mut w = BitWriter::new(&mut v);
-            ac_bitio::codes::encode_delta0(&mut w, tagged.len() as u64);
-            let mut prev = 0u64;
-            for (i, &(pos, tier)) in tagged.iter().enumerate() {
-                let gap = if i == 0 { pos } else { pos - prev - 1 };
-                ac_bitio::codes::encode_delta0(&mut w, gap);
-                w.write_bits(u64::from(tier), 8);
-                prev = pos;
-            }
-        } else {
-            assert!(
-                entries.iter().all(|&(_, _, tier)| tier == 0),
-                "engine carries tier tags; version 2 cannot represent them \
-                 — checkpoint with checkpoint_snapshot_with/checkpoint_delta_with"
-            );
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("section encoder panicked"))
+                .collect()
+        });
+        encoded.sort_unstable_by_key(|&(pos, _, _)| pos);
+        for (_, section, t) in &encoded {
+            v.append(section);
+            tally.absorb(*t);
         }
-        let before = v.len();
-        {
-            let mut w = BitWriter::new(&mut v);
-            for (_, counter, _) in &entries {
-                counter.encode_state(&mut w);
-                counter_state_bits += counter.state_bits();
-            }
-        }
-        state_code_bits += v.len() - before;
-        end_section(&mut v, section);
     }
+    let SectionTally {
+        keys: keys_written,
+        key_bits,
+        state_code_bits,
+        counter_state_bits,
+    } = tally;
     let total = v.len();
     let payload_bits = total - HEADER_BITS;
     v.overwrite_bits(payload_len_at, payload_bits, 64);
@@ -690,11 +833,10 @@ pub fn read_header(bytes: &[u8]) -> Result<CheckpointHeader, CheckpointError> {
     })
 }
 
-/// One decoded shard section: where it goes and what it holds. `tiers`
-/// is parallel to `entries` when any key carries a non-default tier, and
-/// empty otherwise (the all-default case costs nothing).
+/// One decoded shard section body. `tiers` is parallel to `entries`
+/// when any key carries a non-default tier, and empty otherwise (the
+/// all-default case costs nothing).
 struct ShardSection<C> {
-    idx: usize,
     rng: Xoshiro256PlusPlus,
     events: u64,
     entries: Vec<(u64, C)>,
@@ -702,16 +844,25 @@ struct ShardSection<C> {
 }
 
 /// Verifies a checkpoint's payload checksum and parses its shard
-/// sections. Shared by the lone-restore and chain-restore paths; all
-/// structural validation happens here. `templates` is the tier ladder
-/// (rung 0 = default); a version-2 frame uses only rung 0 and must carry
-/// its bare fingerprint, a version-3 frame must carry the fingerprint
-/// covering the whole ladder.
-fn parse_sections<C: StateCodec + Clone>(
+/// sections into restored shards (each stamped with the header's freeze
+/// epoch as its dirty epoch). Shared by the lone-restore and
+/// chain-restore paths; all structural validation happens here.
+/// `templates` is the tier ladder (rung 0 = default); a version-2 frame
+/// uses only rung 0 and must carry its bare fingerprint, a version-3
+/// frame must carry the fingerprint covering the whole ladder.
+///
+/// Decoding runs in two phases: a cheap sequential boundary scan over
+/// the length-prefixed sections (which also proves the payload length
+/// adds up), then per-section decoding — fanned out across `workers`
+/// threads (0 = auto) since sections are self-contained. Errors keep
+/// the serial path's precedence: the first failing section in frame
+/// order names the error.
+fn parse_sections<C: StateCodec + Clone + Send + Sync>(
     templates: &[C],
     bytes: &[u8],
     header: &CheckpointHeader,
-) -> Result<Vec<ShardSection<C>>, CheckpointError> {
+    workers: usize,
+) -> Result<Vec<(usize, Shard<C>)>, CheckpointError> {
     let expected_fingerprint = if header.version == CHECKPOINT_VERSION {
         templates[0].params_fingerprint()
     } else {
@@ -773,122 +924,194 @@ fn parse_sections<C: StateCodec + Clone>(
         });
     }
 
-    let mut parsed: Vec<ShardSection<C>> = Vec::with_capacity(sections);
+    // Phase 1: boundary scan. `read_indexed_section` proves the whole
+    // section body is present, so skipping to `start + len` stays in
+    // bounds and the per-section decoders can run independently.
+    let mut bounds: Vec<(usize, u64, u64)> = Vec::with_capacity(sections);
     for _ in 0..sections {
         let (idx, section_len) = read_indexed_section(&mut r).ok_or(CheckpointError::Truncated)?;
-        let section_start = r.position();
         let idx = idx as usize;
         if idx >= header.config.shards {
             return Err(CheckpointError::Corrupt {
                 what: "shard index out of range",
             });
         }
-        if let Some(prev) = parsed.last() {
-            if idx <= prev.idx {
+        if let Some(&(prev_idx, _, _)) = bounds.last() {
+            if idx <= prev_idx {
                 return Err(CheckpointError::Corrupt {
                     what: "shard indices must be strictly increasing",
                 });
             }
         }
-        let count = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
-            what: "undecodable shard key count",
-        })?;
-        // Each key costs >= 1 bit inside the section; a count beyond the
-        // section length cannot be real, so reject before sizing buffers
-        // by it.
-        if count > section_len {
-            return Err(CheckpointError::Corrupt {
-                what: "shard key count exceeds its section",
-            });
-        }
-        let count = usize::try_from(count).map_err(|_| CheckpointError::Corrupt {
-            what: "shard key count overflows usize",
-        })?;
-        let events = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
-        let mut rng_state = [0u64; 4];
-        for word in &mut rng_state {
-            *word = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
-        }
-        if rng_state.iter().all(|&w| w == 0) {
-            return Err(CheckpointError::Corrupt {
-                what: "all-zero shard RNG state",
-            });
-        }
-        let keys = decode_sorted_keys(&mut r, count).ok_or(CheckpointError::Corrupt {
-            what: "undecodable shard key set",
-        })?;
-        // Version 3 interposes the sparse tier-tag block between the keys
-        // and the states; the writer only tags non-default tiers, so an
-        // explicit tier-0 tag is non-canonical and refused.
-        let mut tiers: Vec<u8> = Vec::new();
-        if header.version == CHECKPOINT_VERSION_TIERED {
-            let tagged =
-                ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
-                    what: "undecodable tier tag count",
-                })?;
-            if tagged > count as u64 {
-                return Err(CheckpointError::Corrupt {
-                    what: "more tier tags than keys",
-                });
-            }
-            if tagged > 0 {
-                tiers = vec![0u8; count];
-                let mut pos = 0u64;
-                for i in 0..tagged {
-                    let gap = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(
-                        CheckpointError::Corrupt {
-                            what: "undecodable tier tag position",
-                        },
-                    )?;
-                    pos = if i == 0 {
-                        gap
-                    } else {
-                        pos.checked_add(gap).and_then(|p| p.checked_add(1)).ok_or(
-                            CheckpointError::Corrupt {
-                                what: "tier tag position overflows",
-                            },
-                        )?
-                    };
-                    if pos >= count as u64 {
-                        return Err(CheckpointError::Corrupt {
-                            what: "tier tag position out of range",
-                        });
-                    }
-                    let tier = r.try_read_bits(8).ok_or(CheckpointError::Truncated)? as u8;
-                    if tier == 0 || usize::from(tier) >= templates.len() {
-                        return Err(CheckpointError::Corrupt {
-                            what: "tier tag names no ladder rung",
-                        });
-                    }
-                    tiers[usize::try_from(pos).expect("pos < count <= usize::MAX")] = tier;
-                }
-            }
-        }
-        let mut entries = Vec::with_capacity(count);
-        for (slot, key) in keys.into_iter().enumerate() {
-            let tier = tiers.get(slot).copied().unwrap_or(0);
-            let counter = templates[usize::from(tier)].decode_state(&mut r)?;
-            entries.push((key, counter));
-        }
-        if r.position() - section_start != section_len {
-            return Err(CheckpointError::Corrupt {
-                what: "shard section length mismatch",
-            });
-        }
-        parsed.push(ShardSection {
-            idx,
-            rng: Xoshiro256PlusPlus::from_state(rng_state),
-            events,
-            entries,
-            tiers,
-        });
+        let start = r.position();
+        bounds.push((idx, start, section_len));
+        r = BitReader::at(&v, start + section_len);
     }
     if r.position() - HEADER_BITS != header.payload_bits {
         return Err(CheckpointError::Corrupt {
             what: "payload length mismatch",
         });
     }
-    Ok(parsed)
+
+    // Phase 2: decode every section body, shard-parallel when asked.
+    let n_workers = effective_workers(workers, bounds.len(), header.keys);
+    if n_workers <= 1 {
+        let mut parsed = Vec::with_capacity(bounds.len());
+        for &(idx, start, len) in &bounds {
+            let s = parse_one_section(templates, &v, header, start, len)?;
+            parsed.push((
+                idx,
+                Shard::from_restored(s.rng, s.events, s.entries, s.tiers, header.epoch),
+            ));
+        }
+        return Ok(parsed);
+    }
+    // (submission order, decode result) — order restored by sort below.
+    type SectionSlot<C> = (usize, Result<(usize, Shard<C>), CheckpointError>);
+    let next = AtomicUsize::new(0);
+    let mut decoded: Vec<SectionSlot<C>> = std::thread::scope(|scope| {
+        let (next, v, bounds) = (&next, &v, bounds.as_slice());
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let pos = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(idx, start, len)) = bounds.get(pos) else {
+                            break;
+                        };
+                        let result = parse_one_section(templates, v, header, start, len).map(|s| {
+                            (
+                                idx,
+                                Shard::from_restored(
+                                    s.rng,
+                                    s.events,
+                                    s.entries,
+                                    s.tiers,
+                                    header.epoch,
+                                ),
+                            )
+                        });
+                        out.push((pos, result));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("section decoder panicked"))
+            .collect()
+    });
+    decoded.sort_unstable_by_key(|&(pos, _)| pos);
+    decoded
+        .into_iter()
+        .map(|(_, result)| result)
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Decodes one shard section body (everything between its length prefix
+/// and its end), performing every structural check the serial parser
+/// did: count plausibility, RNG validity, key decodability, tier-tag
+/// canonicality, per-state validity, and the exact section length.
+fn parse_one_section<C: StateCodec + Clone>(
+    templates: &[C],
+    v: &BitVec,
+    header: &CheckpointHeader,
+    section_start: u64,
+    section_len: u64,
+) -> Result<ShardSection<C>, CheckpointError> {
+    let mut r = BitReader::at(v, section_start);
+    let count = ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
+        what: "undecodable shard key count",
+    })?;
+    // Each key costs >= 1 bit inside the section; a count beyond the
+    // section length cannot be real, so reject before sizing buffers
+    // by it.
+    if count > section_len {
+        return Err(CheckpointError::Corrupt {
+            what: "shard key count exceeds its section",
+        });
+    }
+    let count = usize::try_from(count).map_err(|_| CheckpointError::Corrupt {
+        what: "shard key count overflows usize",
+    })?;
+    let events = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.try_read_bits(64).ok_or(CheckpointError::Truncated)?;
+    }
+    if rng_state.iter().all(|&w| w == 0) {
+        return Err(CheckpointError::Corrupt {
+            what: "all-zero shard RNG state",
+        });
+    }
+    let keys = decode_sorted_keys(&mut r, count).ok_or(CheckpointError::Corrupt {
+        what: "undecodable shard key set",
+    })?;
+    // Version 3 interposes the sparse tier-tag block between the keys
+    // and the states; the writer only tags non-default tiers, so an
+    // explicit tier-0 tag is non-canonical and refused.
+    let mut tiers: Vec<u8> = Vec::new();
+    if header.version == CHECKPOINT_VERSION_TIERED {
+        let tagged =
+            ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
+                what: "undecodable tier tag count",
+            })?;
+        if tagged > count as u64 {
+            return Err(CheckpointError::Corrupt {
+                what: "more tier tags than keys",
+            });
+        }
+        if tagged > 0 {
+            tiers = vec![0u8; count];
+            let mut pos = 0u64;
+            for i in 0..tagged {
+                let gap =
+                    ac_bitio::codes::try_decode_delta0(&mut r).ok_or(CheckpointError::Corrupt {
+                        what: "undecodable tier tag position",
+                    })?;
+                pos = if i == 0 {
+                    gap
+                } else {
+                    pos.checked_add(gap).and_then(|p| p.checked_add(1)).ok_or(
+                        CheckpointError::Corrupt {
+                            what: "tier tag position overflows",
+                        },
+                    )?
+                };
+                if pos >= count as u64 {
+                    return Err(CheckpointError::Corrupt {
+                        what: "tier tag position out of range",
+                    });
+                }
+                let tier = r.try_read_bits(8).ok_or(CheckpointError::Truncated)? as u8;
+                if tier == 0 || usize::from(tier) >= templates.len() {
+                    return Err(CheckpointError::Corrupt {
+                        what: "tier tag names no ladder rung",
+                    });
+                }
+                tiers[usize::try_from(pos).expect("pos < count <= usize::MAX")] = tier;
+            }
+        }
+    }
+    let mut entries = Vec::with_capacity(count);
+    for (slot, key) in keys.into_iter().enumerate() {
+        let tier = tiers.get(slot).copied().unwrap_or(0);
+        let counter = templates[usize::from(tier)].decode_state(&mut r)?;
+        entries.push((key, counter));
+    }
+    if r.position() - section_start != section_len {
+        return Err(CheckpointError::Corrupt {
+            what: "shard section length mismatch",
+        });
+    }
+    Ok(ShardSection {
+        rng: Xoshiro256PlusPlus::from_state(rng_state),
+        events,
+        entries,
+        tiers,
+    })
 }
 
 /// Rebuilds a [`CounterEngine`] from one **full** checkpoint. `template`
@@ -902,7 +1125,7 @@ fn parse_sections<C: StateCodec + Clone>(
 /// for a delta frame, which only restores through
 /// [`restore_checkpoint_chain`]. On success every key's counter state —
 /// and each shard's RNG — is bit-identical to the snapshot's.
-pub fn restore_checkpoint<C: StateCodec + Clone>(
+pub fn restore_checkpoint<C: StateCodec + Clone + Send + Sync>(
     template: &C,
     bytes: &[u8],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -916,7 +1139,7 @@ pub fn restore_checkpoint<C: StateCodec + Clone>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint`] returns.
-pub fn restore_checkpoint_with<C: StateCodec + Clone>(
+pub fn restore_checkpoint_with<C: StateCodec + Clone + Send + Sync>(
     templates: &[C],
     bytes: &[u8],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -940,11 +1163,27 @@ pub fn restore_checkpoint_with<C: StateCodec + Clone>(
 /// epoch. Each segment's checksums are verified independently, so a
 /// corrupt or truncated delta names itself rather than poisoning the
 /// fold.
-pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
+pub fn restore_checkpoint_chain<C: StateCodec + Clone + Send + Sync>(
     template: &C,
     segments: &[&[u8]],
 ) -> Result<CounterEngine<C>, CheckpointError> {
     restore_checkpoint_chain_with(std::slice::from_ref(template), segments)
+}
+
+/// [`restore_checkpoint_chain`] with an explicit decode worker count:
+/// `0` picks one per core (engaged only for large frames), `1` forces
+/// the serial decoder, larger values are capped at the section count.
+/// Every choice restores identical state — a property test pins this.
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn restore_checkpoint_chain_workers<C: StateCodec + Clone + Send + Sync>(
+    template: &C,
+    segments: &[&[u8]],
+    workers: usize,
+) -> Result<CounterEngine<C>, CheckpointError> {
+    restore_checkpoint_chain_with_workers(std::slice::from_ref(template), segments, workers)
 }
 
 /// [`restore_checkpoint_chain`] for tiered chains: `templates` is the
@@ -957,9 +1196,23 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn restore_checkpoint_chain_with<C: StateCodec + Clone>(
+pub fn restore_checkpoint_chain_with<C: StateCodec + Clone + Send + Sync>(
     templates: &[C],
     segments: &[&[u8]],
+) -> Result<CounterEngine<C>, CheckpointError> {
+    restore_checkpoint_chain_with_workers(templates, segments, 0)
+}
+
+/// [`restore_checkpoint_chain_with`] with an explicit decode worker
+/// count (see [`restore_checkpoint_chain_workers`] for the contract).
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn restore_checkpoint_chain_with_workers<C: StateCodec + Clone + Send + Sync>(
+    templates: &[C],
+    segments: &[&[u8]],
+    workers: usize,
 ) -> Result<CounterEngine<C>, CheckpointError> {
     assert!(!templates.is_empty(), "need at least the default template");
     let (first, rest) = segments.split_first().ok_or(CheckpointError::BadChain {
@@ -975,12 +1228,10 @@ pub fn restore_checkpoint_chain_with<C: StateCodec + Clone>(
             })
         }
     }
-    let sections = parse_sections(templates, first, &base)?;
+    let sections = parse_sections(templates, first, &base, workers)?;
     let mut shards: Vec<Option<Shard<C>>> = (0..base.config.shards).map(|_| None).collect();
-    for s in sections {
-        shards[s.idx] = Some(Shard::from_restored(
-            s.rng, s.events, s.entries, s.tiers, base.epoch,
-        ));
+    for (idx, shard) in sections {
+        shards[idx] = Some(shard);
     }
     // parse_sections proved a full frame holds exactly `shards` strictly
     // increasing in-range indices, so every slot is filled.
@@ -1001,23 +1252,30 @@ pub fn restore_checkpoint_chain_with<C: StateCodec + Clone>(
             });
         }
         if header.parent_chain != prev.chain {
-            return Err(CheckpointError::BadChain {
-                what: "delta cites a different parent checkpoint",
-            });
+            // A compacted base (written by `compact_chain*`) replaces a
+            // base+deltas prefix whose tip it folded; it records that
+            // tip's digest in its own `parent_chain` (ordinary full
+            // frames store 0 there). The first delta after it still
+            // cites the folded tip — by construction the same bytes the
+            // compacted base holds — so the alias is accepted exactly
+            // there and nowhere else. From the second delta on, normal
+            // hash chaining resumes.
+            let compacted_alias = prev.kind == CheckpointKind::Full
+                && prev.parent_chain != 0
+                && header.parent_chain == prev.parent_chain;
+            if !compacted_alias {
+                return Err(CheckpointError::BadChain {
+                    what: "delta cites a different parent checkpoint",
+                });
+            }
         }
         if header.epoch < prev.epoch {
             return Err(CheckpointError::BadChain {
                 what: "delta freeze epoch precedes its parent",
             });
         }
-        for s in parse_sections(templates, segment, &header)? {
-            shards[s.idx] = Some(Shard::from_restored(
-                s.rng,
-                s.events,
-                s.entries,
-                s.tiers,
-                header.epoch,
-            ));
+        for (idx, shard) in parse_sections(templates, segment, &header, workers)? {
+            shards[idx] = Some(shard);
         }
         prev = header;
     }
@@ -1054,7 +1312,7 @@ pub fn restore_checkpoint_chain_with<C: StateCodec + Clone>(
 ///
 /// [`CheckpointError::ConfigMismatch`] on disagreement, plus everything
 /// [`restore_checkpoint`] returns.
-pub fn restore_checkpoint_expecting<C: StateCodec + Clone>(
+pub fn restore_checkpoint_expecting<C: StateCodec + Clone + Send + Sync>(
     template: &C,
     bytes: &[u8],
     expected: EngineConfig,
@@ -1067,6 +1325,99 @@ pub fn restore_checkpoint_expecting<C: StateCodec + Clone>(
         });
     }
     restore_checkpoint(template, bytes)
+}
+
+/// Folds a base+deltas chain into one fresh **full** checkpoint holding
+/// exactly the state the chain restores to — the compaction primitive
+/// that bounds recovery time by state size instead of history length.
+///
+/// The compacted base is *not* an ordinary full frame: its header keeps
+/// the folded tip's freeze `epoch` (so deltas cut against that tip
+/// still select the right dirty shards when chained onto it) and
+/// records the tip's chain digest in `parent_chain` (ordinary full
+/// frames store 0). [`restore_checkpoint_chain`] uses that digest to
+/// accept the one delta written against the folded tip before the swap
+/// landed — see the alias rule there — which is what lets a compactor
+/// commit without stalling the writer. Its payload bytes are identical
+/// to a [`checkpoint_snapshot`] of the serially restored chain (a
+/// property test pins this).
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn compact_chain<C: StateCodec + Clone + Send + Sync>(
+    template: &C,
+    segments: &[&[u8]],
+) -> Result<Checkpoint, CheckpointError> {
+    compact_chain_workers(template, segments, 0)
+}
+
+/// [`compact_chain`] with an explicit worker count for both the restore
+/// fold and the re-encode (0 = auto, 1 = serial).
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn compact_chain_workers<C: StateCodec + Clone + Send + Sync>(
+    template: &C,
+    segments: &[&[u8]],
+    workers: usize,
+) -> Result<Checkpoint, CheckpointError> {
+    compact_chain_inner(std::slice::from_ref(template), false, segments, workers)
+}
+
+/// [`compact_chain`] for tiered chains: restores through the `templates`
+/// ladder and writes a version-3 compacted base.
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn compact_chain_with<C: StateCodec + Clone + Send + Sync>(
+    templates: &[C],
+    segments: &[&[u8]],
+) -> Result<Checkpoint, CheckpointError> {
+    compact_chain_inner(templates, true, segments, 0)
+}
+
+/// [`compact_chain_with`] with an explicit worker count (0 = auto).
+///
+/// # Errors
+///
+/// Everything [`restore_checkpoint_chain`] returns.
+pub fn compact_chain_with_workers<C: StateCodec + Clone + Send + Sync>(
+    templates: &[C],
+    segments: &[&[u8]],
+    workers: usize,
+) -> Result<Checkpoint, CheckpointError> {
+    compact_chain_inner(templates, true, segments, workers)
+}
+
+fn compact_chain_inner<C: StateCodec + Clone + Send + Sync>(
+    templates: &[C],
+    tiered: bool,
+    segments: &[&[u8]],
+    workers: usize,
+) -> Result<Checkpoint, CheckpointError> {
+    let tip = read_header(segments.last().ok_or(CheckpointError::BadChain {
+        what: "empty chain",
+    })?)?;
+    let mut engine = restore_checkpoint_chain_with_workers(templates, segments, workers)?;
+    // Pin the compacted base to the folded tip's freeze epoch: the
+    // restored engine's own clock sits past it, and a base claiming a
+    // *newer* epoch than the tip would make deltas cut against the tip
+    // unchainable (their epochs must not precede their parent's) while
+    // silently shifting the dirty-shard horizon.
+    let snap = engine.snapshot().with_epoch(tip.epoch);
+    let all: Vec<usize> = (0..snap.shards.len()).collect();
+    let t = if tiered { Some(templates) } else { None };
+    Ok(write_checkpoint(
+        &snap,
+        t,
+        CheckpointKind::Full,
+        tip.chain,
+        &all,
+        workers,
+    ))
 }
 
 #[cfg(test)]
@@ -1099,7 +1450,7 @@ mod tests {
         e
     }
 
-    fn checkpoint_of<C: StateCodec + Clone>(e: &mut CounterEngine<C>) -> Checkpoint {
+    fn checkpoint_of<C: StateCodec + Clone + Send + Sync>(e: &mut CounterEngine<C>) -> Checkpoint {
         checkpoint_snapshot(&e.snapshot())
     }
 
@@ -1469,7 +1820,7 @@ mod tests {
             v
         }
 
-        fn drive<C: StateCodec + Clone + std::fmt::Debug>(template: C) {
+        fn drive<C: StateCodec + Clone + Send + Sync + std::fmt::Debug>(template: C) {
             let mut e = CounterEngine::new(template.clone(), cfg());
             let mut gen = SplitMix64::new(21);
             let batch: Vec<(u64, u64)> = (0..400u64)
@@ -1673,5 +2024,249 @@ mod tests {
             restore_checkpoint_with(&reversed, ck.bytes()).unwrap_err(),
             CheckpointError::ScheduleMismatch
         );
+    }
+
+    // ---- parallel encode / restore, off-thread compaction ------------
+
+    use proptest::prelude::*;
+
+    /// Builds a family engine plus a `rounds`-delta chain over it, with
+    /// traffic seeded by `seed`.
+    fn chain_of<C: StateCodec + Clone + Send + Sync>(
+        template: &C,
+        seed: u64,
+        rounds: usize,
+    ) -> (CounterEngine<C>, Vec<Checkpoint>) {
+        let mut e = CounterEngine::new(template.clone(), cfg());
+        let mut gen = SplitMix64::new(seed);
+        let batch: Vec<(u64, u64)> = (0..300u64)
+            .map(|k| (k * 13 + 7, 1 + gen.next_u64() % 700))
+            .collect();
+        e.apply(&batch);
+        let mut frames = vec![checkpoint_snapshot(&e.snapshot())];
+        for _ in 0..rounds {
+            let extra: Vec<(u64, u64)> = (0..40)
+                .map(|_| (gen.next_u64() % 5_000, 1 + gen.next_u64() % 50))
+                .collect();
+            e.apply(&extra);
+            let parent = frames.last().unwrap().header();
+            frames.push(checkpoint_delta(&e.snapshot(), &parent).unwrap());
+        }
+        (e, frames)
+    }
+
+    /// The tentpole encode oracle: any worker count must commit the very
+    /// same frame bytes the serial encoder does.
+    fn assert_parallel_encode_identical<C: StateCodec + Clone + Send + Sync>(
+        template: C,
+        seed: u64,
+        workers: usize,
+    ) {
+        let (mut e, _) = chain_of(&template, seed, 0);
+        let snap = e.snapshot();
+        let serial = checkpoint_snapshot_workers(&snap, 1);
+        let parallel = checkpoint_snapshot_workers(&snap, workers);
+        assert_eq!(serial.bytes(), parallel.bytes(), "workers {workers}");
+    }
+
+    /// The compaction oracle: a compacted base is byte-identical across
+    /// worker counts, its payload is exactly a full checkpoint of the
+    /// serially folded chain, its header pins the folded tip, and it
+    /// restores to the same state the chain does.
+    fn assert_compaction_matches_serial_fold<C>(template: C, seed: u64, rounds: usize)
+    where
+        C: StateCodec + Clone + Send + Sync,
+    {
+        let (_, frames) = chain_of(&template, seed, rounds);
+        let segments: Vec<&[u8]> = frames.iter().map(Checkpoint::bytes).collect();
+        let serial = compact_chain_workers(&template, &segments, 1).unwrap();
+        for workers in [0, 2, 8] {
+            let parallel = compact_chain_workers(&template, &segments, workers).unwrap();
+            assert_eq!(serial.bytes(), parallel.bytes(), "workers {workers}");
+        }
+        let mut folded = restore_checkpoint_chain_workers(&template, &segments, 1).unwrap();
+        let replayed = checkpoint_snapshot_workers(&folded.snapshot(), 1);
+        assert_eq!(
+            &serial.bytes()[PAYLOAD_BYTE..],
+            &replayed.bytes()[PAYLOAD_BYTE..],
+            "compacted payload must be the serial fold's full checkpoint"
+        );
+        let tip = frames.last().unwrap().header();
+        assert_eq!(serial.header().epoch, tip.epoch, "epoch pins the tip");
+        assert_eq!(serial.header().parent_chain, tip.chain, "tip digest kept");
+        let via = restore_checkpoint(&template, serial.bytes()).unwrap();
+        assert_eq!(via.total_events(), folded.total_events());
+        assert_eq!(via.len(), folded.len());
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_for_every_family() {
+        for workers in [0, 2, 3, 16] {
+            assert_parallel_encode_identical(ExactCounter::new(), 40, workers);
+            assert_parallel_encode_identical(MorrisCounter::new(0.25).unwrap(), 41, workers);
+            assert_parallel_encode_identical(
+                ac_core::MorrisPlus::new(0.2, 8).unwrap(),
+                42,
+                workers,
+            );
+            assert_parallel_encode_identical(ny_template(), 43, workers);
+            assert_parallel_encode_identical(CsurosCounter::new(8).unwrap(), 44, workers);
+        }
+    }
+
+    #[test]
+    fn parallel_encode_is_bit_identical_for_tiered_frames() {
+        let (mut e, templates) = tiered_engine(800);
+        let snap = e.snapshot();
+        let serial = checkpoint_snapshot_with_workers(&snap, &templates, 1);
+        for workers in [0, 2, 5, 8] {
+            let parallel = checkpoint_snapshot_with_workers(&snap, &templates, workers);
+            assert_eq!(serial.bytes(), parallel.bytes(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_restore_matches_serial_restore_over_a_chain() {
+        let template = ny_template();
+        let (e, frames) = chain_of(&template, 77, 3);
+        let segments: Vec<&[u8]> = frames.iter().map(Checkpoint::bytes).collect();
+        let serial = restore_checkpoint_chain_workers(&template, &segments, 1).unwrap();
+        assert_eq!(serial.total_events(), e.total_events());
+        for workers in [0, 2, 4, 8] {
+            let mut parallel =
+                restore_checkpoint_chain_workers(&template, &segments, workers).unwrap();
+            assert_eq!(parallel.total_events(), serial.total_events());
+            assert_eq!(parallel.len(), serial.len());
+            // Shard RNG streams and every counter register came through
+            // identically: re-encoding both engines in full proves it.
+            let mut serial_clone =
+                restore_checkpoint_chain_workers(&template, &segments, 1).unwrap();
+            assert_eq!(
+                checkpoint_snapshot(&serial_clone.snapshot()).bytes(),
+                checkpoint_snapshot(&parallel.snapshot()).bytes(),
+                "workers {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn compacted_base_chains_the_inflight_delta_through_the_alias_rule() {
+        let template = ny_template();
+        let (mut e, frames) = chain_of(&template, 5, 2);
+        let segments: Vec<&[u8]> = frames.iter().map(Checkpoint::bytes).collect();
+        let cbase = compact_chain(&template, &segments).unwrap();
+        let tip = frames.last().unwrap().header();
+
+        // Deltas kept landing against the live tip while the fold ran.
+        e.apply(&[(1, 5), (999, 2)]);
+        let d_next = checkpoint_delta(&e.snapshot(), &tip).unwrap();
+        e.apply(&[(2, 9)]);
+        let d_after = checkpoint_delta(&e.snapshot(), &d_next.header()).unwrap();
+
+        // The compacted base + the in-flight delta restore to exactly
+        // the state the uncompacted chain + that delta restore to.
+        let via_alias =
+            restore_checkpoint_chain(&template, &[cbase.bytes(), d_next.bytes(), d_after.bytes()])
+                .unwrap();
+        let mut full_chain: Vec<&[u8]> = segments.clone();
+        full_chain.push(d_next.bytes());
+        full_chain.push(d_after.bytes());
+        let via_history = restore_checkpoint_chain(&template, &full_chain).unwrap();
+        assert_eq!(via_alias.total_events(), via_history.total_events());
+        assert_eq!(via_alias.len(), via_history.len());
+        for (key, counter) in via_history.iter() {
+            assert_eq!(
+                via_alias.counter(key).map(NelsonYuCounter::state_parts),
+                Some(counter.state_parts()),
+                "key {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_rule_accepts_only_the_delta_cut_against_the_folded_tip() {
+        let template = ny_template();
+        let (mut e, frames) = chain_of(&template, 6, 1);
+        let segments: Vec<&[u8]> = frames.iter().map(Checkpoint::bytes).collect();
+        let cbase = compact_chain(&template, &segments).unwrap();
+        let tip = frames.last().unwrap().header();
+        e.apply(&[(1, 1)]);
+        let d_next = checkpoint_delta(&e.snapshot(), &tip).unwrap();
+        e.apply(&[(2, 2)]);
+        let d_after = checkpoint_delta(&e.snapshot(), &d_next.header()).unwrap();
+
+        // Skipping the aliased link: d_after cites d_next, which is
+        // neither the compacted base's digest nor the folded tip's.
+        assert_eq!(
+            restore_checkpoint_chain(&template, &[cbase.bytes(), d_after.bytes()]).unwrap_err(),
+            CheckpointError::BadChain {
+                what: "delta cites a different parent checkpoint"
+            }
+        );
+        // An ordinary full frame (parent_chain = 0) still refuses a
+        // delta that cites someone else — the alias needs a real tip
+        // digest on the base side, so pre-compaction chains are exactly
+        // as strict as before.
+        assert_eq!(
+            restore_checkpoint_chain(&template, &[segments[0], d_next.bytes()]).unwrap_err(),
+            CheckpointError::BadChain {
+                what: "delta cites a different parent checkpoint"
+            }
+        );
+    }
+
+    #[test]
+    fn tiered_compaction_matches_the_serial_fold_byte_for_byte() {
+        let (mut e, templates) = tiered_engine(600);
+        let base = checkpoint_snapshot_with(&e.snapshot(), &templates);
+        e.apply(&[(5, 40), (71 + 5, 7)]);
+        let d1 = checkpoint_delta_with(&e.snapshot(), &templates, &base.header()).unwrap();
+        e.apply(&[(2 * 71 + 5, 11)]);
+        let d2 = checkpoint_delta_with(&e.snapshot(), &templates, &d1.header()).unwrap();
+        let segments = [base.bytes(), d1.bytes(), d2.bytes()];
+
+        let serial = compact_chain_with_workers(&templates, &segments, 1).unwrap();
+        for workers in [0, 4] {
+            let parallel = compact_chain_with_workers(&templates, &segments, workers).unwrap();
+            assert_eq!(serial.bytes(), parallel.bytes(), "workers {workers}");
+        }
+        assert_eq!(serial.header().version, CHECKPOINT_VERSION_TIERED);
+        let mut folded = restore_checkpoint_chain_with(&templates, &segments).unwrap();
+        let replayed = checkpoint_snapshot_with_workers(&folded.snapshot(), &templates, 1);
+        assert_eq!(
+            &serial.bytes()[PAYLOAD_BYTE..],
+            &replayed.bytes()[PAYLOAD_BYTE..]
+        );
+        // Tier tags survive the fold.
+        let via = restore_checkpoint_with(&templates, serial.bytes()).unwrap();
+        assert_eq!(via.stats().tier_keys, folded.stats().tier_keys);
+    }
+
+    proptest! {
+        #[test]
+        fn parallel_encode_bytes_equal_serial_across_families(
+            seed in 1u64..100_000,
+            workers in 2usize..9,
+        ) {
+            assert_parallel_encode_identical(ExactCounter::new(), seed, workers);
+            assert_parallel_encode_identical(MorrisCounter::new(0.25).unwrap(), seed, workers);
+            assert_parallel_encode_identical(
+                ac_core::MorrisPlus::new(0.2, 8).unwrap(), seed, workers);
+            assert_parallel_encode_identical(ny_template(), seed, workers);
+            assert_parallel_encode_identical(CsurosCounter::new(8).unwrap(), seed, workers);
+        }
+
+        #[test]
+        fn compacted_base_is_byte_identical_to_the_serial_fold(
+            seed in 1u64..100_000,
+            rounds in 1usize..4,
+        ) {
+            assert_compaction_matches_serial_fold(ExactCounter::new(), seed, rounds);
+            assert_compaction_matches_serial_fold(MorrisCounter::new(0.25).unwrap(), seed, rounds);
+            assert_compaction_matches_serial_fold(
+                ac_core::MorrisPlus::new(0.2, 8).unwrap(), seed, rounds);
+            assert_compaction_matches_serial_fold(ny_template(), seed, rounds);
+            assert_compaction_matches_serial_fold(CsurosCounter::new(8).unwrap(), seed, rounds);
+        }
     }
 }

@@ -394,8 +394,8 @@ impl Manifest {
         }
     }
 
-    /// Appends one frame line (after the frame file is durably written).
-    pub(crate) fn append_frame(dir: &Path, frame: &ManifestFrame) -> std::io::Result<()> {
+    /// Renders one sealed frame line.
+    fn frame_line(frame: &ManifestFrame) -> String {
         let marks = if frame.marks.is_empty() {
             "-".to_string()
         } else {
@@ -410,7 +410,7 @@ impl Manifest {
             CheckpointKind::Full => "full",
             CheckpointKind::Delta => "delta",
         };
-        let line = seal(format!(
+        seal(format!(
             "frame session={} file={} kind={kind} epoch={} events={} keys={} \
              chain={:016x} parent={:016x} marks={marks}",
             frame.session,
@@ -420,7 +420,12 @@ impl Manifest {
             frame.keys,
             frame.chain,
             frame.parent_chain
-        ));
+        ))
+    }
+
+    /// Appends one frame line (after the frame file is durably written).
+    pub(crate) fn append_frame(dir: &Path, frame: &ManifestFrame) -> std::io::Result<()> {
+        let line = Self::frame_line(frame);
         let path = Manifest::path_in(dir);
         // A crash can leave the file without a trailing newline (torn
         // final line); start a fresh line so this frame's line seals on
@@ -434,6 +439,37 @@ impl Manifest {
         // The line is the commit point of the frame: make it durable
         // before the writer moves on (the frame file was synced first).
         f.sync_all()
+    }
+
+    /// Atomically replaces the whole manifest with `frames` under the
+    /// same header — the compaction commit point. The new text is
+    /// written to a temp file, fsynced, then renamed over
+    /// [`MANIFEST_FILE`] (and the directory fsynced), so readers see
+    /// either the old chain or the new one in full; a crash anywhere
+    /// before the rename leaves the old manifest — and the chain it
+    /// lists — untouched and valid.
+    pub(crate) fn rewrite(
+        dir: &Path,
+        spec: &CounterSpec,
+        config: &EngineConfig,
+        tiering: Option<&ManifestTiering>,
+        frames: &[ManifestFrame],
+    ) -> std::io::Result<()> {
+        let mut text = Self::header_line(spec, config, tiering);
+        text.push('\n');
+        for frame in frames {
+            text.push_str(&Self::frame_line(frame));
+            text.push('\n');
+        }
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, Self::path_in(dir))?;
+        // Rename durability needs the *directory* entry synced.
+        std::fs::File::open(dir)?.sync_all()
     }
 }
 
@@ -495,6 +531,46 @@ mod tests {
         assert_eq!(m.config, cfg());
         assert_eq!(m.frames, vec![f0, f1]);
         assert_eq!(m.next_session(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_swaps_the_whole_chain_atomically() {
+        let dir = tmp_dir("rewrite");
+        Manifest::ensure(&dir, &spec(), &cfg(), None).unwrap();
+        for seq in 0..4 {
+            let kind = if seq == 0 {
+                CheckpointKind::Full
+            } else {
+                CheckpointKind::Delta
+            };
+            Manifest::append_frame(&dir, &frame(0, seq, kind)).unwrap();
+        }
+
+        // The compaction commit: a folded base aliasing the old tip,
+        // plus the one delta that was cut while the fold ran.
+        let mut cbase = frame(0, 9, CheckpointKind::Full);
+        cbase.file = "ckpt-000-c00009-full.bin".to_string();
+        cbase.parent_chain = 0xDEAD_0002; // folded tip's chain digest
+        let tail = frame(0, 3, CheckpointKind::Delta);
+        Manifest::rewrite(&dir, &spec(), &cfg(), None, &[cbase.clone(), tail.clone()]).unwrap();
+
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.spec, spec(), "header survives the swap");
+        assert_eq!(m.config, cfg());
+        assert_eq!(m.frames, vec![cbase, tail.clone()]);
+        assert_eq!(m.next_session(), 1);
+        assert!(
+            !dir.join("store.manifest.tmp").exists(),
+            "temp file consumed by the rename"
+        );
+
+        // Appends after a rewrite keep working on the swapped file.
+        let f4 = frame(0, 4, CheckpointKind::Delta);
+        Manifest::append_frame(&dir, &f4).unwrap();
+        let m = Manifest::load(&dir).unwrap();
+        assert_eq!(m.frames.len(), 3);
+        assert_eq!(m.frames[2], f4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

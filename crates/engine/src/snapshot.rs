@@ -216,6 +216,15 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
         self.epoch
     }
 
+    /// Re-stamps the freeze epoch — used only by chain compaction, which
+    /// must write a base that claims the *folded tip's* epoch (the
+    /// restored engine's own clock sits one past it) so deltas cut
+    /// against that tip still chain onto the compacted base.
+    pub(crate) fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
     /// Iterates all frozen `(key, counter)` pairs, in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &C)> {
         self.shards.iter().flat_map(|s| s.entries())

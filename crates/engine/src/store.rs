@@ -43,7 +43,7 @@
 //! assert_eq!(report.stats.events, 100_000);
 //! ```
 
-use crate::checkpoint::restore_checkpoint_chain_with;
+use crate::checkpoint::restore_checkpoint_chain_with_workers;
 use crate::checkpointer::{
     BackgroundCheckpointer, CheckpointerConfig, CheckpointerProbe, CheckpointerReport,
     CheckpointerStats,
@@ -93,6 +93,19 @@ pub struct StoreOptions {
     /// can plausibly promote is enough: the detector only has to rank
     /// the head of the distribution, not hold the tail.
     pub detector_slots: usize,
+    /// When set, the checkpointer's off-thread compactor folds the live
+    /// base + deltas chain into a fresh base whenever it holds more than
+    /// this many frames — bounding recovery time by state size instead
+    /// of history (see
+    /// [`CheckpointerConfig::with_max_chain_len`](crate::CheckpointerConfig::with_max_chain_len)).
+    pub compact_max_chain_len: Option<usize>,
+    /// Byte-size companion trigger for the compactor (see
+    /// [`CheckpointerConfig::with_max_chain_bytes`](crate::CheckpointerConfig::with_max_chain_bytes)).
+    pub compact_max_chain_bytes: Option<u64>,
+    /// How long superseded frame files linger after a compaction commit
+    /// stops referencing them (see
+    /// [`CheckpointerConfig::with_retention`](crate::CheckpointerConfig::with_retention)).
+    pub retention: std::time::Duration,
 }
 
 impl StoreOptions {
@@ -107,6 +120,9 @@ impl StoreOptions {
             checkpoint_every_events: 1_000_000,
             max_deltas_per_base: 15,
             detector_slots: 1024,
+            compact_max_chain_len: None,
+            compact_max_chain_bytes: None,
+            retention: std::time::Duration::ZERO,
         }
     }
 
@@ -143,6 +159,30 @@ impl StoreOptions {
     #[must_use]
     pub fn with_detector_slots(mut self, slots: usize) -> Self {
         self.detector_slots = slots;
+        self
+    }
+
+    /// Compacts the durable chain off-thread once it holds more than
+    /// `max` frames (durable stores only).
+    #[must_use]
+    pub fn with_max_chain_len(mut self, max: usize) -> Self {
+        self.compact_max_chain_len = Some(max);
+        self
+    }
+
+    /// Compacts the durable chain off-thread once its frame files
+    /// exceed `max` total bytes (durable stores only).
+    #[must_use]
+    pub fn with_max_chain_bytes(mut self, max: u64) -> Self {
+        self.compact_max_chain_bytes = Some(max);
+        self
+    }
+
+    /// Keeps superseded frame files for `ttl` after a compaction commit
+    /// stops referencing them (default: pruned immediately).
+    #[must_use]
+    pub fn with_retention(mut self, ttl: std::time::Duration) -> Self {
+        self.retention = ttl;
         self
     }
 }
@@ -221,6 +261,31 @@ impl StoreBuilder {
     #[must_use]
     pub fn with_detector_slots(mut self, slots: usize) -> Self {
         self.opts.detector_slots = slots;
+        self
+    }
+
+    /// Compacts the durable chain off-thread once it holds more than
+    /// `max` frames; see [`StoreOptions::compact_max_chain_len`].
+    #[must_use]
+    pub fn with_max_chain_len(mut self, max: usize) -> Self {
+        self.opts.compact_max_chain_len = Some(max);
+        self
+    }
+
+    /// Compacts the durable chain off-thread once its frame files
+    /// exceed `max` total bytes; see
+    /// [`StoreOptions::compact_max_chain_bytes`].
+    #[must_use]
+    pub fn with_max_chain_bytes(mut self, max: u64) -> Self {
+        self.opts.compact_max_chain_bytes = Some(max);
+        self
+    }
+
+    /// Keeps superseded frame files for `ttl` after compaction; see
+    /// [`StoreOptions::retention`].
+    #[must_use]
+    pub fn with_retention(mut self, ttl: std::time::Duration) -> Self {
+        self.opts.retention = ttl;
         self
     }
 
@@ -698,18 +763,26 @@ impl Store {
                 // A tiered store's checkpointer serializes against the
                 // ladder so tier-tagged snapshots land as version-3
                 // frames (and the manifest header pins the ladder).
+                let mut ck_config = CheckpointerConfig::new()
+                    .with_every_events(opts.checkpoint_every_events)
+                    .with_max_deltas_per_base(opts.max_deltas_per_base)
+                    .with_directory(dir.clone())
+                    .with_retain_bytes(false)
+                    .with_retention(opts.retention)
+                    .with_manifest(ManifestInfo {
+                        spec,
+                        config,
+                        session: *session,
+                        tiering: tiering.as_ref().map(TierSetup::manifest_tiering),
+                    });
+                if let Some(max) = opts.compact_max_chain_len {
+                    ck_config = ck_config.with_max_chain_len(max);
+                }
+                if let Some(max) = opts.compact_max_chain_bytes {
+                    ck_config = ck_config.with_max_chain_bytes(max);
+                }
                 BackgroundCheckpointer::spawn_with(
-                    CheckpointerConfig::new()
-                        .with_every_events(opts.checkpoint_every_events)
-                        .with_max_deltas_per_base(opts.max_deltas_per_base)
-                        .with_directory(dir.clone())
-                        .with_retain_bytes(false)
-                        .with_manifest(ManifestInfo {
-                            spec,
-                            config,
-                            session: *session,
-                            tiering: tiering.as_ref().map(TierSetup::manifest_tiering),
-                        }),
+                    ck_config,
                     tiering.as_ref().map(|t| t.templates.clone()),
                 )
             });
@@ -777,7 +850,15 @@ impl Store {
                     }
                     ck.finish()
                 });
-                publish(&thread_shared, &mut engine, &thread_queue, None);
+                // `finish` drained the writer thread, so the probe now
+                // reflects the final durable frame — fold it into the
+                // published stats instead of freezing a stale lag gauge.
+                publish(
+                    &thread_shared,
+                    &mut engine,
+                    &thread_queue,
+                    thread_probe.as_ref(),
+                );
                 (engine, report)
             })
             .expect("spawn applier thread");
@@ -867,10 +948,14 @@ impl Store {
     /// to surface final-flush failures without an API break.
     pub fn close(mut self) -> Result<StoreReport, EngineError> {
         let (engine, checkpoints) = self.shutdown(true);
-        Ok(StoreReport {
-            stats: engine.stats().with_ingest(&self.queue.stats()),
-            checkpoints,
-        })
+        let mut stats = engine.stats().with_ingest(&self.queue.stats());
+        // The final close-time frame is durable by now; fold it in so
+        // the report's lag gauge reflects the disk, not the last
+        // mid-run publish.
+        if let Some(probe) = self.probe.as_ref() {
+            stats = stats.with_checkpointer(&probe.stats());
+        }
+        Ok(StoreReport { stats, checkpoints })
     }
 
     /// Crash simulation (tests, chaos drills): stops without the final
@@ -1001,6 +1086,37 @@ impl StoreWriter {
     #[must_use]
     pub fn last_seq(&self) -> u64 {
         self.producer.last_seq()
+    }
+
+    /// The exactly-once resume cursor for this writer after a
+    /// [`Store::open`]: the recovered mark for this writer's producer
+    /// id, or an all-zero mark when the restored state never saw it.
+    /// Producer ids are assigned in creation order per store, so a
+    /// process that recreates its writers in the same order it did
+    /// before the crash gets each writer's own cursor back — replay
+    /// everything after [`ProducerMark::applied_seq`] and nothing else:
+    ///
+    /// ```no_run
+    /// # use ac_engine::Store;
+    /// # fn replay(from_seq: u64) {}
+    /// let store = Store::open("/var/lib/ac-store").unwrap();
+    /// let report = store.recovery().unwrap().clone();
+    /// let writer = store.writer();
+    /// replay(writer.resume_from(&report).applied_seq);
+    /// ```
+    #[must_use]
+    pub fn resume_from(&self, report: &RecoveryReport) -> ProducerMark {
+        let id = self.producer.id();
+        report
+            .last_applied
+            .iter()
+            .find(|m| m.producer == id)
+            .copied()
+            .unwrap_or(ProducerMark {
+                producer: id,
+                enqueued_seq: 0,
+                applied_seq: 0,
+            })
     }
 
     /// Pairs buffered in the batch under construction.
@@ -1208,7 +1324,9 @@ fn recover(
         // us to the previous chain.
         while !segments.is_empty() {
             let refs: Vec<&[u8]> = segments.iter().map(Vec::as_slice).collect();
-            match restore_checkpoint_chain_with(&templates, &refs) {
+            // Worker count 0 = auto: recovery decodes shard sections in
+            // parallel on big states, serially on small ones.
+            match restore_checkpoint_chain_with_workers(&templates, &refs, 0) {
                 Ok(engine) => {
                     let used = segments.len();
                     let tip = &frames[base + used - 1];

@@ -19,7 +19,7 @@ use ac_engine::{
 use proptest::prelude::*;
 
 /// Builds an engine over the given workload and checkpoints it.
-fn engine_and_checkpoint<C: StateCodec + Clone>(
+fn engine_and_checkpoint<C: StateCodec + Clone + Send + Sync>(
     template: &C,
     shards: usize,
     seed: u64,
@@ -42,7 +42,7 @@ fn encoded<C: StateCodec>(c: &C) -> BitVec {
 }
 
 /// The family-generic fidelity check.
-fn assert_restores_exactly<C: StateCodec + Clone>(
+fn assert_restores_exactly<C: StateCodec + Clone + Send + Sync>(
     template: &C,
     shards: usize,
     seed: u64,

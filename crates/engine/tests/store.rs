@@ -19,8 +19,9 @@ use ac_core::{
     MorrisPlus, NelsonYuCounter, NyParams, StateCodec,
 };
 use ac_engine::{
-    checkpoint_snapshot, restore_checkpoint, restore_checkpoint_chain, CheckpointKind,
-    CounterEngine, EngineConfig, EngineError, IngestConfig, Manifest, Store, StoreOptions,
+    checkpoint_snapshot, compact_chain, restore_checkpoint, restore_checkpoint_chain,
+    CheckpointKind, CounterEngine, EngineConfig, EngineError, IngestConfig, Manifest, Store,
+    StoreOptions,
 };
 use proptest::prelude::*;
 use std::path::{Path, PathBuf};
@@ -488,6 +489,103 @@ fn writer_flush_reports_events_lost_to_silent_auto_flushes() {
     }
     // Reported once, not forever.
     writer.flush().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_compacts_its_chain_and_reopens_bit_exactly() {
+    let dir = tmp_dir("compacted");
+    let config = EngineConfig::new().with_shards(4).with_seed(77);
+    let mut reference = CounterEngine::new(family_template(), config);
+    // A huge rebase budget makes the compactor the only thing bounding
+    // the chain: without it the manifest would grow one delta per cut.
+    let store = Store::builder(spec())
+        .with_shards(4)
+        .with_seed(77)
+        .with_ingest(IngestConfig::new().with_batch_pairs(64))
+        .with_snapshot_every_events(300)
+        .with_durability(&dir)
+        .with_checkpoint_every_events(250)
+        .with_max_deltas_per_base(100)
+        .with_max_chain_len(3)
+        .start()
+        .unwrap();
+    let mut w = store.writer();
+    for round in 0..20u64 {
+        let batch: Vec<(u64, u64)> = (0..60u64)
+            .map(|k| (k + 100 * (round % 3), 1 + (k + round) % 9))
+            .collect();
+        for &(key, delta) in &batch {
+            w.record(key, delta);
+        }
+        w.flush().unwrap();
+        reference.apply(&batch);
+    }
+    let report = store.close().unwrap();
+    assert_eq!(report.stats.events, reference.total_events());
+
+    // The manifest was rewritten in place: it now opens on a compacted
+    // base and lists fewer frames than the cadence cut.
+    let m = Manifest::load(&dir).unwrap();
+    assert_eq!(m.frames[0].kind, CheckpointKind::Full);
+    assert!(
+        m.frames[0].file.contains("-c"),
+        "chain opens on a compactor fold: {}",
+        m.frames[0].file
+    );
+
+    // Reopening walks the compacted chain — the fold plus the deltas cut
+    // while it ran — back to the exact close-time state.
+    let store = Store::open(&dir).unwrap();
+    let recovery = store.recovery().expect("opened from disk").clone();
+    assert_eq!(recovery.frames_skipped, 0, "compacted chain is intact");
+    assert_eq!(
+        recovery.events,
+        reference.total_events(),
+        "close lost nothing"
+    );
+    assert_eq!(recovery.last_applied.len(), 1);
+    let resumed = store.writer().resume_from(&recovery);
+    assert_eq!(
+        resumed, recovery.last_applied[0],
+        "cursor for this producer"
+    );
+    assert!(resumed.applied_seq > 0);
+    assert_store_matches_engine(&store, &reference);
+    store.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn orphan_compacted_base_from_a_crashed_compactor_is_ignored() {
+    let dir = tmp_dir("orphan-cbase");
+    write_crashy_store(&dir);
+
+    // Simulate a compactor that died between writing its fresh base and
+    // swapping the manifest: the fold exists on disk, but the manifest
+    // still lists the old chain — which must stay the recovery source.
+    let files = newest_chain_files(&dir);
+    assert!(files.len() >= 2, "need a chain worth folding");
+    let segments: Vec<Vec<u8>> = files
+        .iter()
+        .map(|(p, _)| std::fs::read(p).unwrap())
+        .collect();
+    let refs: Vec<&[u8]> = segments.iter().map(Vec::as_slice).collect();
+    let orphan = compact_chain(&family_template(), &refs).unwrap();
+    std::fs::write(dir.join("ckpt-000-c99999-full.bin"), orphan.bytes()).unwrap();
+
+    let clean = restore_clean(&dir, 0);
+    let store = Store::open(&dir).unwrap();
+    let recovery = store.recovery().expect("opened from disk").clone();
+    assert_eq!(
+        recovery.frames_used,
+        files.len(),
+        "recovery walked the manifest's chain, not the orphan"
+    );
+    assert_eq!(recovery.frames_skipped, 0);
+    assert_eq!(recovery.events, clean.total_events());
+    assert_store_matches_engine(&store, &clean);
+    store.kill();
     let _ = std::fs::remove_dir_all(&dir);
 }
 
