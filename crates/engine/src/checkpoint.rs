@@ -62,7 +62,7 @@ use ac_bitio::{BitReader, BitVec, BitWriter};
 use ac_core::{CoreError, StateCodec};
 use ac_randkit::Xoshiro256PlusPlus;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// `"ACKP"` — approximate-counting checkpoint.
 pub const CHECKPOINT_MAGIC: u32 = 0x4143_4B50;
@@ -391,7 +391,7 @@ fn effective_workers(requested: usize, items: usize, keys: u64) -> usize {
 /// Panics if the engine carries non-default tier tags — version 2 has
 /// nowhere to put them; use [`checkpoint_snapshot_with`] instead.
 #[must_use]
-pub fn checkpoint_snapshot<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_snapshot<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
 ) -> Checkpoint {
     checkpoint_snapshot_workers(snap, 0)
@@ -402,7 +402,7 @@ pub fn checkpoint_snapshot<C: StateCodec + Clone + Send + Sync>(
 /// serial encoder, larger values are capped at the shard count. Every
 /// choice produces bit-identical frames — a property test pins this.
 #[must_use]
-pub fn checkpoint_snapshot_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_snapshot_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     workers: usize,
 ) -> Checkpoint {
@@ -416,7 +416,7 @@ pub fn checkpoint_snapshot_workers<C: StateCodec + Clone + Send + Sync>(
 /// template, `templates[0]` the default tier). Restore through
 /// [`restore_checkpoint_chain_with`] with the same ladder.
 #[must_use]
-pub fn checkpoint_snapshot_with<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_snapshot_with<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     templates: &[C],
 ) -> Checkpoint {
@@ -426,7 +426,7 @@ pub fn checkpoint_snapshot_with<C: StateCodec + Clone + Send + Sync>(
 /// [`checkpoint_snapshot_with`] with an explicit encode worker count
 /// (see [`checkpoint_snapshot_workers`] for the contract).
 #[must_use]
-pub fn checkpoint_snapshot_with_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_snapshot_with_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     templates: &[C],
     workers: usize,
@@ -463,7 +463,7 @@ pub fn checkpoint_snapshot_with_workers<C: StateCodec + Clone + Send + Sync>(
 ///   epoch clock happens to have advanced *past* the parent's is
 ///   indistinguishable from the parent's own future without a lineage
 ///   identity — keep one chain per engine.
-pub fn checkpoint_delta<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_delta<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     parent: &CheckpointHeader,
 ) -> Result<Checkpoint, CheckpointError> {
@@ -478,7 +478,7 @@ pub fn checkpoint_delta<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`checkpoint_delta`] returns.
-pub fn checkpoint_delta_with<C: StateCodec + Clone + Send + Sync>(
+pub fn checkpoint_delta_with<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     templates: &[C],
     parent: &CheckpointHeader,
@@ -487,7 +487,7 @@ pub fn checkpoint_delta_with<C: StateCodec + Clone + Send + Sync>(
     checkpoint_delta_inner(snap, Some(templates), parent)
 }
 
-fn checkpoint_delta_inner<C: StateCodec + Clone + Send + Sync>(
+fn checkpoint_delta_inner<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     templates: Option<&[C]>,
     parent: &CheckpointHeader,
@@ -632,7 +632,7 @@ fn encode_section_into<C: StateCodec + Clone>(
 /// into per-worker vectors and spliced in order with [`BitVec::append`],
 /// so checksums, chain digests, and every committed byte are identical
 /// to the serial path.
-fn write_checkpoint<C: StateCodec + Clone + Send + Sync>(
+fn write_checkpoint<C: StateCodec + Clone + Send + Sync + 'static>(
     snap: &EngineSnapshot<C>,
     templates: Option<&[C]>,
     kind: CheckpointKind,
@@ -672,38 +672,24 @@ fn write_checkpoint<C: StateCodec + Clone + Send + Sync>(
             tally.absorb(encode_section_into(&mut v, &snap.shards[idx], idx, tiered));
         }
     } else {
-        // Work-stealing fan-out: each worker claims section positions
-        // off a shared counter and encodes them into fresh vectors
-        // (shard sizes are skewed, so static striping would leave
-        // threads idle behind the heaviest shard). Sections then splice
-        // into the frame in original position order, reproducing the
-        // serial byte stream exactly.
-        let next = AtomicUsize::new(0);
-        let mut encoded: Vec<(usize, BitVec, SectionTally)> = std::thread::scope(|scope| {
-            let next = &next;
-            let handles: Vec<_> = (0..n_workers)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let pos = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&idx) = indices.get(pos) else { break };
-                            let mut section = BitVec::new();
-                            let t =
-                                encode_section_into(&mut section, &snap.shards[idx], idx, tiered);
-                            out.push((pos, section, t));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("section encoder panicked"))
-                .collect()
+        // Persistent-pool fan-out (`pool::fan_out`): workers claim
+        // section positions off a shared counter and encode into fresh
+        // vectors (shard sizes are skewed, so static striping would
+        // leave threads idle behind the heaviest shard). Sections then
+        // splice into the frame in original position order, reproducing
+        // the serial byte stream exactly.
+        let work: Vec<(usize, Arc<Shard<C>>)> = indices
+            .iter()
+            .map(|&idx| (idx, Arc::clone(&snap.shards[idx])))
+            .collect();
+        let mut encoded = crate::pool::fan_out(n_workers, work.len(), move |pos| {
+            let (idx, shard) = &work[pos];
+            let mut section = BitVec::new();
+            let t = encode_section_into(&mut section, shard, *idx, tiered);
+            (section, t)
         });
-        encoded.sort_unstable_by_key(|&(pos, _, _)| pos);
-        for (_, section, t) in &encoded {
+        encoded.sort_unstable_by_key(|&(pos, _)| pos);
+        for (_, (section, t)) in &encoded {
             v.append(section);
             tally.absorb(*t);
         }
@@ -857,7 +843,7 @@ struct ShardSection<C> {
 /// threads (0 = auto) since sections are self-contained. Errors keep
 /// the serial path's precedence: the first failing section in frame
 /// order names the error.
-fn parse_sections<C: StateCodec + Clone + Send + Sync>(
+fn parse_sections<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     bytes: &[u8],
     header: &CheckpointHeader,
@@ -966,43 +952,25 @@ fn parse_sections<C: StateCodec + Clone + Send + Sync>(
         }
         return Ok(parsed);
     }
-    // (submission order, decode result) — order restored by sort below.
-    type SectionSlot<C> = (usize, Result<(usize, Shard<C>), CheckpointError>);
-    let next = AtomicUsize::new(0);
-    let mut decoded: Vec<SectionSlot<C>> = std::thread::scope(|scope| {
-        let (next, v, bounds) = (&next, &v, bounds.as_slice());
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let pos = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(idx, start, len)) = bounds.get(pos) else {
-                            break;
-                        };
-                        let result = parse_one_section(templates, v, header, start, len).map(|s| {
-                            (
-                                idx,
-                                Shard::from_restored(
-                                    s.rng,
-                                    s.events,
-                                    s.entries,
-                                    s.tiers,
-                                    header.epoch,
-                                ),
-                            )
-                        });
-                        out.push((pos, result));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("section decoder panicked"))
-            .collect()
+    // The pool's jobs outlive this borrow-scoped call, so the shared
+    // inputs move into `Arc`s: the payload words, the boundary table,
+    // the tier ladder, and the header are all owned by the fan-out.
+    let v = Arc::new(v);
+    let bounds = Arc::new(bounds);
+    let templates: Arc<Vec<C>> = Arc::new(templates.to_vec());
+    let header = *header;
+    let mut decoded = crate::pool::fan_out(n_workers, bounds.len(), move |pos| {
+        let (idx, start, len) = bounds[pos];
+        parse_one_section(&templates, &v, &header, start, len).map(|s| {
+            (
+                idx,
+                Shard::from_restored(s.rng, s.events, s.entries, s.tiers, header.epoch),
+            )
+        })
     });
+    // Frame order restored by the sort, so the `collect` below still
+    // names the *first failing section in frame order* — the serial
+    // path's error precedence.
     decoded.sort_unstable_by_key(|&(pos, _)| pos);
     decoded
         .into_iter()
@@ -1125,7 +1093,7 @@ fn parse_one_section<C: StateCodec + Clone>(
 /// for a delta frame, which only restores through
 /// [`restore_checkpoint_chain`]. On success every key's counter state —
 /// and each shard's RNG — is bit-identical to the snapshot's.
-pub fn restore_checkpoint<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     bytes: &[u8],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -1139,7 +1107,7 @@ pub fn restore_checkpoint<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint`] returns.
-pub fn restore_checkpoint_with<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_with<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     bytes: &[u8],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -1163,7 +1131,7 @@ pub fn restore_checkpoint_with<C: StateCodec + Clone + Send + Sync>(
 /// epoch. Each segment's checksums are verified independently, so a
 /// corrupt or truncated delta names itself rather than poisoning the
 /// fold.
-pub fn restore_checkpoint_chain<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_chain<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     segments: &[&[u8]],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -1178,7 +1146,7 @@ pub fn restore_checkpoint_chain<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn restore_checkpoint_chain_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_chain_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     segments: &[&[u8]],
     workers: usize,
@@ -1196,7 +1164,7 @@ pub fn restore_checkpoint_chain_workers<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn restore_checkpoint_chain_with<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_chain_with<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     segments: &[&[u8]],
 ) -> Result<CounterEngine<C>, CheckpointError> {
@@ -1209,7 +1177,7 @@ pub fn restore_checkpoint_chain_with<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn restore_checkpoint_chain_with_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_chain_with_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     segments: &[&[u8]],
     workers: usize,
@@ -1312,7 +1280,7 @@ pub fn restore_checkpoint_chain_with_workers<C: StateCodec + Clone + Send + Sync
 ///
 /// [`CheckpointError::ConfigMismatch`] on disagreement, plus everything
 /// [`restore_checkpoint`] returns.
-pub fn restore_checkpoint_expecting<C: StateCodec + Clone + Send + Sync>(
+pub fn restore_checkpoint_expecting<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     bytes: &[u8],
     expected: EngineConfig,
@@ -1345,7 +1313,7 @@ pub fn restore_checkpoint_expecting<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn compact_chain<C: StateCodec + Clone + Send + Sync>(
+pub fn compact_chain<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     segments: &[&[u8]],
 ) -> Result<Checkpoint, CheckpointError> {
@@ -1358,7 +1326,7 @@ pub fn compact_chain<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn compact_chain_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn compact_chain_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     segments: &[&[u8]],
     workers: usize,
@@ -1372,7 +1340,7 @@ pub fn compact_chain_workers<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn compact_chain_with<C: StateCodec + Clone + Send + Sync>(
+pub fn compact_chain_with<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     segments: &[&[u8]],
 ) -> Result<Checkpoint, CheckpointError> {
@@ -1384,7 +1352,7 @@ pub fn compact_chain_with<C: StateCodec + Clone + Send + Sync>(
 /// # Errors
 ///
 /// Everything [`restore_checkpoint_chain`] returns.
-pub fn compact_chain_with_workers<C: StateCodec + Clone + Send + Sync>(
+pub fn compact_chain_with_workers<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     segments: &[&[u8]],
     workers: usize,
@@ -1392,7 +1360,7 @@ pub fn compact_chain_with_workers<C: StateCodec + Clone + Send + Sync>(
     compact_chain_inner(templates, true, segments, workers)
 }
 
-fn compact_chain_inner<C: StateCodec + Clone + Send + Sync>(
+fn compact_chain_inner<C: StateCodec + Clone + Send + Sync + 'static>(
     templates: &[C],
     tiered: bool,
     segments: &[&[u8]],
@@ -1450,7 +1418,9 @@ mod tests {
         e
     }
 
-    fn checkpoint_of<C: StateCodec + Clone + Send + Sync>(e: &mut CounterEngine<C>) -> Checkpoint {
+    fn checkpoint_of<C: StateCodec + Clone + Send + Sync + 'static>(
+        e: &mut CounterEngine<C>,
+    ) -> Checkpoint {
         checkpoint_snapshot(&e.snapshot())
     }
 
@@ -1820,7 +1790,7 @@ mod tests {
             v
         }
 
-        fn drive<C: StateCodec + Clone + Send + Sync + std::fmt::Debug>(template: C) {
+        fn drive<C: StateCodec + Clone + Send + Sync + 'static + std::fmt::Debug>(template: C) {
             let mut e = CounterEngine::new(template.clone(), cfg());
             let mut gen = SplitMix64::new(21);
             let batch: Vec<(u64, u64)> = (0..400u64)
@@ -2032,7 +2002,7 @@ mod tests {
 
     /// Builds a family engine plus a `rounds`-delta chain over it, with
     /// traffic seeded by `seed`.
-    fn chain_of<C: StateCodec + Clone + Send + Sync>(
+    fn chain_of<C: StateCodec + Clone + Send + Sync + 'static>(
         template: &C,
         seed: u64,
         rounds: usize,
@@ -2057,7 +2027,7 @@ mod tests {
 
     /// The tentpole encode oracle: any worker count must commit the very
     /// same frame bytes the serial encoder does.
-    fn assert_parallel_encode_identical<C: StateCodec + Clone + Send + Sync>(
+    fn assert_parallel_encode_identical<C: StateCodec + Clone + Send + Sync + 'static>(
         template: C,
         seed: u64,
         workers: usize,
@@ -2075,7 +2045,7 @@ mod tests {
     /// restores to the same state the chain does.
     fn assert_compaction_matches_serial_fold<C>(template: C, seed: u64, rounds: usize)
     where
-        C: StateCodec + Clone + Send + Sync,
+        C: StateCodec + Clone + Send + Sync + 'static,
     {
         let (_, frames) = chain_of(&template, seed, rounds);
         let segments: Vec<&[u8]> = frames.iter().map(Checkpoint::bytes).collect();

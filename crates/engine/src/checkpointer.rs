@@ -369,7 +369,7 @@ struct CompactOutcome {
     nanos: u64,
 }
 
-fn compactor_loop<C: StateCodec + Clone + Send + Sync>(
+fn compactor_loop<C: StateCodec + Clone + Send + Sync + 'static>(
     dir: &Path,
     templates: Option<&[C]>,
     jobs: &Receiver<CompactJob<C>>,
@@ -386,7 +386,7 @@ fn compactor_loop<C: StateCodec + Clone + Send + Sync>(
 /// Folds one chain into a compacted base file. Any failure (a frame
 /// file already gone, a corrupt segment, an I/O error) yields `None`:
 /// the old chain stays authoritative and nothing was published.
-fn run_compaction<C: StateCodec + Clone + Send + Sync>(
+fn run_compaction<C: StateCodec + Clone + Send + Sync + 'static>(
     dir: &Path,
     templates: Option<&[C]>,
     job: &CompactJob<C>,

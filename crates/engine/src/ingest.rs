@@ -606,6 +606,24 @@ impl IngestQueue {
     /// never contend with each other.
     #[must_use]
     pub fn producer(&self) -> IngestProducer {
+        self.producer_resuming(0)
+    }
+
+    /// [`IngestQueue::producer`] whose sequence numbering *continues* at
+    /// `start_seq` instead of restarting at zero: the first accepted
+    /// batch carries `start_seq + 1`, and the producer's marks
+    /// (`enqueued_seq`, `applied_seq`) start at `start_seq` — as if
+    /// batches `1..=start_seq` had already been accepted and applied.
+    ///
+    /// This is the server-restart half of exactly-once ingest over a
+    /// process boundary: a store recovered from disk reports each
+    /// producer's durable [`ProducerMark`]; recreating the producers *in
+    /// producer-id order* with `producer_resuming(mark.applied_seq)`
+    /// keeps the durable numbering and the live numbering one and the
+    /// same, so a remote client can keep replaying against one cursor
+    /// across any number of server restarts.
+    #[must_use]
+    pub fn producer_resuming(&self, start_seq: u64) -> IngestProducer {
         let ring_batches = self.inner.config.ring_batches;
         let lanes = match self.inner.router {
             None => Lanes::Pooled(SpscRing::new(ring_batches)),
@@ -617,9 +635,9 @@ impl IngestQueue {
         };
         let ring = Arc::new(ProducerRing {
             lanes,
-            committed_seq: AtomicU64::new(0),
-            enqueued_seq: AtomicU64::new(0),
-            applied_seq: AtomicU64::new(0),
+            committed_seq: AtomicU64::new(start_seq),
+            enqueued_seq: AtomicU64::new(start_seq),
+            applied_seq: AtomicU64::new(start_seq),
         });
         let mut registry = self.inner.registry.lock().expect("ingest registry lock");
         let id = registry.rings.len() as u64;
@@ -629,7 +647,7 @@ impl IngestQueue {
             inner: Arc::clone(&self.inner),
             ring,
             id,
-            next_seq: 1,
+            next_seq: start_seq + 1,
             pairs: Vec::new(),
             slots: HashMap::default(),
             events: 0,
@@ -1017,6 +1035,22 @@ impl IngestQueue {
             .collect()
     }
 
+    /// Events accepted into rings but not yet applied — `0` means the
+    /// pipeline is momentarily drained dry. A two-atomic probe (no
+    /// registry lock, no allocation), cheap enough for every burst
+    /// boundary: the applier uses it to publish a read replica when a
+    /// stream quiesces below the snapshot cadence, so the tail of a
+    /// stream becomes visible to readers without waiting for `close`.
+    ///
+    /// Applied is read first, so a racing enqueue can only inflate the
+    /// lag — a zero is never spurious.
+    #[must_use]
+    pub fn pending_events(&self) -> u64 {
+        let applied = self.inner.totals.applied_events.load(Ordering::SeqCst);
+        let enqueued = self.inner.totals.enqueued_events.load(Ordering::SeqCst);
+        enqueued.saturating_sub(applied)
+    }
+
     /// Diagnostics snapshot. Feed it to
     /// [`EngineStats::with_ingest`](crate::EngineStats::with_ingest) for a
     /// whole-pipeline summary.
@@ -1221,6 +1255,44 @@ impl IngestProducer {
         );
         let events = batch.events();
         self.submit_pairs(batch.pairs, events, false)
+    }
+
+    /// Publishes one *prepared* batch — exactly these pairs, exactly one
+    /// sequence number — parking while the ring is full, and returns the
+    /// sequence number the batch was accepted under. Any pairs buffered
+    /// by [`IngestProducer::record`] are flushed first so they cannot
+    /// interleave mid-batch.
+    ///
+    /// This is the wire-ingest path: a network server replaying a
+    /// client's batch stream maps each wire batch to exactly one ring
+    /// batch, which keeps the client's numbering and the durable
+    /// [`ProducerMark`]s interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] (carrying the batch) if the queue closes
+    /// before a slot frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` carries no events (every delta zero, or no
+    /// pairs at all): an eventless batch would have to advance the
+    /// applied mark past batches still in flight to keep the numbering
+    /// gapless, which would corrupt the exactly-once cursor. Callers
+    /// own batch formation, so they filter empties before numbering.
+    pub fn submit_batch(&mut self, mut pairs: Vec<(u64, u64)>) -> Result<u64, SendError> {
+        self.submit(true)?;
+        pairs.retain(|&(_, delta)| delta != 0);
+        assert!(
+            !pairs.is_empty(),
+            "submit_batch: a batch must carry at least one event"
+        );
+        let events = pairs
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(0u64, u64::saturating_add);
+        let seq = self.next_seq;
+        self.submit_pairs(pairs, events, true).map(|()| seq)
     }
 
     /// Pushes the current batch (if any), honoring
@@ -1500,6 +1572,41 @@ mod tests {
         assert_eq!(batch.pairs, vec![(7, 30), (8, 1)]);
         assert_eq!(batch.producer, p.id());
         assert_eq!(batch.seq, 1, "first accepted batch");
+    }
+
+    #[test]
+    fn resuming_producer_continues_the_durable_numbering() {
+        let q = IngestQueue::new(small(8, 4, BackpressurePolicy::Block));
+        let mut p = q.producer_resuming(41);
+        assert_eq!(p.last_seq(), 41, "resume mark is the last *accepted* seq");
+        p.record(3, 5);
+        assert!(p.try_send().is_ok());
+        let batch = q.try_next_batch().unwrap();
+        assert_eq!(batch.seq, 42, "first batch after resume follows the mark");
+        assert_eq!(p.last_seq(), 42);
+    }
+
+    #[test]
+    fn submit_batch_numbers_one_wire_batch_per_ring_batch() {
+        let q = IngestQueue::new(small(8, 4, BackpressurePolicy::Block));
+        let mut p = q.producer();
+        p.record(9, 1); // buffered pairs flush first, under their own seq
+        let seq = p.submit_batch(vec![(1, 2), (2, 0), (3, 4)]).unwrap();
+        assert_eq!(seq, 2, "buffered flush took seq 1");
+        let first = q.try_next_batch().unwrap();
+        assert_eq!((first.seq, first.pairs.clone()), (1, vec![(9, 1)]));
+        let wire = q.try_next_batch().unwrap();
+        assert_eq!(wire.seq, 2);
+        assert_eq!(wire.pairs, vec![(1, 2), (3, 4)], "zero deltas shed");
+        assert_eq!(p.last_seq(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one event")]
+    fn submit_batch_refuses_eventless_batches() {
+        let q = IngestQueue::new(small(8, 4, BackpressurePolicy::Block));
+        let mut p = q.producer();
+        let _ = p.submit_batch(vec![(1, 0), (2, 0)]);
     }
 
     #[test]

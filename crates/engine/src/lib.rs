@@ -140,6 +140,7 @@ mod error;
 mod ingest;
 mod legacy;
 mod manifest;
+mod pool;
 mod registry;
 mod ring;
 mod shard;

@@ -1,0 +1,219 @@
+//! A persistent worker pool for checkpoint section fan-out.
+//!
+//! PR 9 parallelized checkpoint encode/restore with per-call
+//! [`std::thread::scope`], which pays thread spawn + join on every
+//! frame. That was fine for occasional full checkpoints; delta
+//! replication cuts frames continuously, where sub-millisecond encodes
+//! are routine and per-call spawns dominate. This module keeps one
+//! process-wide pool of parked workers (first use spins it up, process
+//! exit reaps it) and hands fan-outs to them through a job queue.
+//!
+//! The calling thread always participates in the claim loop itself, so
+//! a fan-out makes progress even if every pool worker is busy with
+//! other frames — helpers only speed it up. And while a caller waits
+//! for its helpers to report, it services the shared job queue itself,
+//! so nested or re-entrant fan-outs (which can occupy the entire pool
+//! with waiters) stay deadlock-free: some thread always runs the next
+//! queued job.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    jobs: Mutex<VecDeque<Job>>,
+    doorbell: Condvar,
+}
+
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+static POOL: OnceLock<WorkerPool> = OnceLock::new();
+
+fn pool() -> &'static WorkerPool {
+    POOL.get_or_init(|| {
+        let width = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let shared = Arc::new(PoolShared {
+            jobs: Mutex::new(VecDeque::new()),
+            doorbell: Condvar::new(),
+        });
+        for i in 0..width {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("ac-ckpt-pool-{i}"))
+                .spawn(move || loop {
+                    let job = {
+                        let mut q = shared.jobs.lock().expect("checkpoint pool queue");
+                        loop {
+                            if let Some(job) = q.pop_front() {
+                                break job;
+                            }
+                            q = shared.doorbell.wait(q).expect("checkpoint pool queue");
+                        }
+                    };
+                    // Jobs are panic-fenced by `fan_out`, so a worker
+                    // survives any frame and goes back to the queue.
+                    job();
+                })
+                .expect("spawn checkpoint pool worker");
+        }
+        WorkerPool { shared }
+    })
+}
+
+/// Runs `work(pos)` for every `pos` in `0..items` across `workers`
+/// claim loops (the caller plus `workers - 1` pool helpers, all
+/// stealing positions off one shared counter — unit costs are skewed,
+/// so static striping would idle threads behind the heaviest unit) and
+/// returns the `(pos, result)` pairs in whatever completion order they
+/// landed. Callers that need frame order sort by `pos`; parallelism
+/// never changes *what* is produced, only who produces it.
+///
+/// A panic inside `work` is forwarded to the caller via
+/// [`resume_unwind`] after the pool workers have been fenced off the
+/// poisoned run; the pool itself stays serviceable.
+pub(crate) fn fan_out<T, F>(workers: usize, items: usize, work: F) -> Vec<(usize, T)>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    let claim_all = move |work: &F, next: &AtomicUsize| {
+        let mut out = Vec::new();
+        loop {
+            let pos = next.fetch_add(1, Ordering::Relaxed);
+            if pos >= items {
+                break out;
+            }
+            out.push((pos, work(pos)));
+        }
+    };
+    if workers <= 1 || items <= 1 {
+        let next = AtomicUsize::new(0);
+        return claim_all(&work, &next);
+    }
+
+    let work = Arc::new(work);
+    let next = Arc::new(AtomicUsize::new(0));
+    let (tx, rx) = mpsc::channel();
+    let helpers = workers.min(items) - 1;
+    {
+        let mut q = pool().shared.jobs.lock().expect("checkpoint pool queue");
+        for _ in 0..helpers {
+            let work = Arc::clone(&work);
+            let next = Arc::clone(&next);
+            let tx = tx.clone();
+            q.push_back(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| claim_all(&work, &next)));
+                let _ = tx.send(result);
+            }));
+        }
+    }
+    pool().shared.doorbell.notify_all();
+    drop(tx);
+
+    let mut all = claim_all(&work, &next);
+    let mut failure = None;
+    let mut pending = helpers;
+    while pending > 0 {
+        let report = match rx.try_recv() {
+            Ok(report) => Some(report),
+            Err(mpsc::TryRecvError::Disconnected) => break,
+            Err(mpsc::TryRecvError::Empty) => {
+                // No report yet: service the shared queue instead of
+                // blocking. The job we run may be one of our own
+                // helpers that never got a worker, or another
+                // fan-out's — either way the queue drains and some
+                // waiter (possibly us) gets unblocked. Only when the
+                // queue is empty do we actually wait, and then with a
+                // timeout so a job enqueued after our check is never
+                // stranded behind a blocked waiter.
+                let job = {
+                    let mut q = pool().shared.jobs.lock().expect("checkpoint pool queue");
+                    q.pop_front()
+                };
+                match job {
+                    Some(job) => {
+                        job();
+                        None
+                    }
+                    None => match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(report) => Some(report),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    },
+                }
+            }
+        };
+        if let Some(report) = report {
+            pending -= 1;
+            match report {
+                Ok(part) => all.extend(part),
+                Err(payload) => {
+                    // Burn the counter so straggling helpers exit at
+                    // once (half-range leaves headroom for their last
+                    // wasted increments); keep draining so the pool is
+                    // clean before we re-raise on the calling thread.
+                    next.store(usize::MAX >> 1, Ordering::Relaxed);
+                    failure.get_or_insert(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = failure {
+        resume_unwind(payload);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_position_exactly_once() {
+        for workers in [1, 2, 3, 8, 64] {
+            let mut got = fan_out(workers, 100, |pos| pos * 2);
+            got.sort_unstable_by_key(|&(pos, _)| pos);
+            assert_eq!(got.len(), 100);
+            for (i, (pos, val)) in got.into_iter().enumerate() {
+                assert_eq!((pos, val), (i, i * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_fan_out_is_a_no_op() {
+        assert!(fan_out(4, 0, |pos| pos).is_empty());
+    }
+
+    #[test]
+    fn worker_panic_reaches_the_caller_and_pool_survives() {
+        let attempt = std::panic::catch_unwind(|| {
+            fan_out(4, 64, |pos| {
+                assert!(pos != 17, "poisoned position");
+                pos
+            })
+        });
+        assert!(attempt.is_err());
+        // The pool still serves fresh fan-outs afterwards.
+        let ok = fan_out(4, 32, |pos| pos + 1);
+        assert_eq!(ok.len(), 32);
+    }
+
+    #[test]
+    fn reentrant_fan_out_cannot_deadlock() {
+        // Saturate with nested fan-outs; caller participation guarantees
+        // progress even if every pool worker is occupied.
+        let outer = fan_out(8, 8, |pos| {
+            fan_out(8, 8, move |inner| pos * 8 + inner).len()
+        });
+        assert!(outer.iter().all(|&(_, n)| n == 8));
+    }
+}

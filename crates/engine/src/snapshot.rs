@@ -216,11 +216,14 @@ impl<C: ApproxCounter + Clone> EngineSnapshot<C> {
         self.epoch
     }
 
-    /// Re-stamps the freeze epoch — used only by chain compaction, which
-    /// must write a base that claims the *folded tip's* epoch (the
-    /// restored engine's own clock sits one past it) so deltas cut
-    /// against that tip still chain onto the compacted base.
-    pub(crate) fn with_epoch(mut self, epoch: u64) -> Self {
+    /// Re-stamps the freeze epoch. Chain compaction uses it to write a
+    /// base that claims the *folded tip's* epoch (the restored engine's
+    /// own clock sits one past it) so deltas cut against that tip still
+    /// chain onto the compacted base; tests use it to normalize the one
+    /// header field that legitimately differs before comparing two
+    /// checkpoint encodings byte for byte.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
         self.epoch = epoch;
         self
     }

@@ -802,6 +802,7 @@ impl Store {
                 let mut engine = engine;
                 let thread_probe = checkpointer.as_ref().map(BackgroundCheckpointer::probe);
                 let mut snap_due = CheckpointCadence::new(snapshot_every);
+                let mut published_at = 0u64;
                 let mut ckpt_due = checkpointer
                     .as_ref()
                     .map(|c| CheckpointCadence::new(c.config().every_events));
@@ -822,7 +823,13 @@ impl Store {
                         }
                     },
                     |engine, applied| {
-                        if snap_due.is_due(applied) {
+                        // Publish on cadence, or on quiesce: when the
+                        // burst drained the rings dry, the stream tail
+                        // below the cadence boundary would otherwise
+                        // stay invisible to readers (and to replication
+                        // cutters) until close.
+                        let due = snap_due.is_due(applied);
+                        if due || (applied > published_at && thread_queue.pending_events() == 0) {
                             // Migrate before publishing (and before any
                             // checkpoint below) so the replica and the
                             // frame both see this round's tier moves.
@@ -830,6 +837,7 @@ impl Store {
                                 t.round(engine);
                             }
                             publish(&thread_shared, engine, &thread_queue, thread_probe.as_ref());
+                            published_at = applied;
                         }
                         if let (Some(due), Some(ck)) = (ckpt_due.as_mut(), checkpointer.as_ref()) {
                             if due.is_due(applied) {
@@ -907,6 +915,22 @@ impl Store {
     pub fn writer(&self) -> StoreWriter {
         StoreWriter {
             producer: self.queue.producer(),
+            queue: self.queue.clone(),
+        }
+    }
+
+    /// Creates a writer handle whose sequence numbering resumes *after*
+    /// `start_seq` instead of starting at 1 — the server-restart half of
+    /// exactly-once ingest. A process that recreates its writers in
+    /// producer-id order after [`Store::open`], seeding each from the
+    /// recovered [`ProducerMark::applied_seq`], keeps the durable marks
+    /// and the live ring numbering interchangeable: a remote client that
+    /// replays from its acknowledged high-water mark lands exactly where
+    /// recovery left off, with no gap and no overlap.
+    #[must_use]
+    pub fn writer_resuming(&self, start_seq: u64) -> StoreWriter {
+        StoreWriter {
+            producer: self.queue.producer_resuming(start_seq),
             queue: self.queue.clone(),
         }
     }
@@ -1049,6 +1073,26 @@ impl StoreWriter {
     /// provenance is per-producer).
     pub fn resubmit(&mut self, batch: crate::Batch) -> Result<(), SendError> {
         self.producer.resubmit(batch)
+    }
+
+    /// Publishes one *prepared* batch — exactly these pairs under exactly
+    /// one sequence number — parking while the ring is full, and returns
+    /// the sequence number assigned. This is the wire-ingest path: a
+    /// server replaying a remote client's batch stream maps each wire
+    /// batch to one ring batch, so the client's numbering and the durable
+    /// [`ProducerMark`]s stay interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::Closed`] (with the batch) if the store shuts down
+    /// before a slot frees up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` carries no events (see
+    /// [`IngestProducer::submit_batch`](crate::IngestProducer::submit_batch)).
+    pub fn submit_batch(&mut self, pairs: Vec<(u64, u64)>) -> Result<u64, SendError> {
+        self.producer.submit_batch(pairs)
     }
 
     /// Flushes the partial batch, if any, honoring the backpressure

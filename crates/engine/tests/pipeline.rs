@@ -19,7 +19,7 @@ use ac_engine::{
 use proptest::prelude::*;
 
 /// Builds an engine over the given workload and checkpoints it.
-fn engine_and_checkpoint<C: StateCodec + Clone + Send + Sync>(
+fn engine_and_checkpoint<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     shards: usize,
     seed: u64,
@@ -42,7 +42,7 @@ fn encoded<C: StateCodec>(c: &C) -> BitVec {
 }
 
 /// The family-generic fidelity check.
-fn assert_restores_exactly<C: StateCodec + Clone + Send + Sync>(
+fn assert_restores_exactly<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     shards: usize,
     seed: u64,
@@ -84,7 +84,7 @@ fn assert_restores_exactly<C: StateCodec + Clone + Send + Sync>(
 /// base + deltas chain cut along the way folds back to exactly what one
 /// final full checkpoint restores — and both restored engines continue
 /// the same RNG stream under a follow-up batch.
-fn assert_cow_and_chain_faithful<C: StateCodec + Clone + Send + Sync>(
+fn assert_cow_and_chain_faithful<C: StateCodec + Clone + Send + Sync + 'static>(
     template: &C,
     shards: usize,
     seed: u64,

@@ -34,7 +34,7 @@ fn encoded<C: StateCodec>(c: &C) -> BitVec {
 
 /// The tentpole equivalence: spec-built enum dispatch vs monomorphized
 /// generic engine — states, estimates, checkpoint bytes, cross-restores.
-fn assert_runtime_matches_generic<C: StateCodec + Clone + Send + Sync>(
+fn assert_runtime_matches_generic<C: StateCodec + Clone + Send + Sync + 'static>(
     concrete: &C,
     spec: CounterSpec,
     shards: usize,

@@ -1,0 +1,139 @@
+//! One framed TCP connection: accumulate bytes, surface whole frames.
+//!
+//! Reads keep their own reassembly buffer, so a read timeout never
+//! desynchronizes the stream — a frame that arrives in ten pieces
+//! across ten timeouts parses exactly once when its last byte lands.
+//! That is what lets server threads poll a stop flag between reads
+//! without risking a torn frame.
+
+use crate::error::NetError;
+use crate::wire::{Frame, MAX_FRAME_BYTES};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The read-timeout granularity interruptible reads poll at.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// A framed connection over one `TcpStream`.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    acc: Vec<u8>,
+}
+
+impl FrameConn {
+    /// Wraps a connected stream. `Nagle` is disabled — the protocol is
+    /// request/response and acks gate the ingest pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn new(stream: TcpStream) -> Result<Self, NetError> {
+        stream.set_nodelay(true)?;
+        Ok(FrameConn {
+            stream,
+            acc: Vec::new(),
+        })
+    }
+
+    /// A second handle over the same socket (for split reader/writer
+    /// threads). The clone starts with an empty reassembly buffer, so
+    /// only ever read from one of the two handles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `TcpStream::try_clone` failures.
+    pub fn try_clone(&self) -> Result<Self, NetError> {
+        Ok(FrameConn {
+            stream: self.stream.try_clone()?,
+            acc: Vec::new(),
+        })
+    }
+
+    /// Writes one frame, flushing it onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        let bytes = frame.encode();
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Blocks until one whole frame arrives and parses it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] on a clean close between frames,
+    /// [`NetError::Truncated`] on a mid-frame close, plus every parse
+    /// rejection of [`Frame::parse_body`].
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        self.recv_interruptible(&|| false)
+    }
+
+    /// [`FrameConn::recv`], polling `stop` between reads; returns
+    /// [`NetError::Closed`] once `stop` reports true.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FrameConn::recv`] returns.
+    pub fn recv_interruptible(&mut self, stop: &dyn Fn() -> bool) -> Result<Frame, NetError> {
+        self.stream.set_read_timeout(Some(POLL_TICK))?;
+        let mut tmp = [0u8; 64 * 1024];
+        loop {
+            if let Some(frame) = self.try_parse()? {
+                return Ok(frame);
+            }
+            if stop() {
+                return Err(NetError::Closed);
+            }
+            match self.stream.read(&mut tmp) {
+                Ok(0) => {
+                    return Err(if self.acc.is_empty() {
+                        NetError::Closed
+                    } else {
+                        NetError::Truncated
+                    });
+                }
+                Ok(n) => self.acc.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Frame>, NetError> {
+        if self.acc.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.acc[..4].try_into().expect("4-byte prefix")) as u64;
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::Oversize { len });
+        }
+        if len < 9 {
+            return Err(NetError::Truncated);
+        }
+        let total = 4 + len as usize;
+        if self.acc.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::parse_body(&self.acc[4..total])?;
+        self.acc.drain(..total);
+        Ok(Some(frame))
+    }
+
+    /// Shuts the socket down in both directions (unblocks any thread
+    /// reading from a clone of this connection).
+    pub fn shutdown(&self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}

@@ -1,0 +1,183 @@
+//! The typed failure vocabulary of the wire layer.
+
+use std::fmt;
+
+/// Why a peer was turned away at the `HELLO` handshake. Carried inside
+/// [`NetError::Refused`] so callers can branch on the cause without
+/// string-matching the human-readable reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RefuseCode {
+    /// Protocol version disagreement.
+    Version,
+    /// `CounterSpec` / engine-config fingerprint disagreement — the
+    /// peer's counters would not be interchangeable with ours, the same
+    /// rule the manifest applies to checkpoint frames.
+    Identity,
+    /// The claimed producer id is attached to a live connection.
+    Busy,
+    /// The peer broke the protocol state machine (bad sequence, empty
+    /// batch, frame out of place).
+    Protocol,
+    /// The server is shutting down or the store refused the write.
+    Shutdown,
+    /// This store cannot serve the requested role (e.g. replication of
+    /// a tiered store, whose frames a plain replica cannot fold).
+    Unsupported,
+}
+
+impl RefuseCode {
+    pub(crate) fn to_bits(self) -> u64 {
+        match self {
+            RefuseCode::Version => 0,
+            RefuseCode::Identity => 1,
+            RefuseCode::Busy => 2,
+            RefuseCode::Protocol => 3,
+            RefuseCode::Shutdown => 4,
+            RefuseCode::Unsupported => 5,
+        }
+    }
+
+    pub(crate) fn from_bits(bits: u64) -> Option<Self> {
+        Some(match bits {
+            0 => RefuseCode::Version,
+            1 => RefuseCode::Identity,
+            2 => RefuseCode::Busy,
+            3 => RefuseCode::Protocol,
+            4 => RefuseCode::Shutdown,
+            5 => RefuseCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RefuseCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RefuseCode::Version => "version",
+            RefuseCode::Identity => "identity",
+            RefuseCode::Busy => "busy",
+            RefuseCode::Protocol => "protocol",
+            RefuseCode::Shutdown => "shutdown",
+            RefuseCode::Unsupported => "unsupported",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything that can go wrong on the wire. Corruption is *always* a
+/// typed error, never a panic or a silently wrong frame: a flipped bit
+/// fails the frame checksum, a truncation fails the length contract,
+/// and a reordered batch fails the sequence contract.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// Transport-level I/O failure.
+    Io(std::io::Error),
+    /// The peer closed the connection mid-frame, or a frame body ended
+    /// before its declared fields did.
+    Truncated,
+    /// The peer closed the connection cleanly (between frames).
+    Closed,
+    /// The frame checksum did not match its body.
+    ChecksumMismatch,
+    /// A declared frame length exceeds the protocol cap.
+    Oversize {
+        /// The declared body length.
+        len: u64,
+    },
+    /// An unknown frame tag (wire versions are negotiated at `HELLO`,
+    /// so this is corruption or a peer bug, not skew).
+    UnknownFrame {
+        /// The tag byte received.
+        tag: u8,
+    },
+    /// A structurally invalid frame body.
+    Malformed {
+        /// Which contract the body broke.
+        what: &'static str,
+    },
+    /// A frame that is valid in itself but illegal in the current
+    /// protocol state (e.g. a reply before a request).
+    UnexpectedFrame {
+        /// What arrived.
+        what: &'static str,
+    },
+    /// A batch arrived beyond the next expected sequence number —
+    /// frames were lost or reordered in between.
+    SequenceGap {
+        /// The sequence number the receiver expected next.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+    /// The peer refused the handshake or the session.
+    Refused {
+        /// The machine-readable cause.
+        code: RefuseCode,
+        /// The human-readable explanation.
+        reason: String,
+    },
+    /// The background session died; the detail is the root cause's
+    /// rendering.
+    ConnectionLost {
+        /// Rendering of the error that killed the session.
+        detail: String,
+    },
+    /// Events were shed under [`BackpressurePolicy::DropNewest`]
+    /// (reported after the fact by `flush`, mirroring the local writer).
+    ///
+    /// [`BackpressurePolicy::DropNewest`]: ac_engine::BackpressurePolicy::DropNewest
+    EventsDropped {
+        /// How many events were dropped since the last flush.
+        events: u64,
+    },
+    /// The remote store reported an error serving a query.
+    Remote {
+        /// The server-side error, rendered.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o failure on the wire: {e}"),
+            NetError::Truncated => f.write_str("frame truncated"),
+            NetError::Closed => f.write_str("connection closed by peer"),
+            NetError::ChecksumMismatch => f.write_str("frame checksum mismatch"),
+            NetError::Oversize { len } => write!(f, "frame length {len} exceeds protocol cap"),
+            NetError::UnknownFrame { tag } => write!(f, "unknown frame tag {tag}"),
+            NetError::Malformed { what } => write!(f, "malformed frame: {what}"),
+            NetError::UnexpectedFrame { what } => write!(f, "unexpected frame: {what}"),
+            NetError::SequenceGap { expected, got } => {
+                write!(f, "sequence gap: expected batch {expected}, got {got}")
+            }
+            NetError::Refused { code, reason } => write!(f, "peer refused ({code}): {reason}"),
+            NetError::ConnectionLost { detail } => write!(f, "session lost: {detail}"),
+            NetError::EventsDropped { events } => {
+                write!(f, "{events} events dropped under the DropNewest policy")
+            }
+            NetError::Remote { reason } => write!(f, "remote store error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::Truncated
+        } else {
+            NetError::Io(e)
+        }
+    }
+}

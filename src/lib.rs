@@ -30,6 +30,13 @@
 //!   replicas with a dirty-epoch-cached merged aggregate, and bit-exact
 //!   full + delta checkpoint chains through `ac-bitio` with a background
 //!   checkpoint writer.
+//! * [`net`] — the wire-protocol front-end: a framed TCP protocol with
+//!   per-frame checksums and identity-checked handshakes, the
+//!   [`StoreServer`](net::StoreServer) (exactly-once multi-client
+//!   ingest, epoch-pinned read RPCs), delta-checkpoint replication to
+//!   [`ReplicaNode`](net::ReplicaNode) mirrors, and the
+//!   [`StoreClient`](net::StoreClient)/[`NetWriter`](net::NetWriter)
+//!   handles mirroring the local nonblocking writer API.
 //! * [`sim`] — the parallel experiment harness.
 //!
 //! ## Quick start
@@ -60,6 +67,7 @@ pub use ac_automaton as automaton;
 pub use ac_bitio as bitio;
 pub use ac_core as core;
 pub use ac_engine as engine;
+pub use ac_net as net;
 pub use ac_randkit as randkit;
 pub use ac_sim as sim;
 pub use ac_stats as stats;
@@ -81,6 +89,10 @@ pub mod prelude {
         EngineConfig, EngineError, EngineSnapshot, EngineStats, IngestConfig, IngestStats,
         Manifest, ProducerMark, RecoveryReport, SendError, Store, StoreBuilder, StoreOptions,
         StoreReader, StoreStats, StoreWriter,
+    };
+    pub use ac_net::{
+        Identity, NetError, NetWriter, RefuseCode, RemoteReader, ReplicaConfig, ReplicaNode,
+        ServerConfig, StoreClient, StoreServer, WriterConfig,
     };
     pub use ac_randkit::{trial_seed, RandomSource, SplitMix64, Xoshiro256PlusPlus};
     pub use ac_sim::{ExecutionMode, TrialRunner, Workload};
